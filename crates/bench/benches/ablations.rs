@@ -1,0 +1,114 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! threshold compression on the transfer path, Listing-2 data
+//! partitioning vs broadcasting everything, and Algorithm-1 tiling
+//! granularity (tasks >> slots vs tasks == slots).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_model::TargetRegion;
+use ompcloud::{CloudConfig, CloudRuntime};
+use ompcloud_kernels::{matmul, DataKind};
+
+const N: usize = 48;
+
+fn runtime(min_compression: usize) -> CloudRuntime {
+    CloudRuntime::new(CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        min_compression_size: min_compression,
+        ..CloudConfig::default()
+    })
+}
+
+/// Matmul with no partition specs at all: A and B broadcast whole, C
+/// reconstructed by bitwise-OR — what the runtime must do without the
+/// Listing-2 extension.
+fn unpartitioned_matmul(n: usize) -> TargetRegion {
+    TargetRegion::builder("matmul-unpartitioned")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("A")
+        .map_to("B")
+        .map_from("C")
+        .parallel_for(n, move |l| {
+            l.body(move |i, ins, outs| {
+                let a = ins.view::<f32>("A");
+                let b = ins.view::<f32>("B");
+                let mut c = outs.view_mut::<f32>("C");
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for k in 0..n {
+                        acc += a[i * n + k] * b[k * n + j];
+                    }
+                    c[i * n + j] = acc;
+                }
+            })
+        })
+        .build()
+        .unwrap()
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/partitioning");
+    group.sample_size(10);
+    group.bench_function("listing2-partitioned", |b| {
+        let rt = runtime(1024);
+        b.iter(|| {
+            let mut env = matmul::env(N, DataKind::Dense, 3);
+            rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env).unwrap()
+        });
+        rt.shutdown();
+    });
+    group.bench_function("broadcast-everything", |b| {
+        let rt = runtime(1024);
+        let region = unpartitioned_matmul(N);
+        b.iter(|| {
+            let mut env = matmul::env(N, DataKind::Dense, 3);
+            rt.offload(&region, &mut env).unwrap()
+        });
+        rt.shutdown();
+    });
+    group.finish();
+}
+
+fn bench_compression_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/compression");
+    group.sample_size(10);
+    for (label, threshold) in [("compress-all", 0usize), ("compress-none", usize::MAX)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threshold, |b, &t| {
+            let rt = runtime(t);
+            b.iter(|| {
+                let mut env = matmul::env(N, DataKind::Sparse, 3);
+                rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env).unwrap()
+            });
+            rt.shutdown();
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiling_granularity(c: &mut Criterion) {
+    // Algorithm 1 keeps tasks == slots. A cluster with many more slots
+    // than useful produces iteration-granularity tasks — the pre-tiling
+    // world — whose per-task dispatch dominates.
+    let mut group = c.benchmark_group("ablation/tiling");
+    group.sample_size(10);
+    for (label, workers, vcpus) in [("tasks==slots(4)", 2usize, 4usize), ("tasks==N(48)", 24, 4)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(workers, vcpus), |b, &(w, v)| {
+            let rt = CloudRuntime::new(CloudConfig {
+                workers: w,
+                vcpus_per_worker: v,
+                task_cpus: 2,
+                ..CloudConfig::default()
+            });
+            b.iter(|| {
+                let mut env = matmul::env(N, DataKind::Dense, 3);
+                rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env).unwrap()
+            });
+            rt.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning, bench_compression_threshold, bench_tiling_granularity);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the gzlite codec — the compression
+//! stage of the paper's host-target transfers (§III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn f32_bytes(len: usize, density: f64, seed: u64) -> Vec<u8> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len / 4)
+        .flat_map(|_| {
+            let v: f32 = if rng.gen_bool(density) { rng.gen_range(0.0..1.0) } else { 0.0 };
+            v.to_le_bytes()
+        })
+        .collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/compress");
+    group.sample_size(20);
+    for (label, density) in [("sparse", 0.05), ("dense", 1.0)] {
+        let data = f32_bytes(1 << 20, density, 7);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            b.iter(|| gzlite::compress_auto(std::hint::black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/decompress");
+    group.sample_size(20);
+    for (label, density) in [("sparse", 0.05), ("dense", 1.0)] {
+        let data = f32_bytes(1 << 20, density, 7);
+        let frame = gzlite::compress_auto(&data);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &frame, |b, frame| {
+            b.iter(|| gzlite::decompress(std::hint::black_box(frame)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let data = f32_bytes(1 << 20, 1.0, 3);
+    let mut group = c.benchmark_group("codec/crc32");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("1MiB", |b| b.iter(|| gzlite::crc32(std::hint::black_box(&data))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_crc32);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of whole offloads at laptop scale: every
+//! evaluation benchmark through the sequential host, the multi-threaded
+//! host (*OmpThread*) and the in-process cloud device (*OmpCloud*),
+//! exercising the identical code paths the paper times at cluster scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_model::{DeviceRegistry, DeviceSelector, HostDevice};
+use ompcloud::{CloudConfig, CloudRuntime};
+use ompcloud_kernels::{build, DataKind, ALL};
+use std::sync::Arc;
+
+const N: usize = 48;
+
+fn bench_host(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload/host-seq");
+    group.sample_size(10);
+    for &id in ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
+            let registry = DeviceRegistry::with_host_only();
+            b.iter(|| {
+                let mut case = build(id, N, DataKind::Dense, 5, DeviceSelector::Default);
+                registry.offload(&case.region, &mut case.env).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_omp_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload/omp-thread-4");
+    group.sample_size(10);
+    for &id in ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
+            let mut registry = DeviceRegistry::new();
+            registry.register(Arc::new(HostDevice::threaded(4)));
+            b.iter(|| {
+                let mut case = build(id, N, DataKind::Dense, 5, DeviceSelector::Default);
+                registry.offload(&case.region, &mut case.env).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cloud(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload/omp-cloud");
+    group.sample_size(10);
+    for &id in ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
+            let runtime = CloudRuntime::new(CloudConfig {
+                workers: 2,
+                vcpus_per_worker: 4,
+                task_cpus: 2,
+                ..CloudConfig::default()
+            });
+            b.iter(|| {
+                let mut case = build(id, N, DataKind::Dense, 5, CloudRuntime::cloud_selector());
+                runtime.offload(&case.region, &mut case.env).unwrap()
+            });
+            runtime.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_host, bench_omp_thread, bench_cloud);
+criterion_main!(benches);

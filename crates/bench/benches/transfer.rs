@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the transfer manager: the paper's
+//! one-thread-per-buffer upload path with threshold compression.
+
+use cloud_storage::{S3Store, TransferConfig, TransferManager};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn buffers(count: usize, each: usize, density: f64) -> Vec<(String, Vec<u8>)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    (0..count)
+        .map(|i| {
+            let data: Vec<u8> = (0..each / 4)
+                .flat_map(|_| {
+                    let v: f32 =
+                        if rng.gen_bool(density) { rng.gen_range(0.0..1.0) } else { 0.0 };
+                    v.to_le_bytes()
+                })
+                .collect();
+            (format!("buf/{i}"), data)
+        })
+        .collect()
+}
+
+fn manager(min_compress: usize) -> TransferManager {
+    TransferManager::new(
+        Arc::new(S3Store::standalone("bench")),
+        TransferConfig { min_compression_size: min_compress, ..Default::default() },
+    )
+}
+
+fn bench_upload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/upload");
+    group.sample_size(10);
+    for (label, density, compress) in
+        [("sparse+gz", 0.05, 0usize), ("dense+gz", 1.0, 0), ("dense raw", 1.0, usize::MAX)]
+    {
+        let items = buffers(8, 256 * 1024, density);
+        let total: u64 = items.iter().map(|(_, d)| d.len() as u64).sum();
+        group.throughput(Throughput::Bytes(total));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &items, |b, items| {
+            let tm = manager(compress);
+            b.iter(|| tm.upload(std::hint::black_box(items.clone())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/roundtrip");
+    group.sample_size(10);
+    let items = buffers(4, 256 * 1024, 0.05);
+    let keys: Vec<String> = items.iter().map(|(k, _)| k.clone()).collect();
+    group.bench_function("4x256KiB sparse", |b| {
+        let tm = manager(1024);
+        tm.upload(items.clone()).unwrap();
+        b.iter(|| tm.download(std::hint::black_box(keys.clone())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_upload, bench_roundtrip);
+criterion_main!(benches);

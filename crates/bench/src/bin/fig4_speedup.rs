@@ -1,0 +1,95 @@
+//! Regenerates **Figure 4** of the paper: "Average speedup of multicore
+//! over single core execution for cloud offloading, and for
+//! multi-threaded OpenMP as reference" — one chart (a)–(h) per benchmark,
+//! with the OmpThread baseline at 8/16 threads and the three OmpCloud
+//! curves (full / spark / computation) from 8 to 256 worker cores.
+//!
+//! Usage: `cargo run -p ompcloud-bench --bin fig4_speedup [-- --json PATH]`
+
+use cloudsim::model::OffloadModel;
+use ompcloud_bench::paper::{self, CORE_COUNTS};
+use ompcloud_bench::table;
+use ompcloud_kernels::DataKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchSeries {
+    benchmark: String,
+    suite: String,
+    omp_thread: Vec<(usize, f64)>,
+    points: Vec<cloudsim::model::SpeedupPoint>,
+}
+
+fn main() {
+    let json_path = json_arg();
+    let model = OffloadModel::default();
+    let mut all = Vec::new();
+
+    println!("Figure 4 — speedup over single-core local execution (dense inputs)");
+    println!("model: {} workers x {} cores, calibrated per EXPERIMENTS.md\n", 16, 16);
+
+    for (chart, (id, plan)) in paper::all_plans(DataKind::Dense).into_iter().enumerate() {
+        let seq = model.sequential_time(&plan);
+        // OmpThread reference: the largest c3 instance has 16 cores, so
+        // the paper plots 8 and 16 threads only.
+        let omp_thread: Vec<(usize, f64)> =
+            [8usize, 16].iter().map(|&t| (t, seq / model.omp_thread_time(&plan, t))).collect();
+        let points = model.speedup_series(&plan, CORE_COUNTS);
+
+        println!(
+            "({}) {} [{}]  (sequential: {:.0} s)",
+            (b'a' + chart as u8) as char,
+            id.name(),
+            id.suite(),
+            seq
+        );
+        let mut rows = Vec::new();
+        for p in &points {
+            let thread = omp_thread
+                .iter()
+                .find(|(t, _)| *t == p.cores)
+                .map(|(_, s)| format!("{s:.1}x"))
+                .unwrap_or_else(|| "-".into());
+            rows.push(vec![
+                p.cores.to_string(),
+                thread,
+                format!("{:.1}x", p.full),
+                format!("{:.1}x", p.spark),
+                format!("{:.1}x", p.computation),
+            ]);
+        }
+        println!(
+            "{}",
+            table::render(
+                &["cores", "OmpThread", "OmpCloud-full", "OmpCloud-spark", "OmpCloud-computation"],
+                &rows
+            )
+        );
+
+        all.push(BenchSeries {
+            benchmark: id.name().to_string(),
+            suite: id.suite().to_string(),
+            omp_thread,
+            points,
+        });
+    }
+
+    let peak = all
+        .iter()
+        .map(|s| (s.benchmark.clone(), s.points.last().unwrap().full))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("peak OmpCloud-full speedup at 256 cores: {:.0}x ({})", peak.1, peak.0);
+    println!("paper reports up to 86x (2MM abstract) / 143x-97x-86x for 3MM");
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+}

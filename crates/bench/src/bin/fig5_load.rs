@@ -1,0 +1,82 @@
+//! Regenerates **Figure 5** of the paper: "Average load distribution of
+//! cloud offloading according to the total number of worker cores and
+//! the data type" — for every benchmark, the execution time split into
+//! *host-target communication*, *Spark overhead* and *computation time*,
+//! on both sparse and dense inputs, from 8 to 256 cores.
+//!
+//! Usage: `cargo run -p ompcloud-bench --bin fig5_load [-- --json PATH]`
+
+use cloudsim::model::OffloadModel;
+use ompcloud_bench::paper::{self, CORE_COUNTS};
+use ompcloud_bench::table;
+use ompcloud_kernels::DataKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LoadPoint {
+    benchmark: String,
+    data: &'static str,
+    cores: usize,
+    host_comm_s: f64,
+    spark_overhead_s: f64,
+    compute_s: f64,
+}
+
+fn main() {
+    let json_path = json_arg();
+    let model = OffloadModel::default();
+    let mut all = Vec::new();
+
+    println!("Figure 5 — load distribution of cloud offloading (seconds and % of total)\n");
+
+    for (chart, &id) in ompcloud_kernels::ALL.iter().enumerate() {
+        println!("({}) {} [{}]", (b'a' + chart as u8) as char, id.name(), id.suite());
+        let mut rows = Vec::new();
+        for kind in [DataKind::Sparse, DataKind::Dense] {
+            let plan = paper::plan(id, kind);
+            for &cores in CORE_COUNTS {
+                let b = model.breakdown(&plan, cores);
+                let total = b.total_s();
+                rows.push(vec![
+                    kind.label().to_string(),
+                    cores.to_string(),
+                    format!("{:.0}", total),
+                    format!("{:.0} ({:.1}%)", b.host_comm_s, 100.0 * b.host_comm_s / total),
+                    format!("{:.0} ({:.1}%)", b.spark_overhead_s, 100.0 * b.spark_overhead_s / total),
+                    format!("{:.0} ({:.1}%)", b.compute_s, 100.0 * b.compute_s / total),
+                ]);
+                all.push(LoadPoint {
+                    benchmark: id.name().to_string(),
+                    data: kind.label(),
+                    cores,
+                    host_comm_s: b.host_comm_s,
+                    spark_overhead_s: b.spark_overhead_s,
+                    compute_s: b.compute_s,
+                });
+            }
+        }
+        println!(
+            "{}",
+            table::render(
+                &["data", "cores", "total s", "host-target comm", "spark overhead", "computation"],
+                &rows
+            )
+        );
+    }
+
+    println!("key observations (paper §IV):");
+    println!(" - computation shrinks with cores; both overheads stay roughly constant;");
+    println!(" - dense inputs inflate both overheads, computation barely moves;");
+    println!(" - Collinear-list's overheads are negligible (tiny dataset, O(n^3) compute).");
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,89 @@
+//! Full evaluation sweep to CSV + gnuplot scripts: every benchmark x
+//! data class x core count, with the Fig. 4 speedups and the Fig. 5
+//! breakdown in machine-readable form.
+//!
+//! Usage: `cargo run -p ompcloud-bench --bin sweep [-- --out DIR]`
+
+use cloudsim::model::OffloadModel;
+use ompcloud_bench::paper::{self, CORE_COUNTS};
+use ompcloud_kernels::{DataKind, ALL};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("eval-out"));
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let model = OffloadModel::default();
+    let mut csv = String::from(
+        "benchmark,suite,data,cores,seq_s,host_comm_s,spark_overhead_s,compute_s,total_s,speedup_full,speedup_spark,speedup_computation,ompthread_s\n",
+    );
+    for &id in ALL {
+        for kind in [DataKind::Sparse, DataKind::Dense] {
+            let plan = paper::plan(id, kind);
+            let seq = model.sequential_time(&plan);
+            for &cores in CORE_COUNTS {
+                let b = model.breakdown(&plan, cores);
+                let thread = if cores <= 16 { model.omp_thread_time(&plan, cores) } else { f64::NAN };
+                writeln!(
+                    csv,
+                    "{},{},{},{},{:.1},{:.2},{:.2},{:.2},{:.2},{:.3},{:.3},{:.3},{:.1}",
+                    id.name(),
+                    id.suite(),
+                    kind.label(),
+                    cores,
+                    seq,
+                    b.host_comm_s,
+                    b.spark_overhead_s,
+                    b.compute_s,
+                    b.total_s(),
+                    seq / b.total_s(),
+                    seq / b.spark_s(),
+                    seq / b.compute_s,
+                    thread,
+                )
+                .expect("write csv row");
+            }
+        }
+    }
+    let csv_path = out_dir.join("evaluation.csv");
+    std::fs::write(&csv_path, csv).expect("write csv");
+
+    // gnuplot scripts reproducing the two figures from the CSV.
+    let fig4 = r#"# Fig. 4: speedup curves. Run: gnuplot fig4.gp
+set datafile separator ','
+set terminal pngcairo size 1400,900
+set output 'fig4.png'
+set logscale x 2
+set key left top
+set xlabel 'worker cores'
+set ylabel 'speedup over single core'
+plot 'evaluation.csv' using ($4):(stringcolumn(1) eq 'GEMM' && stringcolumn(3) eq 'dense' ? $10 : 1/0) with linespoints title 'GEMM full', \
+     'evaluation.csv' using ($4):(stringcolumn(1) eq 'GEMM' && stringcolumn(3) eq 'dense' ? $11 : 1/0) with linespoints title 'GEMM spark', \
+     'evaluation.csv' using ($4):(stringcolumn(1) eq 'GEMM' && stringcolumn(3) eq 'dense' ? $12 : 1/0) with linespoints title 'GEMM computation'
+"#;
+    std::fs::write(out_dir.join("fig4.gp"), fig4).expect("write fig4.gp");
+
+    let fig5 = r#"# Fig. 5: load distribution (stacked). Run: gnuplot fig5.gp
+set datafile separator ','
+set terminal pngcairo size 1400,900
+set output 'fig5.png'
+set style data histograms
+set style histogram rowstacked
+set style fill solid 0.8
+set ylabel 'seconds'
+plot 'evaluation.csv' using (stringcolumn(1) eq 'GEMM' && stringcolumn(3) eq 'dense' ? $6 : 1/0):xtic(4) title 'host-target comm', \
+     '' using (stringcolumn(1) eq 'GEMM' && stringcolumn(3) eq 'dense' ? $7 : 1/0) title 'spark overhead', \
+     '' using (stringcolumn(1) eq 'GEMM' && stringcolumn(3) eq 'dense' ? $8 : 1/0) title 'computation'
+"#;
+    std::fs::write(out_dir.join("fig5.gp"), fig5).expect("write fig5.gp");
+
+    let rows = ALL.len() * 2 * CORE_COUNTS.len();
+    println!("wrote {} ({} rows), fig4.gp, fig5.gp", csv_path.display(), rows);
+}

@@ -1,0 +1,96 @@
+//! Regenerates the **in-text evaluation numbers** of §IV (the paper has
+//! no numbered tables; these are its quantitative anchors):
+//!
+//! * the 8/16-core overhead of OmpCloud vs OmpThread — paper: "(a) just
+//!   1.8 % … computation, (b) 8.8 % … spark, (c) 13.6 % … full";
+//! * the 256-core 3MM speedups — paper: "up to 143x/97x/86x";
+//! * the spark-overhead range per benchmark — paper: "collinear-list …
+//!   from 0.1 % on 8 cores to 15 % on 256 cores, or SYRK … from 17 % to
+//!   69 %".
+//!
+//! Usage: `cargo run -p ompcloud-bench --bin table_overheads`
+
+use cloudsim::model::OffloadModel;
+use ompcloud_bench::paper;
+use ompcloud_bench::table;
+use ompcloud_kernels::{BenchId, DataKind};
+
+fn main() {
+    let model = OffloadModel::default();
+
+    // --- Anchor 1: average overhead vs OmpThread on one worker node.
+    println!("overhead of OmpCloud vs OmpThread on one worker node (average over benchmarks)\n");
+    let mut rows = Vec::new();
+    for cores in [8usize, 16] {
+        let (mut comp, mut spark, mut full, mut n) = (0.0, 0.0, 0.0, 0.0);
+        for (_, plan) in paper::all_plans(DataKind::Dense) {
+            let t = model.omp_thread_time(&plan, cores);
+            let b = model.breakdown(&plan, cores);
+            comp += b.compute_s / t - 1.0;
+            spark += b.spark_s() / t - 1.0;
+            full += b.total_s() / t - 1.0;
+            n += 1.0;
+        }
+        rows.push(vec![
+            cores.to_string(),
+            format!("{:.1}%", 100.0 * comp / n),
+            format!("{:.1}%", 100.0 * spark / n),
+            format!("{:.1}%", 100.0 * full / n),
+        ]);
+    }
+    rows.push(vec!["paper(16)".into(), "1.8%".into(), "8.8%".into(), "13.6%".into()]);
+    println!(
+        "{}",
+        table::render(&["cores", "computation", "spark", "full"], &rows)
+    );
+
+    // --- Anchor 2: 3MM speedups at 256 cores.
+    println!("3MM speedups at 256 cores (paper: 143x / 97x / 86x)\n");
+    let plan = paper::plan(BenchId::ThreeMm, DataKind::Dense);
+    let p = &model.speedup_series(&plan, &[256])[0];
+    println!(
+        "{}",
+        table::render(
+            &["series", "model", "paper"],
+            &[
+                vec!["OmpCloud-computation".into(), format!("{:.0}x", p.computation), "143x".into()],
+                vec!["OmpCloud-spark".into(), format!("{:.0}x", p.spark), "97x".into()],
+                vec!["OmpCloud-full".into(), format!("{:.0}x", p.full), "86x".into()],
+            ]
+        )
+    );
+
+    // --- Anchor 3: spark overhead relative to computation, per benchmark.
+    println!("spark overhead relative to computation time, 8 vs 256 cores (dense)\n");
+    let mut rows = Vec::new();
+    for (id, plan) in paper::all_plans(DataKind::Dense) {
+        let b8 = model.breakdown(&plan, 8);
+        let b256 = model.breakdown(&plan, 256);
+        rows.push(vec![
+            id.name().to_string(),
+            format!("{:.1}%", 100.0 * b8.spark_overhead_s / b8.compute_s),
+            format!("{:.1}%", 100.0 * b256.spark_overhead_s / b256.compute_s),
+        ]);
+    }
+    rows.push(vec!["paper: Collinear".into(), "0.1%".into(), "15%".into()]);
+    rows.push(vec!["paper: SYRK".into(), "17%".into(), "69%".into()]);
+    println!("{}", table::render(&["benchmark", "8 cores", "256 cores"], &rows));
+
+    // --- Anchor 4: compressibility sensitivity.
+    println!("dense/sparse overhead inflation at 64 cores (computation must not move)\n");
+    let mut rows = Vec::new();
+    for (id, _) in paper::all_plans(DataKind::Dense) {
+        let d = model.breakdown(&paper::plan(id, DataKind::Dense), 64);
+        let s = model.breakdown(&paper::plan(id, DataKind::Sparse), 64);
+        rows.push(vec![
+            id.name().to_string(),
+            format!("{:.2}x", d.host_comm_s / s.host_comm_s.max(1e-9)),
+            format!("{:.2}x", d.spark_overhead_s / s.spark_overhead_s.max(1e-9)),
+            format!("{:.3}x", d.compute_s / s.compute_s.max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["benchmark", "host-comm dense/sparse", "spark dense/sparse", "compute dense/sparse"], &rows)
+    );
+}

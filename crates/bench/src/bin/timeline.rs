@@ -1,0 +1,54 @@
+//! Event-level Gantt view of one modeled offload: where the time goes,
+//! phase by phase, task by task.
+//!
+//! Usage: `cargo run -p ompcloud-bench --bin timeline [-- <bench> --cores N]`
+
+use cloudsim::model::OffloadModel;
+use cloudsim::timeline::{simulate_job, PhaseKind};
+use ompcloud_bench::paper;
+use ompcloud_kernels::{BenchId, DataKind, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args
+        .first()
+        .and_then(|n| ALL.iter().copied().find(|b| b.name().eq_ignore_ascii_case(n)))
+        .unwrap_or(BenchId::Gemm);
+    let cores: usize = args
+        .iter()
+        .position(|a| a == "--cores")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+
+    let model = OffloadModel::default();
+    let plan = paper::plan(id, DataKind::Dense);
+    let tl = simulate_job(&model, &plan, cores, 32);
+
+    println!("{} (dense) on {cores} cores — {:.0} s total\n", id.name(), tl.total_s);
+    let width = 72usize;
+    let scale = width as f64 / tl.total_s;
+    for span in &tl.spans {
+        let start = (span.start_s * scale) as usize;
+        let len = (((span.end_s - span.start_s) * scale) as usize).max(1);
+        let bar: String = " ".repeat(start.min(width)) + &"█".repeat(len.min(width - start.min(width)).max(1));
+        println!("{bar:<width$} {:>9.1}s  {}", span.end_s - span.start_s, span.label);
+    }
+    println!();
+    for kind in [
+        PhaseKind::HostUpload,
+        PhaseKind::DriverFetch,
+        PhaseKind::StageSetup,
+        PhaseKind::MapTask,
+        PhaseKind::StageCollect,
+        PhaseKind::StoreWrite,
+        PhaseKind::HostDownload,
+    ] {
+        println!(
+            "{:<14} {:>9.1} s busy  {:>9.1} s extent",
+            format!("{kind:?}"),
+            tl.phase_seconds(kind),
+            tl.phase_extent(kind)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Cost/performance advisor: "how many cores should I rent for this
+//! job?"
+//!
+//! The paper's on-the-fly EC2 start/stop lets a user "pay for just the
+//! amount of computational resources used"; combined with the
+//! performance model, the runtime can *choose* the cluster shape before
+//! spending a cent. Under 2017 per-hour billing the answer is lumpy —
+//! a run that finishes in 61 minutes bills two hours — which makes the
+//! search worth automating.
+
+use crate::ec2::InstanceType;
+use crate::model::{JobPlan, OffloadModel};
+
+/// One evaluated cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterChoice {
+    /// Worker cores in use.
+    pub cores: usize,
+    /// Worker nodes rented (plus one driver).
+    pub workers: usize,
+    /// Projected wall time of the offload in seconds.
+    pub wall_s: f64,
+    /// Projected cost in USD (per-hour billing, boot time included).
+    pub cost_usd: f64,
+}
+
+/// Result of a recommendation query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Cheapest configuration meeting the deadline.
+    pub best: ClusterChoice,
+    /// Every configuration evaluated, in core order.
+    pub evaluated: Vec<ClusterChoice>,
+}
+
+/// Evaluate `plan` across cluster sizes and pick the cheapest one whose
+/// wall time meets `deadline_s` (if any). Returns `None` when no
+/// configuration meets the deadline.
+pub fn recommend(
+    model: &OffloadModel,
+    plan: &JobPlan,
+    itype: &'static InstanceType,
+    core_options: &[usize],
+    deadline_s: Option<f64>,
+) -> Option<Recommendation> {
+    let cores_per_node = model.params.cores_per_node.max(1);
+    let mut evaluated = Vec::with_capacity(core_options.len());
+    for &cores in core_options {
+        let workers = cores.div_ceil(cores_per_node);
+        let wall = model.breakdown(plan, cores).total_s();
+        // Fleet lifecycle: driver + workers boot, run the job, stop.
+        let mut fleet = crate::ec2::Fleet::new();
+        fleet.launch(itype, workers + 1, 0.0);
+        let end = fleet.ready_at() + wall;
+        fleet.stop_all(end);
+        evaluated.push(ClusterChoice { cores, workers, wall_s: wall, cost_usd: fleet.cost_usd(end) });
+    }
+    let best = evaluated
+        .iter()
+        .filter(|c| deadline_s.map(|d| c.wall_s <= d).unwrap_or(true))
+        .min_by(|a, b| {
+            a.cost_usd
+                .partial_cmp(&b.cost_usd)
+                .unwrap()
+                // Tie-break on speed: same price, take the faster cluster.
+                .then(a.wall_s.partial_cmp(&b.wall_s).unwrap())
+        })?
+        .clone();
+    Some(Recommendation { best, evaluated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ec2::instance_type;
+    use crate::model::StagePlan;
+
+    fn gemm_like() -> JobPlan {
+        let n: u64 = 16384;
+        let mat = n * n * 4;
+        JobPlan {
+            name: "gemm".into(),
+            bytes_to: 3 * mat,
+            bytes_from: mat,
+            ratio_to: 0.75,
+            ratio_from: 0.75,
+            stages: vec![StagePlan {
+                trip_count: n as usize,
+                flops: 2.0 * (n as f64).powi(3),
+                broadcast_raw: mat,
+                scatter_raw: 2 * mat,
+                collect_partitioned_raw: mat,
+                collect_replicated_raw: 0,
+                intra_ratio: 0.75,
+            }],
+        }
+    }
+
+    const OPTIONS: &[usize] = &[8, 16, 32, 64, 128, 256];
+
+    #[test]
+    fn without_deadline_the_cheapest_wins() {
+        let model = OffloadModel::default();
+        let rec = recommend(&model, &gemm_like(), instance_type("c3.8xlarge").unwrap(), OPTIONS, None)
+            .expect("always feasible without a deadline");
+        // Per-hour billing: a single worker node under ~2h is hard to
+        // beat on price.
+        assert!(rec.best.workers <= 2, "{rec:?}");
+        let min_cost = rec.evaluated.iter().map(|c| c.cost_usd).fold(f64::MAX, f64::min);
+        assert_eq!(rec.best.cost_usd, min_cost);
+    }
+
+    #[test]
+    fn tight_deadline_buys_more_cores() {
+        let model = OffloadModel::default();
+        let itype = instance_type("c3.8xlarge").unwrap();
+        let plan = gemm_like();
+        let lazy = recommend(&model, &plan, itype, OPTIONS, None).unwrap();
+        // Demand the 256-core wall time: only the big cluster qualifies.
+        let fast_wall = model.breakdown(&plan, 256).total_s();
+        let rushed = recommend(&model, &plan, itype, OPTIONS, Some(fast_wall * 1.01)).unwrap();
+        assert!(rushed.best.cores > lazy.best.cores);
+        assert_eq!(rushed.best.cores, 256);
+        assert!(rushed.best.cost_usd >= lazy.best.cost_usd);
+    }
+
+    #[test]
+    fn impossible_deadline_returns_none() {
+        let model = OffloadModel::default();
+        let rec = recommend(
+            &model,
+            &gemm_like(),
+            instance_type("c3.8xlarge").unwrap(),
+            OPTIONS,
+            Some(1.0), // one second
+        );
+        assert!(rec.is_none());
+    }
+
+    #[test]
+    fn evaluated_covers_all_options_in_order() {
+        let model = OffloadModel::default();
+        let rec = recommend(&model, &gemm_like(), instance_type("c3.8xlarge").unwrap(), OPTIONS, None)
+            .unwrap();
+        let cores: Vec<usize> = rec.evaluated.iter().map(|c| c.cores).collect();
+        assert_eq!(cores, OPTIONS);
+        // Wall times strictly decrease with cores for a compute-bound job.
+        for w in rec.evaluated.windows(2) {
+            assert!(w[1].wall_s < w[0].wall_s);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! EC2-style instance lifecycle and billing.
+//!
+//! The paper's cloud plug-in "is also able to (on-the-fly) start and stop
+//! virtual machines from the EC2 service … allowing him/her to pay for
+//! just the amount of computational resources used." This module models
+//! the instance catalog the evaluation ran on (c3.8xlarge workers),
+//! lifecycle transitions with boot delays, and 2017-era per-hour billing.
+
+/// Static description of an instance type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceType {
+    /// API name, e.g. `c3.8xlarge`.
+    pub name: &'static str,
+    /// vCPU count (hyper-threads; 2 vCPU = 1 dedicated core, per the
+    /// Amazon description the paper quotes).
+    pub vcpus: u32,
+    /// Memory in GiB.
+    pub mem_gib: u32,
+    /// On-demand price in USD per hour (us-east-1, 2017).
+    pub usd_per_hour: f64,
+    /// Network performance in Gbit/s.
+    pub network_gbps: f64,
+    /// Typical boot-to-running time in seconds.
+    pub boot_time_s: f64,
+}
+
+impl InstanceType {
+    /// Dedicated (non-hyper-threaded) cores.
+    pub fn dedicated_cores(&self) -> u32 {
+        self.vcpus / 2
+    }
+}
+
+/// The instance types relevant to the evaluation.
+pub const CATALOG: &[InstanceType] = &[
+    InstanceType {
+        name: "c3.8xlarge",
+        vcpus: 32,
+        mem_gib: 60,
+        usd_per_hour: 1.680,
+        network_gbps: 10.0,
+        boot_time_s: 90.0,
+    },
+    InstanceType {
+        name: "c3.4xlarge",
+        vcpus: 16,
+        mem_gib: 30,
+        usd_per_hour: 0.840,
+        network_gbps: 2.0,
+        boot_time_s: 90.0,
+    },
+    InstanceType {
+        name: "c3.2xlarge",
+        vcpus: 8,
+        mem_gib: 15,
+        usd_per_hour: 0.420,
+        network_gbps: 1.0,
+        boot_time_s: 90.0,
+    },
+    InstanceType {
+        name: "m4.xlarge",
+        vcpus: 4,
+        mem_gib: 16,
+        usd_per_hour: 0.215,
+        network_gbps: 0.75,
+        boot_time_s: 75.0,
+    },
+];
+
+/// Look up an instance type by API name.
+pub fn instance_type(name: &str) -> Option<&'static InstanceType> {
+    CATALOG.iter().find(|t| t.name == name)
+}
+
+/// Lifecycle state of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Requested, still booting.
+    Pending,
+    /// Running (billable).
+    Running,
+    /// Stop requested.
+    Stopping,
+    /// Stopped (not billable).
+    Stopped,
+}
+
+/// One virtual machine with lifecycle and billing history.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance type descriptor.
+    pub itype: &'static InstanceType,
+    state: InstanceState,
+    /// Time the current Pending began.
+    pending_since: f64,
+    /// Accumulated billable seconds from completed run intervals.
+    billed_s: f64,
+    /// Start of the current Running interval, if running.
+    running_since: Option<f64>,
+}
+
+impl Instance {
+    /// Launch request at virtual time `now`.
+    pub fn launch(itype: &'static InstanceType, now: f64) -> Instance {
+        Instance {
+            itype,
+            state: InstanceState::Pending,
+            pending_since: now,
+            billed_s: 0.0,
+            running_since: None,
+        }
+    }
+
+    /// Current state given the virtual time (Pending auto-transitions to
+    /// Running once the boot delay elapses).
+    pub fn state(&mut self, now: f64) -> InstanceState {
+        if self.state == InstanceState::Pending && now >= self.pending_since + self.itype.boot_time_s {
+            self.state = InstanceState::Running;
+            self.running_since = Some(self.pending_since + self.itype.boot_time_s);
+        }
+        self.state
+    }
+
+    /// When this instance will be (or became) Running.
+    pub fn ready_at(&self) -> f64 {
+        match self.running_since {
+            Some(t) => t,
+            None => self.pending_since + self.itype.boot_time_s,
+        }
+    }
+
+    /// Stop the instance at `now`, closing the billing interval.
+    pub fn stop(&mut self, now: f64) {
+        let _ = self.state(now);
+        if let Some(since) = self.running_since.take() {
+            self.billed_s += (now - since).max(0.0);
+        }
+        self.state = InstanceState::Stopped;
+    }
+
+    /// Billable seconds so far (including the open interval).
+    pub fn billable_seconds(&self, now: f64) -> f64 {
+        let open = self.running_since.map(|s| (now - s).max(0.0)).unwrap_or(0.0);
+        self.billed_s + open
+    }
+
+    /// Cost in USD under 2017 per-hour billing (every started hour is a
+    /// full hour).
+    pub fn cost_usd(&self, now: f64) -> f64 {
+        let s = self.billable_seconds(now);
+        if s <= 0.0 {
+            return 0.0;
+        }
+        (s / 3600.0).ceil() * self.itype.usd_per_hour
+    }
+}
+
+/// A named group of instances managed together — the paper's "Spark
+/// cluster of 1 driver + 16 workers".
+#[derive(Debug, Clone, Default)]
+pub struct Fleet {
+    instances: Vec<Instance>,
+}
+
+impl Fleet {
+    /// Empty fleet.
+    pub fn new() -> Fleet {
+        Fleet::default()
+    }
+
+    /// Launch `count` instances of `itype` at `now`; returns their ids.
+    pub fn launch(&mut self, itype: &'static InstanceType, count: usize, now: f64) -> Vec<usize> {
+        (0..count)
+            .map(|_| {
+                self.instances.push(Instance::launch(itype, now));
+                self.instances.len() - 1
+            })
+            .collect()
+    }
+
+    /// Number of instances (any state).
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Instance by id.
+    pub fn instance(&self, id: usize) -> &Instance {
+        &self.instances[id]
+    }
+
+    /// Virtual time at which the whole fleet is Running.
+    pub fn ready_at(&self) -> f64 {
+        self.instances.iter().map(Instance::ready_at).fold(0.0, f64::max)
+    }
+
+    /// Stop every instance at `now`.
+    pub fn stop_all(&mut self, now: f64) {
+        for i in &mut self.instances {
+            i.stop(now);
+        }
+    }
+
+    /// Total dedicated cores across the fleet.
+    pub fn total_cores(&self) -> u32 {
+        self.instances.iter().map(|i| i.itype.dedicated_cores()).sum()
+    }
+
+    /// Total cost in USD at `now`.
+    pub fn cost_usd(&self, now: f64) -> f64 {
+        self.instances.iter().map(|i| i.cost_usd(now)).sum()
+    }
+
+    /// Cost summary for reports.
+    pub fn cost_report(&self, now: f64) -> CostReport {
+        CostReport {
+            instances: self.instances.len(),
+            total_cores: self.total_cores(),
+            billable_hours: self
+                .instances
+                .iter()
+                .map(|i| (i.billable_seconds(now) / 3600.0).ceil())
+                .sum(),
+            total_usd: self.cost_usd(now),
+        }
+    }
+}
+
+/// Aggregated billing summary of a fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Instance count.
+    pub instances: usize,
+    /// Dedicated cores across the fleet.
+    pub total_cores: u32,
+    /// Sum of per-instance billed hours (each rounded up).
+    pub billable_hours: f64,
+    /// Total cost in USD.
+    pub total_usd: f64,
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} instances / {} cores, {:.0} billed hours, ${:.2}",
+            self.instances, self.total_cores, self.billable_hours, self.total_usd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c3_8xl() -> &'static InstanceType {
+        instance_type("c3.8xlarge").unwrap()
+    }
+
+    #[test]
+    fn catalog_matches_paper_hardware() {
+        let t = c3_8xl();
+        assert_eq!(t.vcpus, 32);
+        assert_eq!(t.dedicated_cores(), 16);
+        assert_eq!(t.mem_gib, 60);
+        assert!((t.network_gbps - 10.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn pending_becomes_running_after_boot() {
+        let mut i = Instance::launch(c3_8xl(), 100.0);
+        assert_eq!(i.state(100.0), InstanceState::Pending);
+        assert_eq!(i.state(150.0), InstanceState::Pending);
+        assert_eq!(i.state(190.0), InstanceState::Running);
+        assert_eq!(i.ready_at(), 190.0);
+    }
+
+    #[test]
+    fn billing_rounds_up_to_the_hour() {
+        let mut i = Instance::launch(c3_8xl(), 0.0);
+        let _ = i.state(90.0);
+        i.stop(90.0 + 600.0); // ran 10 minutes
+        assert!((i.billable_seconds(10_000.0) - 600.0).abs() < 1e-9);
+        assert!((i.cost_usd(10_000.0) - 1.68).abs() < 1e-9, "one full hour billed");
+    }
+
+    #[test]
+    fn two_hour_run_bills_two_hours() {
+        let mut i = Instance::launch(c3_8xl(), 0.0);
+        let _ = i.state(90.0);
+        i.stop(90.0 + 3601.0);
+        assert!((i.cost_usd(1e9) - 2.0 * 1.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopped_instance_stops_accruing() {
+        let mut i = Instance::launch(c3_8xl(), 0.0);
+        let _ = i.state(90.0);
+        i.stop(90.0 + 100.0);
+        let at_stop = i.billable_seconds(190.0);
+        assert_eq!(i.billable_seconds(1e6), at_stop);
+    }
+
+    #[test]
+    fn never_running_costs_nothing() {
+        let mut i = Instance::launch(c3_8xl(), 0.0);
+        i.stop(10.0); // stopped while still pending
+        assert_eq!(i.cost_usd(1e6), 0.0);
+    }
+
+    #[test]
+    fn fleet_of_paper_cluster() {
+        // 1 driver + 16 workers of c3.8xlarge.
+        let mut fleet = Fleet::new();
+        fleet.launch(c3_8xl(), 17, 0.0);
+        assert_eq!(fleet.len(), 17);
+        assert_eq!(fleet.total_cores(), 17 * 16);
+        assert_eq!(fleet.ready_at(), 90.0);
+        fleet.stop_all(90.0 + 1800.0); // 30-minute job
+        let report = fleet.cost_report(1e6);
+        assert_eq!(report.instances, 17);
+        assert!((report.total_usd - 17.0 * 1.68).abs() < 1e-9);
+        assert!(report.to_string().contains("$28.56"));
+    }
+
+    #[test]
+    fn unknown_type_is_none() {
+        assert!(instance_type("x1.mega").is_none());
+    }
+}

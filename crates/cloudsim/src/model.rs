@@ -1,0 +1,544 @@
+//! The calibrated OmpCloud performance model.
+//!
+//! The paper's evaluation ran on hardware this repository does not have:
+//! a 17-node EC2 cluster of c3.8xlarge instances crunching 1 GB matrices
+//! for 10–90 minutes per point. The functional engine (`sparkle` +
+//! `ompcloud`) executes the identical code path at laptop scale; this
+//! module projects a [`JobPlan`] — the byte counts, task counts and flop
+//! counts of an offloaded job — onto a paper-scale cluster, producing the
+//! same three-way decomposition the paper reports (host-target
+//! communication / Spark overhead / computation, Fig. 5) and the three
+//! speedup curves of Fig. 4 (`OmpCloud-full/-spark/-computation`).
+//!
+//! Calibration targets, from §IV of the paper:
+//! * at 16 cores (one worker node) the overhead of OmpCloud vs OmpThread
+//!   is ≈ 1.8 % / 8.8 % / 13.6 % for computation / spark / full;
+//! * at 256 cores 3MM reaches ≈ 143x / 97x / 86x;
+//! * host-target communication is a small, core-count-independent share;
+//! * overheads grow substantially with dense (incompressible) data while
+//!   computation time barely moves.
+//!
+//! The default [`ClusterParams`] encode that calibration; EXPERIMENTS.md
+//! records paper-vs-model numbers for every figure.
+
+use crate::des::{acquire, release, Resource, Sim};
+use crate::net::Link;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Hardware/runtime constants of the modeled deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterParams {
+    /// Dedicated cores per worker node (c3.8xlarge: 32 vCPU = 16 cores).
+    pub cores_per_node: usize,
+    /// Effective per-core kernel throughput in GFLOP/s (naive C kernels
+    /// on Xeon E5-2680 v2, no vectorized BLAS).
+    pub core_gflops: f64,
+    /// Multiplicative efficiency of running the kernel through JNI
+    /// (paper: "just 1.8 %" overhead for OmpCloud-computation).
+    pub jni_efficiency: f64,
+    /// Per-JNI-invocation fixed cost in seconds.
+    pub jni_call_s: f64,
+    /// Parallel-efficiency decay: `eff(c) = 1 / (1 + alpha * (c - 1))`.
+    pub efficiency_alpha: f64,
+    /// Laptop ↔ cloud-region WAN.
+    pub wan: Link,
+    /// Intra-cluster fabric (10 GbE on c3.8xlarge).
+    pub lan: Link,
+    /// Driver ↔ object storage throughput (bytes/s).
+    pub storage_bps: f64,
+    /// Host-side compression throughput (bytes/s).
+    pub compress_bps: f64,
+    /// Host-side decompression throughput (bytes/s).
+    pub decompress_bps: f64,
+    /// Driver-side serialize/deserialize/reconstruct throughput (bytes/s).
+    pub driver_bps: f64,
+    /// Fixed job-submission latency (spark-submit, driver startup).
+    pub job_submit_s: f64,
+    /// Per-task scheduling cost on the driver.
+    pub task_overhead_s: f64,
+    /// BitTorrent broadcast inflation factor (≈2: every byte crosses the
+    /// fabric about twice on the critical path, independent of fan-out).
+    pub torrent_factor: f64,
+    /// Deterministic per-task duration jitter amplitude (stragglers).
+    pub task_jitter: f64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        // Calibrated against the paper's in-text anchors (see
+        // EXPERIMENTS.md): 16-core overheads 7.9 %/12.2 % vs the paper's
+        // 8.8 %/13.6 %, 3MM-256 speedups 147x/89x/72x vs 143x/97x/86x,
+        // Collinear-list overhead share 0.5 %→16.5 % vs 0.1 %→15 %, and
+        // SYRK reaching 72.6 % vs 69 % at 256 cores.
+        ClusterParams {
+            cores_per_node: 16,
+            core_gflops: 0.5,
+            jni_efficiency: 0.982,
+            jni_call_s: 1e-3,
+            efficiency_alpha: 0.0026,
+            wan: Link::from_mbps(400.0, 0.05),
+            lan: Link::from_gbps(10.0, 5e-4),
+            storage_bps: 100e6,
+            compress_bps: 200e6, // gzlite measures ~200 MB/s on this class of data
+            decompress_bps: 500e6,
+            driver_bps: 80e6,
+            job_submit_s: 4.0,
+            task_overhead_s: 0.01,
+            torrent_factor: 2.0,
+            task_jitter: 0.03,
+        }
+    }
+}
+
+impl ClusterParams {
+    /// Parallel efficiency at `cores` (contention/imbalance decay).
+    pub fn efficiency(&self, cores: usize) -> f64 {
+        1.0 / (1.0 + self.efficiency_alpha * (cores.max(1) - 1) as f64)
+    }
+}
+
+/// One map-reduce stage of a job (one `parallel for` of the region).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StagePlan {
+    /// DOALL trip count before tiling.
+    pub trip_count: usize,
+    /// Floating-point work of the whole stage.
+    pub flops: f64,
+    /// Raw bytes broadcast whole to every worker (unpartitioned inputs).
+    pub broadcast_raw: u64,
+    /// Raw bytes scattered across workers (partitioned inputs).
+    pub scatter_raw: u64,
+    /// Raw bytes of partitioned outputs collected to the driver.
+    pub collect_partitioned_raw: u64,
+    /// Raw size of unpartitioned (bitwise-OR reduced) outputs; each task
+    /// materializes a full-size buffer that the cluster tree-reduces.
+    pub collect_replicated_raw: u64,
+    /// Compression ratio of intra-cluster traffic (Spark compresses all
+    /// shuffle/broadcast data).
+    pub intra_ratio: f64,
+}
+
+/// A complete offloaded job, ready to project onto a cluster size.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobPlan {
+    /// Kernel name (report label).
+    pub name: String,
+    /// Raw bytes mapped `to` the device.
+    pub bytes_to: u64,
+    /// Raw bytes mapped `from` the device.
+    pub bytes_from: u64,
+    /// Wire/raw ratio of host→cloud transfers (sparse ≪ dense).
+    pub ratio_to: f64,
+    /// Wire/raw ratio of cloud→host transfers.
+    pub ratio_from: f64,
+    /// Successive map-reduce stages.
+    pub stages: Vec<StagePlan>,
+}
+
+impl JobPlan {
+    /// Total floating-point work across stages.
+    pub fn total_flops(&self) -> f64 {
+        self.stages.iter().map(|s| s.flops).sum()
+    }
+}
+
+/// The Fig. 5 decomposition of one modeled run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Breakdown {
+    /// Host ↔ cloud transfer time (compression included).
+    pub host_comm_s: f64,
+    /// Scheduling + intra-cluster communication + driver work.
+    pub spark_overhead_s: f64,
+    /// Parallel execution of the mapping tasks.
+    pub compute_s: f64,
+}
+
+impl Breakdown {
+    /// `OmpCloud-full` wall time.
+    pub fn total_s(&self) -> f64 {
+        self.host_comm_s + self.spark_overhead_s + self.compute_s
+    }
+
+    /// `OmpCloud-spark` wall time (no host-target communication).
+    pub fn spark_s(&self) -> f64 {
+        self.spark_overhead_s + self.compute_s
+    }
+}
+
+/// Fig. 4 speedup triple at one core count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SpeedupPoint {
+    /// Worker cores in use.
+    pub cores: usize,
+    /// Speedup of the full offload over sequential local execution.
+    pub full: f64,
+    /// Speedup ignoring host-target communication.
+    pub spark: f64,
+    /// Speedup of the parallel computation alone.
+    pub computation: f64,
+}
+
+/// Knobs for ablation studies (all on by default, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelOptions {
+    /// Algorithm-1 loop tiling to the cluster size.
+    pub tiling: bool,
+    /// Compression of host↔cloud and intra-cluster traffic.
+    pub compression: bool,
+    /// BitTorrent broadcast (`false` = naive star from the driver).
+    pub torrent_broadcast: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions { tiling: true, compression: true, torrent_broadcast: true }
+    }
+}
+
+/// Performance model instance.
+#[derive(Debug, Clone, Default)]
+pub struct OffloadModel {
+    /// Cluster constants.
+    pub params: ClusterParams,
+}
+
+impl OffloadModel {
+    /// Model with the paper calibration.
+    pub fn new(params: ClusterParams) -> Self {
+        OffloadModel { params }
+    }
+
+    /// Sequential single-core local execution time — the denominator of
+    /// every speedup in Fig. 4.
+    pub fn sequential_time(&self, plan: &JobPlan) -> f64 {
+        plan.total_flops() / (self.params.core_gflops * 1e9)
+    }
+
+    /// Local multi-threaded execution (*OmpThread*). The workload carries
+    /// the same per-chunk imbalance as the cloud tiles, so the comparison
+    /// against OmpCloud isolates the offloading overheads.
+    pub fn omp_thread_time(&self, plan: &JobPlan, threads: usize) -> f64 {
+        let threads = threads.max(1);
+        let p = &self.params;
+        plan.stages
+            .iter()
+            .map(|stage| {
+                let chunks = stage.trip_count.min(threads);
+                let base = stage.flops
+                    / (chunks as f64 * p.core_gflops * 1e9 * p.efficiency(threads));
+                stage_makespan(chunks, threads, base, p.task_jitter)
+            })
+            .sum()
+    }
+
+    /// Project `plan` onto `cores` worker cores.
+    pub fn breakdown(&self, plan: &JobPlan, cores: usize) -> Breakdown {
+        self.breakdown_with(plan, cores, ModelOptions::default())
+    }
+
+    /// Projection with ablation switches.
+    pub fn breakdown_with(&self, plan: &JobPlan, cores: usize, opts: ModelOptions) -> Breakdown {
+        let p = &self.params;
+        let cores = cores.max(1);
+        let (ratio_to, ratio_from) = if opts.compression { (plan.ratio_to, plan.ratio_from) } else { (1.0, 1.0) };
+
+        // ---- Host-target communication (paper workflow steps 2 and 8).
+        let wire_to = (plan.bytes_to as f64 * ratio_to) as u64;
+        let wire_from = (plan.bytes_from as f64 * ratio_from) as u64;
+        let mut host_comm = p.wan.transfer_time(wire_to) + p.wan.transfer_time(wire_from);
+        if opts.compression {
+            host_comm += plan.bytes_to as f64 / p.compress_bps;
+            host_comm += plan.bytes_from as f64 / p.decompress_bps;
+        }
+
+        // ---- Spark overhead + computation, stage by stage.
+        let mut overhead = p.job_submit_s;
+        // Driver reads the inputs from cloud storage and deserializes them
+        // (steps 3) — once per job.
+        overhead += wire_to as f64 / p.storage_bps + plan.bytes_to as f64 / p.driver_bps;
+
+        let mut compute = 0.0;
+        for stage in &plan.stages {
+            let intra = if opts.compression { stage.intra_ratio } else { 1.0 };
+            let tasks = if opts.tiling { stage.trip_count.min(cores) } else { stage.trip_count };
+
+            // Broadcast of unpartitioned inputs (step 4, BitTorrent).
+            let bcast_wire = stage.broadcast_raw as f64 * intra;
+            overhead += if opts.torrent_broadcast {
+                bcast_wire * p.torrent_factor / p.lan.bandwidth_bps
+            } else {
+                // Star broadcast: the driver NIC sends one copy per node.
+                let nodes = cores.div_ceil(p.cores_per_node) as f64;
+                bcast_wire * nodes / p.lan.bandwidth_bps
+            };
+
+            // Scatter of partitioned inputs across workers (driver NIC).
+            overhead += stage.scatter_raw as f64 * intra / p.lan.bandwidth_bps;
+
+            // Serial task dispatch on the driver.
+            overhead += tasks as f64 * p.task_overhead_s;
+
+            // Collect phase: partitioned outputs stream back to the
+            // driver; replicated outputs tree-reduce across the cluster
+            // (`REDUCE(RDD_OUT, bitor)`, Eq. 8) in ceil(log2 tasks) rounds.
+            overhead += stage.collect_partitioned_raw as f64 * intra / p.lan.bandwidth_bps;
+            if stage.collect_replicated_raw > 0 {
+                let rounds = (tasks.max(2) as f64).log2().ceil();
+                let per_round = stage.collect_replicated_raw as f64 * intra / p.lan.bandwidth_bps
+                    + stage.collect_replicated_raw as f64 / p.driver_bps;
+                overhead += rounds * per_round;
+            }
+
+            // Driver-side reconstruction of the stage outputs (step 6/7).
+            let out_raw = stage.collect_partitioned_raw + stage.collect_replicated_raw;
+            overhead += out_raw as f64 / p.driver_bps;
+
+            // Parallel mapping tasks (step 5) — DES makespan on the core
+            // pool with deterministic straggler jitter.
+            let flops_per_task = stage.flops / tasks as f64;
+            let base = flops_per_task
+                / (p.core_gflops * 1e9 * p.jni_efficiency * self.params.efficiency(cores));
+            // One JNI invocation per task: tiling shrinks the task count,
+            // not the per-task call count (Algorithm 1's whole point).
+            let task_base = base + p.jni_call_s;
+            compute += stage_makespan(tasks, cores, task_base, p.task_jitter);
+        }
+
+        // Driver writes the final outputs to cloud storage (step 7).
+        overhead += plan.bytes_from as f64 / p.driver_bps + wire_from as f64 / p.storage_bps;
+
+        Breakdown { host_comm_s: host_comm, spark_overhead_s: overhead, compute_s: compute }
+    }
+
+    /// The full Fig. 4 speedup series for one benchmark.
+    pub fn speedup_series(&self, plan: &JobPlan, core_counts: &[usize]) -> Vec<SpeedupPoint> {
+        let seq = self.sequential_time(plan);
+        core_counts
+            .iter()
+            .map(|&cores| {
+                let b = self.breakdown(plan, cores);
+                SpeedupPoint {
+                    cores,
+                    full: seq / b.total_s(),
+                    spark: seq / b.spark_s(),
+                    computation: seq / b.compute_s,
+                }
+            })
+            .collect()
+    }
+}
+
+/// DES makespan of `tasks` tasks of duration `base * (1 ± jitter)` on a
+/// pool of `cores` slots.
+pub fn stage_makespan(tasks: usize, cores: usize, base: f64, jitter: f64) -> f64 {
+    if tasks == 0 || base <= 0.0 {
+        return 0.0;
+    }
+    let mut sim = Sim::new();
+    let pool = Resource::new(cores);
+    let makespan = Rc::new(RefCell::new(0.0f64));
+    for t in 0..tasks {
+        let dur = base * (1.0 + jitter * centered_hash(t as u64));
+        let pool2 = Rc::clone(&pool);
+        let ms = Rc::clone(&makespan);
+        acquire(&mut sim, &pool, move |sim| {
+            sim.schedule_in(dur, move |sim| {
+                let mut m = ms.borrow_mut();
+                if sim.now() > *m {
+                    *m = sim.now();
+                }
+                release(sim, &pool2);
+            });
+        });
+    }
+    sim.run();
+    let m = *makespan.borrow();
+    m
+}
+
+/// Deterministic hash of `x` mapped to [-1, 1] (splitmix64 finalizer).
+pub(crate) fn centered_hash(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A GEMM-like plan: 1 GB f32 matrices (N = 16384), dense.
+    fn gemm_plan(dense: bool) -> JobPlan {
+        let n: u64 = 16384;
+        let mat = n * n * 4;
+        let (ratio, intra) = if dense { (0.75, 0.75) } else { (0.08, 0.08) };
+        JobPlan {
+            name: "gemm".into(),
+            bytes_to: 2 * mat + mat, // A, B to + C (tofrom)
+            bytes_from: mat,
+            ratio_to: ratio,
+            ratio_from: ratio,
+            stages: vec![StagePlan {
+                trip_count: n as usize,
+                flops: 2.0 * (n as f64).powi(3),
+                broadcast_raw: mat,
+                scatter_raw: 2 * mat,
+                collect_partitioned_raw: mat,
+                collect_replicated_raw: 0,
+                intra_ratio: intra,
+            }],
+        }
+    }
+
+    #[test]
+    fn sequential_time_is_flops_over_rate() {
+        let m = OffloadModel::default();
+        let plan = gemm_plan(true);
+        let t = m.sequential_time(&plan);
+        assert!((t - plan.total_flops() / 0.5e9).abs() < 1e-6);
+        // ~4.9 hours, the right order of magnitude for a naive 16k GEMM.
+        assert!(t > 3600.0 * 3.0 && t < 3600.0 * 8.0, "t = {t}");
+    }
+
+    #[test]
+    fn speedups_increase_with_cores() {
+        let m = OffloadModel::default();
+        let series = m.speedup_series(&gemm_plan(true), &[8, 16, 32, 64, 128, 256]);
+        for w in series.windows(2) {
+            assert!(w[1].full > w[0].full, "full speedup must grow: {series:?}");
+            assert!(w[1].spark > w[0].spark);
+            assert!(w[1].computation > w[0].computation);
+        }
+    }
+
+    #[test]
+    fn curve_ordering_matches_fig4() {
+        let m = OffloadModel::default();
+        for point in m.speedup_series(&gemm_plan(true), &[8, 64, 256]) {
+            assert!(
+                point.computation > point.spark && point.spark > point.full,
+                "computation > spark > full, got {point:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overheads_grow_with_dense_data_but_compute_does_not() {
+        let m = OffloadModel::default();
+        let dense = m.breakdown(&gemm_plan(true), 64);
+        let sparse = m.breakdown(&gemm_plan(false), 64);
+        assert!(dense.host_comm_s > 2.0 * sparse.host_comm_s);
+        assert!(dense.spark_overhead_s > sparse.spark_overhead_s);
+        let rel = (dense.compute_s - sparse.compute_s).abs() / dense.compute_s;
+        assert!(rel < 1e-9, "computation must not depend on compressibility");
+    }
+
+    #[test]
+    fn host_comm_is_independent_of_core_count() {
+        let m = OffloadModel::default();
+        let plan = gemm_plan(true);
+        let b8 = m.breakdown(&plan, 8);
+        let b256 = m.breakdown(&plan, 256);
+        assert!((b8.host_comm_s - b256.host_comm_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiling_ablation_hurts_a_lot() {
+        // Without Algorithm 1 every iteration is a task: 16384 dispatches
+        // and JNI calls instead of `cores`.
+        let m = OffloadModel::default();
+        let plan = gemm_plan(true);
+        let tiled = m.breakdown_with(&plan, 64, ModelOptions::default());
+        let untiled =
+            m.breakdown_with(&plan, 64, ModelOptions { tiling: false, ..Default::default() });
+        assert!(
+            untiled.spark_overhead_s > 2.0 * tiled.spark_overhead_s,
+            "untiled {:.1}s vs tiled {:.1}s",
+            untiled.spark_overhead_s,
+            tiled.spark_overhead_s
+        );
+        // The dispatch cost alone grows from `cores` to `trip_count` tasks.
+        let dispatch_delta = untiled.spark_overhead_s - tiled.spark_overhead_s;
+        let expected = (16384 - 64) as f64 * m.params.task_overhead_s;
+        assert!(
+            dispatch_delta >= 0.9 * expected,
+            "dispatch delta {dispatch_delta:.1}s < expected {expected:.1}s"
+        );
+    }
+
+    #[test]
+    fn compression_ablation_slows_transfers() {
+        let m = OffloadModel::default();
+        let plan = gemm_plan(true);
+        let on = m.breakdown(&plan, 64);
+        let off = m.breakdown_with(&plan, 64, ModelOptions { compression: false, ..Default::default() });
+        assert!(off.host_comm_s > on.host_comm_s);
+    }
+
+    #[test]
+    fn torrent_beats_star_broadcast_on_large_clusters() {
+        let m = OffloadModel::default();
+        let plan = gemm_plan(true);
+        let torrent = m.breakdown(&plan, 256);
+        let star = m.breakdown_with(
+            &plan,
+            256,
+            ModelOptions { torrent_broadcast: false, ..Default::default() },
+        );
+        assert!(star.spark_overhead_s > torrent.spark_overhead_s);
+    }
+
+    #[test]
+    fn sixteen_core_overheads_are_in_the_paper_band() {
+        // Paper §IV: vs OmpThread-16, OmpCloud overhead is ~1.8 %
+        // (computation), ~8.8 % (spark), ~13.6 % (full).
+        let m = OffloadModel::default();
+        let plan = gemm_plan(true);
+        let b = m.breakdown(&plan, 16);
+        let thread16 = m.omp_thread_time(&plan, 16);
+        let comp_ovh = b.compute_s / thread16 - 1.0;
+        let spark_ovh = b.spark_s() / thread16 - 1.0;
+        let full_ovh = b.total_s() / thread16 - 1.0;
+        assert!(comp_ovh > 0.005 && comp_ovh < 0.05, "computation overhead {comp_ovh:.3}");
+        assert!(spark_ovh > comp_ovh && spark_ovh < 0.20, "spark overhead {spark_ovh:.3}");
+        assert!(full_ovh > spark_ovh && full_ovh < 0.30, "full overhead {full_ovh:.3}");
+    }
+
+    #[test]
+    fn makespan_reduces_to_closed_form_without_jitter() {
+        let m = stage_makespan(10, 4, 1.0, 0.0);
+        assert!((m - 3.0).abs() < 1e-9);
+        assert_eq!(stage_makespan(0, 4, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn makespan_with_jitter_is_close_to_ideal() {
+        let m = stage_makespan(64, 64, 100.0, 0.06);
+        assert!((100.0..=107.0).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn efficiency_is_monotone_decreasing() {
+        let p = ClusterParams::default();
+        assert!(p.efficiency(1) == 1.0);
+        assert!(p.efficiency(16) > p.efficiency(256));
+        // 256-core efficiency calibrated near 0.56 (3MM: 143x/256).
+        let e = p.efficiency(256);
+        assert!((0.5..0.62).contains(&e), "eff(256) = {e}");
+    }
+
+    #[test]
+    fn replicated_collect_costs_grow_with_log_tasks() {
+        let mut plan = gemm_plan(true);
+        plan.stages[0].collect_partitioned_raw = 0;
+        plan.stages[0].collect_replicated_raw = 1 << 30;
+        let m = OffloadModel::default();
+        let b8 = m.breakdown(&plan, 8);
+        let b256 = m.breakdown(&plan, 256);
+        assert!(b256.spark_overhead_s > b8.spark_overhead_s);
+    }
+}

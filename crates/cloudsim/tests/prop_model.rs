@@ -1,0 +1,95 @@
+//! Property tests on the discrete-event engine and the performance
+//! model: makespan bounds, monotonicity, and determinism.
+
+use cloudsim::model::{stage_makespan, ClusterParams, JobPlan, OffloadModel, StagePlan};
+use proptest::prelude::*;
+
+fn plan(flops: f64, bytes: u64, trip: usize) -> JobPlan {
+    JobPlan {
+        name: "prop".into(),
+        bytes_to: bytes,
+        bytes_from: bytes / 2,
+        ratio_to: 0.6,
+        ratio_from: 0.6,
+        stages: vec![StagePlan {
+            trip_count: trip.max(1),
+            flops,
+            broadcast_raw: bytes / 2,
+            scatter_raw: bytes / 2,
+            collect_partitioned_raw: bytes / 2,
+            collect_replicated_raw: 0,
+            intra_ratio: 0.6,
+        }],
+    }
+}
+
+proptest! {
+    /// Makespan is bounded below by work/cores and above by
+    /// work/cores + one max task (classic list-scheduling bounds).
+    #[test]
+    fn makespan_within_list_scheduling_bounds(
+        tasks in 1usize..200,
+        cores in 1usize..64,
+        base in 0.1f64..100.0,
+        jitter in 0.0f64..0.2,
+    ) {
+        let m = stage_makespan(tasks, cores, base, jitter);
+        let max_task = base * (1.0 + jitter);
+        let total_min = tasks as f64 * base * (1.0 - jitter);
+        let lower = total_min / cores as f64;
+        let upper = tasks as f64 * max_task / cores as f64 + max_task;
+        prop_assert!(m >= lower * 0.999, "m={} lower={}", m, lower);
+        prop_assert!(m <= upper * 1.001, "m={} upper={}", m, upper);
+    }
+
+    /// The model is deterministic: same plan, same numbers.
+    #[test]
+    fn model_is_deterministic(flops in 1e9f64..1e13, bytes in 1u64..(4 << 30), cores_idx in 0usize..6) {
+        let cores = [8, 16, 32, 64, 128, 256][cores_idx];
+        let model = OffloadModel::default();
+        let p = plan(flops, bytes, 16384);
+        let a = model.breakdown(&p, cores);
+        let b = model.breakdown(&p, cores);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More cores never increase computation time.
+    #[test]
+    fn compute_monotone_in_cores(flops in 1e10f64..1e13, bytes in (1u64 << 20)..(2 << 30)) {
+        let model = OffloadModel::default();
+        let p = plan(flops, bytes, 16384);
+        let mut prev = f64::INFINITY;
+        for cores in [8, 16, 32, 64, 128, 256] {
+            let b = model.breakdown(&p, cores);
+            prop_assert!(b.compute_s <= prev * 1.0001, "cores={}", cores);
+            prev = b.compute_s;
+        }
+    }
+
+    /// Efficiency stays in (0, 1] and decreases with cores.
+    #[test]
+    fn efficiency_bounds(alpha in 0.0f64..0.01, cores in 1usize..1024) {
+        let p = ClusterParams { efficiency_alpha: alpha, ..ClusterParams::default() };
+        let e = p.efficiency(cores);
+        prop_assert!(e > 0.0 && e <= 1.0);
+        prop_assert!(p.efficiency(cores + 1) <= e);
+    }
+
+    /// Better compression (smaller ratio) never slows the modeled run.
+    #[test]
+    fn compression_ratio_monotone(r1 in 0.05f64..1.0, r2 in 0.05f64..1.0) {
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        let model = OffloadModel::default();
+        let mut p_lo = plan(1e12, 1 << 30, 16384);
+        p_lo.ratio_to = lo;
+        p_lo.ratio_from = lo;
+        p_lo.stages[0].intra_ratio = lo;
+        let mut p_hi = p_lo.clone();
+        p_hi.ratio_to = hi;
+        p_hi.ratio_from = hi;
+        p_hi.stages[0].intra_ratio = hi;
+        let b_lo = model.breakdown(&p_lo, 64);
+        let b_hi = model.breakdown(&p_hi, 64);
+        prop_assert!(b_lo.total_s() <= b_hi.total_s() * 1.0001);
+    }
+}

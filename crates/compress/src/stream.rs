@@ -1,0 +1,146 @@
+//! Multi-frame streams: large buffers split into independently framed
+//! chunks.
+//!
+//! A 1 GB matrix compressed as one frame must be decoded as one piece;
+//! chunked streams bound the working set, let transfer threads pipeline
+//! compression with transmission, and map naturally onto S3 multipart
+//! uploads / Azure block lists. Layout:
+//!
+//! ```text
+//! +------+---------------------+--------------------------------+
+//! | GZS1 | chunk_count varint  | (frame_len varint, frame)* ... |
+//! +------+---------------------+--------------------------------+
+//! ```
+//!
+//! Each inner frame is a regular [`crate::compress_auto`] frame with its
+//! own codec choice and CRC, so a stream can mix RLE chunks (a zero
+//! plane of a matrix) with stored chunks (an incompressible region).
+
+use crate::{varint, Error};
+
+/// Stream magic: "GZS1".
+pub const STREAM_MAGIC: [u8; 4] = *b"GZS1";
+
+/// Default chunk size for streamed compression (4 MiB, matching Spark's
+/// TorrentBroadcast block size).
+pub const DEFAULT_CHUNK: usize = 4 * 1024 * 1024;
+
+/// Compress `input` as a multi-frame stream of `chunk_size`-byte chunks.
+pub fn compress_stream(input: &[u8], chunk_size: usize) -> Vec<u8> {
+    let chunk_size = chunk_size.max(1);
+    let chunks: Vec<&[u8]> = if input.is_empty() {
+        Vec::new()
+    } else {
+        input.chunks(chunk_size).collect()
+    };
+    let mut out = Vec::with_capacity(input.len() / 4 + 64);
+    out.extend_from_slice(&STREAM_MAGIC);
+    varint::write(&mut out, chunks.len() as u64);
+    for chunk in chunks {
+        let frame = crate::compress_auto(chunk);
+        varint::write(&mut out, frame.len() as u64);
+        out.extend_from_slice(&frame);
+    }
+    out
+}
+
+/// Decode a stream produced by [`compress_stream`].
+pub fn decompress_stream(stream: &[u8]) -> Result<Vec<u8>, Error> {
+    if stream.len() < STREAM_MAGIC.len() || stream[..STREAM_MAGIC.len()] != STREAM_MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let mut pos = STREAM_MAGIC.len();
+    let count = varint::read(stream, &mut pos)?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let frame_len = varint::read(stream, &mut pos)? as usize;
+        let end = pos.checked_add(frame_len).ok_or(Error::Malformed("frame length overflow"))?;
+        let frame = stream.get(pos..end).ok_or(Error::Truncated)?;
+        out.extend_from_slice(&crate::decompress(frame)?);
+        pos = end;
+    }
+    if pos != stream.len() {
+        return Err(Error::Malformed("trailing bytes after final frame"));
+    }
+    Ok(out)
+}
+
+/// True when `bytes` starts with the stream magic.
+pub fn is_stream(bytes: &[u8]) -> bool {
+    bytes.len() >= STREAM_MAGIC.len() && bytes[..STREAM_MAGIC.len()] == STREAM_MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_chunks() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let stream = compress_stream(&data, 16 * 1024);
+        assert!(is_stream(&stream));
+        assert_eq!(decompress_stream(&stream).unwrap(), data);
+        assert!(stream.len() < data.len() / 4, "periodic data compresses");
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single_chunk() {
+        assert_eq!(decompress_stream(&compress_stream(&[], 1024)).unwrap(), Vec::<u8>::new());
+        let small = vec![7u8; 100];
+        assert_eq!(decompress_stream(&compress_stream(&small, 1024)).unwrap(), small);
+    }
+
+    #[test]
+    fn exact_chunk_boundary() {
+        let data = vec![1u8; 4096];
+        let stream = compress_stream(&data, 1024); // exactly 4 chunks
+        assert_eq!(decompress_stream(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_compressibility_chunks() {
+        // First half zeros (RLE), second half LCG noise (store).
+        let mut data = vec![0u8; 64 * 1024];
+        let mut x = 12345u64;
+        for b in &mut data[32 * 1024..] {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (x >> 33) as u8;
+        }
+        let stream = compress_stream(&data, 8 * 1024);
+        assert_eq!(decompress_stream(&stream).unwrap(), data);
+        // Better than storing everything, worse than all-zero.
+        assert!(stream.len() < data.len());
+        assert!(stream.len() > data.len() / 4);
+    }
+
+    #[test]
+    fn corruption_in_any_chunk_is_detected() {
+        let data = vec![9u8; 20_000];
+        let stream = compress_stream(&data, 4096);
+        for idx in [8usize, stream.len() / 2, stream.len() - 2] {
+            let mut bad = stream.clone();
+            bad[idx] ^= 0xA5;
+            assert!(decompress_stream(&bad).is_err(), "flip at {idx}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let stream = compress_stream(&vec![3u8; 10_000], 2048);
+        assert!(decompress_stream(&stream[..stream.len() - 3]).is_err());
+        assert!(decompress_stream(&stream[..3]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut stream = compress_stream(&vec![3u8; 1000], 512);
+        stream.extend_from_slice(b"junk");
+        assert_eq!(decompress_stream(&stream), Err(Error::Malformed("trailing bytes after final frame")));
+    }
+
+    #[test]
+    fn plain_frame_is_not_a_stream() {
+        let frame = crate::compress_auto(&[1, 2, 3]);
+        assert!(!is_stream(&frame));
+    }
+}

@@ -1,0 +1,352 @@
+//! The cloud device plug-in — "the cloud as yet another device available
+//! from the local computer".
+//!
+//! Implements the target-specific plug-in interface of the accelerator
+//! model (Fig. 2, gray boxes) for Spark clusters, executing the paper's
+//! eight-step workflow (Fig. 1):
+//!
+//! 1. initialize the cloud device from the configuration file;
+//! 2. ship the `map(to:)` buffers to cloud storage (compressed, one
+//!    transfer thread per buffer);
+//! 3. the driver reads the inputs back from storage;
+//! 4. the driver tiles the loop and distributes `RDD_IN` across workers;
+//! 5. workers run the loop body through the JNI shim;
+//! 6. the driver reconstructs the outputs;
+//! 7. the driver writes them to cloud storage;
+//! 8. the host reads them back and resumes execution.
+//!
+//! Per §III-D the device rejects regions using `atomic`, `flush`,
+//! `barrier`, `critical` or `master` — map-reduce has no shared-memory
+//! synchronization — and when the cluster is unreachable the wrapper
+//! falls back to host execution automatically.
+
+use crate::cache::{CacheDecision, Fingerprint, UploadCache};
+use crate::config::CloudConfig;
+use crate::scope::Residency;
+use crate::offload::run_spark_job;
+use crate::report::OffloadReport;
+use cloud_storage::{
+    AzureBlobStore, HdfsStore, S3Store, StorageUri, StoreHandle, TransferConfig, TransferManager,
+};
+use cloudsim::Fleet;
+use omp_model::{
+    Construct, DataEnv, Device, DeviceKind, ErasedVec, ExecProfile, OmpError, TargetRegion,
+};
+use parking_lot::Mutex;
+use sparkle::{SparkConf, SparkContext};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The Spark-cluster offloading device.
+pub struct CloudDevice {
+    name: String,
+    config: CloudConfig,
+    store: StoreHandle,
+    transfer: TransferManager,
+    sc: Mutex<Option<SparkContext>>,
+    job_counter: AtomicU64,
+    started_at: Instant,
+    last_report: Mutex<Option<OffloadReport>>,
+    upload_cache: Mutex<UploadCache>,
+    residency: Mutex<Residency>,
+}
+
+impl CloudDevice {
+    /// Device over an explicit storage backend (shared with other
+    /// devices/tests).
+    pub fn with_store(config: CloudConfig, store: StoreHandle) -> CloudDevice {
+        let transfer = TransferManager::new(
+            StoreHandle::clone(&store),
+            TransferConfig {
+                min_compression_size: config.min_compression_size,
+                ..TransferConfig::default()
+            },
+        );
+        CloudDevice {
+            name: format!("cloud-{:?}", config.provider).to_ascii_lowercase(),
+            config,
+            store,
+            transfer,
+            sc: Mutex::new(None),
+            job_counter: AtomicU64::new(0),
+            started_at: Instant::now(),
+            last_report: Mutex::new(None),
+            upload_cache: Mutex::new(UploadCache::new()),
+            residency: Mutex::new(Residency::default()),
+        }
+    }
+
+    /// Device with a fresh in-memory backend matching the configured
+    /// storage URI (S3 bucket or HDFS cluster).
+    pub fn from_config(config: CloudConfig) -> CloudDevice {
+        let store: StoreHandle = match &config.storage {
+            StorageUri::S3 { bucket, .. } => std::sync::Arc::new(S3Store::standalone(bucket)),
+            StorageUri::Hdfs { .. } => HdfsStore::with_defaults(config.workers.max(3)),
+            StorageUri::Azure { account, container, .. } => {
+                std::sync::Arc::new(AzureBlobStore::standalone(account, container))
+            }
+        };
+        Self::with_store(config, store)
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &CloudConfig {
+        &self.config
+    }
+
+    /// The storage backend offloaded buffers travel through.
+    pub fn store(&self) -> &StoreHandle {
+        &self.store
+    }
+
+    /// Detailed report of the most recent offload.
+    pub fn last_report(&self) -> Option<OffloadReport> {
+        self.last_report.lock().clone()
+    }
+
+    /// `(hits, misses)` of the upload cache (only moves when
+    /// `data-caching` is enabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.upload_cache.lock().stats()
+    }
+
+    /// Drop every cached upload fingerprint (e.g. after clearing the
+    /// storage bucket out of band).
+    pub fn clear_upload_cache(&self) {
+        self.upload_cache.lock().clear();
+    }
+
+    /// Crate-internal accessors for the target-data scope machinery.
+    pub(crate) fn residency(&self) -> &Mutex<Residency> {
+        &self.residency
+    }
+
+    pub(crate) fn transfer_ref(&self) -> &TransferManager {
+        &self.transfer
+    }
+
+    pub(crate) fn store_ref(&self) -> &StoreHandle {
+        &self.store
+    }
+
+    pub(crate) fn spark_context(&self) -> SparkContext {
+        self.context()
+    }
+
+    pub(crate) fn name_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Workflow step 1: lazily connect to the cluster.
+    fn context(&self) -> SparkContext {
+        let mut guard = self.sc.lock();
+        guard
+            .get_or_insert_with(|| {
+                if self.config.verbose {
+                    eprintln!(
+                        "[ompcloud] connecting to {} ({} workers x {} vCPUs, storage {})",
+                        self.config.spark_driver,
+                        self.config.workers,
+                        self.config.vcpus_per_worker,
+                        self.config.storage
+                    );
+                }
+                let mut conf = SparkConf::cluster(self.config.workers, self.config.vcpus_per_worker);
+                conf.task_cpus = self.config.task_cpus;
+                SparkContext::new(conf)
+            })
+            .clone()
+    }
+
+    /// Seconds since the device was created — the virtual billing clock
+    /// for autostarted fleets.
+    fn now_s(&self) -> f64 {
+        self.started_at.elapsed().as_secs_f64()
+    }
+
+    /// Shut the in-process cluster down (tests/examples hygiene).
+    pub fn shutdown(&self) {
+        if let Some(sc) = self.sc.lock().take() {
+            sc.stop();
+        }
+    }
+}
+
+impl Device for CloudDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Cloud
+    }
+
+    fn is_available(&self) -> bool {
+        !self.config.simulate_unreachable
+    }
+
+    fn supports(&self, construct: Construct) -> bool {
+        // §III-D: no shared-memory synchronization on a distributed
+        // map-reduce substrate.
+        matches!(construct, Construct::ParallelFor)
+    }
+
+    fn execute(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+        let mut profile = ExecProfile::new(self.name.clone());
+        let job_id = self.job_counter.fetch_add(1, Ordering::SeqCst);
+        let prefix = {
+            let p = self.config.storage.key_prefix();
+            if p.is_empty() {
+                format!("job-{job_id}")
+            } else {
+                format!("{p}/job-{job_id}")
+            }
+        };
+
+        // Optional pay-as-you-go fleet around the offload.
+        let mut fleet = None;
+        if self.config.ec2_autostart {
+            let itype = cloudsim::instance_type(&self.config.instance_type)
+                .expect("validated by CloudConfig");
+            let mut f = Fleet::new();
+            f.launch(itype, self.config.workers + 1, self.now_s());
+            profile.note(format!(
+                "ec2 autostart: launched {} x {} (driver + {} workers)",
+                self.config.workers + 1,
+                itype.name,
+                self.config.workers
+            ));
+            fleet = Some(f);
+        }
+
+        let sc = self.context();
+
+        // Step 2: ship inputs to cloud storage (one thread per buffer,
+        // compression above the configured threshold). With data caching
+        // enabled (§VI extension), unchanged variables are skipped and
+        // the job reuses their previously staged objects.
+        let mut upload_items = Vec::new();
+        let mut staged_keys: Vec<(String, String)> = Vec::new(); // (var, key)
+        let mut cache_hits = 0usize;
+        {
+            let mut cache = self.upload_cache.lock();
+            for m in region.input_maps() {
+                let buf = env.get_erased(&m.name)?;
+                profile.bytes_to_device += buf.byte_len() as u64;
+                let bytes = buf.to_bytes();
+                let fresh_key = format!("{prefix}/in/{}", m.name);
+                if self.config.data_caching {
+                    let fp = Fingerprint::of(&bytes);
+                    match cache.check(&m.name, fp) {
+                        CacheDecision::Hit { storage_key } => {
+                            cache_hits += 1;
+                            staged_keys.push((m.name.clone(), storage_key));
+                            continue;
+                        }
+                        CacheDecision::Miss => {
+                            cache.record(&m.name, fp, fresh_key.clone());
+                        }
+                    }
+                }
+                staged_keys.push((m.name.clone(), fresh_key.clone()));
+                upload_items.push((fresh_key, bytes));
+            }
+        }
+        let upload = self.transfer.upload(upload_items).map_err(storage_err)?;
+        profile.host_comm_s += upload.wall_seconds;
+        profile.wire_bytes_to = upload.wire_bytes();
+        if cache_hits > 0 {
+            profile.note(format!(
+                "data caching: {cache_hits} of {} input buffers unchanged, upload skipped",
+                staged_keys.len()
+            ));
+        }
+
+        // Step 3: the driver reads the inputs back from storage and
+        // materializes the cluster-side data environment.
+        let t_driver = Instant::now();
+        let keys: Vec<String> = staged_keys.iter().map(|(_, k)| k.clone()).collect();
+        let (payloads, _) = self.transfer.download(keys).map_err(storage_err)?;
+        let mut cluster_env = DataEnv::new();
+        for (m, (_, bytes)) in region.input_maps().zip(payloads) {
+            let tag = env.get_erased(&m.name)?.tag();
+            cluster_env.insert_erased(&m.name, ErasedVec::from_bytes(tag, &bytes));
+        }
+        // Output-only variables: the driver allocates them full-size
+        // (paper Fig. 3 step 7); sizes come with the job submission.
+        for m in region.output_maps() {
+            if !cluster_env.contains(&m.name) {
+                let host = env.get_erased(&m.name)?;
+                cluster_env.insert_erased(
+                    &m.name,
+                    ErasedVec::identity(host.tag(), host.len(), omp_model::RedOp::BitOr),
+                );
+            }
+        }
+        profile.overhead_s += t_driver.elapsed().as_secs_f64();
+
+        // Steps 4–6: tile, distribute, map, reconstruct.
+        let outcome = run_spark_job(&sc, &self.config, region, cluster_env)?;
+        for l in &outcome.loops {
+            profile.tasks += l.tiles as u64;
+            profile.compute_s += l.compute_s;
+            profile.overhead_s += l.overhead_s;
+        }
+
+        // Step 7: driver writes the outputs to cloud storage.
+        let t_store = Instant::now();
+        let mut out_items = Vec::new();
+        for m in region.output_maps() {
+            let buf = outcome.env.get_erased(&m.name)?;
+            profile.bytes_from_device += buf.byte_len() as u64;
+            out_items.push((format!("{prefix}/out/{}", m.name), buf.to_bytes()));
+        }
+        let store_write = self.transfer.upload(out_items).map_err(storage_err)?;
+        profile.overhead_s += t_store.elapsed().as_secs_f64();
+
+        // Step 8: the host reads the results back and resumes.
+        let t_download = Instant::now();
+        let out_keys: Vec<String> =
+            region.output_maps().map(|m| format!("{prefix}/out/{}", m.name)).collect();
+        let (out_payloads, download) = self.transfer.download(out_keys).map_err(storage_err)?;
+        for (m, (_, bytes)) in region.output_maps().zip(out_payloads) {
+            let tag = env.get_erased(&m.name)?.tag();
+            env.write_back(&m.name, ErasedVec::from_bytes(tag, &bytes))?;
+        }
+        profile.host_comm_s += t_download.elapsed().as_secs_f64();
+        profile.wire_bytes_from = store_write.wire_bytes();
+
+        // Pay-as-you-go teardown.
+        let cost = fleet.map(|mut f| {
+            f.stop_all(self.now_s());
+            let report = f.cost_report(self.now_s());
+            profile.note(format!("ec2 autostop: {report}"));
+            report
+        });
+
+        // Storage hygiene: staged per-job objects are garbage once the
+        // host has read the results back — unless data caching is on, in
+        // which case the staged inputs are the cache.
+        if !self.config.data_caching {
+            for key in self.store.list(&prefix) {
+                let _ = self.store.delete(&key);
+            }
+        }
+
+        if self.config.verbose {
+            eprintln!("[ompcloud] {}: {profile}", region.name);
+        }
+        *self.last_report.lock() = Some(OffloadReport {
+            profile: profile.clone(),
+            loops: outcome.loops,
+            upload,
+            download,
+            cost,
+        });
+        Ok(profile)
+    }
+}
+
+fn storage_err(e: cloud_storage::StorageError) -> OmpError {
+    OmpError::Plugin { device: "cloud".into(), detail: e.to_string() }
+}

@@ -1,0 +1,262 @@
+//! Driver-side Spark job generation and execution — Eqs. 1–10 and Fig. 3
+//! of the paper.
+//!
+//! For each `parallel for` of the target region the driver:
+//!
+//! 1. tiles the iteration space to the cluster size (Algorithm 1);
+//! 2. builds `RDD_IN = ∪ {tile, V_IN(tile)}`: partitioned variables are
+//!    sliced to each tile's hull and travel inside the RDD elements,
+//!    unpartitioned variables are broadcast once per worker (Eqs. 1–3);
+//! 3. applies the loop body as a `map` over the RDD — the worker-side
+//!    shim plays the role of the JNI bridge, wrapping the byte partitions
+//!    into typed views and invoking the native kernel per iteration
+//!    (Eqs. 4–7);
+//! 4. reconstructs each output variable: indexed writes for partitioned
+//!    outputs, bitwise-OR for unpartitioned ones, or the declared
+//!    reduction operator (Eqs. 8–10).
+//!
+//! Successive loops become successive map-reduce jobs over the same
+//! cluster state, with intermediate variables staying in driver memory
+//! (§III-D: "successive map-reduce transformations within the Spark
+//! job").
+
+use crate::config::CloudConfig;
+use crate::tiling;
+use omp_model::chunk::{chunk_outputs, merge_policy, MergeAcc, MergePolicy};
+use omp_model::RedOp;
+use omp_model::view::OutPart;
+use omp_model::{DataEnv, ErasedVec, Inputs, OmpError, Outputs, ParallelLoop, TargetRegion};
+use sparkle::{BroadcastStats, SparkContext, SparkError};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One element of `RDD_IN`: a tile of iterations together with the
+/// partitioned variable blocks it needs (Eq. 3) and the pre-allocated
+/// private output buffers it will fill.
+#[derive(Clone)]
+struct TileDesc {
+    iter_start: usize,
+    iter_end: usize,
+    /// `(var, base element, block)` for every partitioned input.
+    inputs: Vec<(String, usize, ErasedVec)>,
+    /// Identity/prefilled private buffer per output.
+    outputs: Vec<OutPart>,
+}
+
+/// One element of `RDD_OUT`: the tile's private output buffers (Eq. 7).
+#[derive(Clone)]
+struct TileOut {
+    parts: Vec<OutPart>,
+}
+
+/// Per-loop execution statistics, feeding the offload report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopStats {
+    /// Tiles (= Spark tasks = JNI invocations) the loop ran as.
+    pub tiles: usize,
+    /// Broadcast distribution statistics for the unpartitioned inputs.
+    pub broadcast: BroadcastStats,
+    /// Bytes scattered to workers inside RDD elements.
+    pub scatter_bytes: u64,
+    /// Bytes of private outputs collected back to the driver.
+    pub collect_bytes: u64,
+    /// Parallel computation time (longest task of the map phase).
+    pub compute_s: f64,
+    /// Scheduling + collection overhead observed by the driver.
+    pub overhead_s: f64,
+}
+
+/// Result of running all loops of a region on the cluster.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Cluster-side environment holding the final outputs.
+    pub env: DataEnv,
+    /// Per-loop statistics.
+    pub loops: Vec<LoopStats>,
+}
+
+/// Execute every `parallel for` of `region` as successive Spark jobs
+/// against `cluster_env` (the driver's copy of the uploaded inputs plus
+/// zero-initialized output variables).
+pub fn run_spark_job(
+    sc: &SparkContext,
+    config: &CloudConfig,
+    region: &TargetRegion,
+    mut cluster_env: DataEnv,
+) -> Result<JobOutcome, OmpError> {
+    let mut loops = Vec::with_capacity(region.loops.len());
+    for (loop_idx, loop_) in region.loops.iter().enumerate() {
+        let stats = run_loop(sc, config, region, loop_, loop_idx, &mut cluster_env)?;
+        loops.push(stats);
+    }
+    Ok(JobOutcome { env: cluster_env, loops })
+}
+
+fn run_loop(
+    sc: &SparkContext,
+    config: &CloudConfig,
+    region: &TargetRegion,
+    loop_: &ParallelLoop,
+    loop_idx: usize,
+    cluster_env: &mut DataEnv,
+) -> Result<LoopStats, OmpError> {
+    let t0 = Instant::now();
+    let slots = config.total_slots();
+    let tiles = tiling::tile_ranges(loop_.trip_count, slots);
+
+    // Split the inputs: partitioned variables travel inside RDD elements,
+    // the rest is broadcast whole (Eq. 2 / Listing 2 semantics).
+    let mut bcast_vars: HashMap<String, Arc<ErasedVec>> = HashMap::new();
+    let mut bcast_bytes = 0u64;
+    let mut scatter_specs = Vec::new();
+    for m in region.input_maps() {
+        let buf = cluster_env.get_erased(&m.name)?;
+        match loop_.partitions.get(&m.name).filter(|s| s.is_indexed()) {
+            Some(spec) => scatter_specs.push((m.name.clone(), *spec)),
+            None => {
+                bcast_bytes += buf.byte_len() as u64;
+                bcast_vars.insert(m.name.clone(), Arc::clone(buf));
+            }
+        }
+    }
+
+    // Build RDD_IN (Eqs. 1–3): one element per tile.
+    let mut scatter_bytes = 0u64;
+    let mut descs = Vec::with_capacity(tiles.len());
+    for iters in &tiles {
+        let mut inputs = Vec::with_capacity(scatter_specs.len());
+        for (name, spec) in &scatter_specs {
+            let buf = cluster_env.get_erased(name)?;
+            let hull = spec.range_for_tile(iters.clone(), buf.len())?;
+            let block = buf.slice_copy(hull.clone());
+            scatter_bytes += block.byte_len() as u64;
+            inputs.push((name.clone(), hull.start, block));
+        }
+        let outputs = chunk_outputs(region, loop_, cluster_env, iters.clone())?.into_parts();
+        descs.push(TileDesc { iter_start: iters.start, iter_end: iters.end, inputs, outputs });
+    }
+
+    if config.verbose {
+        eprintln!(
+            "[ompcloud] {}: loop {loop_idx}: {} iterations tiled to {} tasks on {} slots ({} B scattered, {} B broadcast)",
+            region.name,
+            loop_.trip_count,
+            descs.len(),
+            slots,
+            scatter_bytes,
+            bcast_bytes
+        );
+    }
+
+    // Broadcast the shared inputs (BitTorrent-style accounting).
+    let bcast = sc.broadcast(bcast_vars, bcast_bytes);
+    let bcast_stats = bcast.stats();
+    let bcast_handle = bcast.handle();
+
+    // The map transformation (Eqs. 4–7): worker-side JNI shim.
+    let body = Arc::clone(&loop_.body);
+    let ntiles = descs.len().max(1);
+    let rdd = sc.parallelize(descs, ntiles);
+    let mapped = rdd.map(move |tile: TileDesc| {
+        let mut ins = Inputs::new();
+        for (name, base, block) in tile.inputs {
+            ins.add(name, base, Arc::new(block));
+        }
+        for (name, buf) in bcast_handle.iter() {
+            ins.add(name.clone(), 0, Arc::clone(buf));
+        }
+        let mut outs = Outputs::new();
+        for part in tile.outputs {
+            outs.add(part.name, part.base, part.data);
+        }
+        // One "JNI invocation" per tile: run the native loop body over
+        // the tile's iterations.
+        for i in tile.iter_start..tile.iter_end {
+            body(i, &ins, &mut outs);
+        }
+        TileOut { parts: outs.into_parts() }
+    });
+
+    // Cache RDD_OUT so the reconstruction actions below reuse the map
+    // results instead of re-running the kernels.
+    let out_rdd = mapped.cache();
+    let collected = out_rdd.collect().map_err(spark_err)?;
+    let metrics = sc.last_job_metrics();
+
+    // Reconstruction (Eqs. 8–10): indexed writes on the driver;
+    // unpartitioned outputs optionally combined with a *distributed*
+    // `REDUCE(RDD_OUT, l, op)` on the executors, exactly Eq. 8.
+    let mut collect_bytes = 0u64;
+    for tile_out in &collected {
+        collect_bytes += tile_out.parts.iter().map(|p| p.data.byte_len() as u64).sum::<u64>();
+    }
+
+    let mut reduced_vars: Vec<String> = Vec::new();
+    if config.distributed_reduce {
+        for m in region.output_maps() {
+            let policy = merge_policy(loop_, &m.name);
+            let op = match policy {
+                MergePolicy::Indexed => continue,
+                MergePolicy::BitOr => RedOp::BitOr,
+                MergePolicy::Reduce(op) => op,
+            };
+            let name = m.name.clone();
+            let var = name.clone();
+            let partials = out_rdd
+                .map(move |tile: TileOut| {
+                    tile.parts
+                        .into_iter()
+                        .find(|p| p.name == var && p.touched)
+                        .map(|p| p.data)
+                })
+                .reduce(move |a, b| match (a, b) {
+                    (Some(mut x), Some(y)) => {
+                        x.reduce_assign(&y, op);
+                        Some(x)
+                    }
+                    (x, None) => x,
+                    (None, y) => y,
+                })
+                .map_err(spark_err)?
+                .flatten();
+            if let Some(mut combined) = partials {
+                if let MergePolicy::Reduce(op) = policy {
+                    // OpenMP reductions include the original value once.
+                    let original = (**cluster_env.get_erased(&name)?).clone();
+                    combined.reduce_assign(&original, op);
+                }
+                cluster_env.write_back(&name, combined)?;
+                reduced_vars.push(name);
+            }
+        }
+    }
+
+    // Driver-side merge for everything not handled by the distributed
+    // reduce (partitioned outputs; all outputs when the switch is off).
+    let mut acc = MergeAcc::new(region, loop_, cluster_env)?;
+    for tile_out in collected {
+        let parts = tile_out
+            .parts
+            .into_iter()
+            .filter(|p| !reduced_vars.contains(&p.name))
+            .collect::<Vec<_>>();
+        acc.absorb(parts);
+    }
+    acc.finish(cluster_env)?;
+
+    let wall = t0.elapsed().as_secs_f64();
+    let compute_s = metrics.as_ref().map(|m| m.max_task_seconds()).unwrap_or(0.0);
+    Ok(LoopStats {
+        tiles: tiles.len(),
+        broadcast: bcast_stats,
+        scatter_bytes,
+        collect_bytes,
+        compute_s,
+        overhead_s: (wall - compute_s).max(0.0),
+    })
+}
+
+fn spark_err(e: SparkError) -> OmpError {
+    OmpError::Plugin { device: "cloud".into(), detail: e.to_string() }
+}

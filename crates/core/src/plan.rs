@@ -1,0 +1,202 @@
+//! Deriving a performance-model [`JobPlan`] from a real target region.
+//!
+//! The functional engine runs at laptop scale; the figure harnesses need
+//! the same job described abstractly (bytes, flops, tasks) so
+//! `cloudsim::model` can project it onto the paper's cluster. This module
+//! extracts that description from a region + data environment — the exact
+//! byte counts the cloud plug-in would move.
+
+use cloudsim::model::{JobPlan, StagePlan};
+use omp_model::chunk::{merge_policy, MergePolicy};
+use omp_model::{DataEnv, OmpError, TargetRegion};
+
+/// Compression ratios used when projecting the plan (wire/raw). Derive
+/// them from real data with [`measure_ratio`] or use the calibrated
+/// defaults for dense/sparse float matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanRatios {
+    /// Host → cloud compression ratio.
+    pub to: f64,
+    /// Cloud → host compression ratio.
+    pub from: f64,
+    /// Intra-cluster (Spark wire) compression ratio.
+    pub intra: f64,
+}
+
+impl PlanRatios {
+    /// Dense single-precision matrices (gzip leaves ~25 %).
+    pub fn dense() -> PlanRatios {
+        PlanRatios { to: 0.75, from: 0.75, intra: 0.75 }
+    }
+
+    /// Sparse matrices (mostly zero bytes; gzip removes ~92 %).
+    pub fn sparse() -> PlanRatios {
+        PlanRatios { to: 0.08, from: 0.08, intra: 0.08 }
+    }
+
+    /// One ratio everywhere.
+    pub fn uniform(r: f64) -> PlanRatios {
+        PlanRatios { to: r, from: r, intra: r }
+    }
+}
+
+/// Measure the actual gzlite compression ratio of a buffer (used by
+/// tests to cross-check the calibrated constants).
+pub fn measure_ratio(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 1.0;
+    }
+    let (_, stats) = gzlite::compress_with_stats(bytes);
+    stats.ratio()
+}
+
+/// Build the [`JobPlan`] for `region` over `env`.
+///
+/// `flops` hints come from each loop's `flops_per_iter`; loops without a
+/// hint contribute zero compute (the model then reports pure-overhead
+/// projections, which is still useful for transfer studies).
+pub fn derive_plan(region: &TargetRegion, env: &DataEnv, ratios: PlanRatios) -> Result<JobPlan, OmpError> {
+    let mut bytes_to = 0u64;
+    for m in region.input_maps() {
+        bytes_to += env.get_erased(&m.name)?.byte_len() as u64;
+    }
+    let mut bytes_from = 0u64;
+    for m in region.output_maps() {
+        bytes_from += env.get_erased(&m.name)?.byte_len() as u64;
+    }
+
+    let mut stages = Vec::with_capacity(region.loops.len());
+    for loop_ in &region.loops {
+        let mut broadcast_raw = 0u64;
+        let mut scatter_raw = 0u64;
+        for m in region.input_maps() {
+            let len = env.get_erased(&m.name)?.byte_len() as u64;
+            match loop_.partitions.get(&m.name).filter(|s| s.is_indexed()) {
+                Some(_) => scatter_raw += len,
+                None => broadcast_raw += len,
+            }
+        }
+        let mut collect_partitioned_raw = 0u64;
+        let mut collect_replicated_raw = 0u64;
+        for m in region.output_maps() {
+            let len = env.get_erased(&m.name)?.byte_len() as u64;
+            match merge_policy(loop_, &m.name) {
+                MergePolicy::Indexed => collect_partitioned_raw += len,
+                MergePolicy::BitOr | MergePolicy::Reduce(_) => collect_replicated_raw += len,
+            }
+        }
+        stages.push(StagePlan {
+            trip_count: loop_.trip_count,
+            flops: loop_.flops_per_iter.unwrap_or(0.0) * loop_.trip_count as f64,
+            broadcast_raw,
+            scatter_raw,
+            collect_partitioned_raw,
+            collect_replicated_raw,
+            intra_ratio: ratios.intra,
+        });
+    }
+
+    Ok(JobPlan {
+        name: region.name.clone(),
+        bytes_to,
+        bytes_from,
+        ratio_to: ratios.to,
+        ratio_from: ratios.from,
+        stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_model::{DeviceSelector, PartitionSpec, RedOp, TargetRegion};
+
+    fn region(n: usize) -> TargetRegion {
+        TargetRegion::builder("gemm")
+            .device(DeviceSelector::Default)
+            .map_to("A")
+            .map_to("B")
+            .map_tofrom("C")
+            .parallel_for(n, move |l| {
+                l.partition("A", PartitionSpec::rows(n))
+                    .partition("C", PartitionSpec::rows(n))
+                    .flops_per_iter(2.0 * (n * n) as f64)
+                    .body(|_, _, _| {})
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn env(n: usize) -> DataEnv {
+        let mut e = DataEnv::new();
+        e.insert("A", vec![0.0f32; n * n]);
+        e.insert("B", vec![0.0f32; n * n]);
+        e.insert("C", vec![0.0f32; n * n]);
+        e
+    }
+
+    #[test]
+    fn plan_counts_bytes_and_flops() {
+        let n = 64;
+        let plan = derive_plan(&region(n), &env(n), PlanRatios::dense()).unwrap();
+        let mat = (n * n * 4) as u64;
+        assert_eq!(plan.bytes_to, 3 * mat); // A, B, C(tofrom)
+        assert_eq!(plan.bytes_from, mat); // C
+        assert_eq!(plan.stages.len(), 1);
+        let s = &plan.stages[0];
+        assert_eq!(s.trip_count, n);
+        assert_eq!(s.broadcast_raw, mat); // B
+        assert_eq!(s.scatter_raw, 2 * mat); // A, C
+        assert_eq!(s.collect_partitioned_raw, mat); // C partitioned
+        assert_eq!(s.collect_replicated_raw, 0);
+        assert!((plan.total_flops() - 2.0 * (n as f64).powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn unpartitioned_output_is_replicated_collect() {
+        let n = 16;
+        let r = TargetRegion::builder("syrk-ish")
+            .map_to("A")
+            .map_from("C")
+            .parallel_for(n, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        let mut e = DataEnv::new();
+        e.insert("A", vec![0.0f32; n * n]);
+        e.insert("C", vec![0.0f32; n * n]);
+        let plan = derive_plan(&r, &e, PlanRatios::sparse()).unwrap();
+        assert_eq!(plan.stages[0].collect_replicated_raw, (n * n * 4) as u64);
+        assert_eq!(plan.stages[0].collect_partitioned_raw, 0);
+    }
+
+    #[test]
+    fn reduction_output_counts_as_replicated() {
+        let r = TargetRegion::builder("dot")
+            .map_to("x")
+            .map_tofrom("s")
+            .parallel_for(100, |l| l.reduction("s", RedOp::Sum).body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        let mut e = DataEnv::new();
+        e.insert("x", vec![0.0f32; 100]);
+        e.insert("s", vec![0.0f32; 1]);
+        let plan = derive_plan(&r, &e, PlanRatios::dense()).unwrap();
+        assert_eq!(plan.stages[0].collect_replicated_raw, 4);
+    }
+
+    #[test]
+    fn measured_ratios_match_calibration_direction() {
+        // Dense random f32s compress worse than 5%-sparse ones.
+        let dense: Vec<u8> = (0..1u32 << 16)
+            .flat_map(|i| ((i.wrapping_mul(0x9E3779B9)) as f32 / u32::MAX as f32).to_le_bytes())
+            .collect();
+        let mut sparse = vec![0u8; dense.len()];
+        for i in (0..sparse.len()).step_by(80) {
+            sparse[i..i + 4].copy_from_slice(&1.25f32.to_le_bytes());
+        }
+        let rd = measure_ratio(&dense);
+        let rs = measure_ratio(&sparse);
+        assert!(rs < 0.2, "sparse measured {rs}");
+        assert!(rd > rs, "dense {rd} vs sparse {rs}");
+    }
+}

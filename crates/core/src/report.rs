@@ -1,0 +1,67 @@
+//! Offload reports: everything observable about one cloud offload.
+
+use crate::offload::LoopStats;
+use cloud_storage::TransferReport;
+use cloudsim::CostReport;
+use omp_model::ExecProfile;
+
+/// Full record of one offloaded target region.
+#[derive(Debug, Clone)]
+pub struct OffloadReport {
+    /// The three-way timing decomposition plus byte/task counts.
+    pub profile: ExecProfile,
+    /// Per-loop (per map-reduce stage) statistics.
+    pub loops: Vec<LoopStats>,
+    /// Host → cloud transfer details (step 2).
+    pub upload: TransferReport,
+    /// Cloud → host transfer details (step 8).
+    pub download: TransferReport,
+    /// Pay-as-you-go billing, when `ec2-autostart` is on.
+    pub cost: Option<CostReport>,
+}
+
+impl OffloadReport {
+    /// Total tiles across all loops.
+    pub fn total_tiles(&self) -> usize {
+        self.loops.iter().map(|l| l.tiles).sum()
+    }
+
+    /// Achieved host→cloud compression ratio.
+    pub fn upload_ratio(&self) -> f64 {
+        self.upload.ratio()
+    }
+
+    /// Total intra-cluster traffic (scatter + broadcast + collect), raw
+    /// bytes.
+    pub fn cluster_traffic_bytes(&self) -> u64 {
+        self.loops
+            .iter()
+            .map(|l| l.scatter_bytes + l.broadcast.total_traffic() + l.collect_bytes)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for OffloadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.profile)?;
+        for (i, l) in self.loops.iter().enumerate() {
+            writeln!(
+                f,
+                "  loop {i}: {} tiles, {} B scattered, {} B broadcast ({} rounds), {} B collected",
+                l.tiles, l.scatter_bytes, l.broadcast.bytes, l.broadcast.rounds, l.collect_bytes
+            )?;
+        }
+        write!(
+            f,
+            "  transfers: {} -> {} B up ({}), {} B down",
+            self.upload.raw_bytes(),
+            self.upload.wire_bytes(),
+            if self.upload.items.iter().any(|i| i.compressed) { "compressed" } else { "raw" },
+            self.download.raw_bytes(),
+        )?;
+        if let Some(cost) = &self.cost {
+            write!(f, "\n  cost: {cost}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,98 @@
+//! The user-facing facade: one object that wires the whole stack
+//! together the way a compiled OmpCloud program would at startup.
+
+use crate::config::CloudConfig;
+use crate::device::CloudDevice;
+use omp_model::{
+    DataEnv, DeviceKind, DeviceRegistry, DeviceSelector, ExecProfile, HostDevice, OmpError,
+    TargetRegion,
+};
+use std::sync::Arc;
+
+/// A ready-to-offload runtime: host device(s) + a configured cloud
+/// device in one registry.
+///
+/// ```
+/// use ompcloud::{CloudConfig, CloudRuntime};
+/// use omp_model::prelude::*;
+///
+/// let mut config = CloudConfig::default();
+/// config.workers = 2;
+/// config.vcpus_per_worker = 4;
+/// let runtime = CloudRuntime::new(config);
+///
+/// let region = TargetRegion::builder("double")
+///     .device(DeviceSelector::Kind(DeviceKind::Cloud))
+///     .map_to("x")
+///     .map_from("y")
+///     .parallel_for(8, |l| {
+///         l.partition("y", PartitionSpec::rows(1)).body(|i, ins, outs| {
+///             let x = ins.view::<f32>("x");
+///             outs.view_mut::<f32>("y")[i] = 2.0 * x[i];
+///         })
+///     })
+///     .build()
+///     .unwrap();
+///
+/// let mut env = DataEnv::new();
+/// env.insert("x", vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+/// env.insert("y", vec![0.0f32; 8]);
+/// runtime.offload(&region, &mut env).unwrap();
+/// assert_eq!(env.get::<f32>("y").unwrap()[7], 16.0);
+/// runtime.shutdown();
+/// ```
+pub struct CloudRuntime {
+    registry: DeviceRegistry,
+    cloud: Arc<CloudDevice>,
+    cloud_id: usize,
+}
+
+impl CloudRuntime {
+    /// Build a runtime: sequential host at device 0, multi-threaded host
+    /// at device 1, the configured cloud device last.
+    pub fn new(config: CloudConfig) -> CloudRuntime {
+        Self::with_device(CloudDevice::from_config(config))
+    }
+
+    /// Runtime around an existing cloud device (shared storage, tests).
+    pub fn with_device(cloud: CloudDevice) -> CloudRuntime {
+        let mut registry = DeviceRegistry::with_host_only();
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        registry.register(Arc::new(HostDevice::threaded(threads)));
+        let cloud = Arc::new(cloud);
+        let cloud_id = registry.register(Arc::clone(&cloud) as Arc<dyn omp_model::Device>);
+        CloudRuntime { registry, cloud, cloud_id }
+    }
+
+    /// The device registry (for `omp_get_num_devices`-style queries).
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// The cloud device number.
+    pub fn cloud_device_id(&self) -> usize {
+        self.cloud_id
+    }
+
+    /// The cloud device itself (reports, storage access).
+    pub fn cloud(&self) -> &CloudDevice {
+        &self.cloud
+    }
+
+    /// Offload a region — `device(CLOUD)` regions reach the cluster,
+    /// everything else the host devices; unavailable clouds fall back to
+    /// the host automatically.
+    pub fn offload(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+        self.registry.offload(region, env)
+    }
+
+    /// Convenience selector for the cloud.
+    pub fn cloud_selector() -> DeviceSelector {
+        DeviceSelector::Kind(DeviceKind::Cloud)
+    }
+
+    /// Stop the in-process cluster.
+    pub fn shutdown(&self) {
+        self.cloud.shutdown();
+    }
+}

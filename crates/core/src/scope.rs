@@ -1,0 +1,252 @@
+//! `#pragma omp target data` scopes: persistent device residency.
+//!
+//! OpenMP 4.5 structures repeated offloads with a `target data` region:
+//!
+//! ```c
+//! #pragma omp target data map(to: A[:N]) map(from: C[:N])
+//! {
+//!     #pragma omp target ...   // uses A, C — no transfer
+//!     #pragma omp target ...   // uses A, C — no transfer
+//! }                            // C copied back here
+//! ```
+//!
+//! Inside the scope, mapped variables live on the device; the enclosed
+//! `target` regions run against that resident state without any
+//! host-target transfers, and `map(from:)` variables come home only at
+//! scope exit. Where the [`crate::cache`] extension skips re-*uploads*
+//! of unchanged inputs, a target-data scope also eliminates the output
+//! round-trips between consecutive regions — the full fix for the
+//! host-communication costs the paper's §VI contemplates.
+
+use crate::device::CloudDevice;
+use crate::runtime::CloudRuntime;
+use omp_model::{DataEnv, ErasedVec, ExecProfile, MapClause, MapDir, OmpError, TargetRegion};
+
+/// Transfer statistics of a scope's enter/exit boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScopeStats {
+    /// Raw bytes shipped to the device at scope entry.
+    pub bytes_in: u64,
+    /// Raw bytes shipped back at scope exit.
+    pub bytes_out: u64,
+    /// Target regions executed against the resident data.
+    pub regions_run: u64,
+}
+
+/// An open `target data` region. Created by
+/// [`CloudRuntime::target_data`]; must be closed with
+/// [`TargetDataScope::close`] to copy `map(from:)` variables home.
+/// Dropping the scope without closing releases the device residency and
+/// discards un-downloaded outputs (a diagnostic is recorded on the
+/// device).
+pub struct TargetDataScope<'rt> {
+    runtime: &'rt CloudRuntime,
+    maps: Vec<MapClause>,
+    stats: ScopeStats,
+    closed: bool,
+}
+
+impl std::fmt::Debug for TargetDataScope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TargetDataScope")
+            .field("maps", &self.maps)
+            .field("stats", &self.stats)
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+impl<'rt> TargetDataScope<'rt> {
+    pub(crate) fn enter(
+        runtime: &'rt CloudRuntime,
+        env: &DataEnv,
+        maps: Vec<MapClause>,
+    ) -> Result<TargetDataScope<'rt>, OmpError> {
+        let bytes_in = runtime.cloud().scope_enter(env, &maps)?;
+        Ok(TargetDataScope { runtime, maps, stats: ScopeStats { bytes_in, ..Default::default() }, closed: false })
+    }
+
+    /// Offload a region against the resident device data. Every variable
+    /// the region maps must be covered by the scope.
+    pub fn offload(&mut self, region: &TargetRegion) -> Result<ExecProfile, OmpError> {
+        for m in &region.maps {
+            if !self.maps.iter().any(|sm| sm.name == m.name) {
+                return Err(OmpError::Plugin {
+                    device: "cloud".into(),
+                    detail: format!(
+                        "region '{}' maps variable '{}' which the target-data scope does not hold",
+                        region.name, m.name
+                    ),
+                });
+            }
+        }
+        let profile = self.runtime.cloud().scope_offload(region)?;
+        self.stats.regions_run += 1;
+        Ok(profile)
+    }
+
+    /// Transfer statistics so far.
+    pub fn stats(&self) -> ScopeStats {
+        self.stats
+    }
+
+    /// End the scope: copy every `map(from:)`/`map(tofrom:)` variable
+    /// back into `env` and release the device residency.
+    pub fn close(mut self, env: &mut DataEnv) -> Result<ScopeStats, OmpError> {
+        self.stats.bytes_out = self.runtime.cloud().scope_exit(env, &self.maps)?;
+        self.closed = true;
+        Ok(self.stats)
+    }
+}
+
+impl Drop for TargetDataScope<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.runtime.cloud().scope_abandon();
+        }
+    }
+}
+
+/// Device-side residency state (one scope at a time, like a single
+/// OpenMP device data environment).
+#[derive(Debug, Default)]
+pub(crate) struct Residency {
+    pub env: Option<DataEnv>,
+}
+
+impl CloudDevice {
+    /// Stage the scope's input variables on the device and allocate its
+    /// outputs. Returns raw bytes shipped.
+    pub(crate) fn scope_enter(&self, env: &DataEnv, maps: &[MapClause]) -> Result<u64, OmpError> {
+        let mut residency = self.residency().lock();
+        if residency.env.is_some() {
+            return Err(OmpError::Plugin {
+                device: "cloud".into(),
+                detail: "a target-data scope is already open on this device".into(),
+            });
+        }
+        // Ship the inputs through cloud storage, as an offload would.
+        let mut items = Vec::new();
+        let mut bytes_in = 0u64;
+        for m in maps {
+            let buf = env.get_erased(&m.name)?;
+            if m.dir.is_input() {
+                bytes_in += buf.byte_len() as u64;
+                items.push((format!("target-data/{}", m.name), buf.to_bytes()));
+            }
+        }
+        self.transfer_ref().upload(items).map_err(|e| OmpError::Plugin {
+            device: "cloud".into(),
+            detail: e.to_string(),
+        })?;
+
+        // Driver-side resident environment: inputs read back from
+        // storage, outputs allocated full-size.
+        let mut resident = DataEnv::new();
+        for m in maps {
+            let host = env.get_erased(&m.name)?;
+            if m.dir.is_input() {
+                let (payloads, _) = self
+                    .transfer_ref()
+                    .download(vec![format!("target-data/{}", m.name)])
+                    .map_err(|e| OmpError::Plugin { device: "cloud".into(), detail: e.to_string() })?;
+                resident.insert_erased(
+                    &m.name,
+                    ErasedVec::from_bytes(host.tag(), &payloads[0].1),
+                );
+            } else {
+                resident.insert_erased(
+                    &m.name,
+                    ErasedVec::identity(host.tag(), host.len(), omp_model::RedOp::BitOr),
+                );
+            }
+        }
+        residency.env = Some(resident);
+        Ok(bytes_in)
+    }
+
+    /// Run a region against the resident environment (no host-target
+    /// transfers).
+    pub(crate) fn scope_offload(&self, region: &TargetRegion) -> Result<ExecProfile, OmpError> {
+        let mut residency = self.residency().lock();
+        let resident = residency.env.take().ok_or_else(|| OmpError::Plugin {
+            device: "cloud".into(),
+            detail: "no open target-data scope".into(),
+        })?;
+        let sc = self.spark_context();
+        let outcome = match crate::offload::run_spark_job(&sc, self.config(), region, resident) {
+            Ok(o) => o,
+            Err(e) => {
+                // Residency is lost on failure; the scope must be
+                // re-entered (matching OpenMP's undefined device state
+                // after an error).
+                return Err(e);
+            }
+        };
+        let mut profile = ExecProfile::new(format!("{}+resident", self.name_str()));
+        for l in &outcome.loops {
+            profile.tasks += l.tiles as u64;
+            profile.compute_s += l.compute_s;
+            profile.overhead_s += l.overhead_s;
+        }
+        profile.note("target-data scope: no host-target transfers".to_string());
+        residency.env = Some(outcome.env);
+        Ok(profile)
+    }
+
+    /// Copy the scope's outputs back and release the residency. Returns
+    /// raw bytes shipped home.
+    pub(crate) fn scope_exit(&self, env: &mut DataEnv, maps: &[MapClause]) -> Result<u64, OmpError> {
+        let mut residency = self.residency().lock();
+        let resident = residency.env.take().ok_or_else(|| OmpError::Plugin {
+            device: "cloud".into(),
+            detail: "no open target-data scope".into(),
+        })?;
+        let mut bytes_out = 0u64;
+        let mut items = Vec::new();
+        for m in maps {
+            if m.dir.is_output() {
+                let buf = resident.get_erased(&m.name)?;
+                bytes_out += buf.byte_len() as u64;
+                items.push((format!("target-data/out/{}", m.name), buf.to_bytes()));
+            }
+        }
+        self.transfer_ref().upload(items).map_err(|e| OmpError::Plugin {
+            device: "cloud".into(),
+            detail: e.to_string(),
+        })?;
+        for m in maps {
+            if m.dir.is_output() {
+                let (payloads, _) = self
+                    .transfer_ref()
+                    .download(vec![format!("target-data/out/{}", m.name)])
+                    .map_err(|e| OmpError::Plugin { device: "cloud".into(), detail: e.to_string() })?;
+                let tag = env.get_erased(&m.name)?.tag();
+                env.write_back(&m.name, ErasedVec::from_bytes(tag, &payloads[0].1))?;
+            }
+        }
+        // Storage hygiene: the scope's staging area is garbage now.
+        for key in self.store_ref().list("target-data/") {
+            let _ = self.store_ref().delete(&key);
+        }
+        Ok(bytes_out)
+    }
+
+    /// Release residency without downloading anything (dropped scope).
+    pub(crate) fn scope_abandon(&self) {
+        self.residency().lock().env = None;
+    }
+}
+
+impl CloudRuntime {
+    /// Open a `target data` scope over `env` with the given map clauses
+    /// (`(name, dir)` pairs).
+    pub fn target_data(
+        &self,
+        env: &DataEnv,
+        maps: &[(&str, MapDir)],
+    ) -> Result<TargetDataScope<'_>, OmpError> {
+        let clauses = maps.iter().map(|(n, d)| MapClause::new(*n, *d)).collect();
+        TargetDataScope::enter(self, env, clauses)
+    }
+}

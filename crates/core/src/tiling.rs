@@ -1,0 +1,91 @@
+//! Algorithm 1: tiling the parallel loop to the cluster size.
+//!
+//! "Our compiler automatically adjusts the iteration number of the
+//! outer-loop according to the cluster size using loop tiling to reduce
+//! JNI overhead … since each iteration will require one call to JNI, the
+//! closer the number of iterations is to the number of cores, the smaller
+//! will be the overhead." The tile size is `⌊N/C⌋` with `C` the number of
+//! worker cores, passed at job submission so no recompilation is needed
+//! for a different cluster.
+
+use std::ops::Range;
+
+/// Iteration ranges produced by tiling a trip count of `n` to a cluster
+/// with `c` task slots (Algorithm 1 of the paper).
+///
+/// Properties: ranges are contiguous, non-empty, cover `0..n` exactly,
+/// and there are `min(n, c)` of them (one JNI call each).
+pub fn tile_ranges(n: usize, c: usize) -> Vec<Range<usize>> {
+    // The transformed loop `for ii in (0..n).step_by(n / c)` with the
+    // inner loop clamped to `min(ii + ⌊N/C⌋ - 1, N-1)` is exactly an
+    // even split into min(n, c) contiguous blocks.
+    omp_parfor::split_even(n, c.max(1))
+}
+
+/// Number of tiles (= Spark tasks = JNI invocations) after tiling.
+pub fn tile_count(n: usize, c: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n.min(c.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(n: usize, c: usize) {
+        let tiles = tile_ranges(n, c);
+        assert_eq!(tiles.len(), tile_count(n, c), "n={n} c={c}");
+        let mut next = 0;
+        for t in &tiles {
+            assert_eq!(t.start, next, "contiguous n={n} c={c}");
+            assert!(!t.is_empty(), "non-empty n={n} c={c}");
+            next = t.end;
+        }
+        assert_eq!(next, n, "covers n={n} c={c}");
+    }
+
+    #[test]
+    fn algorithm1_shapes() {
+        for n in [1usize, 7, 16, 100, 16384] {
+            for c in [1usize, 8, 16, 63, 256, 100_000] {
+                check_cover(n, c);
+            }
+        }
+        check_cover(0, 8);
+    }
+
+    #[test]
+    fn paper_example_16_iterations() {
+        // Fig. 3 uses N = 16 loop iterations; on a 16-slot cluster every
+        // slot gets exactly one iteration.
+        let tiles = tile_ranges(16, 16);
+        assert_eq!(tiles.len(), 16);
+        assert!(tiles.iter().all(|t| t.len() == 1));
+    }
+
+    #[test]
+    fn more_cores_than_iterations_caps_at_n() {
+        let tiles = tile_ranges(4, 256);
+        assert_eq!(tiles.len(), 4);
+    }
+
+    #[test]
+    fn tiles_are_balanced() {
+        let tiles = tile_ranges(16384, 256);
+        assert_eq!(tiles.len(), 256);
+        assert!(tiles.iter().all(|t| t.len() == 64));
+        let tiles = tile_ranges(100, 8); // 100 = 8*12 + 4
+        let sizes: Vec<usize> = tiles.iter().map(|t| t.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().all(|&s| s == 12 || s == 13));
+    }
+
+    #[test]
+    fn zero_iterations_zero_tiles() {
+        assert!(tile_ranges(0, 8).is_empty());
+        assert_eq!(tile_count(0, 8), 0);
+    }
+}

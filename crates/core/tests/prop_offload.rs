@@ -1,0 +1,121 @@
+//! End-to-end property test: randomly generated DOALL regions offloaded
+//! to the in-process cloud must match sequential host execution exactly,
+//! whatever the partitioning choices, data, and cluster shape.
+
+use omp_model::prelude::*;
+use omp_model::TargetRegion;
+use ompcloud::{CloudConfig, CloudRuntime};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared small cluster for the whole property run (spawning
+/// executors per case would dominate the test time).
+fn runtime() -> &'static CloudRuntime {
+    static RT: OnceLock<CloudRuntime> = OnceLock::new();
+    RT.get_or_init(|| {
+        CloudRuntime::new(CloudConfig {
+            workers: 2,
+            vcpus_per_worker: 4,
+            task_cpus: 2,
+            min_compression_size: 128,
+            ..CloudConfig::default()
+        })
+    })
+}
+
+/// Build a y[i] = f(x[i..i+stride]) region with optional partitioning.
+fn stride_region(n: usize, stride: usize, partition_x: bool, partition_y: bool, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("prop")
+        .device(device)
+        .map_to("x")
+        .map_from("y")
+        .parallel_for(n, move |mut l| {
+            if partition_x {
+                l = l.partition("x", PartitionSpec::rows(stride));
+            }
+            if partition_y {
+                l = l.partition("y", PartitionSpec::rows(1));
+            }
+            l.body(move |i, ins, outs| {
+                let x = ins.view::<f32>("x");
+                let mut acc = 0.0f32;
+                for k in 0..stride {
+                    acc += x[i * stride + k] * (k + 1) as f32;
+                }
+                outs.view_mut::<f32>("y")[i] = acc;
+            })
+        })
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cloud_equals_host_for_random_regions(
+        n in 1usize..24,
+        stride in 1usize..6,
+        partition_x in any::<bool>(),
+        partition_y in any::<bool>(),
+        seed in any::<u32>(),
+    ) {
+        let x: Vec<f32> = (0..n * stride)
+            .map(|i| ((i as u32).wrapping_mul(seed).wrapping_add(17) % 1000) as f32 / 100.0)
+            .collect();
+
+        let mut host_env = DataEnv::new();
+        host_env.insert("x", x.clone());
+        host_env.insert("y", vec![0.0f32; n]);
+        let mut cloud_env = host_env.clone();
+
+        let host_region = stride_region(n, stride, partition_x, partition_y, DeviceSelector::Default);
+        DeviceRegistry::with_host_only().offload(&host_region, &mut host_env).unwrap();
+
+        let cloud_region = stride_region(n, stride, partition_x, partition_y, CloudRuntime::cloud_selector());
+        runtime().offload(&cloud_region, &mut cloud_env).unwrap();
+
+        prop_assert_eq!(host_env.get::<f32>("y").unwrap(), cloud_env.get::<f32>("y").unwrap());
+    }
+
+    #[test]
+    fn reductions_offload_correctly_for_random_ops(
+        values in proptest::collection::vec(-100i64..100, 1..40),
+        op_idx in 0usize..3,
+        initial in -50i64..50,
+    ) {
+        let op = [RedOp::Sum, RedOp::Min, RedOp::Max][op_idx];
+        let n = values.len();
+        let vals = values.clone();
+        let region = TargetRegion::builder("red")
+            .device(CloudRuntime::cloud_selector())
+            .map_to("x")
+            .map_tofrom("s")
+            .parallel_for(n, move |l| {
+                l.reduction("s", op).body(move |i, ins, outs| {
+                    let x = ins.view::<i64>("x");
+                    let mut s = outs.view_mut::<i64>("s");
+                    s.update(0, |v| match op {
+                        RedOp::Sum => v + x[i],
+                        RedOp::Min => v.min(x[i]),
+                        RedOp::Max => v.max(x[i]),
+                        _ => unreachable!(),
+                    });
+                })
+            })
+            .build()
+            .unwrap();
+        let mut env = DataEnv::new();
+        env.insert("x", values.clone());
+        env.insert("s", vec![initial]);
+        runtime().offload(&region, &mut env).unwrap();
+
+        let expected = match op {
+            RedOp::Sum => initial + vals.iter().sum::<i64>(),
+            RedOp::Min => vals.iter().copied().min().unwrap().min(initial),
+            RedOp::Max => vals.iter().copied().max().unwrap().max(initial),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(env.get::<i64>("s").unwrap()[0], expected);
+    }
+}

@@ -1,0 +1,116 @@
+//! Matrix and point-set generators for the evaluation benchmarks.
+//!
+//! The paper runs every benchmark on both *dense* and *sparse* inputs to
+//! expose the effect of compressibility on offloading overhead (§IV).
+//! Dense data is uniform random; sparse data keeps ~5 % of the entries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Density of the non-zero entries in "sparse" inputs.
+pub const SPARSE_DENSITY: f64 = 0.05;
+
+/// Input data class, matching the two bar groups of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataKind {
+    /// Uniform random values (poorly compressible).
+    Dense,
+    /// ~5 % non-zero values (highly compressible).
+    Sparse,
+}
+
+impl DataKind {
+    /// Label used in reports ("dense" / "sparse").
+    pub fn label(self) -> &'static str {
+        match self {
+            DataKind::Dense => "dense",
+            DataKind::Sparse => "sparse",
+        }
+    }
+}
+
+/// A `rows x cols` random matrix in linearized row-major form.
+pub fn matrix(rows: usize, cols: usize, kind: DataKind, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols)
+        .map(|_| match kind {
+            DataKind::Dense => rng.gen_range(0.0f32..1.0),
+            DataKind::Sparse => {
+                if rng.gen_bool(SPARSE_DENSITY) {
+                    rng.gen_range(0.0f32..1.0)
+                } else {
+                    0.0
+                }
+            }
+        })
+        .collect()
+}
+
+/// Random 2-D points as interleaved `[x0, y0, x1, y1, ...]`. A fraction
+/// of the points is placed on a shared line so collinear triples exist.
+pub fn points(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        if i % 8 == 0 {
+            // On the line y = 0.5 x + 0.1.
+            let x = rng.gen_range(0.0f32..100.0);
+            out.push(x);
+            out.push(0.5 * x + 0.1);
+        } else {
+            out.push(rng.gen_range(0.0f32..100.0));
+            out.push(rng.gen_range(0.0f32..100.0));
+        }
+    }
+    out
+}
+
+/// Max absolute element difference between two buffers.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Assert two float buffers agree within `tol` (absolute).
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+    let d = max_abs_diff(a, b);
+    assert!(d <= tol, "{what}: max |diff| = {d} > {tol}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrices_are_reproducible() {
+        assert_eq!(matrix(8, 8, DataKind::Dense, 42), matrix(8, 8, DataKind::Dense, 42));
+        assert_ne!(matrix(8, 8, DataKind::Dense, 42), matrix(8, 8, DataKind::Dense, 43));
+    }
+
+    #[test]
+    fn sparse_is_mostly_zero_dense_is_not() {
+        let sparse = matrix(100, 100, DataKind::Sparse, 1);
+        let dense = matrix(100, 100, DataKind::Dense, 1);
+        let nnz_sparse = sparse.iter().filter(|&&x| x != 0.0).count();
+        let nnz_dense = dense.iter().filter(|&&x| x != 0.0).count();
+        assert!(nnz_sparse < 1000, "sparse nnz = {nnz_sparse}");
+        assert!(nnz_dense > 9000, "dense nnz = {nnz_dense}");
+    }
+
+    #[test]
+    fn points_contain_collinear_family() {
+        let pts = points(64, 7);
+        assert_eq!(pts.len(), 128);
+        // Every 8th point sits on y = 0.5x + 0.1.
+        for i in (0..64).step_by(8) {
+            let (x, y) = (pts[2 * i], pts[2 * i + 1]);
+            assert!((y - (0.5 * x + 0.1)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn diff_helpers() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_close(&[1.0], &[1.0 + 1e-7], 1e-6, "tiny");
+    }
+}

@@ -1,0 +1,399 @@
+//! Extended workload set — four more PolyBench linear-algebra kernels
+//! that satisfy the cloud device's constraints (pure DOALL loops, no
+//! synchronization constructs). The paper evaluates eight benchmarks;
+//! these are *extensions* for downstream users of the library, exercising
+//! region shapes the figure set does not cover: matrix-vector products,
+//! transposed access (forcing broadcast of the matrix), and multiple
+//! independent loops in one region.
+
+use crate::data::{matrix, DataKind};
+use omp_model::prelude::*;
+use omp_model::TargetRegion;
+
+/// The extension kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtraBench {
+    /// `y = Aᵀ (A x)` — two dependent loops.
+    Atax,
+    /// `s = Aᵀ r ; q = A p` — two independent loops.
+    Bicg,
+    /// `x1 += A y1 ; x2 += Aᵀ y2` — two independent update loops.
+    Mvt,
+    /// `y = alpha*A*x + beta*B*x` — one loop, two broadcast-free inputs.
+    Gesummv,
+}
+
+/// All extension kernels.
+pub const EXTRA: &[ExtraBench] = &[ExtraBench::Atax, ExtraBench::Bicg, ExtraBench::Mvt, ExtraBench::Gesummv];
+
+impl ExtraBench {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtraBench::Atax => "ATAX",
+            ExtraBench::Bicg => "BICG",
+            ExtraBench::Mvt => "MVT",
+            ExtraBench::Gesummv => "GESUMMV",
+        }
+    }
+}
+
+/// GESUMMV scalars.
+pub const ALPHA: f32 = 1.5;
+/// GESUMMV beta scalar.
+pub const BETA: f32 = 1.2;
+
+// ---------------------------------------------------------------- ATAX
+
+/// ATAX region: `tmp = A x` then `y = Aᵀ tmp` over an `n x n` matrix.
+///
+/// Loop 1 partitions `A` by rows; loop 2 reads `A` by *columns*, so the
+/// matrix is broadcast there — the per-loop partition maps of Listing 2
+/// expressed on one region.
+pub fn atax_region(n: usize, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("atax")
+        .device(device)
+        .map_to("A")
+        .map_to("x")
+        .map_tofrom("tmp")
+        .map_from("y")
+        .parallel_for(n, move |l| {
+            l.partition("A", PartitionSpec::rows(n))
+                .partition("tmp", PartitionSpec::rows(1))
+                .flops_per_iter((2 * n) as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let x = ins.view::<f32>("x");
+                    let mut tmp = outs.view_mut::<f32>("tmp");
+                    let mut acc = 0.0f32;
+                    for k in 0..n {
+                        acc += a[i * n + k] * x[k];
+                    }
+                    tmp[i] = acc;
+                })
+        })
+        .parallel_for(n, move |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .flops_per_iter((2 * n) as f64)
+                .body(move |j, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let tmp = ins.view::<f32>("tmp");
+                    let mut y = outs.view_mut::<f32>("y");
+                    let mut acc = 0.0f32;
+                    for i in 0..n {
+                        acc += a[i * n + j] * tmp[i];
+                    }
+                    y[j] = acc;
+                })
+        })
+        .build()
+        .expect("atax region is valid")
+}
+
+/// ATAX environment.
+pub fn atax_env(n: usize, kind: DataKind, seed: u64) -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("A", matrix(n, n, kind, seed));
+    e.insert("x", matrix(1, n, kind, seed.wrapping_add(1)));
+    e.insert("tmp", vec![0.0f32; n]);
+    e.insert("y", vec![0.0f32; n]);
+    e
+}
+
+/// ATAX sequential reference.
+pub fn atax_sequential(n: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    let mut tmp = vec![0.0f32; n];
+    for i in 0..n {
+        for k in 0..n {
+            tmp[i] += a[i * n + k] * x[k];
+        }
+    }
+    for j in 0..n {
+        let mut acc = 0.0f32;
+        for i in 0..n {
+            acc += a[i * n + j] * tmp[i];
+        }
+        y[j] = acc;
+    }
+}
+
+// ---------------------------------------------------------------- BICG
+
+/// BICG region: `s = Aᵀ r` and `q = A p`, two independent loops.
+pub fn bicg_region(n: usize, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("bicg")
+        .device(device)
+        .map_to("A")
+        .map_to("r")
+        .map_to("p")
+        .map_from("s")
+        .map_from("q")
+        .parallel_for(n, move |l| {
+            l.partition("s", PartitionSpec::rows(1))
+                .flops_per_iter((2 * n) as f64)
+                .body(move |j, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let r = ins.view::<f32>("r");
+                    let mut s = outs.view_mut::<f32>("s");
+                    let mut acc = 0.0f32;
+                    for i in 0..n {
+                        acc += a[i * n + j] * r[i];
+                    }
+                    s[j] = acc;
+                })
+        })
+        .parallel_for(n, move |l| {
+            l.partition("A", PartitionSpec::rows(n))
+                .partition("q", PartitionSpec::rows(1))
+                .flops_per_iter((2 * n) as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let p = ins.view::<f32>("p");
+                    let mut q = outs.view_mut::<f32>("q");
+                    let mut acc = 0.0f32;
+                    for j in 0..n {
+                        acc += a[i * n + j] * p[j];
+                    }
+                    q[i] = acc;
+                })
+        })
+        .build()
+        .expect("bicg region is valid")
+}
+
+/// BICG environment.
+pub fn bicg_env(n: usize, kind: DataKind, seed: u64) -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("A", matrix(n, n, kind, seed));
+    e.insert("r", matrix(1, n, kind, seed.wrapping_add(1)));
+    e.insert("p", matrix(1, n, kind, seed.wrapping_add(2)));
+    e.insert("s", vec![0.0f32; n]);
+    e.insert("q", vec![0.0f32; n]);
+    e
+}
+
+/// BICG sequential reference.
+pub fn bicg_sequential(n: usize, a: &[f32], r: &[f32], p: &[f32], s: &mut [f32], q: &mut [f32]) {
+    for j in 0..n {
+        s[j] = (0..n).map(|i| a[i * n + j] * r[i]).sum();
+    }
+    for i in 0..n {
+        q[i] = (0..n).map(|j| a[i * n + j] * p[j]).sum();
+    }
+}
+
+// ----------------------------------------------------------------- MVT
+
+/// MVT region: `x1 += A y1` and `x2 += Aᵀ y2`.
+pub fn mvt_region(n: usize, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("mvt")
+        .device(device)
+        .map_to("A")
+        .map_to("y1")
+        .map_to("y2")
+        .map_tofrom("x1")
+        .map_tofrom("x2")
+        .parallel_for(n, move |l| {
+            l.partition("A", PartitionSpec::rows(n))
+                .partition("x1", PartitionSpec::rows(1))
+                .flops_per_iter((2 * n) as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let y1 = ins.view::<f32>("y1");
+                    let x1_in = ins.view::<f32>("x1");
+                    let mut x1 = outs.view_mut::<f32>("x1");
+                    let mut acc = x1_in[i];
+                    for j in 0..n {
+                        acc += a[i * n + j] * y1[j];
+                    }
+                    x1[i] = acc;
+                })
+        })
+        .parallel_for(n, move |l| {
+            l.partition("x2", PartitionSpec::rows(1))
+                .flops_per_iter((2 * n) as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let y2 = ins.view::<f32>("y2");
+                    let x2_in = ins.view::<f32>("x2");
+                    let mut x2 = outs.view_mut::<f32>("x2");
+                    let mut acc = x2_in[i];
+                    for j in 0..n {
+                        acc += a[j * n + i] * y2[j];
+                    }
+                    x2[i] = acc;
+                })
+        })
+        .build()
+        .expect("mvt region is valid")
+}
+
+/// MVT environment.
+pub fn mvt_env(n: usize, kind: DataKind, seed: u64) -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("A", matrix(n, n, kind, seed));
+    e.insert("y1", matrix(1, n, kind, seed.wrapping_add(1)));
+    e.insert("y2", matrix(1, n, kind, seed.wrapping_add(2)));
+    e.insert("x1", matrix(1, n, kind, seed.wrapping_add(3)));
+    e.insert("x2", matrix(1, n, kind, seed.wrapping_add(4)));
+    e
+}
+
+/// MVT sequential reference (`x1`/`x2` updated in place).
+pub fn mvt_sequential(n: usize, a: &[f32], y1: &[f32], y2: &[f32], x1: &mut [f32], x2: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            x1[i] += a[i * n + j] * y1[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x2[i] += a[j * n + i] * y2[j];
+        }
+    }
+}
+
+// ------------------------------------------------------------- GESUMMV
+
+/// GESUMMV region: `y = alpha*A*x + beta*B*x`.
+pub fn gesummv_region(n: usize, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("gesummv")
+        .device(device)
+        .map_to("A")
+        .map_to("B")
+        .map_to("x")
+        .map_from("y")
+        .parallel_for(n, move |l| {
+            l.partition("A", PartitionSpec::rows(n))
+                .partition("B", PartitionSpec::rows(n))
+                .partition("y", PartitionSpec::rows(1))
+                .flops_per_iter((4 * n + 3) as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let b = ins.view::<f32>("B");
+                    let x = ins.view::<f32>("x");
+                    let mut y = outs.view_mut::<f32>("y");
+                    let mut ta = 0.0f32;
+                    let mut tb = 0.0f32;
+                    for j in 0..n {
+                        ta += a[i * n + j] * x[j];
+                        tb += b[i * n + j] * x[j];
+                    }
+                    y[i] = ALPHA * ta + BETA * tb;
+                })
+        })
+        .build()
+        .expect("gesummv region is valid")
+}
+
+/// GESUMMV environment.
+pub fn gesummv_env(n: usize, kind: DataKind, seed: u64) -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("A", matrix(n, n, kind, seed));
+    e.insert("B", matrix(n, n, kind, seed.wrapping_add(1)));
+    e.insert("x", matrix(1, n, kind, seed.wrapping_add(2)));
+    e.insert("y", vec![0.0f32; n]);
+    e
+}
+
+/// GESUMMV sequential reference.
+pub fn gesummv_sequential(n: usize, a: &[f32], b: &[f32], x: &[f32], y: &mut [f32]) {
+    for i in 0..n {
+        let mut ta = 0.0f32;
+        let mut tb = 0.0f32;
+        for j in 0..n {
+            ta += a[i * n + j] * x[j];
+            tb += b[i * n + j] * x[j];
+        }
+        y[i] = ALPHA * ta + BETA * tb;
+    }
+}
+
+/// Build region + environment for an extension kernel.
+pub fn build_extra(id: ExtraBench, n: usize, kind: DataKind, seed: u64, device: DeviceSelector) -> (TargetRegion, DataEnv, &'static [&'static str]) {
+    match id {
+        ExtraBench::Atax => (atax_region(n, device), atax_env(n, kind, seed), &["y"]),
+        ExtraBench::Bicg => (bicg_region(n, device), bicg_env(n, kind, seed), &["s", "q"]),
+        ExtraBench::Mvt => (mvt_region(n, device), mvt_env(n, kind, seed), &["x1", "x2"]),
+        ExtraBench::Gesummv => (gesummv_region(n, device), gesummv_env(n, kind, seed), &["y"]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::assert_close;
+
+    #[test]
+    fn atax_matches_reference() {
+        let n = 20;
+        let mut e = atax_env(n, DataKind::Dense, 1);
+        let mut expected = vec![0.0f32; n];
+        atax_sequential(n, e.get::<f32>("A").unwrap(), e.get::<f32>("x").unwrap(), &mut expected);
+        DeviceRegistry::with_host_only().offload(&atax_region(n, DeviceSelector::Default), &mut e).unwrap();
+        assert_close(e.get::<f32>("y").unwrap(), &expected, 1e-3, "atax");
+    }
+
+    #[test]
+    fn bicg_matches_reference() {
+        let n = 18;
+        let mut e = bicg_env(n, DataKind::Dense, 2);
+        let (mut s, mut q) = (vec![0.0f32; n], vec![0.0f32; n]);
+        bicg_sequential(
+            n,
+            e.get::<f32>("A").unwrap(),
+            e.get::<f32>("r").unwrap(),
+            e.get::<f32>("p").unwrap(),
+            &mut s,
+            &mut q,
+        );
+        DeviceRegistry::with_host_only().offload(&bicg_region(n, DeviceSelector::Default), &mut e).unwrap();
+        assert_close(e.get::<f32>("s").unwrap(), &s, 1e-4, "bicg s");
+        assert_close(e.get::<f32>("q").unwrap(), &q, 1e-4, "bicg q");
+    }
+
+    #[test]
+    fn mvt_matches_reference() {
+        let n = 16;
+        let mut e = mvt_env(n, DataKind::Sparse, 3);
+        let mut x1 = e.get::<f32>("x1").unwrap().to_vec();
+        let mut x2 = e.get::<f32>("x2").unwrap().to_vec();
+        mvt_sequential(
+            n,
+            e.get::<f32>("A").unwrap(),
+            e.get::<f32>("y1").unwrap(),
+            e.get::<f32>("y2").unwrap(),
+            &mut x1,
+            &mut x2,
+        );
+        DeviceRegistry::with_host_only().offload(&mvt_region(n, DeviceSelector::Default), &mut e).unwrap();
+        assert_close(e.get::<f32>("x1").unwrap(), &x1, 1e-4, "mvt x1");
+        assert_close(e.get::<f32>("x2").unwrap(), &x2, 1e-4, "mvt x2");
+    }
+
+    #[test]
+    fn gesummv_matches_reference() {
+        let n = 24;
+        let mut e = gesummv_env(n, DataKind::Dense, 4);
+        let mut expected = vec![0.0f32; n];
+        gesummv_sequential(
+            n,
+            e.get::<f32>("A").unwrap(),
+            e.get::<f32>("B").unwrap(),
+            e.get::<f32>("x").unwrap(),
+            &mut expected,
+        );
+        DeviceRegistry::with_host_only()
+            .offload(&gesummv_region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
+        assert_close(e.get::<f32>("y").unwrap(), &expected, 1e-3, "gesummv");
+    }
+
+    #[test]
+    fn names_cover_all() {
+        assert_eq!(EXTRA.len(), 4);
+        for id in EXTRA {
+            assert!(!id.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! PolyBench GEMM: `C := alpha*A*B + beta*C`.
+//!
+//! Offloaded exactly as Listing 1/2 of the paper: the parallel loop runs
+//! over the rows of `C`; `A` and `C` are partitioned by row blocks
+//! (`map(to: A[i*N:(i+1)*N])`), `B` is deliberately *not* partitioned —
+//! its access pattern depends on the inner loop counter — and therefore
+//! broadcast whole to every worker.
+
+use crate::data::{matrix, DataKind};
+use omp_model::prelude::*;
+use omp_model::TargetRegion;
+
+/// PolyBench `alpha` scalar.
+pub const ALPHA: f32 = 1.5;
+/// PolyBench `beta` scalar.
+pub const BETA: f32 = 1.2;
+
+/// Floating-point operations for an `n x n` GEMM.
+pub fn flops(n: usize) -> f64 {
+    // Per C element: n multiply-adds plus the alpha/beta scaling.
+    (n * n) as f64 * (2.0 * n as f64 + 3.0)
+}
+
+/// The offloadable target region.
+pub fn region(n: usize, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("gemm")
+        .device(device)
+        .map_to("A")
+        .map_to("B")
+        .map_tofrom("C")
+        .parallel_for(n, move |l| {
+            l.partition("A", PartitionSpec::rows(n))
+                .partition("C", PartitionSpec::rows(n))
+                .flops_per_iter(flops(n) / n as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let b = ins.view::<f32>("B");
+                    let c_in = ins.view::<f32>("C");
+                    let mut c = outs.view_mut::<f32>("C");
+                    for j in 0..n {
+                        let mut acc = 0.0f32;
+                        for k in 0..n {
+                            acc += a[i * n + k] * b[k * n + j];
+                        }
+                        c[i * n + j] = ALPHA * acc + BETA * c_in[i * n + j];
+                    }
+                })
+        })
+        .build()
+        .expect("gemm region is valid")
+}
+
+/// Input environment for an `n x n` instance.
+pub fn env(n: usize, kind: DataKind, seed: u64) -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("A", matrix(n, n, kind, seed));
+    e.insert("B", matrix(n, n, kind, seed.wrapping_add(1)));
+    e.insert("C", matrix(n, n, kind, seed.wrapping_add(2)));
+    e
+}
+
+/// Handwritten sequential reference.
+pub fn sequential(n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = ALPHA * acc + BETA * c[i * n + j];
+        }
+    }
+}
+
+/// Output variables to validate.
+pub const OUTPUTS: &[&str] = &["C"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::assert_close;
+
+    #[test]
+    fn host_offload_matches_reference() {
+        let n = 20;
+        let mut e = env(n, DataKind::Dense, 9);
+        let mut expected = e.get::<f32>("C").unwrap().to_vec();
+        sequential(n, e.get::<f32>("A").unwrap(), e.get::<f32>("B").unwrap(), &mut expected);
+        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        assert_close(e.get::<f32>("C").unwrap(), &expected, 1e-3, "gemm");
+    }
+
+    #[test]
+    fn flops_matches_triple_loop() {
+        assert_eq!(flops(10) as u64, 100 * 23);
+    }
+}

@@ -1,0 +1,79 @@
+//! MgBench Mat-mul: plain `C = A * B` (Listing 1 of the paper).
+
+use crate::data::{matrix, DataKind};
+use omp_model::prelude::*;
+use omp_model::TargetRegion;
+
+/// Floating-point operations for an `n x n` matmul.
+pub fn flops(n: usize) -> f64 {
+    (n * n) as f64 * 2.0 * n as f64
+}
+
+/// The offloadable target region (Listing 1 + the Listing 2 partition).
+pub fn region(n: usize, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("matmul")
+        .device(device)
+        .map_to("A")
+        .map_to("B")
+        .map_from("C")
+        .parallel_for(n, move |l| {
+            l.partition("A", PartitionSpec::rows(n))
+                .partition("C", PartitionSpec::rows(n))
+                .flops_per_iter(flops(n) / n as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let b = ins.view::<f32>("B");
+                    let mut c = outs.view_mut::<f32>("C");
+                    for j in 0..n {
+                        let mut acc = 0.0f32;
+                        for k in 0..n {
+                            acc += a[i * n + k] * b[k * n + j];
+                        }
+                        c[i * n + j] = acc;
+                    }
+                })
+        })
+        .build()
+        .expect("matmul region is valid")
+}
+
+/// Input environment for an `n x n` instance.
+pub fn env(n: usize, kind: DataKind, seed: u64) -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("A", matrix(n, n, kind, seed));
+    e.insert("B", matrix(n, n, kind, seed.wrapping_add(1)));
+    e.insert("C", vec![0.0f32; n * n]);
+    e
+}
+
+/// Handwritten sequential reference.
+pub fn sequential(n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Output variables to validate.
+pub const OUTPUTS: &[&str] = &["C"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::assert_close;
+
+    #[test]
+    fn host_offload_matches_reference() {
+        let n = 16;
+        let mut e = env(n, DataKind::Sparse, 3);
+        let mut expected = vec![0.0f32; n * n];
+        sequential(n, e.get::<f32>("A").unwrap(), e.get::<f32>("B").unwrap(), &mut expected);
+        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        assert_close(e.get::<f32>("C").unwrap(), &expected, 1e-4, "matmul");
+    }
+}

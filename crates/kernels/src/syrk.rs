@@ -1,0 +1,103 @@
+//! PolyBench SYRK: symmetric rank-k update `C := alpha*A*Aᵀ + beta*C`.
+//!
+//! Iteration `i` computes row `i` of `C` but reads *every* row of `A`
+//! (`C[i][j] = Σ_k A[i][k] * A[j][k]`), so `A` cannot be partitioned and
+//! is broadcast whole — the reason SYRK shows the largest Spark overhead
+//! in the paper's Fig. 4 (17 % at 8 cores growing to 69 % at 256).
+
+use crate::data::{matrix, DataKind};
+use omp_model::prelude::*;
+use omp_model::TargetRegion;
+
+/// PolyBench `alpha` scalar.
+pub const ALPHA: f32 = 1.5;
+/// PolyBench `beta` scalar.
+pub const BETA: f32 = 1.2;
+
+/// Floating-point operations for an `n x n` SYRK.
+pub fn flops(n: usize) -> f64 {
+    (n * n) as f64 * (2.0 * n as f64 + 3.0)
+}
+
+/// The offloadable target region.
+pub fn region(n: usize, device: DeviceSelector) -> TargetRegion {
+    TargetRegion::builder("syrk")
+        .device(device)
+        .map_to("A")
+        .map_tofrom("C")
+        .parallel_for(n, move |l| {
+            l.partition("C", PartitionSpec::rows(n))
+                .flops_per_iter(flops(n) / n as f64)
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let c_in = ins.view::<f32>("C");
+                    let mut c = outs.view_mut::<f32>("C");
+                    for j in 0..n {
+                        let mut acc = 0.0f32;
+                        for k in 0..n {
+                            acc += a[i * n + k] * a[j * n + k];
+                        }
+                        c[i * n + j] = ALPHA * acc + BETA * c_in[i * n + j];
+                    }
+                })
+        })
+        .build()
+        .expect("syrk region is valid")
+}
+
+/// Input environment for an `n x n` instance.
+pub fn env(n: usize, kind: DataKind, seed: u64) -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("A", matrix(n, n, kind, seed));
+    e.insert("C", matrix(n, n, kind, seed.wrapping_add(1)));
+    e
+}
+
+/// Handwritten sequential reference; `c` is updated in place.
+pub fn sequential(n: usize, a: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * a[j * n + k];
+            }
+            c[i * n + j] = ALPHA * acc + BETA * c[i * n + j];
+        }
+    }
+}
+
+/// Output variables to validate.
+pub const OUTPUTS: &[&str] = &["C"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::assert_close;
+
+    #[test]
+    fn host_offload_matches_reference() {
+        let n = 18;
+        let mut e = env(n, DataKind::Dense, 21);
+        let mut expected = e.get::<f32>("C").unwrap().to_vec();
+        sequential(n, e.get::<f32>("A").unwrap(), &mut expected);
+        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        assert_close(e.get::<f32>("C").unwrap(), &expected, 1e-3, "syrk");
+    }
+
+    #[test]
+    fn result_is_symmetric_when_beta_terms_are() {
+        // alpha*A*Aᵀ is symmetric; with C starting symmetric the result
+        // stays symmetric.
+        let n = 10;
+        let mut e = DataEnv::new();
+        e.insert("A", matrix(n, n, DataKind::Dense, 2));
+        e.insert("C", vec![0.5f32; n * n]);
+        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        let c = e.get::<f32>("C").unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((c[i * n + j] - c[j * n + i]).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! OpenMP clause vocabulary: map directions, reductions, and the
+//! synchronization constructs a device may or may not support.
+
+use crate::erased::RedOp;
+use crate::partition::PartitionSpec;
+
+/// Direction of a `map` clause relative to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapDir {
+    /// `map(to: ...)` — input copied host → device.
+    To,
+    /// `map(from: ...)` — output copied device → host.
+    From,
+    /// `map(tofrom: ...)` — both (e.g. `C` in `C = alpha*A*B + beta*C`).
+    ToFrom,
+}
+
+impl MapDir {
+    /// Variable is read by the region.
+    pub fn is_input(self) -> bool {
+        matches!(self, MapDir::To | MapDir::ToFrom)
+    }
+
+    /// Variable is written by the region.
+    pub fn is_output(self) -> bool {
+        matches!(self, MapDir::From | MapDir::ToFrom)
+    }
+}
+
+impl std::fmt::Display for MapDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MapDir::To => "to",
+            MapDir::From => "from",
+            MapDir::ToFrom => "tofrom",
+        })
+    }
+}
+
+/// One variable mapping of a `target` region: `map(to: A[:N*N])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapClause {
+    /// Name of the variable in the data environment.
+    pub name: String,
+    /// Transfer direction.
+    pub dir: MapDir,
+}
+
+impl MapClause {
+    /// Construct a map clause for `name`.
+    pub fn new(name: impl Into<String>, dir: MapDir) -> Self {
+        MapClause { name: name.into(), dir }
+    }
+}
+
+/// An OpenMP `reduction(op: var)` clause attached to a parallel loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionClause {
+    /// Output variable the reduction applies to.
+    pub var: String,
+    /// Reduction operator.
+    pub op: RedOp,
+}
+
+/// Synchronization / structural constructs a target region may use.
+///
+/// The cloud device rejects the distributed-unfriendly ones, exactly the
+/// list in §III-D of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Construct {
+    /// `#pragma omp parallel for` (DOALL loop) — universally supported.
+    ParallelFor,
+    /// `#pragma omp atomic`.
+    Atomic,
+    /// `#pragma omp barrier`.
+    Barrier,
+    /// `#pragma omp critical`.
+    Critical,
+    /// `#pragma omp flush`.
+    Flush,
+    /// `#pragma omp master`.
+    Master,
+}
+
+impl std::fmt::Display for Construct {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Construct::ParallelFor => "parallel for",
+            Construct::Atomic => "atomic",
+            Construct::Barrier => "barrier",
+            Construct::Critical => "critical",
+            Construct::Flush => "flush",
+            Construct::Master => "master",
+        })
+    }
+}
+
+/// Per-loop partition assignment: which mapped variables get the
+/// Listing-2 `target data map` treatment inside this loop.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartitionMap {
+    entries: Vec<(String, PartitionSpec)>,
+}
+
+impl PartitionMap {
+    /// Empty map: every variable is broadcast whole.
+    pub fn none() -> Self {
+        PartitionMap::default()
+    }
+
+    /// Add (or replace) a partition spec for `var`.
+    pub fn set(&mut self, var: impl Into<String>, spec: PartitionSpec) {
+        let var = var.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == var) {
+            e.1 = spec;
+        } else {
+            self.entries.push((var, spec));
+        }
+    }
+
+    /// Look up the spec for `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&PartitionSpec> {
+        self.entries.iter().find(|(n, _)| n == var).map(|(_, s)| s)
+    }
+
+    /// Iterate over all `(var, spec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PartitionSpec)> {
+        self.entries.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Number of partitioned variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is partitioned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionSpec;
+
+    #[test]
+    fn map_dir_io_classification() {
+        assert!(MapDir::To.is_input() && !MapDir::To.is_output());
+        assert!(!MapDir::From.is_input() && MapDir::From.is_output());
+        assert!(MapDir::ToFrom.is_input() && MapDir::ToFrom.is_output());
+    }
+
+    #[test]
+    fn partition_map_set_get_replace() {
+        let mut pm = PartitionMap::none();
+        assert!(pm.is_empty());
+        pm.set("A", PartitionSpec::rows(4));
+        pm.set("C", PartitionSpec::rows(8));
+        pm.set("A", PartitionSpec::rows(16)); // replace
+        assert_eq!(pm.len(), 2);
+        assert_eq!(pm.get("A"), Some(&PartitionSpec::rows(16)));
+        assert_eq!(pm.get("B"), None);
+    }
+
+    #[test]
+    fn construct_display() {
+        assert_eq!(Construct::Barrier.to_string(), "barrier");
+        assert_eq!(Construct::ParallelFor.to_string(), "parallel for");
+    }
+}

@@ -1,0 +1,349 @@
+//! Device plug-ins and the target-agnostic offloading wrapper.
+//!
+//! This mirrors the libomptarget architecture of the paper's Fig. 2: a
+//! *target-agnostic wrapper* (the [`DeviceRegistry`]) detects devices,
+//! checks capabilities, and dispatches the region to a *target-specific
+//! plug-in* (any [`Device`] implementation). The host device is always
+//! device 0; the cloud plug-in lives in the `ompcloud` crate and registers
+//! itself here.
+
+use crate::clause::Construct;
+use crate::env::DataEnv;
+use crate::error::OmpError;
+use crate::profile::ExecProfile;
+use crate::region::TargetRegion;
+use std::sync::Arc;
+
+/// Broad class of a device (what `device(CLOUD)` selects on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// The initial device — the local machine.
+    Host,
+    /// A cloud Spark cluster reachable through the network.
+    Cloud,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DeviceKind::Host => "host",
+            DeviceKind::Cloud => "cloud",
+        })
+    }
+}
+
+/// The `device(...)` clause of a target region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceSelector {
+    /// Whatever the registry's default device is.
+    #[default]
+    Default,
+    /// A specific device number (libomptarget-style).
+    Id(usize),
+    /// The first available device of a kind — `device(CLOUD)`.
+    Kind(DeviceKind),
+}
+
+impl std::fmt::Display for DeviceSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceSelector::Default => write!(f, "default"),
+            DeviceSelector::Id(id) => write!(f, "#{id}"),
+            DeviceSelector::Kind(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// A target-specific offloading plug-in.
+pub trait Device: Send + Sync {
+    /// Unique human-readable name.
+    fn name(&self) -> &str;
+
+    /// What kind of device this is.
+    fn kind(&self) -> DeviceKind;
+
+    /// Is the device reachable right now? Cloud devices cannot be detected
+    /// automatically (they are not physically attached), so this typically
+    /// checks configuration/connection state.
+    fn is_available(&self) -> bool {
+        true
+    }
+
+    /// Can this device execute regions using `construct`?
+    fn supports(&self, construct: Construct) -> bool;
+
+    /// Execute the region against the environment, returning the timing
+    /// profile. Called by the wrapper after capability checks pass.
+    fn execute(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError>;
+}
+
+/// The target-agnostic offloading wrapper: device table + dispatch.
+#[derive(Clone, Default)]
+pub struct DeviceRegistry {
+    devices: Vec<Arc<dyn Device>>,
+    default_device: usize,
+}
+
+impl DeviceRegistry {
+    /// Empty registry (no devices — even `omp_get_num_devices() == 0`).
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Registry holding only the sequential host device, the state of a
+    /// program before any plug-in registers.
+    pub fn with_host_only() -> Self {
+        let mut r = DeviceRegistry::new();
+        r.register(Arc::new(crate::host::HostDevice::sequential()));
+        r
+    }
+
+    /// Register a device and return its device number.
+    pub fn register(&mut self, device: Arc<dyn Device>) -> usize {
+        self.devices.push(device);
+        self.devices.len() - 1
+    }
+
+    /// `omp_get_num_devices()`.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device by number.
+    pub fn device(&self, id: usize) -> Option<&Arc<dyn Device>> {
+        self.devices.get(id)
+    }
+
+    /// `omp_set_default_device(id)`.
+    pub fn set_default(&mut self, id: usize) -> Result<(), OmpError> {
+        if id >= self.devices.len() {
+            return Err(OmpError::NoDevice(format!("#{id}")));
+        }
+        self.default_device = id;
+        Ok(())
+    }
+
+    /// `omp_get_default_device()`.
+    pub fn default_device(&self) -> usize {
+        self.default_device
+    }
+
+    /// Resolve a selector to a concrete device.
+    pub fn resolve(&self, selector: DeviceSelector) -> Result<(usize, &Arc<dyn Device>), OmpError> {
+        match selector {
+            DeviceSelector::Default => self
+                .devices
+                .get(self.default_device)
+                .map(|d| (self.default_device, d))
+                .ok_or_else(|| OmpError::NoDevice("default".into())),
+            DeviceSelector::Id(id) => self
+                .devices
+                .get(id)
+                .map(|d| (id, d))
+                .ok_or_else(|| OmpError::NoDevice(format!("#{id}"))),
+            DeviceSelector::Kind(kind) => self
+                .devices
+                .iter()
+                .enumerate()
+                .find(|(_, d)| d.kind() == kind)
+                .ok_or_else(|| OmpError::NoDevice(kind.to_string())),
+        }
+    }
+
+    /// The `__tgt_target`-equivalent entry point: dispatch a region.
+    ///
+    /// Offloading is dynamic (§III): when the selected device is
+    /// *unavailable* the computation falls back to the host device. When
+    /// the device is available but the region uses a construct it cannot
+    /// run (e.g. `barrier` on the cloud), that is a hard error — silent
+    /// fallback would hide a semantic mismatch.
+    pub fn offload(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+        // `if(false)` regions run on the host, per the OpenMP standard.
+        if !region.offload_if {
+            let host = self
+                .devices
+                .iter()
+                .find(|d| d.kind() == DeviceKind::Host && d.is_available())
+                .ok_or_else(|| OmpError::NoDevice("host (if-clause fallback)".into()))?;
+            let mut profile = host.execute(region, env)?;
+            profile.note("if(...) clause evaluated false; executed on the host");
+            return Ok(profile);
+        }
+        let (_, device) = self.resolve(region.device)?;
+        for &c in &region.constructs {
+            if !device.supports(c) {
+                return Err(OmpError::UnsupportedConstruct {
+                    device: device.name().to_string(),
+                    construct: c,
+                });
+            }
+        }
+        if device.is_available() {
+            return device.execute(region, env);
+        }
+        // Dynamic fallback: run locally when the cloud cannot be reached.
+        let host = self
+            .devices
+            .iter()
+            .find(|d| d.kind() == DeviceKind::Host && d.is_available())
+            .ok_or_else(|| OmpError::DeviceUnavailable {
+                device: device.name().to_string(),
+                reason: "device unreachable and no host device registered for fallback".into(),
+            })?;
+        let mut profile = host.execute(region, env)?;
+        profile.note(format!(
+            "device '{}' unavailable; computation performed locally on '{}'",
+            device.name(),
+            host.name()
+        ));
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::TargetRegion;
+    use parking_lot::Mutex;
+
+    /// Minimal fake device for wrapper tests.
+    struct FakeDevice {
+        name: String,
+        kind: DeviceKind,
+        available: bool,
+        supports_barrier: bool,
+        executions: Mutex<usize>,
+    }
+
+    impl Device for FakeDevice {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn kind(&self) -> DeviceKind {
+            self.kind
+        }
+        fn is_available(&self) -> bool {
+            self.available
+        }
+        fn supports(&self, c: Construct) -> bool {
+            c != Construct::Barrier || self.supports_barrier
+        }
+        fn execute(&self, _region: &TargetRegion, _env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+            *self.executions.lock() += 1;
+            Ok(ExecProfile::new(self.name.clone()))
+        }
+    }
+
+    fn fake(name: &str, kind: DeviceKind, available: bool) -> Arc<FakeDevice> {
+        Arc::new(FakeDevice {
+            name: name.into(),
+            kind,
+            available,
+            supports_barrier: kind == DeviceKind::Host,
+            executions: Mutex::new(0),
+        })
+    }
+
+    fn trivial_region(selector: DeviceSelector) -> TargetRegion {
+        TargetRegion::builder("t")
+            .device(selector)
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn registry_counts_devices() {
+        let mut r = DeviceRegistry::with_host_only();
+        assert_eq!(r.num_devices(), 1);
+        r.register(fake("cloud-0", DeviceKind::Cloud, true));
+        assert_eq!(r.num_devices(), 2);
+    }
+
+    #[test]
+    fn resolve_by_kind_finds_cloud() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = fake("cloud-0", DeviceKind::Cloud, true);
+        r.register(cloud);
+        let (id, d) = r.resolve(DeviceSelector::Kind(DeviceKind::Cloud)).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(d.name(), "cloud-0");
+    }
+
+    #[test]
+    fn resolve_missing_kind_errors() {
+        let r = DeviceRegistry::with_host_only();
+        assert!(matches!(
+            r.resolve(DeviceSelector::Kind(DeviceKind::Cloud)),
+            Err(OmpError::NoDevice(_))
+        ));
+    }
+
+    #[test]
+    fn offload_dispatches_to_selected_device() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = fake("cloud-0", DeviceKind::Cloud, true);
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        let p = r.offload(&trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)), &mut env).unwrap();
+        assert_eq!(p.device, "cloud-0");
+        assert_eq!(*cloud.executions.lock(), 1);
+    }
+
+    #[test]
+    fn unavailable_cloud_falls_back_to_host() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        let cloud = fake("cloud-0", DeviceKind::Cloud, false);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        let p = r.offload(&trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)), &mut env).unwrap();
+        assert_eq!(p.device, "host");
+        assert_eq!(*cloud.executions.lock(), 0);
+        assert_eq!(*host.executions.lock(), 1);
+        assert!(p.notes.iter().any(|n| n.contains("performed locally")));
+    }
+
+    #[test]
+    fn unsupported_construct_is_hard_error() {
+        let mut r = DeviceRegistry::with_host_only();
+        r.register(fake("cloud-0", DeviceKind::Cloud, true));
+        let region = TargetRegion::builder("sync")
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .uses(Construct::Barrier)
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        let mut env = DataEnv::new();
+        assert!(matches!(
+            r.offload(&region, &mut env),
+            Err(OmpError::UnsupportedConstruct { .. })
+        ));
+    }
+
+    #[test]
+    fn if_clause_false_runs_on_host() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = fake("cloud-0", DeviceKind::Cloud, true);
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        let region = TargetRegion::builder("small")
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .offload_if(false)
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        let mut env = DataEnv::new();
+        let p = r.offload(&region, &mut env).unwrap();
+        assert!(p.device.starts_with("host"));
+        assert_eq!(*cloud.executions.lock(), 0);
+        assert!(p.notes.iter().any(|n| n.contains("if(...)")));
+    }
+
+    #[test]
+    fn set_default_validates_id() {
+        let mut r = DeviceRegistry::with_host_only();
+        assert!(r.set_default(0).is_ok());
+        assert!(r.set_default(5).is_err());
+    }
+}

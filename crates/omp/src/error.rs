@@ -1,0 +1,79 @@
+//! Error type shared across the accelerator-model runtime and its device
+//! plug-ins.
+
+use crate::clause::Construct;
+use std::fmt;
+
+/// Errors surfaced by the offloading runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OmpError {
+    /// Region referenced a variable not present in the data environment.
+    UnknownVariable(String),
+    /// Typed access to a variable with a different element type.
+    TypeMismatch {
+        /// Variable name.
+        var: String,
+        /// Element type the caller asked for.
+        expected: &'static str,
+        /// Element type the buffer holds.
+        actual: &'static str,
+    },
+    /// A partition spec evaluated outside its variable's bounds.
+    PartitionOutOfBounds {
+        /// Which iteration/bound failed and how.
+        detail: String,
+    },
+    /// The selected device cannot run a construct used by the region
+    /// (e.g. `barrier` on the cloud device, §III-D).
+    UnsupportedConstruct {
+        /// Device that refused.
+        device: String,
+        /// The offending construct.
+        construct: Construct,
+    },
+    /// No device matched the selector and host fallback was disabled.
+    NoDevice(String),
+    /// The device exists but is not reachable right now.
+    DeviceUnavailable {
+        /// Device that was selected.
+        device: String,
+        /// Why it is unreachable.
+        reason: String,
+    },
+    /// Malformed target region (no loops, zero-length body, ...).
+    InvalidRegion(String),
+    /// Plug-in specific failure (storage, cluster, config, ...).
+    Plugin {
+        /// Device reporting the failure.
+        device: String,
+        /// Backend-specific description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for OmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpError::UnknownVariable(name) => {
+                write!(f, "variable '{name}' is not mapped into the data environment")
+            }
+            OmpError::TypeMismatch { var, expected, actual } => {
+                write!(f, "variable '{var}' holds {actual} elements but was accessed as {expected}")
+            }
+            OmpError::PartitionOutOfBounds { detail } => {
+                write!(f, "partition out of bounds: {detail}")
+            }
+            OmpError::UnsupportedConstruct { device, construct } => {
+                write!(f, "device '{device}' does not support the '{construct}' construct")
+            }
+            OmpError::NoDevice(selector) => write!(f, "no device matches selector '{selector}'"),
+            OmpError::DeviceUnavailable { device, reason } => {
+                write!(f, "device '{device}' unavailable: {reason}")
+            }
+            OmpError::InvalidRegion(detail) => write!(f, "invalid target region: {detail}"),
+            OmpError::Plugin { device, detail } => write!(f, "device '{device}' failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for OmpError {}

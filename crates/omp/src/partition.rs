@@ -1,0 +1,209 @@
+//! The paper's data-partitioning extension of `target data map` (§III-B).
+//!
+//! `#pragma omp target data map(to: A[i*N:(i+1)*N])` tells the runtime
+//! that iteration `i` of the parallel loop only touches elements
+//! `[i*N, (i+1)*N)` of `A`, so the Spark driver can co-locate that block
+//! with the task computing iteration `i` instead of broadcasting all of
+//! `A`. The bounds are linear functions of the loop index, which is
+//! exactly what the clause syntax can express; [`LinearExpr`] models
+//! `coeff * i + offset`.
+
+use crate::error::OmpError;
+use std::ops::Range;
+
+/// `coeff * i + offset`, evaluated over the parallel loop index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearExpr {
+    /// Multiplier of the loop index (must be non-negative so partition
+    /// ranges grow monotonically with `i`, a requirement for tiling).
+    pub coeff: i64,
+    /// Constant term.
+    pub offset: i64,
+}
+
+impl LinearExpr {
+    /// Construct `coeff * i + offset`.
+    pub const fn new(coeff: i64, offset: i64) -> Self {
+        LinearExpr { coeff, offset }
+    }
+
+    /// The constant expression `offset`.
+    pub const fn constant(offset: i64) -> Self {
+        LinearExpr { coeff: 0, offset }
+    }
+
+    /// Evaluate at loop index `i`.
+    pub fn eval(&self, i: usize) -> i64 {
+        self.coeff * i as i64 + self.offset
+    }
+}
+
+impl std::fmt::Display for LinearExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.coeff, self.offset) {
+            (0, o) => write!(f, "{o}"),
+            (c, 0) => write!(f, "{c}*i"),
+            (c, o) if o < 0 => write!(f, "{c}*i-{}", -o),
+            (c, o) => write!(f, "{c}*i+{o}"),
+        }
+    }
+}
+
+/// Per-iteration element range `[lower(i), upper(i))` of a mapped variable,
+/// the runtime form of `map(to: A[i*N:(i+1)*N])`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Inclusive lower bound expression.
+    pub lower: LinearExpr,
+    /// Exclusive upper bound expression.
+    pub upper: LinearExpr,
+}
+
+impl PartitionSpec {
+    /// `[lower(i), upper(i))`.
+    pub const fn new(lower: LinearExpr, upper: LinearExpr) -> Self {
+        PartitionSpec { lower, upper }
+    }
+
+    /// The common "row block" pattern `A[i*block : (i+1)*block]`.
+    pub const fn rows(block: usize) -> Self {
+        PartitionSpec {
+            lower: LinearExpr::new(block as i64, 0),
+            upper: LinearExpr::new(block as i64, block as i64),
+        }
+    }
+
+    /// Element range touched by a single iteration `i`.
+    ///
+    /// Returns an error if the bounds are negative, inverted, or exceed
+    /// `var_len` — the runtime validates every partition against the
+    /// mapped buffer before building the job.
+    pub fn range_for(&self, i: usize, var_len: usize) -> Result<Range<usize>, OmpError> {
+        let lo = self.lower.eval(i);
+        let hi = self.upper.eval(i);
+        if lo < 0 || hi < lo {
+            return Err(OmpError::PartitionOutOfBounds {
+                detail: format!("iteration {i}: bounds [{lo}, {hi}) are invalid"),
+            });
+        }
+        let (lo, hi) = (lo as usize, hi as usize);
+        if hi > var_len {
+            return Err(OmpError::PartitionOutOfBounds {
+                detail: format!(
+                    "iteration {i}: upper bound {hi} exceeds variable length {var_len}"
+                ),
+            });
+        }
+        Ok(lo..hi)
+    }
+
+    /// Element range touched by a *tile* of iterations (Algorithm 1
+    /// readjusts partition bounds to the tiling size). Requires
+    /// `coeff >= 0` on both bounds so the union of per-iteration ranges is
+    /// the contiguous hull `[lower(first), upper(last))`.
+    pub fn range_for_tile(&self, iters: Range<usize>, var_len: usize) -> Result<Range<usize>, OmpError> {
+        if iters.is_empty() {
+            return Ok(0..0);
+        }
+        if self.lower.coeff < 0 || self.upper.coeff < 0 {
+            return Err(OmpError::PartitionOutOfBounds {
+                detail: format!(
+                    "partition bounds must be non-decreasing in i for tiling (got lower={}, upper={})",
+                    self.lower, self.upper
+                ),
+            });
+        }
+        let first = self.range_for(iters.start, var_len)?;
+        let last = self.range_for(iters.end - 1, var_len)?;
+        Ok(first.start..last.end.max(first.start))
+    }
+
+    /// True when the spec partitions anything at all (a degenerate spec
+    /// with `coeff == 0` on both bounds maps the same block to every
+    /// iteration, which the runtime treats as a broadcast).
+    pub fn is_indexed(&self) -> bool {
+        self.lower.coeff != 0 || self.upper.coeff != 0
+    }
+}
+
+impl std::fmt::Display for PartitionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}:{}]", self.lower, self.upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_pattern_matches_listing2() {
+        // Listing 2: map(to: A[i*N:(i+1)*N]) with N = 4.
+        let spec = PartitionSpec::rows(4);
+        assert_eq!(spec.range_for(0, 16).unwrap(), 0..4);
+        assert_eq!(spec.range_for(3, 16).unwrap(), 12..16);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let spec = PartitionSpec::rows(4);
+        assert!(spec.range_for(4, 16).is_err());
+    }
+
+    #[test]
+    fn negative_lower_rejected() {
+        let spec = PartitionSpec::new(LinearExpr::new(4, -8), LinearExpr::new(4, 0));
+        assert!(spec.range_for(0, 16).is_err());
+        assert!(spec.range_for(2, 16).is_ok());
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        let spec = PartitionSpec::new(LinearExpr::constant(8), LinearExpr::constant(4));
+        assert!(spec.range_for(0, 16).is_err());
+    }
+
+    #[test]
+    fn tile_range_is_hull_of_iterations() {
+        let spec = PartitionSpec::rows(5);
+        // Tile covering iterations 2..6 of a 40-element variable.
+        assert_eq!(spec.range_for_tile(2..6, 40).unwrap(), 10..30);
+        // Union of individual ranges equals the hull.
+        let mut lo = usize::MAX;
+        let mut hi = 0;
+        for i in 2..6 {
+            let r = spec.range_for(i, 40).unwrap();
+            lo = lo.min(r.start);
+            hi = hi.max(r.end);
+        }
+        assert_eq!(lo..hi, 10..30);
+    }
+
+    #[test]
+    fn empty_tile_is_empty_range() {
+        let spec = PartitionSpec::rows(5);
+        assert_eq!(spec.range_for_tile(3..3, 40).unwrap(), 0..0);
+    }
+
+    #[test]
+    fn negative_coeff_rejected_for_tiling() {
+        let spec = PartitionSpec::new(LinearExpr::new(-1, 100), LinearExpr::new(-1, 104));
+        assert!(spec.range_for_tile(0..2, 200).is_err());
+        // ...but per-iteration evaluation still works.
+        assert_eq!(spec.range_for(0, 200).unwrap(), 100..104);
+    }
+
+    #[test]
+    fn constant_spec_is_broadcast() {
+        let bcast = PartitionSpec::new(LinearExpr::constant(0), LinearExpr::constant(16));
+        assert!(!bcast.is_indexed());
+        assert!(PartitionSpec::rows(4).is_indexed());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PartitionSpec::rows(4).to_string(), "[4*i:4*i+4]");
+        assert_eq!(LinearExpr::constant(7).to_string(), "7");
+        assert_eq!(LinearExpr::new(2, -3).to_string(), "2*i-3");
+    }
+}

@@ -1,0 +1,175 @@
+//! Plain-old-data element types that can cross the host/device boundary.
+//!
+//! Offloaded buffers are marshalled to little-endian byte streams before
+//! they leave the host (the cloud plug-in ships them as binary files, the
+//! Spark driver loads them back as byte arrays — §III-C of the paper). The
+//! [`Pod`] trait pins down exactly which element types may appear in a map
+//! clause and how each converts to and from its wire form.
+
+/// Runtime tag identifying a [`Pod`] element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeTag {
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Signed 32-bit integer.
+    I32,
+    /// Signed 64-bit integer.
+    I64,
+    /// Unsigned byte.
+    U8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 64-bit integer.
+    U64,
+}
+
+impl TypeTag {
+    /// Size of one element in bytes.
+    pub fn elem_size(self) -> usize {
+        match self {
+            TypeTag::U8 => 1,
+            TypeTag::U16 => 2,
+            TypeTag::F32 | TypeTag::I32 | TypeTag::U32 => 4,
+            TypeTag::F64 | TypeTag::I64 | TypeTag::U64 => 8,
+        }
+    }
+
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeTag::F32 => "f32",
+            TypeTag::F64 => "f64",
+            TypeTag::I32 => "i32",
+            TypeTag::I64 => "i64",
+            TypeTag::U8 => "u8",
+            TypeTag::U16 => "u16",
+            TypeTag::U32 => "u32",
+            TypeTag::U64 => "u64",
+        }
+    }
+}
+
+impl std::fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An element type that can be mapped to an offloading device.
+///
+/// Implementations define the little-endian wire format used whenever a
+/// buffer is serialized for transmission or storage.
+pub trait Pod: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Runtime tag for this type.
+    const TAG: TypeTag;
+    /// Write `self` into `out` (exactly `TAG.elem_size()` bytes).
+    fn write_le(&self, out: &mut [u8]);
+    /// Read a value from `bytes` (exactly `TAG.elem_size()` bytes).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($($ty:ty => $tag:ident),* $(,)?) => {
+        $(
+            impl Pod for $ty {
+                const TAG: TypeTag = TypeTag::$tag;
+                #[inline]
+                fn write_le(&self, out: &mut [u8]) {
+                    out.copy_from_slice(&self.to_le_bytes());
+                }
+                #[inline]
+                fn read_le(bytes: &[u8]) -> Self {
+                    <$ty>::from_le_bytes(bytes.try_into().expect("exact element width"))
+                }
+            }
+        )*
+    };
+}
+
+impl_pod! {
+    f32 => F32,
+    f64 => F64,
+    i32 => I32,
+    i64 => I64,
+    u8 => U8,
+    u16 => U16,
+    u32 => U32,
+    u64 => U64,
+}
+
+/// Serialize a slice to its little-endian wire form.
+pub fn to_le_bytes<T: Pod>(data: &[T]) -> Vec<u8> {
+    let sz = T::TAG.elem_size();
+    let mut out = vec![0u8; data.len() * sz];
+    for (v, chunk) in data.iter().zip(out.chunks_exact_mut(sz)) {
+        v.write_le(chunk);
+    }
+    out
+}
+
+/// Deserialize a little-endian wire buffer back into typed elements.
+///
+/// Panics if `bytes.len()` is not a multiple of the element size; wire
+/// buffers are always produced by [`to_le_bytes`] so a remainder indicates
+/// a framing bug upstream.
+pub fn from_le_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let sz = T::TAG.elem_size();
+    assert!(
+        bytes.len().is_multiple_of(sz),
+        "wire buffer of {} bytes is not a whole number of {} elements",
+        bytes.len(),
+        T::TAG
+    );
+    bytes.chunks_exact(sz).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(TypeTag::F32.elem_size(), 4);
+        assert_eq!(TypeTag::F64.elem_size(), 8);
+        assert_eq!(TypeTag::U8.elem_size(), 1);
+        assert_eq!(TypeTag::U16.elem_size(), 2);
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let data = vec![0.0f32, -1.5, f32::INFINITY, f32::MIN_POSITIVE, 3.25e7];
+        assert_eq!(from_le_bytes::<f32>(&to_le_bytes(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_all_int_types() {
+        assert_eq!(from_le_bytes::<i32>(&to_le_bytes(&[i32::MIN, -1, 0, i32::MAX])), vec![i32::MIN, -1, 0, i32::MAX]);
+        assert_eq!(from_le_bytes::<u64>(&to_le_bytes(&[0u64, u64::MAX])), vec![0, u64::MAX]);
+        assert_eq!(from_le_bytes::<u8>(&to_le_bytes(&[7u8, 255])), vec![7, 255]);
+        assert_eq!(from_le_bytes::<u16>(&to_le_bytes(&[1u16, u16::MAX])), vec![1, u16::MAX]);
+        assert_eq!(from_le_bytes::<i64>(&to_le_bytes(&[i64::MIN])), vec![i64::MIN]);
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let weird = f32::from_bits(0x7FC0_0001);
+        let rt = from_le_bytes::<f32>(&to_le_bytes(&[weird]));
+        assert_eq!(rt[0].to_bits(), 0x7FC0_0001);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_buffer_panics() {
+        from_le_bytes::<f32>(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_format_is_little_endian() {
+        assert_eq!(to_le_bytes(&[1u32]), vec![1, 0, 0, 0]);
+        assert_eq!(to_le_bytes(&[256u16]), vec![0, 1]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Execution profiles — the measurement surface the paper's evaluation is
+//! built on.
+//!
+//! Fig. 5 of the paper decomposes every offloaded run into three parts:
+//! *host-target communication* (compression + transmission between the
+//! local machine and cloud storage), *Spark overhead* (scheduling and
+//! intra-cluster communication), and *computation time* (the parallel
+//! loop-body execution). Every device plug-in fills an [`ExecProfile`]
+//! with exactly that decomposition, so the figure harnesses can read it
+//! off uniformly whether the numbers come from real threads or the
+//! discrete-event model.
+
+/// Timing/traffic breakdown of one offloaded target region.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecProfile {
+    /// Name of the device that executed the region.
+    pub device: String,
+    /// Host ↔ device transfer time in seconds (incl. compression).
+    pub host_comm_s: f64,
+    /// Device-internal overhead in seconds (scheduling, intra-cluster
+    /// communication, serialization — "Spark overhead" in Fig. 5).
+    pub overhead_s: f64,
+    /// Parallel kernel execution time in seconds.
+    pub compute_s: f64,
+    /// Raw bytes mapped `to` the device.
+    pub bytes_to_device: u64,
+    /// Raw bytes mapped `from` the device.
+    pub bytes_from_device: u64,
+    /// Bytes actually on the wire toward the device (post-compression).
+    pub wire_bytes_to: u64,
+    /// Bytes actually on the wire from the device (post-compression).
+    pub wire_bytes_from: u64,
+    /// Number of device tasks (tiles) executed.
+    pub tasks: u64,
+    /// Free-form annotations ("fallback to host", codec choices, ...).
+    pub notes: Vec<String>,
+}
+
+impl ExecProfile {
+    /// New profile for `device`.
+    pub fn new(device: impl Into<String>) -> Self {
+        ExecProfile { device: device.into(), ..Default::default() }
+    }
+
+    /// Total wall time of the offload (`OmpCloud-full` in Fig. 4).
+    pub fn total_s(&self) -> f64 {
+        self.host_comm_s + self.overhead_s + self.compute_s
+    }
+
+    /// Time spent inside the device (`OmpCloud-spark` in Fig. 4).
+    pub fn device_s(&self) -> f64 {
+        self.overhead_s + self.compute_s
+    }
+
+    /// Append an annotation.
+    pub fn note(&mut self, msg: impl Into<String>) {
+        self.notes.push(msg.into());
+    }
+
+    /// Fraction of total time that is pure computation (0..=1).
+    pub fn compute_fraction(&self) -> f64 {
+        let total = self.total_s();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.compute_s / total
+        }
+    }
+}
+
+impl std::fmt::Display for ExecProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] total {:.3}s = host-comm {:.3}s + overhead {:.3}s + compute {:.3}s ({} tasks, {}/{} raw bytes to/from, {}/{} on wire)",
+            self.device,
+            self.total_s(),
+            self.host_comm_s,
+            self.overhead_s,
+            self.compute_s,
+            self.tasks,
+            self.bytes_to_device,
+            self.bytes_from_device,
+            self.wire_bytes_to,
+            self.wire_bytes_from,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let p = ExecProfile {
+            host_comm_s: 1.0,
+            overhead_s: 2.0,
+            compute_s: 3.0,
+            ..ExecProfile::new("test")
+        };
+        assert_eq!(p.total_s(), 6.0);
+        assert_eq!(p.device_s(), 5.0);
+        assert!((p.compute_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_profile_fraction_is_zero() {
+        assert_eq!(ExecProfile::new("x").compute_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_device() {
+        let p = ExecProfile::new("cloud");
+        assert!(p.to_string().contains("[cloud]"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Typed views handed to kernel bodies.
+//!
+//! A loop body runs against *views*, not raw buffers: on a worker node it
+//! only has the partition of each variable that its tile touches, plus a
+//! base offset translating global element indices to local positions. The
+//! same body code therefore runs unchanged on the host device (views over
+//! whole buffers, base 0) and inside a Spark-style task (views over
+//! deserialized partitions) — mirroring how OmpCloud runs the identical
+//! native function through JNI on every target.
+
+use crate::erased::ErasedVec;
+use crate::pod::Pod;
+use std::collections::HashMap;
+use std::ops::{Index, IndexMut};
+use std::sync::Arc;
+
+/// Read-only variables visible to a loop body.
+#[derive(Debug, Clone, Default)]
+pub struct Inputs {
+    vars: HashMap<String, InputVar>,
+}
+
+#[derive(Debug, Clone)]
+struct InputVar {
+    base: usize,
+    data: Arc<ErasedVec>,
+}
+
+impl Inputs {
+    /// Empty input set.
+    pub fn new() -> Self {
+        Inputs::default()
+    }
+
+    /// Register a variable view starting at global element `base`.
+    pub fn add(&mut self, name: impl Into<String>, base: usize, data: Arc<ErasedVec>) {
+        self.vars.insert(name.into(), InputVar { base, data });
+    }
+
+    /// Typed view of `name`.
+    ///
+    /// Panics on unknown names or element-type mismatches — inside an
+    /// offloaded kernel this is the moral equivalent of a native-code
+    /// fault, and the executor catches it at task granularity.
+    pub fn view<T: Pod>(&self, name: &str) -> VarView<'_, T> {
+        let var = self
+            .vars
+            .get(name)
+            .unwrap_or_else(|| panic!("kernel read unmapped variable '{name}'"));
+        let data = var.data.as_slice::<T>().unwrap_or_else(|| {
+            panic!(
+                "kernel read variable '{name}' as {} but it holds {}",
+                T::TAG,
+                var.data.tag()
+            )
+        });
+        VarView { base: var.base, data }
+    }
+
+    /// Names of all registered variables (test/debug helper).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.vars.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Read-only view of (part of) a variable, indexed with *global* element
+/// indices.
+#[derive(Debug, Clone, Copy)]
+pub struct VarView<'a, T> {
+    base: usize,
+    data: &'a [T],
+}
+
+impl<'a, T: Pod> VarView<'a, T> {
+    /// Global index of the first visible element.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of visible elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw local slice (element `0` is global `base()`).
+    pub fn local(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// Element at global index `g`.
+    #[inline]
+    pub fn get(&self, g: usize) -> T {
+        self[g]
+    }
+}
+
+impl<'a, T: Pod> Index<usize> for VarView<'a, T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, g: usize) -> &T {
+        let local = g.wrapping_sub(self.base);
+        self.data.get(local).unwrap_or_else(|| {
+            panic!(
+                "kernel read global element {g} outside its partition [{}, {})",
+                self.base,
+                self.base + self.data.len()
+            )
+        })
+    }
+}
+
+/// Writable variables visible to a loop body (the task's private output
+/// buffers, later merged by the driver).
+#[derive(Debug, Default)]
+pub struct Outputs {
+    vars: HashMap<String, OutputVar>,
+}
+
+#[derive(Debug)]
+struct OutputVar {
+    base: usize,
+    data: ErasedVec,
+    /// Whether the body ever asked for a mutable view — loops in a
+    /// multi-loop region may leave some mapped outputs untouched, and the
+    /// driver must not overwrite those with identity buffers.
+    touched: bool,
+}
+
+impl Outputs {
+    /// Empty output set.
+    pub fn new() -> Self {
+        Outputs::default()
+    }
+
+    /// Register a private output buffer covering global elements
+    /// `[base, base + data.len())`.
+    pub fn add(&mut self, name: impl Into<String>, base: usize, data: ErasedVec) {
+        self.vars.insert(name.into(), OutputVar { base, data, touched: false });
+    }
+
+    /// Typed mutable view of `name`. Panics like [`Inputs::view`].
+    /// Requesting a mutable view marks the variable as written.
+    pub fn view_mut<T: Pod>(&mut self, name: &str) -> VarViewMut<'_, T> {
+        let var = self
+            .vars
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("kernel wrote unmapped variable '{name}'"));
+        var.touched = true;
+        let base = var.base;
+        let tag = var.data.tag();
+        let data = var.data.as_mut_slice::<T>().unwrap_or_else(|| {
+            panic!("kernel wrote variable '{name}' as {} but it holds {}", T::TAG, tag)
+        });
+        VarViewMut { base, data }
+    }
+
+    /// Consume into [`OutPart`]s for merging, sorted by name for
+    /// determinism.
+    pub fn into_parts(self) -> Vec<OutPart> {
+        let mut parts: Vec<OutPart> = self
+            .vars
+            .into_iter()
+            .map(|(name, v)| OutPart { name, base: v.base, data: v.data, touched: v.touched })
+            .collect();
+        parts.sort_by(|a, b| a.name.cmp(&b.name));
+        parts
+    }
+
+    /// Names of all registered outputs.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.vars.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// One finished private output buffer, ready for driver-side merging.
+#[derive(Debug, Clone)]
+pub struct OutPart {
+    /// Variable name.
+    pub name: String,
+    /// Global element index of the buffer's first element.
+    pub base: usize,
+    /// The private buffer.
+    pub data: ErasedVec,
+    /// Whether the loop body wrote this variable at all.
+    pub touched: bool,
+}
+
+/// Mutable view of (part of) an output variable, indexed with *global*
+/// element indices.
+#[derive(Debug)]
+pub struct VarViewMut<'a, T> {
+    base: usize,
+    data: &'a mut [T],
+}
+
+impl<'a, T: Pod> VarViewMut<'a, T> {
+    /// Global index of the first visible element.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of visible elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `v` at global index `g`.
+    #[inline]
+    pub fn set(&mut self, g: usize, v: T) {
+        self[g] = v;
+    }
+
+    /// Read back the currently written value at global index `g`.
+    #[inline]
+    pub fn get(&self, g: usize) -> T {
+        self[g]
+    }
+
+    /// Read-modify-write at global index `g` (accumulation idiom for
+    /// reduction variables).
+    #[inline]
+    pub fn update(&mut self, g: usize, f: impl FnOnce(T) -> T) {
+        let v = self[g];
+        self[g] = f(v);
+    }
+
+    /// The raw local mutable slice.
+    pub fn local_mut(&mut self) -> &mut [T] {
+        self.data
+    }
+}
+
+impl<'a, T: Pod> Index<usize> for VarViewMut<'a, T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, g: usize) -> &T {
+        let local = g.wrapping_sub(self.base);
+        let len = self.data.len();
+        self.data.get(local).unwrap_or_else(|| {
+            panic!(
+                "kernel accessed global element {g} outside its output partition [{}, {})",
+                self.base,
+                self.base + len
+            )
+        })
+    }
+}
+
+impl<'a, T: Pod> IndexMut<usize> for VarViewMut<'a, T> {
+    #[inline]
+    fn index_mut(&mut self, g: usize) -> &mut T {
+        let local = g.wrapping_sub(self.base);
+        let (base, len) = (self.base, self.data.len());
+        self.data.get_mut(local).unwrap_or_else(|| {
+            panic!(
+                "kernel wrote global element {g} outside its output partition [{}, {})",
+                base,
+                base + len
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_view_translates_global_indices() {
+        let mut ins = Inputs::new();
+        ins.add("A", 10, Arc::new(ErasedVec::from_vec(vec![5.0f32, 6.0, 7.0])));
+        let a = ins.view::<f32>("A");
+        assert_eq!(a.base(), 10);
+        assert_eq!(a[10], 5.0);
+        assert_eq!(a[12], 7.0);
+        assert_eq!(a.get(11), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its partition")]
+    fn input_view_oob_panics() {
+        let mut ins = Inputs::new();
+        ins.add("A", 10, Arc::new(ErasedVec::from_vec(vec![5.0f32])));
+        let _ = ins.view::<f32>("A")[9];
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped variable")]
+    fn unknown_input_panics() {
+        let ins = Inputs::new();
+        let _ = ins.view::<f32>("missing");
+    }
+
+    #[test]
+    #[should_panic(expected = "holds f32")]
+    fn wrong_type_panics() {
+        let mut ins = Inputs::new();
+        ins.add("A", 0, Arc::new(ErasedVec::from_vec(vec![5.0f32])));
+        let _ = ins.view::<i32>("A");
+    }
+
+    #[test]
+    fn output_view_set_update_roundtrip() {
+        let mut outs = Outputs::new();
+        outs.add("C", 4, ErasedVec::from_vec(vec![0.0f32; 4]));
+        {
+            let mut c = outs.view_mut::<f32>("C");
+            c.set(4, 1.0);
+            c[5] = 2.0;
+            c.update(5, |v| v * 10.0);
+        }
+        let parts = outs.into_parts();
+        assert_eq!(parts.len(), 1);
+        let part = &parts[0];
+        assert_eq!(part.name, "C");
+        assert_eq!(part.base, 4);
+        assert!(part.touched);
+        assert_eq!(part.data.as_slice::<f32>().unwrap(), &[1.0, 20.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn into_parts_is_name_sorted() {
+        let mut outs = Outputs::new();
+        outs.add("Z", 0, ErasedVec::from_vec(vec![0u8]));
+        outs.add("A", 0, ErasedVec::from_vec(vec![0u8]));
+        let names: Vec<String> = outs.into_parts().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["A", "Z"]);
+    }
+
+    #[test]
+    fn untouched_outputs_are_flagged() {
+        let mut outs = Outputs::new();
+        outs.add("written", 0, ErasedVec::from_vec(vec![0.0f32; 2]));
+        outs.add("ignored", 0, ErasedVec::from_vec(vec![0.0f32; 2]));
+        outs.view_mut::<f32>("written").set(0, 1.0);
+        let parts = outs.into_parts();
+        let by_name = |n: &str| parts.iter().find(|p| p.name == n).unwrap();
+        assert!(!by_name("ignored").touched);
+        assert!(by_name("written").touched);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests on the accelerator-model core: wire roundtrips,
+//! merge algebra, partition geometry, and chunked-execution equivalence.
+
+use omp_model::chunk::execute_loop_chunked;
+use omp_model::prelude::*;
+use omp_model::{Device, LinearExpr, TargetRegion, TypeTag};
+use proptest::prelude::*;
+
+proptest! {
+    /// Serialize/deserialize through the wire format is the identity for
+    /// every supported element type.
+    #[test]
+    fn erased_bytes_roundtrip_f32(v in proptest::collection::vec(any::<f32>(), 0..512)) {
+        let e = ErasedVec::from_vec(v);
+        let rt = ErasedVec::from_bytes(e.tag(), &e.to_bytes());
+        // NaNs compare unequal; compare bit patterns via re-serialization.
+        prop_assert_eq!(e.to_bytes(), rt.to_bytes());
+    }
+
+    #[test]
+    fn erased_bytes_roundtrip_u64(v in proptest::collection::vec(any::<u64>(), 0..512)) {
+        let e = ErasedVec::from_vec(v.clone());
+        let rt = ErasedVec::from_bytes(e.tag(), &e.to_bytes());
+        prop_assert_eq!(rt.as_slice::<u64>().unwrap(), v.as_slice());
+    }
+
+    /// Bitwise-OR reconstruction: splitting a buffer into disjoint writes
+    /// and OR-merging them is the identity (Eq. 8 of the paper).
+    #[test]
+    fn bitor_reconstructs_disjoint_writes(
+        data in proptest::collection::vec(any::<u32>(), 1..256),
+        cuts in proptest::collection::vec(1usize..255, 0..6),
+    ) {
+        let n = data.len();
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % n).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut acc = ErasedVec::identity(TypeTag::U32, n, RedOp::BitOr);
+        for w in bounds.windows(2) {
+            let mut part = vec![0u32; n];
+            part[w[0]..w[1]].copy_from_slice(&data[w[0]..w[1]]);
+            acc.reduce_assign(&ErasedVec::from_vec(part), RedOp::BitOr);
+        }
+        prop_assert_eq!(acc.as_slice::<u32>().unwrap(), data.as_slice());
+    }
+
+    /// Reduction merging is order-independent for commutative ops on ints.
+    #[test]
+    fn int_reduction_is_order_independent(
+        parts in proptest::collection::vec(proptest::collection::vec(any::<i64>(), 4), 1..8),
+        op_idx in 0usize..4,
+    ) {
+        let op = [RedOp::Sum, RedOp::Min, RedOp::Max, RedOp::BitOr][op_idx];
+        let mut fwd = ErasedVec::identity(TypeTag::I64, 4, op);
+        for p in &parts {
+            fwd.reduce_assign(&ErasedVec::from_vec(p.clone()), op);
+        }
+        let mut rev = ErasedVec::identity(TypeTag::I64, 4, op);
+        for p in parts.iter().rev() {
+            rev.reduce_assign(&ErasedVec::from_vec(p.clone()), op);
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// A tile's hull equals the union of its per-iteration ranges for any
+    /// monotone linear partition spec.
+    #[test]
+    fn tile_hull_is_union_of_iterations(
+        coeff in 0i64..16,
+        offset in 0i64..32,
+        width in 1i64..16,
+        start in 0usize..64,
+        len in 1usize..32,
+    ) {
+        let spec = PartitionSpec::new(
+            LinearExpr::new(coeff, offset),
+            LinearExpr::new(coeff, offset + width),
+        );
+        let iters = start..start + len;
+        let var_len = (coeff * (start + len) as i64 + offset + width) as usize + 1;
+        let hull = spec.range_for_tile(iters.clone(), var_len).unwrap();
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for i in iters {
+            let r = spec.range_for(i, var_len).unwrap();
+            lo = lo.min(r.start);
+            hi = hi.max(r.end);
+        }
+        prop_assert_eq!(hull, lo..hi);
+    }
+
+    /// Chunked execution is equivalent for every chunk count: y[i] =
+    /// a*x[i] + b computed in 1..=8 chunks gives identical bytes.
+    #[test]
+    fn chunk_count_does_not_change_results(
+        x in proptest::collection::vec(-1000i64..1000, 1..64),
+        a in -5i64..5,
+        b in -100i64..100,
+        chunks in 1usize..8,
+    ) {
+        let n = x.len();
+        let region = TargetRegion::builder("axpb")
+            .map_to("x")
+            .map_from("y")
+            .parallel_for(n, move |l| {
+                l.partition("y", PartitionSpec::rows(1)).body(move |i, ins, outs| {
+                    let x = ins.view::<i64>("x");
+                    outs.view_mut::<i64>("y")[i] = a * x[i] + b;
+                })
+            })
+            .build()
+            .unwrap();
+        let mut env1 = DataEnv::new();
+        env1.insert("x", x.clone());
+        env1.insert("y", vec![0i64; n]);
+        let mut env2 = env1.clone();
+        execute_loop_chunked(&region, &region.loops[0], &mut env1, 1).unwrap();
+        execute_loop_chunked(&region, &region.loops[0], &mut env2, chunks).unwrap();
+        prop_assert_eq!(env1.get::<i64>("y").unwrap(), env2.get::<i64>("y").unwrap());
+    }
+
+    /// Host threaded execution equals sequential for a random DOALL body.
+    #[test]
+    fn threaded_host_matches_sequential(
+        x in proptest::collection::vec(any::<i32>(), 1..128),
+        threads in 2usize..6,
+    ) {
+        let n = x.len();
+        let region = TargetRegion::builder("sq")
+            .map_to("x")
+            .map_from("y")
+            .parallel_for(n, move |l| {
+                l.partition("y", PartitionSpec::rows(1)).body(move |i, ins, outs| {
+                    let x = ins.view::<i32>("x");
+                    outs.view_mut::<i32>("y")[i] = x[i].wrapping_mul(x[i]);
+                })
+            })
+            .build()
+            .unwrap();
+        let mut seq_env = DataEnv::new();
+        seq_env.insert("x", x.clone());
+        seq_env.insert("y", vec![0i32; n]);
+        let mut par_env = seq_env.clone();
+        HostDevice::sequential().execute(&region, &mut seq_env).unwrap();
+        HostDevice::threaded(threads).execute(&region, &mut par_env).unwrap();
+        prop_assert_eq!(seq_env.get::<i32>("y").unwrap(), par_env.get::<i32>("y").unwrap());
+    }
+}

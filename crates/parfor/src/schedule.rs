@@ -1,0 +1,193 @@
+//! Loop schedules: how iterations of a worksharing loop are handed to
+//! threads. Mirrors OpenMP's `schedule(static|dynamic|guided[, chunk])`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Iteration-to-thread assignment policy for a parallel loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Iterations divided ahead of time. `chunk: None` gives each thread
+    /// one contiguous block (OpenMP's default static); `chunk: Some(c)`
+    /// deals `c`-sized chunks round-robin.
+    Static {
+        /// Round-robin chunk size; `None` for one block per thread.
+        chunk: Option<usize>,
+    },
+    /// Threads repeatedly grab the next `chunk` iterations from a shared
+    /// counter. Balances irregular loops at the cost of contention.
+    Dynamic {
+        /// Iterations claimed per grab.
+        chunk: usize,
+    },
+    /// Like dynamic, but the chunk size starts at `remaining/threads` and
+    /// shrinks exponentially, never below `min_chunk`.
+    Guided {
+        /// Smallest chunk the schedule will hand out.
+        min_chunk: usize,
+    },
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Static { chunk: None }
+    }
+}
+
+/// A shared source of iteration chunks for one parallel loop instance.
+pub(crate) struct ChunkSource {
+    n: usize,
+    threads: usize,
+    schedule: Schedule,
+    /// Next unclaimed iteration (dynamic/guided) or next unclaimed
+    /// round-robin chunk index (static-with-chunk).
+    cursor: AtomicUsize,
+    /// Per-thread one-shot flag for the blocked static schedule.
+    static_taken: Vec<AtomicUsize>,
+}
+
+impl ChunkSource {
+    pub fn new(n: usize, threads: usize, schedule: Schedule) -> Self {
+        ChunkSource {
+            n,
+            threads: threads.max(1),
+            schedule,
+            cursor: AtomicUsize::new(0),
+            static_taken: (0..threads.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Next chunk for thread `tid`, or `None` when the loop is exhausted
+    /// (for this thread, under static scheduling).
+    pub fn next_chunk(&self, tid: usize) -> Option<Range<usize>> {
+        match self.schedule {
+            Schedule::Static { chunk: None } => {
+                if self.static_taken[tid].swap(1, Ordering::Relaxed) != 0 {
+                    return None;
+                }
+                let per = self.n.div_ceil(self.threads);
+                let start = (tid * per).min(self.n);
+                let end = ((tid + 1) * per).min(self.n);
+                (start < end).then_some(start..end)
+            }
+            Schedule::Static { chunk: Some(c) } => {
+                let c = c.max(1);
+                // Round-robin chunks: thread t takes chunks t, t+T, t+2T...
+                // Implemented with a per-thread cursor packed into
+                // static_taken (reused as "next chunk ordinal for tid").
+                let ordinal = self.static_taken[tid].fetch_add(1, Ordering::Relaxed);
+                let chunk_idx = ordinal * self.threads + tid;
+                let start = chunk_idx.checked_mul(c)?;
+                if start >= self.n {
+                    return None;
+                }
+                Some(start..(start + c).min(self.n))
+            }
+            Schedule::Dynamic { chunk } => {
+                let c = chunk.max(1);
+                let start = self.cursor.fetch_add(c, Ordering::Relaxed);
+                if start >= self.n {
+                    return None;
+                }
+                Some(start..(start + c).min(self.n))
+            }
+            Schedule::Guided { min_chunk } => {
+                let min_chunk = min_chunk.max(1);
+                loop {
+                    let start = self.cursor.load(Ordering::Relaxed);
+                    if start >= self.n {
+                        return None;
+                    }
+                    let remaining = self.n - start;
+                    let c = (remaining / (2 * self.threads)).max(min_chunk).min(remaining);
+                    match self.cursor.compare_exchange_weak(
+                        start,
+                        start + c,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Some(start..start + c),
+                        Err(_) => continue,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(n: usize, threads: usize, schedule: Schedule) -> Vec<usize> {
+        let src = ChunkSource::new(n, threads, schedule);
+        let mut seen = vec![0usize; n];
+        // Drain single-threaded but round-robin over tids to emulate all
+        // threads making progress.
+        let mut live: Vec<usize> = (0..threads).collect();
+        while !live.is_empty() {
+            live.retain(|&tid| match src.next_chunk(tid) {
+                Some(r) => {
+                    for i in r {
+                        seen[i] += 1;
+                    }
+                    true
+                }
+                None => false,
+            });
+        }
+        seen
+    }
+
+    #[test]
+    fn static_block_partition_is_exact() {
+        for (n, t) in [(10, 3), (9, 3), (1, 8), (100, 7), (16, 16)] {
+            let seen = drain(n, t, Schedule::Static { chunk: None });
+            assert!(seen.iter().all(|&c| c == 1), "n={n} t={t}");
+        }
+    }
+
+    #[test]
+    fn static_chunked_round_robin_is_exact() {
+        for (n, t, c) in [(100, 4, 3), (7, 2, 10), (64, 8, 1)] {
+            let seen = drain(n, t, Schedule::Static { chunk: Some(c) });
+            assert!(seen.iter().all(|&x| x == 1), "n={n} t={t} c={c}");
+        }
+    }
+
+    #[test]
+    fn dynamic_is_exact() {
+        let seen = drain(1000, 6, Schedule::Dynamic { chunk: 17 });
+        assert!(seen.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let src = ChunkSource::new(10_000, 4, Schedule::Guided { min_chunk: 8 });
+        let mut sizes = Vec::new();
+        while let Some(r) = src.next_chunk(0) {
+            sizes.push(r.len());
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 10_000);
+        // First chunk is remaining/(2*threads) = 1250, and sizes never grow.
+        assert_eq!(sizes[0], 1250);
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "guided sizes must be non-increasing: {sizes:?}");
+        }
+        assert!(*sizes.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let src = ChunkSource::new(100, 2, Schedule::Guided { min_chunk: 30 });
+        let mut sizes = Vec::new();
+        while let Some(r) = src.next_chunk(0) {
+            sizes.push(r.len());
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        // All but the final remainder chunk are >= min_chunk.
+        for &s in &sizes[..sizes.len() - 1] {
+            assert!(s >= 30, "{sizes:?}");
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The driver: configuration, executor pool, task scheduler.
+
+use crate::broadcast::{Broadcast, BroadcastStats};
+use crate::executor::{Executor, TaskEnvelope, TaskFn, TaskResult};
+use crate::metrics::{JobMetrics, TaskMetric};
+use crate::rdd::Rdd;
+use crate::{Data, SparkError};
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cluster configuration — the `spark.*` properties §IV of the paper
+/// tunes (`spark.task.cpus=2`, `spark.cores.max`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparkConf {
+    /// Number of executors (one per worker node in the paper's setup).
+    pub executors: usize,
+    /// vCPUs managed by each executor.
+    pub cores_per_executor: usize,
+    /// vCPUs assigned to each task (`spark.task.cpus`). The paper uses 2
+    /// because one dedicated core = two hyper-threaded vCPUs.
+    pub task_cpus: usize,
+    /// Attempts per task before the job fails (Spark default: 4).
+    pub max_task_attempts: usize,
+    /// Default partition count for `parallelize`
+    /// (`spark.default.parallelism`).
+    pub default_parallelism: usize,
+}
+
+impl SparkConf {
+    /// Single-executor local mode with `cores` slots.
+    pub fn local(cores: usize) -> SparkConf {
+        SparkConf {
+            executors: 1,
+            cores_per_executor: cores.max(1),
+            task_cpus: 1,
+            max_task_attempts: 4,
+            default_parallelism: cores.max(1),
+        }
+    }
+
+    /// Paper-style cluster: `executors` worker nodes, `vcpus` vCPUs each,
+    /// 2 vCPUs per task.
+    pub fn cluster(executors: usize, vcpus: usize) -> SparkConf {
+        let executors = executors.max(1);
+        let vcpus = vcpus.max(2);
+        SparkConf {
+            executors,
+            cores_per_executor: vcpus,
+            task_cpus: 2,
+            max_task_attempts: 4,
+            default_parallelism: executors * vcpus / 2,
+        }
+    }
+
+    /// Task slots per executor.
+    pub fn slots_per_executor(&self) -> usize {
+        (self.cores_per_executor / self.task_cpus).max(1)
+    }
+
+    /// Total task slots in the cluster.
+    pub fn total_slots(&self) -> usize {
+        self.executors * self.slots_per_executor()
+    }
+}
+
+struct Inner {
+    conf: SparkConf,
+    executors: Vec<Executor>,
+    results: Mutex<Receiver<TaskResult>>,
+    job_lock: Mutex<()>,
+    job_counter: AtomicU64,
+    stopped: AtomicBool,
+    round_robin: AtomicUsize,
+    injected_failures: AtomicUsize,
+    metrics: Mutex<Vec<JobMetrics>>,
+}
+
+/// The driver node: cheap to clone, shared by every RDD it creates.
+#[derive(Clone)]
+pub struct SparkContext {
+    inner: Arc<Inner>,
+}
+
+impl SparkContext {
+    /// Start a cluster per `conf` (executor threads spawn immediately).
+    pub fn new(conf: SparkConf) -> SparkContext {
+        let (tx, rx) = unbounded();
+        let executors = (0..conf.executors)
+            .map(|id| Executor::spawn(id, conf.slots_per_executor(), tx.clone()))
+            .collect();
+        SparkContext {
+            inner: Arc::new(Inner {
+                conf,
+                executors,
+                results: Mutex::new(rx),
+                job_lock: Mutex::new(()),
+                job_counter: AtomicU64::new(0),
+                stopped: AtomicBool::new(false),
+                round_robin: AtomicUsize::new(0),
+                injected_failures: AtomicUsize::new(0),
+                metrics: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The configuration this context runs with.
+    pub fn conf(&self) -> &SparkConf {
+        &self.inner.conf
+    }
+
+    /// Distribute a collection into an RDD with `partitions` partitions.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, partitions: usize) -> Rdd<T> {
+        Rdd::source(self.clone(), data, partitions)
+    }
+
+    /// `parallelize` with `spark.default.parallelism` partitions.
+    pub fn parallelize_default<T: Data>(&self, data: Vec<T>) -> Rdd<T> {
+        self.parallelize(data, self.inner.conf.default_parallelism)
+    }
+
+    /// Distribute a collection with a custom partitioner: element `x`
+    /// lands in partition `bucket(x) % partitions`.
+    pub fn parallelize_by<T: Data, F>(&self, data: Vec<T>, partitions: usize, bucket: F) -> Rdd<T>
+    where
+        F: Fn(&T) -> usize,
+    {
+        let partitions = partitions.max(1);
+        let mut parts: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+        for x in data {
+            let b = bucket(&x) % partitions;
+            parts[b].push(x);
+        }
+        Rdd::source_with_partitions(self.clone(), parts)
+    }
+
+    /// Broadcast a read-only value to every executor, recording the
+    /// BitTorrent-style distribution statistics for `size_bytes` of
+    /// payload.
+    pub fn broadcast<T: Data>(&self, value: T, size_bytes: u64) -> Broadcast<T> {
+        Broadcast::new(value, BroadcastStats::torrent(size_bytes, self.inner.conf.executors))
+    }
+
+    /// Kill executor `idx` (fault injection). Queued and future tasks on
+    /// it fail and get recomputed elsewhere.
+    pub fn kill_executor(&self, idx: usize) {
+        self.inner.executors[idx].kill();
+    }
+
+    /// Revive a killed executor.
+    pub fn revive_executor(&self, idx: usize) {
+        self.inner.executors[idx].revive();
+    }
+
+    /// Status of executor `idx`.
+    pub fn executor_status(&self, idx: usize) -> crate::ExecutorStatus {
+        self.inner.executors[idx].status()
+    }
+
+    /// Tasks queued or running on executor `idx` right now.
+    pub fn executor_inflight(&self, idx: usize) -> usize {
+        debug_assert_eq!(self.inner.executors[idx].id, idx);
+        self.inner.executors[idx].inflight()
+    }
+
+    /// Make the next `n` task *attempts* fail (deterministic retry tests).
+    pub fn fail_next_tasks(&self, n: usize) {
+        self.inner.injected_failures.store(n, Ordering::SeqCst);
+    }
+
+    /// Metrics of every job run so far, oldest first.
+    pub fn job_metrics(&self) -> Vec<JobMetrics> {
+        self.inner.metrics.lock().clone()
+    }
+
+    /// Metrics of the most recent job.
+    pub fn last_job_metrics(&self) -> Option<JobMetrics> {
+        self.inner.metrics.lock().last().cloned()
+    }
+
+    /// Stop the context: running jobs finish their in-flight tasks, new
+    /// jobs are rejected. Idempotent.
+    pub fn stop(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+    }
+
+    /// Run one task per partition of `lineage`, returning partitions in
+    /// order. Retries failed tasks up to `max_task_attempts`, recomputing
+    /// from lineage (the Spark fault-tolerance contract).
+    pub(crate) fn run_job<T: Data>(
+        &self,
+        lineage: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+        partitions: usize,
+    ) -> Result<Vec<Vec<T>>, SparkError> {
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            return Err(SparkError::ContextStopped);
+        }
+        let _guard = self.inner.job_lock.lock();
+        let job = self.inner.job_counter.fetch_add(1, Ordering::SeqCst);
+        let t0 = Instant::now();
+
+        let mut slots: Vec<Option<Vec<T>>> = (0..partitions).map(|_| None).collect();
+        let mut done = 0usize;
+        let mut attempts_used = vec![0usize; partitions];
+        let mut task_metrics: Vec<TaskMetric> = Vec::with_capacity(partitions);
+
+        for (task, used) in attempts_used.iter_mut().enumerate() {
+            self.submit_task(job, task, 0, &lineage)?;
+            *used = 1;
+        }
+
+        let results = self.inner.results.lock();
+        while done < partitions {
+            let result = results
+                .recv()
+                .map_err(|_| SparkError::NoExecutors)?;
+            if result.job != job {
+                // Stale result from an earlier job that errored out
+                // mid-flight; drop it.
+                continue;
+            }
+            let TaskResult { task, attempt, executor, outcome, seconds, .. } = result;
+            match outcome {
+                Ok(boxed) => {
+                    if slots[task].is_none() {
+                        let part = boxed
+                            .downcast::<Vec<T>>()
+                            .expect("task produced the lineage element type");
+                        slots[task] = Some(*part);
+                        done += 1;
+                        task_metrics.push(TaskMetric { task, attempt, executor, seconds });
+                    }
+                }
+                Err(err) => {
+                    if slots[task].is_some() {
+                        continue; // a newer attempt already succeeded
+                    }
+                    if attempts_used[task] >= self.inner.conf.max_task_attempts {
+                        return Err(SparkError::TaskFailed {
+                            task,
+                            attempts: attempts_used[task],
+                            last_error: err,
+                        });
+                    }
+                    attempts_used[task] += 1;
+                    self.submit_task(job, task, attempt + 1, &lineage)?;
+                }
+            }
+        }
+        drop(results);
+
+        let metrics = JobMetrics::from_tasks(job, t0.elapsed().as_secs_f64(), task_metrics);
+        self.inner.metrics.lock().push(metrics);
+
+        Ok(slots.into_iter().map(|s| s.expect("all tasks done")).collect())
+    }
+
+    /// Pick an alive executor round-robin and queue the task on it.
+    fn submit_task<T: Data>(
+        &self,
+        job: u64,
+        task: usize,
+        attempt: usize,
+        lineage: &Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+    ) -> Result<(), SparkError> {
+        let lineage = Arc::clone(lineage);
+        let inject = self.inner.injected_failures.load(Ordering::SeqCst) > 0
+            && self
+                .inner
+                .injected_failures
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+        let f: TaskFn = Box::new(move || {
+            if inject {
+                panic!("injected task failure");
+            }
+            Box::new(lineage(task))
+        });
+        let mut envelope = TaskEnvelope { job, task, attempt, f };
+        let n = self.inner.executors.len();
+        for _ in 0..n {
+            let idx = self.inner.round_robin.fetch_add(1, Ordering::Relaxed) % n;
+            match self.inner.executors[idx].submit(envelope) {
+                Ok(()) => return Ok(()),
+                Err(back) => envelope = back,
+            }
+        }
+        Err(SparkError::NoExecutors)
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        for e in self.executors.drain(..) {
+            e.shutdown();
+        }
+    }
+}

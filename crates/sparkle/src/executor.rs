@@ -1,0 +1,242 @@
+//! Executors: worker-node processes running tasks on core slots.
+//!
+//! One [`Executor`] models one Spark executor JVM on a worker node. It
+//! owns `slots` OS threads pulling task envelopes from its queue —
+//! `slots = cores / spark.task.cpus`, matching the paper's configuration
+//! of two vCPUs per task. Executors can be killed (fault injection); a
+//! killed executor fails its queued tasks back to the scheduler, which
+//! recomputes them from lineage elsewhere.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Type-erased task payload: compute one partition.
+pub(crate) type TaskFn = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
+
+/// A task sent to an executor.
+pub(crate) struct TaskEnvelope {
+    pub job: u64,
+    pub task: usize,
+    pub attempt: usize,
+    pub f: TaskFn,
+}
+
+/// Result of a task attempt.
+pub(crate) struct TaskResult {
+    pub job: u64,
+    pub task: usize,
+    pub attempt: usize,
+    pub executor: usize,
+    pub outcome: Result<Box<dyn Any + Send>, String>,
+    pub seconds: f64,
+}
+
+/// Liveness snapshot of an executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorStatus {
+    /// Accepting and running tasks.
+    Alive,
+    /// Killed; queued tasks are failed back to the driver.
+    Dead,
+}
+
+pub(crate) struct Executor {
+    pub id: usize,
+    tx: Sender<TaskEnvelope>,
+    alive: Arc<AtomicBool>,
+    inflight: Arc<AtomicUsize>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawn an executor with `slots` concurrent task slots, reporting
+    /// results on `results`.
+    pub fn spawn(id: usize, slots: usize, results: Sender<TaskResult>) -> Executor {
+        let (tx, rx): (Sender<TaskEnvelope>, Receiver<TaskEnvelope>) = unbounded();
+        let alive = Arc::new(AtomicBool::new(true));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let threads = (0..slots.max(1))
+            .map(|slot| {
+                let rx = rx.clone();
+                let results = results.clone();
+                let alive = Arc::clone(&alive);
+                let inflight = Arc::clone(&inflight);
+                std::thread::Builder::new()
+                    .name(format!("executor-{id}-slot-{slot}"))
+                    .spawn(move || {
+                        for envelope in rx.iter() {
+                            let TaskEnvelope { job, task, attempt, f } = envelope;
+                            let t0 = Instant::now();
+                            let outcome = if alive.load(Ordering::SeqCst) {
+                                // A panicking kernel body is the moral
+                                // equivalent of a native crash in the JNI
+                                // region: contain it to the task.
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+                                    Ok(value) => Ok(value),
+                                    Err(panic) => Err(panic_message(panic)),
+                                }
+                            } else {
+                                Err(format!("executor {id} is dead"))
+                            };
+                            inflight.fetch_sub(1, Ordering::SeqCst);
+                            let _ = results.send(TaskResult {
+                                job,
+                                task,
+                                attempt,
+                                executor: id,
+                                outcome,
+                                seconds: t0.elapsed().as_secs_f64(),
+                            });
+                        }
+                    })
+                    .expect("spawn executor slot thread")
+            })
+            .collect();
+        Executor { id, tx, alive, inflight, threads }
+    }
+
+    /// Queue a task. A dead or stopping executor hands the envelope back
+    /// so the scheduler can place it elsewhere.
+    pub fn submit(&self, envelope: TaskEnvelope) -> Result<(), TaskEnvelope> {
+        if !self.alive.load(Ordering::SeqCst) {
+            return Err(envelope);
+        }
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        match self.tx.send(envelope) {
+            Ok(()) => Ok(()),
+            Err(send_err) => {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                Err(send_err.0)
+            }
+        }
+    }
+
+    /// Tasks queued or running.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Current status.
+    pub fn status(&self) -> ExecutorStatus {
+        if self.alive.load(Ordering::SeqCst) {
+            ExecutorStatus::Alive
+        } else {
+            ExecutorStatus::Dead
+        }
+    }
+
+    /// Kill the executor: queued/future tasks fail back to the driver.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Bring a killed executor back (Spark restarts executors on healthy
+    /// nodes).
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Close the queue and join the slot threads.
+    pub fn shutdown(mut self) {
+        drop(self.tx);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn panic_message(panic: Box<dyn Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(exec: &Executor, rx: &Receiver<TaskResult>, f: TaskFn) -> TaskResult {
+        assert!(exec.submit(TaskEnvelope { job: 0, task: 0, attempt: 0, f }).is_ok());
+        rx.recv().expect("result")
+    }
+
+    #[test]
+    fn runs_tasks_and_reports_results() {
+        let (tx, rx) = unbounded();
+        let exec = Executor::spawn(3, 2, tx);
+        assert_eq!(exec.id, 3);
+        let r = run_one(&exec, &rx, Box::new(|| Box::new(42i32) as Box<dyn Any + Send>));
+        assert_eq!(r.executor, 3);
+        assert_eq!(exec.inflight(), 0, "task drained");
+        assert_eq!(*r.outcome.unwrap().downcast::<i32>().unwrap(), 42);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_is_contained() {
+        let (tx, rx) = unbounded();
+        let exec = Executor::spawn(0, 1, tx);
+        let r = run_one(&exec, &rx, Box::new(|| panic!("kernel fault")));
+        assert!(r.outcome.unwrap_err().contains("kernel fault"));
+        // The executor survives and runs the next task.
+        let r2 = run_one(&exec, &rx, Box::new(|| Box::new(7u8) as Box<dyn Any + Send>));
+        assert!(r2.outcome.is_ok());
+        exec.shutdown();
+    }
+
+    #[test]
+    fn dead_executor_fails_tasks() {
+        let (tx, rx) = unbounded();
+        let exec = Executor::spawn(1, 1, tx);
+        exec.kill();
+        assert_eq!(exec.status(), ExecutorStatus::Dead);
+        assert!(exec
+            .submit(TaskEnvelope {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                f: Box::new(|| Box::new(()) as Box<dyn Any + Send>),
+            })
+            .is_err());
+        exec.revive();
+        assert_eq!(exec.status(), ExecutorStatus::Alive);
+        let r = run_one(&exec, &rx, Box::new(|| Box::new(1i32) as Box<dyn Any + Send>));
+        assert!(r.outcome.is_ok());
+        exec.shutdown();
+    }
+
+    #[test]
+    fn slots_run_concurrently() {
+        let (tx, rx) = unbounded();
+        let exec = Executor::spawn(0, 4, tx);
+        let gate = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let gate = Arc::clone(&gate);
+            let submitted = exec.submit(TaskEnvelope {
+                job: 0,
+                task: 0,
+                attempt: 0,
+                f: Box::new(move || {
+                    gate.fetch_add(1, Ordering::SeqCst);
+                    while gate.load(Ordering::SeqCst) < 4 {
+                        std::thread::yield_now();
+                    }
+                    Box::new(()) as Box<dyn Any + Send>
+                }),
+            });
+            assert!(submitted.is_ok());
+        }
+        for _ in 0..4 {
+            assert!(rx.recv().unwrap().outcome.is_ok());
+        }
+        exec.shutdown();
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! `sparkle` — a Spark-like map-reduce engine, built from scratch.
+//!
+//! OmpCloud executes offloaded OpenMP loops as Spark jobs: a *driver*
+//! builds an RDD over the loop-index domain, *executors* on worker nodes
+//! apply the loop body as a `map`, and the results are either collected
+//! and reconstructed by the driver or combined with a `reduce` (paper
+//! §III-C). This crate reproduces the Spark machinery that workflow needs:
+//!
+//! * [`Rdd`] — immutable, partitioned, lazily-evaluated datasets whose
+//!   *lineage* (a pure recompute function per partition) provides fault
+//!   tolerance: a lost task is simply recomputed elsewhere;
+//! * [`SparkContext`] — the driver: owns executor threads, schedules
+//!   tasks round-robin over core slots, retries failed tasks up to
+//!   `max_task_attempts`, and records [`JobMetrics`];
+//! * [`Broadcast`] — shared read-only values with BitTorrent-style
+//!   distribution accounting (the mechanism Spark uses for the matrix `B`
+//!   every worker needs in full);
+//! * fault injection — kill an executor mid-job or fail the next `n`
+//!   tasks, and watch the job still complete correctly.
+//!
+//! ```
+//! use sparkle::{SparkConf, SparkContext};
+//!
+//! let sc = SparkContext::new(SparkConf::local(4));
+//! let rdd = sc.parallelize((0..1000i64).collect::<Vec<_>>(), 8);
+//! let sum = rdd.map(|x| x * 2).reduce(|a, b| a + b).unwrap().unwrap_or(0);
+//! assert_eq!(sum, 999 * 1000);
+//! sc.stop();
+//! ```
+
+mod broadcast;
+mod context;
+mod executor;
+mod metrics;
+mod pair;
+mod rdd;
+
+pub use broadcast::{Broadcast, BroadcastStats};
+pub use context::{SparkConf, SparkContext};
+pub use executor::ExecutorStatus;
+pub use metrics::{JobMetrics, TaskMetric};
+pub use rdd::Rdd;
+
+use std::fmt;
+
+/// Marker bound for element types an RDD can hold.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// Errors surfaced by job execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparkError {
+    /// A task failed on every allowed attempt.
+    TaskFailed {
+        /// Partition index of the failed task.
+        task: usize,
+        /// Attempts consumed.
+        attempts: usize,
+        /// Error message of the final attempt.
+        last_error: String,
+    },
+    /// The job was submitted after [`SparkContext::stop`].
+    ContextStopped,
+    /// No executor is alive to run tasks.
+    NoExecutors,
+}
+
+impl fmt::Display for SparkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkError::TaskFailed { task, attempts, last_error } => {
+                write!(f, "task {task} failed after {attempts} attempts: {last_error}")
+            }
+            SparkError::ContextStopped => write!(f, "spark context is stopped"),
+            SparkError::NoExecutors => write!(f, "no alive executors"),
+        }
+    }
+}
+
+impl std::error::Error for SparkError {}

@@ -1,0 +1,132 @@
+//! Job instrumentation — the measurements behind the "Spark overhead"
+//! bars of Fig. 5.
+
+/// One successful task attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskMetric {
+    /// Partition index.
+    pub task: usize,
+    /// Attempt number that succeeded (0 = first try).
+    pub attempt: usize,
+    /// Executor that ran it.
+    pub executor: usize,
+    /// Wall time of the attempt in seconds.
+    pub seconds: f64,
+}
+
+/// Aggregate metrics of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// Job id (monotone per context).
+    pub job_id: u64,
+    /// Wall time from submission to last result.
+    pub wall_seconds: f64,
+    /// Successful task attempts, in completion order.
+    pub tasks: Vec<TaskMetric>,
+}
+
+impl JobMetrics {
+    pub(crate) fn from_tasks(job_id: u64, wall_seconds: f64, tasks: Vec<TaskMetric>) -> JobMetrics {
+        JobMetrics { job_id, wall_seconds, tasks }
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Tasks that needed more than one attempt.
+    pub fn retried_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.attempt > 0).count()
+    }
+
+    /// Sum of task wall times (total compute consumed).
+    pub fn total_task_seconds(&self) -> f64 {
+        self.tasks.iter().map(|t| t.seconds).sum()
+    }
+
+    /// Longest task (the straggler that bounds the makespan).
+    pub fn max_task_seconds(&self) -> f64 {
+        self.tasks.iter().map(|t| t.seconds).fold(0.0, f64::max)
+    }
+
+    /// Wall time not explained by the longest task: queueing, scheduling
+    /// and result collection — the job's scheduling overhead.
+    pub fn scheduling_overhead_seconds(&self) -> f64 {
+        (self.wall_seconds - self.max_task_seconds()).max(0.0)
+    }
+
+    /// How many distinct executors participated.
+    pub fn executors_used(&self) -> usize {
+        let mut ids: Vec<usize> = self.tasks.iter().map(|t| t.executor).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Busy seconds per executor, sorted by executor id.
+    pub fn per_executor_seconds(&self) -> Vec<(usize, f64)> {
+        let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for t in &self.tasks {
+            *acc.entry(t.executor).or_default() += t.seconds;
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Cluster utilization in [0, 1]: busy task-seconds over the
+    /// wall-time capacity of `total_slots` slots. Low utilization on a
+    /// short job is scheduling overhead; on a long job it is imbalance.
+    pub fn utilization(&self, total_slots: usize) -> f64 {
+        let capacity = self.wall_seconds * total_slots.max(1) as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.total_task_seconds() / capacity).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobMetrics {
+        JobMetrics::from_tasks(
+            7,
+            1.0,
+            vec![
+                TaskMetric { task: 0, attempt: 0, executor: 0, seconds: 0.5 },
+                TaskMetric { task: 1, attempt: 1, executor: 1, seconds: 0.8 },
+                TaskMetric { task: 2, attempt: 0, executor: 0, seconds: 0.2 },
+            ],
+        )
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = sample();
+        assert_eq!(m.task_count(), 3);
+        assert_eq!(m.retried_tasks(), 1);
+        assert!((m.total_task_seconds() - 1.5).abs() < 1e-12);
+        assert!((m.max_task_seconds() - 0.8).abs() < 1e-12);
+        assert!((m.scheduling_overhead_seconds() - 0.2).abs() < 1e-12);
+        assert_eq!(m.executors_used(), 2);
+    }
+
+    #[test]
+    fn per_executor_accounting() {
+        let m = sample();
+        assert_eq!(m.per_executor_seconds(), vec![(0, 0.7), (1, 0.8)]);
+        // 1.5 busy seconds over 1.0s x 4 slots.
+        assert!((m.utilization(4) - 0.375).abs() < 1e-12);
+        assert_eq!(m.utilization(0), m.utilization(1));
+    }
+
+    #[test]
+    fn empty_job_is_well_defined() {
+        let m = JobMetrics::from_tasks(0, 0.1, vec![]);
+        assert_eq!(m.task_count(), 0);
+        assert_eq!(m.max_task_seconds(), 0.0);
+        assert!((m.scheduling_overhead_seconds() - 0.1).abs() < 1e-12);
+    }
+}

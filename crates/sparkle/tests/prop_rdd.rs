@@ -1,0 +1,60 @@
+//! Property tests: RDD transformations must agree with their `Vec`
+//! equivalents for arbitrary data and partition counts, and lineage
+//! recomputation must be deterministic under injected failures.
+
+use proptest::prelude::*;
+use sparkle::{SparkConf, SparkContext};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static SparkContext {
+    static SC: OnceLock<SparkContext> = OnceLock::new();
+    SC.get_or_init(|| SparkContext::new(SparkConf::cluster(2, 4)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn collect_is_identity(data in proptest::collection::vec(any::<i32>(), 0..200), parts in 1usize..12) {
+        let rdd = ctx().parallelize(data.clone(), parts);
+        prop_assert_eq!(rdd.collect().unwrap(), data);
+    }
+
+    #[test]
+    fn map_matches_vec_map(data in proptest::collection::vec(any::<i32>(), 0..200), parts in 1usize..8) {
+        let rdd = ctx().parallelize(data.clone(), parts).map(|x| x.wrapping_mul(3).wrapping_sub(1));
+        let expected: Vec<i32> = data.iter().map(|x| x.wrapping_mul(3).wrapping_sub(1)).collect();
+        prop_assert_eq!(rdd.collect().unwrap(), expected);
+    }
+
+    #[test]
+    fn filter_matches_vec_filter(data in proptest::collection::vec(any::<i16>(), 0..200), parts in 1usize..8) {
+        let rdd = ctx().parallelize(data.clone(), parts).filter(|x| x % 3 == 0);
+        let expected: Vec<i16> = data.into_iter().filter(|x| x % 3 == 0).collect();
+        prop_assert_eq!(rdd.collect().unwrap(), expected);
+    }
+
+    #[test]
+    fn count_matches_len(data in proptest::collection::vec(any::<u8>(), 0..300), parts in 1usize..16) {
+        prop_assert_eq!(ctx().parallelize(data.clone(), parts).count().unwrap(), data.len());
+    }
+
+    #[test]
+    fn reduce_sum_matches(data in proptest::collection::vec(-1000i64..1000, 0..200), parts in 1usize..8) {
+        let got = ctx().parallelize(data.clone(), parts).reduce(|a, b| a + b).unwrap();
+        let expected = if data.is_empty() { None } else { Some(data.iter().sum::<i64>()) };
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn results_stable_under_injected_failures(
+        data in proptest::collection::vec(any::<i32>(), 1..100),
+        parts in 1usize..6,
+        failures in 0usize..3,
+    ) {
+        let clean = ctx().parallelize(data.clone(), parts).map(|x| x ^ 0x55).collect().unwrap();
+        ctx().fail_next_tasks(failures);
+        let faulty = ctx().parallelize(data, parts).map(|x| x ^ 0x55).collect().unwrap();
+        prop_assert_eq!(clean, faulty);
+    }
+}

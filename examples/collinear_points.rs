@@ -1,0 +1,50 @@
+//! MgBench Collinear-list in the cloud: tiny dataset, O(n³) compute —
+//! the paper's best case for offloading ("cloud offloading scales well
+//! when the dataset size stays small according to the computation").
+//!
+//! This example also demonstrates the dynamic-availability fallback: the
+//! same region is first offloaded, then re-run with the cluster marked
+//! unreachable, falling back to local execution with identical results.
+//!
+//! Run with: `cargo run --release --example collinear_points`
+
+use ompcloud_suite::kernels::collinear;
+use ompcloud_suite::prelude::*;
+
+fn main() {
+    let n = 192; // points
+
+    // Pass 1: the cloud is reachable.
+    let runtime = CloudRuntime::new(CloudConfig {
+        workers: 4,
+        vcpus_per_worker: 8,
+        task_cpus: 2,
+        ..CloudConfig::default()
+    });
+    let region = collinear::region(n, CloudRuntime::cloud_selector());
+    let mut env = collinear::env(n, 7);
+    let profile = runtime.offload(&region, &mut env).expect("offload succeeds");
+    let cloud_counts = env.get::<u32>("count").expect("count").to_vec();
+    let total: u32 = cloud_counts.iter().sum();
+    println!("cloud run on '{}': {} collinear triples (x3 counting)", profile.device, total);
+    println!("{profile}");
+    runtime.shutdown();
+
+    // Pass 2: cluster unreachable -> transparent host fallback (§III).
+    let offline = CloudRuntime::new(CloudConfig {
+        workers: 4,
+        vcpus_per_worker: 8,
+        task_cpus: 2,
+        simulate_unreachable: true,
+        ..CloudConfig::default()
+    });
+    let mut env2 = collinear::env(n, 7);
+    let profile2 = offline.offload(&region, &mut env2).expect("fallback succeeds");
+    println!("\noffline run executed on '{}' instead:", profile2.device);
+    for note in &profile2.notes {
+        println!("  note: {note}");
+    }
+    assert_eq!(env2.get::<u32>("count").unwrap(), cloud_counts.as_slice());
+    println!("results identical: fallback is transparent");
+    offline.shutdown();
+}

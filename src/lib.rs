@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the OmpCloud-rs workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories can exercise the public APIs of every workspace member. It
+//! re-exports the member crates under stable names so examples read like
+//! downstream user code:
+//!
+//! ```
+//! use ompcloud_suite::prelude::*;
+//! let devices = DeviceRegistry::with_host_only();
+//! assert_eq!(devices.num_devices(), 1);
+//! ```
+
+pub use cloud_storage;
+pub use cloudsim;
+pub use gzlite;
+pub use omp_model;
+pub use omp_parfor;
+pub use ompcloud;
+pub use ompcloud_kernels as kernels;
+pub use sparkle;
+
+/// Convenience prelude bringing the most common entry points into scope.
+pub mod prelude {
+    pub use cloud_storage::{ObjectStore, S3Store, TransferManager};
+    pub use cloudsim::model::{ClusterParams, OffloadModel};
+    pub use gzlite::{compress_auto, decompress};
+    pub use omp_model::prelude::*;
+    pub use omp_parfor::{parallel_for, Schedule};
+    pub use ompcloud::{CloudConfig, CloudDevice, CloudRuntime};
+    pub use sparkle::{SparkConf, SparkContext};
+}

@@ -1,0 +1,185 @@
+//! The §III-D region shapes beyond the plain DOALL: sequential kernels,
+//! nested parallel loops, mixed element types, and tiling stress.
+
+use ompcloud_suite::omp_parfor;
+use ompcloud_suite::prelude::*;
+
+fn runtime() -> CloudRuntime {
+    CloudRuntime::new(CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        ..CloudConfig::default()
+    })
+}
+
+/// "Similar techniques also allow one to implement the offloading of
+/// sequential code kernels": a trip-count-1 region runs the whole kernel
+/// as a single cloud task.
+#[test]
+fn sequential_kernel_offloads_as_one_task() {
+    let rt = runtime();
+    let n = 256usize;
+    let region = TargetRegion::builder("seq-kernel")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_from("stats")
+        .parallel_for(1, move |l| {
+            l.body(move |_, ins, outs| {
+                let x = ins.view::<f64>("x");
+                let mut stats = outs.view_mut::<f64>("stats");
+                let sum: f64 = (0..n).map(|i| x[i]).sum();
+                let mean = sum / n as f64;
+                let var = (0..n).map(|i| (x[i] - mean).powi(2)).sum::<f64>() / n as f64;
+                stats[0] = mean;
+                stats[1] = var;
+            })
+        })
+        .build()
+        .unwrap();
+    let mut env = DataEnv::new();
+    env.insert("x", (0..n).map(|i| i as f64).collect::<Vec<_>>());
+    env.insert("stats", vec![0.0f64; 2]);
+    let profile = rt.offload(&region, &mut env).unwrap();
+    assert_eq!(profile.tasks, 1, "sequential kernel = one tile");
+    let stats = env.get::<f64>("stats").unwrap();
+    assert!((stats[0] - 127.5).abs() < 1e-9);
+    assert!((stats[1] - (n * n - 1) as f64 / 12.0).abs() < 1e-6);
+    rt.shutdown();
+}
+
+/// "…or nested parallel loops": the outer loop distributes over the
+/// cluster; the loop body parallelizes its inner loop across the worker
+/// node's cores with the OmpThread runtime.
+#[test]
+fn nested_parallelism_inside_the_kernel_body() {
+    let rt = runtime();
+    let n = 8usize;
+    let m = 64usize;
+    let region = TargetRegion::builder("nested")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_from("y")
+        .parallel_for(n, move |l| {
+            l.partition("y", PartitionSpec::rows(1)).body(move |i, ins, outs| {
+                let x = ins.view::<f64>("x");
+                // Inner `parallel for reduction(+: acc)` on 2 threads.
+                let acc = omp_parfor::parallel_reduce(
+                    2,
+                    m,
+                    omp_parfor::Schedule::default(),
+                    0.0f64,
+                    |j| x[i * m + j] * x[i * m + j],
+                    |a, b| a + b,
+                );
+                outs.view_mut::<f64>("y")[i] = acc;
+            })
+        })
+        .build()
+        .unwrap();
+    let mut env = DataEnv::new();
+    let x: Vec<f64> = (0..n * m).map(|v| (v % 17) as f64).collect();
+    env.insert("x", x.clone());
+    env.insert("y", vec![0.0f64; n]);
+    rt.offload(&region, &mut env).unwrap();
+    let y = env.get::<f64>("y").unwrap();
+    for i in 0..n {
+        let expected: f64 = (0..m).map(|j| x[i * m + j] * x[i * m + j]).sum();
+        assert!((y[i] - expected).abs() < 1e-9, "row {i}");
+    }
+    rt.shutdown();
+}
+
+/// Regions may mix element types across variables.
+#[test]
+fn mixed_element_types_in_one_region() {
+    let rt = runtime();
+    let n = 32usize;
+    let region = TargetRegion::builder("mixed")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("floats")
+        .map_to("flags")
+        .map_from("counts")
+        .map_from("sums")
+        .parallel_for(n, |l| {
+            l.partition("counts", PartitionSpec::rows(1))
+                .partition("sums", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let f = ins.view::<f64>("floats");
+                    let flags = ins.view::<u8>("flags");
+                    outs.view_mut::<u32>("counts")[i] = u32::from(flags[i]);
+                    outs.view_mut::<f64>("sums")[i] = if flags[i] != 0 { f[i] * 2.0 } else { 0.0 };
+                })
+        })
+        .build()
+        .unwrap();
+    let mut env = DataEnv::new();
+    env.insert("floats", (0..n).map(|i| i as f64).collect::<Vec<_>>());
+    env.insert("flags", (0..n).map(|i| (i % 3 == 0) as u8).collect::<Vec<_>>());
+    env.insert("counts", vec![0u32; n]);
+    env.insert("sums", vec![0.0f64; n]);
+    rt.offload(&region, &mut env).unwrap();
+    let counts = env.get::<u32>("counts").unwrap();
+    let sums = env.get::<f64>("sums").unwrap();
+    for i in 0..n {
+        assert_eq!(counts[i], u32::from(i % 3 == 0));
+        assert_eq!(sums[i], if i % 3 == 0 { i as f64 * 2.0 } else { 0.0 });
+    }
+    rt.shutdown();
+}
+
+/// Many more iterations than slots: Algorithm 1 keeps the task count at
+/// the slot count, not the trip count.
+#[test]
+fn tiling_caps_task_count_at_cluster_slots() {
+    let rt = runtime(); // 4 slots
+    let n = 10_000usize;
+    let region = TargetRegion::builder("many-iters")
+        .device(CloudRuntime::cloud_selector())
+        .map_from("y")
+        .parallel_for(n, |l| {
+            l.partition("y", PartitionSpec::rows(1)).body(|i, _, outs| {
+                outs.view_mut::<u32>("y")[i] = (i * 3) as u32;
+            })
+        })
+        .build()
+        .unwrap();
+    let mut env = DataEnv::new();
+    env.insert("y", vec![0u32; n]);
+    let profile = rt.offload(&region, &mut env).unwrap();
+    assert_eq!(profile.tasks, 4, "one JNI-style call per slot, not per iteration");
+    let y = env.get::<u32>("y").unwrap();
+    assert!(y.iter().enumerate().all(|(i, &v)| v == (i * 3) as u32));
+    rt.shutdown();
+}
+
+/// A reduction and a partitioned output in the same loop.
+#[test]
+fn reduction_and_partitioned_output_together() {
+    let rt = runtime();
+    let n = 100usize;
+    let region = TargetRegion::builder("both")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_from("y")
+        .map_tofrom("total")
+        .parallel_for(n, |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .reduction("total", RedOp::Sum)
+                .body(|i, ins, outs| {
+                    let x = ins.view::<i64>("x");
+                    outs.view_mut::<i64>("y")[i] = -x[i];
+                    outs.view_mut::<i64>("total").update(0, |t| t + x[i]);
+                })
+        })
+        .build()
+        .unwrap();
+    let mut env = DataEnv::new();
+    env.insert("x", (0..n as i64).collect::<Vec<_>>());
+    env.insert("y", vec![0i64; n]);
+    env.insert("total", vec![1000i64]);
+    rt.offload(&region, &mut env).unwrap();
+    assert_eq!(env.get::<i64>("total").unwrap()[0], 1000 + (n as i64 - 1) * n as i64 / 2);
+    assert_eq!(env.get::<i64>("y").unwrap()[3], -3);
+    rt.shutdown();
+}

@@ -1,0 +1,95 @@
+//! Configuration-file driven workflows: the same binary pointed at
+//! different clusters/storage without recompilation (§III-A), plus the
+//! global libomptarget-style API surface.
+
+use ompcloud_suite::kernels::{self, BenchId, DataKind};
+use ompcloud_suite::ompcloud::Provider;
+use ompcloud_suite::prelude::*;
+
+#[test]
+fn config_file_selects_storage_backend() {
+    for (uri, expected_kind) in [
+        ("s3://my-jobs/run1", "s3"),
+        ("hdfs://namenode:9000/omp", "hdfs"),
+        ("azure://myaccount/jobs/run1", "azure"),
+    ] {
+        let config = CloudConfig::from_str(&format!(
+            "[cloud]\nstorage = {uri}\n[cluster]\nworkers = 2\nvcpus-per-worker = 4\n"
+        ))
+        .unwrap();
+        let runtime = CloudRuntime::new(config);
+        let mut case =
+            kernels::build(BenchId::MatMul, 12, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+        runtime.offload(&case.region, &mut case.env).unwrap();
+        assert_eq!(runtime.cloud().store().kind(), expected_kind);
+        runtime.shutdown();
+    }
+}
+
+#[test]
+fn config_file_from_disk() {
+    let dir = std::env::temp_dir().join(format!("ompcloud-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cluster.conf");
+    std::fs::write(
+        &path,
+        "[cloud]\nprovider = azure\nstorage = s3://from-disk/x\n[cluster]\nworkers = 3\n",
+    )
+    .unwrap();
+    let config = CloudConfig::from_file(&path).unwrap();
+    assert_eq!(config.provider, Provider::Azure);
+    assert_eq!(config.workers, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_config_file_is_a_clean_error() {
+    let err = CloudConfig::from_file(std::path::Path::new("/nonexistent/ompcloud.conf")).unwrap_err();
+    assert!(matches!(err, OmpError::Plugin { .. }));
+}
+
+#[test]
+fn switching_providers_needs_no_recompilation() {
+    // The identical region value runs against aws-, azure- and
+    // local-configured devices.
+    let region_case = |device| kernels::build(BenchId::Gemm, 12, DataKind::Dense, 7, device);
+    let mut results = Vec::new();
+    for provider in ["aws", "azure", "local"] {
+        let config = CloudConfig::from_str(&format!(
+            "[cloud]\nprovider = {provider}\n[cluster]\nworkers = 2\nvcpus-per-worker = 4\n"
+        ))
+        .unwrap();
+        let runtime = CloudRuntime::new(config);
+        let mut case = region_case(CloudRuntime::cloud_selector());
+        let profile = runtime.offload(&case.region, &mut case.env).unwrap();
+        assert!(profile.device.contains(provider), "{}", profile.device);
+        results.push(case.env.get::<f32>("C").unwrap().to_vec());
+        runtime.shutdown();
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn global_api_surface() {
+    use omp_model::api;
+    let before = api::omp_get_num_devices();
+    assert!(before >= 1);
+    assert!(api::omp_is_initial_device(0));
+
+    // Register a cloud device globally, libomptarget-plug-in style.
+    let device = ompcloud_suite::ompcloud::CloudDevice::from_config(CloudConfig {
+        workers: 1,
+        vcpus_per_worker: 2,
+        task_cpus: 2,
+        ..CloudConfig::default()
+    });
+    let id = api::register_device(std::sync::Arc::new(device));
+    assert_eq!(api::omp_get_num_devices(), before + 1);
+    assert!(!api::omp_is_initial_device(id));
+
+    // And offload through the global entry point.
+    let mut case = kernels::build(BenchId::MatMul, 8, DataKind::Dense, 1, DeviceSelector::Id(id));
+    let profile = api::tgt_target(&case.region, &mut case.env).unwrap();
+    assert!(profile.device.starts_with("cloud"));
+}

@@ -1,0 +1,135 @@
+//! The §VI-future-work extension: device-side data caching. Repeated
+//! offloads with unchanged inputs must skip the upload entirely, changed
+//! inputs must invalidate, and results must stay correct either way.
+
+use ompcloud_suite::kernels::{self, BenchId, DataKind};
+use ompcloud_suite::prelude::*;
+
+fn cached_runtime() -> CloudRuntime {
+    CloudRuntime::new(CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        data_caching: true,
+        min_compression_size: 64,
+        ..CloudConfig::default()
+    })
+}
+
+#[test]
+fn second_offload_of_same_inputs_skips_upload() {
+    let runtime = cached_runtime();
+
+    let mut case1 = kernels::build(BenchId::Gemm, 16, DataKind::Dense, 9, CloudRuntime::cloud_selector());
+    runtime.offload(&case1.region, &mut case1.env).unwrap();
+    let first = runtime.cloud().last_report().unwrap();
+    assert!(first.upload.wire_bytes() > 0, "first offload uploads everything");
+
+    // A fresh case with the same seed regenerates identical A, B and the
+    // same *initial* C, so all three inputs hit the cache and nothing is
+    // uploaded at all.
+    let mut case2 = kernels::build(BenchId::Gemm, 16, DataKind::Dense, 9, CloudRuntime::cloud_selector());
+    runtime.offload(&case2.region, &mut case2.env).unwrap();
+    let second = runtime.cloud().last_report().unwrap();
+    assert_eq!(second.upload.wire_bytes(), 0, "everything cached");
+    assert!(second
+        .profile
+        .notes
+        .iter()
+        .any(|n| n.contains("data caching") && n.contains("3 of 3")));
+    let (hits, _) = runtime.cloud().cache_stats();
+    assert_eq!(hits, 3, "A, B and the initial C hit");
+
+    // Results identical both times.
+    assert_eq!(case1.env.get::<f32>("C").unwrap(), case2.env.get::<f32>("C").unwrap());
+    runtime.shutdown();
+}
+
+#[test]
+fn changed_input_invalidates_and_recomputes() {
+    let runtime = cached_runtime();
+    let n = 12;
+
+    let mut case = kernels::build(BenchId::MatMul, n, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    runtime.offload(&case.region, &mut case.env).unwrap();
+    let c_before = case.env.get::<f32>("C").unwrap().to_vec();
+
+    // Change one element of A: the cache must not serve the stale copy.
+    let region = kernels::matmul::region(n, CloudRuntime::cloud_selector());
+    let mut env = kernels::matmul::env(n, DataKind::Dense, 1);
+    env.get_mut::<f32>("A").unwrap()[0] += 1000.0;
+    runtime.offload(&region, &mut env).unwrap();
+    let c_after = env.get::<f32>("C").unwrap().to_vec();
+    assert_ne!(c_before, c_after, "changed input must change the result");
+
+    // Reference without any caching.
+    let plain = CloudRuntime::new(CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        ..CloudConfig::default()
+    });
+    let mut ref_env = kernels::matmul::env(n, DataKind::Dense, 1);
+    ref_env.get_mut::<f32>("A").unwrap()[0] += 1000.0;
+    plain.offload(&kernels::matmul::region(n, CloudRuntime::cloud_selector()), &mut ref_env).unwrap();
+    assert_eq!(c_after, ref_env.get::<f32>("C").unwrap());
+    plain.shutdown();
+    runtime.shutdown();
+}
+
+#[test]
+fn caching_off_by_default_never_hits() {
+    let runtime = CloudRuntime::new(CloudConfig {
+        workers: 1,
+        vcpus_per_worker: 2,
+        task_cpus: 2,
+        ..CloudConfig::default()
+    });
+    for _ in 0..2 {
+        let mut case =
+            kernels::build(BenchId::MatMul, 8, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+        runtime.offload(&case.region, &mut case.env).unwrap();
+    }
+    assert_eq!(runtime.cloud().cache_stats(), (0, 0));
+    runtime.shutdown();
+}
+
+#[test]
+fn clear_cache_forces_full_upload() {
+    let runtime = cached_runtime();
+    let mut case = kernels::build(BenchId::MatMul, 12, DataKind::Dense, 2, CloudRuntime::cloud_selector());
+    runtime.offload(&case.region, &mut case.env).unwrap();
+    runtime.cloud().clear_upload_cache();
+
+    let mut case2 = kernels::build(BenchId::MatMul, 12, DataKind::Dense, 2, CloudRuntime::cloud_selector());
+    runtime.offload(&case2.region, &mut case2.env).unwrap();
+    let report = runtime.cloud().last_report().unwrap();
+    assert!(
+        !report.profile.notes.iter().any(|n| n.contains("data caching")),
+        "no hits after clear"
+    );
+    runtime.shutdown();
+}
+
+#[test]
+fn iterative_workload_amortizes_transfers() {
+    // The motivating pattern: repeated kernels over a static dataset
+    // (e.g. parameter sweeps). Only the first iteration pays for the
+    // upload of the big input.
+    let runtime = cached_runtime();
+    let n = 16;
+    let mut wire_bytes = Vec::new();
+    for _ in 0..4 {
+        let region = kernels::syrk::region(n, CloudRuntime::cloud_selector());
+        let mut env = kernels::syrk::env(n, DataKind::Dense, 7);
+        runtime.offload(&region, &mut env).unwrap();
+        wire_bytes.push(runtime.cloud().last_report().unwrap().upload.wire_bytes());
+    }
+    assert!(wire_bytes[1] < wire_bytes[0], "{wire_bytes:?}");
+    // Every iteration regenerates the same initial buffers, so from the
+    // second offload on, nothing crosses the wire at all.
+    assert_eq!(wire_bytes[1], 0, "{wire_bytes:?}");
+    assert_eq!(wire_bytes[2], 0, "{wire_bytes:?}");
+    assert_eq!(wire_bytes[3], 0, "{wire_bytes:?}");
+    runtime.shutdown();
+}

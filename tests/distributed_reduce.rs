@@ -1,0 +1,137 @@
+//! Eq. 8's two reconstruction paths must agree: the distributed
+//! `REDUCE(RDD_OUT, op)` on the executors and the driver-side merge
+//! produce identical results for every output class.
+
+use ompcloud_suite::kernels::{self, DataKind};
+use ompcloud_suite::prelude::*;
+
+fn runtime(distributed: bool) -> CloudRuntime {
+    CloudRuntime::new(CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        distributed_reduce: distributed,
+        ..CloudConfig::default()
+    })
+}
+
+/// Unpartitioned output -> bitwise-OR reconstruction, both paths.
+#[test]
+fn bitor_output_same_with_and_without_distributed_reduce() {
+    let n = 48;
+    let region = |device| {
+        TargetRegion::builder("scale")
+            .device(device)
+            .map_to("x")
+            .map_from("y") // unpartitioned: replicated private buffers
+            .parallel_for(n, |l| {
+                l.body(|i, ins, outs| {
+                    let x = ins.view::<f32>("x");
+                    outs.view_mut::<f32>("y")[i] = x[i] * 7.0 + 1.0;
+                })
+            })
+            .build()
+            .unwrap()
+    };
+    let mut results = Vec::new();
+    for distributed in [true, false] {
+        let rt = runtime(distributed);
+        let mut env = DataEnv::new();
+        env.insert("x", (0..n).map(|i| i as f32).collect::<Vec<_>>());
+        env.insert("y", vec![0.0f32; n]);
+        rt.offload(&region(CloudRuntime::cloud_selector()), &mut env).unwrap();
+        results.push(env.get::<f32>("y").unwrap().to_vec());
+        rt.shutdown();
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0][5], 36.0);
+}
+
+/// Declared reduction variable, both paths, original value included once.
+#[test]
+fn reduction_var_same_with_and_without_distributed_reduce() {
+    let n = 300;
+    let region = |device| {
+        TargetRegion::builder("sum")
+            .device(device)
+            .map_to("x")
+            .map_tofrom("s")
+            .parallel_for(n, |l| {
+                l.reduction("s", RedOp::Sum).body(|i, ins, outs| {
+                    let x = ins.view::<i64>("x");
+                    outs.view_mut::<i64>("s").update(0, |v| v + x[i]);
+                })
+            })
+            .build()
+            .unwrap()
+    };
+    let expected = 500 + (0..n as i64).sum::<i64>();
+    for distributed in [true, false] {
+        let rt = runtime(distributed);
+        let mut env = DataEnv::new();
+        env.insert("x", (0..n as i64).collect::<Vec<_>>());
+        env.insert("s", vec![500i64]);
+        rt.offload(&region(CloudRuntime::cloud_selector()), &mut env).unwrap();
+        assert_eq!(env.get::<i64>("s").unwrap()[0], expected, "distributed={distributed}");
+        rt.shutdown();
+    }
+}
+
+/// Mixed region: partitioned output via driver writes, reduction via the
+/// cluster — in one loop.
+#[test]
+fn mixed_outputs_with_distributed_reduce() {
+    let rt = runtime(true);
+    let n = 64;
+    let region = TargetRegion::builder("mixed")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_from("y")
+        .map_tofrom("max")
+        .parallel_for(n, |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .reduction("max", RedOp::Max)
+                .body(|i, ins, outs| {
+                    let x = ins.view::<i32>("x");
+                    outs.view_mut::<i32>("y")[i] = -x[i];
+                    outs.view_mut::<i32>("max").update(0, |m| m.max(x[i]));
+                })
+        })
+        .build()
+        .unwrap();
+    let mut env = DataEnv::new();
+    let x: Vec<i32> = (0..n as i32).map(|i| (i * 37) % 101).collect();
+    let expected_max = *x.iter().max().unwrap();
+    env.insert("x", x.clone());
+    env.insert("y", vec![0i32; n]);
+    env.insert("max", vec![i32::MIN]);
+    rt.offload(&region, &mut env).unwrap();
+    assert_eq!(env.get::<i32>("max").unwrap()[0], expected_max);
+    for (i, &v) in env.get::<i32>("y").unwrap().iter().enumerate() {
+        assert_eq!(v, -x[i]);
+    }
+    rt.shutdown();
+}
+
+/// All eight paper benchmarks still validate with the distributed-reduce
+/// path enabled (it is the default).
+#[test]
+fn all_benchmarks_pass_under_distributed_reduce() {
+    let rt = runtime(true);
+    let host = DeviceRegistry::with_host_only();
+    for &id in ompcloud_suite::kernels::ALL {
+        let mut cloud = kernels::build(id, 14, DataKind::Dense, 5, CloudRuntime::cloud_selector());
+        let mut reference = kernels::build(id, 14, DataKind::Dense, 5, DeviceSelector::Default);
+        host.offload(&reference.region, &mut reference.env).unwrap();
+        rt.offload(&cloud.region, &mut cloud.env).unwrap();
+        for var in cloud.outputs {
+            assert_eq!(
+                cloud.env.get_erased(var).unwrap(),
+                reference.env.get_erased(var).unwrap(),
+                "{} '{var}'",
+                id.name()
+            );
+        }
+    }
+    rt.shutdown();
+}

@@ -1,0 +1,83 @@
+//! The extension kernel set (ATAX, BICG, MVT, GESUMMV) through the full
+//! cloud pipeline: cloud results must match host execution and the
+//! handwritten references, dense and sparse.
+
+use ompcloud_suite::kernels::extended::{self, ExtraBench, EXTRA};
+use ompcloud_suite::kernels::DataKind;
+use ompcloud_suite::prelude::*;
+
+fn runtime() -> CloudRuntime {
+    CloudRuntime::new(CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        min_compression_size: 128,
+        ..CloudConfig::default()
+    })
+}
+
+#[test]
+fn all_extension_kernels_offload_correctly() {
+    let rt = runtime();
+    let host = DeviceRegistry::with_host_only();
+    for &id in EXTRA {
+        for kind in [DataKind::Dense, DataKind::Sparse] {
+            let (region, mut cloud_env, outputs) =
+                extended::build_extra(id, 18, kind, 7, CloudRuntime::cloud_selector());
+            let (mut host_region, mut host_env, _) =
+                extended::build_extra(id, 18, kind, 7, DeviceSelector::Default);
+            host_region.device = DeviceSelector::Default;
+            host.offload(&host_region, &mut host_env).unwrap();
+            rt.offload(&region, &mut cloud_env).unwrap();
+            for var in outputs {
+                assert_eq!(
+                    cloud_env.get_erased(var).unwrap(),
+                    host_env.get_erased(var).unwrap(),
+                    "{} output '{var}' ({})",
+                    id.name(),
+                    kind.label()
+                );
+            }
+        }
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn atax_per_loop_partitioning_switches_broadcast() {
+    // Loop 1 scatters A (row-partitioned); loop 2 broadcasts it
+    // (column access) — observable in the per-loop report.
+    let rt = runtime();
+    let n = 16;
+    let (region, mut env, _) =
+        extended::build_extra(ExtraBench::Atax, n, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    rt.offload(&region, &mut env).unwrap();
+    let report = rt.cloud().last_report().unwrap();
+    assert_eq!(report.loops.len(), 2);
+    let mat = (n * n * 4) as u64;
+    let vec_bytes = (n * 4) as u64;
+    assert_eq!(report.loops[0].scatter_bytes, mat + vec_bytes, "loop 1 scatters A and tmp");
+    assert!(report.loops[0].broadcast.bytes < mat, "loop 1 broadcasts only x");
+    assert!(report.loops[1].broadcast.bytes >= mat, "loop 2 broadcasts A whole");
+    assert_eq!(report.loops[1].scatter_bytes, 0);
+    rt.shutdown();
+}
+
+#[test]
+fn gesummv_handwritten_reference() {
+    let n = 20;
+    let rt = runtime();
+    let (region, mut env, _) =
+        extended::build_extra(ExtraBench::Gesummv, n, DataKind::Dense, 9, CloudRuntime::cloud_selector());
+    let mut expected = vec![0.0f32; n];
+    extended::gesummv_sequential(
+        n,
+        env.get::<f32>("A").unwrap(),
+        env.get::<f32>("B").unwrap(),
+        env.get::<f32>("x").unwrap(),
+        &mut expected,
+    );
+    rt.offload(&region, &mut env).unwrap();
+    ompcloud_suite::kernels::assert_close(env.get::<f32>("y").unwrap(), &expected, 1e-3, "gesummv cloud");
+    rt.shutdown();
+}

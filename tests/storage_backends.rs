@@ -1,0 +1,64 @@
+//! The same offload through every storage backend the configuration
+//! file can select — S3-like, HDFS-like (with small blocks so files
+//! actually split), and Azure-like — must be bit-identical.
+
+use ompcloud_suite::cloud_storage::{AzureBlobStore, HdfsStore, S3Store, StoreHandle};
+use ompcloud_suite::kernels::{self, BenchId, DataKind};
+use ompcloud_suite::ompcloud::CloudDevice;
+use ompcloud_suite::prelude::*;
+use std::sync::Arc;
+
+fn config() -> CloudConfig {
+    CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        min_compression_size: 128,
+        // Keep staged objects around so the tests can inspect them.
+        data_caching: true,
+        ..CloudConfig::default()
+    }
+}
+
+fn run_with_store(store: StoreHandle) -> Vec<f32> {
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(config(), store));
+    let mut case = kernels::build(BenchId::Gemm, 20, DataKind::Dense, 11, CloudRuntime::cloud_selector());
+    runtime.offload(&case.region, &mut case.env).unwrap();
+    let out = case.env.get::<f32>("C").unwrap().to_vec();
+    runtime.shutdown();
+    out
+}
+
+#[test]
+fn all_three_backends_agree() {
+    let s3 = run_with_store(Arc::new(S3Store::standalone("backend-test")));
+    let hdfs = run_with_store(HdfsStore::new(4, 2, 512)); // 512-byte blocks: real splitting
+    let azure = run_with_store(Arc::new(AzureBlobStore::standalone("acct", "jobs")));
+    assert_eq!(s3, hdfs);
+    assert_eq!(hdfs, azure);
+}
+
+#[test]
+fn hdfs_small_blocks_split_the_staged_buffers() {
+    let hdfs = HdfsStore::new(3, 2, 256);
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(config(), hdfs.clone()));
+    let mut case = kernels::build(BenchId::MatMul, 16, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    runtime.offload(&case.region, &mut case.env).unwrap();
+    // A 16x16 f32 matrix (1 KiB, stored raw or compressed) spans several
+    // 256-byte blocks, each replicated twice.
+    assert!(hdfs.total_block_replicas() > 4, "{} replicas", hdfs.total_block_replicas());
+    runtime.shutdown();
+}
+
+#[test]
+fn backend_kind_is_visible_through_the_device() {
+    for (store, kind) in [
+        (Arc::new(S3Store::standalone("k")) as StoreHandle, "s3"),
+        (HdfsStore::with_defaults(3) as StoreHandle, "hdfs"),
+        (Arc::new(AzureBlobStore::standalone("a", "c")) as StoreHandle, "azure"),
+    ] {
+        let device = CloudDevice::with_store(config(), store);
+        assert_eq!(device.store().kind(), kind);
+        device.shutdown();
+    }
+}

@@ -1,0 +1,157 @@
+//! `target data` scopes: device residency across multiple target
+//! regions, with transfers only at the scope boundaries.
+
+use ompcloud_suite::prelude::*;
+use omp_model::MapDir;
+
+fn runtime() -> CloudRuntime {
+    CloudRuntime::new(CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        ..CloudConfig::default()
+    })
+}
+
+fn scale_region(n: usize, factor: f32, src: &'static str, dst: &'static str) -> TargetRegion {
+    let mut builder = TargetRegion::builder("scale").device(CloudRuntime::cloud_selector());
+    if src != dst {
+        builder = builder.map_to(src);
+    }
+    builder
+        .map_tofrom(dst)
+        .parallel_for(n, move |l| {
+            l.partition(dst, PartitionSpec::rows(1)).body(move |i, ins, outs| {
+                let s = ins.view::<f32>(src);
+                outs.view_mut::<f32>(dst)[i] = s[i] * factor;
+            })
+        })
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn regions_inside_a_scope_transfer_nothing() {
+    let rt = runtime();
+    let n = 64;
+    let mut env = DataEnv::new();
+    env.insert("x", (0..n).map(|i| i as f32).collect::<Vec<_>>());
+    env.insert("y", vec![0.0f32; n]);
+
+    let mut scope = rt
+        .target_data(&env, &[("x", MapDir::To), ("y", MapDir::ToFrom)])
+        .unwrap();
+    // Two regions against resident data; the second reads the first's
+    // output directly from the device.
+    let p1 = scope.offload(&scale_region(n, 2.0, "x", "y")).unwrap();
+    let p2 = scope.offload(&scale_region(n, 10.0, "y", "y")).unwrap();
+    assert_eq!(p1.host_comm_s, 0.0, "no host-target transfer inside the scope");
+    assert_eq!(p2.host_comm_s, 0.0);
+    assert!(p1.notes.iter().any(|n| n.contains("target-data")));
+
+    // Host copy is untouched until the scope closes (OpenMP semantics).
+    assert_eq!(env.get::<f32>("y").unwrap()[5], 0.0);
+
+    let stats = scope.close(&mut env).unwrap();
+    assert_eq!(stats.regions_run, 2);
+    assert_eq!(stats.bytes_in, (2 * n * 4) as u64, "x and y(tofrom) shipped in");
+    assert_eq!(stats.bytes_out, (n * 4) as u64, "y shipped out");
+
+    let y = env.get::<f32>("y").unwrap();
+    for (i, &v) in y.iter().enumerate() {
+        assert_eq!(v, i as f32 * 20.0, "y = (x*2)*10");
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn scope_results_match_unscoped_offloads() {
+    let n = 32;
+    let rt = runtime();
+    // Unscoped: two separate offloads with full round-trips.
+    let mut plain = DataEnv::new();
+    plain.insert("x", (0..n).map(|i| (i * 3) as f32).collect::<Vec<_>>());
+    plain.insert("y", vec![0.0f32; n]);
+    rt.offload(&scale_region(n, 2.0, "x", "y"), &mut plain).unwrap();
+    rt.offload(&scale_region(n, 10.0, "y", "y"), &mut plain).unwrap();
+
+    // Scoped.
+    let mut scoped = DataEnv::new();
+    scoped.insert("x", (0..n).map(|i| (i * 3) as f32).collect::<Vec<_>>());
+    scoped.insert("y", vec![0.0f32; n]);
+    let mut scope = rt.target_data(&scoped, &[("x", MapDir::To), ("y", MapDir::ToFrom)]).unwrap();
+    scope.offload(&scale_region(n, 2.0, "x", "y")).unwrap();
+    scope.offload(&scale_region(n, 10.0, "y", "y")).unwrap();
+    scope.close(&mut scoped).unwrap();
+
+    assert_eq!(plain.get::<f32>("y").unwrap(), scoped.get::<f32>("y").unwrap());
+    rt.shutdown();
+}
+
+#[test]
+fn region_with_unscoped_variable_is_rejected() {
+    let rt = runtime();
+    let n = 8;
+    let mut env = DataEnv::new();
+    env.insert("x", vec![1.0f32; n]);
+    env.insert("y", vec![0.0f32; n]);
+    env.insert("z", vec![0.0f32; n]);
+
+    let mut scope = rt.target_data(&env, &[("x", MapDir::To), ("y", MapDir::From)]).unwrap();
+    let err = scope.offload(&scale_region(n, 1.0, "x", "z")).unwrap_err();
+    assert!(matches!(err, OmpError::Plugin { .. }), "{err:?}");
+    // The scope is still usable for valid regions.
+    let region = TargetRegion::builder("ok")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_from("y")
+        .parallel_for(n, |l| {
+            l.body(|i, ins, outs| {
+                let x = ins.view::<f32>("x");
+                outs.view_mut::<f32>("y")[i] = x[i];
+            })
+        })
+        .build()
+        .unwrap();
+    scope.offload(&region).unwrap();
+    scope.close(&mut env).unwrap();
+    assert_eq!(env.get::<f32>("y").unwrap(), vec![1.0f32; n].as_slice());
+    rt.shutdown();
+}
+
+#[test]
+fn only_one_scope_at_a_time() {
+    let rt = runtime();
+    let mut env = DataEnv::new();
+    env.insert("x", vec![1.0f32; 4]);
+    let scope = rt.target_data(&env, &[("x", MapDir::To)]).unwrap();
+    let err = rt.target_data(&env, &[("x", MapDir::To)]).unwrap_err();
+    assert!(matches!(err, OmpError::Plugin { .. }));
+    drop(scope); // abandoned without close
+    // A new scope can open afterwards.
+    let scope2 = rt.target_data(&env, &[("x", MapDir::To)]).unwrap();
+    let mut env2 = env.clone();
+    scope2.close(&mut env2).unwrap();
+    rt.shutdown();
+}
+
+#[test]
+fn dropped_scope_discards_outputs() {
+    let rt = runtime();
+    let n = 16;
+    let mut env = DataEnv::new();
+    env.insert("x", vec![2.0f32; n]);
+    env.insert("y", vec![7.0f32; n]);
+    {
+        let mut scope =
+            rt.target_data(&env, &[("x", MapDir::To), ("y", MapDir::ToFrom)]).unwrap();
+        scope.offload(&scale_region(n, 5.0, "x", "y")).unwrap();
+        // dropped without close
+    }
+    // Host y keeps its original value.
+    assert_eq!(env.get::<f32>("y").unwrap(), vec![7.0f32; n].as_slice());
+    // Ordinary offloads still work after the abandon.
+    rt.offload(&scale_region(n, 5.0, "x", "y"), &mut env).unwrap();
+    assert_eq!(env.get::<f32>("y").unwrap(), vec![10.0f32; n].as_slice());
+    rt.shutdown();
+}
