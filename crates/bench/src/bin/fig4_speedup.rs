@@ -9,15 +9,25 @@
 use cloudsim::model::OffloadModel;
 use ompcloud_bench::paper::{self, CORE_COUNTS};
 use ompcloud_bench::table;
+use jsonlite::{Json, ToJson};
 use ompcloud_kernels::DataKind;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct BenchSeries {
     benchmark: String,
     suite: String,
     omp_thread: Vec<(usize, f64)>,
     points: Vec<cloudsim::model::SpeedupPoint>,
+}
+
+impl ToJson for BenchSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", self.benchmark.to_json()),
+            ("suite", self.suite.to_json()),
+            ("omp_thread", self.omp_thread.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -83,8 +93,7 @@ fn main() {
     println!("paper reports up to 86x (2MM abstract) / 143x-97x-86x for 3MM");
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("serialize"))
-            .expect("write json");
+        std::fs::write(&path, jsonlite::to_string_pretty(&all)).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -9,10 +9,9 @@
 use cloudsim::model::OffloadModel;
 use ompcloud_bench::paper::{self, CORE_COUNTS};
 use ompcloud_bench::table;
+use jsonlite::{Json, ToJson};
 use ompcloud_kernels::DataKind;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct LoadPoint {
     benchmark: String,
     data: &'static str,
@@ -20,6 +19,19 @@ struct LoadPoint {
     host_comm_s: f64,
     spark_overhead_s: f64,
     compute_s: f64,
+}
+
+impl ToJson for LoadPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", self.benchmark.to_json()),
+            ("data", self.data.to_json()),
+            ("cores", self.cores.to_json()),
+            ("host_comm_s", self.host_comm_s.to_json()),
+            ("spark_overhead_s", self.spark_overhead_s.to_json()),
+            ("compute_s", self.compute_s.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -70,8 +82,7 @@ fn main() {
     println!(" - Collinear-list's overheads are negligible (tiny dataset, O(n^3) compute).");
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("serialize"))
-            .expect("write json");
+        std::fs::write(&path, jsonlite::to_string_pretty(&all)).expect("write json");
         eprintln!("wrote {path}");
     }
 }

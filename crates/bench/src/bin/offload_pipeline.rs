@@ -1,0 +1,175 @@
+//! Measures the pipelined offload engine against the paper's serial
+//! barrier sequence on a latency-injected store (no network needed).
+//!
+//! The workload is a many-buffer fan-in region — the shape where batch
+//! barriers between upload, driver fetch, output store and download cost
+//! the most wall time. Every put/get pays a fixed WAN-like round trip,
+//! so the serial path's four barriers are directly visible, and the
+//! pipelined path's fused put+get chains and streaming merge show up as
+//! `ExecProfile::overlap_s`.
+//!
+//! Usage: `cargo run --release -p ompcloud-bench --bin offload_pipeline
+//!         [-- --json PATH]` (default PATH: BENCH_offload.json)
+
+use cloud_storage::{LatencyStore, S3Store};
+use jsonlite::{Json, ToJson};
+use omp_model::prelude::*;
+use ompcloud::{CloudConfig, CloudDevice, CloudRuntime};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_BUFS: usize = 48;
+const N: usize = 256;
+const LATENCY_MS: u64 = 20;
+const REPS: usize = 3;
+
+struct ModeResult {
+    mode: String,
+    total_s: f64,
+    host_comm_s: f64,
+    overhead_s: f64,
+    compute_s: f64,
+    overlap_s: f64,
+    compress_busy_s: f64,
+    store_busy_s: f64,
+}
+
+impl ToJson for ModeResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", self.mode.to_json()),
+            ("total_s", self.total_s.to_json()),
+            ("host_comm_s", self.host_comm_s.to_json()),
+            ("overhead_s", self.overhead_s.to_json()),
+            ("compute_s", self.compute_s.to_json()),
+            ("overlap_s", self.overlap_s.to_json()),
+            ("compress_busy_s", self.compress_busy_s.to_json()),
+            ("store_busy_s", self.store_busy_s.to_json()),
+        ])
+    }
+}
+
+fn region(device: DeviceSelector) -> TargetRegion {
+    let mut builder = TargetRegion::builder("fan_in").device(device);
+    for k in 0..N_BUFS {
+        builder = builder.map_to(format!("x{k}"));
+    }
+    builder
+        .map_from("y")
+        .parallel_for(N, |l| {
+            l.partition("y", PartitionSpec::rows(1)).body(|i, ins, outs| {
+                let mut acc = 0.0f32;
+                for k in 0..N_BUFS {
+                    acc += ins.view::<f32>(&format!("x{k}"))[i];
+                }
+                outs.view_mut::<f32>("y")[i] = acc;
+            })
+        })
+        .build()
+        .expect("valid region")
+}
+
+fn env() -> DataEnv {
+    let mut env = DataEnv::new();
+    for k in 0..N_BUFS {
+        // Patterned, compressible data — the CPU stage has real work.
+        env.insert("x".to_string() + &k.to_string(), {
+            (0..N * 64).map(|i| ((i + k) % 17) as f32).collect::<Vec<_>>()
+        });
+    }
+    env.insert("y", vec![0.0f32; N]);
+    env
+}
+
+fn run_mode(pipelined: bool) -> ModeResult {
+    let config = CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        min_compression_size: 1024,
+        pipelined_transfers: pipelined,
+        streaming_collect: pipelined,
+        io_threads: 64,
+        ..CloudConfig::default()
+    };
+    let mut acc = ModeResult {
+        mode: if pipelined { "pipelined".into() } else { "serial".into() },
+        total_s: 0.0,
+        host_comm_s: 0.0,
+        overhead_s: 0.0,
+        compute_s: 0.0,
+        overlap_s: 0.0,
+        compress_busy_s: 0.0,
+        store_busy_s: 0.0,
+    };
+    for _ in 0..REPS {
+        let store = Arc::new(LatencyStore::new(
+            Arc::new(S3Store::standalone("bench")),
+            Duration::from_millis(LATENCY_MS),
+        ));
+        let rt = CloudRuntime::with_device(CloudDevice::with_store(config.clone(), store));
+        let mut e = env();
+        let profile = rt.offload(&region(CloudRuntime::cloud_selector()), &mut e).unwrap();
+        let expected: f32 = (0..N_BUFS).map(|k| (k % 17) as f32).sum();
+        assert_eq!(e.get::<f32>("y").unwrap()[0], expected);
+        acc.total_s += profile.total_s();
+        acc.host_comm_s += profile.host_comm_s;
+        acc.overhead_s += profile.overhead_s;
+        acc.compute_s += profile.compute_s;
+        acc.overlap_s += profile.overlap_s;
+        acc.compress_busy_s += profile.compress_busy_s;
+        acc.store_busy_s += profile.store_busy_s;
+        rt.shutdown();
+    }
+    for v in [
+        &mut acc.total_s,
+        &mut acc.host_comm_s,
+        &mut acc.overhead_s,
+        &mut acc.compute_s,
+        &mut acc.overlap_s,
+        &mut acc.compress_busy_s,
+        &mut acc.store_busy_s,
+    ] {
+        *v /= REPS as f64;
+    }
+    acc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_offload.json".to_string());
+
+    println!(
+        "Pipelined offload vs serial barriers — {N_BUFS} buffers, {LATENCY_MS}ms/op \
+         injected latency, mean of {REPS} runs\n"
+    );
+    let serial = run_mode(false);
+    let pipelined = run_mode(true);
+    let improvement_pct = (1.0 - pipelined.total_s / serial.total_s) * 100.0;
+
+    for r in [&serial, &pipelined] {
+        println!(
+            "{:>9}: total {:6.3}s = host-comm {:6.3}s + overhead {:6.3}s + compute {:6.3}s \
+             (overlapped {:.3}s)",
+            r.mode, r.total_s, r.host_comm_s, r.overhead_s, r.compute_s, r.overlap_s
+        );
+    }
+    println!("\nend-to-end improvement: {improvement_pct:.1}%");
+
+    let doc = Json::obj([
+        ("benchmark", "offload_pipeline".to_json()),
+        ("n_buffers", (N_BUFS as u64).to_json()),
+        ("iterations", (N as u64).to_json()),
+        ("latency_ms", LATENCY_MS.to_json()),
+        ("repetitions", (REPS as u64).to_json()),
+        ("serial", serial.to_json()),
+        ("pipelined", pipelined.to_json()),
+        ("improvement_pct", improvement_pct.to_json()),
+    ]);
+    std::fs::write(&json_path, jsonlite::to_string_pretty(&doc)).expect("write json");
+    println!("wrote {json_path}");
+}

@@ -70,6 +70,10 @@ fn cmd_validate(args: &[String]) -> i32 {
             println!("  compression     >= {} bytes", cfg.min_compression_size);
             println!("  ec2 autostart   {}", cfg.ec2_autostart);
             println!("  data caching    {}", cfg.data_caching);
+            println!(
+                "  pipelining      transfers {}, streaming collect {}, {} io threads",
+                cfg.pipelined_transfers, cfg.streaming_collect, cfg.io_threads
+            );
             0
         }
         Err(e) => {

@@ -23,7 +23,7 @@
 
 use crate::des::{acquire, release, Resource, Sim};
 use crate::net::Link;
-use serde::Serialize;
+use jsonlite::{Json, ToJson};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -100,7 +100,7 @@ impl ClusterParams {
 }
 
 /// One map-reduce stage of a job (one `parallel for` of the region).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StagePlan {
     /// DOALL trip count before tiling.
     pub trip_count: usize,
@@ -121,7 +121,7 @@ pub struct StagePlan {
 }
 
 /// A complete offloaded job, ready to project onto a cluster size.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobPlan {
     /// Kernel name (report label).
     pub name: String,
@@ -145,7 +145,7 @@ impl JobPlan {
 }
 
 /// The Fig. 5 decomposition of one modeled run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Breakdown {
     /// Host ↔ cloud transfer time (compression included).
     pub host_comm_s: f64,
@@ -168,7 +168,7 @@ impl Breakdown {
 }
 
 /// Fig. 4 speedup triple at one core count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedupPoint {
     /// Worker cores in use.
     pub cores: usize,
@@ -178,6 +178,54 @@ pub struct SpeedupPoint {
     pub spark: f64,
     /// Speedup of the parallel computation alone.
     pub computation: f64,
+}
+
+impl ToJson for StagePlan {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("trip_count", self.trip_count.to_json()),
+            ("flops", self.flops.to_json()),
+            ("broadcast_raw", self.broadcast_raw.to_json()),
+            ("scatter_raw", self.scatter_raw.to_json()),
+            ("collect_partitioned_raw", self.collect_partitioned_raw.to_json()),
+            ("collect_replicated_raw", self.collect_replicated_raw.to_json()),
+            ("intra_ratio", self.intra_ratio.to_json()),
+        ])
+    }
+}
+
+impl ToJson for JobPlan {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("bytes_to", self.bytes_to.to_json()),
+            ("bytes_from", self.bytes_from.to_json()),
+            ("ratio_to", self.ratio_to.to_json()),
+            ("ratio_from", self.ratio_from.to_json()),
+            ("stages", self.stages.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Breakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("host_comm_s", self.host_comm_s.to_json()),
+            ("spark_overhead_s", self.spark_overhead_s.to_json()),
+            ("compute_s", self.compute_s.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SpeedupPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cores", self.cores.to_json()),
+            ("full", self.full.to_json()),
+            ("spark", self.spark.to_json()),
+            ("computation", self.computation.to_json()),
+        ])
+    }
 }
 
 /// Knobs for ablation studies (all on by default, as in the paper).

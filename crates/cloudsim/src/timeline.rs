@@ -10,12 +10,12 @@
 
 use crate::des::{acquire, release, Resource, Sim};
 use crate::model::{JobPlan, OffloadModel};
-use serde::Serialize;
+use jsonlite::{Json, ToJson};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// What a span represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhaseKind {
     /// Host-side compression + upload to cloud storage (step 2).
     HostUpload,
@@ -33,8 +33,23 @@ pub enum PhaseKind {
     HostDownload,
 }
 
+impl ToJson for PhaseKind {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            PhaseKind::HostUpload => "HostUpload",
+            PhaseKind::DriverFetch => "DriverFetch",
+            PhaseKind::StageSetup => "StageSetup",
+            PhaseKind::MapTask => "MapTask",
+            PhaseKind::StageCollect => "StageCollect",
+            PhaseKind::StoreWrite => "StoreWrite",
+            PhaseKind::HostDownload => "HostDownload",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
 /// One interval on the timeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Span {
     /// Phase class.
     pub kind: PhaseKind,
@@ -46,13 +61,30 @@ pub struct Span {
     pub end_s: f64,
 }
 
+impl ToJson for Span {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("label", self.label.to_json()),
+            ("start_s", self.start_s.to_json()),
+            ("end_s", self.end_s.to_json()),
+        ])
+    }
+}
+
 /// The full event-level record of one modeled offload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     /// All spans, in start order.
     pub spans: Vec<Span>,
     /// Virtual completion time.
     pub total_s: f64,
+}
+
+impl ToJson for Timeline {
+    fn to_json(&self) -> Json {
+        Json::obj([("spans", self.spans.to_json()), ("total_s", self.total_s.to_json())])
+    }
 }
 
 impl Timeline {

@@ -72,6 +72,16 @@ pub struct CloudConfig {
     /// executors (Eq. 8 of the paper) instead of merging every private
     /// buffer on the driver.
     pub distributed_reduce: bool,
+    /// Merge collected tile outputs on the driver as they arrive, while
+    /// the remaining map tasks are still running, instead of waiting
+    /// behind a full-collect barrier.
+    pub streaming_collect: bool,
+    /// Overlap host-side compression, storage I/O and driver staging in a
+    /// two-stage pipeline instead of running upload, fetch and compute as
+    /// strictly serial steps.
+    pub pipelined_transfers: bool,
+    /// Store-I/O worker threads of the pipelined transfer engine.
+    pub io_threads: usize,
     /// Test hook: pretend the cluster is unreachable so the wrapper's
     /// dynamic host fallback kicks in.
     pub simulate_unreachable: bool,
@@ -94,6 +104,9 @@ impl Default for CloudConfig {
             instance_type: "c3.8xlarge".into(),
             data_caching: false,
             distributed_reduce: true,
+            streaming_collect: true,
+            pipelined_transfers: true,
+            io_threads: 8,
             simulate_unreachable: false,
         }
     }
@@ -148,6 +161,15 @@ impl CloudConfig {
         if let Some(d) = ini.get_bool("offload", "distributed-reduce").map_err(bad_config)? {
             cfg.distributed_reduce = d;
         }
+        if let Some(s) = ini.get_bool("offload", "streaming-collect").map_err(bad_config)? {
+            cfg.streaming_collect = s;
+        }
+        if let Some(p) = ini.get_bool("offload", "pipelined-transfers").map_err(bad_config)? {
+            cfg.pipelined_transfers = p;
+        }
+        if let Some(t) = ini.get_parsed::<usize>("offload", "io-threads").map_err(bad_config)? {
+            cfg.io_threads = t;
+        }
         if let Some(u) = ini.get_bool("offload", "simulate-unreachable").map_err(bad_config)? {
             cfg.simulate_unreachable = u;
         }
@@ -178,6 +200,9 @@ impl CloudConfig {
         }
         if self.ec2_autostart && cloudsim::instance_type(&self.instance_type).is_none() {
             return Err(bad_config(format!("unknown instance type '{}'", self.instance_type)));
+        }
+        if self.io_threads == 0 {
+            return Err(bad_config("io-threads must be at least 1"));
         }
         Ok(())
     }
@@ -270,6 +295,22 @@ instance-type = c3.8xlarge
         let cfg = CloudConfig::from_str("[offload]\ndata-caching = yes\n").unwrap();
         assert!(cfg.data_caching);
         assert!(!CloudConfig::default().data_caching);
+    }
+
+    #[test]
+    fn pipeline_knobs_parse_and_default_on() {
+        let cfg = CloudConfig::default();
+        assert!(cfg.streaming_collect);
+        assert!(cfg.pipelined_transfers);
+        assert_eq!(cfg.io_threads, 8);
+        let cfg = CloudConfig::from_str(
+            "[offload]\nstreaming-collect = no\npipelined-transfers = no\nio-threads = 3\n",
+        )
+        .unwrap();
+        assert!(!cfg.streaming_collect);
+        assert!(!cfg.pipelined_transfers);
+        assert_eq!(cfg.io_threads, 3);
+        assert!(CloudConfig::from_str("[offload]\nio-threads = 0\n").is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::offload::run_spark_job;
 use crate::report::OffloadReport;
 use cloud_storage::{
     AzureBlobStore, HdfsStore, S3Store, StorageUri, StoreHandle, TransferConfig, TransferManager,
+    TransferReport,
 };
 use cloudsim::Fleet;
 use omp_model::{
@@ -34,6 +35,7 @@ use omp_model::{
 };
 use parking_lot::Mutex;
 use sparkle::{SparkConf, SparkContext};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -227,7 +229,7 @@ impl Device for CloudDevice {
         // the job reuses their previously staged objects.
         let mut upload_items = Vec::new();
         let mut staged_keys: Vec<(String, String)> = Vec::new(); // (var, key)
-        let mut cache_hits = 0usize;
+        let mut cached_keys: Vec<String> = Vec::new();
         {
             let mut cache = self.upload_cache.lock();
             for m in region.input_maps() {
@@ -239,8 +241,8 @@ impl Device for CloudDevice {
                     let fp = Fingerprint::of(&bytes);
                     match cache.check(&m.name, fp) {
                         CacheDecision::Hit { storage_key } => {
-                            cache_hits += 1;
-                            staged_keys.push((m.name.clone(), storage_key));
+                            staged_keys.push((m.name.clone(), storage_key.clone()));
+                            cached_keys.push(storage_key);
                             continue;
                         }
                         CacheDecision::Miss => {
@@ -252,8 +254,35 @@ impl Device for CloudDevice {
                 upload_items.push((fresh_key, bytes));
             }
         }
-        let upload = self.transfer.upload(upload_items).map_err(storage_err)?;
-        profile.host_comm_s += upload.wall_seconds;
+        let cache_hits = cached_keys.len();
+
+        // Steps 2+3 fused (pipelined path): the upload and the driver's
+        // read-back run as one two-stage pipeline — each input object is
+        // fetched back the moment its put lands, while later buffers are
+        // still compressing. The serial path keeps the paper's original
+        // upload-barrier-then-fetch sequence.
+        let n_put = upload_items.len();
+        let (upload, fetched) = if self.config.pipelined_transfers {
+            let (payloads, prep) = self
+                .transfer
+                .upload_fetch_pipelined(upload_items, cached_keys, self.config.io_threads)
+                .map_err(storage_err)?;
+            profile.host_comm_s += prep.wall_seconds;
+            profile.overlap_s += prep.overlap_seconds();
+            profile.compress_busy_s += prep.cpu_busy_seconds;
+            profile.store_busy_s += prep.io_busy_seconds;
+            let upload =
+                TransferReport { items: prep.items[..n_put].to_vec(), wall_seconds: prep.wall_seconds };
+            (upload, payloads)
+        } else {
+            let upload = self.transfer.upload(upload_items).map_err(storage_err)?;
+            profile.host_comm_s += upload.wall_seconds;
+            let t_fetch = Instant::now();
+            let keys: Vec<String> = staged_keys.iter().map(|(_, k)| k.clone()).collect();
+            let (payloads, _) = self.transfer.download(keys).map_err(storage_err)?;
+            profile.overhead_s += t_fetch.elapsed().as_secs_f64();
+            (upload, payloads)
+        };
         profile.wire_bytes_to = upload.wire_bytes();
         if cache_hits > 0 {
             profile.note(format!(
@@ -262,15 +291,17 @@ impl Device for CloudDevice {
             ));
         }
 
-        // Step 3: the driver reads the inputs back from storage and
-        // materializes the cluster-side data environment.
+        // Step 3 (driver side): materialize the cluster data environment
+        // from the fetched payloads. The pipeline returns put items first
+        // and cache hits last, so look payloads up by key rather than
+        // relying on arrival order.
         let t_driver = Instant::now();
-        let keys: Vec<String> = staged_keys.iter().map(|(_, k)| k.clone()).collect();
-        let (payloads, _) = self.transfer.download(keys).map_err(storage_err)?;
+        let mut by_key: HashMap<String, Vec<u8>> = fetched.into_iter().collect();
         let mut cluster_env = DataEnv::new();
-        for (m, (_, bytes)) in region.input_maps().zip(payloads) {
-            let tag = env.get_erased(&m.name)?.tag();
-            cluster_env.insert_erased(&m.name, ErasedVec::from_bytes(tag, &bytes));
+        for (name, key) in &staged_keys {
+            let tag = env.get_erased(name)?.tag();
+            let bytes = by_key.remove(key).expect("every staged input was fetched");
+            cluster_env.insert_erased(name, ErasedVec::from_bytes(tag, &bytes));
         }
         // Output-only variables: the driver allocates them full-size
         // (paper Fig. 3 step 7); sizes come with the job submission.
@@ -285,36 +316,60 @@ impl Device for CloudDevice {
         }
         profile.overhead_s += t_driver.elapsed().as_secs_f64();
 
-        // Steps 4–6: tile, distribute, map, reconstruct.
+        // Steps 4–6: tile, distribute, map, reconstruct. With streaming
+        // collect, part of the driver-side merge ran concurrently with the
+        // map phase; `l.overlap_s` reports how much.
         let outcome = run_spark_job(&sc, &self.config, region, cluster_env)?;
         for l in &outcome.loops {
             profile.tasks += l.tiles as u64;
             profile.compute_s += l.compute_s;
             profile.overhead_s += l.overhead_s;
+            profile.overlap_s += l.overlap_s;
         }
 
-        // Step 7: driver writes the outputs to cloud storage.
-        let t_store = Instant::now();
+        // Steps 7+8: the driver writes the outputs to cloud storage and
+        // the host reads them back. On the pipelined path the two fuse:
+        // each output is downloaded the moment its put lands, so the
+        // host-side read-back overlaps the tail of the store writes.
         let mut out_items = Vec::new();
         for m in region.output_maps() {
             let buf = outcome.env.get_erased(&m.name)?;
             profile.bytes_from_device += buf.byte_len() as u64;
             out_items.push((format!("{prefix}/out/{}", m.name), buf.to_bytes()));
         }
-        let store_write = self.transfer.upload(out_items).map_err(storage_err)?;
-        profile.overhead_s += t_store.elapsed().as_secs_f64();
-
-        // Step 8: the host reads the results back and resumes.
-        let t_download = Instant::now();
-        let out_keys: Vec<String> =
-            region.output_maps().map(|m| format!("{prefix}/out/{}", m.name)).collect();
-        let (out_payloads, download) = self.transfer.download(out_keys).map_err(storage_err)?;
+        let (store_write, download, out_payloads) = if self.config.pipelined_transfers {
+            let (payloads, out) = self
+                .transfer
+                .upload_fetch_pipelined(out_items, Vec::new(), self.config.io_threads)
+                .map_err(storage_err)?;
+            profile.host_comm_s += out.wall_seconds;
+            profile.overlap_s += out.overlap_seconds();
+            profile.compress_busy_s += out.cpu_busy_seconds;
+            profile.store_busy_s += out.io_busy_seconds;
+            let report = TransferReport { items: out.items, wall_seconds: out.wall_seconds };
+            (report.clone(), report, payloads)
+        } else {
+            let t_store = Instant::now();
+            let store_write = self.transfer.upload(out_items).map_err(storage_err)?;
+            profile.overhead_s += t_store.elapsed().as_secs_f64();
+            let t_download = Instant::now();
+            let out_keys: Vec<String> =
+                region.output_maps().map(|m| format!("{prefix}/out/{}", m.name)).collect();
+            let (payloads, download) = self.transfer.download(out_keys).map_err(storage_err)?;
+            profile.host_comm_s += t_download.elapsed().as_secs_f64();
+            (store_write, download, payloads)
+        };
         for (m, (_, bytes)) in region.output_maps().zip(out_payloads) {
             let tag = env.get_erased(&m.name)?.tag();
             env.write_back(&m.name, ErasedVec::from_bytes(tag, &bytes))?;
         }
-        profile.host_comm_s += t_download.elapsed().as_secs_f64();
         profile.wire_bytes_from = store_write.wire_bytes();
+        if self.config.pipelined_transfers && profile.overlap_s > 0.0 {
+            profile.note(format!(
+                "pipelined offload: {:.3}s of transfer/merge work overlapped",
+                profile.overlap_s
+            ));
+        }
 
         // Pay-as-you-go teardown.
         let cost = fleet.map(|mut f| {

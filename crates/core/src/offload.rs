@@ -25,9 +25,12 @@ use crate::tiling;
 use omp_model::chunk::{chunk_outputs, merge_policy, MergeAcc, MergePolicy};
 use omp_model::RedOp;
 use omp_model::view::OutPart;
-use omp_model::{DataEnv, ErasedVec, Inputs, OmpError, Outputs, ParallelLoop, TargetRegion};
+use omp_model::{
+    DataEnv, ErasedSlice, ErasedVec, Inputs, OmpError, Outputs, ParallelLoop, TargetRegion,
+};
 use sparkle::{BroadcastStats, SparkContext, SparkError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,8 +41,9 @@ use std::time::Instant;
 struct TileDesc {
     iter_start: usize,
     iter_end: usize,
-    /// `(var, base element, block)` for every partitioned input.
-    inputs: Vec<(String, usize, ErasedVec)>,
+    /// `(var, base element, block)` for every partitioned input. The
+    /// block is a zero-copy view sharing the driver's staged buffer.
+    inputs: Vec<(String, usize, ErasedSlice)>,
     /// Identity/prefilled private buffer per output.
     outputs: Vec<OutPart>,
 }
@@ -65,6 +69,11 @@ pub struct LoopStats {
     pub compute_s: f64,
     /// Scheduling + collection overhead observed by the driver.
     pub overhead_s: f64,
+    /// Driver time spent merging collected tile outputs.
+    pub merge_s: f64,
+    /// Portion of `merge_s` that ran concurrently with still-executing
+    /// map tasks (zero on the barrier collect path).
+    pub overlap_s: f64,
 }
 
 /// Result of running all loops of a region on the cluster.
@@ -106,14 +115,15 @@ fn run_loop(
     let tiles = tiling::tile_ranges(loop_.trip_count, slots);
 
     // Split the inputs: partitioned variables travel inside RDD elements,
-    // the rest is broadcast whole (Eq. 2 / Listing 2 semantics).
+    // the rest is broadcast whole (Eq. 2 / Listing 2 semantics). Each
+    // variable's buffer is looked up once here instead of once per tile.
     let mut bcast_vars: HashMap<String, Arc<ErasedVec>> = HashMap::new();
     let mut bcast_bytes = 0u64;
     let mut scatter_specs = Vec::new();
     for m in region.input_maps() {
         let buf = cluster_env.get_erased(&m.name)?;
         match loop_.partitions.get(&m.name).filter(|s| s.is_indexed()) {
-            Some(spec) => scatter_specs.push((m.name.clone(), *spec)),
+            Some(spec) => scatter_specs.push((m.name.clone(), *spec, Arc::clone(buf))),
             None => {
                 bcast_bytes += buf.byte_len() as u64;
                 bcast_vars.insert(m.name.clone(), Arc::clone(buf));
@@ -121,21 +131,46 @@ fn run_loop(
         }
     }
 
-    // Build RDD_IN (Eqs. 1–3): one element per tile.
-    let mut scatter_bytes = 0u64;
+    // Build RDD_IN (Eqs. 1–3): one element per tile. Partitioned inputs
+    // become zero-copy slices of the shared staged buffers, so a tile
+    // row costs O(outputs) instead of O(input bytes); rows are built in
+    // parallel on the host pool because output pre-allocation (identity
+    // buffers, prefilled hulls) is still O(bytes).
+    let scatter_bytes = AtomicU64::new(0);
+    let env: &DataEnv = cluster_env;
+    let desc_slots: Vec<std::sync::Mutex<Option<Result<TileDesc, OmpError>>>> =
+        (0..tiles.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let build_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(tiles.len().max(1));
+    omp_parfor::parallel_for_chunks(
+        build_threads,
+        tiles.len(),
+        omp_parfor::Schedule::default(),
+        |range| {
+            for t in range {
+                let iters = tiles[t].clone();
+                let built = (|| {
+                    let mut inputs = Vec::with_capacity(scatter_specs.len());
+                    for (name, spec, buf) in &scatter_specs {
+                        let hull = spec.range_for_tile(iters.clone(), buf.len())?;
+                        let block = ErasedSlice::new(Arc::clone(buf), hull.clone());
+                        scatter_bytes.fetch_add(block.byte_len() as u64, Ordering::Relaxed);
+                        inputs.push((name.clone(), hull.start, block));
+                    }
+                    let outputs = chunk_outputs(region, loop_, env, iters.clone())?.into_parts();
+                    Ok(TileDesc { iter_start: iters.start, iter_end: iters.end, inputs, outputs })
+                })();
+                *desc_slots[t].lock().expect("slot lock") = Some(built);
+            }
+        },
+    );
     let mut descs = Vec::with_capacity(tiles.len());
-    for iters in &tiles {
-        let mut inputs = Vec::with_capacity(scatter_specs.len());
-        for (name, spec) in &scatter_specs {
-            let buf = cluster_env.get_erased(name)?;
-            let hull = spec.range_for_tile(iters.clone(), buf.len())?;
-            let block = buf.slice_copy(hull.clone());
-            scatter_bytes += block.byte_len() as u64;
-            inputs.push((name.clone(), hull.start, block));
-        }
-        let outputs = chunk_outputs(region, loop_, cluster_env, iters.clone())?.into_parts();
-        descs.push(TileDesc { iter_start: iters.start, iter_end: iters.end, inputs, outputs });
+    for slot in desc_slots {
+        descs.push(slot.into_inner().expect("slot lock").expect("slot filled")?);
     }
+    let scatter_bytes = scatter_bytes.into_inner();
 
     if config.verbose {
         eprintln!(
@@ -161,7 +196,7 @@ fn run_loop(
     let mapped = rdd.map(move |tile: TileDesc| {
         let mut ins = Inputs::new();
         for (name, base, block) in tile.inputs {
-            ins.add(name, base, Arc::new(block));
+            ins.add_slice(name, base, block);
         }
         for (name, buf) in bcast_handle.iter() {
             ins.add(name.clone(), 0, Arc::clone(buf));
@@ -181,20 +216,73 @@ fn run_loop(
     // Cache RDD_OUT so the reconstruction actions below reuse the map
     // results instead of re-running the kernels.
     let out_rdd = mapped.cache();
-    let collected = out_rdd.collect().map_err(spark_err)?;
-    let metrics = sc.last_job_metrics();
 
-    // Reconstruction (Eqs. 8–10): indexed writes on the driver;
-    // unpartitioned outputs optionally combined with a *distributed*
-    // `REDUCE(RDD_OUT, l, op)` on the executors, exactly Eq. 8.
-    let mut collect_bytes = 0u64;
-    for tile_out in &collected {
-        collect_bytes += tile_out.parts.iter().map(|p| p.data.byte_len() as u64).sum::<u64>();
-    }
-
-    let mut reduced_vars: Vec<String> = Vec::new();
+    // The distributed reduce (when enabled) combines every non-indexed
+    // output on the executors, so the driver-side merge must skip those
+    // variables. The set is known *before* the job runs: a variable no
+    // tile touches is skipped by `absorb` and left unwritten by the
+    // reduce alike, so pre-computing the set is equivalent to the old
+    // post-collect filter — and it lets the merge start streaming.
+    let mut dist_reduce_vars: HashSet<String> = HashSet::new();
     if config.distributed_reduce {
         for m in region.output_maps() {
+            if merge_policy(loop_, &m.name) != MergePolicy::Indexed {
+                dist_reduce_vars.insert(m.name.clone());
+            }
+        }
+    }
+
+    // Reconstruction (Eqs. 8–10), driver side: indexed writes absorbed
+    // into the accumulator. With streaming collect the absorb runs as
+    // each tile *arrives*, overlapping the tail of the map phase; the
+    // barrier path collects everything first (reference semantics).
+    let mut acc = MergeAcc::new(region, loop_, cluster_env)?;
+    let mut collect_bytes = 0u64;
+    let mut merge_s = 0.0f64;
+    let mut last_absorb_s = 0.0f64;
+    if config.streaming_collect {
+        out_rdd
+            .for_each_partition(|_p, tile_outs: &[TileOut]| {
+                let ta = Instant::now();
+                for tile_out in tile_outs {
+                    collect_bytes +=
+                        tile_out.parts.iter().map(|p| p.data.byte_len() as u64).sum::<u64>();
+                    let parts = tile_out
+                        .parts
+                        .iter()
+                        .filter(|p| !dist_reduce_vars.contains(&p.name))
+                        .cloned()
+                        .collect::<Vec<_>>();
+                    acc.absorb(parts);
+                }
+                last_absorb_s = ta.elapsed().as_secs_f64();
+                merge_s += last_absorb_s;
+            })
+            .map_err(spark_err)?;
+    } else {
+        let collected = out_rdd.collect().map_err(spark_err)?;
+        let ta = Instant::now();
+        for tile_out in collected {
+            collect_bytes += tile_out.parts.iter().map(|p| p.data.byte_len() as u64).sum::<u64>();
+            let parts = tile_out
+                .parts
+                .into_iter()
+                .filter(|p| !dist_reduce_vars.contains(&p.name))
+                .collect::<Vec<_>>();
+            acc.absorb(parts);
+        }
+        merge_s = ta.elapsed().as_secs_f64();
+    }
+    let metrics = sc.last_job_metrics();
+    acc.finish(cluster_env)?;
+
+    // Distributed `REDUCE(RDD_OUT, l, op)` on the executors, exactly
+    // Eq. 8 — reuses the cached map results filled in by the collect.
+    if config.distributed_reduce {
+        for m in region.output_maps() {
+            if !dist_reduce_vars.contains(&m.name) {
+                continue;
+            }
             let policy = merge_policy(loop_, &m.name);
             let op = match policy {
                 MergePolicy::Indexed => continue,
@@ -227,26 +315,16 @@ fn run_loop(
                     combined.reduce_assign(&original, op);
                 }
                 cluster_env.write_back(&name, combined)?;
-                reduced_vars.push(name);
             }
         }
     }
 
-    // Driver-side merge for everything not handled by the distributed
-    // reduce (partitioned outputs; all outputs when the switch is off).
-    let mut acc = MergeAcc::new(region, loop_, cluster_env)?;
-    for tile_out in collected {
-        let parts = tile_out
-            .parts
-            .into_iter()
-            .filter(|p| !reduced_vars.contains(&p.name))
-            .collect::<Vec<_>>();
-        acc.absorb(parts);
-    }
-    acc.finish(cluster_env)?;
-
     let wall = t0.elapsed().as_secs_f64();
     let compute_s = metrics.as_ref().map(|m| m.max_task_seconds()).unwrap_or(0.0);
+    // Every absorb except the final arrival's ran while map tasks were
+    // still in flight.
+    let overlap_s =
+        if config.streaming_collect { (merge_s - last_absorb_s).max(0.0) } else { 0.0 };
     Ok(LoopStats {
         tiles: tiles.len(),
         broadcast: bcast_stats,
@@ -254,6 +332,8 @@ fn run_loop(
         collect_bytes,
         compute_s,
         overhead_s: (wall - compute_s).max(0.0),
+        merge_s,
+        overlap_s,
     })
 }
 

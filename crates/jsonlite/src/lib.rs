@@ -1,0 +1,246 @@
+#![warn(missing_docs)]
+
+//! Dependency-free JSON emission for the machine-readable reports the
+//! bench harnesses write (`--json` flags, `BENCH_*.json`).
+//!
+//! A tiny [`Json`] value tree plus a pretty printer; structs opt in by
+//! implementing [`ToJson`]. Object keys keep insertion order so emitted
+//! reports are stable across runs and easy to diff.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (non-finite values emit as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array by converting each element.
+    pub fn arr<T: ToJson>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(|v| v.to_json()).collect())
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Convert `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! to_json_num {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+/// Pretty-print any convertible value (drop-in for
+/// `serde_json::to_string_pretty`, minus the `Result`).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::Bool(true).pretty(), "true\n");
+        assert_eq!(Json::Num(3.0).pretty(), "3\n");
+        assert_eq!(Json::Num(3.5).pretty(), "3.5\n");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::Str("a\"b".into()).pretty(), "\"a\\\"b\"\n");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = Json::obj([("z", Json::Num(1.0)), ("a", Json::Num(2.0))]);
+        assert_eq!(v.pretty(), "{\n  \"z\": 1,\n  \"a\": 2\n}\n");
+    }
+
+    #[test]
+    fn arrays_nest() {
+        let v = Json::arr([vec![1u32, 2], vec![3]]);
+        assert_eq!(v.pretty(), "[\n  [\n    1,\n    2\n  ],\n  [\n    3\n  ]\n]\n");
+    }
+
+    #[test]
+    fn tuples_and_options() {
+        assert_eq!((1u32, "x").to_json(), Json::Arr(vec![Json::Num(1.0), Json::Str("x".into())]));
+        assert_eq!(None::<u32>.to_json(), Json::Null);
+        assert_eq!(Some(2u32).to_json(), Json::Num(2.0));
+    }
+
+    #[test]
+    fn to_string_pretty_matches_pretty() {
+        let rows = vec![(1u64, 2u64), (3, 4)];
+        assert_eq!(to_string_pretty(&rows), rows.to_json().pretty());
+    }
+}

@@ -9,7 +9,7 @@
 //! unpartitioned ones, or with the user's reduction operator (Eqs. 8–10).
 
 use crate::env::DataEnv;
-use crate::erased::{ErasedVec, RedOp};
+use crate::erased::{ErasedSlice, ErasedVec, RedOp};
 use crate::error::OmpError;
 use crate::region::{ParallelLoop, TargetRegion};
 use crate::view::{Inputs, Outputs};
@@ -40,8 +40,9 @@ pub fn merge_policy(loop_: &ParallelLoop, var: &str) -> MergePolicy {
 
 /// Build the input views for one chunk from host-side buffers.
 ///
-/// Partitioned inputs are *copied* down to the chunk hull (this is the
-/// data that would travel to the worker); unpartitioned inputs are shared
+/// Partitioned inputs are *sliced* down to the chunk hull as zero-copy
+/// [`ErasedSlice`] views of the shared buffer (this range is the data
+/// that would travel to the worker); unpartitioned inputs are shared
 /// whole (broadcast).
 pub fn chunk_inputs(
     region: &TargetRegion,
@@ -55,8 +56,7 @@ pub fn chunk_inputs(
         match loop_.partitions.get(&m.name).filter(|s| s.is_indexed()) {
             Some(spec) => {
                 let hull = spec.range_for_tile(iters.clone(), buf.len())?;
-                let part = buf.slice_copy(hull.clone());
-                inputs.add(&m.name, hull.start, Arc::new(part));
+                inputs.add_slice(&m.name, hull.start, ErasedSlice::new(Arc::clone(buf), hull));
             }
             None => inputs.add(&m.name, 0, Arc::clone(buf)),
         }

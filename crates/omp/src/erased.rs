@@ -8,6 +8,7 @@
 
 use crate::pod::{from_le_bytes, to_le_bytes, Pod, TypeTag};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Reduction operators supported by the runtime.
 ///
@@ -291,6 +292,81 @@ impl ErasedVec {
     }
 }
 
+/// A zero-copy view of an element range of a shared [`ErasedVec`].
+///
+/// Tiling the iteration space used to carve one `slice_copy` per tile out
+/// of every partitioned input — O(input bytes) of memcpy before the first
+/// task could even be dispatched. An `ErasedSlice` instead shares the
+/// driver's buffer through an `Arc` and carries only the element range,
+/// so building a tile's RDD_IN row is O(1) regardless of buffer size.
+#[derive(Debug, Clone)]
+pub struct ErasedSlice {
+    buf: Arc<ErasedVec>,
+    range: Range<usize>,
+}
+
+impl ErasedSlice {
+    /// View `buf[range]` without copying.
+    ///
+    /// Panics when the range is out of bounds or reversed — a plan
+    /// construction bug, same contract as [`ErasedVec::range_to_bytes`].
+    pub fn new(buf: Arc<ErasedVec>, range: Range<usize>) -> ErasedSlice {
+        assert!(
+            range.start <= range.end && range.end <= buf.len(),
+            "ErasedSlice: range {range:?} out of bounds for buffer of {} elements",
+            buf.len()
+        );
+        ErasedSlice { buf, range }
+    }
+
+    /// View the whole of `buf`.
+    pub fn full(buf: Arc<ErasedVec>) -> ErasedSlice {
+        let range = 0..buf.len();
+        ErasedSlice { buf, range }
+    }
+
+    /// Runtime type tag of the elements.
+    pub fn tag(&self) -> TypeTag {
+        self.buf.tag()
+    }
+
+    /// Number of visible elements.
+    pub fn len(&self) -> usize {
+        self.range.end - self.range.start
+    }
+
+    /// True when the view covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Size of the viewed range's wire form in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.len() * self.tag().elem_size()
+    }
+
+    /// The viewed element range of the underlying buffer.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Borrow the viewed range as a typed slice; `None` when `T` is not
+    /// the stored type.
+    pub fn as_slice<T: Pod>(&self) -> Option<&[T]> {
+        self.buf.as_slice::<T>().map(|s| &s[self.range.clone()])
+    }
+
+    /// Serialize the viewed range to little-endian bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.buf.range_to_bytes(self.range.clone())
+    }
+
+    /// Materialize the viewed range as an owned buffer.
+    pub fn to_owned_vec(&self) -> ErasedVec {
+        self.buf.slice_copy(self.range.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +456,33 @@ mod tests {
         let mut a = ErasedVec::from_vec(vec![1.0f32]);
         let b = ErasedVec::from_vec(vec![1.0f32, 2.0]);
         a.reduce_assign(&b, RedOp::Sum);
+    }
+
+    #[test]
+    fn erased_slice_views_without_copying() {
+        let buf = Arc::new(ErasedVec::from_vec((0..10u32).collect::<Vec<_>>()));
+        let s = ErasedSlice::new(Arc::clone(&buf), 3..7);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.byte_len(), 16);
+        assert_eq!(s.tag(), TypeTag::U32);
+        assert_eq!(s.as_slice::<u32>().unwrap(), &[3, 4, 5, 6]);
+        assert!(s.as_slice::<f32>().is_none());
+        assert_eq!(s.to_owned_vec(), buf.slice_copy(3..7));
+        assert_eq!(s.to_bytes(), buf.range_to_bytes(3..7));
+    }
+
+    #[test]
+    fn erased_slice_full_covers_everything() {
+        let buf = Arc::new(ErasedVec::from_vec(vec![1.5f64, -2.0]));
+        let s = ErasedSlice::full(Arc::clone(&buf));
+        assert_eq!(s.range(), 0..2);
+        assert_eq!(s.as_slice::<f64>().unwrap(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn erased_slice_oob_panics() {
+        let buf = Arc::new(ErasedVec::from_vec(vec![0u8; 4]));
+        let _ = ErasedSlice::new(buf, 2..5);
     }
 }

@@ -75,7 +75,7 @@ pub mod view;
 pub use clause::{Construct, MapClause, MapDir, PartitionMap, ReductionClause};
 pub use device::{Device, DeviceKind, DeviceRegistry, DeviceSelector};
 pub use env::DataEnv;
-pub use erased::{ErasedVec, RedOp};
+pub use erased::{ErasedSlice, ErasedVec, RedOp};
 pub use error::OmpError;
 pub use host::HostDevice;
 pub use partition::{LinearExpr, PartitionSpec};

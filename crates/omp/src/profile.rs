@@ -32,6 +32,16 @@ pub struct ExecProfile {
     pub wire_bytes_from: u64,
     /// Number of device tasks (tiles) executed.
     pub tasks: u64,
+    /// Wall time saved by pipelining: work (compression, store I/O,
+    /// result merging) that ran concurrently with another stage instead
+    /// of serially after it. Zero when every stage ran back to back.
+    pub overlap_s: f64,
+    /// Aggregate CPU busy time in the transfer pipelines (compression +
+    /// decompression), summed across workers.
+    pub compress_busy_s: f64,
+    /// Aggregate store busy time in the transfer pipelines (puts + gets),
+    /// summed across workers.
+    pub store_busy_s: f64,
     /// Free-form annotations ("fallback to host", codec choices, ...).
     pub notes: Vec<String>,
 }
@@ -72,7 +82,7 @@ impl std::fmt::Display for ExecProfile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "[{}] total {:.3}s = host-comm {:.3}s + overhead {:.3}s + compute {:.3}s ({} tasks, {}/{} raw bytes to/from, {}/{} on wire)",
+            "[{}] total {:.3}s = host-comm {:.3}s + overhead {:.3}s + compute {:.3}s ({} tasks, {}/{} raw bytes to/from, {}/{} on wire, {:.3}s overlapped)",
             self.device,
             self.total_s(),
             self.host_comm_s,
@@ -83,6 +93,7 @@ impl std::fmt::Display for ExecProfile {
             self.bytes_from_device,
             self.wire_bytes_to,
             self.wire_bytes_from,
+            self.overlap_s,
         )
     }
 }

@@ -8,7 +8,7 @@
 //! deserialized partitions) — mirroring how OmpCloud runs the identical
 //! native function through JNI on every target.
 
-use crate::erased::ErasedVec;
+use crate::erased::{ErasedSlice, ErasedVec};
 use crate::pod::Pod;
 use std::collections::HashMap;
 use std::ops::{Index, IndexMut};
@@ -23,7 +23,7 @@ pub struct Inputs {
 #[derive(Debug, Clone)]
 struct InputVar {
     base: usize,
-    data: Arc<ErasedVec>,
+    data: ErasedSlice,
 }
 
 impl Inputs {
@@ -32,8 +32,14 @@ impl Inputs {
         Inputs::default()
     }
 
-    /// Register a variable view starting at global element `base`.
+    /// Register a variable view starting at global element `base`,
+    /// covering the whole of `data`.
     pub fn add(&mut self, name: impl Into<String>, base: usize, data: Arc<ErasedVec>) {
+        self.add_slice(name, base, ErasedSlice::full(data));
+    }
+
+    /// Register a zero-copy range view starting at global element `base`.
+    pub fn add_slice(&mut self, name: impl Into<String>, base: usize, data: ErasedSlice) {
         self.vars.insert(name.into(), InputVar { base, data });
     }
 
@@ -313,6 +319,18 @@ mod tests {
         let mut ins = Inputs::new();
         ins.add("A", 0, Arc::new(ErasedVec::from_vec(vec![5.0f32])));
         let _ = ins.view::<i32>("A");
+    }
+
+    #[test]
+    fn add_slice_views_a_shared_buffer_range() {
+        let buf = Arc::new(ErasedVec::from_vec((0..8).map(|i| i as f32).collect::<Vec<_>>()));
+        let mut ins = Inputs::new();
+        ins.add_slice("A", 2, ErasedSlice::new(Arc::clone(&buf), 2..6));
+        let a = ins.view::<f32>("A");
+        assert_eq!(a.base(), 2);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[2], 2.0);
+        assert_eq!(a[5], 5.0);
     }
 
     #[test]

@@ -7,16 +7,23 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared in-flight counter plus the condvar that announces it hit zero.
+struct IdleTracker {
+    in_flight: AtomicUsize,
+    lock: Mutex<()>,
+    idle: Condvar,
+}
 
 /// Fixed-size pool of worker threads consuming jobs from a shared queue.
 pub struct ThreadPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    in_flight: Arc<AtomicUsize>,
+    tracker: Arc<IdleTracker>,
 }
 
 impl ThreadPool {
@@ -24,23 +31,35 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
-        let in_flight = Arc::new(AtomicUsize::new(0));
+        let tracker = Arc::new(IdleTracker {
+            in_flight: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            idle: Condvar::new(),
+        });
         let workers = (0..threads)
             .map(|idx| {
                 let rx = rx.clone();
-                let in_flight = Arc::clone(&in_flight);
+                let tracker = Arc::clone(&tracker);
                 std::thread::Builder::new()
                     .name(format!("parfor-worker-{idx}"))
                     .spawn(move || {
                         for job in rx.iter() {
                             job();
-                            in_flight.fetch_sub(1, Ordering::Release);
+                            if tracker.in_flight.fetch_sub(1, Ordering::Release) == 1 {
+                                // Take the lock before notifying so a
+                                // wait_idle caller can't re-check the count
+                                // and block between our decrement and the
+                                // wake-up.
+                                let _guard =
+                                    tracker.lock.lock().unwrap_or_else(|p| p.into_inner());
+                                tracker.idle.notify_all();
+                            }
                         }
                     })
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers, in_flight }
+        ThreadPool { tx: Some(tx), workers, tracker }
     }
 
     /// Number of worker threads.
@@ -50,7 +69,7 @@ impl ThreadPool {
 
     /// Enqueue a job. Panics if called after [`ThreadPool::shutdown`].
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        self.in_flight.fetch_add(1, Ordering::Acquire);
+        self.tracker.in_flight.fetch_add(1, Ordering::Acquire);
         self.tx
             .as_ref()
             .expect("pool already shut down")
@@ -74,14 +93,19 @@ impl ThreadPool {
 
     /// Number of jobs submitted but not yet finished.
     pub fn pending(&self) -> usize {
-        self.in_flight.load(Ordering::Acquire)
+        self.tracker.in_flight.load(Ordering::Acquire)
     }
 
-    /// Busy-wait (with yields) until the queue drains. Used by tests and
-    /// the transfer manager's flush path.
+    /// Block (sleeping, not spinning) until the queue drains. Used by
+    /// tests and the transfer manager's flush path.
     pub fn wait_idle(&self) {
-        while self.pending() != 0 {
-            std::thread::yield_now();
+        let mut guard = self.tracker.lock.lock().unwrap_or_else(|p| p.into_inner());
+        while self.tracker.in_flight.load(Ordering::Acquire) != 0 {
+            guard = self
+                .tracker
+                .idle
+                .wait(guard)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -165,6 +189,31 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn wait_idle_on_idle_pool_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle(); // no jobs ever submitted — must not block
+        pool.execute(|| {});
+        pool.wait_idle();
+        pool.wait_idle(); // second wait after drain must also be a no-op
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn wait_idle_blocks_until_slow_jobs_finish() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..8 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                c.fetch_add(1, Ordering::Release);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Acquire), 8);
     }
 
     #[test]

@@ -194,6 +194,24 @@ impl SparkContext {
         lineage: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
         partitions: usize,
     ) -> Result<Vec<Vec<T>>, SparkError> {
+        self.run_job_streaming(lineage, partitions, |_, _| {})
+    }
+
+    /// Like [`SparkContext::run_job`], but additionally invokes
+    /// `on_partition(index, &partition)` on the driver thread the moment
+    /// each partition's first successful attempt lands — in *arrival*
+    /// order, while the remaining tasks are still executing. This is what
+    /// lets driver-side merging overlap the tail of the map phase instead
+    /// of waiting behind a full-collect barrier.
+    pub(crate) fn run_job_streaming<T: Data, F>(
+        &self,
+        lineage: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+        partitions: usize,
+        mut on_partition: F,
+    ) -> Result<Vec<Vec<T>>, SparkError>
+    where
+        F: FnMut(usize, &[T]),
+    {
         if self.inner.stopped.load(Ordering::SeqCst) {
             return Err(SparkError::ContextStopped);
         }
@@ -228,6 +246,7 @@ impl SparkContext {
                         let part = boxed
                             .downcast::<Vec<T>>()
                             .expect("task produced the lineage element type");
+                        on_partition(task, &part);
                         slots[task] = Some(*part);
                         done += 1;
                         task_metrics.push(TaskMetric { task, attempt, executor, seconds });

@@ -71,7 +71,7 @@ impl Executor {
                         for envelope in rx.iter() {
                             let TaskEnvelope { job, task, attempt, f } = envelope;
                             let t0 = Instant::now();
-                            let outcome = if alive.load(Ordering::SeqCst) {
+                            let outcome = if alive.load(Ordering::Acquire) {
                                 // A panicking kernel body is the moral
                                 // equivalent of a native crash in the JNI
                                 // region: contain it to the task.
@@ -82,7 +82,7 @@ impl Executor {
                             } else {
                                 Err(format!("executor {id} is dead"))
                             };
-                            inflight.fetch_sub(1, Ordering::SeqCst);
+                            inflight.fetch_sub(1, Ordering::Release);
                             let _ = results.send(TaskResult {
                                 job,
                                 task,
@@ -102,14 +102,14 @@ impl Executor {
     /// Queue a task. A dead or stopping executor hands the envelope back
     /// so the scheduler can place it elsewhere.
     pub fn submit(&self, envelope: TaskEnvelope) -> Result<(), TaskEnvelope> {
-        if !self.alive.load(Ordering::SeqCst) {
+        if !self.alive.load(Ordering::Acquire) {
             return Err(envelope);
         }
-        self.inflight.fetch_add(1, Ordering::SeqCst);
+        self.inflight.fetch_add(1, Ordering::Acquire);
         match self.tx.send(envelope) {
             Ok(()) => Ok(()),
             Err(send_err) => {
-                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                self.inflight.fetch_sub(1, Ordering::Release);
                 Err(send_err.0)
             }
         }
@@ -117,12 +117,12 @@ impl Executor {
 
     /// Tasks queued or running.
     pub fn inflight(&self) -> usize {
-        self.inflight.load(Ordering::SeqCst)
+        self.inflight.load(Ordering::Acquire)
     }
 
     /// Current status.
     pub fn status(&self) -> ExecutorStatus {
-        if self.alive.load(Ordering::SeqCst) {
+        if self.alive.load(Ordering::Acquire) {
             ExecutorStatus::Alive
         } else {
             ExecutorStatus::Dead
@@ -131,13 +131,13 @@ impl Executor {
 
     /// Kill the executor: queued/future tasks fail back to the driver.
     pub fn kill(&self) {
-        self.alive.store(false, Ordering::SeqCst);
+        self.alive.store(false, Ordering::Release);
     }
 
     /// Bring a killed executor back (Spark restarts executors on healthy
     /// nodes).
     pub fn revive(&self) {
-        self.alive.store(true, Ordering::SeqCst);
+        self.alive.store(true, Ordering::Release);
     }
 
     /// Close the queue and join the slot threads.

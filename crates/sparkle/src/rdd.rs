@@ -277,6 +277,41 @@ impl<T: Data> Rdd<T> {
         Ok(self.collect_partitions()?.into_iter().flatten().collect())
     }
 
+    /// Run one task per partition and invoke `f(index, &partition)` on
+    /// the driver as each partition *arrives* (arrival order, not
+    /// partition order) — while the remaining tasks are still running.
+    /// Fills the cache like [`Rdd::collect_partitions`], so later actions
+    /// on this RDD reuse the map results.
+    pub fn for_each_partition<F>(&self, f: F) -> Result<(), SparkError>
+    where
+        F: FnMut(usize, &[T]),
+    {
+        let parts = self.ctx.run_job_streaming(self.lineage(), self.partitions, f)?;
+        let mut cache = self.cache.lock();
+        if cache.is_none() {
+            *cache = Some(parts.into_iter().map(Arc::new).collect());
+        }
+        Ok(())
+    }
+
+    /// Run the job on a background thread and return an iterator yielding
+    /// `(partition index, partition)` in arrival order. A job-level error
+    /// surfaces as the iterator's final item. The cache is filled like
+    /// [`Rdd::collect_partitions`].
+    pub fn collect_iter(&self) -> impl Iterator<Item = Result<(usize, Vec<T>), SparkError>> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let rdd = self.clone();
+        std::thread::spawn(move || {
+            let tx2 = tx.clone();
+            if let Err(e) = rdd.for_each_partition(move |p, part| {
+                let _ = tx2.send(Ok((p, part.to_vec())));
+            }) {
+                let _ = tx.send(Err(e));
+            }
+        });
+        rx.into_iter()
+    }
+
     /// Number of elements (distributed count, partial sums per task).
     pub fn count(&self) -> Result<usize, SparkError> {
         let lineage = self.lineage();

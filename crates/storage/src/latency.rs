@@ -1,0 +1,116 @@
+//! A wrapping store that injects synthetic network latency.
+//!
+//! The in-memory backends answer in nanoseconds, which hides exactly the
+//! effect the paper measures: on a real cluster every put/get crosses a
+//! WAN. [`LatencyStore`] restores that cost deterministically — a fixed
+//! round-trip delay per operation plus an optional bandwidth term — so
+//! benchmarks and tests can show transfer/compute overlap without
+//! touching a real network.
+
+use crate::{ObjectStore, StorageError, StoreHandle};
+use std::time::Duration;
+
+/// [`ObjectStore`] decorator that sleeps on every data operation.
+pub struct LatencyStore {
+    inner: StoreHandle,
+    per_op: Duration,
+    /// Simulated throughput for the bandwidth term; `None` = infinite.
+    bytes_per_sec: Option<f64>,
+}
+
+impl LatencyStore {
+    /// Wrap `inner`, adding `per_op` of delay to every put and get.
+    pub fn new(inner: StoreHandle, per_op: Duration) -> Self {
+        LatencyStore { inner, per_op, bytes_per_sec: None }
+    }
+
+    /// Additionally model finite throughput: each put/get sleeps an extra
+    /// `payload_len / bytes_per_sec` seconds.
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        self.bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    fn delay(&self, bytes: usize) {
+        let mut d = self.per_op;
+        if let Some(bw) = self.bytes_per_sec {
+            d += Duration::from_secs_f64(bytes as f64 / bw);
+        }
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+impl ObjectStore for LatencyStore {
+    fn put(&self, key: &str, data: Vec<u8>) -> Result<(), StorageError> {
+        self.delay(data.len());
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
+        let result = self.inner.get(key);
+        self.delay(result.as_ref().map(Vec::len).unwrap_or(0));
+        result
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        self.inner.delete(key)
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.inner.exists(key)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.list(prefix)
+    }
+
+    fn size(&self, key: &str) -> Option<u64> {
+        self.inner.size(key)
+    }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s3::S3Store;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn adds_latency_to_puts_and_gets() {
+        let store =
+            LatencyStore::new(Arc::new(S3Store::standalone("lat")), Duration::from_millis(10));
+        let t = Instant::now();
+        store.put("k", vec![1, 2, 3]).unwrap();
+        assert_eq!(store.get("k").unwrap(), vec![1, 2, 3]);
+        assert!(t.elapsed() >= Duration::from_millis(20), "two ops, 10ms each");
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let store = LatencyStore::new(Arc::new(S3Store::standalone("lat")), Duration::ZERO)
+            .with_bandwidth(1_000_000.0); // 1 MB/s
+        let t = Instant::now();
+        store.put("k", vec![0u8; 20_000]).unwrap(); // 20ms at 1 MB/s
+        assert!(t.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn metadata_operations_pass_through_undelayed() {
+        let store =
+            LatencyStore::new(Arc::new(S3Store::standalone("lat")), Duration::from_secs(5));
+        let t = Instant::now();
+        assert!(!store.exists("nope"));
+        assert!(store.list("").is_empty());
+        assert_eq!(store.size("nope"), None);
+        store.delete("nope").unwrap();
+        assert!(t.elapsed() < Duration::from_secs(1), "no sleeps on metadata ops");
+    }
+}

@@ -25,14 +25,18 @@
 
 mod azure;
 mod hdfs;
+mod latency;
 mod s3;
 mod transfer;
 mod uri;
 
 pub use azure::{AccessLevel, AzureAccount, AzureBlobStore};
 pub use hdfs::{HdfsStore, DEFAULT_BLOCK_SIZE};
+pub use latency::LatencyStore;
 pub use s3::{MultipartUpload, S3Service, S3Store};
-pub use transfer::{ItemReport, TransferConfig, TransferManager, TransferReport};
+pub use transfer::{
+    ItemReport, PipelineReport, PipelineResult, TransferConfig, TransferManager, TransferReport,
+};
 pub use uri::StorageUri;
 
 use std::fmt;

@@ -93,8 +93,46 @@ impl TransferReport {
     }
 }
 
+/// Outcome of a fused two-stage pipeline run ([`TransferManager::upload_fetch_pipelined`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineReport {
+    /// Per-buffer details: uploaded-and-fetched items first (in request
+    /// order), then fetch-only items.
+    pub items: Vec<ItemReport>,
+    /// Wall time of the whole pipeline.
+    pub wall_seconds: f64,
+    /// Aggregate CPU busy time across the compression workers
+    /// (compression + decompression).
+    pub cpu_busy_seconds: f64,
+    /// Aggregate storage busy time across the I/O workers (puts + gets).
+    pub io_busy_seconds: f64,
+}
+
+impl PipelineReport {
+    /// Total uncompressed bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.items.iter().map(|i| i.raw_bytes).sum()
+    }
+
+    /// Total bytes on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        self.items.iter().map(|i| i.wire_bytes).sum()
+    }
+
+    /// Wall time saved versus running the compression and storage stages
+    /// back to back (sum of stage busy times minus the pipelined wall,
+    /// clamped at zero).
+    pub fn overlap_seconds(&self) -> f64 {
+        (self.cpu_busy_seconds + self.io_busy_seconds - self.wall_seconds).max(0.0)
+    }
+}
+
 /// Payloads (in request order) plus the batch report.
 pub type DownloadResult = (Vec<(String, Vec<u8>)>, TransferReport);
+
+/// Payloads (put items first, then fetch-only items, each in request
+/// order) plus the pipeline report.
+pub type PipelineResult = (Vec<(String, Vec<u8>)>, PipelineReport);
 
 /// Moves batches of named buffers between host memory and a cloud store.
 pub struct TransferManager {
@@ -120,31 +158,7 @@ impl TransferManager {
         let results = self.run_parallel(items, |store, config, key, payload| {
             let t = Instant::now();
             let raw_bytes = payload.len() as u64;
-            let (wire, compressed) = if payload.len() >= config.stream_threshold
-                && config.stream_threshold >= config.min_compression_size
-            {
-                // Large buffer: chunked multi-frame stream.
-                let stream = gzlite::compress_stream(&payload, config.stream_chunk);
-                let shrank = stream.len() < payload.len();
-                if shrank {
-                    (stream, true)
-                } else {
-                    (payload, false)
-                }
-            } else if payload.len() >= config.min_compression_size {
-                let frame = gzlite::compress_auto(&payload);
-                // compress_auto falls back to store-mode framing when data
-                // is incompressible; count it as "compressed" only when it
-                // actually shrank.
-                let shrank = frame.len() < payload.len();
-                if shrank {
-                    (frame, true)
-                } else {
-                    (payload, false)
-                }
-            } else {
-                (payload, false)
-            };
+            let (wire, compressed) = compress_for_wire(config, payload);
             let wire_bytes = wire.len() as u64;
             let retries = put_with_retry(store.as_ref(), config.max_retries, &key, wire)?;
             Ok(ItemReport {
@@ -202,6 +216,181 @@ impl TransferManager {
         Ok((payloads, TransferReport { items, wall_seconds: t0.elapsed().as_secs_f64() }))
     }
 
+    /// Fused upload + driver fetch as a two-stage pipeline: a pool of
+    /// compression workers feeds a pool of `io_threads` store-I/O workers
+    /// through a channel, so buffer *N+1* compresses while buffer *N* is
+    /// in flight to the store — and each staged object is read back (and
+    /// decompressed) the moment its put lands, instead of waiting for the
+    /// whole upload batch.
+    ///
+    /// `put_items` travel the full compress → put → get → decompress
+    /// chain; `fetch_only` keys (already staged, e.g. upload-cache hits)
+    /// skip straight to the get. Returns `(key, payload)` pairs —
+    /// `put_items` first in request order, then `fetch_only` in request
+    /// order — plus per-stage busy-time accounting.
+    pub fn upload_fetch_pipelined(
+        &self,
+        put_items: Vec<(String, Vec<u8>)>,
+        fetch_only: Vec<String>,
+        io_threads: usize,
+    ) -> Result<PipelineResult, StorageError> {
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+        let t0 = Instant::now();
+        let total = put_items.len() + fetch_only.len();
+        if total == 0 {
+            return Ok((Vec::new(), PipelineReport::default()));
+        }
+
+        enum IoJob {
+            /// Compressed payload ready to hit the store and come back.
+            PutGet { idx: usize, key: String, wire: Vec<u8>, raw_bytes: u64, compressed: bool },
+            /// Already staged: read (and decompress) only.
+            Get { idx: usize, key: String },
+        }
+
+        type Slot = parking_lot::Mutex<Option<Result<(ItemReport, Vec<u8>), StorageError>>>;
+        let slots: Vec<Slot> = (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+        let cpu_busy_ns = AtomicU64::new(0);
+        let io_busy_ns = AtomicU64::new(0);
+
+        let cpu_threads = put_items.len().clamp(1, self.config.max_threads.max(1));
+        let io_threads = io_threads.max(1).min(total);
+
+        type QueueSlot = parking_lot::Mutex<Option<(usize, String, Vec<u8>)>>;
+        let queue: Vec<QueueSlot> = put_items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (k, p))| parking_lot::Mutex::new(Some((i, k, p))))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let n_put = queue.len();
+
+        let (tx, rx) = crossbeam::channel::unbounded::<IoJob>();
+
+        std::thread::scope(|scope| {
+            // Stage B: store-I/O workers (put + get), decompression time
+            // attributed back to the CPU stage.
+            for _ in 0..io_threads {
+                let rx = rx.clone();
+                let (slots, cpu_busy_ns, io_busy_ns) = (&slots, &cpu_busy_ns, &io_busy_ns);
+                scope.spawn(move || {
+                    for job in rx.iter() {
+                        let (idx, key, put_result) = match job {
+                            IoJob::PutGet { idx, key, wire, raw_bytes, compressed } => {
+                                let t = Instant::now();
+                                let put = put_with_retry(
+                                    self.store.as_ref(),
+                                    self.config.max_retries,
+                                    &key,
+                                    wire,
+                                );
+                                io_busy_ns
+                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                                (idx, key, Some((put, raw_bytes, compressed)))
+                            }
+                            IoJob::Get { idx, key } => (idx, key, None),
+                        };
+                        let mut retries = 0u32;
+                        let mut compressed = false;
+                        if let Some((put, _, c)) = &put_result {
+                            compressed = *c;
+                            match put {
+                                Ok(r) => retries += r,
+                                Err(e) => {
+                                    *slots[idx].lock() = Some(Err(e.clone()));
+                                    continue;
+                                }
+                            }
+                        }
+                        let t = Instant::now();
+                        let fetched =
+                            get_with_retry(self.store.as_ref(), self.config.max_retries, &key);
+                        io_busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let (wire, get_retries) = match fetched {
+                            Ok(x) => x,
+                            Err(e) => {
+                                *slots[idx].lock() = Some(Err(e));
+                                continue;
+                            }
+                        };
+                        retries += get_retries;
+                        let wire_bytes = wire.len() as u64;
+                        let t = Instant::now();
+                        let payload = if gzlite::is_stream(&wire) {
+                            compressed = true;
+                            gzlite::decompress_stream(&wire)
+                                .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))
+                        } else if wire.len() >= MAGIC.len() && wire[..MAGIC.len()] == MAGIC {
+                            compressed = true;
+                            gzlite::decompress(&wire)
+                                .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))
+                        } else {
+                            Ok(wire)
+                        };
+                        cpu_busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        *slots[idx].lock() = Some(payload.map(|p| {
+                            let report = ItemReport {
+                                key,
+                                raw_bytes: p.len() as u64,
+                                wire_bytes,
+                                compressed,
+                                seconds: 0.0,
+                                retries,
+                            };
+                            (report, p)
+                        }));
+                    }
+                });
+            }
+
+            // Fetch-only keys go straight to the I/O stage.
+            for (i, key) in fetch_only.iter().enumerate() {
+                let _ = tx.send(IoJob::Get { idx: n_put + i, key: key.clone() });
+            }
+
+            // Stage A: compression workers feeding the I/O pool.
+            for _ in 0..cpu_threads {
+                let tx = tx.clone();
+                let (queue, next, cpu_busy_ns) = (&queue, &next, &cpu_busy_ns);
+                let config = &self.config;
+                scope.spawn(move || loop {
+                    let q = next.fetch_add(1, Ordering::Relaxed);
+                    if q >= queue.len() {
+                        return;
+                    }
+                    let (idx, key, payload) = queue[q].lock().take().expect("claimed once");
+                    let t = Instant::now();
+                    let raw_bytes = payload.len() as u64;
+                    let (wire, compressed) = compress_for_wire(config, payload);
+                    cpu_busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let _ = tx.send(IoJob::PutGet { idx, key, wire, raw_bytes, compressed });
+                });
+            }
+
+            // The workers' clones keep the channel alive; dropping the
+            // original lets the I/O stage drain and exit.
+            drop(tx);
+        });
+
+        let mut items = Vec::with_capacity(total);
+        let mut payloads = Vec::with_capacity(total);
+        for slot in slots {
+            let (report, payload) = slot.into_inner().expect("all slots filled")?;
+            payloads.push((report.key.clone(), payload));
+            items.push(report);
+        }
+        Ok((
+            payloads,
+            PipelineReport {
+                items,
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                cpu_busy_seconds: cpu_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                io_busy_seconds: io_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            },
+        ))
+    }
+
     /// Fan a batch out over scoped worker threads, preserving input order
     /// in the results.
     fn run_parallel<R, F>(&self, items: Vec<(String, Vec<u8>)>, work: F) -> Result<Vec<R>, StorageError>
@@ -243,6 +432,35 @@ impl TransferManager {
         });
 
         slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    }
+}
+
+/// Apply the engine's compression policy to one payload: chunked
+/// multi-frame streams above `stream_threshold`, single frames above
+/// `min_compression_size`, raw otherwise — and raw whenever compression
+/// fails to shrink. Returns the wire bytes and whether they are compressed.
+fn compress_for_wire(config: &TransferConfig, payload: Vec<u8>) -> (Vec<u8>, bool) {
+    if payload.len() >= config.stream_threshold
+        && config.stream_threshold >= config.min_compression_size
+    {
+        // Large buffer: chunked multi-frame stream.
+        let stream = gzlite::compress_stream(&payload, config.stream_chunk);
+        if stream.len() < payload.len() {
+            (stream, true)
+        } else {
+            (payload, false)
+        }
+    } else if payload.len() >= config.min_compression_size {
+        // compress_auto falls back to store-mode framing when data is
+        // incompressible; count it as "compressed" only when it shrank.
+        let frame = gzlite::compress_auto(&payload);
+        if frame.len() < payload.len() {
+            (frame, true)
+        } else {
+            (payload, false)
+        }
+    } else {
+        (payload, false)
     }
 }
 
@@ -415,6 +633,70 @@ mod tests {
         assert!(gzlite::is_stream(&stored), "stored as a multi-frame stream");
         let (payloads, _) = tm.download(vec!["big".into()]).unwrap();
         assert_eq!(payloads[0].1, data);
+    }
+
+    #[test]
+    fn pipelined_upload_fetch_matches_serial_roundtrip() {
+        let (tm, store) = manager(64);
+        let items: Vec<(String, Vec<u8>)> = (0..12)
+            .map(|i| {
+                let payload: Vec<u8> =
+                    (0..4096u32).map(|j| ((j.wrapping_mul(i + 1)) >> 3) as u8).collect();
+                (format!("in/v{i:02}"), payload)
+            })
+            .collect();
+        let (payloads, report) = tm.upload_fetch_pipelined(items.clone(), vec![], 4).unwrap();
+        assert_eq!(payloads.len(), items.len());
+        for ((key, expected), (got_key, got)) in items.iter().zip(&payloads) {
+            assert_eq!(got_key, key, "request order preserved");
+            assert_eq!(got, expected, "put + get round-trips bitwise");
+        }
+        assert_eq!(report.items.len(), items.len());
+        assert_eq!(report.raw_bytes(), 12 * 4096);
+        // Objects really landed in the store (same wire form the serial
+        // download path would read).
+        let (serial, _) = tm.download(items.iter().map(|(k, _)| k.clone()).collect()).unwrap();
+        assert_eq!(serial, payloads);
+        assert!(store.exists("in/v00"));
+    }
+
+    #[test]
+    fn pipelined_fetch_only_reads_staged_objects() {
+        let (tm, _) = manager(64);
+        let staged = vec![7u8; 5000];
+        tm.upload(vec![("cached/x".into(), staged.clone())]).unwrap();
+        let fresh = vec![1u8; 3000];
+        let (payloads, report) = tm
+            .upload_fetch_pipelined(
+                vec![("new/y".into(), fresh.clone())],
+                vec!["cached/x".into()],
+                2,
+            )
+            .unwrap();
+        // Put items first, then fetch-only, each in request order.
+        assert_eq!(payloads[0], ("new/y".to_string(), fresh));
+        assert_eq!(payloads[1], ("cached/x".to_string(), staged));
+        assert!(report.items[1].compressed, "staged object decompressed on fetch");
+    }
+
+    #[test]
+    fn pipelined_empty_batch_is_a_noop() {
+        let (tm, _) = manager(64);
+        let (payloads, report) = tm.upload_fetch_pipelined(vec![], vec![], 4).unwrap();
+        assert!(payloads.is_empty());
+        assert!(report.items.is_empty());
+        assert_eq!(report.overlap_seconds(), 0.0);
+    }
+
+    #[test]
+    fn pipelined_missing_fetch_key_errors() {
+        let (tm, _) = manager(64);
+        let result = tm.upload_fetch_pipelined(
+            vec![("a".into(), vec![1, 2, 3])],
+            vec!["missing".into()],
+            2,
+        );
+        assert!(matches!(result, Err(StorageError::NotFound(_))));
     }
 
     #[test]

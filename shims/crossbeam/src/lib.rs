@@ -1,0 +1,263 @@
+#![warn(missing_docs)]
+
+//! A minimal, offline drop-in for the subset of `crossbeam` this
+//! workspace uses: `crossbeam::channel::{unbounded, Sender, Receiver}`
+//! with multi-producer **multi-consumer** semantics (cloneable receivers),
+//! blocking `recv`, non-blocking `try_recv` and a blocking iterator.
+
+pub mod channel {
+    //! Unbounded MPMC channel built on `Mutex<VecDeque>` + `Condvar`.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (competing consumers).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Field `0` hands the rejected message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty; senders still connected.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `msg`; fails only when every receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.push_back(msg);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self
+                    .shared
+                    .ready
+                    .wait(q)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator: yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<'a, T> Iterator for Iter<'a, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning blocking iterator over received messages.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn iter_ends_when_senders_drop() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn multiple_consumers_partition_the_stream() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            let sum = std::sync::Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = [rx, rx2]
+                .into_iter()
+                .map(|rx| {
+                    let sum = std::sync::Arc::clone(&sum);
+                    std::thread::spawn(move || {
+                        for v in rx.iter() {
+                            sum.fetch_add(v as usize, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(sum.load(Ordering::Relaxed), 4950);
+        }
+
+        #[test]
+        fn into_iter_drains_then_ends_on_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(7).is_err());
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! A minimal, offline drop-in for the subset of the `proptest` API this
+//! workspace uses: the [`proptest!`] macro with `pat in strategy`
+//! bindings and `#![proptest_config(...)]`, `any::<T>()`, range
+//! strategies, tuple strategies, `proptest::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Sampling is purely random-uniform (no shrinking, no failure
+//! persistence) and deterministic: every test function replays the same
+//! case sequence on every run.
+
+pub mod test_runner {
+    //! Configuration and the deterministic RNG behind every strategy.
+
+    /// Per-`proptest!` block configuration (`cases` only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator used by all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Fixed-seed generator: every run replays the same cases.
+        pub fn deterministic() -> Self {
+            TestRng { state: 0x9E3779B97F4A7C15 }
+        }
+
+        /// Next 64 uniform random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategy implementations.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe producing random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty => $wide:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    let v = rng.next_u64() % span;
+                    ((self.start as $wide).wrapping_add(v as $wide)) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = ((hi as $wide).wrapping_sub(lo as $wide) as u64).wrapping_add(1);
+                    // span == 0 means the full 2^64 domain.
+                    let v = if span == 0 { rng.next_u64() } else { rng.next_u64() % span };
+                    ((lo as $wide).wrapping_add(v as $wide)) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! float_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $ty) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    /// Strategy for "any value of `T`"; built by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! any_int_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Floats: wide uniform range, always finite (keeps byte-roundtrip and
+    // arithmetic properties meaningful without NaN special-casing).
+    impl Strategy for Any<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            ((rng.next_f64() - 0.5) * 2e6) as f32
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            (rng.next_f64() - 0.5) * 2e12
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::Any;
+
+    /// Strategy generating arbitrary values of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec(element, size)`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Admissible element counts for a collection strategy.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + if span == 0 { 0 } else { rng.below(span) };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` test expects.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property assertion; accepts the `assert!` argument forms.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; accepts the `assert_eq!` argument forms.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; accepts the `assert_ne!` argument forms.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    // Entry with a block-level config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases ($cfg) $($rest)*);
+    };
+
+    // One test case, then recurse on the remainder.
+    (@cases ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for _ in 0..__cfg.cases {
+                $crate::proptest!(@bind __rng, $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!(@cases ($cfg) $($rest)*);
+    };
+    (@cases ($cfg:expr)) => {};
+
+    // Draw one binding per `pat in strategy` parameter.
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+
+    // Entry without a config attribute (must come after the @ rules).
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cases ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 1usize..12, b in -1000i64..1000, x in 0.1f64..100.0) {
+            prop_assert!((1..12).contains(&a));
+            prop_assert!((-1000..1000).contains(&b));
+            prop_assert!((0.1..100.0).contains(&x));
+        }
+
+        /// Collection sizes respect the size range, fixed sizes are exact.
+        #[test]
+        fn vec_sizes(
+            v in crate::collection::vec(any::<u8>(), 0..37),
+            w in crate::collection::vec(any::<i64>(), 4),
+            nested in crate::collection::vec((0usize..64, crate::collection::vec(any::<u8>(), 0..16)), 0..8),
+        ) {
+            prop_assert!(v.len() < 37);
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(nested.len() < 8);
+            for (n, inner) in &nested {
+                prop_assert!(*n < 64);
+                prop_assert!(inner.len() < 16);
+            }
+        }
+    }
+
+    proptest! {
+        /// Default-config entry point also parses.
+        #[test]
+        fn default_config_entry(flag in any::<bool>(), n in any::<u32>()) {
+            prop_assert!(u32::from(flag) <= 1);
+            let _ = n;
+        }
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..1000 {
+            let f = Strategy::sample(&any::<f32>(), &mut rng);
+            let d = Strategy::sample(&any::<f64>(), &mut rng);
+            assert!(f.is_finite() && d.is_finite());
+        }
+    }
+}

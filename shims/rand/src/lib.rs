@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! A minimal, offline drop-in for the subset of `rand` 0.8 this workspace
+//! uses: `rngs::StdRng`, [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open ranges, [`Rng::gen_bool`] and
+//! [`Rng::gen`]. Deterministic (splitmix64 + xorshift mix), not
+//! cryptographic — exactly what test-data generators need.
+
+use std::ops::Range;
+
+/// Construction of seeded generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Uniform sample in `[low, high)`.
+    fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce from raw generator output.
+pub trait Standard: Sized {
+    /// Produce a value from uniform bits.
+    fn from_bits(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Core entropy source: 64 uniform bits per call.
+pub trait RngCore {
+    /// Next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample in the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A value of `T` from uniform bits.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                let v = rng.next_u64() % span;
+                ((low as $wide).wrapping_add(v as $wide)) as $ty
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                low + (rng.next_f64() as $ty) * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+macro_rules! impl_standard {
+    ($($ty:ty => |$rng:ident| $expr:expr),*) => {$(
+        impl Standard for $ty {
+            fn from_bits($rng: &mut dyn RngCore) -> Self {
+                $expr
+            }
+        }
+    )*};
+}
+
+impl_standard!(
+    bool => |r| r.next_u64() & 1 == 1,
+    u8 => |r| r.next_u64() as u8,
+    u16 => |r| r.next_u64() as u16,
+    u32 => |r| r.next_u64() as u32,
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i8 => |r| r.next_u64() as i8,
+    i16 => |r| r.next_u64() as i16,
+    i32 => |r| r.next_u64() as i32,
+    i64 => |r| r.next_u64() as i64,
+    f32 => |r| r.next_f64() as f32,
+    f64 => |r| r.next_f64()
+);
+
+/// Provided generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64 state advance with an
+    /// output mix); stands in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&v));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let u = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.05)).count();
+        assert!((300..700).contains(&hits), "~5% expected, got {hits}/10000");
+    }
+
+    #[test]
+    fn values_spread_over_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 500), "{buckets:?}");
+    }
+}
