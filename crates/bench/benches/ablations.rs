@@ -54,7 +54,8 @@ fn bench_partitioning(c: &mut Criterion) {
         let rt = runtime(1024);
         b.iter(|| {
             let mut env = matmul::env(N, DataKind::Dense, 3);
-            rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env).unwrap()
+            rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env)
+                .unwrap()
         });
         rt.shutdown();
     });
@@ -78,7 +79,8 @@ fn bench_compression_threshold(c: &mut Criterion) {
             let rt = runtime(t);
             b.iter(|| {
                 let mut env = matmul::env(N, DataKind::Sparse, 3);
-                rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env).unwrap()
+                rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env)
+                    .unwrap()
             });
             rt.shutdown();
         });
@@ -93,22 +95,32 @@ fn bench_tiling_granularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/tiling");
     group.sample_size(10);
     for (label, workers, vcpus) in [("tasks==slots(4)", 2usize, 4usize), ("tasks==N(48)", 24, 4)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(workers, vcpus), |b, &(w, v)| {
-            let rt = CloudRuntime::new(CloudConfig {
-                workers: w,
-                vcpus_per_worker: v,
-                task_cpus: 2,
-                ..CloudConfig::default()
-            });
-            b.iter(|| {
-                let mut env = matmul::env(N, DataKind::Dense, 3);
-                rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env).unwrap()
-            });
-            rt.shutdown();
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(workers, vcpus),
+            |b, &(w, v)| {
+                let rt = CloudRuntime::new(CloudConfig {
+                    workers: w,
+                    vcpus_per_worker: v,
+                    task_cpus: 2,
+                    ..CloudConfig::default()
+                });
+                b.iter(|| {
+                    let mut env = matmul::env(N, DataKind::Dense, 3);
+                    rt.offload(&matmul::region(N, CloudRuntime::cloud_selector()), &mut env)
+                        .unwrap()
+                });
+                rt.shutdown();
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioning, bench_compression_threshold, bench_tiling_granularity);
+criterion_group!(
+    benches,
+    bench_partitioning,
+    bench_compression_threshold,
+    bench_tiling_granularity
+);
 criterion_main!(benches);

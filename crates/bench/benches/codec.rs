@@ -8,7 +8,11 @@ fn f32_bytes(len: usize, density: f64, seed: u64) -> Vec<u8> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..len / 4)
         .flat_map(|_| {
-            let v: f32 = if rng.gen_bool(density) { rng.gen_range(0.0..1.0) } else { 0.0 };
+            let v: f32 = if rng.gen_bool(density) {
+                rng.gen_range(0.0..1.0)
+            } else {
+                0.0
+            };
             v.to_le_bytes()
         })
         .collect()
@@ -46,7 +50,9 @@ fn bench_crc32(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec/crc32");
     group.sample_size(20);
     group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("1MiB", |b| b.iter(|| gzlite::crc32(std::hint::black_box(&data))));
+    group.bench_function("1MiB", |b| {
+        b.iter(|| gzlite::crc32(std::hint::black_box(&data)))
+    });
     group.finish();
 }
 

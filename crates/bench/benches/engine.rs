@@ -45,7 +45,9 @@ fn bench_broadcast(c: &mut Criterion) {
         b.iter(|| {
             let bc = sc.broadcast(value.clone(), bytes);
             let handle = bc.handle();
-            rdd.map(move |i| handle[i] as f64).reduce(|a, b| a + b).unwrap()
+            rdd.map(move |i| handle[i] as f64)
+                .reduce(|a, b| a + b)
+                .unwrap()
         });
         sc.stop();
     });
@@ -63,12 +65,25 @@ fn bench_parfor_schedules(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &sched, |b, &sched| {
             b.iter(|| {
-                omp_parfor::parallel_reduce(4, data.len(), sched, 0.0f64, |i| data[i].sqrt(), |a, b| a + b)
+                omp_parfor::parallel_reduce(
+                    4,
+                    data.len(),
+                    sched,
+                    0.0f64,
+                    |i| data[i].sqrt(),
+                    |a, b| a + b,
+                )
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_job_dispatch, bench_map_reduce, bench_broadcast, bench_parfor_schedules);
+criterion_group!(
+    benches,
+    bench_job_dispatch,
+    bench_map_reduce,
+    bench_broadcast,
+    bench_parfor_schedules
+);
 criterion_main!(benches);

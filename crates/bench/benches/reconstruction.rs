@@ -2,16 +2,20 @@
 //! merging vs distributed reduce, and the three merge policies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use omp_model::{ErasedVec, RedOp, TypeTag};
-use ompcloud::{CloudConfig, CloudRuntime};
 use omp_model::prelude::*;
 use omp_model::TargetRegion;
+use omp_model::{ErasedVec, RedOp, TypeTag};
+use ompcloud::{CloudConfig, CloudRuntime};
 
 fn bench_erased_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("reconstruct/erased-merge");
     group.sample_size(20);
     let n = 1 << 18; // 1 MiB of f32
-    for (label, op) in [("bitor", RedOp::BitOr), ("sum", RedOp::Sum), ("max", RedOp::Max)] {
+    for (label, op) in [
+        ("bitor", RedOp::BitOr),
+        ("sum", RedOp::Sum),
+        ("max", RedOp::Max),
+    ] {
         let src = ErasedVec::from_vec(vec![1.5f32; n]);
         group.bench_with_input(BenchmarkId::from_parameter(label), &op, |b, &op| {
             let mut acc = ErasedVec::identity(TypeTag::F32, n, op);

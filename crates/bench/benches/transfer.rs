@@ -12,8 +12,11 @@ fn buffers(count: usize, each: usize, density: f64) -> Vec<(String, Vec<u8>)> {
         .map(|i| {
             let data: Vec<u8> = (0..each / 4)
                 .flat_map(|_| {
-                    let v: f32 =
-                        if rng.gen_bool(density) { rng.gen_range(0.0..1.0) } else { 0.0 };
+                    let v: f32 = if rng.gen_bool(density) {
+                        rng.gen_range(0.0..1.0)
+                    } else {
+                        0.0
+                    };
                     v.to_le_bytes()
                 })
                 .collect();
@@ -25,16 +28,21 @@ fn buffers(count: usize, each: usize, density: f64) -> Vec<(String, Vec<u8>)> {
 fn manager(min_compress: usize) -> TransferManager {
     TransferManager::new(
         Arc::new(S3Store::standalone("bench")),
-        TransferConfig { min_compression_size: min_compress, ..Default::default() },
+        TransferConfig {
+            min_compression_size: min_compress,
+            ..Default::default()
+        },
     )
 }
 
 fn bench_upload(c: &mut Criterion) {
     let mut group = c.benchmark_group("transfer/upload");
     group.sample_size(10);
-    for (label, density, compress) in
-        [("sparse+gz", 0.05, 0usize), ("dense+gz", 1.0, 0), ("dense raw", 1.0, usize::MAX)]
-    {
+    for (label, density, compress) in [
+        ("sparse+gz", 0.05, 0usize),
+        ("dense+gz", 1.0, 0),
+        ("dense raw", 1.0, usize::MAX),
+    ] {
         let items = buffers(8, 256 * 1024, density);
         let total: u64 = items.iter().map(|(_, d)| d.len() as u64).sum();
         group.throughput(Throughput::Bytes(total));

@@ -7,9 +7,9 @@
 //! Usage: `cargo run -p ompcloud-bench --bin fig4_speedup [-- --json PATH]`
 
 use cloudsim::model::OffloadModel;
+use jsonlite::{Json, ToJson};
 use ompcloud_bench::paper::{self, CORE_COUNTS};
 use ompcloud_bench::table;
-use jsonlite::{Json, ToJson};
 use ompcloud_kernels::DataKind;
 
 struct BenchSeries {
@@ -36,14 +36,19 @@ fn main() {
     let mut all = Vec::new();
 
     println!("Figure 4 — speedup over single-core local execution (dense inputs)");
-    println!("model: {} workers x {} cores, calibrated per EXPERIMENTS.md\n", 16, 16);
+    println!(
+        "model: {} workers x {} cores, calibrated per EXPERIMENTS.md\n",
+        16, 16
+    );
 
     for (chart, (id, plan)) in paper::all_plans(DataKind::Dense).into_iter().enumerate() {
         let seq = model.sequential_time(&plan);
         // OmpThread reference: the largest c3 instance has 16 cores, so
         // the paper plots 8 and 16 threads only.
-        let omp_thread: Vec<(usize, f64)> =
-            [8usize, 16].iter().map(|&t| (t, seq / model.omp_thread_time(&plan, t))).collect();
+        let omp_thread: Vec<(usize, f64)> = [8usize, 16]
+            .iter()
+            .map(|&t| (t, seq / model.omp_thread_time(&plan, t)))
+            .collect();
         let points = model.speedup_series(&plan, CORE_COUNTS);
 
         println!(
@@ -71,7 +76,13 @@ fn main() {
         println!(
             "{}",
             table::render(
-                &["cores", "OmpThread", "OmpCloud-full", "OmpCloud-spark", "OmpCloud-computation"],
+                &[
+                    "cores",
+                    "OmpThread",
+                    "OmpCloud-full",
+                    "OmpCloud-spark",
+                    "OmpCloud-computation"
+                ],
                 &rows
             )
         );
@@ -89,7 +100,10 @@ fn main() {
         .map(|s| (s.benchmark.clone(), s.points.last().unwrap().full))
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    println!("peak OmpCloud-full speedup at 256 cores: {:.0}x ({})", peak.1, peak.0);
+    println!(
+        "peak OmpCloud-full speedup at 256 cores: {:.0}x ({})",
+        peak.1, peak.0
+    );
     println!("paper reports up to 86x (2MM abstract) / 143x-97x-86x for 3MM");
 
     if let Some(path) = json_path {
@@ -100,5 +114,7 @@ fn main() {
 
 fn json_arg() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -7,9 +7,9 @@
 //! Usage: `cargo run -p ompcloud-bench --bin fig5_load [-- --json PATH]`
 
 use cloudsim::model::OffloadModel;
+use jsonlite::{Json, ToJson};
 use ompcloud_bench::paper::{self, CORE_COUNTS};
 use ompcloud_bench::table;
-use jsonlite::{Json, ToJson};
 use ompcloud_kernels::DataKind;
 
 struct LoadPoint {
@@ -42,7 +42,12 @@ fn main() {
     println!("Figure 5 — load distribution of cloud offloading (seconds and % of total)\n");
 
     for (chart, &id) in ompcloud_kernels::ALL.iter().enumerate() {
-        println!("({}) {} [{}]", (b'a' + chart as u8) as char, id.name(), id.suite());
+        println!(
+            "({}) {} [{}]",
+            (b'a' + chart as u8) as char,
+            id.name(),
+            id.suite()
+        );
         let mut rows = Vec::new();
         for kind in [DataKind::Sparse, DataKind::Dense] {
             let plan = paper::plan(id, kind);
@@ -53,8 +58,16 @@ fn main() {
                     kind.label().to_string(),
                     cores.to_string(),
                     format!("{:.0}", total),
-                    format!("{:.0} ({:.1}%)", b.host_comm_s, 100.0 * b.host_comm_s / total),
-                    format!("{:.0} ({:.1}%)", b.spark_overhead_s, 100.0 * b.spark_overhead_s / total),
+                    format!(
+                        "{:.0} ({:.1}%)",
+                        b.host_comm_s,
+                        100.0 * b.host_comm_s / total
+                    ),
+                    format!(
+                        "{:.0} ({:.1}%)",
+                        b.spark_overhead_s,
+                        100.0 * b.spark_overhead_s / total
+                    ),
                     format!("{:.0} ({:.1}%)", b.compute_s, 100.0 * b.compute_s / total),
                 ]);
                 all.push(LoadPoint {
@@ -70,7 +83,14 @@ fn main() {
         println!(
             "{}",
             table::render(
-                &["data", "cores", "total s", "host-target comm", "spark overhead", "computation"],
+                &[
+                    "data",
+                    "cores",
+                    "total s",
+                    "host-target comm",
+                    "spark overhead",
+                    "computation"
+                ],
                 &rows
             )
         );
@@ -89,5 +109,7 @@ fn main() {
 
 fn json_arg() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
 }

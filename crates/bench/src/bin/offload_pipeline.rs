@@ -57,13 +57,14 @@ fn region(device: DeviceSelector) -> TargetRegion {
     builder
         .map_from("y")
         .parallel_for(N, |l| {
-            l.partition("y", PartitionSpec::rows(1)).body(|i, ins, outs| {
-                let mut acc = 0.0f32;
-                for k in 0..N_BUFS {
-                    acc += ins.view::<f32>(&format!("x{k}"))[i];
-                }
-                outs.view_mut::<f32>("y")[i] = acc;
-            })
+            l.partition("y", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let mut acc = 0.0f32;
+                    for k in 0..N_BUFS {
+                        acc += ins.view::<f32>(&format!("x{k}"))[i];
+                    }
+                    outs.view_mut::<f32>("y")[i] = acc;
+                })
         })
         .build()
         .expect("valid region")
@@ -74,7 +75,9 @@ fn env() -> DataEnv {
     for k in 0..N_BUFS {
         // Patterned, compressible data — the CPU stage has real work.
         env.insert("x".to_string() + &k.to_string(), {
-            (0..N * 64).map(|i| ((i + k) % 17) as f32).collect::<Vec<_>>()
+            (0..N * 64)
+                .map(|i| ((i + k) % 17) as f32)
+                .collect::<Vec<_>>()
         });
     }
     env.insert("y", vec![0.0f32; N]);
@@ -93,7 +96,11 @@ fn run_mode(pipelined: bool) -> ModeResult {
         ..CloudConfig::default()
     };
     let mut acc = ModeResult {
-        mode: if pipelined { "pipelined".into() } else { "serial".into() },
+        mode: if pipelined {
+            "pipelined".into()
+        } else {
+            "serial".into()
+        },
         total_s: 0.0,
         host_comm_s: 0.0,
         overhead_s: 0.0,
@@ -109,7 +116,9 @@ fn run_mode(pipelined: bool) -> ModeResult {
         ));
         let rt = CloudRuntime::with_device(CloudDevice::with_store(config.clone(), store));
         let mut e = env();
-        let profile = rt.offload(&region(CloudRuntime::cloud_selector()), &mut e).unwrap();
+        let profile = rt
+            .offload(&region(CloudRuntime::cloud_selector()), &mut e)
+            .unwrap();
         let expected: f32 = (0..N_BUFS).map(|k| (k % 17) as f32).sum();
         assert_eq!(e.get::<f32>("y").unwrap()[0], expected);
         acc.total_s += profile.total_s();

@@ -41,7 +41,9 @@ fn main() {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -49,9 +51,13 @@ fn has_flag(args: &[String], name: &str) -> bool {
 }
 
 fn parse_bench(name: &str) -> Option<BenchId> {
-    ALL.iter()
-        .copied()
-        .find(|id| id.name().eq_ignore_ascii_case(name) || id.name().replace('-', "").eq_ignore_ascii_case(&name.replace('-', "")))
+    ALL.iter().copied().find(|id| {
+        id.name().eq_ignore_ascii_case(name)
+            || id
+                .name()
+                .replace('-', "")
+                .eq_ignore_ascii_case(&name.replace('-', ""))
+    })
 }
 
 fn cmd_validate(args: &[String]) -> i32 {
@@ -65,14 +71,24 @@ fn cmd_validate(args: &[String]) -> i32 {
             println!("  provider        {:?}", cfg.provider);
             println!("  spark driver    {}", cfg.spark_driver);
             println!("  storage         {}", cfg.storage);
-            println!("  cluster         {} workers x {} vCPUs (task-cpus {}, {} slots, {} cores)",
-                cfg.workers, cfg.vcpus_per_worker, cfg.task_cpus, cfg.total_slots(), cfg.total_cores());
+            println!(
+                "  cluster         {} workers x {} vCPUs (task-cpus {}, {} slots, {} cores)",
+                cfg.workers,
+                cfg.vcpus_per_worker,
+                cfg.task_cpus,
+                cfg.total_slots(),
+                cfg.total_cores()
+            );
             println!("  compression     >= {} bytes", cfg.min_compression_size);
             println!("  ec2 autostart   {}", cfg.ec2_autostart);
             println!("  data caching    {}", cfg.data_caching);
             println!(
                 "  pipelining      transfers {}, streaming collect {}, {} io threads",
                 cfg.pipelined_transfers, cfg.streaming_collect, cfg.io_threads
+            );
+            println!(
+                "  scheduler       {} dispatch, spec-factor {}, locality wait {} ms",
+                cfg.schedule, cfg.spec_factor, cfg.locality_wait_ms
             );
             0
         }
@@ -84,11 +100,19 @@ fn cmd_validate(args: &[String]) -> i32 {
 }
 
 fn cmd_catalog() -> i32 {
-    println!("{:<12} {:>6} {:>6} {:>8} {:>10} {:>8}", "type", "vCPU", "cores", "mem GiB", "net Gbit/s", "$/hour");
+    println!(
+        "{:<12} {:>6} {:>6} {:>8} {:>10} {:>8}",
+        "type", "vCPU", "cores", "mem GiB", "net Gbit/s", "$/hour"
+    );
     for t in cloudsim::CATALOG {
         println!(
             "{:<12} {:>6} {:>6} {:>8} {:>10} {:>8.3}",
-            t.name, t.vcpus, t.dedicated_cores(), t.mem_gib, t.network_gbps, t.usd_per_hour
+            t.name,
+            t.vcpus,
+            t.dedicated_cores(),
+            t.mem_gib,
+            t.network_gbps,
+            t.usd_per_hour
         );
     }
     0
@@ -105,7 +129,10 @@ fn cmd_list() -> i32 {
 }
 
 fn parse_extra(name: &str) -> Option<ExtraBench> {
-    EXTRA.iter().copied().find(|id| id.name().eq_ignore_ascii_case(name))
+    EXTRA
+        .iter()
+        .copied()
+        .find(|id| id.name().eq_ignore_ascii_case(name))
 }
 
 fn cmd_run(args: &[String]) -> i32 {
@@ -116,10 +143,20 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("unknown benchmark; try `ompcloud list`");
         return 2;
     }
-    let n: usize = flag_value(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(48);
-    let workers: usize = flag_value(args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(2);
-    let vcpus: usize = flag_value(args, "--vcpus").and_then(|v| v.parse().ok()).unwrap_or(4);
-    let kind = if has_flag(args, "--sparse") { DataKind::Sparse } else { DataKind::Dense };
+    let n: usize = flag_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let vcpus: usize = flag_value(args, "--vcpus")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let kind = if has_flag(args, "--sparse") {
+        DataKind::Sparse
+    } else {
+        DataKind::Dense
+    };
 
     let runtime = CloudRuntime::new(CloudConfig {
         workers,
@@ -163,17 +200,31 @@ fn cmd_project(args: &[String]) -> i32 {
         eprintln!("unknown benchmark; try `ompcloud list`");
         return 2;
     };
-    let kind = if has_flag(args, "--sparse") { DataKind::Sparse } else { DataKind::Dense };
-    let cores: usize = flag_value(args, "--cores").and_then(|v| v.parse().ok()).unwrap_or(256);
+    let kind = if has_flag(args, "--sparse") {
+        DataKind::Sparse
+    } else {
+        DataKind::Dense
+    };
+    let cores: usize = flag_value(args, "--cores")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
     let model = OffloadModel::default();
     let plan = paper::plan(id, kind);
     let seq = model.sequential_time(&plan);
     let b = model.breakdown(&plan, cores);
-    println!("{} ({} inputs) on {cores} paper-cluster cores:", id.name(), kind.label());
+    println!(
+        "{} ({} inputs) on {cores} paper-cluster cores:",
+        id.name(),
+        kind.label()
+    );
     println!("  sequential baseline   {:>10.0} s", seq);
     println!("  host-target comm      {:>10.1} s", b.host_comm_s);
     println!("  spark overhead        {:>10.1} s", b.spark_overhead_s);
     println!("  computation           {:>10.1} s", b.compute_s);
-    println!("  total                 {:>10.1} s  ({:.1}x speedup)", b.total_s(), seq / b.total_s());
+    println!(
+        "  total                 {:>10.1} s  ({:.1}x speedup)",
+        b.total_s(),
+        seq / b.total_s()
+    );
     0
 }

@@ -30,7 +30,11 @@ fn main() {
             let seq = model.sequential_time(&plan);
             for &cores in CORE_COUNTS {
                 let b = model.breakdown(&plan, cores);
-                let thread = if cores <= 16 { model.omp_thread_time(&plan, cores) } else { f64::NAN };
+                let thread = if cores <= 16 {
+                    model.omp_thread_time(&plan, cores)
+                } else {
+                    f64::NAN
+                };
                 writeln!(
                     csv,
                     "{},{},{},{},{:.1},{:.2},{:.2},{:.2},{:.2},{:.3},{:.3},{:.3},{:.1}",
@@ -85,5 +89,9 @@ plot 'evaluation.csv' using (stringcolumn(1) eq 'GEMM' && stringcolumn(3) eq 'de
     std::fs::write(out_dir.join("fig5.gp"), fig5).expect("write fig5.gp");
 
     let rows = ALL.len() * 2 * CORE_COUNTS.len();
-    println!("wrote {} ({} rows), fig4.gp, fig5.gp", csv_path.display(), rows);
+    println!(
+        "wrote {} ({} rows), fig4.gp, fig5.gp",
+        csv_path.display(),
+        rows
+    );
 }

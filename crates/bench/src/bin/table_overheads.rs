@@ -38,7 +38,12 @@ fn main() {
             format!("{:.1}%", 100.0 * full / n),
         ]);
     }
-    rows.push(vec!["paper(16)".into(), "1.8%".into(), "8.8%".into(), "13.6%".into()]);
+    rows.push(vec![
+        "paper(16)".into(),
+        "1.8%".into(),
+        "8.8%".into(),
+        "13.6%".into(),
+    ]);
     println!(
         "{}",
         table::render(&["cores", "computation", "spark", "full"], &rows)
@@ -53,9 +58,21 @@ fn main() {
         table::render(
             &["series", "model", "paper"],
             &[
-                vec!["OmpCloud-computation".into(), format!("{:.0}x", p.computation), "143x".into()],
-                vec!["OmpCloud-spark".into(), format!("{:.0}x", p.spark), "97x".into()],
-                vec!["OmpCloud-full".into(), format!("{:.0}x", p.full), "86x".into()],
+                vec![
+                    "OmpCloud-computation".into(),
+                    format!("{:.0}x", p.computation),
+                    "143x".into()
+                ],
+                vec![
+                    "OmpCloud-spark".into(),
+                    format!("{:.0}x", p.spark),
+                    "97x".into()
+                ],
+                vec![
+                    "OmpCloud-full".into(),
+                    format!("{:.0}x", p.full),
+                    "86x".into()
+                ],
             ]
         )
     );
@@ -74,7 +91,10 @@ fn main() {
     }
     rows.push(vec!["paper: Collinear".into(), "0.1%".into(), "15%".into()]);
     rows.push(vec!["paper: SYRK".into(), "17%".into(), "69%".into()]);
-    println!("{}", table::render(&["benchmark", "8 cores", "256 cores"], &rows));
+    println!(
+        "{}",
+        table::render(&["benchmark", "8 cores", "256 cores"], &rows)
+    );
 
     // --- Anchor 4: compressibility sensitivity.
     println!("dense/sparse overhead inflation at 64 cores (computation must not move)\n");
@@ -91,6 +111,14 @@ fn main() {
     }
     println!(
         "{}",
-        table::render(&["benchmark", "host-comm dense/sparse", "spark dense/sparse", "compute dense/sparse"], &rows)
+        table::render(
+            &[
+                "benchmark",
+                "host-comm dense/sparse",
+                "spark dense/sparse",
+                "compute dense/sparse"
+            ],
+            &rows
+        )
     );
 }

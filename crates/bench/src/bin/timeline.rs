@@ -12,7 +12,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let id = args
         .first()
-        .and_then(|n| ALL.iter().copied().find(|b| b.name().eq_ignore_ascii_case(n)))
+        .and_then(|n| {
+            ALL.iter()
+                .copied()
+                .find(|b| b.name().eq_ignore_ascii_case(n))
+        })
         .unwrap_or(BenchId::Gemm);
     let cores: usize = args
         .iter()
@@ -25,14 +29,23 @@ fn main() {
     let plan = paper::plan(id, DataKind::Dense);
     let tl = simulate_job(&model, &plan, cores, 32);
 
-    println!("{} (dense) on {cores} cores — {:.0} s total\n", id.name(), tl.total_s);
+    println!(
+        "{} (dense) on {cores} cores — {:.0} s total\n",
+        id.name(),
+        tl.total_s
+    );
     let width = 72usize;
     let scale = width as f64 / tl.total_s;
     for span in &tl.spans {
         let start = (span.start_s * scale) as usize;
         let len = (((span.end_s - span.start_s) * scale) as usize).max(1);
-        let bar: String = " ".repeat(start.min(width)) + &"█".repeat(len.min(width - start.min(width)).max(1));
-        println!("{bar:<width$} {:>9.1}s  {}", span.end_s - span.start_s, span.label);
+        let bar: String =
+            " ".repeat(start.min(width)) + &"█".repeat(len.min(width - start.min(width)).max(1));
+        println!(
+            "{bar:<width$} {:>9.1}s  {}",
+            span.end_s - span.start_s,
+            span.label
+        );
     }
     println!();
     for kind in [

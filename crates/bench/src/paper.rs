@@ -169,7 +169,10 @@ pub fn plan(id: BenchId, kind: DataKind) -> JobPlan {
 
 /// Plans for all eight benchmarks.
 pub fn all_plans(kind: DataKind) -> Vec<(BenchId, JobPlan)> {
-    ompcloud_kernels::ALL.iter().map(|&id| (id, plan(id, kind))).collect()
+    ompcloud_kernels::ALL
+        .iter()
+        .map(|&id| (id, plan(id, kind)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,9 +190,18 @@ mod tests {
             .map(|(id, p)| (id, model.breakdown(&p, 8).total_s() / 60.0))
             .collect();
         minutes.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let fast = minutes.iter().filter(|(_, m)| *m >= 8.0 && *m < 30.0).count();
-        let mid = minutes.iter().filter(|(_, m)| *m >= 30.0 && *m < 65.0).count();
-        let slow = minutes.iter().filter(|(_, m)| *m >= 65.0 && *m < 110.0).count();
+        let fast = minutes
+            .iter()
+            .filter(|(_, m)| *m >= 8.0 && *m < 30.0)
+            .count();
+        let mid = minutes
+            .iter()
+            .filter(|(_, m)| *m >= 30.0 && *m < 65.0)
+            .count();
+        let slow = minutes
+            .iter()
+            .filter(|(_, m)| *m >= 65.0 && *m < 110.0)
+            .count();
         assert_eq!(fast + mid + slow, 8, "all in range: {minutes:?}");
         assert!(fast >= 2, "{minutes:?}");
         assert!(slow >= 1, "{minutes:?}");
@@ -205,7 +217,10 @@ mod tests {
     #[test]
     fn collinear_moves_least_data() {
         let plans = all_plans(DataKind::Dense);
-        let collinear = plans.iter().find(|(id, _)| *id == BenchId::Collinear).unwrap();
+        let collinear = plans
+            .iter()
+            .find(|(id, _)| *id == BenchId::Collinear)
+            .unwrap();
         for (id, p) in &plans {
             if *id != BenchId::Collinear {
                 assert!(p.bytes_to > 1000 * collinear.1.bytes_to, "{}", id.name());

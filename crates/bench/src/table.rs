@@ -39,7 +39,10 @@ mod tests {
     fn aligns_columns() {
         let t = render(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -53,7 +53,12 @@ pub fn recommend(
         fleet.launch(itype, workers + 1, 0.0);
         let end = fleet.ready_at() + wall;
         fleet.stop_all(end);
-        evaluated.push(ClusterChoice { cores, workers, wall_s: wall, cost_usd: fleet.cost_usd(end) });
+        evaluated.push(ClusterChoice {
+            cores,
+            workers,
+            wall_s: wall,
+            cost_usd: fleet.cost_usd(end),
+        });
     }
     let best = evaluated
         .iter()
@@ -101,12 +106,22 @@ mod tests {
     #[test]
     fn without_deadline_the_cheapest_wins() {
         let model = OffloadModel::default();
-        let rec = recommend(&model, &gemm_like(), instance_type("c3.8xlarge").unwrap(), OPTIONS, None)
-            .expect("always feasible without a deadline");
+        let rec = recommend(
+            &model,
+            &gemm_like(),
+            instance_type("c3.8xlarge").unwrap(),
+            OPTIONS,
+            None,
+        )
+        .expect("always feasible without a deadline");
         // Per-hour billing: a single worker node under ~2h is hard to
         // beat on price.
         assert!(rec.best.workers <= 2, "{rec:?}");
-        let min_cost = rec.evaluated.iter().map(|c| c.cost_usd).fold(f64::MAX, f64::min);
+        let min_cost = rec
+            .evaluated
+            .iter()
+            .map(|c| c.cost_usd)
+            .fold(f64::MAX, f64::min);
         assert_eq!(rec.best.cost_usd, min_cost);
     }
 
@@ -140,8 +155,14 @@ mod tests {
     #[test]
     fn evaluated_covers_all_options_in_order() {
         let model = OffloadModel::default();
-        let rec = recommend(&model, &gemm_like(), instance_type("c3.8xlarge").unwrap(), OPTIONS, None)
-            .unwrap();
+        let rec = recommend(
+            &model,
+            &gemm_like(),
+            instance_type("c3.8xlarge").unwrap(),
+            OPTIONS,
+            None,
+        )
+        .unwrap();
         let cores: Vec<usize> = rec.evaluated.iter().map(|c| c.cores).collect();
         assert_eq!(cores, OPTIONS);
         // Wall times strictly decrease with cores for a compute-bound job.

@@ -75,7 +75,11 @@ impl Sim {
         let at = if at < self.now { self.now } else { at };
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, f: Box::new(f) });
+        self.queue.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
     }
 
     /// Schedule `f` after a delay of `dt` seconds.

@@ -114,7 +114,9 @@ impl Instance {
     /// Current state given the virtual time (Pending auto-transitions to
     /// Running once the boot delay elapses).
     pub fn state(&mut self, now: f64) -> InstanceState {
-        if self.state == InstanceState::Pending && now >= self.pending_since + self.itype.boot_time_s {
+        if self.state == InstanceState::Pending
+            && now >= self.pending_since + self.itype.boot_time_s
+        {
             self.state = InstanceState::Running;
             self.running_since = Some(self.pending_since + self.itype.boot_time_s);
         }
@@ -140,7 +142,10 @@ impl Instance {
 
     /// Billable seconds so far (including the open interval).
     pub fn billable_seconds(&self, now: f64) -> f64 {
-        let open = self.running_since.map(|s| (now - s).max(0.0)).unwrap_or(0.0);
+        let open = self
+            .running_since
+            .map(|s| (now - s).max(0.0))
+            .unwrap_or(0.0);
         self.billed_s + open
     }
 
@@ -195,7 +200,10 @@ impl Fleet {
 
     /// Virtual time at which the whole fleet is Running.
     pub fn ready_at(&self) -> f64 {
-        self.instances.iter().map(Instance::ready_at).fold(0.0, f64::max)
+        self.instances
+            .iter()
+            .map(Instance::ready_at)
+            .fold(0.0, f64::max)
     }
 
     /// Stop every instance at `now`.
@@ -207,7 +215,10 @@ impl Fleet {
 
     /// Total dedicated cores across the fleet.
     pub fn total_cores(&self) -> u32 {
-        self.instances.iter().map(|i| i.itype.dedicated_cores()).sum()
+        self.instances
+            .iter()
+            .map(|i| i.itype.dedicated_cores())
+            .sum()
     }
 
     /// Total cost in USD at `now`.
@@ -285,7 +296,10 @@ mod tests {
         let _ = i.state(90.0);
         i.stop(90.0 + 600.0); // ran 10 minutes
         assert!((i.billable_seconds(10_000.0) - 600.0).abs() < 1e-9);
-        assert!((i.cost_usd(10_000.0) - 1.68).abs() < 1e-9, "one full hour billed");
+        assert!(
+            (i.cost_usd(10_000.0) - 1.68).abs() < 1e-9,
+            "one full hour billed"
+        );
     }
 
     #[test]

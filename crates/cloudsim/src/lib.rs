@@ -51,6 +51,9 @@ pub mod timeline;
 pub use advisor::{recommend, ClusterChoice, Recommendation};
 pub use des::{Resource, Sim, SimTime};
 pub use ec2::{instance_type, CostReport, Fleet, Instance, InstanceState, InstanceType, CATALOG};
-pub use model::{Breakdown, ClusterParams, JobPlan, ModelOptions, OffloadModel, SpeedupPoint, StagePlan};
+pub use model::{
+    stage_makespan_stragglers, Breakdown, ClusterParams, DispatchPolicy, JobPlan, ModelOptions,
+    OffloadModel, SpeedupPoint, StagePlan, StragglerScenario,
+};
 pub use net::{Link, SharedLink};
 pub use timeline::{simulate_job, PhaseKind, Span, Timeline};

@@ -18,7 +18,10 @@ pub struct Link {
 impl Link {
     /// Link from megabits-per-second marketing units.
     pub fn from_mbps(mbps: f64, latency_s: f64) -> Link {
-        Link { bandwidth_bps: mbps * 1e6 / 8.0, latency_s }
+        Link {
+            bandwidth_bps: mbps * 1e6 / 8.0,
+            latency_s,
+        }
     }
 
     /// Link from gigabits-per-second.
@@ -119,7 +122,10 @@ mod tests {
     fn shared_link_serializes_transfers() {
         // Two 1-second transfers on one shared link end at 1s and 2s.
         let mut sim = Sim::new();
-        let link = SharedLink::new(Link { bandwidth_bps: 100.0, latency_s: 0.0 });
+        let link = SharedLink::new(Link {
+            bandwidth_bps: 100.0,
+            latency_s: 0.0,
+        });
         let ends = Rc::new(RefCell::new(Vec::new()));
         for _ in 0..2 {
             let ends2 = Rc::clone(&ends);

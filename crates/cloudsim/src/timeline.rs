@@ -83,14 +83,21 @@ pub struct Timeline {
 
 impl ToJson for Timeline {
     fn to_json(&self) -> Json {
-        Json::obj([("spans", self.spans.to_json()), ("total_s", self.total_s.to_json())])
+        Json::obj([
+            ("spans", self.spans.to_json()),
+            ("total_s", self.total_s.to_json()),
+        ])
     }
 }
 
 impl Timeline {
     /// Sum of span durations of one kind.
     pub fn phase_seconds(&self, kind: PhaseKind) -> f64 {
-        self.spans.iter().filter(|s| s.kind == kind).map(|s| s.end_s - s.start_s).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.end_s - s.start_s)
+            .sum()
     }
 
     /// Wall-clock extent of one kind (max end − min start).
@@ -121,18 +128,36 @@ pub fn simulate_job(
     let mut spans = Vec::new();
     let mut now = 0.0f64;
     let push = |spans: &mut Vec<Span>, kind, label: String, start: f64, dur: f64| -> f64 {
-        spans.push(Span { kind, label, start_s: start, end_s: start + dur });
+        spans.push(Span {
+            kind,
+            label,
+            start_s: start,
+            end_s: start + dur,
+        });
         start + dur
     };
 
     // Host upload (compression + WAN).
     let wire_to = plan.bytes_to as f64 * plan.ratio_to;
-    let up = plan.bytes_to as f64 / p.compress_bps + wire_to / p.wan.bandwidth_bps + p.wan.latency_s;
-    now = push(&mut spans, PhaseKind::HostUpload, "compress + upload inputs".into(), now, up);
+    let up =
+        plan.bytes_to as f64 / p.compress_bps + wire_to / p.wan.bandwidth_bps + p.wan.latency_s;
+    now = push(
+        &mut spans,
+        PhaseKind::HostUpload,
+        "compress + upload inputs".into(),
+        now,
+        up,
+    );
 
     // Driver fetch.
     let fetch = wire_to / p.storage_bps + plan.bytes_to as f64 / p.driver_bps + p.job_submit_s;
-    now = push(&mut spans, PhaseKind::DriverFetch, "submit + driver fetch".into(), now, fetch);
+    now = push(
+        &mut spans,
+        PhaseKind::DriverFetch,
+        "submit + driver fetch".into(),
+        now,
+        fetch,
+    );
 
     for (si, stage) in plan.stages.iter().enumerate() {
         let tasks = stage.trip_count.min(cores);
@@ -140,12 +165,17 @@ pub fn simulate_job(
             / p.lan.bandwidth_bps
             + stage.scatter_raw as f64 * stage.intra_ratio / p.lan.bandwidth_bps
             + tasks as f64 * p.task_overhead_s;
-        now = push(&mut spans, PhaseKind::StageSetup, format!("stage {si} setup"), now, setup);
+        now = push(
+            &mut spans,
+            PhaseKind::StageSetup,
+            format!("stage {si} setup"),
+            now,
+            setup,
+        );
 
         // DES map phase.
         let flops_per_task = stage.flops / tasks as f64;
-        let base = flops_per_task
-            / (p.core_gflops * 1e9 * p.jni_efficiency * p.efficiency(cores))
+        let base = flops_per_task / (p.core_gflops * 1e9 * p.jni_efficiency * p.efficiency(cores))
             + p.jni_call_s;
         let mut sim = Sim::new();
         let pool = Resource::new(cores);
@@ -180,20 +210,44 @@ pub fn simulate_job(
         }
         now = stage_start + *makespan.borrow();
 
-        let collect = stage.collect_partitioned_raw as f64 * stage.intra_ratio / p.lan.bandwidth_bps
+        let collect = stage.collect_partitioned_raw as f64 * stage.intra_ratio
+            / p.lan.bandwidth_bps
             + (stage.collect_partitioned_raw + stage.collect_replicated_raw) as f64 / p.driver_bps;
-        now = push(&mut spans, PhaseKind::StageCollect, format!("stage {si} collect"), now, collect);
+        now = push(
+            &mut spans,
+            PhaseKind::StageCollect,
+            format!("stage {si} collect"),
+            now,
+            collect,
+        );
     }
 
     // Store write + host download.
     let wire_from = plan.bytes_from as f64 * plan.ratio_from;
     let write = plan.bytes_from as f64 / p.driver_bps + wire_from / p.storage_bps;
-    now = push(&mut spans, PhaseKind::StoreWrite, "write outputs to storage".into(), now, write);
-    let down = wire_from / p.wan.bandwidth_bps + p.wan.latency_s + plan.bytes_from as f64 / p.decompress_bps;
-    now = push(&mut spans, PhaseKind::HostDownload, "download + decompress outputs".into(), now, down);
+    now = push(
+        &mut spans,
+        PhaseKind::StoreWrite,
+        "write outputs to storage".into(),
+        now,
+        write,
+    );
+    let down = wire_from / p.wan.bandwidth_bps
+        + p.wan.latency_s
+        + plan.bytes_from as f64 / p.decompress_bps;
+    now = push(
+        &mut spans,
+        PhaseKind::HostDownload,
+        "download + decompress outputs".into(),
+        now,
+        down,
+    );
 
     spans.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
-    Timeline { spans, total_s: now }
+    Timeline {
+        spans,
+        total_s: now,
+    }
 }
 
 #[cfg(test)]
@@ -251,7 +305,11 @@ mod tests {
             assert!(w[0].start_s <= w[1].start_s, "sorted by start");
         }
         // One map-task span per task.
-        let tasks = tl.spans.iter().filter(|s| s.kind == PhaseKind::MapTask).count();
+        let tasks = tl
+            .spans
+            .iter()
+            .filter(|s| s.kind == PhaseKind::MapTask)
+            .count();
         assert_eq!(tasks, 32);
     }
 
@@ -279,8 +337,15 @@ mod tests {
         let model = OffloadModel::default();
         let tl_all = simulate_job(&model, &plan(), 64, usize::MAX);
         let tl_cap = simulate_job(&model, &plan(), 64, 5);
-        let capped = tl_cap.spans.iter().filter(|s| s.kind == PhaseKind::MapTask).count();
+        let capped = tl_cap
+            .spans
+            .iter()
+            .filter(|s| s.kind == PhaseKind::MapTask)
+            .count();
         assert_eq!(capped, 5);
-        assert!((tl_all.total_s - tl_cap.total_s).abs() < 1e-9, "same virtual schedule");
+        assert!(
+            (tl_all.total_s - tl_cap.total_s).abs() < 1e-9,
+            "same virtual schedule"
+        );
     }
 }

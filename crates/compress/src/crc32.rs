@@ -12,7 +12,11 @@ fn table() -> &'static [u32; 256] {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
             }
             *entry = crc;
         }
@@ -39,7 +43,10 @@ mod tests {
         // Reference values from the gzip/zlib CRC-32.
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

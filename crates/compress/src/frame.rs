@@ -37,11 +37,13 @@ pub(crate) fn seal(codec: Codec, original_len: usize, payload: &[u8], checksum: 
 
 pub(crate) fn open(frame: &[u8]) -> Result<Parsed<'_>, Error> {
     if frame.len() < 4 {
-        return Err(if frame.starts_with(&MAGIC[..frame.len()]) && !frame.is_empty() {
-            Error::Truncated
-        } else {
-            Error::BadMagic
-        });
+        return Err(
+            if frame.starts_with(&MAGIC[..frame.len()]) && !frame.is_empty() {
+                Error::Truncated
+            } else {
+                Error::BadMagic
+            },
+        );
     }
     if frame[..4] != MAGIC {
         return Err(Error::BadMagic);
@@ -56,7 +58,12 @@ pub(crate) fn open(frame: &[u8]) -> Result<Parsed<'_>, Error> {
     }
     let payload = &frame[pos..frame.len() - 4];
     let crc_bytes: [u8; 4] = frame[frame.len() - 4..].try_into().expect("4 bytes");
-    Ok(Parsed { codec, original_len, payload, checksum: u32::from_le_bytes(crc_bytes) })
+    Ok(Parsed {
+        codec,
+        original_len,
+        payload,
+        checksum: u32::from_le_bytes(crc_bytes),
+    })
 }
 
 #[cfg(test)]

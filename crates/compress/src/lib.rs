@@ -138,10 +138,16 @@ impl fmt::Display for Error {
             Error::Truncated => write!(f, "truncated frame"),
             Error::Malformed(what) => write!(f, "malformed frame: {what}"),
             Error::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             Error::LengthMismatch { declared, actual } => {
-                write!(f, "length mismatch: header declared {declared}, decoded {actual}")
+                write!(
+                    f,
+                    "length mismatch: header declared {declared}, decoded {actual}"
+                )
             }
         }
     }
@@ -222,11 +228,17 @@ pub fn decompress(frame_bytes: &[u8]) -> Result<Vec<u8>, Error> {
         }
     };
     if out.len() != parsed.original_len {
-        return Err(Error::LengthMismatch { declared: parsed.original_len, actual: out.len() });
+        return Err(Error::LengthMismatch {
+            declared: parsed.original_len,
+            actual: out.len(),
+        });
     }
     let actual = crc32(&out);
     if actual != parsed.checksum {
-        return Err(Error::ChecksumMismatch { expected: parsed.checksum, actual });
+        return Err(Error::ChecksumMismatch {
+            expected: parsed.checksum,
+            actual,
+        });
     }
     Ok(out)
 }
@@ -262,7 +274,11 @@ impl Stats {
 pub fn compress_with_stats(input: &[u8]) -> (Vec<u8>, Stats) {
     let frame = compress_auto(input);
     let codec = frame_codec(&frame).expect("frame we just sealed is valid");
-    let stats = Stats { raw_len: input.len(), frame_len: frame.len(), codec };
+    let stats = Stats {
+        raw_len: input.len(),
+        frame_len: frame.len(),
+        codec,
+    };
     (frame, stats)
 }
 
@@ -293,7 +309,11 @@ mod tests {
     fn zeros_compress_well_with_rle() {
         let data = vec![0u8; 1 << 16];
         let frame = compress(&data, Codec::ZeroRle);
-        assert!(frame.len() < 64, "65536 zero bytes became {} bytes", frame.len());
+        assert!(
+            frame.len() < 64,
+            "65536 zero bytes became {} bytes",
+            frame.len()
+        );
         assert_eq!(decompress(&frame).unwrap(), data);
     }
 
@@ -317,7 +337,9 @@ mod tests {
         let mut x: u64 = 0x2545F4914F6CDD1D;
         let data: Vec<u8> = (0..4096)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();
@@ -387,14 +409,20 @@ mod tests {
         let mut x: u64 = 7;
         let dense: Vec<u8> = (0..1 << 16)
             .flat_map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = (x >> 40) as f32 / (1u64 << 24) as f32;
                 v.to_le_bytes()
             })
             .collect();
         let plain = compress(&dense, Codec::Lz77);
         let shuffled = compress(&dense, Codec::Shuffle4Lz77);
-        assert_eq!(frame_codec(&plain).unwrap(), Codec::Store, "plain LZ77 gives up");
+        assert_eq!(
+            frame_codec(&plain).unwrap(),
+            Codec::Store,
+            "plain LZ77 gives up"
+        );
         assert_eq!(frame_codec(&shuffled).unwrap(), Codec::Shuffle4Lz77);
         assert!(
             shuffled.len() < dense.len() * 95 / 100,

@@ -42,15 +42,14 @@ pub fn encode(input: &[u8]) -> Vec<u8> {
     let mut lit_start = 0usize;
     let mut i = 0usize;
 
-    let flush =
-        |out: &mut Vec<u8>, lits: &[u8], match_len: usize, dist: usize| {
-            varint::write(out, lits.len() as u64);
-            out.extend_from_slice(lits);
-            varint::write(out, match_len as u64);
-            if match_len > 0 {
-                varint::write(out, dist as u64);
-            }
-        };
+    let flush = |out: &mut Vec<u8>, lits: &[u8], match_len: usize, dist: usize| {
+        varint::write(out, lits.len() as u64);
+        out.extend_from_slice(lits);
+        varint::write(out, match_len as u64);
+        if match_len > 0 {
+            varint::write(out, dist as u64);
+        }
+    };
 
     while i < input.len() {
         let mut best_len = 0usize;
@@ -121,7 +120,9 @@ pub fn decode(payload: &[u8], expected_len: usize) -> Result<Vec<u8>, Error> {
         if out.len() + lit_len > expected_len {
             return Err(Error::Malformed("lz77 literals exceed declared length"));
         }
-        let lit_end = pos.checked_add(lit_len).ok_or(Error::Malformed("lz77 literal overflow"))?;
+        let lit_end = pos
+            .checked_add(lit_len)
+            .ok_or(Error::Malformed("lz77 literal overflow"))?;
         let lits = payload.get(pos..lit_end).ok_or(Error::Truncated)?;
         out.extend_from_slice(lits);
         pos = lit_end;
@@ -154,7 +155,12 @@ mod tests {
 
     fn roundtrip(data: &[u8]) {
         let enc = encode(data);
-        assert_eq!(decode(&enc, data.len()).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            decode(&enc, data.len()).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]

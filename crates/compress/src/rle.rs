@@ -57,7 +57,9 @@ pub fn decode(payload: &[u8], expected_len: usize) -> Result<Vec<u8>, Error> {
             return Err(Error::Malformed("rle output exceeds declared length"));
         }
         out.resize(out.len() + zero_run, 0);
-        let lit_end = pos.checked_add(lit_len).ok_or(Error::Malformed("rle literal overflow"))?;
+        let lit_end = pos
+            .checked_add(lit_len)
+            .ok_or(Error::Malformed("rle literal overflow"))?;
         let literals = payload.get(pos..lit_end).ok_or(Error::Truncated)?;
         out.extend_from_slice(literals);
         pos = lit_end;
@@ -98,7 +100,12 @@ mod tests {
         roundtrip(&data);
         // One token pair would be ~data.len(); many token pairs would be
         // much larger. Check we stayed close to input size.
-        assert!(enc.len() < data.len() + 16, "enc {} vs raw {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() + 16,
+            "enc {} vs raw {}",
+            enc.len(),
+            data.len()
+        );
     }
 
     #[test]

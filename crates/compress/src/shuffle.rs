@@ -46,7 +46,11 @@ mod tests {
         for len in [0usize, 1, 3, 4, 5, 16, 17, 1000] {
             for stride in [1usize, 2, 4, 8] {
                 let data: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
-                assert_eq!(unshuffle(&shuffle(&data, stride), stride), data, "len={len} stride={stride}");
+                assert_eq!(
+                    unshuffle(&shuffle(&data, stride), stride),
+                    data,
+                    "len={len} stride={stride}"
+                );
             }
         }
     }

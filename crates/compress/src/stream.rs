@@ -54,7 +54,9 @@ pub fn decompress_stream(stream: &[u8]) -> Result<Vec<u8>, Error> {
     let mut out = Vec::new();
     for _ in 0..count {
         let frame_len = varint::read(stream, &mut pos)? as usize;
-        let end = pos.checked_add(frame_len).ok_or(Error::Malformed("frame length overflow"))?;
+        let end = pos
+            .checked_add(frame_len)
+            .ok_or(Error::Malformed("frame length overflow"))?;
         let frame = stream.get(pos..end).ok_or(Error::Truncated)?;
         out.extend_from_slice(&crate::decompress(frame)?);
         pos = end;
@@ -85,9 +87,15 @@ mod tests {
 
     #[test]
     fn roundtrip_empty_and_single_chunk() {
-        assert_eq!(decompress_stream(&compress_stream(&[], 1024)).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            decompress_stream(&compress_stream(&[], 1024)).unwrap(),
+            Vec::<u8>::new()
+        );
         let small = vec![7u8; 100];
-        assert_eq!(decompress_stream(&compress_stream(&small, 1024)).unwrap(), small);
+        assert_eq!(
+            decompress_stream(&compress_stream(&small, 1024)).unwrap(),
+            small
+        );
     }
 
     #[test]
@@ -135,7 +143,10 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut stream = compress_stream(&vec![3u8; 1000], 512);
         stream.extend_from_slice(b"junk");
-        assert_eq!(decompress_stream(&stream), Err(Error::Malformed("trailing bytes after final frame")));
+        assert_eq!(
+            decompress_stream(&stream),
+            Err(Error::Malformed("trailing bytes after final frame"))
+        );
     }
 
     #[test]

@@ -43,7 +43,17 @@ mod tests {
 
     #[test]
     fn roundtrip_boundaries() {
-        for v in [0u64, 1, 127, 128, 255, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write(&mut buf, v);
             let mut pos = 0;

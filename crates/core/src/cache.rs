@@ -28,7 +28,10 @@ pub struct Fingerprint {
 impl Fingerprint {
     /// Fingerprint `bytes`.
     pub fn of(bytes: &[u8]) -> Fingerprint {
-        Fingerprint { crc: gzlite::crc32(bytes), len: bytes.len() as u64 }
+        Fingerprint {
+            crc: gzlite::crc32(bytes),
+            len: bytes.len() as u64,
+        }
     }
 }
 
@@ -69,7 +72,9 @@ impl UploadCache {
         match self.entries.get(var) {
             Some(e) if e.fingerprint == fingerprint => {
                 self.hits += 1;
-                CacheDecision::Hit { storage_key: e.storage_key.clone() }
+                CacheDecision::Hit {
+                    storage_key: e.storage_key.clone(),
+                }
             }
             _ => {
                 self.misses += 1;
@@ -80,7 +85,13 @@ impl UploadCache {
 
     /// Record that `var` with `fingerprint` now lives at `storage_key`.
     pub fn record(&mut self, var: &str, fingerprint: Fingerprint, storage_key: String) {
-        self.entries.insert(var.to_string(), Entry { fingerprint, storage_key });
+        self.entries.insert(
+            var.to_string(),
+            Entry {
+                fingerprint,
+                storage_key,
+            },
+        );
     }
 
     /// Forget one variable (its staged object was deleted or the device
@@ -110,6 +121,85 @@ impl UploadCache {
     }
 }
 
+/// Per-executor residency of staged input tiles, keyed by variable name
+/// and hull range — the locality side of the elastic scheduler.
+///
+/// After a map phase the driver records which executor computed each
+/// tile (that executor fetched and deserialized the tile's inputs, so a
+/// re-offload of the same region finds them warm in its page cache /
+/// JVM heap). The next offload over unchanged data turns those records
+/// into per-partition locality hints: the scheduler seeds each task on
+/// its resident executor and protects it from thieves for the
+/// `locality-wait-ms` window. A content change (different fingerprint)
+/// silently drops the stale residency, like [`UploadCache`].
+#[derive(Debug, Default)]
+pub struct ResidencyMap {
+    entries: HashMap<(String, usize, usize), (Fingerprint, usize)>,
+}
+
+impl ResidencyMap {
+    /// Empty map.
+    pub fn new() -> ResidencyMap {
+        ResidencyMap::default()
+    }
+
+    /// Executor where `var[start..end]` is resident, provided the whole
+    /// variable still has `fingerprint` (stale content returns `None`).
+    pub fn lookup(
+        &self,
+        var: &str,
+        fingerprint: Fingerprint,
+        start: usize,
+        end: usize,
+    ) -> Option<usize> {
+        self.entries
+            .get(&(var.to_string(), start, end))
+            .filter(|(fp, _)| *fp == fingerprint)
+            .map(|(_, exec)| *exec)
+    }
+
+    /// Record that executor `executor` holds `var[start..end]` of the
+    /// content identified by `fingerprint`.
+    pub fn record(
+        &mut self,
+        var: &str,
+        fingerprint: Fingerprint,
+        start: usize,
+        end: usize,
+        executor: usize,
+    ) {
+        self.entries
+            .insert((var.to_string(), start, end), (fingerprint, executor));
+    }
+
+    /// Drop residency entries of `var` whose content no longer matches
+    /// `fingerprint` (the variable was mutated between offloads).
+    pub fn refresh_var(&mut self, var: &str, fingerprint: Fingerprint) {
+        self.entries
+            .retain(|(v, _, _), (fp, _)| v != var || *fp == fingerprint);
+    }
+
+    /// Forget every tile of one variable.
+    pub fn invalidate_var(&mut self, var: &str) {
+        self.entries.retain(|(v, _, _), _| v != var);
+    }
+
+    /// Drop everything (cluster restarted; nothing is resident).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Tile entries currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no residency is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,7 +210,12 @@ mod tests {
         let fp = Fingerprint::of(b"hello matrices");
         assert_eq!(cache.check("A", fp), CacheDecision::Miss);
         cache.record("A", fp, "jobs/0/in/A".into());
-        assert_eq!(cache.check("A", fp), CacheDecision::Hit { storage_key: "jobs/0/in/A".into() });
+        assert_eq!(
+            cache.check("A", fp),
+            CacheDecision::Hit {
+                storage_key: "jobs/0/in/A".into()
+            }
+        );
         cache.invalidate("A");
         assert_eq!(cache.check("A", fp), CacheDecision::Miss);
         assert_eq!(cache.stats(), (1, 2));
@@ -135,7 +230,12 @@ mod tests {
         assert_eq!(cache.check("A", fp2), CacheDecision::Miss);
         // Re-record with the new content.
         cache.record("A", fp2, "k2".into());
-        assert_eq!(cache.check("A", fp2), CacheDecision::Hit { storage_key: "k2".into() });
+        assert_eq!(
+            cache.check("A", fp2),
+            CacheDecision::Hit {
+                storage_key: "k2".into()
+            }
+        );
     }
 
     #[test]
@@ -162,5 +262,50 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn residency_tracks_tiles_per_executor() {
+        let mut map = ResidencyMap::new();
+        let fp = Fingerprint::of(b"matrix A v1");
+        assert_eq!(map.lookup("A", fp, 0, 128), None);
+        map.record("A", fp, 0, 128, 2);
+        map.record("A", fp, 128, 256, 5);
+        assert_eq!(map.lookup("A", fp, 0, 128), Some(2));
+        assert_eq!(map.lookup("A", fp, 128, 256), Some(5));
+        // A different hull is a different tile.
+        assert_eq!(map.lookup("A", fp, 0, 256), None);
+    }
+
+    #[test]
+    fn residency_ignores_stale_fingerprints() {
+        let mut map = ResidencyMap::new();
+        let v1 = Fingerprint::of(b"v1");
+        let v2 = Fingerprint::of(b"v2");
+        map.record("A", v1, 0, 64, 1);
+        assert_eq!(
+            map.lookup("A", v2, 0, 64),
+            None,
+            "mutated content must not hint"
+        );
+        // refresh_var drops the stale tile; unrelated vars survive.
+        map.record("B", v1, 0, 64, 3);
+        map.refresh_var("A", v2);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.lookup("B", v1, 0, 64), Some(3));
+    }
+
+    #[test]
+    fn residency_invalidate_and_clear() {
+        let mut map = ResidencyMap::new();
+        let fp = Fingerprint::of(b"x");
+        map.record("A", fp, 0, 8, 0);
+        map.record("A", fp, 8, 16, 1);
+        map.record("B", fp, 0, 8, 2);
+        map.invalidate_var("A");
+        assert_eq!(map.len(), 1);
+        assert!(!map.is_empty());
+        map.clear();
+        assert!(map.is_empty());
     }
 }

@@ -32,7 +32,9 @@ impl std::str::FromStr for Provider {
             "aws" | "ec2" | "amazon" => Ok(Provider::Aws),
             "azure" | "hdinsight" => Ok(Provider::Azure),
             "local" | "private" => Ok(Provider::Local),
-            other => Err(format!("unknown provider '{other}' (expected aws, azure or local)")),
+            other => Err(format!(
+                "unknown provider '{other}' (expected aws, azure or local)"
+            )),
         }
     }
 }
@@ -82,6 +84,19 @@ pub struct CloudConfig {
     pub pipelined_transfers: bool,
     /// Store-I/O worker threads of the pipelined transfer engine.
     pub io_threads: usize,
+    /// Map-phase dispatch policy: `static` pre-assigns partitions
+    /// round-robin (the paper's behavior), `dynamic` is a central
+    /// pull-based queue (OpenMP `schedule(dynamic)` at cluster scope),
+    /// `stealing` adds work stealing between executor queues.
+    pub schedule: sparkle::ScheduleMode,
+    /// Speculative re-execution: duplicate a running map task once it
+    /// exceeds `spec-factor ×` the median completed task of the same job
+    /// (first result wins). `0` disables speculation.
+    pub spec_factor: f64,
+    /// Delay-scheduling window: how long a task whose input tile is
+    /// already resident on an executor stays reserved for that executor
+    /// before any idle peer may take it.
+    pub locality_wait_ms: u64,
     /// Test hook: pretend the cluster is unreachable so the wrapper's
     /// dynamic host fallback kicks in.
     pub simulate_unreachable: bool,
@@ -92,7 +107,10 @@ impl Default for CloudConfig {
         CloudConfig {
             provider: Provider::Aws,
             spark_driver: "spark://localhost:7077".into(),
-            storage: StorageUri::S3 { bucket: "ompcloud".into(), prefix: "jobs".into() },
+            storage: StorageUri::S3 {
+                bucket: "ompcloud".into(),
+                prefix: "jobs".into(),
+            },
             access_key: String::new(),
             secret_key: String::new(),
             workers: 16,
@@ -107,6 +125,9 @@ impl Default for CloudConfig {
             streaming_collect: true,
             pipelined_transfers: true,
             io_threads: 8,
+            schedule: sparkle::ScheduleMode::Stealing,
+            spec_factor: 1.5,
+            locality_wait_ms: 0,
             simulate_unreachable: false,
         }
     }
@@ -134,43 +155,94 @@ impl CloudConfig {
         if let Some(k) = ini.get("cloud", "secret-key") {
             cfg.secret_key = k.to_string();
         }
-        if let Some(w) = ini.get_parsed::<usize>("cluster", "workers").map_err(bad_config)? {
+        if let Some(w) = ini
+            .get_parsed::<usize>("cluster", "workers")
+            .map_err(bad_config)?
+        {
             cfg.workers = w;
         }
-        if let Some(v) = ini.get_parsed::<usize>("cluster", "vcpus-per-worker").map_err(bad_config)? {
+        if let Some(v) = ini
+            .get_parsed::<usize>("cluster", "vcpus-per-worker")
+            .map_err(bad_config)?
+        {
             cfg.vcpus_per_worker = v;
         }
-        if let Some(t) = ini.get_parsed::<usize>("cluster", "task-cpus").map_err(bad_config)? {
+        if let Some(t) = ini
+            .get_parsed::<usize>("cluster", "task-cpus")
+            .map_err(bad_config)?
+        {
             cfg.task_cpus = t;
         }
-        if let Some(s) = ini.get_parsed::<usize>("offload", "min-compression-size").map_err(bad_config)? {
+        if let Some(s) = ini
+            .get_parsed::<usize>("offload", "min-compression-size")
+            .map_err(bad_config)?
+        {
             cfg.min_compression_size = s;
         }
         if let Some(v) = ini.get_bool("offload", "verbose").map_err(bad_config)? {
             cfg.verbose = v;
         }
-        if let Some(a) = ini.get_bool("offload", "ec2-autostart").map_err(bad_config)? {
+        if let Some(a) = ini
+            .get_bool("offload", "ec2-autostart")
+            .map_err(bad_config)?
+        {
             cfg.ec2_autostart = a;
         }
         if let Some(t) = ini.get("offload", "instance-type") {
             cfg.instance_type = t.to_string();
         }
-        if let Some(c) = ini.get_bool("offload", "data-caching").map_err(bad_config)? {
+        if let Some(c) = ini
+            .get_bool("offload", "data-caching")
+            .map_err(bad_config)?
+        {
             cfg.data_caching = c;
         }
-        if let Some(d) = ini.get_bool("offload", "distributed-reduce").map_err(bad_config)? {
+        if let Some(d) = ini
+            .get_bool("offload", "distributed-reduce")
+            .map_err(bad_config)?
+        {
             cfg.distributed_reduce = d;
         }
-        if let Some(s) = ini.get_bool("offload", "streaming-collect").map_err(bad_config)? {
+        if let Some(s) = ini
+            .get_bool("offload", "streaming-collect")
+            .map_err(bad_config)?
+        {
             cfg.streaming_collect = s;
         }
-        if let Some(p) = ini.get_bool("offload", "pipelined-transfers").map_err(bad_config)? {
+        if let Some(p) = ini
+            .get_bool("offload", "pipelined-transfers")
+            .map_err(bad_config)?
+        {
             cfg.pipelined_transfers = p;
         }
-        if let Some(t) = ini.get_parsed::<usize>("offload", "io-threads").map_err(bad_config)? {
+        if let Some(t) = ini
+            .get_parsed::<usize>("offload", "io-threads")
+            .map_err(bad_config)?
+        {
             cfg.io_threads = t;
         }
-        if let Some(u) = ini.get_bool("offload", "simulate-unreachable").map_err(bad_config)? {
+        if let Some(s) = ini
+            .get_parsed::<sparkle::ScheduleMode>("offload", "schedule")
+            .map_err(bad_config)?
+        {
+            cfg.schedule = s;
+        }
+        if let Some(f) = ini
+            .get_parsed::<f64>("offload", "spec-factor")
+            .map_err(bad_config)?
+        {
+            cfg.spec_factor = f;
+        }
+        if let Some(w) = ini
+            .get_parsed::<u64>("offload", "locality-wait-ms")
+            .map_err(bad_config)?
+        {
+            cfg.locality_wait_ms = w;
+        }
+        if let Some(u) = ini
+            .get_bool("offload", "simulate-unreachable")
+            .map_err(bad_config)?
+        {
             cfg.simulate_unreachable = u;
         }
         cfg.validate()?;
@@ -199,10 +271,19 @@ impl CloudConfig {
             )));
         }
         if self.ec2_autostart && cloudsim::instance_type(&self.instance_type).is_none() {
-            return Err(bad_config(format!("unknown instance type '{}'", self.instance_type)));
+            return Err(bad_config(format!(
+                "unknown instance type '{}'",
+                self.instance_type
+            )));
         }
         if self.io_threads == 0 {
             return Err(bad_config("io-threads must be at least 1"));
+        }
+        if self.spec_factor != 0.0 && !(self.spec_factor >= 1.0 && self.spec_factor.is_finite()) {
+            return Err(bad_config(format!(
+                "spec-factor = {} must be 0 (off) or >= 1",
+                self.spec_factor
+            )));
         }
         Ok(())
     }
@@ -219,7 +300,10 @@ impl CloudConfig {
 }
 
 fn bad_config(detail: impl Into<String>) -> OmpError {
-    OmpError::Plugin { device: "cloud".into(), detail: detail.into() }
+    OmpError::Plugin {
+        device: "cloud".into(),
+        detail: detail.into(),
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +364,10 @@ instance-type = c3.8xlarge
     fn rejects_invalid_cluster_shapes() {
         assert!(CloudConfig::from_str("[cluster]\nworkers = 0\n").is_err());
         assert!(CloudConfig::from_str("[cluster]\ntask-cpus = 64\n").is_err());
-        assert!(CloudConfig::from_str("[offload]\nec2-autostart = yes\ninstance-type = x9.giga\n").is_err());
+        assert!(
+            CloudConfig::from_str("[offload]\nec2-autostart = yes\ninstance-type = x9.giga\n")
+                .is_err()
+        );
     }
 
     #[test]
@@ -311,6 +398,27 @@ instance-type = c3.8xlarge
         assert!(!cfg.pipelined_transfers);
         assert_eq!(cfg.io_threads, 3);
         assert!(CloudConfig::from_str("[offload]\nio-threads = 0\n").is_err());
+    }
+
+    #[test]
+    fn scheduler_knobs_parse_and_default_elastic() {
+        let cfg = CloudConfig::default();
+        assert_eq!(cfg.schedule, sparkle::ScheduleMode::Stealing);
+        assert!((cfg.spec_factor - 1.5).abs() < 1e-12);
+        assert_eq!(cfg.locality_wait_ms, 0);
+        let cfg = CloudConfig::from_str(
+            "[offload]\nschedule = dynamic\nspec-factor = 2.5\nlocality-wait-ms = 40\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.schedule, sparkle::ScheduleMode::Dynamic);
+        assert!((cfg.spec_factor - 2.5).abs() < 1e-12);
+        assert_eq!(cfg.locality_wait_ms, 40);
+        let cfg = CloudConfig::from_str("[offload]\nschedule = static\nspec-factor = 0\n").unwrap();
+        assert_eq!(cfg.schedule, sparkle::ScheduleMode::Static);
+        assert_eq!(cfg.spec_factor, 0.0);
+        assert!(CloudConfig::from_str("[offload]\nschedule = fifo\n").is_err());
+        assert!(CloudConfig::from_str("[offload]\nspec-factor = 0.5\n").is_err());
+        assert!(CloudConfig::from_str("[offload]\nspec-factor = -1\n").is_err());
     }
 
     #[test]

@@ -20,11 +20,11 @@
 //! synchronization — and when the cluster is unreachable the wrapper
 //! falls back to host execution automatically.
 
-use crate::cache::{CacheDecision, Fingerprint, UploadCache};
+use crate::cache::{CacheDecision, Fingerprint, ResidencyMap, UploadCache};
 use crate::config::CloudConfig;
-use crate::scope::Residency;
 use crate::offload::run_spark_job;
 use crate::report::OffloadReport;
+use crate::scope::Residency;
 use cloud_storage::{
     AzureBlobStore, HdfsStore, S3Store, StorageUri, StoreHandle, TransferConfig, TransferManager,
     TransferReport,
@@ -51,6 +51,7 @@ pub struct CloudDevice {
     last_report: Mutex<Option<OffloadReport>>,
     upload_cache: Mutex<UploadCache>,
     residency: Mutex<Residency>,
+    tile_residency: Mutex<ResidencyMap>,
 }
 
 impl CloudDevice {
@@ -75,6 +76,7 @@ impl CloudDevice {
             last_report: Mutex::new(None),
             upload_cache: Mutex::new(UploadCache::new()),
             residency: Mutex::new(Residency::default()),
+            tile_residency: Mutex::new(ResidencyMap::new()),
         }
     }
 
@@ -84,9 +86,9 @@ impl CloudDevice {
         let store: StoreHandle = match &config.storage {
             StorageUri::S3 { bucket, .. } => std::sync::Arc::new(S3Store::standalone(bucket)),
             StorageUri::Hdfs { .. } => HdfsStore::with_defaults(config.workers.max(3)),
-            StorageUri::Azure { account, container, .. } => {
-                std::sync::Arc::new(AzureBlobStore::standalone(account, container))
-            }
+            StorageUri::Azure {
+                account, container, ..
+            } => std::sync::Arc::new(AzureBlobStore::standalone(account, container)),
         };
         Self::with_store(config, store)
     }
@@ -118,9 +120,25 @@ impl CloudDevice {
         self.upload_cache.lock().clear();
     }
 
+    /// Tiles with known executor residency from previous map phases
+    /// (feeds the elastic scheduler's locality hints).
+    pub fn resident_tiles(&self) -> usize {
+        self.tile_residency.lock().len()
+    }
+
+    /// Forget all tile residency (e.g. after the cluster restarted and
+    /// executor page caches are cold).
+    pub fn clear_tile_residency(&self) {
+        self.tile_residency.lock().clear();
+    }
+
     /// Crate-internal accessors for the target-data scope machinery.
     pub(crate) fn residency(&self) -> &Mutex<Residency> {
         &self.residency
+    }
+
+    pub(crate) fn tile_residency(&self) -> &Mutex<ResidencyMap> {
+        &self.tile_residency
     }
 
     pub(crate) fn transfer_ref(&self) -> &TransferManager {
@@ -153,7 +171,8 @@ impl CloudDevice {
                         self.config.storage
                     );
                 }
-                let mut conf = SparkConf::cluster(self.config.workers, self.config.vcpus_per_worker);
+                let mut conf =
+                    SparkConf::cluster(self.config.workers, self.config.vcpus_per_worker);
                 conf.task_cpus = self.config.task_cpus;
                 SparkContext::new(conf)
             })
@@ -171,6 +190,8 @@ impl CloudDevice {
         if let Some(sc) = self.sc.lock().take() {
             sc.stop();
         }
+        // A new cluster starts with cold executor caches.
+        self.tile_residency.lock().clear();
     }
 }
 
@@ -269,10 +290,12 @@ impl Device for CloudDevice {
                 .map_err(storage_err)?;
             profile.host_comm_s += prep.wall_seconds;
             profile.overlap_s += prep.overlap_seconds();
-            profile.compress_busy_s += prep.cpu_busy_seconds;
-            profile.store_busy_s += prep.io_busy_seconds;
-            let upload =
-                TransferReport { items: prep.items[..n_put].to_vec(), wall_seconds: prep.wall_seconds };
+            profile.compress_busy_s += prep.cpu_path_seconds();
+            profile.store_busy_s += prep.io_path_seconds();
+            let upload = TransferReport {
+                items: prep.items[..n_put].to_vec(),
+                wall_seconds: prep.wall_seconds,
+            };
             (upload, payloads)
         } else {
             let upload = self.transfer.upload(upload_items).map_err(storage_err)?;
@@ -319,7 +342,7 @@ impl Device for CloudDevice {
         // Steps 4–6: tile, distribute, map, reconstruct. With streaming
         // collect, part of the driver-side merge ran concurrently with the
         // map phase; `l.overlap_s` reports how much.
-        let outcome = run_spark_job(&sc, &self.config, region, cluster_env)?;
+        let outcome = run_spark_job(&sc, &self.config, region, cluster_env, &self.tile_residency)?;
         for l in &outcome.loops {
             profile.tasks += l.tiles as u64;
             profile.compute_s += l.compute_s;
@@ -344,17 +367,22 @@ impl Device for CloudDevice {
                 .map_err(storage_err)?;
             profile.host_comm_s += out.wall_seconds;
             profile.overlap_s += out.overlap_seconds();
-            profile.compress_busy_s += out.cpu_busy_seconds;
-            profile.store_busy_s += out.io_busy_seconds;
-            let report = TransferReport { items: out.items, wall_seconds: out.wall_seconds };
+            profile.compress_busy_s += out.cpu_path_seconds();
+            profile.store_busy_s += out.io_path_seconds();
+            let report = TransferReport {
+                items: out.items,
+                wall_seconds: out.wall_seconds,
+            };
             (report.clone(), report, payloads)
         } else {
             let t_store = Instant::now();
             let store_write = self.transfer.upload(out_items).map_err(storage_err)?;
             profile.overhead_s += t_store.elapsed().as_secs_f64();
             let t_download = Instant::now();
-            let out_keys: Vec<String> =
-                region.output_maps().map(|m| format!("{prefix}/out/{}", m.name)).collect();
+            let out_keys: Vec<String> = region
+                .output_maps()
+                .map(|m| format!("{prefix}/out/{}", m.name))
+                .collect();
             let (payloads, download) = self.transfer.download(out_keys).map_err(storage_err)?;
             profile.host_comm_s += t_download.elapsed().as_secs_f64();
             (store_write, download, payloads)
@@ -403,5 +431,8 @@ impl Device for CloudDevice {
 }
 
 fn storage_err(e: cloud_storage::StorageError) -> OmpError {
-    OmpError::Plugin { device: "cloud".into(), detail: e.to_string() }
+    OmpError::Plugin {
+        device: "cloud".into(),
+        detail: e.to_string(),
+    }
 }

@@ -45,21 +45,31 @@ impl Ini {
             if let Some(rest) = trimmed.strip_prefix('[') {
                 let name = rest
                     .strip_suffix(']')
-                    .ok_or_else(|| IniError { line, message: "unterminated section header".into() })?
+                    .ok_or_else(|| IniError {
+                        line,
+                        message: "unterminated section header".into(),
+                    })?
                     .trim();
                 if name.is_empty() {
-                    return Err(IniError { line, message: "empty section name".into() });
+                    return Err(IniError {
+                        line,
+                        message: "empty section name".into(),
+                    });
                 }
                 section = name.to_ascii_lowercase();
                 ini.sections.entry(section.clone()).or_default();
                 continue;
             }
-            let (key, value) = trimmed
-                .split_once('=')
-                .ok_or_else(|| IniError { line, message: format!("expected key = value, got '{trimmed}'") })?;
+            let (key, value) = trimmed.split_once('=').ok_or_else(|| IniError {
+                line,
+                message: format!("expected key = value, got '{trimmed}'"),
+            })?;
             let key = key.trim().to_ascii_lowercase();
             if key.is_empty() {
-                return Err(IniError { line, message: "empty key".into() });
+                return Err(IniError {
+                    line,
+                    message: "empty key".into(),
+                });
             }
             // Strip a trailing inline comment only when it is whitespace-
             // separated (secret keys may contain '#').
@@ -68,7 +78,10 @@ impl Ini {
                 value.truncate(pos);
                 value = value.trim_end().to_string();
             }
-            ini.sections.entry(section.clone()).or_default().insert(key, value);
+            ini.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, value);
         }
         Ok(ini)
     }
@@ -82,13 +95,19 @@ impl Ini {
     }
 
     /// Typed lookup with parse error reporting.
-    pub fn get_parsed<T: std::str::FromStr>(&self, section: &str, key: &str) -> Result<Option<T>, String> {
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        section: &str,
+        key: &str,
+    ) -> Result<Option<T>, String> {
         match self.get(section, key) {
             None => Ok(None),
-            Some(v) => v
-                .parse::<T>()
-                .map(Some)
-                .map_err(|_| format!("[{section}] {key} = '{v}' is not a valid {}", std::any::type_name::<T>())),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| {
+                format!(
+                    "[{section}] {key} = '{v}' is not a valid {}",
+                    std::any::type_name::<T>()
+                )
+            }),
         }
     }
 
@@ -148,7 +167,10 @@ min-compression-size = 1024
     #[test]
     fn typed_lookups() {
         let ini = Ini::parse(SAMPLE).unwrap();
-        assert_eq!(ini.get_parsed::<usize>("cluster", "workers").unwrap(), Some(16));
+        assert_eq!(
+            ini.get_parsed::<usize>("cluster", "workers").unwrap(),
+            Some(16)
+        );
         assert_eq!(ini.get_bool("offload", "verbose").unwrap(), Some(false));
         assert_eq!(ini.get_parsed::<usize>("cluster", "missing").unwrap(), None);
         assert!(ini.get_parsed::<usize>("cloud", "provider").is_err());

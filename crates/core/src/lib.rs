@@ -48,5 +48,5 @@ pub use device::CloudDevice;
 pub use offload::LoopStats;
 pub use plan::{derive_plan, measure_ratio, PlanRatios};
 pub use report::OffloadReport;
-pub use scope::{ScopeStats, TargetDataScope};
 pub use runtime::CloudRuntime;
+pub use scope::{ScopeStats, TargetDataScope};

@@ -20,19 +20,21 @@
 //! (§III-D: "successive map-reduce transformations within the Spark
 //! job").
 
+use crate::cache::{Fingerprint, ResidencyMap};
 use crate::config::CloudConfig;
 use crate::tiling;
 use omp_model::chunk::{chunk_outputs, merge_policy, MergeAcc, MergePolicy};
-use omp_model::RedOp;
 use omp_model::view::OutPart;
+use omp_model::RedOp;
 use omp_model::{
     DataEnv, ErasedSlice, ErasedVec, Inputs, OmpError, Outputs, ParallelLoop, TargetRegion,
 };
-use sparkle::{BroadcastStats, SparkContext, SparkError};
+use parking_lot::Mutex;
+use sparkle::{BroadcastStats, JobOptions, SparkContext, SparkError};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One element of `RDD_IN`: a tile of iterations together with the
 /// partitioned variable blocks it needs (Eq. 3) and the pre-allocated
@@ -93,13 +95,25 @@ pub fn run_spark_job(
     config: &CloudConfig,
     region: &TargetRegion,
     mut cluster_env: DataEnv,
+    residency: &Mutex<ResidencyMap>,
 ) -> Result<JobOutcome, OmpError> {
     let mut loops = Vec::with_capacity(region.loops.len());
     for (loop_idx, loop_) in region.loops.iter().enumerate() {
-        let stats = run_loop(sc, config, region, loop_, loop_idx, &mut cluster_env)?;
+        let stats = run_loop(
+            sc,
+            config,
+            region,
+            loop_,
+            loop_idx,
+            &mut cluster_env,
+            residency,
+        )?;
         loops.push(stats);
     }
-    Ok(JobOutcome { env: cluster_env, loops })
+    Ok(JobOutcome {
+        env: cluster_env,
+        loops,
+    })
 }
 
 fn run_loop(
@@ -109,6 +123,7 @@ fn run_loop(
     loop_: &ParallelLoop,
     loop_idx: usize,
     cluster_env: &mut DataEnv,
+    residency: &Mutex<ResidencyMap>,
 ) -> Result<LoopStats, OmpError> {
     let t0 = Instant::now();
     let slots = config.total_slots();
@@ -138,8 +153,9 @@ fn run_loop(
     // buffers, prefilled hulls) is still O(bytes).
     let scatter_bytes = AtomicU64::new(0);
     let env: &DataEnv = cluster_env;
-    let desc_slots: Vec<std::sync::Mutex<Option<Result<TileDesc, OmpError>>>> =
-        (0..tiles.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let desc_slots: Vec<std::sync::Mutex<Option<Result<TileDesc, OmpError>>>> = (0..tiles.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let build_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -160,7 +176,12 @@ fn run_loop(
                         inputs.push((name.clone(), hull.start, block));
                     }
                     let outputs = chunk_outputs(region, loop_, env, iters.clone())?.into_parts();
-                    Ok(TileDesc { iter_start: iters.start, iter_end: iters.end, inputs, outputs })
+                    Ok(TileDesc {
+                        iter_start: iters.start,
+                        iter_end: iters.end,
+                        inputs,
+                        outputs,
+                    })
                 })();
                 *desc_slots[t].lock().expect("slot lock") = Some(built);
             }
@@ -168,7 +189,11 @@ fn run_loop(
     );
     let mut descs = Vec::with_capacity(tiles.len());
     for slot in desc_slots {
-        descs.push(slot.into_inner().expect("slot lock").expect("slot filled")?);
+        descs.push(
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("slot filled")?,
+        );
     }
     let scatter_bytes = scatter_bytes.into_inner();
 
@@ -182,6 +207,61 @@ fn run_loop(
             scatter_bytes,
             bcast_bytes
         );
+    }
+
+    // Elastic scheduling of the map phase. The cluster-scope schedule
+    // comes from the config knobs; an explicit `schedule(...)` clause on
+    // the loop overrides the mode, reusing the host worksharing types at
+    // cluster scope (dynamic -> dynamic dispatch, guided -> stealing).
+    let mut options = JobOptions {
+        mode: config.schedule,
+        spec_factor: config.spec_factor,
+        locality_wait: Duration::from_millis(config.locality_wait_ms),
+    };
+    if loop_.schedule != omp_parfor::Schedule::default() {
+        options.mode = loop_.schedule.into();
+    }
+    sc.set_job_options(options);
+
+    // Locality hints from the previous offload of the same data: a tile
+    // whose scattered inputs were last deserialized on executor `e` is
+    // seeded there and shielded from thieves for the delay-scheduling
+    // window. Whole-variable fingerprints guard against mutation between
+    // offloads — a changed buffer silently drops its stale residency.
+    let scatter_fps: HashMap<String, Fingerprint> = scatter_specs
+        .iter()
+        .map(|(name, _, buf)| (name.clone(), Fingerprint::of(&buf.to_bytes())))
+        .collect();
+    let tile_hulls: Vec<Vec<(String, usize, usize)>> = descs
+        .iter()
+        .map(|d| {
+            d.inputs
+                .iter()
+                .map(|(name, base, block)| (name.clone(), *base, *base + block.len()))
+                .collect()
+        })
+        .collect();
+    {
+        let mut res = residency.lock();
+        for (name, fp) in &scatter_fps {
+            res.refresh_var(name, *fp);
+        }
+        if !res.is_empty() {
+            let hints: Vec<Option<usize>> = tile_hulls
+                .iter()
+                .map(|hulls| {
+                    hulls
+                        .iter()
+                        .filter_map(|(name, s, e)| {
+                            res.lookup(name, *scatter_fps.get(name)?, *s, *e)
+                        })
+                        .next()
+                })
+                .collect();
+            if hints.iter().any(Option::is_some) {
+                sc.set_next_job_locality(hints);
+            }
+        }
     }
 
     // Broadcast the shared inputs (BitTorrent-style accounting).
@@ -210,7 +290,9 @@ fn run_loop(
         for i in tile.iter_start..tile.iter_end {
             body(i, &ins, &mut outs);
         }
-        TileOut { parts: outs.into_parts() }
+        TileOut {
+            parts: outs.into_parts(),
+        }
     });
 
     // Cache RDD_OUT so the reconstruction actions below reuse the map
@@ -245,8 +327,11 @@ fn run_loop(
             .for_each_partition(|_p, tile_outs: &[TileOut]| {
                 let ta = Instant::now();
                 for tile_out in tile_outs {
-                    collect_bytes +=
-                        tile_out.parts.iter().map(|p| p.data.byte_len() as u64).sum::<u64>();
+                    collect_bytes += tile_out
+                        .parts
+                        .iter()
+                        .map(|p| p.data.byte_len() as u64)
+                        .sum::<u64>();
                     let parts = tile_out
                         .parts
                         .iter()
@@ -263,7 +348,11 @@ fn run_loop(
         let collected = out_rdd.collect().map_err(spark_err)?;
         let ta = Instant::now();
         for tile_out in collected {
-            collect_bytes += tile_out.parts.iter().map(|p| p.data.byte_len() as u64).sum::<u64>();
+            collect_bytes += tile_out
+                .parts
+                .iter()
+                .map(|p| p.data.byte_len() as u64)
+                .sum::<u64>();
             let parts = tile_out
                 .parts
                 .into_iter()
@@ -274,6 +363,21 @@ fn run_loop(
         merge_s = ta.elapsed().as_secs_f64();
     }
     let metrics = sc.last_job_metrics();
+    // Record where each tile's inputs ended up: the winning attempt's
+    // executor deserialized them, so the next offload over unchanged
+    // data can hint the tile back to that executor.
+    if let Some(m) = metrics.as_ref() {
+        let mut res = residency.lock();
+        for t in &m.tasks {
+            if let Some(hulls) = tile_hulls.get(t.task) {
+                for (name, s, e) in hulls {
+                    if let Some(fp) = scatter_fps.get(name) {
+                        res.record(name, *fp, *s, *e, t.executor);
+                    }
+                }
+            }
+        }
+    }
     acc.finish(cluster_env)?;
 
     // Distributed `REDUCE(RDD_OUT, l, op)` on the executors, exactly
@@ -320,11 +424,17 @@ fn run_loop(
     }
 
     let wall = t0.elapsed().as_secs_f64();
-    let compute_s = metrics.as_ref().map(|m| m.max_task_seconds()).unwrap_or(0.0);
+    let compute_s = metrics
+        .as_ref()
+        .map(|m| m.max_task_seconds())
+        .unwrap_or(0.0);
     // Every absorb except the final arrival's ran while map tasks were
     // still in flight.
-    let overlap_s =
-        if config.streaming_collect { (merge_s - last_absorb_s).max(0.0) } else { 0.0 };
+    let overlap_s = if config.streaming_collect {
+        (merge_s - last_absorb_s).max(0.0)
+    } else {
+        0.0
+    };
     Ok(LoopStats {
         tiles: tiles.len(),
         broadcast: bcast_stats,
@@ -338,5 +448,8 @@ fn run_loop(
 }
 
 fn spark_err(e: SparkError) -> OmpError {
-    OmpError::Plugin { device: "cloud".into(), detail: e.to_string() }
+    OmpError::Plugin {
+        device: "cloud".into(),
+        detail: e.to_string(),
+    }
 }

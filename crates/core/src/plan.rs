@@ -26,17 +26,29 @@ pub struct PlanRatios {
 impl PlanRatios {
     /// Dense single-precision matrices (gzip leaves ~25 %).
     pub fn dense() -> PlanRatios {
-        PlanRatios { to: 0.75, from: 0.75, intra: 0.75 }
+        PlanRatios {
+            to: 0.75,
+            from: 0.75,
+            intra: 0.75,
+        }
     }
 
     /// Sparse matrices (mostly zero bytes; gzip removes ~92 %).
     pub fn sparse() -> PlanRatios {
-        PlanRatios { to: 0.08, from: 0.08, intra: 0.08 }
+        PlanRatios {
+            to: 0.08,
+            from: 0.08,
+            intra: 0.08,
+        }
     }
 
     /// One ratio everywhere.
     pub fn uniform(r: f64) -> PlanRatios {
-        PlanRatios { to: r, from: r, intra: r }
+        PlanRatios {
+            to: r,
+            from: r,
+            intra: r,
+        }
     }
 }
 
@@ -55,7 +67,11 @@ pub fn measure_ratio(bytes: &[u8]) -> f64 {
 /// `flops` hints come from each loop's `flops_per_iter`; loops without a
 /// hint contribute zero compute (the model then reports pure-overhead
 /// projections, which is still useful for transfer studies).
-pub fn derive_plan(region: &TargetRegion, env: &DataEnv, ratios: PlanRatios) -> Result<JobPlan, OmpError> {
+pub fn derive_plan(
+    region: &TargetRegion,
+    env: &DataEnv,
+    ratios: PlanRatios,
+) -> Result<JobPlan, OmpError> {
     let mut bytes_to = 0u64;
     for m in region.input_maps() {
         bytes_to += env.get_erased(&m.name)?.byte_len() as u64;

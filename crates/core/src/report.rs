@@ -56,7 +56,11 @@ impl std::fmt::Display for OffloadReport {
             "  transfers: {} -> {} B up ({}), {} B down",
             self.upload.raw_bytes(),
             self.upload.wire_bytes(),
-            if self.upload.items.iter().any(|i| i.compressed) { "compressed" } else { "raw" },
+            if self.upload.items.iter().any(|i| i.compressed) {
+                "compressed"
+            } else {
+                "raw"
+            },
             self.download.raw_bytes(),
         )?;
         if let Some(cost) = &self.cost {

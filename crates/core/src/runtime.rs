@@ -57,11 +57,17 @@ impl CloudRuntime {
     /// Runtime around an existing cloud device (shared storage, tests).
     pub fn with_device(cloud: CloudDevice) -> CloudRuntime {
         let mut registry = DeviceRegistry::with_host_only();
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         registry.register(Arc::new(HostDevice::threaded(threads)));
         let cloud = Arc::new(cloud);
         let cloud_id = registry.register(Arc::clone(&cloud) as Arc<dyn omp_model::Device>);
-        CloudRuntime { registry, cloud, cloud_id }
+        CloudRuntime {
+            registry,
+            cloud,
+            cloud_id,
+        }
     }
 
     /// The device registry (for `omp_get_num_devices`-style queries).
@@ -82,7 +88,11 @@ impl CloudRuntime {
     /// Offload a region — `device(CLOUD)` regions reach the cluster,
     /// everything else the host devices; unavailable clouds fall back to
     /// the host automatically.
-    pub fn offload(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+    pub fn offload(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+    ) -> Result<ExecProfile, OmpError> {
         self.registry.offload(region, env)
     }
 

@@ -63,7 +63,15 @@ impl<'rt> TargetDataScope<'rt> {
         maps: Vec<MapClause>,
     ) -> Result<TargetDataScope<'rt>, OmpError> {
         let bytes_in = runtime.cloud().scope_enter(env, &maps)?;
-        Ok(TargetDataScope { runtime, maps, stats: ScopeStats { bytes_in, ..Default::default() }, closed: false })
+        Ok(TargetDataScope {
+            runtime,
+            maps,
+            stats: ScopeStats {
+                bytes_in,
+                ..Default::default()
+            },
+            closed: false,
+        })
     }
 
     /// Offload a region against the resident device data. Every variable
@@ -135,10 +143,12 @@ impl CloudDevice {
                 items.push((format!("target-data/{}", m.name), buf.to_bytes()));
             }
         }
-        self.transfer_ref().upload(items).map_err(|e| OmpError::Plugin {
-            device: "cloud".into(),
-            detail: e.to_string(),
-        })?;
+        self.transfer_ref()
+            .upload(items)
+            .map_err(|e| OmpError::Plugin {
+                device: "cloud".into(),
+                detail: e.to_string(),
+            })?;
 
         // Driver-side resident environment: inputs read back from
         // storage, outputs allocated full-size.
@@ -149,11 +159,11 @@ impl CloudDevice {
                 let (payloads, _) = self
                     .transfer_ref()
                     .download(vec![format!("target-data/{}", m.name)])
-                    .map_err(|e| OmpError::Plugin { device: "cloud".into(), detail: e.to_string() })?;
-                resident.insert_erased(
-                    &m.name,
-                    ErasedVec::from_bytes(host.tag(), &payloads[0].1),
-                );
+                    .map_err(|e| OmpError::Plugin {
+                        device: "cloud".into(),
+                        detail: e.to_string(),
+                    })?;
+                resident.insert_erased(&m.name, ErasedVec::from_bytes(host.tag(), &payloads[0].1));
             } else {
                 resident.insert_erased(
                     &m.name,
@@ -174,7 +184,13 @@ impl CloudDevice {
             detail: "no open target-data scope".into(),
         })?;
         let sc = self.spark_context();
-        let outcome = match crate::offload::run_spark_job(&sc, self.config(), region, resident) {
+        let outcome = match crate::offload::run_spark_job(
+            &sc,
+            self.config(),
+            region,
+            resident,
+            self.tile_residency(),
+        ) {
             Ok(o) => o,
             Err(e) => {
                 // Residency is lost on failure; the scope must be
@@ -196,7 +212,11 @@ impl CloudDevice {
 
     /// Copy the scope's outputs back and release the residency. Returns
     /// raw bytes shipped home.
-    pub(crate) fn scope_exit(&self, env: &mut DataEnv, maps: &[MapClause]) -> Result<u64, OmpError> {
+    pub(crate) fn scope_exit(
+        &self,
+        env: &mut DataEnv,
+        maps: &[MapClause],
+    ) -> Result<u64, OmpError> {
         let mut residency = self.residency().lock();
         let resident = residency.env.take().ok_or_else(|| OmpError::Plugin {
             device: "cloud".into(),
@@ -211,16 +231,21 @@ impl CloudDevice {
                 items.push((format!("target-data/out/{}", m.name), buf.to_bytes()));
             }
         }
-        self.transfer_ref().upload(items).map_err(|e| OmpError::Plugin {
-            device: "cloud".into(),
-            detail: e.to_string(),
-        })?;
+        self.transfer_ref()
+            .upload(items)
+            .map_err(|e| OmpError::Plugin {
+                device: "cloud".into(),
+                detail: e.to_string(),
+            })?;
         for m in maps {
             if m.dir.is_output() {
                 let (payloads, _) = self
                     .transfer_ref()
                     .download(vec![format!("target-data/out/{}", m.name)])
-                    .map_err(|e| OmpError::Plugin { device: "cloud".into(), detail: e.to_string() })?;
+                    .map_err(|e| OmpError::Plugin {
+                        device: "cloud".into(),
+                        detail: e.to_string(),
+                    })?;
                 let tag = env.get_erased(&m.name)?.tag();
                 env.write_back(&m.name, ErasedVec::from_bytes(tag, &payloads[0].1))?;
             }

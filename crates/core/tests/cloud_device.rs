@@ -44,8 +44,18 @@ fn matmul_region(n: usize, device: DeviceSelector) -> TargetRegion {
 
 fn matmul_env(n: usize) -> DataEnv {
     let mut env = DataEnv::new();
-    env.insert("A", (0..n * n).map(|i| ((i * 7) % 11) as f32).collect::<Vec<_>>());
-    env.insert("B", (0..n * n).map(|i| ((i * 3) % 13) as f32).collect::<Vec<_>>());
+    env.insert(
+        "A",
+        (0..n * n)
+            .map(|i| ((i * 7) % 11) as f32)
+            .collect::<Vec<_>>(),
+    );
+    env.insert(
+        "B",
+        (0..n * n)
+            .map(|i| ((i * 3) % 13) as f32)
+            .collect::<Vec<_>>(),
+    );
     env.insert("C", vec![0.0f32; n * n]);
     env
 }
@@ -53,7 +63,9 @@ fn matmul_env(n: usize) -> DataEnv {
 fn host_reference(n: usize) -> Vec<f32> {
     let region = matmul_region(n, DeviceSelector::Default);
     let mut env = matmul_env(n);
-    DeviceRegistry::with_host_only().offload(&region, &mut env).unwrap();
+    DeviceRegistry::with_host_only()
+        .offload(&region, &mut env)
+        .unwrap();
     env.get::<f32>("C").unwrap().to_vec()
 }
 
@@ -67,7 +79,10 @@ fn cloud_offload_matches_host_execution() {
 
     assert_eq!(env.get::<f32>("C").unwrap(), host_reference(n).as_slice());
     assert!(profile.device.starts_with("cloud"));
-    assert_eq!(profile.tasks, 4, "24 iterations tiled onto the 4 cluster slots");
+    assert_eq!(
+        profile.tasks, 4,
+        "24 iterations tiled onto the 4 cluster slots"
+    );
     assert_eq!(profile.bytes_to_device, (2 * n * n * 4) as u64, "A and B");
     assert_eq!(profile.bytes_from_device, (n * n * 4) as u64);
     runtime.shutdown();
@@ -88,7 +103,11 @@ fn offload_report_details_the_job() {
     // B is broadcast (unpartitioned input); A scattered with the tiles.
     assert_eq!(l.broadcast.bytes, (n * n * 4) as u64);
     assert_eq!(l.scatter_bytes, (n * n * 4) as u64);
-    assert_eq!(l.collect_bytes, (n * n * 4) as u64, "C comes back exactly once");
+    assert_eq!(
+        l.collect_bytes,
+        (n * n * 4) as u64,
+        "C comes back exactly once"
+    );
     assert!(report.upload.raw_bytes() > 0);
     runtime.shutdown();
 }
@@ -97,14 +116,23 @@ fn offload_report_details_the_job() {
 fn buffers_actually_travel_through_cloud_storage() {
     // With data caching on, the staged objects persist after the offload
     // (they are the cache)...
-    let config = CloudConfig { data_caching: true, ..small_config() };
+    let config = CloudConfig {
+        data_caching: true,
+        ..small_config()
+    };
     let runtime = CloudRuntime::new(config);
     let region = matmul_region(8, CloudRuntime::cloud_selector());
     let mut env = matmul_env(8);
     runtime.offload(&region, &mut env).unwrap();
     let keys = runtime.cloud().store().list("");
-    assert!(keys.iter().any(|k| k.contains("/in/A")), "inputs staged: {keys:?}");
-    assert!(keys.iter().any(|k| k.contains("/out/C")), "outputs staged: {keys:?}");
+    assert!(
+        keys.iter().any(|k| k.contains("/in/A")),
+        "inputs staged: {keys:?}"
+    );
+    assert!(
+        keys.iter().any(|k| k.contains("/out/C")),
+        "outputs staged: {keys:?}"
+    );
     runtime.shutdown();
 
     // ...without caching, the per-job objects are cleaned up once the
@@ -121,14 +149,24 @@ fn buffers_actually_travel_through_cloud_storage() {
 
 #[test]
 fn unreachable_cloud_falls_back_to_host() {
-    let config = CloudConfig { simulate_unreachable: true, ..small_config() };
+    let config = CloudConfig {
+        simulate_unreachable: true,
+        ..small_config()
+    };
     let runtime = CloudRuntime::new(config);
     let region = matmul_region(12, CloudRuntime::cloud_selector());
     let mut env = matmul_env(12);
     let profile = runtime.offload(&region, &mut env).unwrap();
 
-    assert!(profile.device.starts_with("host"), "fell back to {}", profile.device);
-    assert!(profile.notes.iter().any(|n| n.contains("performed locally")));
+    assert!(
+        profile.device.starts_with("host"),
+        "fell back to {}",
+        profile.device
+    );
+    assert!(profile
+        .notes
+        .iter()
+        .any(|n| n.contains("performed locally")));
     assert_eq!(env.get::<f32>("C").unwrap(), host_reference(12).as_slice());
     runtime.shutdown();
 }
@@ -174,8 +212,9 @@ fn multi_loop_region_runs_successive_stages() {
         .map_tofrom("E")
         .map_from("D")
         .parallel_for(n, move |l| {
-            l.partition("A", PartitionSpec::rows(n)).partition("E", PartitionSpec::rows(n)).body(
-                move |i, ins, outs| {
+            l.partition("A", PartitionSpec::rows(n))
+                .partition("E", PartitionSpec::rows(n))
+                .body(move |i, ins, outs| {
                     let a = ins.view::<f32>("A");
                     let b = ins.view::<f32>("B");
                     let mut e = outs.view_mut::<f32>("E");
@@ -186,12 +225,12 @@ fn multi_loop_region_runs_successive_stages() {
                         }
                         e[i * n + j] = s;
                     }
-                },
-            )
+                })
         })
         .parallel_for(n, move |l| {
-            l.partition("E", PartitionSpec::rows(n)).partition("D", PartitionSpec::rows(n)).body(
-                move |i, ins, outs| {
+            l.partition("E", PartitionSpec::rows(n))
+                .partition("D", PartitionSpec::rows(n))
+                .body(move |i, ins, outs| {
                     let e = ins.view::<f32>("E");
                     let c = ins.view::<f32>("Cm");
                     let mut d = outs.view_mut::<f32>("D");
@@ -202,8 +241,7 @@ fn multi_loop_region_runs_successive_stages() {
                         }
                         d[i * n + j] = s;
                     }
-                },
-            )
+                })
         })
         .build()
         .unwrap();
@@ -219,7 +257,9 @@ fn multi_loop_region_runs_successive_stages() {
     let mut href = env.clone();
     let mut host_region = region.clone();
     host_region.device = DeviceSelector::Default;
-    DeviceRegistry::with_host_only().offload(&host_region, &mut href).unwrap();
+    DeviceRegistry::with_host_only()
+        .offload(&host_region, &mut href)
+        .unwrap();
 
     runtime.offload(&region, &mut env).unwrap();
     assert_eq!(env.get::<f32>("D").unwrap(), href.get::<f32>("D").unwrap());
@@ -289,7 +329,10 @@ fn unpartitioned_output_bitor_reconstruction() {
 
 #[test]
 fn ec2_autostart_bills_the_fleet() {
-    let config = CloudConfig { ec2_autostart: true, ..small_config() };
+    let config = CloudConfig {
+        ec2_autostart: true,
+        ..small_config()
+    };
     let runtime = CloudRuntime::new(config);
     let region = matmul_region(8, CloudRuntime::cloud_selector());
     let mut env = matmul_env(8);
@@ -308,7 +351,11 @@ fn successive_offloads_reuse_the_device() {
         let region = matmul_region(n, CloudRuntime::cloud_selector());
         let mut env = matmul_env(n);
         runtime.offload(&region, &mut env).unwrap();
-        assert_eq!(env.get::<f32>("C").unwrap(), host_reference(n).as_slice(), "n={n}");
+        assert_eq!(
+            env.get::<f32>("C").unwrap(),
+            host_reference(n).as_slice(),
+            "n={n}"
+        );
     }
     runtime.shutdown();
 }

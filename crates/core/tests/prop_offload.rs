@@ -24,7 +24,13 @@ fn runtime() -> &'static CloudRuntime {
 }
 
 /// Build a y[i] = f(x[i..i+stride]) region with optional partitioning.
-fn stride_region(n: usize, stride: usize, partition_x: bool, partition_y: bool, device: DeviceSelector) -> TargetRegion {
+fn stride_region(
+    n: usize,
+    stride: usize,
+    partition_x: bool,
+    partition_y: bool,
+    device: DeviceSelector,
+) -> TargetRegion {
     TargetRegion::builder("prop")
         .device(device)
         .map_to("x")

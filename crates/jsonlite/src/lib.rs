@@ -228,12 +228,18 @@ mod tests {
     #[test]
     fn arrays_nest() {
         let v = Json::arr([vec![1u32, 2], vec![3]]);
-        assert_eq!(v.pretty(), "[\n  [\n    1,\n    2\n  ],\n  [\n    3\n  ]\n]\n");
+        assert_eq!(
+            v.pretty(),
+            "[\n  [\n    1,\n    2\n  ],\n  [\n    3\n  ]\n]\n"
+        );
     }
 
     #[test]
     fn tuples_and_options() {
-        assert_eq!((1u32, "x").to_json(), Json::Arr(vec![Json::Num(1.0), Json::Str("x".into())]));
+        assert_eq!(
+            (1u32, "x").to_json(),
+            Json::Arr(vec![Json::Num(1.0), Json::Str("x".into())])
+        );
         assert_eq!(None::<u32>.to_json(), Json::Null);
         assert_eq!(Some(2u32).to_json(), Json::Num(2.0));
     }

@@ -76,7 +76,13 @@ pub struct BenchCase {
 
 /// Build one benchmark at problem size `n` (matrix dimension / point
 /// count; COVAR uses `m = 2n` observations).
-pub fn build(id: BenchId, n: usize, kind: DataKind, seed: u64, device: DeviceSelector) -> BenchCase {
+pub fn build(
+    id: BenchId,
+    n: usize,
+    kind: DataKind,
+    seed: u64,
+    device: DeviceSelector,
+) -> BenchCase {
     match id {
         BenchId::Syrk => BenchCase {
             id,
@@ -131,7 +137,9 @@ pub fn build(id: BenchId, n: usize, kind: DataKind, seed: u64, device: DeviceSel
 
 /// Build every benchmark at size `n`.
 pub fn build_all(n: usize, kind: DataKind, seed: u64, device: DeviceSelector) -> Vec<BenchCase> {
-    ALL.iter().map(|&id| build(id, n, kind, seed, device)).collect()
+    ALL.iter()
+        .map(|&id| build(id, n, kind, seed, device))
+        .collect()
 }
 
 /// Total flops of one benchmark at size `n` (COVAR uses `m = 2n`).
@@ -158,7 +166,11 @@ mod tests {
             assert!(!case.region.loops.is_empty(), "{}", case.id.name());
             assert!(!case.outputs.is_empty());
             for out in case.outputs {
-                assert!(case.env.contains(out), "{}: output {out} in env", case.id.name());
+                assert!(
+                    case.env.contains(out),
+                    "{}: output {out} in env",
+                    case.id.name()
+                );
             }
         }
     }

@@ -101,10 +101,15 @@ mod tests {
         let mut e = env(n, 77);
         let mut expected = vec![0u32; n];
         sequential(n, e.get::<f32>("points").unwrap(), &mut expected);
-        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_eq!(e.get::<u32>("count").unwrap(), expected.as_slice());
         // The planted line guarantees some collinear triples exist.
-        assert!(expected.iter().any(|&c| c > 0), "expected collinear triples");
+        assert!(
+            expected.iter().any(|&c| c > 0),
+            "expected collinear triples"
+        );
     }
 
     #[test]
@@ -112,7 +117,9 @@ mod tests {
         let mut e = DataEnv::new();
         e.insert("points", vec![0.0f32, 0.0, 1.0, 1.0, 2.0, 2.0]);
         e.insert("count", vec![0u32; 3]);
-        DeviceRegistry::with_host_only().offload(&region(3, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&region(3, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_eq!(e.get::<u32>("count").unwrap(), &[1, 1, 1]);
     }
 }

@@ -119,6 +119,10 @@ mod tests {
             .offload(&region(n, m, DeviceSelector::Default), &mut e)
             .unwrap();
         assert!(e.get::<f32>("cov").unwrap().iter().all(|&x| x.abs() < 1e-6));
-        assert!(e.get::<f32>("mean").unwrap().iter().all(|&x| (x - 3.5).abs() < 1e-6));
+        assert!(e
+            .get::<f32>("mean")
+            .unwrap()
+            .iter()
+            .all(|&x| (x - 3.5).abs() < 1e-6));
     }
 }

@@ -67,8 +67,17 @@ pub fn points(n: usize, seed: u64) -> Vec<f32> {
 
 /// Max absolute element difference between two buffers.
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "length mismatch {} vs {}", a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Assert two float buffers agree within `tol` (absolute).
@@ -83,8 +92,14 @@ mod tests {
 
     #[test]
     fn matrices_are_reproducible() {
-        assert_eq!(matrix(8, 8, DataKind::Dense, 42), matrix(8, 8, DataKind::Dense, 42));
-        assert_ne!(matrix(8, 8, DataKind::Dense, 42), matrix(8, 8, DataKind::Dense, 43));
+        assert_eq!(
+            matrix(8, 8, DataKind::Dense, 42),
+            matrix(8, 8, DataKind::Dense, 42)
+        );
+        assert_ne!(
+            matrix(8, 8, DataKind::Dense, 42),
+            matrix(8, 8, DataKind::Dense, 43)
+        );
     }
 
     #[test]

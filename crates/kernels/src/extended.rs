@@ -24,7 +24,12 @@ pub enum ExtraBench {
 }
 
 /// All extension kernels.
-pub const EXTRA: &[ExtraBench] = &[ExtraBench::Atax, ExtraBench::Bicg, ExtraBench::Mvt, ExtraBench::Gesummv];
+pub const EXTRA: &[ExtraBench] = &[
+    ExtraBench::Atax,
+    ExtraBench::Bicg,
+    ExtraBench::Mvt,
+    ExtraBench::Gesummv,
+];
 
 impl ExtraBench {
     /// Display name.
@@ -310,12 +315,22 @@ pub fn gesummv_sequential(n: usize, a: &[f32], b: &[f32], x: &[f32], y: &mut [f3
 }
 
 /// Build region + environment for an extension kernel.
-pub fn build_extra(id: ExtraBench, n: usize, kind: DataKind, seed: u64, device: DeviceSelector) -> (TargetRegion, DataEnv, &'static [&'static str]) {
+pub fn build_extra(
+    id: ExtraBench,
+    n: usize,
+    kind: DataKind,
+    seed: u64,
+    device: DeviceSelector,
+) -> (TargetRegion, DataEnv, &'static [&'static str]) {
     match id {
         ExtraBench::Atax => (atax_region(n, device), atax_env(n, kind, seed), &["y"]),
         ExtraBench::Bicg => (bicg_region(n, device), bicg_env(n, kind, seed), &["s", "q"]),
         ExtraBench::Mvt => (mvt_region(n, device), mvt_env(n, kind, seed), &["x1", "x2"]),
-        ExtraBench::Gesummv => (gesummv_region(n, device), gesummv_env(n, kind, seed), &["y"]),
+        ExtraBench::Gesummv => (
+            gesummv_region(n, device),
+            gesummv_env(n, kind, seed),
+            &["y"],
+        ),
     }
 }
 
@@ -329,8 +344,15 @@ mod tests {
         let n = 20;
         let mut e = atax_env(n, DataKind::Dense, 1);
         let mut expected = vec![0.0f32; n];
-        atax_sequential(n, e.get::<f32>("A").unwrap(), e.get::<f32>("x").unwrap(), &mut expected);
-        DeviceRegistry::with_host_only().offload(&atax_region(n, DeviceSelector::Default), &mut e).unwrap();
+        atax_sequential(
+            n,
+            e.get::<f32>("A").unwrap(),
+            e.get::<f32>("x").unwrap(),
+            &mut expected,
+        );
+        DeviceRegistry::with_host_only()
+            .offload(&atax_region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("y").unwrap(), &expected, 1e-3, "atax");
     }
 
@@ -347,7 +369,9 @@ mod tests {
             &mut s,
             &mut q,
         );
-        DeviceRegistry::with_host_only().offload(&bicg_region(n, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&bicg_region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("s").unwrap(), &s, 1e-4, "bicg s");
         assert_close(e.get::<f32>("q").unwrap(), &q, 1e-4, "bicg q");
     }
@@ -366,7 +390,9 @@ mod tests {
             &mut x1,
             &mut x2,
         );
-        DeviceRegistry::with_host_only().offload(&mvt_region(n, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&mvt_region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("x1").unwrap(), &x1, 1e-4, "mvt x1");
         assert_close(e.get::<f32>("x2").unwrap(), &x2, 1e-4, "mvt x2");
     }

@@ -27,5 +27,5 @@ pub mod three_mm;
 pub mod two_mm;
 
 pub use case::{build, build_all, flops, BenchCase, BenchId, ALL};
-pub use extended::{build_extra, ExtraBench, EXTRA};
 pub use data::{assert_close, matrix, max_abs_diff, points, DataKind, SPARSE_DENSITY};
+pub use extended::{build_extra, ExtraBench, EXTRA};

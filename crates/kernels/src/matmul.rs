@@ -72,8 +72,15 @@ mod tests {
         let n = 16;
         let mut e = env(n, DataKind::Sparse, 3);
         let mut expected = vec![0.0f32; n * n];
-        sequential(n, e.get::<f32>("A").unwrap(), e.get::<f32>("B").unwrap(), &mut expected);
-        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        sequential(
+            n,
+            e.get::<f32>("A").unwrap(),
+            e.get::<f32>("B").unwrap(),
+            &mut expected,
+        );
+        DeviceRegistry::with_host_only()
+            .offload(&region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("C").unwrap(), &expected, 1e-4, "matmul");
     }
 }

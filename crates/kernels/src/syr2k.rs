@@ -81,8 +81,15 @@ mod tests {
         let n = 15;
         let mut e = env(n, DataKind::Sparse, 31);
         let mut expected = e.get::<f32>("C").unwrap().to_vec();
-        sequential(n, e.get::<f32>("A").unwrap(), e.get::<f32>("B").unwrap(), &mut expected);
-        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        sequential(
+            n,
+            e.get::<f32>("A").unwrap(),
+            e.get::<f32>("B").unwrap(),
+            &mut expected,
+        );
+        DeviceRegistry::with_host_only()
+            .offload(&region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("C").unwrap(), &expected, 1e-3, "syr2k");
     }
 }

@@ -80,7 +80,9 @@ mod tests {
         let mut e = env(n, DataKind::Dense, 21);
         let mut expected = e.get::<f32>("C").unwrap().to_vec();
         sequential(n, e.get::<f32>("A").unwrap(), &mut expected);
-        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("C").unwrap(), &expected, 1e-3, "syrk");
     }
 
@@ -92,7 +94,9 @@ mod tests {
         let mut e = DataEnv::new();
         e.insert("A", matrix(n, n, DataKind::Dense, 2));
         e.insert("C", vec![0.5f32; n * n]);
-        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         let c = e.get::<f32>("C").unwrap();
         for i in 0..n {
             for j in 0..n {

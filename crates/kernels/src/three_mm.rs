@@ -132,7 +132,9 @@ mod tests {
             e.get::<f32>("Dm").unwrap(),
             &mut expected,
         );
-        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("G").unwrap(), &expected, 1e-1, "3mm");
     }
 }

@@ -122,7 +122,9 @@ mod tests {
             e.get::<f32>("Cm").unwrap(),
             &mut expected,
         );
-        DeviceRegistry::with_host_only().offload(&region(n, DeviceSelector::Default), &mut e).unwrap();
+        DeviceRegistry::with_host_only()
+            .offload(&region(n, DeviceSelector::Default), &mut e)
+            .unwrap();
         assert_close(e.get::<f32>("D").unwrap(), &expected, 1e-2, "2mm");
     }
 }

@@ -31,7 +31,12 @@ pub enum MergePolicy {
 pub fn merge_policy(loop_: &ParallelLoop, var: &str) -> MergePolicy {
     if let Some(r) = loop_.reduction_for(var) {
         MergePolicy::Reduce(r.op)
-    } else if loop_.partitions.get(var).map(|s| s.is_indexed()).unwrap_or(false) {
+    } else if loop_
+        .partitions
+        .get(var)
+        .map(|s| s.is_indexed())
+        .unwrap_or(false)
+    {
         MergePolicy::Indexed
     } else {
         MergePolicy::BitOr
@@ -87,7 +92,11 @@ pub fn chunk_outputs(
                 outputs.add(&m.name, hull.start, buf.slice_copy(hull));
             }
             MergePolicy::BitOr => {
-                outputs.add(&m.name, 0, ErasedVec::identity(buf.tag(), buf.len(), RedOp::BitOr));
+                outputs.add(
+                    &m.name,
+                    0,
+                    ErasedVec::identity(buf.tag(), buf.len(), RedOp::BitOr),
+                );
             }
             MergePolicy::Reduce(op) => {
                 outputs.add(&m.name, 0, ErasedVec::identity(buf.tag(), buf.len(), op));
@@ -98,7 +107,12 @@ pub fn chunk_outputs(
 }
 
 /// Run the loop body over every iteration of the chunk.
-pub fn run_chunk(loop_: &ParallelLoop, iters: Range<usize>, inputs: &Inputs, outputs: &mut Outputs) {
+pub fn run_chunk(
+    loop_: &ParallelLoop,
+    iters: Range<usize>,
+    inputs: &Inputs,
+    outputs: &mut Outputs,
+) {
     for i in iters {
         (loop_.body)(i, inputs, outputs);
     }
@@ -123,7 +137,11 @@ struct AccSlot {
 
 impl MergeAcc {
     /// Prepare accumulators for every output variable of `loop_`.
-    pub fn new(region: &TargetRegion, loop_: &ParallelLoop, env: &DataEnv) -> Result<Self, OmpError> {
+    pub fn new(
+        region: &TargetRegion,
+        loop_: &ParallelLoop,
+        env: &DataEnv,
+    ) -> Result<Self, OmpError> {
         let mut accs = Vec::new();
         for m in region.output_maps() {
             let buf = env.get_erased(&m.name)?;
@@ -135,7 +153,12 @@ impl MergeAcc {
                 MergePolicy::BitOr => ErasedVec::identity(buf.tag(), buf.len(), RedOp::BitOr),
                 MergePolicy::Reduce(op) => ErasedVec::identity(buf.tag(), buf.len(), op),
             };
-            accs.push(AccSlot { name: m.name.clone(), policy, acc, touched: false });
+            accs.push(AccSlot {
+                name: m.name.clone(),
+                policy,
+                acc,
+                touched: false,
+            });
         }
         Ok(MergeAcc { accs })
     }
@@ -166,7 +189,13 @@ impl MergeAcc {
     /// (OpenMP reduction semantics include the initial value once);
     /// variables the loop never wrote are left alone.
     pub fn finish(self, env: &mut DataEnv) -> Result<(), OmpError> {
-        for AccSlot { name, policy, mut acc, touched } in self.accs {
+        for AccSlot {
+            name,
+            policy,
+            mut acc,
+            touched,
+        } in self.accs
+        {
             if !touched {
                 continue;
             }
@@ -214,7 +243,9 @@ mod tests {
             .map_from("y")
             .parallel_for(n, |mut l| {
                 if partitioned {
-                    l = l.partition("x", PartitionSpec::rows(1)).partition("y", PartitionSpec::rows(1));
+                    l = l
+                        .partition("x", PartitionSpec::rows(1))
+                        .partition("y", PartitionSpec::rows(1));
                 }
                 l.body(|i, ins, outs| {
                     let x = ins.view::<f32>("x");
@@ -306,7 +337,10 @@ mod tests {
         let mut env = DataEnv::new();
         env.insert("y", vec![9.0f32; 8]);
         execute_loop_chunked(&region, &region.loops[0], &mut env, 2).unwrap();
-        assert_eq!(env.get::<f32>("y").unwrap(), &[1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0]);
+        assert_eq!(
+            env.get::<f32>("y").unwrap(),
+            &[1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0]
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub struct MapClause {
 impl MapClause {
     /// Construct a map clause for `name`.
     pub fn new(name: impl Into<String>, dir: MapDir) -> Self {
-        MapClause { name: name.into(), dir }
+        MapClause {
+            name: name.into(),
+            dir,
+        }
     }
 }
 

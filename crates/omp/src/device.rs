@@ -157,7 +157,11 @@ impl DeviceRegistry {
     /// the device is available but the region uses a construct it cannot
     /// run (e.g. `barrier` on the cloud), that is a hard error — silent
     /// fallback would hide a semantic mismatch.
-    pub fn offload(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+    pub fn offload(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+    ) -> Result<ExecProfile, OmpError> {
         // `if(false)` regions run on the host, per the OpenMP standard.
         if !region.offload_if {
             let host = self
@@ -228,7 +232,11 @@ mod tests {
         fn supports(&self, c: Construct) -> bool {
             c != Construct::Barrier || self.supports_barrier
         }
-        fn execute(&self, _region: &TargetRegion, _env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+        fn execute(
+            &self,
+            _region: &TargetRegion,
+            _env: &mut DataEnv,
+        ) -> Result<ExecProfile, OmpError> {
             *self.executions.lock() += 1;
             Ok(ExecProfile::new(self.name.clone()))
         }
@@ -285,7 +293,12 @@ mod tests {
         let cloud = fake("cloud-0", DeviceKind::Cloud, true);
         r.register(Arc::clone(&cloud) as Arc<dyn Device>);
         let mut env = DataEnv::new();
-        let p = r.offload(&trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)), &mut env).unwrap();
+        let p = r
+            .offload(
+                &trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)),
+                &mut env,
+            )
+            .unwrap();
         assert_eq!(p.device, "cloud-0");
         assert_eq!(*cloud.executions.lock(), 1);
     }
@@ -298,7 +311,12 @@ mod tests {
         r.register(Arc::clone(&host) as Arc<dyn Device>);
         r.register(Arc::clone(&cloud) as Arc<dyn Device>);
         let mut env = DataEnv::new();
-        let p = r.offload(&trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)), &mut env).unwrap();
+        let p = r
+            .offload(
+                &trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)),
+                &mut env,
+            )
+            .unwrap();
         assert_eq!(p.device, "host");
         assert_eq!(*cloud.executions.lock(), 0);
         assert_eq!(*host.executions.lock(), 1);

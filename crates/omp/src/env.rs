@@ -26,7 +26,8 @@ impl DataEnv {
 
     /// Insert (or replace) a typed buffer.
     pub fn insert<T: Pod>(&mut self, name: impl Into<String>, data: Vec<T>) {
-        self.vars.insert(name.into(), Arc::new(ErasedVec::from_vec(data)));
+        self.vars
+            .insert(name.into(), Arc::new(ErasedVec::from_vec(data)));
     }
 
     /// Insert (or replace) an already-erased buffer.
@@ -46,7 +47,9 @@ impl DataEnv {
 
     /// Borrow the erased buffer behind `name`.
     pub fn get_erased(&self, name: &str) -> Result<&Arc<ErasedVec>, OmpError> {
-        self.vars.get(name).ok_or_else(|| OmpError::UnknownVariable(name.to_string()))
+        self.vars
+            .get(name)
+            .ok_or_else(|| OmpError::UnknownVariable(name.to_string()))
     }
 
     /// Replace the contents of an existing variable (the device writing
@@ -84,11 +87,13 @@ impl DataEnv {
             .get_mut(name)
             .ok_or_else(|| OmpError::UnknownVariable(name.to_string()))?;
         let tag = slot.tag();
-        Arc::make_mut(slot).as_mut_slice::<T>().ok_or_else(|| OmpError::TypeMismatch {
-            var: name.to_string(),
-            expected: T::TAG.name(),
-            actual: tag.name(),
-        })
+        Arc::make_mut(slot)
+            .as_mut_slice::<T>()
+            .ok_or_else(|| OmpError::TypeMismatch {
+                var: name.to_string(),
+                expected: T::TAG.name(),
+                actual: tag.name(),
+            })
     }
 
     /// Does `name` exist?
@@ -127,15 +132,22 @@ mod tests {
         let mut env = DataEnv::new();
         env.insert("A", vec![1.0f32, 2.0]);
         assert_eq!(env.get::<f32>("A").unwrap(), &[1.0, 2.0]);
-        assert!(matches!(env.get::<f64>("A"), Err(OmpError::TypeMismatch { .. })));
-        assert!(matches!(env.get::<f32>("B"), Err(OmpError::UnknownVariable(_))));
+        assert!(matches!(
+            env.get::<f64>("A"),
+            Err(OmpError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            env.get::<f32>("B"),
+            Err(OmpError::UnknownVariable(_))
+        ));
     }
 
     #[test]
     fn write_back_replaces_value() {
         let mut env = DataEnv::new();
         env.insert("C", vec![0.0f32; 4]);
-        env.write_back("C", ErasedVec::from_vec(vec![1.0f32, 2.0, 3.0, 4.0])).unwrap();
+        env.write_back("C", ErasedVec::from_vec(vec![1.0f32, 2.0, 3.0, 4.0]))
+            .unwrap();
         assert_eq!(env.get::<f32>("C").unwrap(), &[1.0, 2.0, 3.0, 4.0]);
     }
 
@@ -143,9 +155,15 @@ mod tests {
     fn write_back_rejects_type_and_len_changes() {
         let mut env = DataEnv::new();
         env.insert("C", vec![0.0f32; 4]);
-        assert!(env.write_back("C", ErasedVec::from_vec(vec![0i32; 4])).is_err());
-        assert!(env.write_back("C", ErasedVec::from_vec(vec![0.0f32; 3])).is_err());
-        assert!(env.write_back("D", ErasedVec::from_vec(vec![0.0f32; 4])).is_err());
+        assert!(env
+            .write_back("C", ErasedVec::from_vec(vec![0i32; 4]))
+            .is_err());
+        assert!(env
+            .write_back("C", ErasedVec::from_vec(vec![0.0f32; 3]))
+            .is_err());
+        assert!(env
+            .write_back("D", ErasedVec::from_vec(vec![0.0f32; 4]))
+            .is_err());
     }
 
     #[test]

@@ -162,9 +162,9 @@ impl ErasedVec {
         let mut any: Box<dyn std::any::Any> = Box::new(v);
         macro_rules! take {
             ($variant:ident, $ty:ty) => {
-                ErasedVec::$variant(
-                    std::mem::take(any.downcast_mut::<Vec<$ty>>().expect("tag/variant 1:1")),
-                )
+                ErasedVec::$variant(std::mem::take(
+                    any.downcast_mut::<Vec<$ty>>().expect("tag/variant 1:1"),
+                ))
             };
         }
         match T::TAG {
@@ -435,7 +435,13 @@ mod tests {
     #[test]
     fn identity_is_neutral_for_all_ops_and_types() {
         let probe = ErasedVec::from_vec(vec![3i32, -7, 0, i32::MAX]);
-        for op in [RedOp::BitOr, RedOp::Sum, RedOp::Prod, RedOp::Min, RedOp::Max] {
+        for op in [
+            RedOp::BitOr,
+            RedOp::Sum,
+            RedOp::Prod,
+            RedOp::Min,
+            RedOp::Max,
+        ] {
             let mut acc = ErasedVec::identity(TypeTag::I32, probe.len(), op);
             acc.reduce_assign(&probe, op);
             assert_eq!(acc, probe, "op {op}");

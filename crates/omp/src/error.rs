@@ -55,16 +55,29 @@ impl fmt::Display for OmpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OmpError::UnknownVariable(name) => {
-                write!(f, "variable '{name}' is not mapped into the data environment")
+                write!(
+                    f,
+                    "variable '{name}' is not mapped into the data environment"
+                )
             }
-            OmpError::TypeMismatch { var, expected, actual } => {
-                write!(f, "variable '{var}' holds {actual} elements but was accessed as {expected}")
+            OmpError::TypeMismatch {
+                var,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "variable '{var}' holds {actual} elements but was accessed as {expected}"
+                )
             }
             OmpError::PartitionOutOfBounds { detail } => {
                 write!(f, "partition out of bounds: {detail}")
             }
             OmpError::UnsupportedConstruct { device, construct } => {
-                write!(f, "device '{device}' does not support the '{construct}' construct")
+                write!(
+                    f,
+                    "device '{device}' does not support the '{construct}' construct"
+                )
             }
             OmpError::NoDevice(selector) => write!(f, "no device matches selector '{selector}'"),
             OmpError::DeviceUnavailable { device, reason } => {

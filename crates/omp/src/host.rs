@@ -28,7 +28,9 @@ fn schedule_chunks(n: usize, threads: usize, schedule: Schedule) -> Vec<std::ops
         Schedule::Static { chunk: None } => omp_parfor::split_even(n, threads),
         Schedule::Static { chunk: Some(c) } | Schedule::Dynamic { chunk: c } => {
             let c = c.max(1);
-            (0..n.div_ceil(c)).map(|k| (k * c)..((k + 1) * c).min(n)).collect()
+            (0..n.div_ceil(c))
+                .map(|k| (k * c)..((k + 1) * c).min(n))
+                .collect()
         }
         Schedule::Guided { min_chunk } => {
             let min_chunk = min_chunk.max(1);
@@ -36,7 +38,9 @@ fn schedule_chunks(n: usize, threads: usize, schedule: Schedule) -> Vec<std::ops
             let mut start = 0;
             while start < n {
                 let remaining = n - start;
-                let c = (remaining / (2 * threads.max(1))).max(min_chunk).min(remaining);
+                let c = (remaining / (2 * threads.max(1)))
+                    .max(min_chunk)
+                    .min(remaining);
                 out.push(start..start + c);
                 start += c;
             }
@@ -54,13 +58,19 @@ pub struct HostDevice {
 impl HostDevice {
     /// Single-threaded host device (the paper's 1-core baseline).
     pub fn sequential() -> Self {
-        HostDevice { name: "host-seq".into(), threads: 1 }
+        HostDevice {
+            name: "host-seq".into(),
+            threads: 1,
+        }
     }
 
     /// Multi-threaded host device (*OmpThread* with `threads` threads).
     pub fn threaded(threads: usize) -> Self {
         let threads = threads.max(1);
-        HostDevice { name: format!("host-{threads}t"), threads }
+        HostDevice {
+            name: format!("host-{threads}t"),
+            threads,
+        }
     }
 
     /// Number of worker threads this device uses.
@@ -196,7 +206,10 @@ mod tests {
     fn matmul_env(n: usize) -> DataEnv {
         let mut env = DataEnv::new();
         env.insert("A", (0..n * n).map(|i| (i % 7) as f32).collect::<Vec<_>>());
-        env.insert("B", (0..n * n).map(|i| ((i * 3) % 5) as f32).collect::<Vec<_>>());
+        env.insert(
+            "B",
+            (0..n * n).map(|i| ((i * 3) % 5) as f32).collect::<Vec<_>>(),
+        );
         env.insert("C", vec![0.0f32; n * n]);
         env
     }
@@ -233,8 +246,14 @@ mod tests {
             let region = matmul_region(n);
             let mut env = matmul_env(n);
             let expected = reference_matmul(&env, n);
-            HostDevice::threaded(threads).execute(&region, &mut env).unwrap();
-            assert_eq!(env.get::<f32>("C").unwrap(), expected.as_slice(), "threads={threads}");
+            HostDevice::threaded(threads)
+                .execute(&region, &mut env)
+                .unwrap();
+            assert_eq!(
+                env.get::<f32>("C").unwrap(),
+                expected.as_slice(),
+                "threads={threads}"
+            );
         }
     }
 
@@ -278,12 +297,12 @@ mod tests {
                 .map_to("x")
                 .map_from("y")
                 .parallel_for(n, move |l| {
-                    l.partition("y", PartitionSpec::rows(1)).schedule(sched).body(
-                        |i, ins, outs| {
+                    l.partition("y", PartitionSpec::rows(1))
+                        .schedule(sched)
+                        .body(|i, ins, outs| {
                             let x = ins.view::<f32>("x");
                             outs.view_mut::<f32>("y")[i] = x[i] * 3.0 + 1.0;
-                        },
-                    )
+                        })
                 })
                 .build()
                 .unwrap();
@@ -305,9 +324,10 @@ mod tests {
         let region = TargetRegion::builder("dyn")
             .map_from("y")
             .parallel_for(n, |l| {
-                l.schedule(Schedule::Dynamic { chunk: 4 }).body(|i, _, outs| {
-                    outs.view_mut::<u32>("y")[i] = i as u32;
-                })
+                l.schedule(Schedule::Dynamic { chunk: 4 })
+                    .body(|i, _, outs| {
+                        outs.view_mut::<u32>("y")[i] = i as u32;
+                    })
             })
             .build()
             .unwrap();
@@ -315,7 +335,12 @@ mod tests {
         env.insert("y", vec![0u32; n]);
         let p = HostDevice::threaded(4).execute(&region, &mut env).unwrap();
         assert_eq!(p.tasks, 16, "64 iterations in chunks of 4");
-        assert!(env.get::<u32>("y").unwrap().iter().enumerate().all(|(i, &v)| v == i as u32));
+        assert!(env
+            .get::<u32>("y")
+            .unwrap()
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as u32));
     }
 
     #[test]
@@ -363,18 +388,20 @@ mod tests {
             .map_tofrom("t")
             .map_from("y")
             .parallel_for(n, |l| {
-                l.partition("t", PartitionSpec::rows(1)).body(|i, ins, outs| {
-                    let x = ins.view::<f32>("x");
-                    let mut t = outs.view_mut::<f32>("t");
-                    t[i] = x[i] + 1.0;
-                })
+                l.partition("t", PartitionSpec::rows(1))
+                    .body(|i, ins, outs| {
+                        let x = ins.view::<f32>("x");
+                        let mut t = outs.view_mut::<f32>("t");
+                        t[i] = x[i] + 1.0;
+                    })
             })
             .parallel_for(n, |l| {
-                l.partition("y", PartitionSpec::rows(1)).body(|i, ins, outs| {
-                    let t = ins.view::<f32>("t");
-                    let mut y = outs.view_mut::<f32>("y");
-                    y[i] = t[i] * 2.0;
-                })
+                l.partition("y", PartitionSpec::rows(1))
+                    .body(|i, ins, outs| {
+                        let t = ins.view::<f32>("t");
+                        let mut y = outs.view_mut::<f32>("y");
+                        y[i] = t[i] * 2.0;
+                    })
             })
             .build()
             .unwrap();

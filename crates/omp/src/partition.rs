@@ -101,7 +101,11 @@ impl PartitionSpec {
     /// readjusts partition bounds to the tiling size). Requires
     /// `coeff >= 0` on both bounds so the union of per-iteration ranges is
     /// the contiguous hull `[lower(first), upper(last))`.
-    pub fn range_for_tile(&self, iters: Range<usize>, var_len: usize) -> Result<Range<usize>, OmpError> {
+    pub fn range_for_tile(
+        &self,
+        iters: Range<usize>,
+        var_len: usize,
+    ) -> Result<Range<usize>, OmpError> {
         if iters.is_empty() {
             return Ok(0..0);
         }

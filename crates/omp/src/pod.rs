@@ -147,11 +147,23 @@ mod tests {
 
     #[test]
     fn roundtrip_all_int_types() {
-        assert_eq!(from_le_bytes::<i32>(&to_le_bytes(&[i32::MIN, -1, 0, i32::MAX])), vec![i32::MIN, -1, 0, i32::MAX]);
-        assert_eq!(from_le_bytes::<u64>(&to_le_bytes(&[0u64, u64::MAX])), vec![0, u64::MAX]);
+        assert_eq!(
+            from_le_bytes::<i32>(&to_le_bytes(&[i32::MIN, -1, 0, i32::MAX])),
+            vec![i32::MIN, -1, 0, i32::MAX]
+        );
+        assert_eq!(
+            from_le_bytes::<u64>(&to_le_bytes(&[0u64, u64::MAX])),
+            vec![0, u64::MAX]
+        );
         assert_eq!(from_le_bytes::<u8>(&to_le_bytes(&[7u8, 255])), vec![7, 255]);
-        assert_eq!(from_le_bytes::<u16>(&to_le_bytes(&[1u16, u16::MAX])), vec![1, u16::MAX]);
-        assert_eq!(from_le_bytes::<i64>(&to_le_bytes(&[i64::MIN])), vec![i64::MIN]);
+        assert_eq!(
+            from_le_bytes::<u16>(&to_le_bytes(&[1u16, u16::MAX])),
+            vec![1, u16::MAX]
+        );
+        assert_eq!(
+            from_le_bytes::<i64>(&to_le_bytes(&[i64::MIN])),
+            vec![i64::MIN]
+        );
     }
 
     #[test]

@@ -36,11 +36,12 @@ pub struct ExecProfile {
     /// result merging) that ran concurrently with another stage instead
     /// of serially after it. Zero when every stage ran back to back.
     pub overlap_s: f64,
-    /// Aggregate CPU busy time in the transfer pipelines (compression +
-    /// decompression), summed across workers.
+    /// Critical-path CPU seconds of the transfer pipelines (compression +
+    /// decompression): per-worker busy time normalized by the pool width,
+    /// so the figure is comparable to wall time.
     pub compress_busy_s: f64,
-    /// Aggregate store busy time in the transfer pipelines (puts + gets),
-    /// summed across workers.
+    /// Critical-path store seconds of the transfer pipelines (puts +
+    /// gets), normalized like `compress_busy_s`.
     pub store_busy_s: f64,
     /// Free-form annotations ("fallback to host", codec choices, ...).
     pub notes: Vec<String>,
@@ -49,7 +50,10 @@ pub struct ExecProfile {
 impl ExecProfile {
     /// New profile for `device`.
     pub fn new(device: impl Into<String>) -> Self {
-        ExecProfile { device: device.into(), ..Default::default() }
+        ExecProfile {
+            device: device.into(),
+            ..Default::default()
+        }
     }
 
     /// Total wall time of the offload (`OmpCloud-full` in Fig. 4).

@@ -270,7 +270,10 @@ impl LoopBuilder {
 
     /// `reduction(op: var)` clause.
     pub fn reduction(mut self, var: impl Into<String>, op: RedOp) -> Self {
-        self.reductions.push(ReductionClause { var: var.into(), op });
+        self.reductions.push(ReductionClause {
+            var: var.into(),
+            op,
+        });
         self
     }
 
@@ -326,7 +329,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_region() {
-        let err = TargetRegion::builder("empty").map_to("A").build().unwrap_err();
+        let err = TargetRegion::builder("empty")
+            .map_to("A")
+            .build()
+            .unwrap_err();
         assert!(matches!(err, OmpError::InvalidRegion(_)));
     }
 
@@ -354,7 +360,9 @@ mod tests {
     fn rejects_partition_of_unmapped_var() {
         let err = TargetRegion::builder("p")
             .map_to("A")
-            .parallel_for(4, |l| l.partition("X", PartitionSpec::rows(1)).body(|_, _, _| {}))
+            .parallel_for(4, |l| {
+                l.partition("X", PartitionSpec::rows(1)).body(|_, _, _| {})
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, OmpError::InvalidRegion(_)));

@@ -60,7 +60,10 @@ impl Inputs {
                 var.data.tag()
             )
         });
-        VarView { base: var.base, data }
+        VarView {
+            base: var.base,
+            data,
+        }
     }
 
     /// Names of all registered variables (test/debug helper).
@@ -149,7 +152,14 @@ impl Outputs {
     /// Register a private output buffer covering global elements
     /// `[base, base + data.len())`.
     pub fn add(&mut self, name: impl Into<String>, base: usize, data: ErasedVec) {
-        self.vars.insert(name.into(), OutputVar { base, data, touched: false });
+        self.vars.insert(
+            name.into(),
+            OutputVar {
+                base,
+                data,
+                touched: false,
+            },
+        );
     }
 
     /// Typed mutable view of `name`. Panics like [`Inputs::view`].
@@ -163,7 +173,11 @@ impl Outputs {
         let base = var.base;
         let tag = var.data.tag();
         let data = var.data.as_mut_slice::<T>().unwrap_or_else(|| {
-            panic!("kernel wrote variable '{name}' as {} but it holds {}", T::TAG, tag)
+            panic!(
+                "kernel wrote variable '{name}' as {} but it holds {}",
+                T::TAG,
+                tag
+            )
         });
         VarViewMut { base, data }
     }
@@ -174,7 +188,12 @@ impl Outputs {
         let mut parts: Vec<OutPart> = self
             .vars
             .into_iter()
-            .map(|(name, v)| OutPart { name, base: v.base, data: v.data, touched: v.touched })
+            .map(|(name, v)| OutPart {
+                name,
+                base: v.base,
+                data: v.data,
+                touched: v.touched,
+            })
             .collect();
         parts.sort_by(|a, b| a.name.cmp(&b.name));
         parts
@@ -290,7 +309,11 @@ mod tests {
     #[test]
     fn input_view_translates_global_indices() {
         let mut ins = Inputs::new();
-        ins.add("A", 10, Arc::new(ErasedVec::from_vec(vec![5.0f32, 6.0, 7.0])));
+        ins.add(
+            "A",
+            10,
+            Arc::new(ErasedVec::from_vec(vec![5.0f32, 6.0, 7.0])),
+        );
         let a = ins.view::<f32>("A");
         assert_eq!(a.base(), 10);
         assert_eq!(a[10], 5.0);
@@ -323,7 +346,9 @@ mod tests {
 
     #[test]
     fn add_slice_views_a_shared_buffer_range() {
-        let buf = Arc::new(ErasedVec::from_vec((0..8).map(|i| i as f32).collect::<Vec<_>>()));
+        let buf = Arc::new(ErasedVec::from_vec(
+            (0..8).map(|i| i as f32).collect::<Vec<_>>(),
+        ));
         let mut ins = Inputs::new();
         ins.add_slice("A", 2, ErasedSlice::new(Arc::clone(&buf), 2..6));
         let a = ins.view::<f32>("A");

@@ -128,12 +128,12 @@ where
                 acc
             }));
         }
-        partials = handles.into_iter().map(|h| Some(h.join().expect("worker panicked"))).collect();
+        partials = handles
+            .into_iter()
+            .map(|h| Some(h.join().expect("worker panicked")))
+            .collect();
     });
-    partials
-        .into_iter()
-        .flatten()
-        .fold(identity, combine)
+    partials.into_iter().flatten().fold(identity, combine)
 }
 
 /// OpenMP `collapse(2)`: run `body(i, j)` for every `(i, j)` in
@@ -198,7 +198,11 @@ mod tests {
                         hits[i].fetch_add(1, Ordering::Relaxed);
                     });
                     for (i, h) in hits.iter().enumerate() {
-                        assert_eq!(h.load(Ordering::Relaxed), 1, "i={i} n={n} threads={threads} {sched:?}");
+                        assert_eq!(
+                            h.load(Ordering::Relaxed),
+                            1,
+                            "i={i} n={n} threads={threads} {sched:?}"
+                        );
                     }
                 }
             }
@@ -215,7 +219,10 @@ mod tests {
                     hits[i].fetch_add(1, Ordering::Relaxed);
                 }
             });
-            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{sched:?}");
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{sched:?}"
+            );
         }
     }
 
@@ -230,8 +237,17 @@ mod tests {
 
     #[test]
     fn reduce_max() {
-        let v: Vec<i64> = (0..999).map(|i| ((i * 7919) % 4831) as i64 - 2000).collect();
-        let got = parallel_reduce(8, v.len(), Schedule::Dynamic { chunk: 13 }, i64::MIN, |i| v[i], i64::max);
+        let v: Vec<i64> = (0..999)
+            .map(|i| ((i * 7919) % 4831) as i64 - 2000)
+            .collect();
+        let got = parallel_reduce(
+            8,
+            v.len(),
+            Schedule::Dynamic { chunk: 13 },
+            i64::MIN,
+            |i| v[i],
+            i64::max,
+        );
         assert_eq!(got, *v.iter().max().unwrap());
     }
 
@@ -270,8 +286,9 @@ mod tests {
         parallel_for_collapse2(8, n1, n2, Schedule::default(), |i, j| {
             sum.fetch_add(i * 100 + j, Ordering::Relaxed);
         });
-        let expected: usize =
-            (0..n1).flat_map(|i| (0..n2).map(move |j| i * 100 + j)).sum();
+        let expected: usize = (0..n1)
+            .flat_map(|i| (0..n2).map(move |j| i * 100 + j))
+            .sum();
         assert_eq!(sum.load(Ordering::Relaxed), expected);
     }
 
@@ -311,7 +328,8 @@ mod tests {
         let ptr = data.as_mut_slice();
         // Split via chunks_mut to prove disjointness to the borrow checker.
         let cells: Vec<_> = ptr.chunks_mut(1).collect();
-        let cells: Vec<std::sync::Mutex<&mut [u32]>> = cells.into_iter().map(std::sync::Mutex::new).collect();
+        let cells: Vec<std::sync::Mutex<&mut [u32]>> =
+            cells.into_iter().map(std::sync::Mutex::new).collect();
         parallel_for(4, n, Schedule::Dynamic { chunk: 32 }, |i| {
             let mut cell = cells[i].lock().unwrap();
             cell[0] = (i * i) as u32;

@@ -50,8 +50,7 @@ impl ThreadPool {
                                 // wait_idle caller can't re-check the count
                                 // and block between our decrement and the
                                 // wake-up.
-                                let _guard =
-                                    tracker.lock.lock().unwrap_or_else(|p| p.into_inner());
+                                let _guard = tracker.lock.lock().unwrap_or_else(|p| p.into_inner());
                                 tracker.idle.notify_all();
                             }
                         }
@@ -59,7 +58,11 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers, tracker }
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            tracker,
+        }
     }
 
     /// Number of worker threads.

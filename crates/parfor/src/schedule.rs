@@ -99,7 +99,9 @@ impl ChunkSource {
                         return None;
                     }
                     let remaining = self.n - start;
-                    let c = (remaining / (2 * self.threads)).max(min_chunk).min(remaining);
+                    let c = (remaining / (2 * self.threads))
+                        .max(min_chunk)
+                        .min(remaining);
                     match self.cursor.compare_exchange_weak(
                         start,
                         start + c,
@@ -172,7 +174,10 @@ mod tests {
         // First chunk is remaining/(2*threads) = 1250, and sizes never grow.
         assert_eq!(sizes[0], 1250);
         for w in sizes.windows(2) {
-            assert!(w[1] <= w[0], "guided sizes must be non-increasing: {sizes:?}");
+            assert!(
+                w[1] <= w[0],
+                "guided sizes must be non-increasing: {sizes:?}"
+            );
         }
         assert!(*sizes.last().unwrap() >= 1);
     }

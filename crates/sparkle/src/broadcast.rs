@@ -43,7 +43,14 @@ impl BroadcastStats {
         let driver_egress = bytes;
         let peer_traffic = bytes.saturating_mul(executors as u64 - 1);
         let rounds = (usize::BITS - executors.leading_zeros()).max(1);
-        BroadcastStats { bytes, executors, chunks, driver_egress, peer_traffic, rounds }
+        BroadcastStats {
+            bytes,
+            executors,
+            chunks,
+            driver_egress,
+            peer_traffic,
+            rounds,
+        }
     }
 
     /// Statistics for a naive star broadcast (the ablation baseline): the
@@ -74,13 +81,19 @@ pub struct Broadcast<T: Data> {
 
 impl<T: Data> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
-        Broadcast { value: Arc::clone(&self.value), stats: self.stats }
+        Broadcast {
+            value: Arc::clone(&self.value),
+            stats: self.stats,
+        }
     }
 }
 
 impl<T: Data> Broadcast<T> {
     pub(crate) fn new(value: T, stats: BroadcastStats) -> Broadcast<T> {
-        Broadcast { value: Arc::new(value), stats }
+        Broadcast {
+            value: Arc::new(value),
+            stats,
+        }
     }
 
     /// Access the broadcast value (zero-copy; tasks share the `Arc`).

@@ -1,15 +1,21 @@
-//! The driver: configuration, executor pool, task scheduler.
+//! The driver: configuration, executor pool, elastic task scheduler.
 
 use crate::broadcast::{Broadcast, BroadcastStats};
-use crate::executor::{Executor, TaskEnvelope, TaskFn, TaskResult};
+use crate::executor::{Executor, TaskResult};
 use crate::metrics::{JobMetrics, TaskMetric};
 use crate::rdd::Rdd;
+use crate::scheduler::{Dispatcher, ExecutorShared, JobOptions, JobSpec, Runner};
 use crate::{Data, SparkError};
-use crossbeam::channel::{unbounded, Receiver};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How often the driver wakes to check liveness and stragglers while
+/// waiting for results.
+const DRIVER_TICK: Duration = Duration::from_millis(5);
 
 /// Cluster configuration — the `spark.*` properties §IV of the paper
 /// tunes (`spark.task.cpus=2`, `spark.cores.max`, …).
@@ -69,12 +75,14 @@ impl SparkConf {
 struct Inner {
     conf: SparkConf,
     executors: Vec<Executor>,
+    dispatcher: Arc<Dispatcher>,
     results: Mutex<Receiver<TaskResult>>,
     job_lock: Mutex<()>,
     job_counter: AtomicU64,
     stopped: AtomicBool,
-    round_robin: AtomicUsize,
-    injected_failures: AtomicUsize,
+    job_options: Mutex<JobOptions>,
+    /// Locality hints consumed by exactly the next job (cleared on use).
+    next_locality: Mutex<Vec<Option<usize>>>,
     metrics: Mutex<Vec<JobMetrics>>,
 }
 
@@ -88,19 +96,32 @@ impl SparkContext {
     /// Start a cluster per `conf` (executor threads spawn immediately).
     pub fn new(conf: SparkConf) -> SparkContext {
         let (tx, rx) = unbounded();
+        let dispatcher = Arc::new(Dispatcher::new(
+            (0..conf.executors)
+                .map(|_| Arc::new(ExecutorShared::new()))
+                .collect(),
+        ));
         let executors = (0..conf.executors)
-            .map(|id| Executor::spawn(id, conf.slots_per_executor(), tx.clone()))
+            .map(|id| {
+                Executor::spawn(
+                    id,
+                    conf.slots_per_executor(),
+                    Arc::clone(&dispatcher),
+                    tx.clone(),
+                )
+            })
             .collect();
         SparkContext {
             inner: Arc::new(Inner {
                 conf,
                 executors,
+                dispatcher,
                 results: Mutex::new(rx),
                 job_lock: Mutex::new(()),
                 job_counter: AtomicU64::new(0),
                 stopped: AtomicBool::new(false),
-                round_robin: AtomicUsize::new(0),
-                injected_failures: AtomicUsize::new(0),
+                job_options: Mutex::new(JobOptions::default()),
+                next_locality: Mutex::new(Vec::new()),
                 metrics: Mutex::new(Vec::new()),
             }),
         }
@@ -109,6 +130,24 @@ impl SparkContext {
     /// The configuration this context runs with.
     pub fn conf(&self) -> &SparkConf {
         &self.inner.conf
+    }
+
+    /// Scheduling policy for subsequent jobs (mode, speculation,
+    /// locality wait). Persists until set again.
+    pub fn set_job_options(&self, options: JobOptions) {
+        *self.inner.job_options.lock() = options;
+    }
+
+    /// Current scheduling policy.
+    pub fn job_options(&self) -> JobOptions {
+        self.inner.job_options.lock().clone()
+    }
+
+    /// Preferred executor per partition for the *next* job only (tile
+    /// residency hints). Ignored unless its length matches that job's
+    /// partition count, so hints can't leak onto unrelated jobs.
+    pub fn set_next_job_locality(&self, hints: Vec<Option<usize>>) {
+        *self.inner.next_locality.lock() = hints;
     }
 
     /// Distribute a collection into an RDD with `partitions` partitions.
@@ -140,11 +179,14 @@ impl SparkContext {
     /// BitTorrent-style distribution statistics for `size_bytes` of
     /// payload.
     pub fn broadcast<T: Data>(&self, value: T, size_bytes: u64) -> Broadcast<T> {
-        Broadcast::new(value, BroadcastStats::torrent(size_bytes, self.inner.conf.executors))
+        Broadcast::new(
+            value,
+            BroadcastStats::torrent(size_bytes, self.inner.conf.executors),
+        )
     }
 
-    /// Kill executor `idx` (fault injection). Queued and future tasks on
-    /// it fail and get recomputed elsewhere.
+    /// Kill executor `idx` (fault injection). It stops claiming work;
+    /// queued tasks are rescued by alive peers via dynamic dispatch.
     pub fn kill_executor(&self, idx: usize) {
         self.inner.executors[idx].kill();
     }
@@ -152,6 +194,12 @@ impl SparkContext {
     /// Revive a killed executor.
     pub fn revive_executor(&self, idx: usize) {
         self.inner.executors[idx].revive();
+    }
+
+    /// Make executor `idx` run every task `factor ×` slower (straggler
+    /// injection for scheduler tests and benches). `1.0` restores it.
+    pub fn set_executor_slow_factor(&self, idx: usize, factor: f64) {
+        self.inner.executors[idx].set_slow_factor(factor);
     }
 
     /// Status of executor `idx`.
@@ -167,7 +215,7 @@ impl SparkContext {
 
     /// Make the next `n` task *attempts* fail (deterministic retry tests).
     pub fn fail_next_tasks(&self, n: usize) {
-        self.inner.injected_failures.store(n, Ordering::SeqCst);
+        self.inner.dispatcher.inject_failures(n);
     }
 
     /// Metrics of every job run so far, oldest first.
@@ -203,6 +251,15 @@ impl SparkContext {
     /// order, while the remaining tasks are still executing. This is what
     /// lets driver-side merging overlap the tail of the map phase instead
     /// of waiting behind a full-collect barrier.
+    ///
+    /// Tasks are dispatched through the elastic scheduler: executors pull
+    /// from the job's queues per the configured [`ScheduleMode`]
+    /// (see [`SparkContext::set_job_options`]), idle executors steal, and
+    /// straggling tasks get speculative duplicates. First-writer-wins
+    /// dedup keeps the streamed partitions bitwise-identical across every
+    /// mode, speculation included.
+    ///
+    /// [`ScheduleMode`]: crate::ScheduleMode
     pub(crate) fn run_job_streaming<T: Data, F>(
         &self,
         lineage: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
@@ -219,42 +276,137 @@ impl SparkContext {
         let job = self.inner.job_counter.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
 
+        let options = self.inner.job_options.lock().clone();
+        let locality = std::mem::take(&mut *self.inner.next_locality.lock());
+        let locality = if locality.len() == partitions {
+            locality
+        } else {
+            Vec::new()
+        };
+        let runner: Runner = {
+            let lineage = Arc::clone(&lineage);
+            Arc::new(move |task| Box::new(lineage(task)) as Box<dyn Any + Send>)
+        };
+        self.inner.dispatcher.submit_job(JobSpec {
+            job,
+            partitions,
+            options: options.clone(),
+            locality,
+            runner,
+        })?;
+
+        let driven = self.drive_job(job, partitions, &options, &mut on_partition);
+        let steals = self.inner.dispatcher.clear_job(job);
+        let mut driven = driven?;
+
+        driven.metrics.steals = steals;
+        driven.metrics.wall_seconds = t0.elapsed().as_secs_f64();
+        driven.metrics.job_id = job;
+        self.inner.metrics.lock().push(driven.metrics);
+
+        Ok(driven
+            .slots
+            .into_iter()
+            .map(|s| s.expect("all tasks done"))
+            .collect())
+    }
+
+    /// Consume results for `job` until every partition has succeeded,
+    /// handling retries, stall detection and speculation.
+    fn drive_job<T: Data, F>(
+        &self,
+        job: u64,
+        partitions: usize,
+        options: &JobOptions,
+        on_partition: &mut F,
+    ) -> Result<Driven<T>, SparkError>
+    where
+        F: FnMut(usize, &[T]),
+    {
+        let dispatcher = &self.inner.dispatcher;
         let mut slots: Vec<Option<Vec<T>>> = (0..partitions).map(|_| None).collect();
         let mut done = 0usize;
-        let mut attempts_used = vec![0usize; partitions];
-        let mut task_metrics: Vec<TaskMetric> = Vec::with_capacity(partitions);
-
-        for (task, used) in attempts_used.iter_mut().enumerate() {
-            self.submit_task(job, task, 0, &lineage)?;
-            *used = 1;
-        }
+        let mut attempts_used = vec![1usize; partitions];
+        let mut spec_launched = vec![false; partitions];
+        let mut completed_seconds: Vec<f64> = Vec::with_capacity(partitions);
+        let mut metrics = JobMetrics::from_tasks(job, 0.0, Vec::with_capacity(partitions));
 
         let results = self.inner.results.lock();
         while done < partitions {
-            let result = results
-                .recv()
-                .map_err(|_| SparkError::NoExecutors)?;
+            let result = match results.recv_timeout(DRIVER_TICK) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Disconnected) => return Err(SparkError::NoExecutors),
+                Err(RecvTimeoutError::Timeout) => {
+                    if dispatcher.job_stalled(job) {
+                        return Err(SparkError::NoExecutors);
+                    }
+                    self.maybe_speculate(
+                        job,
+                        options,
+                        partitions,
+                        done,
+                        &completed_seconds,
+                        &attempts_used,
+                        &mut spec_launched,
+                        &mut metrics,
+                    );
+                    continue;
+                }
+            };
             if result.job != job {
                 // Stale result from an earlier job that errored out
                 // mid-flight; drop it.
                 continue;
             }
-            let TaskResult { task, attempt, executor, outcome, seconds, .. } = result;
+            let TaskResult {
+                task,
+                attempt,
+                executor,
+                speculative,
+                stolen,
+                outcome,
+                seconds,
+                ..
+            } = result;
+            dispatcher.attempt_settled(job, task, executor);
             match outcome {
                 Ok(boxed) => {
                     if slots[task].is_none() {
+                        dispatcher.mark_completed(job, task);
                         let part = boxed
                             .downcast::<Vec<T>>()
                             .expect("task produced the lineage element type");
                         on_partition(task, &part);
                         slots[task] = Some(*part);
                         done += 1;
-                        task_metrics.push(TaskMetric { task, attempt, executor, seconds });
+                        let pos = completed_seconds.partition_point(|&s| s < seconds);
+                        completed_seconds.insert(pos, seconds);
+                        if spec_launched[task] {
+                            if speculative {
+                                metrics.spec_wins += 1;
+                            } else {
+                                metrics.spec_losses += 1;
+                            }
+                        }
+                        metrics.tasks.push(TaskMetric {
+                            task,
+                            attempt,
+                            executor,
+                            seconds,
+                            speculative,
+                            stolen,
+                        });
                     }
                 }
                 Err(err) => {
                     if slots[task].is_some() {
                         continue; // a newer attempt already succeeded
+                    }
+                    if speculative {
+                        // A failed duplicate never counts against the
+                        // task's attempt budget; allow another later.
+                        spec_launched[task] = false;
+                        continue;
                     }
                     if attempts_used[task] >= self.inner.conf.max_task_attempts {
                         return Err(SparkError::TaskFailed {
@@ -264,54 +416,58 @@ impl SparkContext {
                         });
                     }
                     attempts_used[task] += 1;
-                    self.submit_task(job, task, attempt + 1, &lineage)?;
+                    dispatcher.enqueue_retry(job, task, attempt + 1);
                 }
             }
         }
         drop(results);
 
-        let metrics = JobMetrics::from_tasks(job, t0.elapsed().as_secs_f64(), task_metrics);
-        self.inner.metrics.lock().push(metrics);
-
-        Ok(slots.into_iter().map(|s| s.expect("all tasks done")).collect())
+        metrics.task_attempts = attempts_used;
+        Ok(Driven { slots, metrics })
     }
 
-    /// Pick an alive executor round-robin and queue the task on it.
-    fn submit_task<T: Data>(
+    /// Launch duplicates for running tasks slower than `spec_factor ×`
+    /// the median completed task. Requires half the job done so the
+    /// median is meaningful, and at most one outstanding copy per task.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_speculate(
         &self,
         job: u64,
-        task: usize,
-        attempt: usize,
-        lineage: &Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
-    ) -> Result<(), SparkError> {
-        let lineage = Arc::clone(lineage);
-        let inject = self.inner.injected_failures.load(Ordering::SeqCst) > 0
-            && self
-                .inner
-                .injected_failures
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-                .is_ok();
-        let f: TaskFn = Box::new(move || {
-            if inject {
-                panic!("injected task failure");
-            }
-            Box::new(lineage(task))
-        });
-        let mut envelope = TaskEnvelope { job, task, attempt, f };
-        let n = self.inner.executors.len();
-        for _ in 0..n {
-            let idx = self.inner.round_robin.fetch_add(1, Ordering::Relaxed) % n;
-            match self.inner.executors[idx].submit(envelope) {
-                Ok(()) => return Ok(()),
-                Err(back) => envelope = back,
-            }
+        options: &JobOptions,
+        partitions: usize,
+        done: usize,
+        completed_seconds: &[f64],
+        attempts_used: &[usize],
+        spec_launched: &mut [bool],
+        metrics: &mut JobMetrics,
+    ) {
+        if options.spec_factor <= 0.0 || done >= partitions || done < (partitions / 2).max(1) {
+            return;
         }
-        Err(SparkError::NoExecutors)
+        let median = completed_seconds[completed_seconds.len() / 2];
+        // 1ms floor: don't speculate on microsecond jitter.
+        let threshold = Duration::from_secs_f64((options.spec_factor * median).max(1e-3));
+        for (task, _running_on) in self.inner.dispatcher.overdue_tasks(job, threshold) {
+            if spec_launched[task] {
+                continue;
+            }
+            spec_launched[task] = true;
+            metrics.spec_launched += 1;
+            self.inner
+                .dispatcher
+                .enqueue_speculative(job, task, attempts_used[task]);
+        }
     }
+}
+
+struct Driven<T> {
+    slots: Vec<Option<Vec<T>>>,
+    metrics: JobMetrics,
 }
 
 impl Drop for Inner {
     fn drop(&mut self) {
+        self.dispatcher.shutdown();
         for e in self.executors.drain(..) {
             e.shutdown();
         }

@@ -11,9 +11,11 @@
 //! * [`Rdd`] — immutable, partitioned, lazily-evaluated datasets whose
 //!   *lineage* (a pure recompute function per partition) provides fault
 //!   tolerance: a lost task is simply recomputed elsewhere;
-//! * [`SparkContext`] — the driver: owns executor threads, schedules
-//!   tasks round-robin over core slots, retries failed tasks up to
-//!   `max_task_attempts`, and records [`JobMetrics`];
+//! * [`SparkContext`] — the driver: owns executor threads, dispatches
+//!   tasks through an elastic pull-based scheduler ([`ScheduleMode`]:
+//!   static, dynamic, or work-stealing, with optional speculative
+//!   re-execution of stragglers — see [`JobOptions`]), retries failed
+//!   tasks up to `max_task_attempts`, and records [`JobMetrics`];
 //! * [`Broadcast`] — shared read-only values with BitTorrent-style
 //!   distribution accounting (the mechanism Spark uses for the matrix `B`
 //!   every worker needs in full);
@@ -36,12 +38,14 @@ mod executor;
 mod metrics;
 mod pair;
 mod rdd;
+mod scheduler;
 
 pub use broadcast::{Broadcast, BroadcastStats};
 pub use context::{SparkConf, SparkContext};
 pub use executor::ExecutorStatus;
 pub use metrics::{JobMetrics, TaskMetric};
 pub use rdd::Rdd;
+pub use scheduler::{JobOptions, ScheduleMode};
 
 use std::fmt;
 
@@ -70,8 +74,15 @@ pub enum SparkError {
 impl fmt::Display for SparkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparkError::TaskFailed { task, attempts, last_error } => {
-                write!(f, "task {task} failed after {attempts} attempts: {last_error}")
+            SparkError::TaskFailed {
+                task,
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "task {task} failed after {attempts} attempts: {last_error}"
+                )
             }
             SparkError::ContextStopped => write!(f, "spark context is stopped"),
             SparkError::NoExecutors => write!(f, "no alive executors"),

@@ -1,5 +1,7 @@
 //! Job instrumentation — the measurements behind the "Spark overhead"
-//! bars of Fig. 5.
+//! bars of Fig. 5, plus the elastic scheduler's behavior counters
+//! (attempts, steals, speculation) so tests and benches can assert *how*
+//! a job was scheduled, not only how long it took.
 
 /// One successful task attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -12,6 +14,25 @@ pub struct TaskMetric {
     pub executor: usize,
     /// Wall time of the attempt in seconds.
     pub seconds: f64,
+    /// The winning attempt was a speculative duplicate.
+    pub speculative: bool,
+    /// The winning attempt was stolen from (or rescued off) another
+    /// executor's queue.
+    pub stolen: bool,
+}
+
+impl TaskMetric {
+    /// A plain first-attempt metric (tests, synthetic fixtures).
+    pub fn simple(task: usize, attempt: usize, executor: usize, seconds: f64) -> TaskMetric {
+        TaskMetric {
+            task,
+            attempt,
+            executor,
+            seconds,
+            speculative: false,
+            stolen: false,
+        }
+    }
 }
 
 /// Aggregate metrics of one job.
@@ -23,11 +44,32 @@ pub struct JobMetrics {
     pub wall_seconds: f64,
     /// Successful task attempts, in completion order.
     pub tasks: Vec<TaskMetric>,
+    /// Attempts launched per partition (1 = clean first try), indexed by
+    /// partition. Speculative duplicates are not counted here.
+    pub task_attempts: Vec<usize>,
+    /// Task claims served from another executor's queue (steals plus
+    /// dead-executor rescues).
+    pub steals: usize,
+    /// Speculative duplicates launched.
+    pub spec_launched: usize,
+    /// Tasks whose speculative duplicate finished first.
+    pub spec_wins: usize,
+    /// Tasks whose original attempt beat its speculative duplicate.
+    pub spec_losses: usize,
 }
 
 impl JobMetrics {
     pub(crate) fn from_tasks(job_id: u64, wall_seconds: f64, tasks: Vec<TaskMetric>) -> JobMetrics {
-        JobMetrics { job_id, wall_seconds, tasks }
+        JobMetrics {
+            job_id,
+            wall_seconds,
+            tasks,
+            task_attempts: Vec::new(),
+            steals: 0,
+            spec_launched: 0,
+            spec_wins: 0,
+            spec_losses: 0,
+        }
     }
 
     /// Number of tasks.
@@ -38,6 +80,12 @@ impl JobMetrics {
     /// Tasks that needed more than one attempt.
     pub fn retried_tasks(&self) -> usize {
         self.tasks.iter().filter(|t| t.attempt > 0).count()
+    }
+
+    /// Successful attempts that ran somewhere other than the queue they
+    /// were seeded on.
+    pub fn stolen_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.stolen).count()
     }
 
     /// Sum of task wall times (total compute consumed).
@@ -95,9 +143,9 @@ mod tests {
             7,
             1.0,
             vec![
-                TaskMetric { task: 0, attempt: 0, executor: 0, seconds: 0.5 },
-                TaskMetric { task: 1, attempt: 1, executor: 1, seconds: 0.8 },
-                TaskMetric { task: 2, attempt: 0, executor: 0, seconds: 0.2 },
+                TaskMetric::simple(0, 0, 0, 0.5),
+                TaskMetric::simple(1, 1, 1, 0.8),
+                TaskMetric::simple(2, 0, 0, 0.2),
             ],
         )
     }
@@ -128,5 +176,22 @@ mod tests {
         assert_eq!(m.task_count(), 0);
         assert_eq!(m.max_task_seconds(), 0.0);
         assert!((m.scheduling_overhead_seconds() - 0.1).abs() < 1e-12);
+        assert_eq!(m.stolen_tasks(), 0);
+        assert_eq!(
+            (m.steals, m.spec_launched, m.spec_wins, m.spec_losses),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn scheduler_counters_are_reported() {
+        let mut m = sample();
+        m.tasks[1].stolen = true;
+        m.tasks[2].speculative = true;
+        m.steals = 2;
+        m.spec_launched = 1;
+        m.spec_wins = 1;
+        assert_eq!(m.stolen_tasks(), 1);
+        assert_eq!(m.spec_wins + m.spec_losses, m.spec_launched);
     }
 }

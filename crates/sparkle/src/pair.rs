@@ -63,9 +63,11 @@ where
 
         // Stage 2 (executors): reduce-side combine per bucket.
         let flat: Vec<(K, V)> = buckets.into_iter().flatten().collect();
-        let bucketed = self.context().parallelize_by(flat, num_partitions, move |(k, _)| {
-            bucket_of(k, num_partitions)
-        });
+        let bucketed = self
+            .context()
+            .parallelize_by(flat, num_partitions, move |(k, _)| {
+                bucket_of(k, num_partitions)
+            });
         let f2 = std::sync::Arc::clone(&f);
         let reduced = bucketed.map_partitions(move |_, pairs| {
             let mut acc: HashMap<K, V> = HashMap::new();
@@ -95,17 +97,19 @@ where
 
     /// Group all values of each key (`groupByKey`).
     pub fn group_by_key(&self, num_partitions: usize) -> Result<Rdd<(K, Vec<V>)>, SparkError> {
-        self.map(|(k, v)| (k, vec![v])).reduce_by_key(num_partitions, |mut a, mut b| {
-            a.append(&mut b);
-            a
-        })
+        self.map(|(k, v)| (k, vec![v]))
+            .reduce_by_key(num_partitions, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
     }
 
     /// Count occurrences per key, returned to the driver
     /// (`countByKey`).
     pub fn count_by_key(&self) -> Result<HashMap<K, u64>, SparkError> {
-        let counted =
-            self.map(|(k, _)| (k, 1u64)).reduce_by_key(self.num_partitions(), |a, b| a + b)?;
+        let counted = self
+            .map(|(k, _)| (k, 1u64))
+            .reduce_by_key(self.num_partitions(), |a, b| a + b)?;
         Ok(counted.collect()?.into_iter().collect())
     }
 }
@@ -148,13 +152,19 @@ mod tests {
     #[test]
     fn all_values_of_a_key_land_in_one_partition() {
         let sc = ctx();
-        let reduced = sc.parallelize(word_pairs(), 5).reduce_by_key(4, |a, b| a + b).unwrap();
+        let reduced = sc
+            .parallelize(word_pairs(), 5)
+            .reduce_by_key(4, |a, b| a + b)
+            .unwrap();
         let parts = reduced.collect_partitions().unwrap();
         assert_eq!(parts.len(), 4);
         let mut seen: HashMap<String, usize> = HashMap::new();
         for (p, part) in parts.iter().enumerate() {
             for (k, _) in part {
-                assert!(seen.insert(k.clone(), p).is_none(), "key {k} appears in two partitions");
+                assert!(
+                    seen.insert(k.clone(), p).is_none(),
+                    "key {k} appears in two partitions"
+                );
             }
         }
         sc.stop();
@@ -184,7 +194,11 @@ mod tests {
         let sc = ctx();
         let counts = sc.parallelize(word_pairs(), 2).count_by_key().unwrap();
         assert_eq!(counts["the"], 3);
-        assert_eq!(counts.values().sum::<u64>(), 11, "eleven words in the sentence");
+        assert_eq!(
+            counts.values().sum::<u64>(),
+            11,
+            "eleven words in the sentence"
+        );
         sc.stop();
     }
 
@@ -192,8 +206,16 @@ mod tests {
     fn shuffle_is_deterministic() {
         let sc = ctx();
         let rdd = sc.parallelize(word_pairs(), 4);
-        let a = rdd.reduce_by_key(3, |a, b| a + b).unwrap().collect().unwrap();
-        let b = rdd.reduce_by_key(3, |a, b| a + b).unwrap().collect().unwrap();
+        let a = rdd
+            .reduce_by_key(3, |a, b| a + b)
+            .unwrap()
+            .collect()
+            .unwrap();
+        let b = rdd
+            .reduce_by_key(3, |a, b| a + b)
+            .unwrap()
+            .collect()
+            .unwrap();
         assert_eq!(a, b);
         sc.stop();
     }

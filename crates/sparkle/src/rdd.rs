@@ -58,8 +58,14 @@ impl<T: Data> Rdd<T> {
     pub(crate) fn source_with_partitions(ctx: SparkContext, parts: Vec<Vec<T>>) -> Rdd<T> {
         let parts: Vec<Arc<Vec<T>>> = parts.into_iter().map(Arc::new).collect();
         let partitions = parts.len().max(1);
-        let compute: Compute<T> = Arc::new(move |p| parts.get(p).map(|v| v.as_ref().clone()).unwrap_or_default());
-        Rdd { ctx, compute, partitions, cache: Arc::new(Mutex::new(None)) }
+        let compute: Compute<T> =
+            Arc::new(move |p| parts.get(p).map(|v| v.as_ref().clone()).unwrap_or_default());
+        Rdd {
+            ctx,
+            compute,
+            partitions,
+            cache: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The driver context this RDD belongs to.
@@ -106,7 +112,8 @@ impl<T: Data> Rdd<T> {
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
         let parent = self.lineage();
-        let compute: Compute<T> = Arc::new(move |p| parent(p).into_iter().filter(|x| f(x)).collect());
+        let compute: Compute<T> =
+            Arc::new(move |p| parent(p).into_iter().filter(|x| f(x)).collect());
         Rdd {
             ctx: self.ctx.clone(),
             compute,
@@ -168,12 +175,13 @@ impl<T: Data> Rdd<T> {
     /// job.
     pub fn zip_with_index(&self) -> Result<Rdd<(T, u64)>, SparkError> {
         let lineage = self.lineage();
-        let counts = self
-            .ctx
-            .run_job(Arc::new({
+        let counts = self.ctx.run_job(
+            Arc::new({
                 let lineage = Arc::clone(&lineage);
                 move |p| vec![lineage(p).len() as u64]
-            }), self.partitions)?;
+            }),
+            self.partitions,
+        )?;
         let mut offsets = Vec::with_capacity(self.partitions);
         let mut acc = 0u64;
         for c in counts.into_iter().flatten() {
@@ -182,7 +190,11 @@ impl<T: Data> Rdd<T> {
         }
         let compute: Compute<(T, u64)> = Arc::new(move |p| {
             let base = offsets[p];
-            lineage(p).into_iter().enumerate().map(|(i, x)| (x, base + i as u64)).collect()
+            lineage(p)
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| (x, base + i as u64))
+                .collect()
         });
         Ok(Rdd {
             ctx: self.ctx.clone(),
@@ -221,7 +233,9 @@ impl<T: Data> Rdd<T> {
     {
         let per_partition = self.map_partitions(|_, v| {
             let mut seen = std::collections::HashSet::new();
-            v.into_iter().filter(|x| seen.insert(x.clone())).collect::<Vec<_>>()
+            v.into_iter()
+                .filter(|x| seen.insert(x.clone()))
+                .collect::<Vec<_>>()
         });
         let mut seen = std::collections::HashSet::new();
         Ok(per_partition
@@ -243,7 +257,10 @@ impl<T: Data> Rdd<T> {
             let lineage = Arc::clone(&lineage);
             let mut part = self
                 .ctx
-                .run_job(Arc::new(move |q| if q == 0 { lineage(p) } else { Vec::new() }), 1)?
+                .run_job(
+                    Arc::new(move |q| if q == 0 { lineage(p) } else { Vec::new() }),
+                    1,
+                )?
                 .pop()
                 .unwrap_or_default();
             if out.len() + part.len() >= n {
@@ -286,7 +303,9 @@ impl<T: Data> Rdd<T> {
     where
         F: FnMut(usize, &[T]),
     {
-        let parts = self.ctx.run_job_streaming(self.lineage(), self.partitions, f)?;
+        let parts = self
+            .ctx
+            .run_job_streaming(self.lineage(), self.partitions, f)?;
         let mut cache = self.cache.lock();
         if cache.is_none() {
             *cache = Some(parts.into_iter().map(Arc::new).collect());
@@ -435,7 +454,9 @@ mod tests {
     #[test]
     fn lineage_recomputes_deterministically() {
         let sc = ctx();
-        let rdd = sc.parallelize((0..32i32).collect::<Vec<_>>(), 4).map(|x| x + 1);
+        let rdd = sc
+            .parallelize((0..32i32).collect::<Vec<_>>(), 4)
+            .map(|x| x + 1);
         let a = rdd.collect().unwrap();
         let b = rdd.collect().unwrap();
         assert_eq!(a, b);
@@ -470,7 +491,12 @@ mod tests {
     fn zip_with_index_is_global_and_ordered() {
         let sc = ctx();
         let data: Vec<char> = "sparkle".chars().collect();
-        let zipped = sc.parallelize(data.clone(), 3).zip_with_index().unwrap().collect().unwrap();
+        let zipped = sc
+            .parallelize(data.clone(), 3)
+            .zip_with_index()
+            .unwrap()
+            .collect()
+            .unwrap();
         for (i, (c, idx)) in zipped.iter().enumerate() {
             assert_eq!(*idx, i as u64);
             assert_eq!(*c, data[i]);
@@ -481,13 +507,26 @@ mod tests {
     #[test]
     fn fold_with_zero() {
         let sc = ctx();
-        let got = sc.parallelize((1..=10i64).collect::<Vec<_>>(), 4).fold(0, |a, b| a + b).unwrap();
+        let got = sc
+            .parallelize((1..=10i64).collect::<Vec<_>>(), 4)
+            .fold(0, |a, b| a + b)
+            .unwrap();
         assert_eq!(got, 55);
         // Spark quirk reproduced: the zero is applied once per partition
         // plus once at the driver, so a non-identity zero accumulates.
-        assert_eq!(sc.parallelize(Vec::<i64>::new(), 4).fold(7, |a, b| a + b).unwrap(), 7 * 5);
+        assert_eq!(
+            sc.parallelize(Vec::<i64>::new(), 4)
+                .fold(7, |a, b| a + b)
+                .unwrap(),
+            7 * 5
+        );
         // A true identity zero is safe.
-        assert_eq!(sc.parallelize(Vec::<i64>::new(), 4).fold(0, |a, b| a + b).unwrap(), 0);
+        assert_eq!(
+            sc.parallelize(Vec::<i64>::new(), 4)
+                .fold(0, |a, b| a + b)
+                .unwrap(),
+            0
+        );
         sc.stop();
     }
 
@@ -515,7 +554,10 @@ mod tests {
     #[test]
     fn cache_serves_after_first_action() {
         let sc = ctx();
-        let rdd = sc.parallelize((0..16i32).collect::<Vec<_>>(), 4).map(|x| x * 3).cache();
+        let rdd = sc
+            .parallelize((0..16i32).collect::<Vec<_>>(), 4)
+            .map(|x| x * 3)
+            .cache();
         let first = rdd.collect().unwrap();
         // Second action reads through the cache (same results).
         let second = rdd.collect().unwrap();

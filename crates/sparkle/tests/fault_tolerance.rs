@@ -12,10 +12,17 @@ fn cluster(executors: usize, vcpus: usize) -> SparkContext {
 fn injected_task_failures_are_retried_transparently() {
     let sc = cluster(4, 4);
     sc.fail_next_tasks(3);
-    let out = sc.parallelize((0..1000i64).collect::<Vec<_>>(), 16).map(|x| x + 1).collect().unwrap();
+    let out = sc
+        .parallelize((0..1000i64).collect::<Vec<_>>(), 16)
+        .map(|x| x + 1)
+        .collect()
+        .unwrap();
     assert_eq!(out, (1..=1000).collect::<Vec<i64>>());
     let metrics = sc.last_job_metrics().unwrap();
-    assert!(metrics.retried_tasks() >= 1, "at least one task must have been retried");
+    assert!(
+        metrics.retried_tasks() >= 1,
+        "at least one task must have been retried"
+    );
     sc.stop();
 }
 
@@ -28,24 +35,68 @@ fn too_many_failures_fail_the_job() {
     assert!(matches!(err, SparkError::TaskFailed { .. }));
     // The context stays usable afterwards.
     sc.fail_next_tasks(0);
-    assert_eq!(sc.parallelize(vec![1, 2, 3], 2).collect().unwrap(), vec![1, 2, 3]);
+    assert_eq!(
+        sc.parallelize(vec![1, 2, 3], 2).collect().unwrap(),
+        vec![1, 2, 3]
+    );
     sc.stop();
 }
 
 #[test]
 fn killed_executor_mid_workload_results_still_correct() {
     let sc = cluster(4, 2);
-    let rdd = sc.parallelize((0..10_000i64).collect::<Vec<_>>(), 64).map(|x| x * 2);
+    let rdd = sc
+        .parallelize((0..10_000i64).collect::<Vec<_>>(), 64)
+        .map(|x| x * 2);
 
-    // Kill one executor; its queued tasks fail and are recomputed from
-    // lineage on the survivors.
+    // Kill one executor; whatever was seeded on its queue is rescued by
+    // the survivors through dynamic dispatch.
     sc.kill_executor(0);
     assert_eq!(sc.executor_status(0), ExecutorStatus::Dead);
     let sum = rdd.reduce(|a, b| a + b).unwrap().unwrap();
     assert_eq!(sum, (0..10_000i64).map(|x| x * 2).sum::<i64>());
 
     let metrics = sc.last_job_metrics().unwrap();
-    assert!(metrics.executors_used() <= 3, "dead executor must not produce results");
+    assert!(
+        metrics.executors_used() <= 3,
+        "dead executor must not produce results"
+    );
+    sc.stop();
+}
+
+#[test]
+fn killed_executor_mid_job_work_is_rescued_without_retries() {
+    // Regression: before pull-based dispatch, a mid-job kill left the
+    // executor's statically-assigned partitions to fail and re-enter the
+    // retry sweep. With elastic dispatch the dead executor just stops
+    // claiming and its queued work is rescued by peers — no attempt is
+    // ever burned.
+    let sc = cluster(4, 2);
+    let killer = {
+        let sc = sc.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            sc.kill_executor(0);
+        })
+    };
+    let out = sc
+        .parallelize((0..200i64).collect::<Vec<_>>(), 100)
+        .map(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x * 3
+        })
+        .collect()
+        .unwrap();
+    killer.join().unwrap();
+    assert_eq!(out, (0..200i64).map(|x| x * 3).collect::<Vec<_>>());
+    let metrics = sc.last_job_metrics().unwrap();
+    assert_eq!(metrics.task_count(), 100);
+    assert_eq!(
+        metrics.retried_tasks(),
+        0,
+        "mid-job kill must be absorbed by dispatch, not the retry sweep"
+    );
+    assert_eq!(sc.executor_status(0), ExecutorStatus::Dead);
     sc.stop();
 }
 
@@ -84,7 +135,10 @@ fn panicking_kernel_body_fails_job_not_process() {
 fn stopped_context_rejects_jobs() {
     let sc = cluster(2, 2);
     sc.stop();
-    assert_eq!(sc.parallelize(vec![1], 1).collect().unwrap_err(), SparkError::ContextStopped);
+    assert_eq!(
+        sc.parallelize(vec![1], 1).collect().unwrap_err(),
+        SparkError::ContextStopped
+    );
 }
 
 #[test]
@@ -101,7 +155,11 @@ fn work_spreads_across_executors() {
         .unwrap();
     assert_eq!(out.len(), 64);
     let metrics = sc.last_job_metrics().unwrap();
-    assert!(metrics.executors_used() >= 2, "expected spread, used {}", metrics.executors_used());
+    assert!(
+        metrics.executors_used() >= 2,
+        "expected spread, used {}",
+        metrics.executors_used()
+    );
     assert_eq!(metrics.task_count(), 32);
     sc.stop();
 }
@@ -111,7 +169,9 @@ fn successive_jobs_reuse_the_cluster() {
     // OmpCloud regions with several parallel loops run successive
     // map-reduce jobs on one context (paper §III-D).
     let sc = cluster(3, 2);
-    let stage1 = sc.parallelize((0..100i64).collect::<Vec<_>>(), 6).map(|x| x + 1);
+    let stage1 = sc
+        .parallelize((0..100i64).collect::<Vec<_>>(), 6)
+        .map(|x| x + 1);
     let v1 = stage1.collect().unwrap();
     let stage2 = sc.parallelize(v1, 6).map(|x| x * 3);
     let v2 = stage2.collect().unwrap();

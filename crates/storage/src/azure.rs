@@ -73,8 +73,17 @@ impl AzureAccount {
         if st.containers.contains_key(name) {
             return Err(StorageError::BucketExists(name.to_string()));
         }
-        st.containers.insert(name.to_string(), Container { access, ..Default::default() });
-        Ok(AzureBlobStore { account: Arc::clone(self), container: name.to_string() })
+        st.containers.insert(
+            name.to_string(),
+            Container {
+                access,
+                ..Default::default()
+            },
+        );
+        Ok(AzureBlobStore {
+            account: Arc::clone(self),
+            container: name.to_string(),
+        })
     }
 
     /// Handle to an existing container.
@@ -82,7 +91,10 @@ impl AzureAccount {
         if !self.state.read().containers.contains_key(name) {
             return Err(StorageError::NoSuchBucket(name.to_string()));
         }
-        Ok(AzureBlobStore { account: Arc::clone(self), container: name.to_string() })
+        Ok(AzureBlobStore {
+            account: Arc::clone(self),
+            container: name.to_string(),
+        })
     }
 
     /// Names of all containers.
@@ -145,8 +157,10 @@ impl AzureBlobStore {
             .containers
             .get_mut(&self.container)
             .ok_or_else(|| StorageError::NoSuchBucket(self.container.clone()))?;
-        let blob =
-            container.blobs.get_mut(key).ok_or_else(|| StorageError::NotFound(key.to_string()))?;
+        let blob = container
+            .blobs
+            .get_mut(key)
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
         blob.snapshots.push(Arc::clone(&blob.data));
         Ok(blob.snapshots.len() - 1)
     }
@@ -185,8 +199,19 @@ impl ObjectStore for AzureBlobStore {
             .containers
             .get_mut(&self.container)
             .ok_or_else(|| StorageError::NoSuchBucket(self.container.clone()))?;
-        let snapshots = container.blobs.remove(key).map(|b| b.snapshots).unwrap_or_default();
-        container.blobs.insert(key.to_string(), Blob { data: Arc::new(data), etag, snapshots });
+        let snapshots = container
+            .blobs
+            .remove(key)
+            .map(|b| b.snapshots)
+            .unwrap_or_default();
+        container.blobs.insert(
+            key.to_string(),
+            Blob {
+                data: Arc::new(data),
+                etag,
+                snapshots,
+            },
+        );
         Ok(())
     }
 
@@ -225,7 +250,13 @@ impl ObjectStore for AzureBlobStore {
             .read()
             .containers
             .get(&self.container)
-            .map(|c| c.blobs.keys().filter(|k| k.starts_with(prefix)).cloned().collect())
+            .map(|c| {
+                c.blobs
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -302,14 +333,19 @@ mod tests {
     #[test]
     fn snapshot_of_missing_blob_errors() {
         let store = AzureBlobStore::standalone("a", "c");
-        assert!(matches!(store.snapshot("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(
+            store.snapshot("nope"),
+            Err(StorageError::NotFound(_))
+        ));
         assert!(store.read_snapshot("nope", 0).is_err());
     }
 
     #[test]
     fn block_list_commits_in_order() {
         let store = AzureBlobStore::standalone("a", "c");
-        store.put_block_list("big", vec![vec![1, 2], vec![3], vec![4, 5]]).unwrap();
+        store
+            .put_block_list("big", vec![vec![1, 2], vec![3], vec![4, 5]])
+            .unwrap();
         assert_eq!(store.get("big").unwrap(), vec![1, 2, 3, 4, 5]);
     }
 }

@@ -44,7 +44,10 @@ impl HdfsStore {
             replication: replication.clamp(1, datanodes),
             files: RwLock::new(BTreeMap::new()),
             datanodes: (0..datanodes)
-                .map(|_| DataNode { alive: AtomicBool::new(true), blocks: RwLock::new(BTreeMap::new()) })
+                .map(|_| DataNode {
+                    alive: AtomicBool::new(true),
+                    blocks: RwLock::new(BTreeMap::new()),
+                })
                 .collect(),
             next_block: AtomicU64::new(0),
             next_placement: AtomicU64::new(0),
@@ -64,7 +67,10 @@ impl HdfsStore {
 
     /// Number of currently alive datanodes.
     pub fn alive_count(&self) -> usize {
-        self.datanodes.iter().filter(|d| d.alive.load(Ordering::SeqCst)).count()
+        self.datanodes
+            .iter()
+            .filter(|d| d.alive.load(Ordering::SeqCst))
+            .count()
     }
 
     /// Simulate a datanode crash. Its replicas become unreadable.
@@ -100,7 +106,10 @@ impl HdfsStore {
         let copies = self.replication.min(alive.len());
         for r in 0..copies {
             let node = alive[(start + r) % alive.len()];
-            self.datanodes[node].blocks.write().insert(id, Arc::clone(&data));
+            self.datanodes[node]
+                .blocks
+                .write()
+                .insert(id, Arc::clone(&data));
         }
         Ok(())
     }
@@ -114,7 +123,9 @@ impl HdfsStore {
                 return Ok(Arc::clone(b));
             }
         }
-        Err(StorageError::Unavailable(format!("all replicas of block {id} are offline")))
+        Err(StorageError::Unavailable(format!(
+            "all replicas of block {id} are offline"
+        )))
     }
 
     fn drop_blocks(&self, ids: &[BlockId]) {
@@ -141,7 +152,13 @@ impl ObjectStore for HdfsStore {
             }
         }
         let mut files = self.files.write();
-        if let Some(old) = files.insert(key.to_string(), FileMeta { blocks: block_ids, len }) {
+        if let Some(old) = files.insert(
+            key.to_string(),
+            FileMeta {
+                blocks: block_ids,
+                len,
+            },
+        ) {
             drop(files);
             self.drop_blocks(&old.blocks);
         }
@@ -182,7 +199,12 @@ impl ObjectStore for HdfsStore {
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
-        self.files.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect()
+        self.files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
     }
 
     fn size(&self, key: &str) -> Option<u64> {
@@ -258,7 +280,10 @@ mod tests {
     fn put_with_no_alive_nodes_fails() {
         let store = HdfsStore::new(1, 1, 4);
         store.kill_datanode(0);
-        assert!(matches!(store.put("f", vec![1]), Err(StorageError::Unavailable(_))));
+        assert!(matches!(
+            store.put("f", vec![1]),
+            Err(StorageError::Unavailable(_))
+        ));
     }
 
     #[test]

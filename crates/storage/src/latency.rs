@@ -8,20 +8,33 @@
 //! touching a real network.
 
 use crate::{ObjectStore, StorageError, StoreHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// [`ObjectStore`] decorator that sleeps on every data operation.
+///
+/// Also counts puts and gets, so tests can assert on *how many* WAN
+/// round-trips a path took (e.g. that the upload cache really skipped
+/// the unchanged buffers), not just that the result was correct.
 pub struct LatencyStore {
     inner: StoreHandle,
     per_op: Duration,
     /// Simulated throughput for the bandwidth term; `None` = infinite.
     bytes_per_sec: Option<f64>,
+    puts: AtomicU64,
+    gets: AtomicU64,
 }
 
 impl LatencyStore {
     /// Wrap `inner`, adding `per_op` of delay to every put and get.
     pub fn new(inner: StoreHandle, per_op: Duration) -> Self {
-        LatencyStore { inner, per_op, bytes_per_sec: None }
+        LatencyStore {
+            inner,
+            per_op,
+            bytes_per_sec: None,
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+        }
     }
 
     /// Additionally model finite throughput: each put/get sleeps an extra
@@ -30,6 +43,22 @@ impl LatencyStore {
         assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
         self.bytes_per_sec = Some(bytes_per_sec);
         self
+    }
+
+    /// Put operations performed since creation (or the last reset).
+    pub fn put_count(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Get operations performed since creation (or the last reset).
+    pub fn get_count(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Zero both operation counters.
+    pub fn reset_counts(&self) {
+        self.puts.store(0, Ordering::Relaxed);
+        self.gets.store(0, Ordering::Relaxed);
     }
 
     fn delay(&self, bytes: usize) {
@@ -45,11 +74,13 @@ impl LatencyStore {
 
 impl ObjectStore for LatencyStore {
     fn put(&self, key: &str, data: Vec<u8>) -> Result<(), StorageError> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
         self.delay(data.len());
         self.inner.put(key, data)
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
         let result = self.inner.get(key);
         self.delay(result.as_ref().map(Vec::len).unwrap_or(0));
         result
@@ -85,12 +116,17 @@ mod tests {
 
     #[test]
     fn adds_latency_to_puts_and_gets() {
-        let store =
-            LatencyStore::new(Arc::new(S3Store::standalone("lat")), Duration::from_millis(10));
+        let store = LatencyStore::new(
+            Arc::new(S3Store::standalone("lat")),
+            Duration::from_millis(10),
+        );
         let t = Instant::now();
         store.put("k", vec![1, 2, 3]).unwrap();
         assert_eq!(store.get("k").unwrap(), vec![1, 2, 3]);
-        assert!(t.elapsed() >= Duration::from_millis(20), "two ops, 10ms each");
+        assert!(
+            t.elapsed() >= Duration::from_millis(20),
+            "two ops, 10ms each"
+        );
     }
 
     #[test]
@@ -103,14 +139,30 @@ mod tests {
     }
 
     #[test]
+    fn operation_counters_track_puts_and_gets() {
+        let store = LatencyStore::new(Arc::new(S3Store::standalone("lat")), Duration::ZERO);
+        store.put("a", vec![1]).unwrap();
+        store.put("b", vec![2]).unwrap();
+        let _ = store.get("a").unwrap();
+        assert_eq!((store.put_count(), store.get_count()), (2, 1));
+        store.reset_counts();
+        assert_eq!((store.put_count(), store.get_count()), (0, 0));
+        // Metadata ops don't count as transfers.
+        assert!(store.exists("a"));
+        assert_eq!(store.put_count() + store.get_count(), 0);
+    }
+
+    #[test]
     fn metadata_operations_pass_through_undelayed() {
-        let store =
-            LatencyStore::new(Arc::new(S3Store::standalone("lat")), Duration::from_secs(5));
+        let store = LatencyStore::new(Arc::new(S3Store::standalone("lat")), Duration::from_secs(5));
         let t = Instant::now();
         assert!(!store.exists("nope"));
         assert!(store.list("").is_empty());
         assert_eq!(store.size("nope"), None);
         store.delete("nope").unwrap();
-        assert!(t.elapsed() < Duration::from_secs(1), "no sleeps on metadata ops");
+        assert!(
+            t.elapsed() < Duration::from_secs(1),
+            "no sleeps on metadata ops"
+        );
     }
 }

@@ -119,7 +119,10 @@ pub(crate) mod test_support {
     /// Exercise the full ObjectStore contract against any backend.
     pub fn exercise_contract(store: &dyn ObjectStore) {
         assert!(!store.exists("a/b"));
-        assert_eq!(store.get("a/b").unwrap_err(), StorageError::NotFound("a/b".into()));
+        assert_eq!(
+            store.get("a/b").unwrap_err(),
+            StorageError::NotFound("a/b".into())
+        );
 
         store.put("a/b", vec![1, 2, 3]).unwrap();
         assert!(store.exists("a/b"));
@@ -135,7 +138,10 @@ pub(crate) mod test_support {
         store.put("a/c", vec![]).unwrap();
         store.put("b/d", vec![7]).unwrap();
         assert_eq!(store.list("a/"), vec!["a/b".to_string(), "a/c".to_string()]);
-        assert_eq!(store.list(""), vec!["a/b".to_string(), "a/c".to_string(), "b/d".to_string()]);
+        assert_eq!(
+            store.list(""),
+            vec!["a/b".to_string(), "a/c".to_string(), "b/d".to_string()]
+        );
 
         // Empty object roundtrip.
         assert_eq!(store.get("a/c").unwrap(), Vec::<u8>::new());

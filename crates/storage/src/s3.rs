@@ -45,7 +45,10 @@ impl S3Service {
             return Err(StorageError::BucketExists(name.to_string()));
         }
         st.buckets.insert(name.to_string(), BTreeMap::new());
-        Ok(S3Store { service: Arc::clone(self), bucket: name.to_string() })
+        Ok(S3Store {
+            service: Arc::clone(self),
+            bucket: name.to_string(),
+        })
     }
 
     /// Handle to an existing bucket.
@@ -54,7 +57,10 @@ impl S3Service {
         if !st.buckets.contains_key(name) {
             return Err(StorageError::NoSuchBucket(name.to_string()));
         }
-        Ok(S3Store { service: Arc::clone(self), bucket: name.to_string() })
+        Ok(S3Store {
+            service: Arc::clone(self),
+            bucket: name.to_string(),
+        })
     }
 
     /// Bucket names, sorted.
@@ -71,7 +77,12 @@ impl S3Service {
     fn maybe_fault(&self) -> Result<(), StorageError> {
         let mut cur = self.faults_remaining.load(Ordering::SeqCst);
         while cur > 0 {
-            match self.faults_remaining.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            match self.faults_remaining.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
                 Ok(_) => return Err(StorageError::Transient("injected fault".into())),
                 Err(now) => cur = now,
             }
@@ -89,7 +100,9 @@ pub struct S3Store {
 
 impl std::fmt::Debug for S3Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("S3Store").field("bucket", &self.bucket).finish_non_exhaustive()
+        f.debug_struct("S3Store")
+            .field("bucket", &self.bucket)
+            .finish_non_exhaustive()
     }
 }
 
@@ -97,7 +110,9 @@ impl S3Store {
     /// Create a fresh service with a single bucket in one call — the
     /// common test/example setup.
     pub fn standalone(bucket: &str) -> S3Store {
-        S3Service::new().create_bucket(bucket).expect("fresh service")
+        S3Service::new()
+            .create_bucket(bucket)
+            .expect("fresh service")
     }
 
     /// Bucket name.
@@ -150,7 +165,14 @@ impl ObjectStore for S3Store {
         let etag = gzlite::crc32(&data);
         let version = self.service.version_counter.fetch_add(1, Ordering::Relaxed);
         self.with_bucket_mut(|b| {
-            b.insert(key.to_string(), Object { data: Arc::new(data), etag, version });
+            b.insert(
+                key.to_string(),
+                Object {
+                    data: Arc::new(data),
+                    etag,
+                    version,
+                },
+            );
         })
     }
 
@@ -176,20 +198,30 @@ impl ObjectStore for S3Store {
 
     fn exists(&self, key: &str) -> bool {
         let st = self.service.state.read();
-        st.buckets.get(&self.bucket).map(|b| b.contains_key(key)).unwrap_or(false)
+        st.buckets
+            .get(&self.bucket)
+            .map(|b| b.contains_key(key))
+            .unwrap_or(false)
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
         let st = self.service.state.read();
         match st.buckets.get(&self.bucket) {
-            Some(b) => b.keys().filter(|k| k.starts_with(prefix)).cloned().collect(),
+            Some(b) => b
+                .keys()
+                .filter(|k| k.starts_with(prefix))
+                .cloned()
+                .collect(),
             None => Vec::new(),
         }
     }
 
     fn size(&self, key: &str) -> Option<u64> {
         let st = self.service.state.read();
-        st.buckets.get(&self.bucket)?.get(key).map(|o| o.data.len() as u64)
+        st.buckets
+            .get(&self.bucket)?
+            .get(key)
+            .map(|o| o.data.len() as u64)
     }
 
     fn kind(&self) -> &'static str {
@@ -252,7 +284,10 @@ mod tests {
     fn duplicate_bucket_rejected() {
         let svc = S3Service::new();
         svc.create_bucket("x").unwrap();
-        assert_eq!(svc.create_bucket("x").unwrap_err(), StorageError::BucketExists("x".into()));
+        assert_eq!(
+            svc.create_bucket("x").unwrap_err(),
+            StorageError::BucketExists("x".into())
+        );
         assert!(svc.bucket("x").is_ok());
         assert!(svc.bucket("y").is_err());
     }

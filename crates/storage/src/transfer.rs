@@ -101,11 +101,19 @@ pub struct PipelineReport {
     pub items: Vec<ItemReport>,
     /// Wall time of the whole pipeline.
     pub wall_seconds: f64,
-    /// Aggregate CPU busy time across the compression workers
-    /// (compression + decompression).
+    /// Aggregate CPU busy time summed over every compression worker
+    /// (compression + decompression). With `cpu_workers` threads busy
+    /// simultaneously this can exceed `wall_seconds`; use
+    /// [`cpu_path_seconds`](Self::cpu_path_seconds) for a wall-comparable
+    /// figure.
     pub cpu_busy_seconds: f64,
-    /// Aggregate storage busy time across the I/O workers (puts + gets).
+    /// Aggregate storage busy time summed over every I/O worker
+    /// (puts + gets). See `cpu_busy_seconds` for the normalization caveat.
     pub io_busy_seconds: f64,
+    /// Compression-stage pool width the busy time was summed over.
+    pub cpu_workers: usize,
+    /// I/O-stage pool width the busy time was summed over.
+    pub io_workers: usize,
 }
 
 impl PipelineReport {
@@ -119,11 +127,27 @@ impl PipelineReport {
         self.items.iter().map(|i| i.wire_bytes).sum()
     }
 
+    /// Critical-path seconds of the compression stage: aggregate busy
+    /// time normalized by the pool width — what the stage would have
+    /// added to the wall had it run alone at the same parallelism.
+    pub fn cpu_path_seconds(&self) -> f64 {
+        self.cpu_busy_seconds / self.cpu_workers.max(1) as f64
+    }
+
+    /// Critical-path seconds of the storage stage (see
+    /// [`cpu_path_seconds`](Self::cpu_path_seconds)).
+    pub fn io_path_seconds(&self) -> f64 {
+        self.io_busy_seconds / self.io_workers.max(1) as f64
+    }
+
     /// Wall time saved versus running the compression and storage stages
-    /// back to back (sum of stage busy times minus the pipelined wall,
-    /// clamped at zero).
+    /// back to back at the same pool widths: sum of per-stage critical
+    /// paths minus the pipelined wall. Clamped to `[0, wall_seconds]` —
+    /// overlap can never exceed the time the pipeline actually ran.
     pub fn overlap_seconds(&self) -> f64 {
-        (self.cpu_busy_seconds + self.io_busy_seconds - self.wall_seconds).max(0.0)
+        (self.cpu_path_seconds() + self.io_path_seconds() - self.wall_seconds)
+            .max(0.0)
+            .min(self.wall_seconds)
     }
 }
 
@@ -170,7 +194,10 @@ impl TransferManager {
                 retries,
             })
         })?;
-        Ok(TransferReport { items: results, wall_seconds: t0.elapsed().as_secs_f64() })
+        Ok(TransferReport {
+            items: results,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        })
     }
 
     /// Download a batch of keys, transparently decompressing gzlite
@@ -213,7 +240,13 @@ impl TransferManager {
             payloads.push((report.key.clone(), payload));
             items.push(report);
         }
-        Ok((payloads, TransferReport { items, wall_seconds: t0.elapsed().as_secs_f64() }))
+        Ok((
+            payloads,
+            TransferReport {
+                items,
+                wall_seconds: t0.elapsed().as_secs_f64(),
+            },
+        ))
     }
 
     /// Fused upload + driver fetch as a two-stage pipeline: a pool of
@@ -244,7 +277,13 @@ impl TransferManager {
 
         enum IoJob {
             /// Compressed payload ready to hit the store and come back.
-            PutGet { idx: usize, key: String, wire: Vec<u8>, raw_bytes: u64, compressed: bool },
+            PutGet {
+                idx: usize,
+                key: String,
+                wire: Vec<u8>,
+                raw_bytes: u64,
+                compressed: bool,
+            },
             /// Already staged: read (and decompress) only.
             Get { idx: usize, key: String },
         }
@@ -277,7 +316,13 @@ impl TransferManager {
                 scope.spawn(move || {
                     for job in rx.iter() {
                         let (idx, key, put_result) = match job {
-                            IoJob::PutGet { idx, key, wire, raw_bytes, compressed } => {
+                            IoJob::PutGet {
+                                idx,
+                                key,
+                                wire,
+                                raw_bytes,
+                                compressed,
+                            } => {
                                 let t = Instant::now();
                                 let put = put_with_retry(
                                     self.store.as_ref(),
@@ -346,7 +391,10 @@ impl TransferManager {
 
             // Fetch-only keys go straight to the I/O stage.
             for (i, key) in fetch_only.iter().enumerate() {
-                let _ = tx.send(IoJob::Get { idx: n_put + i, key: key.clone() });
+                let _ = tx.send(IoJob::Get {
+                    idx: n_put + i,
+                    key: key.clone(),
+                });
             }
 
             // Stage A: compression workers feeding the I/O pool.
@@ -364,7 +412,13 @@ impl TransferManager {
                     let raw_bytes = payload.len() as u64;
                     let (wire, compressed) = compress_for_wire(config, payload);
                     cpu_busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    let _ = tx.send(IoJob::PutGet { idx, key, wire, raw_bytes, compressed });
+                    let _ = tx.send(IoJob::PutGet {
+                        idx,
+                        key,
+                        wire,
+                        raw_bytes,
+                        compressed,
+                    });
                 });
             }
 
@@ -387,13 +441,19 @@ impl TransferManager {
                 wall_seconds: t0.elapsed().as_secs_f64(),
                 cpu_busy_seconds: cpu_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9,
                 io_busy_seconds: io_busy_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                cpu_workers: cpu_threads,
+                io_workers: io_threads,
             },
         ))
     }
 
     /// Fan a batch out over scoped worker threads, preserving input order
     /// in the results.
-    fn run_parallel<R, F>(&self, items: Vec<(String, Vec<u8>)>, work: F) -> Result<Vec<R>, StorageError>
+    fn run_parallel<R, F>(
+        &self,
+        items: Vec<(String, Vec<u8>)>,
+        work: F,
+    ) -> Result<Vec<R>, StorageError>
     where
         R: Send,
         F: Fn(&StoreHandle, &TransferConfig, String, Vec<u8>) -> Result<R, StorageError> + Sync,
@@ -431,7 +491,10 @@ impl TransferManager {
             }
         });
 
-        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect()
     }
 }
 
@@ -505,7 +568,10 @@ mod tests {
         let store = S3Store::standalone("xfer");
         let tm = TransferManager::new(
             Arc::new(store.clone()),
-            TransferConfig { min_compression_size: min_compress, ..Default::default() },
+            TransferConfig {
+                min_compression_size: min_compress,
+                ..Default::default()
+            },
         );
         (tm, store)
     }
@@ -514,12 +580,17 @@ mod tests {
     fn upload_download_roundtrip() {
         let (tm, _) = manager(64);
         let a = vec![0u8; 10_000]; // compresses hard
-        let b: Vec<u8> = (0..5000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let b: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         let report = tm
             .upload(vec![("in/A".into(), a.clone()), ("in/B".into(), b.clone())])
             .unwrap();
         assert_eq!(report.items.len(), 2);
-        assert!(report.ratio() < 1.0, "sparse member should shrink the batch");
+        assert!(
+            report.ratio() < 1.0,
+            "sparse member should shrink the batch"
+        );
 
         let (payloads, dreport) = tm.download(vec!["in/A".into(), "in/B".into()]).unwrap();
         assert_eq!(payloads[0], ("in/A".to_string(), a));
@@ -553,7 +624,9 @@ mod tests {
         let mut x: u64 = 1;
         let data: Vec<u8> = (0..50_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();
@@ -578,7 +651,10 @@ mod tests {
         let store = S3Store::standalone("xfer");
         let tm = TransferManager::new(
             Arc::new(store.clone()),
-            TransferConfig { max_retries: 1, ..Default::default() },
+            TransferConfig {
+                max_retries: 1,
+                ..Default::default()
+            },
         );
         store.service().inject_transient_faults(10);
         assert!(tm.upload(vec![("k".into(), vec![1])]).is_err());
@@ -587,14 +663,17 @@ mod tests {
     #[test]
     fn many_buffers_upload_in_parallel_and_keep_order() {
         let (tm, _) = manager(usize::MAX);
-        let items: Vec<(String, Vec<u8>)> =
-            (0..40).map(|i| (format!("k{i:02}"), vec![i as u8; 100])).collect();
+        let items: Vec<(String, Vec<u8>)> = (0..40)
+            .map(|i| (format!("k{i:02}"), vec![i as u8; 100]))
+            .collect();
         let report = tm.upload(items).unwrap();
         assert_eq!(report.items.len(), 40);
         for (i, item) in report.items.iter().enumerate() {
             assert_eq!(item.key, format!("k{i:02}"), "report preserves order");
         }
-        let (payloads, _) = tm.download((0..40).map(|i| format!("k{i:02}")).collect()).unwrap();
+        let (payloads, _) = tm
+            .download((0..40).map(|i| format!("k{i:02}")).collect())
+            .unwrap();
         for (i, (_, p)) in payloads.iter().enumerate() {
             assert_eq!(p, &vec![i as u8; 100]);
         }
@@ -611,7 +690,10 @@ mod tests {
     #[test]
     fn download_missing_key_errors() {
         let (tm, _) = manager(64);
-        assert!(matches!(tm.download(vec!["nope".into()]), Err(StorageError::NotFound(_))));
+        assert!(matches!(
+            tm.download(vec!["nope".into()]),
+            Err(StorageError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -640,8 +722,9 @@ mod tests {
         let (tm, store) = manager(64);
         let items: Vec<(String, Vec<u8>)> = (0..12)
             .map(|i| {
-                let payload: Vec<u8> =
-                    (0..4096u32).map(|j| ((j.wrapping_mul(i + 1)) >> 3) as u8).collect();
+                let payload: Vec<u8> = (0..4096u32)
+                    .map(|j| ((j.wrapping_mul(i + 1)) >> 3) as u8)
+                    .collect();
                 (format!("in/v{i:02}"), payload)
             })
             .collect();
@@ -655,7 +738,9 @@ mod tests {
         assert_eq!(report.raw_bytes(), 12 * 4096);
         // Objects really landed in the store (same wire form the serial
         // download path would read).
-        let (serial, _) = tm.download(items.iter().map(|(k, _)| k.clone()).collect()).unwrap();
+        let (serial, _) = tm
+            .download(items.iter().map(|(k, _)| k.clone()).collect())
+            .unwrap();
         assert_eq!(serial, payloads);
         assert!(store.exists("in/v00"));
     }
@@ -664,7 +749,8 @@ mod tests {
     fn pipelined_fetch_only_reads_staged_objects() {
         let (tm, _) = manager(64);
         let staged = vec![7u8; 5000];
-        tm.upload(vec![("cached/x".into(), staged.clone())]).unwrap();
+        tm.upload(vec![("cached/x".into(), staged.clone())])
+            .unwrap();
         let fresh = vec![1u8; 3000];
         let (payloads, report) = tm
             .upload_fetch_pipelined(
@@ -676,7 +762,32 @@ mod tests {
         // Put items first, then fetch-only, each in request order.
         assert_eq!(payloads[0], ("new/y".to_string(), fresh));
         assert_eq!(payloads[1], ("cached/x".to_string(), staged));
-        assert!(report.items[1].compressed, "staged object decompressed on fetch");
+        assert!(
+            report.items[1].compressed,
+            "staged object decompressed on fetch"
+        );
+    }
+
+    #[test]
+    fn pipeline_accounting_is_wall_normalized() {
+        // Regression: busy seconds are summed over every pool worker, so
+        // the old overlap (cpu_busy + io_busy - wall) reported ~20x the
+        // wall on wide pools. Path seconds divide by the pool width and
+        // overlap is clamped to the wall.
+        let (tm, _) = manager(64);
+        let items: Vec<(String, Vec<u8>)> = (0..16)
+            .map(|i| (format!("k{i:02}"), vec![(i % 251) as u8; 32 * 1024]))
+            .collect();
+        let (_, report) = tm.upload_fetch_pipelined(items, vec![], 4).unwrap();
+        assert!(report.cpu_workers >= 1 && report.io_workers >= 1);
+        assert!(
+            report.overlap_seconds() <= report.wall_seconds + 1e-9,
+            "overlap {} must not exceed wall {}",
+            report.overlap_seconds(),
+            report.wall_seconds
+        );
+        assert!(report.cpu_path_seconds() <= report.cpu_busy_seconds + 1e-12);
+        assert!(report.io_path_seconds() <= report.io_busy_seconds + 1e-12);
     }
 
     #[test]
@@ -691,11 +802,8 @@ mod tests {
     #[test]
     fn pipelined_missing_fetch_key_errors() {
         let (tm, _) = manager(64);
-        let result = tm.upload_fetch_pipelined(
-            vec![("a".into(), vec![1, 2, 3])],
-            vec!["missing".into()],
-            2,
-        );
+        let result =
+            tm.upload_fetch_pipelined(vec![("a".into(), vec![1, 2, 3])], vec!["missing".into()], 2);
         assert!(matches!(result, Err(StorageError::NotFound(_))));
     }
 
@@ -710,7 +818,9 @@ mod tests {
             }
             v
         };
-        let dense: Vec<u8> = (0..65_536u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 13) as u8).collect();
+        let dense: Vec<u8> = (0..65_536u32)
+            .map(|i| (i.wrapping_mul(0x9E3779B9) >> 13) as u8)
+            .collect();
         let rs = tm.upload(vec![("s".into(), sparse)]).unwrap();
         let rd = tm.upload(vec![("d".into(), dense)]).unwrap();
         assert!(

@@ -44,10 +44,17 @@ impl StorageUri {
             if bucket.is_empty() {
                 return Err(StorageError::BadUri(format!("{uri}: empty bucket name")));
             }
-            if bucket.contains(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '.')) {
-                return Err(StorageError::BadUri(format!("{uri}: invalid bucket name '{bucket}'")));
+            if bucket.contains(|c: char| {
+                !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '.')
+            }) {
+                return Err(StorageError::BadUri(format!(
+                    "{uri}: invalid bucket name '{bucket}'"
+                )));
             }
-            Ok(StorageUri::S3 { bucket: bucket.to_string(), prefix: prefix.to_string() })
+            Ok(StorageUri::S3 {
+                bucket: bucket.to_string(),
+                prefix: prefix.to_string(),
+            })
         } else if let Some(rest) = uri.strip_prefix("azure://") {
             let mut parts = rest.splitn(3, '/');
             let account = parts.next().unwrap_or("");
@@ -80,7 +87,11 @@ impl StorageUri {
             if host.is_empty() {
                 return Err(StorageError::BadUri(format!("{uri}: empty host")));
             }
-            Ok(StorageUri::Hdfs { host: host.to_string(), port, path })
+            Ok(StorageUri::Hdfs {
+                host: host.to_string(),
+                port,
+                path,
+            })
         } else {
             Err(StorageError::BadUri(format!(
                 "{uri}: unknown scheme (expected s3://, hdfs:// or azure://)"
@@ -113,10 +124,18 @@ impl std::fmt::Display for StorageUri {
             StorageUri::S3 { bucket, prefix } if prefix.is_empty() => write!(f, "s3://{bucket}"),
             StorageUri::S3 { bucket, prefix } => write!(f, "s3://{bucket}/{prefix}"),
             StorageUri::Hdfs { host, port, path } => write!(f, "hdfs://{host}:{port}{path}"),
-            StorageUri::Azure { account, container, prefix } if prefix.is_empty() => {
+            StorageUri::Azure {
+                account,
+                container,
+                prefix,
+            } if prefix.is_empty() => {
                 write!(f, "azure://{account}/{container}")
             }
-            StorageUri::Azure { account, container, prefix } => {
+            StorageUri::Azure {
+                account,
+                container,
+                prefix,
+            } => {
                 write!(f, "azure://{account}/{container}/{prefix}")
             }
         }
@@ -131,11 +150,17 @@ mod tests {
     fn parses_s3_with_and_without_prefix() {
         assert_eq!(
             StorageUri::parse("s3://my-bucket/jobs/run1").unwrap(),
-            StorageUri::S3 { bucket: "my-bucket".into(), prefix: "jobs/run1".into() }
+            StorageUri::S3 {
+                bucket: "my-bucket".into(),
+                prefix: "jobs/run1".into()
+            }
         );
         assert_eq!(
             StorageUri::parse("s3://my-bucket").unwrap(),
-            StorageUri::S3 { bucket: "my-bucket".into(), prefix: "".into() }
+            StorageUri::S3 {
+                bucket: "my-bucket".into(),
+                prefix: "".into()
+            }
         );
     }
 
@@ -143,19 +168,33 @@ mod tests {
     fn parses_hdfs_default_port() {
         assert_eq!(
             StorageUri::parse("hdfs://namenode/data").unwrap(),
-            StorageUri::Hdfs { host: "namenode".into(), port: 8020, path: "/data".into() }
+            StorageUri::Hdfs {
+                host: "namenode".into(),
+                port: 8020,
+                path: "/data".into()
+            }
         );
         assert_eq!(
             StorageUri::parse("hdfs://10.0.0.5:9000/omp").unwrap(),
-            StorageUri::Hdfs { host: "10.0.0.5".into(), port: 9000, path: "/omp".into() }
+            StorageUri::Hdfs {
+                host: "10.0.0.5".into(),
+                port: 9000,
+                path: "/omp".into()
+            }
         );
     }
 
     #[test]
     fn rejects_bad_uris() {
-        for bad in
-            ["http://x", "s3://", "s3://UPPER", "hdfs://", "hdfs://h:notaport/x", "azure://acct", ""]
-        {
+        for bad in [
+            "http://x",
+            "s3://",
+            "s3://UPPER",
+            "hdfs://",
+            "hdfs://h:notaport/x",
+            "azure://acct",
+            "",
+        ] {
             assert!(StorageUri::parse(bad).is_err(), "{bad}");
         }
     }
@@ -164,18 +203,33 @@ mod tests {
     fn parses_azure() {
         assert_eq!(
             StorageUri::parse("azure://myacct/jobs/run1").unwrap(),
-            StorageUri::Azure { account: "myacct".into(), container: "jobs".into(), prefix: "run1".into() }
+            StorageUri::Azure {
+                account: "myacct".into(),
+                container: "jobs".into(),
+                prefix: "run1".into()
+            }
         );
         assert_eq!(
-            StorageUri::parse("azure://myacct/jobs").unwrap().key_prefix(),
+            StorageUri::parse("azure://myacct/jobs")
+                .unwrap()
+                .key_prefix(),
             ""
         );
-        assert_eq!(StorageUri::parse("azure://a/c/p").unwrap().scheme(), "azure");
+        assert_eq!(
+            StorageUri::parse("azure://a/c/p").unwrap().scheme(),
+            "azure"
+        );
     }
 
     #[test]
     fn display_roundtrips() {
-        for s in ["s3://bkt/pre/fix", "s3://bkt", "hdfs://h:9000/p", "azure://a/c", "azure://a/c/p"] {
+        for s in [
+            "s3://bkt/pre/fix",
+            "s3://bkt",
+            "hdfs://h:9000/p",
+            "azure://a/c",
+            "azure://a/c/p",
+        ] {
             assert_eq!(StorageUri::parse(s).unwrap().to_string(), s);
         }
     }
@@ -183,6 +237,9 @@ mod tests {
     #[test]
     fn key_prefix_extraction() {
         assert_eq!(StorageUri::parse("s3://b/p/q").unwrap().key_prefix(), "p/q");
-        assert_eq!(StorageUri::parse("hdfs://h/omp/data").unwrap().key_prefix(), "omp/data");
+        assert_eq!(
+            StorageUri::parse("hdfs://h/omp/data").unwrap().key_prefix(),
+            "omp/data"
+        );
     }
 }

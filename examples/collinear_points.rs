@@ -23,10 +23,15 @@ fn main() {
     });
     let region = collinear::region(n, CloudRuntime::cloud_selector());
     let mut env = collinear::env(n, 7);
-    let profile = runtime.offload(&region, &mut env).expect("offload succeeds");
+    let profile = runtime
+        .offload(&region, &mut env)
+        .expect("offload succeeds");
     let cloud_counts = env.get::<u32>("count").expect("count").to_vec();
     let total: u32 = cloud_counts.iter().sum();
-    println!("cloud run on '{}': {} collinear triples (x3 counting)", profile.device, total);
+    println!(
+        "cloud run on '{}': {} collinear triples (x3 counting)",
+        profile.device, total
+    );
     println!("{profile}");
     runtime.shutdown();
 
@@ -39,7 +44,9 @@ fn main() {
         ..CloudConfig::default()
     });
     let mut env2 = collinear::env(n, 7);
-    let profile2 = offline.offload(&region, &mut env2).expect("fallback succeeds");
+    let profile2 = offline
+        .offload(&region, &mut env2)
+        .expect("fallback succeeds");
     println!("\noffline run executed on '{}' instead:", profile2.device);
     for note in &profile2.notes {
         println!("  note: {note}");

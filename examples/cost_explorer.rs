@@ -42,7 +42,10 @@ fn main() {
             intra_ratio: 0.75,
         }],
     };
-    println!("{:>7} {:>9} {:>12} {:>12} {:>10}", "cores", "workers", "wall time", "billed", "cost");
+    println!(
+        "{:>7} {:>9} {:>12} {:>12} {:>10}",
+        "cores", "workers", "wall time", "billed", "cost"
+    );
     println!("{}", "-".repeat(56));
     let mut best: Option<(usize, f64)> = None;
     for cores in [8usize, 16, 32, 64, 128, 256] {
@@ -59,7 +62,11 @@ fn main() {
 
         println!(
             "{:>7} {:>9} {:>10.1} m {:>10.0} h ${:>8.2}",
-            cores, workers, wall / 60.0, report.billable_hours, report.total_usd
+            cores,
+            workers,
+            wall / 60.0,
+            report.billable_hours,
+            report.total_usd
         );
         if best.map(|(_, c)| report.total_usd < c).unwrap_or(true) {
             best = Some((cores, report.total_usd));

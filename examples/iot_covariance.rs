@@ -28,12 +28,17 @@ fn main() {
     let region = covar::region(channels, samples, CloudRuntime::cloud_selector());
     let mut env = covar::env(channels, samples, DataKind::Sparse, 2024);
 
-    let profile = runtime.offload(&region, &mut env).expect("offload succeeds");
+    let profile = runtime
+        .offload(&region, &mut env)
+        .expect("offload succeeds");
     let report = runtime.cloud().last_report().expect("report");
 
     let cov = env.get::<f32>("cov").expect("cov");
     let mean = env.get::<f32>("mean").expect("mean");
-    println!("covariance matrix: {channels}x{channels}, mean[0..4] = {:?}", &mean[..4]);
+    println!(
+        "covariance matrix: {channels}x{channels}, mean[0..4] = {:?}",
+        &mean[..4]
+    );
     println!("variance of channel 0: {:.6}", cov[0]);
 
     println!("\n{profile}");
@@ -43,7 +48,10 @@ fn main() {
         report.upload.wire_bytes(),
         100.0 * report.upload.ratio()
     );
-    println!("two map-reduce stages ran: {:?} tiles", report.loops.iter().map(|l| l.tiles).collect::<Vec<_>>());
+    println!(
+        "two map-reduce stages ran: {:?} tiles",
+        report.loops.iter().map(|l| l.tiles).collect::<Vec<_>>()
+    );
 
     // Sanity: covariance matrix is symmetric.
     let n = channels;

@@ -20,20 +20,21 @@ fn scaled_syrk(device: DeviceSelector) -> TargetRegion {
         .map_to("coeffs") // [alpha, beta]: the swept parameter, 8 bytes
         .map_tofrom("C")
         .parallel_for(N, |l| {
-            l.partition("C", PartitionSpec::rows(N)).body(|i, ins, outs| {
-                let a = ins.view::<f32>("A");
-                let coeffs = ins.view::<f32>("coeffs");
-                let (alpha, beta) = (coeffs[0], coeffs[1]);
-                let c_in = ins.view::<f32>("C");
-                let mut c = outs.view_mut::<f32>("C");
-                for j in 0..N {
-                    let mut acc = 0.0f32;
-                    for k in 0..N {
-                        acc += a[i * N + k] * a[j * N + k];
+            l.partition("C", PartitionSpec::rows(N))
+                .body(|i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let coeffs = ins.view::<f32>("coeffs");
+                    let (alpha, beta) = (coeffs[0], coeffs[1]);
+                    let c_in = ins.view::<f32>("C");
+                    let mut c = outs.view_mut::<f32>("C");
+                    for j in 0..N {
+                        let mut acc = 0.0f32;
+                        for k in 0..N {
+                            acc += a[i * N + k] * a[j * N + k];
+                        }
+                        c[i * N + j] = alpha * acc + beta * c_in[i * N + j];
                     }
-                    c[i * N + j] = alpha * acc + beta * c_in[i * N + j];
-                }
-            })
+                })
         })
         .build()
         .expect("valid region")
@@ -52,8 +53,14 @@ fn main() {
     let a = matrix(N, N, DataKind::Dense, 42);
     let region = scaled_syrk(CloudRuntime::cloud_selector());
 
-    println!("sweeping alpha over a fixed {N}x{N} matrix ({} KiB):\n", N * N * 4 / 1024);
-    println!("{:>6} {:>14} {:>14} {:>10}", "alpha", "uploaded B", "cache hits", "C[0][0]");
+    println!(
+        "sweeping alpha over a fixed {N}x{N} matrix ({} KiB):\n",
+        N * N * 4 / 1024
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "alpha", "uploaded B", "cache hits", "C[0][0]"
+    );
     for step in 0..5 {
         let alpha = 1.0 + step as f32 * 0.5;
         let mut env = DataEnv::new();
@@ -61,7 +68,9 @@ fn main() {
         env.insert("coeffs", vec![alpha, 0.0f32]); // changes every step
         env.insert("C", vec![0.0f32; N * N]); // unchanged initial value
 
-        runtime.offload(&region, &mut env).expect("offload succeeds");
+        runtime
+            .offload(&region, &mut env)
+            .expect("offload succeeds");
         let report = runtime.cloud().last_report().expect("report");
         let (hits, _) = runtime.cloud().cache_stats();
         println!(

@@ -71,11 +71,19 @@ fn main() {
 
     // Host data: the program's ordinary arrays.
     let mut env = DataEnv::new();
-    env.insert("A", ompcloud_suite::kernels::matrix(N, N, ompcloud_suite::kernels::DataKind::Dense, 1));
-    env.insert("B", ompcloud_suite::kernels::matrix(N, N, ompcloud_suite::kernels::DataKind::Dense, 2));
+    env.insert(
+        "A",
+        ompcloud_suite::kernels::matrix(N, N, ompcloud_suite::kernels::DataKind::Dense, 1),
+    );
+    env.insert(
+        "B",
+        ompcloud_suite::kernels::matrix(N, N, ompcloud_suite::kernels::DataKind::Dense, 2),
+    );
     env.insert("C", vec![0.0f32; N * N]);
 
-    let profile = runtime.offload(&region, &mut env).expect("offload succeeds");
+    let profile = runtime
+        .offload(&region, &mut env)
+        .expect("offload succeeds");
 
     // The resulting matrix C is available locally (Listing 1, line 13).
     let c = env.get::<f32>("C").expect("C present");

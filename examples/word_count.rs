@@ -27,12 +27,20 @@ fn main() {
     let lines: Vec<String> = TEXT.lines().map(str::to_string).collect();
     let words = sc
         .parallelize(lines, 8)
-        .flat_map(|line| line.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+        .flat_map(|line| {
+            line.split_whitespace()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
         .map(|w| (w, 1u64));
 
     // Kill an executor mid-computation: lineage recomputes its tasks.
     sc.kill_executor(0);
-    let mut counts = words.reduce_by_key(4, |a, b| a + b).expect("shuffle").collect().expect("collect");
+    let mut counts = words
+        .reduce_by_key(4, |a, b| a + b)
+        .expect("shuffle")
+        .collect()
+        .expect("collect");
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     println!("top words (computed with executor 0 dead):");

@@ -23,7 +23,9 @@ impl Default for Criterion {
     fn default() -> Self {
         // Small budget: keeps the full bench suite runnable in seconds,
         // which matters because `cargo test` runs harness=false benches.
-        Criterion { budget: Duration::from_millis(40) }
+        Criterion {
+            budget: Duration::from_millis(40),
+        }
     }
 }
 
@@ -32,7 +34,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group {name}");
-        BenchmarkGroup { criterion: self, name, throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
     }
 }
 
@@ -54,12 +60,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Function + parameter form: `new("merge", 64)`.
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
     }
 
     /// Parameter-only form used inside a named group.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -105,7 +115,11 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO, budget: self.criterion.budget };
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: self.criterion.budget,
+        };
         f(&mut bencher);
         self.report(&id, &bencher);
         self
@@ -122,7 +136,11 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO, budget: self.criterion.budget };
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: self.criterion.budget,
+        };
         f(&mut bencher, input);
         self.report(&id, &bencher);
         self
@@ -226,7 +244,9 @@ mod tests {
 
     #[test]
     fn runs_a_group() {
-        let mut criterion = Criterion { budget: Duration::from_millis(2) };
+        let mut criterion = Criterion {
+            budget: Duration::from_millis(2),
+        };
         trivial(&mut criterion);
     }
 

@@ -65,6 +65,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -73,7 +82,12 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -93,7 +107,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.senders.fetch_add(1, Ordering::AcqRel);
-            Sender { shared: Arc::clone(&self.shared) }
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -118,11 +134,35 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
+                q = self.shared.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Block until a message arrives, every sender is dropped, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, timed_out) = self
                     .shared
                     .ready
-                    .wait(q)
+                    .wait_timeout(q, left)
                     .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+                if timed_out.timed_out() && q.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -148,7 +188,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.receivers.fetch_add(1, Ordering::AcqRel);
-            Receiver { shared: Arc::clone(&self.shared) }
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -251,6 +293,24 @@ pub mod channel {
             tx.send(2).unwrap();
             drop(tx);
             assert_eq!(rx.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded();
+            let t0 = std::time::Instant::now();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

@@ -19,7 +19,9 @@ pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 impl<T> Mutex<T> {
     /// Create a mutex holding `value`.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
@@ -72,7 +74,9 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 impl<T> RwLock<T> {
     /// Create an rwlock holding `value`.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
@@ -102,6 +106,19 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Outcome of a [`Condvar::wait_for`]: whether the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable usable with [`Mutex`] guards.
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -111,7 +128,9 @@ pub struct Condvar {
 impl Condvar {
     /// Create a condition variable.
     pub const fn new() -> Condvar {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     /// Block until notified, atomically releasing the guard's lock.
@@ -122,6 +141,28 @@ impl Condvar {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         });
+    }
+
+    /// Block until notified or `timeout` elapses, atomically releasing
+    /// the guard's lock. Returns whether the wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_mut(guard, |g| match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => {
+                timed_out = res.timed_out();
+                g
+            }
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                timed_out = res.timed_out();
+                g
+            }
+        });
+        WaitTimeoutResult { timed_out }
     }
 
     /// Wake one waiter.
@@ -178,6 +219,17 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let t0 = std::time::Instant::now();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
     }
 
     #[test]

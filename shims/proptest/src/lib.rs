@@ -40,7 +40,9 @@ pub mod test_runner {
     impl TestRng {
         /// Fixed-seed generator: every run replays the same cases.
         pub fn deterministic() -> Self {
-            TestRng { state: 0x9E3779B97F4A7C15 }
+            TestRng {
+                state: 0x9E3779B97F4A7C15,
+            }
         }
 
         /// Next 64 uniform random bits.
@@ -192,7 +194,9 @@ pub mod arbitrary {
 
     /// Strategy generating arbitrary values of `T`.
     pub fn any<T>() -> Any<T> {
-        Any { _marker: std::marker::PhantomData }
+        Any {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -212,14 +216,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { start: n, end: n + 1 }
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { start: r.start, end: r.end }
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
         }
     }
 
@@ -231,7 +241,10 @@ pub mod collection {
 
     /// Vectors of values from `element`, sized within `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -128,7 +128,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+            StdRng {
+                state: seed.wrapping_add(0x9E3779B97F4A7C15),
+            }
         }
     }
 

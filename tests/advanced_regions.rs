@@ -61,19 +61,20 @@ fn nested_parallelism_inside_the_kernel_body() {
         .map_to("x")
         .map_from("y")
         .parallel_for(n, move |l| {
-            l.partition("y", PartitionSpec::rows(1)).body(move |i, ins, outs| {
-                let x = ins.view::<f64>("x");
-                // Inner `parallel for reduction(+: acc)` on 2 threads.
-                let acc = omp_parfor::parallel_reduce(
-                    2,
-                    m,
-                    omp_parfor::Schedule::default(),
-                    0.0f64,
-                    |j| x[i * m + j] * x[i * m + j],
-                    |a, b| a + b,
-                );
-                outs.view_mut::<f64>("y")[i] = acc;
-            })
+            l.partition("y", PartitionSpec::rows(1))
+                .body(move |i, ins, outs| {
+                    let x = ins.view::<f64>("x");
+                    // Inner `parallel for reduction(+: acc)` on 2 threads.
+                    let acc = omp_parfor::parallel_reduce(
+                        2,
+                        m,
+                        omp_parfor::Schedule::default(),
+                        0.0f64,
+                        |j| x[i * m + j] * x[i * m + j],
+                        |a, b| a + b,
+                    );
+                    outs.view_mut::<f64>("y")[i] = acc;
+                })
         })
         .build()
         .unwrap();
@@ -115,7 +116,10 @@ fn mixed_element_types_in_one_region() {
         .unwrap();
     let mut env = DataEnv::new();
     env.insert("floats", (0..n).map(|i| i as f64).collect::<Vec<_>>());
-    env.insert("flags", (0..n).map(|i| (i % 3 == 0) as u8).collect::<Vec<_>>());
+    env.insert(
+        "flags",
+        (0..n).map(|i| (i % 3 == 0) as u8).collect::<Vec<_>>(),
+    );
     env.insert("counts", vec![0u32; n]);
     env.insert("sums", vec![0.0f64; n]);
     rt.offload(&region, &mut env).unwrap();
@@ -147,7 +151,10 @@ fn tiling_caps_task_count_at_cluster_slots() {
     let mut env = DataEnv::new();
     env.insert("y", vec![0u32; n]);
     let profile = rt.offload(&region, &mut env).unwrap();
-    assert_eq!(profile.tasks, 4, "one JNI-style call per slot, not per iteration");
+    assert_eq!(
+        profile.tasks, 4,
+        "one JNI-style call per slot, not per iteration"
+    );
     let y = env.get::<u32>("y").unwrap();
     assert!(y.iter().enumerate().all(|(i, &v)| v == (i * 3) as u32));
     rt.shutdown();
@@ -179,7 +186,10 @@ fn reduction_and_partitioned_output_together() {
     env.insert("y", vec![0i64; n]);
     env.insert("total", vec![1000i64]);
     rt.offload(&region, &mut env).unwrap();
-    assert_eq!(env.get::<i64>("total").unwrap()[0], 1000 + (n as i64 - 1) * n as i64 / 2);
+    assert_eq!(
+        env.get::<i64>("total").unwrap()[0],
+        1000 + (n as i64 - 1) * n as i64 / 2
+    );
     assert_eq!(env.get::<i64>("y").unwrap()[3], -3);
     rt.shutdown();
 }

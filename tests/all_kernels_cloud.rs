@@ -22,22 +22,39 @@ fn check(id: BenchId, n: usize, kind: DataKind, runtime: &CloudRuntime) {
     let mut host_case = kernels::build(id, n, kind, 99, DeviceSelector::Default);
     let host_registry = DeviceRegistry::with_host_only();
 
-    runtime.offload(&cloud_case.region, &mut cloud_case.env).unwrap_or_else(|e| {
-        panic!("{} cloud offload failed: {e}", id.name());
-    });
-    host_registry.offload(&host_case.region, &mut host_case.env).unwrap();
+    runtime
+        .offload(&cloud_case.region, &mut cloud_case.env)
+        .unwrap_or_else(|e| {
+            panic!("{} cloud offload failed: {e}", id.name());
+        });
+    host_registry
+        .offload(&host_case.region, &mut host_case.env)
+        .unwrap();
 
     for var in cloud_case.outputs {
         let got = cloud_case.env.get_erased(var).unwrap();
         let expected = host_case.env.get_erased(var).unwrap();
-        assert_eq!(got, expected, "{} output '{var}' ({})", id.name(), kind.label());
+        assert_eq!(
+            got,
+            expected,
+            "{} output '{var}' ({})",
+            id.name(),
+            kind.label()
+        );
     }
 }
 
 #[test]
 fn polybench_kernels_dense() {
     let runtime = cloud();
-    for id in [BenchId::Syrk, BenchId::Syr2k, BenchId::Covar, BenchId::Gemm, BenchId::TwoMm, BenchId::ThreeMm] {
+    for id in [
+        BenchId::Syrk,
+        BenchId::Syr2k,
+        BenchId::Covar,
+        BenchId::Gemm,
+        BenchId::TwoMm,
+        BenchId::ThreeMm,
+    ] {
         check(id, 20, DataKind::Dense, &runtime);
     }
     runtime.shutdown();
@@ -46,7 +63,14 @@ fn polybench_kernels_dense() {
 #[test]
 fn polybench_kernels_sparse() {
     let runtime = cloud();
-    for id in [BenchId::Syrk, BenchId::Syr2k, BenchId::Covar, BenchId::Gemm, BenchId::TwoMm, BenchId::ThreeMm] {
+    for id in [
+        BenchId::Syrk,
+        BenchId::Syr2k,
+        BenchId::Covar,
+        BenchId::Gemm,
+        BenchId::TwoMm,
+        BenchId::ThreeMm,
+    ] {
         check(id, 20, DataKind::Sparse, &runtime);
     }
     runtime.shutdown();
@@ -68,7 +92,13 @@ fn kernels_match_handwritten_references() {
     let n = 16;
     let registry = DeviceRegistry::with_host_only();
 
-    let mut gemm_case = kernels::build(BenchId::Gemm, n, DataKind::Dense, 5, DeviceSelector::Default);
+    let mut gemm_case = kernels::build(
+        BenchId::Gemm,
+        n,
+        DataKind::Dense,
+        5,
+        DeviceSelector::Default,
+    );
     let mut expected = gemm_case.env.get::<f32>("C").unwrap().to_vec();
     kernels::gemm::sequential(
         n,
@@ -76,14 +106,34 @@ fn kernels_match_handwritten_references() {
         gemm_case.env.get::<f32>("B").unwrap(),
         &mut expected,
     );
-    registry.offload(&gemm_case.region, &mut gemm_case.env).unwrap();
-    kernels::assert_close(gemm_case.env.get::<f32>("C").unwrap(), &expected, 1e-3, "gemm");
+    registry
+        .offload(&gemm_case.region, &mut gemm_case.env)
+        .unwrap();
+    kernels::assert_close(
+        gemm_case.env.get::<f32>("C").unwrap(),
+        &expected,
+        1e-3,
+        "gemm",
+    );
 
-    let mut syrk_case = kernels::build(BenchId::Syrk, n, DataKind::Dense, 5, DeviceSelector::Default);
+    let mut syrk_case = kernels::build(
+        BenchId::Syrk,
+        n,
+        DataKind::Dense,
+        5,
+        DeviceSelector::Default,
+    );
     let mut expected = syrk_case.env.get::<f32>("C").unwrap().to_vec();
     kernels::syrk::sequential(n, syrk_case.env.get::<f32>("A").unwrap(), &mut expected);
-    registry.offload(&syrk_case.region, &mut syrk_case.env).unwrap();
-    kernels::assert_close(syrk_case.env.get::<f32>("C").unwrap(), &expected, 1e-3, "syrk");
+    registry
+        .offload(&syrk_case.region, &mut syrk_case.env)
+        .unwrap();
+    kernels::assert_close(
+        syrk_case.env.get::<f32>("C").unwrap(),
+        &expected,
+        1e-3,
+        "syrk",
+    );
 }
 
 #[test]
@@ -98,8 +148,13 @@ fn different_cluster_shapes_same_results() {
             task_cpus: 2,
             ..CloudConfig::default()
         });
-        let mut case =
-            kernels::build(BenchId::Gemm, 24, DataKind::Dense, 42, CloudRuntime::cloud_selector());
+        let mut case = kernels::build(
+            BenchId::Gemm,
+            24,
+            DataKind::Dense,
+            42,
+            CloudRuntime::cloud_selector(),
+        );
         runtime.offload(&case.region, &mut case.env).unwrap();
         let c = case.env.get::<f32>("C").unwrap().to_vec();
         match &reference {

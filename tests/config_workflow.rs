@@ -18,8 +18,13 @@ fn config_file_selects_storage_backend() {
         ))
         .unwrap();
         let runtime = CloudRuntime::new(config);
-        let mut case =
-            kernels::build(BenchId::MatMul, 12, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+        let mut case = kernels::build(
+            BenchId::MatMul,
+            12,
+            DataKind::Dense,
+            1,
+            CloudRuntime::cloud_selector(),
+        );
         runtime.offload(&case.region, &mut case.env).unwrap();
         assert_eq!(runtime.cloud().store().kind(), expected_kind);
         runtime.shutdown();
@@ -44,7 +49,8 @@ fn config_file_from_disk() {
 
 #[test]
 fn missing_config_file_is_a_clean_error() {
-    let err = CloudConfig::from_file(std::path::Path::new("/nonexistent/ompcloud.conf")).unwrap_err();
+    let err =
+        CloudConfig::from_file(std::path::Path::new("/nonexistent/ompcloud.conf")).unwrap_err();
     assert!(matches!(err, OmpError::Plugin { .. }));
 }
 
@@ -89,7 +95,13 @@ fn global_api_surface() {
     assert!(!api::omp_is_initial_device(id));
 
     // And offload through the global entry point.
-    let mut case = kernels::build(BenchId::MatMul, 8, DataKind::Dense, 1, DeviceSelector::Id(id));
+    let mut case = kernels::build(
+        BenchId::MatMul,
+        8,
+        DataKind::Dense,
+        1,
+        DeviceSelector::Id(id),
+    );
     let profile = api::tgt_target(&case.region, &mut case.env).unwrap();
     assert!(profile.device.starts_with("cloud"));
 }

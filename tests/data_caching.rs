@@ -20,15 +20,30 @@ fn cached_runtime() -> CloudRuntime {
 fn second_offload_of_same_inputs_skips_upload() {
     let runtime = cached_runtime();
 
-    let mut case1 = kernels::build(BenchId::Gemm, 16, DataKind::Dense, 9, CloudRuntime::cloud_selector());
+    let mut case1 = kernels::build(
+        BenchId::Gemm,
+        16,
+        DataKind::Dense,
+        9,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case1.region, &mut case1.env).unwrap();
     let first = runtime.cloud().last_report().unwrap();
-    assert!(first.upload.wire_bytes() > 0, "first offload uploads everything");
+    assert!(
+        first.upload.wire_bytes() > 0,
+        "first offload uploads everything"
+    );
 
     // A fresh case with the same seed regenerates identical A, B and the
     // same *initial* C, so all three inputs hit the cache and nothing is
     // uploaded at all.
-    let mut case2 = kernels::build(BenchId::Gemm, 16, DataKind::Dense, 9, CloudRuntime::cloud_selector());
+    let mut case2 = kernels::build(
+        BenchId::Gemm,
+        16,
+        DataKind::Dense,
+        9,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case2.region, &mut case2.env).unwrap();
     let second = runtime.cloud().last_report().unwrap();
     assert_eq!(second.upload.wire_bytes(), 0, "everything cached");
@@ -41,7 +56,10 @@ fn second_offload_of_same_inputs_skips_upload() {
     assert_eq!(hits, 3, "A, B and the initial C hit");
 
     // Results identical both times.
-    assert_eq!(case1.env.get::<f32>("C").unwrap(), case2.env.get::<f32>("C").unwrap());
+    assert_eq!(
+        case1.env.get::<f32>("C").unwrap(),
+        case2.env.get::<f32>("C").unwrap()
+    );
     runtime.shutdown();
 }
 
@@ -50,7 +68,13 @@ fn changed_input_invalidates_and_recomputes() {
     let runtime = cached_runtime();
     let n = 12;
 
-    let mut case = kernels::build(BenchId::MatMul, n, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::MatMul,
+        n,
+        DataKind::Dense,
+        1,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case.region, &mut case.env).unwrap();
     let c_before = case.env.get::<f32>("C").unwrap().to_vec();
 
@@ -71,9 +95,95 @@ fn changed_input_invalidates_and_recomputes() {
     });
     let mut ref_env = kernels::matmul::env(n, DataKind::Dense, 1);
     ref_env.get_mut::<f32>("A").unwrap()[0] += 1000.0;
-    plain.offload(&kernels::matmul::region(n, CloudRuntime::cloud_selector()), &mut ref_env).unwrap();
+    plain
+        .offload(
+            &kernels::matmul::region(n, CloudRuntime::cloud_selector()),
+            &mut ref_env,
+        )
+        .unwrap();
     assert_eq!(c_after, ref_env.get::<f32>("C").unwrap());
     plain.shutdown();
+    runtime.shutdown();
+}
+
+#[test]
+fn mutating_one_buffer_reuploads_only_that_buffer() {
+    // Invalidation granularity, observed as storage traffic: an
+    // iterative region with two inputs where only one is mutated between
+    // offloads must re-upload exactly that buffer. The LatencyStore op
+    // counters see every put/get crossing the "WAN".
+    use ompcloud_suite::cloud_storage::{LatencyStore, S3Store, StoreHandle};
+    use ompcloud_suite::ompcloud::CloudDevice;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let store = Arc::new(LatencyStore::new(
+        Arc::new(S3Store::standalone("counted")),
+        Duration::ZERO,
+    ));
+    let handle: StoreHandle = store.clone();
+    let config = CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        data_caching: true,
+        min_compression_size: 64,
+        ..CloudConfig::default()
+    };
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(config, handle));
+
+    let region = || {
+        TargetRegion::builder("saxpy2")
+            .device(CloudRuntime::cloud_selector())
+            .map_to("x")
+            .map_to("y")
+            .map_from("out")
+            .parallel_for(64, |l| {
+                l.partition("out", PartitionSpec::rows(1))
+                    .body(|i, ins, outs| {
+                        outs.view_mut::<f32>("out")[i] =
+                            ins.view::<f32>("x")[i] + ins.view::<f32>("y")[i];
+                    })
+            })
+            .build()
+            .unwrap()
+    };
+    let env_with = |bump: f32| {
+        let mut env = DataEnv::new();
+        env.insert("x", (0..64).map(|i| i as f32).collect::<Vec<_>>());
+        env.insert(
+            "y",
+            (0..64).map(|i| i as f32 * 2.0 + bump).collect::<Vec<_>>(),
+        );
+        env.insert("out", vec![0.0f32; 64]);
+        env
+    };
+
+    // First offload stages both inputs.
+    let mut env = env_with(0.0);
+    runtime.offload(&region(), &mut env).unwrap();
+
+    // Unchanged rerun: both inputs hit the cache; only the output put
+    // remains.
+    store.reset_counts();
+    let mut env = env_with(0.0);
+    runtime.offload(&region(), &mut env).unwrap();
+    let unchanged_puts = store.put_count();
+
+    // Mutate y only: exactly one additional put (y's re-upload); x still
+    // rides its cached object.
+    store.reset_counts();
+    let mut env = env_with(5.0);
+    runtime.offload(&region(), &mut env).unwrap();
+    assert_eq!(
+        store.put_count(),
+        unchanged_puts + 1,
+        "only the mutated buffer may cross the wire again"
+    );
+    assert_eq!(env.get::<f32>("out").unwrap()[3], 3.0 + (6.0 + 5.0));
+    // Cache hits are still *read* from storage each offload — the cache
+    // saves uploads, not driver fetches.
+    assert!(store.get_count() >= 2, "driver fetches every input");
     runtime.shutdown();
 }
 
@@ -86,8 +196,13 @@ fn caching_off_by_default_never_hits() {
         ..CloudConfig::default()
     });
     for _ in 0..2 {
-        let mut case =
-            kernels::build(BenchId::MatMul, 8, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+        let mut case = kernels::build(
+            BenchId::MatMul,
+            8,
+            DataKind::Dense,
+            1,
+            CloudRuntime::cloud_selector(),
+        );
         runtime.offload(&case.region, &mut case.env).unwrap();
     }
     assert_eq!(runtime.cloud().cache_stats(), (0, 0));
@@ -97,15 +212,31 @@ fn caching_off_by_default_never_hits() {
 #[test]
 fn clear_cache_forces_full_upload() {
     let runtime = cached_runtime();
-    let mut case = kernels::build(BenchId::MatMul, 12, DataKind::Dense, 2, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::MatMul,
+        12,
+        DataKind::Dense,
+        2,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case.region, &mut case.env).unwrap();
     runtime.cloud().clear_upload_cache();
 
-    let mut case2 = kernels::build(BenchId::MatMul, 12, DataKind::Dense, 2, CloudRuntime::cloud_selector());
+    let mut case2 = kernels::build(
+        BenchId::MatMul,
+        12,
+        DataKind::Dense,
+        2,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case2.region, &mut case2.env).unwrap();
     let report = runtime.cloud().last_report().unwrap();
     assert!(
-        !report.profile.notes.iter().any(|n| n.contains("data caching")),
+        !report
+            .profile
+            .notes
+            .iter()
+            .any(|n| n.contains("data caching")),
         "no hits after clear"
     );
     runtime.shutdown();

@@ -39,7 +39,8 @@ fn bitor_output_same_with_and_without_distributed_reduce() {
         let mut env = DataEnv::new();
         env.insert("x", (0..n).map(|i| i as f32).collect::<Vec<_>>());
         env.insert("y", vec![0.0f32; n]);
-        rt.offload(&region(CloudRuntime::cloud_selector()), &mut env).unwrap();
+        rt.offload(&region(CloudRuntime::cloud_selector()), &mut env)
+            .unwrap();
         results.push(env.get::<f32>("y").unwrap().to_vec());
         rt.shutdown();
     }
@@ -71,8 +72,13 @@ fn reduction_var_same_with_and_without_distributed_reduce() {
         let mut env = DataEnv::new();
         env.insert("x", (0..n as i64).collect::<Vec<_>>());
         env.insert("s", vec![500i64]);
-        rt.offload(&region(CloudRuntime::cloud_selector()), &mut env).unwrap();
-        assert_eq!(env.get::<i64>("s").unwrap()[0], expected, "distributed={distributed}");
+        rt.offload(&region(CloudRuntime::cloud_selector()), &mut env)
+            .unwrap();
+        assert_eq!(
+            env.get::<i64>("s").unwrap()[0],
+            expected,
+            "distributed={distributed}"
+        );
         rt.shutdown();
     }
 }

@@ -49,16 +49,31 @@ fn atax_per_loop_partitioning_switches_broadcast() {
     // (column access) — observable in the per-loop report.
     let rt = runtime();
     let n = 16;
-    let (region, mut env, _) =
-        extended::build_extra(ExtraBench::Atax, n, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    let (region, mut env, _) = extended::build_extra(
+        ExtraBench::Atax,
+        n,
+        DataKind::Dense,
+        1,
+        CloudRuntime::cloud_selector(),
+    );
     rt.offload(&region, &mut env).unwrap();
     let report = rt.cloud().last_report().unwrap();
     assert_eq!(report.loops.len(), 2);
     let mat = (n * n * 4) as u64;
     let vec_bytes = (n * 4) as u64;
-    assert_eq!(report.loops[0].scatter_bytes, mat + vec_bytes, "loop 1 scatters A and tmp");
-    assert!(report.loops[0].broadcast.bytes < mat, "loop 1 broadcasts only x");
-    assert!(report.loops[1].broadcast.bytes >= mat, "loop 2 broadcasts A whole");
+    assert_eq!(
+        report.loops[0].scatter_bytes,
+        mat + vec_bytes,
+        "loop 1 scatters A and tmp"
+    );
+    assert!(
+        report.loops[0].broadcast.bytes < mat,
+        "loop 1 broadcasts only x"
+    );
+    assert!(
+        report.loops[1].broadcast.bytes >= mat,
+        "loop 2 broadcasts A whole"
+    );
     assert_eq!(report.loops[1].scatter_bytes, 0);
     rt.shutdown();
 }
@@ -67,8 +82,13 @@ fn atax_per_loop_partitioning_switches_broadcast() {
 fn gesummv_handwritten_reference() {
     let n = 20;
     let rt = runtime();
-    let (region, mut env, _) =
-        extended::build_extra(ExtraBench::Gesummv, n, DataKind::Dense, 9, CloudRuntime::cloud_selector());
+    let (region, mut env, _) = extended::build_extra(
+        ExtraBench::Gesummv,
+        n,
+        DataKind::Dense,
+        9,
+        CloudRuntime::cloud_selector(),
+    );
     let mut expected = vec![0.0f32; n];
     extended::gesummv_sequential(
         n,
@@ -78,6 +98,11 @@ fn gesummv_handwritten_reference() {
         &mut expected,
     );
     rt.offload(&region, &mut env).unwrap();
-    ompcloud_suite::kernels::assert_close(env.get::<f32>("y").unwrap(), &expected, 1e-3, "gesummv cloud");
+    ompcloud_suite::kernels::assert_close(
+        env.get::<f32>("y").unwrap(),
+        &expected,
+        1e-3,
+        "gesummv cloud",
+    );
     rt.shutdown();
 }

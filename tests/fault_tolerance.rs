@@ -10,7 +10,12 @@ use std::sync::Arc;
 
 #[test]
 fn gemm_survives_transient_storage_faults() {
-    let config = CloudConfig { workers: 2, vcpus_per_worker: 4, task_cpus: 2, ..CloudConfig::default() };
+    let config = CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        ..CloudConfig::default()
+    };
     let store = ompcloud_suite::cloud_storage::S3Store::standalone("faulty");
     let device = CloudDevice::with_store(config, Arc::new(store.clone()));
     let runtime = CloudRuntime::with_device(device);
@@ -18,9 +23,23 @@ fn gemm_survives_transient_storage_faults() {
     // Two injected transient faults: the transfer manager retries.
     store.service().inject_transient_faults(2);
 
-    let mut case = kernels::build(BenchId::Gemm, 16, DataKind::Dense, 3, CloudRuntime::cloud_selector());
-    let mut reference = kernels::build(BenchId::Gemm, 16, DataKind::Dense, 3, DeviceSelector::Default);
-    DeviceRegistry::with_host_only().offload(&reference.region, &mut reference.env).unwrap();
+    let mut case = kernels::build(
+        BenchId::Gemm,
+        16,
+        DataKind::Dense,
+        3,
+        CloudRuntime::cloud_selector(),
+    );
+    let mut reference = kernels::build(
+        BenchId::Gemm,
+        16,
+        DataKind::Dense,
+        3,
+        DeviceSelector::Default,
+    );
+    DeviceRegistry::with_host_only()
+        .offload(&reference.region, &mut reference.env)
+        .unwrap();
 
     runtime.offload(&case.region, &mut case.env).unwrap();
     assert_eq!(
@@ -40,14 +59,26 @@ fn offload_through_hdfs_survives_datanode_loss() {
     let device = CloudDevice::with_store(config, StoreHandle::from(hdfs.clone() as Arc<_>));
     let runtime = CloudRuntime::with_device(device);
 
-    let mut case = kernels::build(BenchId::MatMul, 16, DataKind::Sparse, 8, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::MatMul,
+        16,
+        DataKind::Sparse,
+        8,
+        CloudRuntime::cloud_selector(),
+    );
     // First offload populates blocks across datanodes.
     runtime.offload(&case.region, &mut case.env).unwrap();
     let first = case.env.get::<f32>("C").unwrap().to_vec();
 
     // Kill one datanode; replication 2 keeps every block readable.
     hdfs.kill_datanode(0);
-    let mut case2 = kernels::build(BenchId::MatMul, 16, DataKind::Sparse, 8, CloudRuntime::cloud_selector());
+    let mut case2 = kernels::build(
+        BenchId::MatMul,
+        16,
+        DataKind::Sparse,
+        8,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case2.region, &mut case2.env).unwrap();
     assert_eq!(case2.env.get::<f32>("C").unwrap(), first.as_slice());
     runtime.shutdown();
@@ -82,7 +113,13 @@ fn kernel_panic_fails_the_offload_not_the_process() {
     let err = runtime.offload(&region, &mut env).unwrap_err();
     assert!(matches!(err, OmpError::Plugin { .. }), "{err:?}");
     // The runtime stays usable for the next region.
-    let mut case = kernels::build(BenchId::MatMul, 12, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::MatMul,
+        12,
+        DataKind::Dense,
+        1,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case.region, &mut case.env).unwrap();
     runtime.shutdown();
 }
@@ -116,6 +153,12 @@ fn storage_corruption_is_detected_not_propagated() {
     frame[mid] ^= 0x55;
     store.put("k", frame).unwrap();
     let err = tm.download(vec!["k".into()]).unwrap_err();
-    assert!(matches!(err, ompcloud_suite::cloud_storage::StorageError::Corrupted(_)), "{err:?}");
+    assert!(
+        matches!(
+            err,
+            ompcloud_suite::cloud_storage::StorageError::Corrupted(_)
+        ),
+        "{err:?}"
+    );
     device.shutdown();
 }

@@ -43,7 +43,10 @@ fn figure3_walkthrough_sixteen_iterations() {
 
     let mut env = DataEnv::new();
     env.insert("A", (0..n * n).map(|i| (i % 9) as f32).collect::<Vec<_>>());
-    env.insert("B", (0..n * n).map(|i| ((i * 5) % 7) as f32).collect::<Vec<_>>());
+    env.insert(
+        "B",
+        (0..n * n).map(|i| ((i * 5) % 7) as f32).collect::<Vec<_>>(),
+    );
     env.insert("C", vec![0.0f32; n * n]);
 
     let profile = runtime.offload(&region, &mut env).unwrap();
@@ -89,7 +92,10 @@ fn profile_has_three_way_decomposition() {
         CloudRuntime::cloud_selector(),
     );
     let profile = runtime.offload(&case.region, &mut case.env).unwrap();
-    assert!(profile.host_comm_s > 0.0, "host-target communication measured");
+    assert!(
+        profile.host_comm_s > 0.0,
+        "host-target communication measured"
+    );
     assert!(profile.compute_s > 0.0, "computation measured");
     assert!(profile.total_s() >= profile.device_s());
     assert!(profile.bytes_to_device > 0 && profile.bytes_from_device > 0);
@@ -106,7 +112,10 @@ fn registry_exposes_devices_like_libomptarget() {
         ..CloudConfig::default()
     });
     let registry = runtime.registry();
-    assert!(registry.num_devices() >= 3, "host-seq, host-threaded, cloud");
+    assert!(
+        registry.num_devices() >= 3,
+        "host-seq, host-threaded, cloud"
+    );
     let (id, dev) = registry.resolve(CloudRuntime::cloud_selector()).unwrap();
     assert_eq!(id, runtime.cloud_device_id());
     assert_eq!(dev.kind(), DeviceKind::Cloud);

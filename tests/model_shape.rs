@@ -11,13 +11,7 @@ fn plan(id: BenchId, kind: DataKind) -> ompcloud_suite::cloudsim::model::JobPlan
     // analytically through derive_plan on a scaled-down env and then
     // scale byte/flop counts — simpler: small env, same structure.
     let n = 64;
-    let case = ompcloud_suite::kernels::build(
-        id,
-        n,
-        kind,
-        1,
-        omp_model::DeviceSelector::Default,
-    );
+    let case = ompcloud_suite::kernels::build(id, n, kind, 1, omp_model::DeviceSelector::Default);
     let ratios = match kind {
         DataKind::Dense => ompcloud_suite::ompcloud::PlanRatios::dense(),
         DataKind::Sparse => ompcloud_suite::ompcloud::PlanRatios::sparse(),
@@ -79,8 +73,16 @@ fn overheads_constant_while_computation_shrinks() {
         let p = plan(id, DataKind::Dense);
         let b8 = model.breakdown(&p, 8);
         let b256 = model.breakdown(&p, 256);
-        assert!(b256.compute_s < b8.compute_s / 10.0, "{}: computation must shrink", id.name());
-        assert!((b8.host_comm_s - b256.host_comm_s).abs() < 1e-6, "{}", id.name());
+        assert!(
+            b256.compute_s < b8.compute_s / 10.0,
+            "{}: computation must shrink",
+            id.name()
+        );
+        assert!(
+            (b8.host_comm_s - b256.host_comm_s).abs() < 1e-6,
+            "{}",
+            id.name()
+        );
         // Spark overhead may drift (dispatch scales with tasks) but stays
         // the same order of magnitude.
         assert!(
@@ -130,12 +132,13 @@ fn host_comm_is_a_small_share_of_the_total() {
 fn functional_and_model_plans_agree_on_structure() {
     // derive_plan must classify broadcast/scatter exactly as the
     // functional engine does at runtime.
-    let runtime = ompcloud_suite::ompcloud::CloudRuntime::new(ompcloud_suite::ompcloud::CloudConfig {
-        workers: 2,
-        vcpus_per_worker: 4,
-        task_cpus: 2,
-        ..Default::default()
-    });
+    let runtime =
+        ompcloud_suite::ompcloud::CloudRuntime::new(ompcloud_suite::ompcloud::CloudConfig {
+            workers: 2,
+            vcpus_per_worker: 4,
+            task_cpus: 2,
+            ..Default::default()
+        });
     for &id in ALL {
         let mut case = ompcloud_suite::kernels::build(
             id,
@@ -154,8 +157,18 @@ fn functional_and_model_plans_agree_on_structure() {
         let report = runtime.cloud().last_report().unwrap();
         assert_eq!(report.loops.len(), derived.stages.len(), "{}", id.name());
         for (loop_stats, stage) in report.loops.iter().zip(&derived.stages) {
-            assert_eq!(loop_stats.broadcast.bytes, stage.broadcast_raw, "{} broadcast", id.name());
-            assert_eq!(loop_stats.scatter_bytes, stage.scatter_raw, "{} scatter", id.name());
+            assert_eq!(
+                loop_stats.broadcast.bytes,
+                stage.broadcast_raw,
+                "{} broadcast",
+                id.name()
+            );
+            assert_eq!(
+                loop_stats.scatter_bytes,
+                stage.scatter_raw,
+                "{} scatter",
+                id.name()
+            );
         }
     }
     runtime.shutdown();

@@ -24,14 +24,15 @@ fn region(n: usize, partition_a: bool) -> TargetRegion {
             if partition_a {
                 l = l.partition("A", PartitionSpec::rows(n));
             }
-            l.partition("C", PartitionSpec::rows(n)).body(move |i, ins, outs| {
-                let a = ins.view::<f32>("A");
-                let b = ins.view::<f32>("B");
-                let mut c = outs.view_mut::<f32>("C");
-                for j in 0..n {
-                    c[i * n + j] = a[i * n + j] + b[j];
-                }
-            })
+            l.partition("C", PartitionSpec::rows(n))
+                .body(move |i, ins, outs| {
+                    let a = ins.view::<f32>("A");
+                    let b = ins.view::<f32>("B");
+                    let mut c = outs.view_mut::<f32>("C");
+                    for j in 0..n {
+                        c[i * n + j] = a[i * n + j] + b[j];
+                    }
+                })
         })
         .build()
         .unwrap()
@@ -71,7 +72,10 @@ fn unpartitioned_a_is_broadcast_to_every_worker() {
     // BitTorrent accounting: driver egress is one copy, peers serve the rest.
     let stats = report.loops[0].broadcast;
     assert_eq!(stats.driver_egress, stats.bytes);
-    assert_eq!(stats.peer_traffic, stats.bytes * (stats.executors as u64 - 1));
+    assert_eq!(
+        stats.peer_traffic,
+        stats.bytes * (stats.executors as u64 - 1)
+    );
     rt.shutdown();
 }
 
@@ -112,7 +116,8 @@ fn partition_out_of_bounds_fails_cleanly() {
         .map_to("A")
         .map_from("C")
         .parallel_for(n, move |l| {
-            l.partition("A", PartitionSpec::rows(n * 2)).body(|_, _, _| {})
+            l.partition("A", PartitionSpec::rows(n * 2))
+                .body(|_, _, _| {})
         })
         .build()
         .unwrap();
@@ -120,7 +125,10 @@ fn partition_out_of_bounds_fails_cleanly() {
     e.insert("A", vec![0.0f32; n * n]);
     e.insert("C", vec![0.0f32; n]);
     let err = rt.offload(&bad, &mut e).unwrap_err();
-    assert!(matches!(err, OmpError::PartitionOutOfBounds { .. }), "{err:?}");
+    assert!(
+        matches!(err, OmpError::PartitionOutOfBounds { .. }),
+        "{err:?}"
+    );
     rt.shutdown();
 }
 
@@ -136,14 +144,14 @@ fn column_style_partition_with_offset() {
         .map_to("A")
         .map_from("y")
         .parallel_for(n, move |l| {
-            l.partition("A", spec).partition("y", PartitionSpec::rows(1)).body(
-                move |i, ins, outs| {
+            l.partition("A", spec)
+                .partition("y", PartitionSpec::rows(1))
+                .body(move |i, ins, outs| {
                     let a = ins.view::<f32>("A");
                     let mut y = outs.view_mut::<f32>("y");
                     // Sum of this iteration's block.
                     y[i] = (0..4).map(|k| a[4 * i + 8 + k]).sum();
-                },
-            )
+                })
         })
         .build()
         .unwrap();

@@ -13,7 +13,10 @@ use std::time::Duration;
 /// Runtime over an in-memory S3 bucket wrapped in `per_op` of injected
 /// round-trip latency per put/get.
 fn wan_runtime(config: CloudConfig, per_op: Duration) -> CloudRuntime {
-    let store = Arc::new(LatencyStore::new(Arc::new(S3Store::standalone("wan")), per_op));
+    let store = Arc::new(LatencyStore::new(
+        Arc::new(S3Store::standalone("wan")),
+        per_op,
+    ));
     CloudRuntime::with_device(CloudDevice::with_store(config, store))
 }
 
@@ -28,13 +31,14 @@ fn fan_in_region(n_bufs: usize, n: usize, device: DeviceSelector) -> TargetRegio
     builder
         .map_from("y")
         .parallel_for(n, |l| {
-            l.partition("y", PartitionSpec::rows(1)).body(move |i, ins, outs| {
-                let mut acc = 0.0f32;
-                for k in 0..n_bufs {
-                    acc += ins.view::<f32>(&format!("x{k}"))[i];
-                }
-                outs.view_mut::<f32>("y")[i] = acc;
-            })
+            l.partition("y", PartitionSpec::rows(1))
+                .body(move |i, ins, outs| {
+                    let mut acc = 0.0f32;
+                    for k in 0..n_bufs {
+                        acc += ins.view::<f32>(&format!("x{k}"))[i];
+                    }
+                    outs.view_mut::<f32>("y")[i] = acc;
+                })
         })
         .build()
         .unwrap()
@@ -43,7 +47,10 @@ fn fan_in_region(n_bufs: usize, n: usize, device: DeviceSelector) -> TargetRegio
 fn fan_in_env(n_bufs: usize, n: usize) -> DataEnv {
     let mut env = DataEnv::new();
     for k in 0..n_bufs {
-        env.insert(format!("x{k}"), (0..n).map(|i| (i + k) as f32).collect::<Vec<_>>());
+        env.insert(
+            format!("x{k}"),
+            (0..n).map(|i| (i + k) as f32).collect::<Vec<_>>(),
+        );
     }
     env.insert("y", vec![0.0f32; n]);
     env
@@ -112,7 +119,10 @@ fn overlap_accounting_is_populated_and_consistent() {
         min_compression_size: 1024,
         ..CloudConfig::default()
     };
-    assert!(cfg.pipelined_transfers && cfg.streaming_collect, "pipelining is the default");
+    assert!(
+        cfg.pipelined_transfers && cfg.streaming_collect,
+        "pipelining is the default"
+    );
     let rt = wan_runtime(cfg, Duration::from_millis(5));
 
     // One large compressible buffer alongside small ones exercises both
@@ -123,11 +133,12 @@ fn overlap_accounting_is_populated_and_consistent() {
         .map_to("x")
         .map_from("y")
         .parallel_for(32, |l| {
-            l.partition("y", PartitionSpec::rows(1)).body(|i, ins, outs| {
-                let big = ins.view::<f32>("big");
-                let x = ins.view::<f32>("x");
-                outs.view_mut::<f32>("y")[i] = big[i] + 2.0 * x[i];
-            })
+            l.partition("y", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let big = ins.view::<f32>("big");
+                    let x = ins.view::<f32>("x");
+                    outs.view_mut::<f32>("y")[i] = big[i] + 2.0 * x[i];
+                })
         })
         .build()
         .unwrap();
@@ -139,9 +150,18 @@ fn overlap_accounting_is_populated_and_consistent() {
     let profile = rt.offload(&region, &mut env).unwrap();
     let report = rt.cloud().last_report().expect("offload leaves a report");
 
-    assert!(profile.store_busy_s > 0.0, "latency store makes I/O busy time visible");
-    assert!(profile.compress_busy_s > 0.0, "the 256 KiB zero buffer was compressed");
-    assert!(profile.overlap_s > 0.0, "put/get chains across 3 buffers must overlap");
+    assert!(
+        profile.store_busy_s > 0.0,
+        "latency store makes I/O busy time visible"
+    );
+    assert!(
+        profile.compress_busy_s > 0.0,
+        "the 256 KiB zero buffer was compressed"
+    );
+    assert!(
+        profile.overlap_s > 0.0,
+        "put/get chains across 3 buffers must overlap"
+    );
     // Overlap is time saved, so it can never exceed the busy time that
     // was available to hide.
     assert!(
@@ -161,7 +181,12 @@ fn overlap_accounting_is_populated_and_consistent() {
 #[test]
 fn streaming_collect_matches_barrier_collect_for_all_kernels() {
     for distributed in [true, false] {
-        for id in [BenchId::Gemm, BenchId::Syrk, BenchId::Covar, BenchId::MatMul] {
+        for id in [
+            BenchId::Gemm,
+            BenchId::Syrk,
+            BenchId::Covar,
+            BenchId::MatMul,
+        ] {
             for kind in [DataKind::Dense, DataKind::Sparse] {
                 let mut per_mode = Vec::new();
                 for streaming in [true, false] {
@@ -173,8 +198,7 @@ fn streaming_collect_matches_barrier_collect_for_all_kernels() {
                         streaming_collect: streaming,
                         ..CloudConfig::default()
                     });
-                    let mut case =
-                        kernels::build(id, 16, kind, 7, CloudRuntime::cloud_selector());
+                    let mut case = kernels::build(id, 16, kind, 7, CloudRuntime::cloud_selector());
                     rt.offload(&case.region, &mut case.env).unwrap_or_else(|e| {
                         panic!("{} offload failed (streaming={streaming}): {e}", id.name())
                     });
@@ -187,7 +211,8 @@ fn streaming_collect_matches_barrier_collect_for_all_kernels() {
                     rt.shutdown();
                 }
                 assert_eq!(
-                    per_mode[0], per_mode[1],
+                    per_mode[0],
+                    per_mode[1],
                     "{} ({}, distributed_reduce={distributed}): streaming and barrier \
                      collect must agree bitwise",
                     id.name(),

@@ -32,7 +32,12 @@ fn byte_counts_match_the_data_environment() {
             .sum();
         let profile = rt.offload(&case.region, &mut case.env).unwrap();
         assert_eq!(profile.bytes_to_device, expect_to, "{} inputs", id.name());
-        assert_eq!(profile.bytes_from_device, expect_from, "{} outputs", id.name());
+        assert_eq!(
+            profile.bytes_from_device,
+            expect_from,
+            "{} outputs",
+            id.name()
+        );
         assert!(profile.wire_bytes_to <= expect_to + 1024 * case.region.maps.len() as u64);
     }
     rt.shutdown();
@@ -41,7 +46,13 @@ fn byte_counts_match_the_data_environment() {
 #[test]
 fn task_counts_equal_tiles_across_loops() {
     let rt = runtime(); // 4 slots
-    let mut case = kernels::build(BenchId::ThreeMm, 20, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::ThreeMm,
+        20,
+        DataKind::Dense,
+        1,
+        CloudRuntime::cloud_selector(),
+    );
     let profile = rt.offload(&case.region, &mut case.env).unwrap();
     // Three loops of 20 iterations on 4 slots: 3 x 4 tiles.
     assert_eq!(profile.tasks, 12);
@@ -54,7 +65,13 @@ fn task_counts_equal_tiles_across_loops() {
 #[test]
 fn timing_buckets_are_nonnegative_and_compose() {
     let rt = runtime();
-    let mut case = kernels::build(BenchId::Gemm, 24, DataKind::Sparse, 9, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::Gemm,
+        24,
+        DataKind::Sparse,
+        9,
+        CloudRuntime::cloud_selector(),
+    );
     let p = rt.offload(&case.region, &mut case.env).unwrap();
     assert!(p.host_comm_s >= 0.0 && p.overhead_s >= 0.0 && p.compute_s >= 0.0);
     let total = p.total_s();
@@ -67,11 +84,26 @@ fn timing_buckets_are_nonnegative_and_compose() {
 #[test]
 fn sparse_inputs_shrink_the_wire_not_the_raw_count() {
     let rt = runtime();
-    let mut dense = kernels::build(BenchId::MatMul, 32, DataKind::Dense, 7, CloudRuntime::cloud_selector());
+    let mut dense = kernels::build(
+        BenchId::MatMul,
+        32,
+        DataKind::Dense,
+        7,
+        CloudRuntime::cloud_selector(),
+    );
     let p_dense = rt.offload(&dense.region, &mut dense.env).unwrap();
-    let mut sparse = kernels::build(BenchId::MatMul, 32, DataKind::Sparse, 7, CloudRuntime::cloud_selector());
+    let mut sparse = kernels::build(
+        BenchId::MatMul,
+        32,
+        DataKind::Sparse,
+        7,
+        CloudRuntime::cloud_selector(),
+    );
     let p_sparse = rt.offload(&sparse.region, &mut sparse.env).unwrap();
-    assert_eq!(p_dense.bytes_to_device, p_sparse.bytes_to_device, "same raw bytes");
+    assert_eq!(
+        p_dense.bytes_to_device, p_sparse.bytes_to_device,
+        "same raw bytes"
+    );
     assert!(
         p_sparse.wire_bytes_to < p_dense.wire_bytes_to / 2,
         "sparse wire {} vs dense {}",
@@ -84,9 +116,18 @@ fn sparse_inputs_shrink_the_wire_not_the_raw_count() {
 #[test]
 fn host_devices_report_zero_host_comm() {
     let registry = DeviceRegistry::with_host_only();
-    let mut case = kernels::build(BenchId::Gemm, 16, DataKind::Dense, 2, DeviceSelector::Default);
+    let mut case = kernels::build(
+        BenchId::Gemm,
+        16,
+        DataKind::Dense,
+        2,
+        DeviceSelector::Default,
+    );
     let p = registry.offload(&case.region, &mut case.env).unwrap();
-    assert_eq!(p.host_comm_s, 0.0, "host execution has no host-target transfers");
+    assert_eq!(
+        p.host_comm_s, 0.0,
+        "host execution has no host-target transfers"
+    );
     assert_eq!(p.bytes_to_device, 0);
     assert!(p.compute_s > 0.0);
 }

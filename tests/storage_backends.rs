@@ -22,7 +22,13 @@ fn config() -> CloudConfig {
 
 fn run_with_store(store: StoreHandle) -> Vec<f32> {
     let runtime = CloudRuntime::with_device(CloudDevice::with_store(config(), store));
-    let mut case = kernels::build(BenchId::Gemm, 20, DataKind::Dense, 11, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::Gemm,
+        20,
+        DataKind::Dense,
+        11,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case.region, &mut case.env).unwrap();
     let out = case.env.get::<f32>("C").unwrap().to_vec();
     runtime.shutdown();
@@ -42,11 +48,21 @@ fn all_three_backends_agree() {
 fn hdfs_small_blocks_split_the_staged_buffers() {
     let hdfs = HdfsStore::new(3, 2, 256);
     let runtime = CloudRuntime::with_device(CloudDevice::with_store(config(), hdfs.clone()));
-    let mut case = kernels::build(BenchId::MatMul, 16, DataKind::Dense, 1, CloudRuntime::cloud_selector());
+    let mut case = kernels::build(
+        BenchId::MatMul,
+        16,
+        DataKind::Dense,
+        1,
+        CloudRuntime::cloud_selector(),
+    );
     runtime.offload(&case.region, &mut case.env).unwrap();
     // A 16x16 f32 matrix (1 KiB, stored raw or compressed) spans several
     // 256-byte blocks, each replicated twice.
-    assert!(hdfs.total_block_replicas() > 4, "{} replicas", hdfs.total_block_replicas());
+    assert!(
+        hdfs.total_block_replicas() > 4,
+        "{} replicas",
+        hdfs.total_block_replicas()
+    );
     runtime.shutdown();
 }
 
@@ -55,7 +71,10 @@ fn backend_kind_is_visible_through_the_device() {
     for (store, kind) in [
         (Arc::new(S3Store::standalone("k")) as StoreHandle, "s3"),
         (HdfsStore::with_defaults(3) as StoreHandle, "hdfs"),
-        (Arc::new(AzureBlobStore::standalone("a", "c")) as StoreHandle, "azure"),
+        (
+            Arc::new(AzureBlobStore::standalone("a", "c")) as StoreHandle,
+            "azure",
+        ),
     ] {
         let device = CloudDevice::with_store(config(), store);
         assert_eq!(device.store().kind(), kind);

@@ -1,8 +1,8 @@
 //! `target data` scopes: device residency across multiple target
 //! regions, with transfers only at the scope boundaries.
 
-use ompcloud_suite::prelude::*;
 use omp_model::MapDir;
+use ompcloud_suite::prelude::*;
 
 fn runtime() -> CloudRuntime {
     CloudRuntime::new(CloudConfig {
@@ -21,10 +21,11 @@ fn scale_region(n: usize, factor: f32, src: &'static str, dst: &'static str) -> 
     builder
         .map_tofrom(dst)
         .parallel_for(n, move |l| {
-            l.partition(dst, PartitionSpec::rows(1)).body(move |i, ins, outs| {
-                let s = ins.view::<f32>(src);
-                outs.view_mut::<f32>(dst)[i] = s[i] * factor;
-            })
+            l.partition(dst, PartitionSpec::rows(1))
+                .body(move |i, ins, outs| {
+                    let s = ins.view::<f32>(src);
+                    outs.view_mut::<f32>(dst)[i] = s[i] * factor;
+                })
         })
         .build()
         .unwrap()
@@ -45,7 +46,10 @@ fn regions_inside_a_scope_transfer_nothing() {
     // output directly from the device.
     let p1 = scope.offload(&scale_region(n, 2.0, "x", "y")).unwrap();
     let p2 = scope.offload(&scale_region(n, 10.0, "y", "y")).unwrap();
-    assert_eq!(p1.host_comm_s, 0.0, "no host-target transfer inside the scope");
+    assert_eq!(
+        p1.host_comm_s, 0.0,
+        "no host-target transfer inside the scope"
+    );
     assert_eq!(p2.host_comm_s, 0.0);
     assert!(p1.notes.iter().any(|n| n.contains("target-data")));
 
@@ -54,7 +58,11 @@ fn regions_inside_a_scope_transfer_nothing() {
 
     let stats = scope.close(&mut env).unwrap();
     assert_eq!(stats.regions_run, 2);
-    assert_eq!(stats.bytes_in, (2 * n * 4) as u64, "x and y(tofrom) shipped in");
+    assert_eq!(
+        stats.bytes_in,
+        (2 * n * 4) as u64,
+        "x and y(tofrom) shipped in"
+    );
     assert_eq!(stats.bytes_out, (n * 4) as u64, "y shipped out");
 
     let y = env.get::<f32>("y").unwrap();
@@ -72,19 +80,26 @@ fn scope_results_match_unscoped_offloads() {
     let mut plain = DataEnv::new();
     plain.insert("x", (0..n).map(|i| (i * 3) as f32).collect::<Vec<_>>());
     plain.insert("y", vec![0.0f32; n]);
-    rt.offload(&scale_region(n, 2.0, "x", "y"), &mut plain).unwrap();
-    rt.offload(&scale_region(n, 10.0, "y", "y"), &mut plain).unwrap();
+    rt.offload(&scale_region(n, 2.0, "x", "y"), &mut plain)
+        .unwrap();
+    rt.offload(&scale_region(n, 10.0, "y", "y"), &mut plain)
+        .unwrap();
 
     // Scoped.
     let mut scoped = DataEnv::new();
     scoped.insert("x", (0..n).map(|i| (i * 3) as f32).collect::<Vec<_>>());
     scoped.insert("y", vec![0.0f32; n]);
-    let mut scope = rt.target_data(&scoped, &[("x", MapDir::To), ("y", MapDir::ToFrom)]).unwrap();
+    let mut scope = rt
+        .target_data(&scoped, &[("x", MapDir::To), ("y", MapDir::ToFrom)])
+        .unwrap();
     scope.offload(&scale_region(n, 2.0, "x", "y")).unwrap();
     scope.offload(&scale_region(n, 10.0, "y", "y")).unwrap();
     scope.close(&mut scoped).unwrap();
 
-    assert_eq!(plain.get::<f32>("y").unwrap(), scoped.get::<f32>("y").unwrap());
+    assert_eq!(
+        plain.get::<f32>("y").unwrap(),
+        scoped.get::<f32>("y").unwrap()
+    );
     rt.shutdown();
 }
 
@@ -97,7 +112,9 @@ fn region_with_unscoped_variable_is_rejected() {
     env.insert("y", vec![0.0f32; n]);
     env.insert("z", vec![0.0f32; n]);
 
-    let mut scope = rt.target_data(&env, &[("x", MapDir::To), ("y", MapDir::From)]).unwrap();
+    let mut scope = rt
+        .target_data(&env, &[("x", MapDir::To), ("y", MapDir::From)])
+        .unwrap();
     let err = scope.offload(&scale_region(n, 1.0, "x", "z")).unwrap_err();
     assert!(matches!(err, OmpError::Plugin { .. }), "{err:?}");
     // The scope is still usable for valid regions.
@@ -128,7 +145,7 @@ fn only_one_scope_at_a_time() {
     let err = rt.target_data(&env, &[("x", MapDir::To)]).unwrap_err();
     assert!(matches!(err, OmpError::Plugin { .. }));
     drop(scope); // abandoned without close
-    // A new scope can open afterwards.
+                 // A new scope can open afterwards.
     let scope2 = rt.target_data(&env, &[("x", MapDir::To)]).unwrap();
     let mut env2 = env.clone();
     scope2.close(&mut env2).unwrap();
@@ -143,15 +160,17 @@ fn dropped_scope_discards_outputs() {
     env.insert("x", vec![2.0f32; n]);
     env.insert("y", vec![7.0f32; n]);
     {
-        let mut scope =
-            rt.target_data(&env, &[("x", MapDir::To), ("y", MapDir::ToFrom)]).unwrap();
+        let mut scope = rt
+            .target_data(&env, &[("x", MapDir::To), ("y", MapDir::ToFrom)])
+            .unwrap();
         scope.offload(&scale_region(n, 5.0, "x", "y")).unwrap();
         // dropped without close
     }
     // Host y keeps its original value.
     assert_eq!(env.get::<f32>("y").unwrap(), vec![7.0f32; n].as_slice());
     // Ordinary offloads still work after the abandon.
-    rt.offload(&scale_region(n, 5.0, "x", "y"), &mut env).unwrap();
+    rt.offload(&scale_region(n, 5.0, "x", "y"), &mut env)
+        .unwrap();
     assert_eq!(env.get::<f32>("y").unwrap(), vec![10.0f32; n].as_slice());
     rt.shutdown();
 }
