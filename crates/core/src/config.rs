@@ -100,6 +100,28 @@ pub struct CloudConfig {
     /// Test hook: pretend the cluster is unreachable so the wrapper's
     /// dynamic host fallback kicks in.
     pub simulate_unreachable: bool,
+    /// Transient-fault retries permitted per store operation.
+    pub max_retries: usize,
+    /// Corruption-triggered re-fetches permitted per download.
+    pub max_refetches: usize,
+    /// First retry backoff sleep (decorrelated jitter grows from here);
+    /// 0 retries back to back.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap_ms: u64,
+    /// Store ops failing after at least this long are classified as
+    /// timeouts; 0 disables the classification.
+    pub op_deadline_ms: u64,
+    /// Whole-transfer retry budget per op (attempts + backoff); 0
+    /// disables it.
+    pub transfer_deadline_ms: u64,
+    /// Verify the crc32 of every downloaded object against the
+    /// upload-time ledger / backend checksum.
+    pub verify_integrity: bool,
+    /// Consecutive failed offloads that mark the device degraded (the
+    /// circuit breaker opens and regions fall back to the host); 0
+    /// disables the breaker.
+    pub breaker_threshold: u64,
 }
 
 impl Default for CloudConfig {
@@ -129,6 +151,14 @@ impl Default for CloudConfig {
             spec_factor: 1.5,
             locality_wait_ms: 0,
             simulate_unreachable: false,
+            max_retries: 3,
+            max_refetches: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+            op_deadline_ms: 0,
+            transfer_deadline_ms: 0,
+            verify_integrity: true,
+            breaker_threshold: 3,
         }
     }
 }
@@ -245,6 +275,54 @@ impl CloudConfig {
         {
             cfg.simulate_unreachable = u;
         }
+        if let Some(r) = ini
+            .get_parsed::<usize>("resilience", "max-retries")
+            .map_err(bad_config)?
+        {
+            cfg.max_retries = r;
+        }
+        if let Some(r) = ini
+            .get_parsed::<usize>("resilience", "max-refetches")
+            .map_err(bad_config)?
+        {
+            cfg.max_refetches = r;
+        }
+        if let Some(b) = ini
+            .get_parsed::<u64>("resilience", "backoff-base-ms")
+            .map_err(bad_config)?
+        {
+            cfg.backoff_base_ms = b;
+        }
+        if let Some(c) = ini
+            .get_parsed::<u64>("resilience", "backoff-cap-ms")
+            .map_err(bad_config)?
+        {
+            cfg.backoff_cap_ms = c;
+        }
+        if let Some(d) = ini
+            .get_parsed::<u64>("resilience", "op-deadline-ms")
+            .map_err(bad_config)?
+        {
+            cfg.op_deadline_ms = d;
+        }
+        if let Some(d) = ini
+            .get_parsed::<u64>("resilience", "transfer-deadline-ms")
+            .map_err(bad_config)?
+        {
+            cfg.transfer_deadline_ms = d;
+        }
+        if let Some(v) = ini
+            .get_bool("resilience", "verify-integrity")
+            .map_err(bad_config)?
+        {
+            cfg.verify_integrity = v;
+        }
+        if let Some(t) = ini
+            .get_parsed::<u64>("resilience", "breaker-threshold")
+            .map_err(bad_config)?
+        {
+            cfg.breaker_threshold = t;
+        }
         cfg.validate()?;
         Ok(cfg)
     }
@@ -285,7 +363,26 @@ impl CloudConfig {
                 self.spec_factor
             )));
         }
+        if self.backoff_base_ms > 0 && self.backoff_cap_ms < self.backoff_base_ms {
+            return Err(bad_config(format!(
+                "backoff-cap-ms = {} must be >= backoff-base-ms = {}",
+                self.backoff_cap_ms, self.backoff_base_ms
+            )));
+        }
         Ok(())
+    }
+
+    /// The retry policy these knobs describe.
+    pub fn retry_policy(&self) -> cloud_storage::RetryPolicy {
+        cloud_storage::RetryPolicy {
+            max_retries: self.max_retries,
+            max_refetches: self.max_refetches,
+            backoff_base: std::time::Duration::from_millis(self.backoff_base_ms),
+            backoff_cap: std::time::Duration::from_millis(self.backoff_cap_ms),
+            op_deadline: std::time::Duration::from_millis(self.op_deadline_ms),
+            transfer_deadline: std::time::Duration::from_millis(self.transfer_deadline_ms),
+            ..cloud_storage::RetryPolicy::default()
+        }
     }
 
     /// Total task slots the cluster offers (`spark.cores.max / task.cpus`).
@@ -419,6 +516,43 @@ instance-type = c3.8xlarge
         assert!(CloudConfig::from_str("[offload]\nschedule = fifo\n").is_err());
         assert!(CloudConfig::from_str("[offload]\nspec-factor = 0.5\n").is_err());
         assert!(CloudConfig::from_str("[offload]\nspec-factor = -1\n").is_err());
+    }
+
+    #[test]
+    fn resilience_knobs_parse_and_default_sane() {
+        let cfg = CloudConfig::default();
+        assert_eq!(cfg.max_retries, 3);
+        assert_eq!(cfg.max_refetches, 2);
+        assert_eq!(cfg.backoff_base_ms, 10);
+        assert_eq!(cfg.backoff_cap_ms, 1000);
+        assert_eq!(cfg.op_deadline_ms, 0);
+        assert!(cfg.verify_integrity);
+        assert_eq!(cfg.breaker_threshold, 3);
+
+        let cfg = CloudConfig::from_str(
+            "[resilience]\nmax-retries = 5\nmax-refetches = 1\nbackoff-base-ms = 2\n\
+             backoff-cap-ms = 50\nop-deadline-ms = 200\ntransfer-deadline-ms = 4000\n\
+             verify-integrity = no\nbreaker-threshold = 7\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.max_retries, 5);
+        assert_eq!(cfg.max_refetches, 1);
+        assert_eq!(cfg.backoff_base_ms, 2);
+        assert_eq!(cfg.backoff_cap_ms, 50);
+        assert_eq!(cfg.op_deadline_ms, 200);
+        assert_eq!(cfg.transfer_deadline_ms, 4000);
+        assert!(!cfg.verify_integrity);
+        assert_eq!(cfg.breaker_threshold, 7);
+
+        let policy = cfg.retry_policy();
+        assert_eq!(policy.max_retries, 5);
+        assert_eq!(policy.backoff_cap, std::time::Duration::from_millis(50));
+
+        // Cap below base is a configuration error.
+        assert!(CloudConfig::from_str(
+            "[resilience]\nbackoff-base-ms = 100\nbackoff-cap-ms = 10\n"
+        )
+        .is_err());
     }
 
     #[test]

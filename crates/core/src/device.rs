@@ -20,10 +20,11 @@
 //! synchronization — and when the cluster is unreachable the wrapper
 //! falls back to host execution automatically.
 
+use crate::breaker::CircuitBreaker;
 use crate::cache::{CacheDecision, Fingerprint, ResidencyMap, UploadCache};
 use crate::config::CloudConfig;
 use crate::offload::run_spark_job;
-use crate::report::OffloadReport;
+use crate::report::{OffloadReport, ResilienceSummary};
 use crate::scope::Residency;
 use cloud_storage::{
     AzureBlobStore, HdfsStore, S3Store, StorageUri, StoreHandle, TransferConfig, TransferManager,
@@ -52,6 +53,17 @@ pub struct CloudDevice {
     upload_cache: Mutex<UploadCache>,
     residency: Mutex<Residency>,
     tile_residency: Mutex<ResidencyMap>,
+    breaker: CircuitBreaker,
+}
+
+/// How one offload attempt failed: infrastructure failures (storage,
+/// transfers) feed the circuit breaker and surface as
+/// `DeviceUnavailable`, so the registry's host fallback re-runs the
+/// region; application failures (a panicking kernel, a missing variable)
+/// propagate as-is — re-running them on the host would just fail again.
+enum ExecFailure {
+    Infra(OmpError),
+    App(OmpError),
 }
 
 impl CloudDevice {
@@ -62,9 +74,12 @@ impl CloudDevice {
             StoreHandle::clone(&store),
             TransferConfig {
                 min_compression_size: config.min_compression_size,
+                retry: config.retry_policy(),
+                verify_integrity: config.verify_integrity,
                 ..TransferConfig::default()
             },
         );
+        let breaker = CircuitBreaker::new(config.breaker_threshold);
         CloudDevice {
             name: format!("cloud-{:?}", config.provider).to_ascii_lowercase(),
             config,
@@ -77,6 +92,7 @@ impl CloudDevice {
             upload_cache: Mutex::new(UploadCache::new()),
             residency: Mutex::new(Residency::default()),
             tile_residency: Mutex::new(ResidencyMap::new()),
+            breaker,
         }
     }
 
@@ -112,6 +128,18 @@ impl CloudDevice {
     /// `data-caching` is enabled).
     pub fn cache_stats(&self) -> (u64, u64) {
         self.upload_cache.lock().stats()
+    }
+
+    /// The circuit breaker guarding this device.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Has the breaker tripped (too many consecutive failed offloads)?
+    /// A degraded device reports itself unavailable, so regions fall
+    /// back to the host until an operator [`CircuitBreaker::reset`].
+    pub fn is_degraded(&self) -> bool {
+        self.breaker.is_open()
     }
 
     /// Drop every cached upload fingerprint (e.g. after clearing the
@@ -205,7 +233,7 @@ impl Device for CloudDevice {
     }
 
     fn is_available(&self) -> bool {
-        !self.config.simulate_unreachable
+        !self.config.simulate_unreachable && !self.breaker.is_open()
     }
 
     fn supports(&self, construct: Construct) -> bool {
@@ -215,7 +243,47 @@ impl Device for CloudDevice {
     }
 
     fn execute(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
+        match self.try_execute(region, env) {
+            Ok(profile) => Ok(profile),
+            Err(ExecFailure::App(e)) => Err(e),
+            Err(ExecFailure::Infra(e)) => {
+                // A mid-flight infrastructure failure: count it against
+                // the breaker and surface `DeviceUnavailable`, so the
+                // registry re-runs the region on the host. The data
+                // environment is untouched — outputs are only written
+                // back after the whole offload succeeded.
+                let tripped = self.breaker.record_failure();
+                let reason = if tripped {
+                    format!(
+                        "offload aborted ({e}); breaker OPEN after {} consecutive failures — \
+                         device degraded until an offload succeeds or the breaker is reset",
+                        self.breaker.consecutive_failures()
+                    )
+                } else {
+                    format!("offload aborted ({e})")
+                };
+                if self.config.verbose {
+                    eprintln!("[ompcloud] {}: {reason}", self.name);
+                }
+                Err(OmpError::DeviceUnavailable {
+                    device: self.name.clone(),
+                    reason,
+                })
+            }
+        }
+    }
+}
+
+impl CloudDevice {
+    /// The eight-step offload workflow. Infrastructure errors come back
+    /// as [`ExecFailure::Infra`] so the caller can feed the breaker.
+    fn try_execute(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+    ) -> Result<ExecProfile, ExecFailure> {
         let mut profile = ExecProfile::new(self.name.clone());
+        let mut resilience = ResilienceSummary::default();
         let job_id = self.job_counter.fetch_add(1, Ordering::SeqCst);
         let prefix = {
             let p = self.config.storage.key_prefix();
@@ -287,7 +355,11 @@ impl Device for CloudDevice {
             let (payloads, prep) = self
                 .transfer
                 .upload_fetch_pipelined(upload_items, cached_keys, self.config.io_threads)
-                .map_err(storage_err)?;
+                .map_err(infra)?;
+            resilience.transient_retries += prep.total_retries();
+            resilience.corruption_refetches += prep.total_refetches();
+            resilience.timeouts += prep.total_timeouts();
+            resilience.backoff_seconds += prep.total_backoff_s();
             profile.host_comm_s += prep.wall_seconds;
             profile.overlap_s += prep.overlap_seconds();
             profile.compress_busy_s += prep.cpu_path_seconds();
@@ -298,11 +370,17 @@ impl Device for CloudDevice {
             };
             (upload, payloads)
         } else {
-            let upload = self.transfer.upload(upload_items).map_err(storage_err)?;
+            let upload = self.transfer.upload(upload_items).map_err(infra)?;
             profile.host_comm_s += upload.wall_seconds;
             let t_fetch = Instant::now();
             let keys: Vec<String> = staged_keys.iter().map(|(_, k)| k.clone()).collect();
-            let (payloads, _) = self.transfer.download(keys).map_err(storage_err)?;
+            let (payloads, fetch) = self.transfer.download(keys).map_err(infra)?;
+            for r in [&upload, &fetch] {
+                resilience.transient_retries += r.total_retries();
+                resilience.corruption_refetches += r.total_refetches();
+                resilience.timeouts += r.total_timeouts();
+                resilience.backoff_seconds += r.total_backoff_s();
+            }
             profile.overhead_s += t_fetch.elapsed().as_secs_f64();
             (upload, payloads)
         };
@@ -364,7 +442,11 @@ impl Device for CloudDevice {
             let (payloads, out) = self
                 .transfer
                 .upload_fetch_pipelined(out_items, Vec::new(), self.config.io_threads)
-                .map_err(storage_err)?;
+                .map_err(infra)?;
+            resilience.transient_retries += out.total_retries();
+            resilience.corruption_refetches += out.total_refetches();
+            resilience.timeouts += out.total_timeouts();
+            resilience.backoff_seconds += out.total_backoff_s();
             profile.host_comm_s += out.wall_seconds;
             profile.overlap_s += out.overlap_seconds();
             profile.compress_busy_s += out.cpu_path_seconds();
@@ -376,14 +458,20 @@ impl Device for CloudDevice {
             (report.clone(), report, payloads)
         } else {
             let t_store = Instant::now();
-            let store_write = self.transfer.upload(out_items).map_err(storage_err)?;
+            let store_write = self.transfer.upload(out_items).map_err(infra)?;
             profile.overhead_s += t_store.elapsed().as_secs_f64();
             let t_download = Instant::now();
             let out_keys: Vec<String> = region
                 .output_maps()
                 .map(|m| format!("{prefix}/out/{}", m.name))
                 .collect();
-            let (payloads, download) = self.transfer.download(out_keys).map_err(storage_err)?;
+            let (payloads, download) = self.transfer.download(out_keys).map_err(infra)?;
+            for r in [&store_write, &download] {
+                resilience.transient_retries += r.total_retries();
+                resilience.corruption_refetches += r.total_refetches();
+                resilience.timeouts += r.total_timeouts();
+                resilience.backoff_seconds += r.total_backoff_s();
+            }
             profile.host_comm_s += t_download.elapsed().as_secs_f64();
             (store_write, download, payloads)
         };
@@ -409,12 +497,29 @@ impl Device for CloudDevice {
 
         // Storage hygiene: staged per-job objects are garbage once the
         // host has read the results back — unless data caching is on, in
-        // which case the staged inputs are the cache.
+        // which case the staged inputs are the cache. The integrity
+        // ledger forgets deleted objects with them.
         if !self.config.data_caching {
             for key in self.store.list(&prefix) {
                 let _ = self.store.delete(&key);
             }
+            self.transfer.forget_prefix(&prefix);
         }
+
+        if resilience.total_events() > 0 {
+            profile.note(format!(
+                "resilience: {} transient retries, {} corruption re-fetches, {} timeouts, \
+                 {:.3}s backoff",
+                resilience.transient_retries,
+                resilience.corruption_refetches,
+                resilience.timeouts,
+                resilience.backoff_seconds
+            ));
+        }
+        // Snapshot the streak this success ends, then close the breaker.
+        resilience.breaker_consecutive_failures = self.breaker.consecutive_failures();
+        resilience.breaker_tripped = self.breaker.is_open();
+        self.breaker.record_success();
 
         if self.config.verbose {
             eprintln!("[ompcloud] {}: {profile}", region.name);
@@ -425,14 +530,22 @@ impl Device for CloudDevice {
             upload,
             download,
             cost,
+            resilience,
         });
         Ok(profile)
     }
 }
 
-fn storage_err(e: cloud_storage::StorageError) -> OmpError {
-    OmpError::Plugin {
+impl From<OmpError> for ExecFailure {
+    fn from(e: OmpError) -> ExecFailure {
+        ExecFailure::App(e)
+    }
+}
+
+/// Map a storage error to an infrastructure failure (breaker-feeding).
+fn infra(e: cloud_storage::StorageError) -> ExecFailure {
+    ExecFailure::Infra(OmpError::Plugin {
         device: "cloud".into(),
         detail: e.to_string(),
-    }
+    })
 }

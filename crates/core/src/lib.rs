@@ -31,6 +31,7 @@
 //! blocks to the workers that use them; everything else is broadcast via
 //! the BitTorrent-style protocol accounted in `sparkle`.
 
+pub mod breaker;
 pub mod cache;
 pub mod config;
 pub mod device;
@@ -42,11 +43,12 @@ pub mod runtime;
 pub mod scope;
 pub mod tiling;
 
+pub use breaker::CircuitBreaker;
 pub use cache::{CacheDecision, Fingerprint, UploadCache};
 pub use config::{CloudConfig, Provider};
 pub use device::CloudDevice;
 pub use offload::LoopStats;
 pub use plan::{derive_plan, measure_ratio, PlanRatios};
-pub use report::OffloadReport;
+pub use report::{OffloadReport, ResilienceSummary};
 pub use runtime::CloudRuntime;
 pub use scope::{ScopeStats, TargetDataScope};

@@ -5,6 +5,31 @@ use cloud_storage::TransferReport;
 use cloudsim::CostReport;
 use omp_model::ExecProfile;
 
+/// What the resilience layer did during one offload: retries, re-fetches,
+/// deadline overruns, backoff sleep, and breaker state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilienceSummary {
+    /// Transient-fault retries across upload + download.
+    pub transient_retries: u32,
+    /// Corruption-triggered re-fetches across upload + download.
+    pub corruption_refetches: u32,
+    /// Store ops that overran the op deadline.
+    pub timeouts: u32,
+    /// Total time slept in retry backoff.
+    pub backoff_seconds: f64,
+    /// Consecutive failed offloads on the device when this one finished.
+    pub breaker_consecutive_failures: u64,
+    /// Whether the device's circuit breaker is open (degraded).
+    pub breaker_tripped: bool,
+}
+
+impl ResilienceSummary {
+    /// Total fault-handling events (retries + re-fetches + timeouts).
+    pub fn total_events(&self) -> u32 {
+        self.transient_retries + self.corruption_refetches + self.timeouts
+    }
+}
+
 /// Full record of one offloaded target region.
 #[derive(Debug, Clone)]
 pub struct OffloadReport {
@@ -18,6 +43,8 @@ pub struct OffloadReport {
     pub download: TransferReport,
     /// Pay-as-you-go billing, when `ec2-autostart` is on.
     pub cost: Option<CostReport>,
+    /// Fault-handling counters accumulated across the offload.
+    pub resilience: ResilienceSummary,
 }
 
 impl OffloadReport {
@@ -63,6 +90,21 @@ impl std::fmt::Display for OffloadReport {
             },
             self.download.raw_bytes(),
         )?;
+        if self.resilience.total_events() > 0 || self.resilience.breaker_tripped {
+            write!(
+                f,
+                "\n  resilience: {} retries, {} re-fetches, {} timeouts, {:.3}s backoff{}",
+                self.resilience.transient_retries,
+                self.resilience.corruption_refetches,
+                self.resilience.timeouts,
+                self.resilience.backoff_seconds,
+                if self.resilience.breaker_tripped {
+                    ", breaker OPEN"
+                } else {
+                    ""
+                }
+            )?;
+        }
         if let Some(cost) = &self.cost {
             write!(f, "\n  cost: {cost}")?;
         }

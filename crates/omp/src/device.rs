@@ -183,20 +183,52 @@ impl DeviceRegistry {
             }
         }
         if device.is_available() {
-            return device.execute(region, env);
+            // Mid-flight degradation: a device that starts the region but
+            // cannot finish it (storage outage, breaker tripping open)
+            // reports `DeviceUnavailable`. The abort is clean — target
+            // plug-ins only write host buffers in their final write-back
+            // step — so the region re-executes on the host from intact
+            // inputs. Any other error is a hard failure: re-running a
+            // region that, say, panicked in user code would hide a bug.
+            match device.execute(region, env) {
+                Err(OmpError::DeviceUnavailable { reason, .. })
+                    if device.kind() != DeviceKind::Host =>
+                {
+                    return self.host_fallback(
+                        region,
+                        env,
+                        device.as_ref(),
+                        &format!("failed mid-flight ({reason})"),
+                    );
+                }
+                result => return result,
+            }
         }
         // Dynamic fallback: run locally when the cloud cannot be reached.
+        self.host_fallback(region, env, device.as_ref(), "unavailable")
+    }
+
+    /// Re-execute `region` on the host after `device` could not run it,
+    /// recording the event in the returned profile.
+    fn host_fallback(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+        device: &dyn Device,
+        why: &str,
+    ) -> Result<ExecProfile, OmpError> {
         let host = self
             .devices
             .iter()
             .find(|d| d.kind() == DeviceKind::Host && d.is_available())
             .ok_or_else(|| OmpError::DeviceUnavailable {
                 device: device.name().to_string(),
-                reason: "device unreachable and no host device registered for fallback".into(),
+                reason: format!("device {why} and no host device registered for fallback"),
             })?;
         let mut profile = host.execute(region, env)?;
+        profile.fallback_from = Some(device.name().to_string());
         profile.note(format!(
-            "device '{}' unavailable; computation performed locally on '{}'",
+            "device '{}' {why}; computation performed locally on '{}'",
             device.name(),
             host.name()
         ));
@@ -216,6 +248,9 @@ mod tests {
         kind: DeviceKind,
         available: bool,
         supports_barrier: bool,
+        /// When set, `execute` fails with `DeviceUnavailable` — models a
+        /// device that accepts the region but degrades mid-flight.
+        fail_midflight: bool,
         executions: Mutex<usize>,
     }
 
@@ -238,6 +273,12 @@ mod tests {
             _env: &mut DataEnv,
         ) -> Result<ExecProfile, OmpError> {
             *self.executions.lock() += 1;
+            if self.fail_midflight {
+                return Err(OmpError::DeviceUnavailable {
+                    device: self.name.clone(),
+                    reason: "storage endpoint lost".into(),
+                });
+            }
             Ok(ExecProfile::new(self.name.clone()))
         }
     }
@@ -248,6 +289,18 @@ mod tests {
             kind,
             available,
             supports_barrier: kind == DeviceKind::Host,
+            fail_midflight: false,
+            executions: Mutex::new(0),
+        })
+    }
+
+    fn failing_midflight(name: &str, kind: DeviceKind) -> Arc<FakeDevice> {
+        Arc::new(FakeDevice {
+            name: name.into(),
+            kind,
+            available: true,
+            supports_barrier: kind == DeviceKind::Host,
+            fail_midflight: true,
             executions: Mutex::new(0),
         })
     }
@@ -321,6 +374,44 @@ mod tests {
         assert_eq!(*cloud.executions.lock(), 0);
         assert_eq!(*host.executions.lock(), 1);
         assert!(p.notes.iter().any(|n| n.contains("performed locally")));
+    }
+
+    #[test]
+    fn midflight_failure_recovers_on_host() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        let cloud = failing_midflight("cloud-0", DeviceKind::Cloud);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        let p = r
+            .offload(
+                &trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)),
+                &mut env,
+            )
+            .unwrap();
+        assert_eq!(p.device, "host");
+        assert_eq!(*cloud.executions.lock(), 1, "the cloud was attempted");
+        assert_eq!(*host.executions.lock(), 1, "the host recovered it");
+        assert_eq!(p.fallback_from.as_deref(), Some("cloud-0"));
+        assert!(p
+            .notes
+            .iter()
+            .any(|n| n.contains("failed mid-flight") && n.contains("storage endpoint lost")));
+    }
+
+    #[test]
+    fn midflight_failure_on_host_itself_is_terminal() {
+        let mut r = DeviceRegistry::new();
+        r.register(failing_midflight("host", DeviceKind::Host) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        assert!(matches!(
+            r.offload(
+                &trivial_region(DeviceSelector::Kind(DeviceKind::Host)),
+                &mut env,
+            ),
+            Err(OmpError::DeviceUnavailable { .. })
+        ));
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct ExecProfile {
     pub store_busy_s: f64,
     /// Free-form annotations ("fallback to host", codec choices, ...).
     pub notes: Vec<String>,
+    /// Device this region was originally dispatched to, when it could
+    /// not complete there and the runtime fell back to another device.
+    pub fallback_from: Option<String>,
 }
 
 impl ExecProfile {

@@ -399,6 +399,7 @@ impl SparkContext {
                     }
                 }
                 Err(err) => {
+                    metrics.failed_attempts += 1;
                     if slots[task].is_some() {
                         continue; // a newer attempt already succeeded
                     }

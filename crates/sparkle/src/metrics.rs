@@ -56,6 +56,9 @@ pub struct JobMetrics {
     pub spec_wins: usize,
     /// Tasks whose original attempt beat its speculative duplicate.
     pub spec_losses: usize,
+    /// Task attempts that failed (retried originals and lost
+    /// speculative duplicates alike).
+    pub failed_attempts: usize,
 }
 
 impl JobMetrics {
@@ -69,6 +72,7 @@ impl JobMetrics {
             spec_launched: 0,
             spec_wins: 0,
             spec_losses: 0,
+            failed_attempts: 0,
         }
     }
 

@@ -23,6 +23,10 @@ fn injected_task_failures_are_retried_transparently() {
         metrics.retried_tasks() >= 1,
         "at least one task must have been retried"
     );
+    assert!(
+        metrics.failed_attempts >= metrics.retried_tasks(),
+        "every retried task implies at least one failed attempt"
+    );
     sc.stop();
 }
 

@@ -1,0 +1,489 @@
+//! Deterministic fault injection for the offload path.
+//!
+//! WANs and spot instances fail in ways a PCIe bus never does: requests
+//! get throttled, packets flip bits, latency spikes, whole endpoints
+//! disappear. The mock backends could only "fail the next N ops" — a
+//! counter hack that cannot express *scenarios*. [`ChaosStore`] is a
+//! composable [`ObjectStore`] decorator (sibling of
+//! [`LatencyStore`](crate::LatencyStore)) driven by a seeded
+//! [`FaultPlan`]: an ordered list of rules, each matching an op type and
+//! key pattern and firing on a deterministic trigger (nth matching op,
+//! every-nth, first-n, or a seeded coin flip). Any fault scenario —
+//! transient blips, permanent outages, payload corruption, latency
+//! spikes, or any mix — becomes a reproducible test case.
+
+use crate::{ObjectStore, StorageError, StoreHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What a firing rule does to the operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail with [`StorageError::Transient`] (throttling, network blip).
+    Transient,
+    /// Fail with [`StorageError::Unavailable`] (endpoint down).
+    Unavailable,
+    /// Flip one deterministic bit of the payload: on puts the corrupted
+    /// bytes reach the store (at-rest damage), on gets the response is
+    /// corrupted in flight (a re-read heals).
+    Corrupt,
+    /// Sleep this long, then let the op proceed (latency spike). Delays
+    /// compose with a later error rule firing on the same op.
+    Delay(Duration),
+}
+
+/// Which operations a rule can match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpFilter {
+    /// Writes only.
+    Put,
+    /// Reads only.
+    Get,
+    /// Both.
+    Any,
+}
+
+impl OpFilter {
+    fn matches(self, is_put: bool) -> bool {
+        match self {
+            OpFilter::Put => is_put,
+            OpFilter::Get => !is_put,
+            OpFilter::Any => true,
+        }
+    }
+}
+
+/// When a matching op actually fires the rule. `OpIndex`/`EveryNth`/
+/// `FirstN` count *ops matching this rule's filter* (0-based), so a
+/// schedule written against op indices survives unrelated traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every matching op.
+    Always,
+    /// Exactly the nth matching op.
+    OpIndex(u64),
+    /// Matching ops `n-1, 2n-1, 3n-1, …` (one in `n`).
+    EveryNth(u64),
+    /// The first `n` matching ops.
+    FirstN(u64),
+    /// Independent seeded coin flip per matching op.
+    Probability(f64),
+}
+
+/// One scheduled fault: filter + trigger + effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Which ops the rule considers.
+    pub op: OpFilter,
+    /// Only keys containing this substring (`None` = every key).
+    pub key_contains: Option<String>,
+    /// When a considered op fires.
+    pub trigger: Trigger,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+}
+
+impl FaultRule {
+    /// Rule matching every key.
+    pub fn new(op: OpFilter, trigger: Trigger, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            op,
+            key_contains: None,
+            trigger,
+            kind,
+        }
+    }
+
+    /// Restrict the rule to keys containing `pat`.
+    pub fn on_keys(mut self, pat: impl Into<String>) -> FaultRule {
+        self.key_contains = Some(pat.into());
+        self
+    }
+}
+
+/// A seeded, ordered fault schedule. Rules are evaluated in order per
+/// op; delays accumulate, and the first error rule that fires decides
+/// the op's fate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing) with the given RNG seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Append a rule.
+    pub fn rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Snapshot of the faults a [`ChaosStore`] actually injected — tests use
+/// these to prove a scenario really exercised the resilience path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Transient errors returned.
+    pub transient: u64,
+    /// Unavailable errors returned.
+    pub unavailable: u64,
+    /// Payloads corrupted (puts + gets).
+    pub corruptions: u64,
+    /// Latency spikes inserted.
+    pub delays: u64,
+}
+
+impl ChaosStats {
+    /// Total faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.transient + self.unavailable + self.corruptions + self.delays
+    }
+}
+
+struct RuleState {
+    rule: FaultRule,
+    /// Ops that matched this rule's filter so far.
+    matched: AtomicU64,
+}
+
+/// Outcome of evaluating the plan for one op.
+struct Verdict {
+    error: Option<StorageError>,
+    /// Salt for the deterministic bit flip, when a corruption rule fired.
+    corrupt_salt: Option<u64>,
+}
+
+/// [`ObjectStore`] decorator executing a [`FaultPlan`]. Metadata ops
+/// (`exists`/`list`/`size`/`delete`/`checksum`) pass through untouched —
+/// faults target the data path, like the failures they model.
+pub struct ChaosStore {
+    inner: StoreHandle,
+    seed: u64,
+    rules: Vec<RuleState>,
+    rng: parking_lot::Mutex<StdRng>,
+    transient: AtomicU64,
+    unavailable: AtomicU64,
+    corruptions: AtomicU64,
+    delays: AtomicU64,
+}
+
+impl ChaosStore {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: StoreHandle, plan: FaultPlan) -> ChaosStore {
+        ChaosStore {
+            inner,
+            seed: plan.seed,
+            rng: parking_lot::Mutex::new(StdRng::seed_from_u64(plan.seed)),
+            rules: plan
+                .rules
+                .into_iter()
+                .map(|rule| RuleState {
+                    rule,
+                    matched: AtomicU64::new(0),
+                })
+                .collect(),
+            transient: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            transient: self.transient.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evaluate the plan for one op: sleep firing delays immediately,
+    /// return the error/corruption decision for the caller to apply.
+    fn evaluate(&self, is_put: bool, key: &str) -> Verdict {
+        let mut verdict = Verdict {
+            error: None,
+            corrupt_salt: None,
+        };
+        for state in &self.rules {
+            if !state.rule.op.matches(is_put) {
+                continue;
+            }
+            if let Some(pat) = &state.rule.key_contains {
+                if !key.contains(pat.as_str()) {
+                    continue;
+                }
+            }
+            let idx = state.matched.fetch_add(1, Ordering::Relaxed);
+            let fires = match state.rule.trigger {
+                Trigger::Always => true,
+                Trigger::OpIndex(n) => idx == n,
+                Trigger::EveryNth(n) => n > 0 && (idx + 1) % n == 0,
+                Trigger::FirstN(n) => idx < n,
+                Trigger::Probability(p) => self.rng.lock().gen_bool(p),
+            };
+            if !fires {
+                continue;
+            }
+            match state.rule.kind {
+                FaultKind::Delay(d) => {
+                    self.delays.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(d);
+                }
+                FaultKind::Transient if verdict.error.is_none() => {
+                    self.transient.fetch_add(1, Ordering::Relaxed);
+                    verdict.error = Some(StorageError::Transient(format!(
+                        "chaos: injected transient fault on {key}"
+                    )));
+                }
+                FaultKind::Unavailable if verdict.error.is_none() => {
+                    self.unavailable.fetch_add(1, Ordering::Relaxed);
+                    verdict.error = Some(StorageError::Unavailable(format!(
+                        "chaos: injected outage on {key}"
+                    )));
+                }
+                FaultKind::Corrupt if verdict.corrupt_salt.is_none() => {
+                    verdict.corrupt_salt = Some(idx);
+                }
+                _ => {}
+            }
+        }
+        verdict
+    }
+
+    /// Flip one bit of `data` at a position derived from `(seed, salt)`
+    /// via splitmix64 — a scenario replays bit-identically.
+    fn flip_bit(&self, data: &mut [u8], salt: u64) {
+        if data.is_empty() {
+            return;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add(salt)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let pos = (z as usize) % data.len();
+        data[pos] ^= 1 << ((z >> 61) & 0x7);
+        self.corruptions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ObjectStore for ChaosStore {
+    fn put(&self, key: &str, mut data: Vec<u8>) -> Result<(), StorageError> {
+        let verdict = self.evaluate(true, key);
+        if let Some(e) = verdict.error {
+            return Err(e);
+        }
+        if let Some(salt) = verdict.corrupt_salt {
+            // At-rest damage: the corrupted bytes land in the store.
+            self.flip_bit(&mut data, salt);
+        }
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
+        let verdict = self.evaluate(false, key);
+        if let Some(e) = verdict.error {
+            return Err(e);
+        }
+        let mut data = self.inner.get(key)?;
+        if let Some(salt) = verdict.corrupt_salt {
+            // In-flight damage: the stored object stays clean, so a
+            // re-fetch heals.
+            self.flip_bit(&mut data, salt);
+        }
+        Ok(data)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        self.inner.delete(key)
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.inner.exists(key)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.list(prefix)
+    }
+
+    fn size(&self, key: &str) -> Option<u64> {
+        self.inner.size(key)
+    }
+
+    fn checksum(&self, key: &str) -> Option<u32> {
+        self.inner.checksum(key)
+    }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s3::S3Store;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn chaos(plan: FaultPlan) -> (ChaosStore, S3Store) {
+        let inner = S3Store::standalone("chaos");
+        (ChaosStore::new(Arc::new(inner.clone()), plan), inner)
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let (store, _) = chaos(FaultPlan::new(1));
+        store.put("k", vec![1, 2, 3]).unwrap();
+        assert_eq!(store.get("k").unwrap(), vec![1, 2, 3]);
+        assert_eq!(store.stats().total(), 0);
+    }
+
+    #[test]
+    fn op_index_trigger_fires_exactly_once() {
+        let (store, _) = chaos(FaultPlan::new(2).rule(FaultRule::new(
+            OpFilter::Put,
+            Trigger::OpIndex(1),
+            FaultKind::Transient,
+        )));
+        store.put("a", vec![1]).unwrap(); // put #0: clean
+        let e = store.put("b", vec![2]).unwrap_err(); // put #1: fault
+        assert!(e.is_transient());
+        store.put("c", vec![3]).unwrap(); // put #2: clean again
+        assert_eq!(store.stats().transient, 1);
+        // Gets never matched the Put filter.
+        assert_eq!(store.get("a").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn every_nth_trigger_fires_periodically() {
+        let (store, _) = chaos(FaultPlan::new(3).rule(FaultRule::new(
+            OpFilter::Get,
+            Trigger::EveryNth(3),
+            FaultKind::Transient,
+        )));
+        store.put("k", vec![7]).unwrap();
+        let mut errors = 0;
+        for _ in 0..9 {
+            if store.get("k").is_err() {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 3, "one in three gets faults");
+    }
+
+    #[test]
+    fn get_corruption_flips_one_bit_and_heals_on_refetch() {
+        let (store, inner) = chaos(FaultPlan::new(7).rule(FaultRule::new(
+            OpFilter::Get,
+            Trigger::OpIndex(0),
+            FaultKind::Corrupt,
+        )));
+        let data = vec![0xAAu8; 64];
+        store.put("k", data.clone()).unwrap();
+        let first = store.get("k").unwrap();
+        assert_ne!(first, data, "first read corrupted in flight");
+        let differing: Vec<usize> = (0..64).filter(|&i| first[i] != data[i]).collect();
+        assert_eq!(differing.len(), 1, "exactly one byte flipped");
+        assert_eq!(
+            (first[differing[0]] ^ data[differing[0]]).count_ones(),
+            1,
+            "exactly one bit flipped"
+        );
+        assert_eq!(store.get("k").unwrap(), data, "re-fetch heals");
+        assert_eq!(inner.get("k").unwrap(), data, "stored object never damaged");
+        assert_eq!(store.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn put_corruption_damages_the_stored_object() {
+        let (store, inner) = chaos(FaultPlan::new(9).rule(FaultRule::new(
+            OpFilter::Put,
+            Trigger::Always,
+            FaultKind::Corrupt,
+        )));
+        let data = vec![0x55u8; 32];
+        store.put("k", data.clone()).unwrap();
+        assert_ne!(inner.get("k").unwrap(), data, "corrupted at rest");
+        assert_eq!(store.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn delay_rule_sleeps_then_proceeds() {
+        let (store, _) = chaos(FaultPlan::new(4).rule(FaultRule::new(
+            OpFilter::Any,
+            Trigger::Always,
+            FaultKind::Delay(Duration::from_millis(15)),
+        )));
+        let t = Instant::now();
+        store.put("k", vec![1]).unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(15));
+        assert_eq!(store.get("k").unwrap(), vec![1]);
+        assert_eq!(store.stats().delays, 2);
+    }
+
+    #[test]
+    fn key_pattern_scopes_the_rule() {
+        let (store, _) = chaos(FaultPlan::new(5).rule(
+            FaultRule::new(OpFilter::Put, Trigger::Always, FaultKind::Unavailable).on_keys("in/"),
+        ));
+        assert!(matches!(
+            store.put("in/x", vec![1]),
+            Err(StorageError::Unavailable(_))
+        ));
+        store.put("out/x", vec![1]).unwrap();
+        assert_eq!(store.stats().unavailable, 1);
+    }
+
+    #[test]
+    fn probability_trigger_is_reproducible_per_seed() {
+        let run = |seed| {
+            let (store, _) = chaos(FaultPlan::new(seed).rule(FaultRule::new(
+                OpFilter::Put,
+                Trigger::Probability(0.3),
+                FaultKind::Transient,
+            )));
+            (0..200)
+                .filter(|i| store.put(&format!("k{i}"), vec![1]).is_err())
+                .count()
+        };
+        assert_eq!(run(11), run(11), "same seed, same schedule");
+        let hits = run(11);
+        assert!((20..=100).contains(&hits), "~30% of 200, got {hits}");
+    }
+
+    #[test]
+    fn checksum_reports_the_clean_stored_object() {
+        let (store, inner) = chaos(FaultPlan::new(8).rule(FaultRule::new(
+            OpFilter::Get,
+            Trigger::Always,
+            FaultKind::Corrupt,
+        )));
+        let data = vec![3u8; 100];
+        store.put("k", data.clone()).unwrap();
+        let expected = gzlite::crc32(&data);
+        assert_eq!(store.checksum("k"), Some(expected));
+        assert_eq!(inner.checksum("k"), Some(expected));
+        // The corrupted response disagrees with the checksum — exactly
+        // what the integrity layer detects.
+        let fetched = store.get("k").unwrap();
+        assert_ne!(gzlite::crc32(&fetched), expected);
+    }
+}

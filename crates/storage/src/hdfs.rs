@@ -17,6 +17,8 @@ type BlockId = u64;
 struct FileMeta {
     blocks: Vec<BlockId>,
     len: u64,
+    /// Namenode-recorded content checksum, like HDFS file checksums.
+    crc: u32,
 }
 
 struct DataNode {
@@ -141,6 +143,7 @@ impl HdfsStore {
 impl ObjectStore for HdfsStore {
     fn put(&self, key: &str, data: Vec<u8>) -> Result<(), StorageError> {
         let len = data.len() as u64;
+        let crc = gzlite::crc32(&data);
         let mut block_ids = Vec::new();
         if data.is_empty() {
             // Zero-length files still get a metadata entry, no blocks.
@@ -157,6 +160,7 @@ impl ObjectStore for HdfsStore {
             FileMeta {
                 blocks: block_ids,
                 len,
+                crc,
             },
         ) {
             drop(files);
@@ -209,6 +213,10 @@ impl ObjectStore for HdfsStore {
 
     fn size(&self, key: &str) -> Option<u64> {
         self.files.read().get(key).map(|m| m.len)
+    }
+
+    fn checksum(&self, key: &str) -> Option<u32> {
+        self.files.read().get(key).map(|m| m.crc)
     }
 
     fn kind(&self) -> &'static str {

@@ -102,6 +102,10 @@ impl ObjectStore for LatencyStore {
         self.inner.size(key)
     }
 
+    fn checksum(&self, key: &str) -> Option<u32> {
+        self.inner.checksum(key)
+    }
+
     fn kind(&self) -> &'static str {
         self.inner.kind()
     }

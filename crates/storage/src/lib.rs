@@ -24,15 +24,19 @@
 //!   parsing for the cluster configuration file.
 
 mod azure;
+mod chaos;
 mod hdfs;
 mod latency;
+mod retry;
 mod s3;
 mod transfer;
 mod uri;
 
 pub use azure::{AccessLevel, AzureAccount, AzureBlobStore};
+pub use chaos::{ChaosStats, ChaosStore, FaultKind, FaultPlan, FaultRule, OpFilter, Trigger};
 pub use hdfs::{HdfsStore, DEFAULT_BLOCK_SIZE};
 pub use latency::LatencyStore;
+pub use retry::{RetryPolicy, RetrySession, RetryStats};
 pub use s3::{MultipartUpload, S3Service, S3Store};
 pub use transfer::{
     ItemReport, PipelineReport, PipelineResult, TransferConfig, TransferManager, TransferReport,
@@ -57,6 +61,9 @@ pub enum StorageError {
     Unavailable(String),
     /// Payload failed integrity checks on download.
     Corrupted(String),
+    /// An operation or transfer overran its deadline. Retryable when the
+    /// per-op deadline expired; the whole-transfer deadline is terminal.
+    Timeout(String),
     /// Malformed URI or configuration.
     BadUri(String),
 }
@@ -70,6 +77,7 @@ impl fmt::Display for StorageError {
             StorageError::Transient(why) => write!(f, "transient storage error: {why}"),
             StorageError::Unavailable(why) => write!(f, "data unavailable: {why}"),
             StorageError::Corrupted(why) => write!(f, "corrupted object: {why}"),
+            StorageError::Timeout(why) => write!(f, "deadline exceeded: {why}"),
             StorageError::BadUri(u) => write!(f, "bad storage uri: {u}"),
         }
     }
@@ -78,9 +86,11 @@ impl fmt::Display for StorageError {
 impl std::error::Error for StorageError {}
 
 impl StorageError {
-    /// Whether a retry might succeed.
+    /// Whether a retry might succeed. Per-op timeouts are retryable
+    /// (the op was merely slow); whole-transfer deadline expiry is
+    /// reported by the retry layer as a terminal error instead.
     pub fn is_transient(&self) -> bool {
-        matches!(self, StorageError::Transient(_))
+        matches!(self, StorageError::Transient(_) | StorageError::Timeout(_))
     }
 }
 
@@ -104,6 +114,14 @@ pub trait ObjectStore: Send + Sync {
 
     /// Object size in bytes, if present.
     fn size(&self, key: &str) -> Option<u64>;
+
+    /// CRC32 of the stored bytes, when the backend tracks one (S3's
+    /// ETag, HDFS block checksums). `None` when the backend has no
+    /// content hash; the transfer layer then falls back to its own
+    /// upload-time ledger.
+    fn checksum(&self, _key: &str) -> Option<u32> {
+        None
+    }
 
     /// Backend label ("s3", "hdfs") for logs and reports.
     fn kind(&self) -> &'static str;

@@ -1,0 +1,365 @@
+//! Retry policy for WAN transfers: exponential backoff with decorrelated
+//! jitter, per-op and whole-transfer deadlines, and error classification.
+//!
+//! The original transfer engine retried transient faults in a zero-delay
+//! tight loop — correct against the in-memory mock, hopeless against a
+//! throttling cloud service, where immediate re-sends synchronize
+//! clients and amplify the overload that caused the fault. This module
+//! replaces it with the industry-standard policy: each retry sleeps a
+//! random duration drawn from `[base, 3 × previous]`, capped
+//! (decorrelated jitter), so concurrent retriers spread out. The RNG is
+//! seeded per key, keeping every schedule reproducible in tests.
+//!
+//! Deadlines bound the damage of a slow-but-not-dead store: an op that
+//! fails after overrunning `op_deadline` is classified as
+//! [`StorageError::Timeout`] rather than a generic transient fault, and
+//! once `transfer_deadline` is spent the session refuses further
+//! retries, surfacing `Timeout` instead of sleeping forever.
+//!
+//! Corruption gets its own budget: integrity failures
+//! ([`StorageError::Corrupted`]) are retried as *re-fetches* up to
+//! `max_refetches` times — re-reading heals in-flight bit flips, while
+//! at-rest damage exhausts the budget quickly and surfaces loudly.
+
+use crate::StorageError;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Tunable retry/backoff/deadline policy of the transfer engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Transient-fault retries permitted per operation.
+    pub max_retries: usize,
+    /// Corruption-triggered re-fetches permitted per download.
+    pub max_refetches: usize,
+    /// First backoff sleep; `ZERO` disables sleeping entirely (the
+    /// retries still happen, back to back).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Failed ops that ran at least this long are classified as
+    /// [`StorageError::Timeout`]; `ZERO` disables the classification.
+    pub op_deadline: Duration,
+    /// Whole-transfer budget: once this much wall time is spent on one
+    /// op (attempts + backoff), no further retry is granted and the
+    /// session reports `Timeout`. `ZERO` disables the budget.
+    pub transfer_deadline: Duration,
+    /// Seed of the jitter RNG (mixed with the object key, so schedules
+    /// are deterministic per key and decorrelated across keys).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            max_refetches: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            op_deadline: Duration::ZERO,
+            transfer_deadline: Duration::ZERO,
+            seed: 0xC10D_5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that retries immediately, like the old tight loop (tests,
+    /// overhead baselines).
+    pub fn without_backoff(mut self) -> Self {
+        self.backoff_base = Duration::ZERO;
+        self
+    }
+
+    /// Start a retry session for one operation on `key`.
+    pub fn session(&self, key: &str) -> RetrySession<'_> {
+        // FNV-1a over the key, mixed into the policy seed: stable across
+        // runs, different streams per object.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        RetrySession {
+            policy: self,
+            started: Instant::now(),
+            rng: StdRng::seed_from_u64(self.seed ^ h),
+            prev_backoff: Duration::ZERO,
+            stats: RetryStats::default(),
+        }
+    }
+}
+
+/// Counters accumulated by one [`RetrySession`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RetryStats {
+    /// Transient-fault retries performed (includes timeout retries).
+    pub retries: u32,
+    /// Corruption-triggered re-fetches performed.
+    pub refetches: u32,
+    /// Ops classified as timed out (failed past `op_deadline`, or the
+    /// transfer deadline expiring mid-retry).
+    pub timeouts: u32,
+    /// Total time slept in backoff.
+    pub backoff: Duration,
+}
+
+/// Live retry state for one operation: owns the attempt/backoff/deadline
+/// bookkeeping so call sites reduce to `loop { run(op); on_error(e)? }`.
+pub struct RetrySession<'p> {
+    policy: &'p RetryPolicy,
+    started: Instant,
+    rng: StdRng,
+    prev_backoff: Duration,
+    stats: RetryStats,
+}
+
+impl RetrySession<'_> {
+    /// Counters so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Would another transient retry be granted right now? Call sites
+    /// use this to move (rather than clone) the payload into the final
+    /// permitted attempt.
+    pub fn may_retry(&self) -> bool {
+        (self.stats.retries as usize) < self.policy.max_retries && self.within_deadline()
+    }
+
+    fn within_deadline(&self) -> bool {
+        self.policy.transfer_deadline.is_zero()
+            || self.started.elapsed() < self.policy.transfer_deadline
+    }
+
+    /// Run one attempt, classifying slow failures as
+    /// [`StorageError::Timeout`] per `op_deadline`.
+    pub fn run<T>(
+        &mut self,
+        op: impl FnOnce() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let t = Instant::now();
+        let result = op();
+        let elapsed = t.elapsed();
+        let overran = !self.policy.op_deadline.is_zero() && elapsed >= self.policy.op_deadline;
+        match result {
+            Ok(v) => {
+                if overran {
+                    // Slow success: accept the data, record the spike.
+                    self.stats.timeouts += 1;
+                }
+                Ok(v)
+            }
+            Err(e) if overran && e.is_transient() => Err(StorageError::Timeout(format!(
+                "op exceeded {:?} deadline ({:.1?} elapsed): {e}",
+                self.policy.op_deadline, elapsed
+            ))),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Decide what to do after a failed attempt: `Ok(())` means the
+    /// backoff sleep was taken and the caller should retry; `Err` means
+    /// the budget is exhausted (or the error is permanent) and the
+    /// caller must surface it.
+    pub fn on_error(&mut self, e: StorageError) -> Result<(), StorageError> {
+        if !self.within_deadline() {
+            self.stats.timeouts += 1;
+            return Err(StorageError::Timeout(format!(
+                "transfer deadline {:?} exhausted after {} retries; last error: {e}",
+                self.policy.transfer_deadline, self.stats.retries
+            )));
+        }
+        match &e {
+            StorageError::Corrupted(_)
+                if (self.stats.refetches as usize) < self.policy.max_refetches =>
+            {
+                self.stats.refetches += 1;
+            }
+            _ if e.is_transient() && (self.stats.retries as usize) < self.policy.max_retries => {
+                if matches!(e, StorageError::Timeout(_)) {
+                    self.stats.timeouts += 1;
+                }
+                self.stats.retries += 1;
+            }
+            _ => return Err(e),
+        }
+        self.backoff_sleep();
+        Ok(())
+    }
+
+    /// Decorrelated jitter: `sleep = min(cap, uniform(base, 3 × prev))`.
+    fn backoff_sleep(&mut self) {
+        let base = self.policy.backoff_base;
+        if base.is_zero() {
+            return;
+        }
+        let hi = (self.prev_backoff * 3)
+            .max(base)
+            .min(self.policy.backoff_cap);
+        let span_ns = hi.as_nanos().saturating_sub(base.as_nanos()) as u64;
+        let jitter_ns = if span_ns == 0 {
+            0
+        } else {
+            self.rng.next_u64() % (span_ns + 1)
+        };
+        let sleep = base + Duration::from_nanos(jitter_ns);
+        self.prev_backoff = sleep;
+        self.stats.backoff += sleep;
+        std::thread::sleep(sleep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(max_retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff_base: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn transient_errors_retry_until_budget_exhausted() {
+        let policy = fast(2);
+        let mut sess = policy.session("k");
+        assert!(sess.on_error(StorageError::Transient("a".into())).is_ok());
+        assert!(sess.on_error(StorageError::Transient("b".into())).is_ok());
+        let e = sess
+            .on_error(StorageError::Transient("c".into()))
+            .unwrap_err();
+        assert!(e.is_transient(), "budget exhaustion surfaces the error");
+        assert_eq!(sess.stats().retries, 2);
+    }
+
+    #[test]
+    fn permanent_errors_fail_immediately() {
+        let policy = fast(5);
+        let mut sess = policy.session("k");
+        let e = sess
+            .on_error(StorageError::NotFound("k".into()))
+            .unwrap_err();
+        assert!(matches!(e, StorageError::NotFound(_)));
+        assert_eq!(sess.stats().retries, 0);
+    }
+
+    #[test]
+    fn corruption_uses_the_refetch_budget_not_the_retry_budget() {
+        let policy = RetryPolicy {
+            max_retries: 0,
+            max_refetches: 2,
+            backoff_base: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let mut sess = policy.session("k");
+        assert!(sess.on_error(StorageError::Corrupted("x".into())).is_ok());
+        assert!(sess.on_error(StorageError::Corrupted("x".into())).is_ok());
+        assert!(matches!(
+            sess.on_error(StorageError::Corrupted("x".into())),
+            Err(StorageError::Corrupted(_))
+        ));
+        assert_eq!(sess.stats().refetches, 2);
+        assert_eq!(sess.stats().retries, 0);
+    }
+
+    #[test]
+    fn slow_failed_ops_are_classified_as_timeouts() {
+        let policy = RetryPolicy {
+            op_deadline: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        };
+        let mut sess = policy.session("k");
+        let e = sess
+            .run(|| -> Result<(), StorageError> {
+                std::thread::sleep(Duration::from_millis(10));
+                Err(StorageError::Transient("slow blip".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(e, StorageError::Timeout(_)), "got {e:?}");
+        assert!(e.is_transient(), "timeouts remain retryable");
+        // Fast failures keep their original class.
+        let e = sess
+            .run(|| -> Result<(), StorageError> { Err(StorageError::Transient("fast".into())) })
+            .unwrap_err();
+        assert!(matches!(e, StorageError::Transient(_)));
+    }
+
+    #[test]
+    fn slow_successes_are_accepted_but_counted() {
+        let policy = RetryPolicy {
+            op_deadline: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let mut sess = policy.session("k");
+        let v = sess
+            .run(|| -> Result<u32, StorageError> {
+                std::thread::sleep(Duration::from_millis(6));
+                Ok(7)
+            })
+            .unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(sess.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn transfer_deadline_expiry_surfaces_timeout() {
+        let policy = RetryPolicy {
+            max_retries: 1000,
+            backoff_base: Duration::ZERO,
+            transfer_deadline: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        };
+        let mut sess = policy.session("k");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match sess.on_error(StorageError::Transient("flap".into())) {
+                Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+                Err(e) => {
+                    assert!(matches!(e, StorageError::Timeout(_)), "got {e:?}");
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "deadline never enforced");
+        }
+        assert!(sess.stats().timeouts >= 1);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic_per_seed() {
+        let policy = RetryPolicy {
+            max_retries: 6,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_micros(800),
+            ..RetryPolicy::default()
+        };
+        let run = || {
+            let mut sess = policy.session("same-key");
+            for _ in 0..6 {
+                sess.on_error(StorageError::Transient("x".into())).unwrap();
+            }
+            sess.stats().backoff
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same seed + key => same jitter schedule");
+        assert!(a >= Duration::from_micros(600), "at least base per retry");
+        assert!(a <= Duration::from_micros(4800), "capped per retry");
+        // A different key draws a different (but still bounded) schedule.
+        let mut sess = policy.session("other-key");
+        for _ in 0..6 {
+            sess.on_error(StorageError::Transient("x".into())).unwrap();
+        }
+    }
+
+    #[test]
+    fn may_retry_tracks_the_budget() {
+        let policy = fast(1);
+        let mut sess = policy.session("k");
+        assert!(sess.may_retry());
+        sess.on_error(StorageError::Transient("x".into())).unwrap();
+        assert!(!sess.may_retry(), "budget spent");
+    }
+}

@@ -224,6 +224,11 @@ impl ObjectStore for S3Store {
             .map(|o| o.data.len() as u64)
     }
 
+    fn checksum(&self, key: &str) -> Option<u32> {
+        // The ETag of this service is a crc32 of the object's content.
+        self.etag(key)
+    }
+
     fn kind(&self) -> &'static str {
         "s3"
     }

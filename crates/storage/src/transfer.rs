@@ -5,12 +5,25 @@
 //! compression if the data size is larger than a predefined minimal
 //! compression size)." This module reproduces that exactly — one worker
 //! per buffer, compression above `min_compression_size`, transparent
-//! decompression on download, bounded retries on transient storage
-//! faults — and reports per-item raw/wire byte counts and timings, the
-//! raw material of the Fig. 5 "host-target communication" bars.
+//! decompression on download — and reports per-item raw/wire byte counts
+//! and timings, the raw material of the Fig. 5 "host-target
+//! communication" bars.
+//!
+//! Every store operation runs under a [`RetryPolicy`] session:
+//! exponential backoff with decorrelated jitter on transient faults,
+//! per-op/whole-transfer deadlines, and a separate bounded re-fetch
+//! budget for corruption. Downloads are verified end to end: the wire
+//! bytes of every put are recorded in a crc32 ledger (falling back to the
+//! backend's own [`checksum`](ObjectStore::checksum) for objects staged
+//! elsewhere) and checked on get before decompression — a mismatch
+//! surfaces as retryable [`StorageError::Corrupted`], never as silent
+//! bad data.
 
-use crate::{ObjectStore, StorageError, StoreHandle};
+use crate::retry::{RetryPolicy, RetryStats};
+use crate::{StorageError, StoreHandle};
 use gzlite::MAGIC;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Tuning knobs of the transfer engine.
@@ -24,8 +37,12 @@ pub struct TransferConfig {
     pub stream_threshold: usize,
     /// Chunk size for streamed compression.
     pub stream_chunk: usize,
-    /// Retries on transient storage errors before giving up.
-    pub max_retries: usize,
+    /// Retry/backoff/deadline policy applied to every store operation.
+    pub retry: RetryPolicy,
+    /// Verify the crc32 of the wire bytes on every download against the
+    /// upload-time ledger (or the backend checksum). Mismatches surface
+    /// as retryable [`StorageError::Corrupted`].
+    pub verify_integrity: bool,
     /// Cap on concurrent transfer threads (one per buffer up to this).
     pub max_threads: usize,
 }
@@ -38,7 +55,8 @@ impl Default for TransferConfig {
             min_compression_size: 1024,
             stream_threshold: 16 * 1024 * 1024,
             stream_chunk: gzlite::DEFAULT_CHUNK,
-            max_retries: 3,
+            retry: RetryPolicy::default(),
+            verify_integrity: true,
             max_threads: 16,
         }
     }
@@ -59,6 +77,21 @@ pub struct ItemReport {
     pub seconds: f64,
     /// Transient-fault retries performed.
     pub retries: u32,
+    /// Corruption-triggered re-fetches performed.
+    pub refetches: u32,
+    /// Ops that overran their deadline (slow successes included).
+    pub timeouts: u32,
+    /// Time spent sleeping in retry backoff.
+    pub backoff_s: f64,
+}
+
+impl ItemReport {
+    fn fold_stats(&mut self, stats: RetryStats) {
+        self.retries += stats.retries;
+        self.refetches += stats.refetches;
+        self.timeouts += stats.timeouts;
+        self.backoff_s += stats.backoff.as_secs_f64();
+    }
 }
 
 /// Aggregate outcome of a batch transfer.
@@ -90,6 +123,26 @@ impl TransferReport {
         } else {
             self.wire_bytes() as f64 / raw as f64
         }
+    }
+
+    /// Transient-fault retries across the batch.
+    pub fn total_retries(&self) -> u32 {
+        self.items.iter().map(|i| i.retries).sum()
+    }
+
+    /// Corruption re-fetches across the batch.
+    pub fn total_refetches(&self) -> u32 {
+        self.items.iter().map(|i| i.refetches).sum()
+    }
+
+    /// Deadline overruns across the batch.
+    pub fn total_timeouts(&self) -> u32 {
+        self.items.iter().map(|i| i.timeouts).sum()
+    }
+
+    /// Seconds slept in retry backoff across the batch.
+    pub fn total_backoff_s(&self) -> f64 {
+        self.items.iter().map(|i| i.backoff_s).sum()
     }
 }
 
@@ -127,6 +180,26 @@ impl PipelineReport {
         self.items.iter().map(|i| i.wire_bytes).sum()
     }
 
+    /// Transient-fault retries across the pipeline.
+    pub fn total_retries(&self) -> u32 {
+        self.items.iter().map(|i| i.retries).sum()
+    }
+
+    /// Corruption re-fetches across the pipeline.
+    pub fn total_refetches(&self) -> u32 {
+        self.items.iter().map(|i| i.refetches).sum()
+    }
+
+    /// Deadline overruns across the pipeline.
+    pub fn total_timeouts(&self) -> u32 {
+        self.items.iter().map(|i| i.timeouts).sum()
+    }
+
+    /// Seconds slept in retry backoff across the pipeline.
+    pub fn total_backoff_s(&self) -> f64 {
+        self.items.iter().map(|i| i.backoff_s).sum()
+    }
+
     /// Critical-path seconds of the compression stage: aggregate busy
     /// time normalized by the pool width — what the stage would have
     /// added to the wall had it run alone at the same parallelism.
@@ -162,12 +235,19 @@ pub type PipelineResult = (Vec<(String, Vec<u8>)>, PipelineReport);
 pub struct TransferManager {
     store: StoreHandle,
     config: TransferConfig,
+    /// crc32 of the wire bytes of every object this manager uploaded —
+    /// the reference downloads are verified against.
+    ledger: parking_lot::Mutex<HashMap<String, u32>>,
 }
 
 impl TransferManager {
     /// Transfer engine over `store`.
     pub fn new(store: StoreHandle, config: TransferConfig) -> Self {
-        TransferManager { store, config }
+        TransferManager {
+            store,
+            config,
+            ledger: parking_lot::Mutex::new(HashMap::new()),
+        }
     }
 
     /// The store this manager writes to.
@@ -175,24 +255,143 @@ impl TransferManager {
         &self.store
     }
 
+    /// Drop integrity-ledger entries under `prefix` — call when the
+    /// objects themselves are deleted, so the ledger doesn't grow without
+    /// bound across offloads.
+    pub fn forget_prefix(&self, prefix: &str) {
+        self.ledger.lock().retain(|k, _| !k.starts_with(prefix));
+    }
+
+    /// Put `wire` under `key` with retries; records the wire crc32 in
+    /// the integrity ledger. The payload is cloned only while another
+    /// retry is still permitted — the terminal attempt moves it.
+    fn put_wire(
+        &self,
+        key: &str,
+        wire: Vec<u8>,
+        io_timer: Option<&AtomicU64>,
+    ) -> Result<RetryStats, StorageError> {
+        let crc = self.config.verify_integrity.then(|| gzlite::crc32(&wire));
+        let mut sess = self.config.retry.session(key);
+        let mut wire = Some(wire);
+        loop {
+            let attempt = if sess.may_retry() {
+                wire.as_ref()
+                    .cloned()
+                    .expect("payload kept while retryable")
+            } else {
+                // No further retry can be granted, so the payload is
+                // never needed again: move it.
+                wire.take().expect("terminal attempt")
+            };
+            let t = Instant::now();
+            let result = sess.run(|| self.store.put(key, attempt));
+            if let Some(timer) = io_timer {
+                timer.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            match result {
+                Ok(()) => {
+                    if let Some(crc) = crc {
+                        self.ledger.lock().insert(key.to_string(), crc);
+                    }
+                    return Ok(sess.stats());
+                }
+                Err(e) => sess.on_error(e)?,
+            }
+        }
+    }
+
+    /// Get `key` with retries, verify integrity, and decompress. With
+    /// `timers = (io, cpu)`, store time lands on `io` and
+    /// verification/decompression on `cpu` (the pipelined accounting).
+    /// Returns `(payload, wire_bytes, compressed, stats)`.
+    fn fetch_with_retry(
+        &self,
+        key: &str,
+        timers: Option<(&AtomicU64, &AtomicU64)>,
+    ) -> Result<(Vec<u8>, u64, bool, RetryStats), StorageError> {
+        let mut sess = self.config.retry.session(key);
+        loop {
+            let t = Instant::now();
+            let fetched = sess.run(|| self.store.get(key));
+            if let Some((io, _)) = timers {
+                io.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            let wire = match fetched {
+                Ok(w) => w,
+                Err(e) => {
+                    sess.on_error(e)?;
+                    continue;
+                }
+            };
+            let t = Instant::now();
+            let decoded = self.verify_and_decode(key, wire);
+            if let Some((_, cpu)) = timers {
+                cpu.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            match decoded {
+                Ok((payload, wire_bytes, compressed)) => {
+                    return Ok((payload, wire_bytes, compressed, sess.stats()))
+                }
+                // Corruption is retryable through the re-fetch budget: an
+                // in-flight bit flip heals on the next read, at-rest
+                // damage exhausts the budget and surfaces `Corrupted`.
+                Err(e) => sess.on_error(e)?,
+            }
+        }
+    }
+
+    /// Check the wire bytes against the ledger (or backend checksum) and
+    /// decompress. Returns `(payload, wire_bytes, compressed)`.
+    fn verify_and_decode(
+        &self,
+        key: &str,
+        wire: Vec<u8>,
+    ) -> Result<(Vec<u8>, u64, bool), StorageError> {
+        let wire_bytes = wire.len() as u64;
+        if self.config.verify_integrity {
+            let expected = self
+                .ledger
+                .lock()
+                .get(key)
+                .copied()
+                .or_else(|| self.store.checksum(key));
+            if let Some(expected) = expected {
+                let actual = gzlite::crc32(&wire);
+                if actual != expected {
+                    return Err(StorageError::Corrupted(format!(
+                        "{key}: wire crc32 {actual:#010x} != recorded {expected:#010x}"
+                    )));
+                }
+            }
+        }
+        let (payload, compressed) = decode_wire(key, wire)?;
+        Ok((payload, wire_bytes, compressed))
+    }
+
     /// Upload a batch of `(key, payload)` buffers, one worker thread per
     /// buffer (capped at `max_threads`). Blocks until every buffer landed.
     pub fn upload(&self, items: Vec<(String, Vec<u8>)>) -> Result<TransferReport, StorageError> {
         let t0 = Instant::now();
-        let results = self.run_parallel(items, |store, config, key, payload| {
+        let results = self.run_parallel(items, |key, payload| {
             let t = Instant::now();
             let raw_bytes = payload.len() as u64;
-            let (wire, compressed) = compress_for_wire(config, payload);
+            let (wire, compressed) = compress_for_wire(&self.config, payload);
             let wire_bytes = wire.len() as u64;
-            let retries = put_with_retry(store.as_ref(), config.max_retries, &key, wire)?;
-            Ok(ItemReport {
+            let stats = self.put_wire(&key, wire, None)?;
+            let mut report = ItemReport {
                 key,
                 raw_bytes,
                 wire_bytes,
                 compressed,
                 seconds: t.elapsed().as_secs_f64(),
-                retries,
-            })
+                retries: 0,
+                refetches: 0,
+                timeouts: 0,
+                backoff_s: 0.0,
+            };
+            report.fold_stats(stats);
+            Ok(report)
         })?;
         Ok(TransferReport {
             items: results,
@@ -206,32 +405,22 @@ impl TransferManager {
         let t0 = Instant::now();
         let results = self.run_parallel(
             keys.into_iter().map(|k| (k, Vec::new())).collect(),
-            |store, config, key, _| {
+            |key, _| {
                 let t = Instant::now();
-                let (wire, retries) = get_with_retry(store.as_ref(), config.max_retries, &key)?;
-                let wire_bytes = wire.len() as u64;
-                let (payload, compressed) = if gzlite::is_stream(&wire) {
-                    let decoded = gzlite::decompress_stream(&wire)
-                        .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))?;
-                    (decoded, true)
-                } else if wire.len() >= MAGIC.len() && wire[..MAGIC.len()] == MAGIC {
-                    let decoded = gzlite::decompress(&wire)
-                        .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))?;
-                    (decoded, true)
-                } else {
-                    (wire, false)
+                let (payload, wire_bytes, compressed, stats) = self.fetch_with_retry(&key, None)?;
+                let mut report = ItemReport {
+                    key,
+                    raw_bytes: payload.len() as u64,
+                    wire_bytes,
+                    compressed,
+                    seconds: t.elapsed().as_secs_f64(),
+                    retries: 0,
+                    refetches: 0,
+                    timeouts: 0,
+                    backoff_s: 0.0,
                 };
-                Ok((
-                    ItemReport {
-                        key,
-                        raw_bytes: payload.len() as u64,
-                        wire_bytes,
-                        compressed,
-                        seconds: t.elapsed().as_secs_f64(),
-                        retries,
-                    },
-                    payload,
-                ))
+                report.fold_stats(stats);
+                Ok((report, payload))
             },
         )?;
         let mut items = Vec::with_capacity(results.len());
@@ -267,7 +456,7 @@ impl TransferManager {
         fetch_only: Vec<String>,
         io_threads: usize,
     ) -> Result<PipelineResult, StorageError> {
-        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+        use std::sync::atomic::AtomicUsize;
 
         let t0 = Instant::now();
         let total = put_items.len() + fetch_only.len();
@@ -281,7 +470,6 @@ impl TransferManager {
                 idx: usize,
                 key: String,
                 wire: Vec<u8>,
-                raw_bytes: u64,
                 compressed: bool,
             },
             /// Already staged: read (and decompress) only.
@@ -315,76 +503,41 @@ impl TransferManager {
                 let (slots, cpu_busy_ns, io_busy_ns) = (&slots, &cpu_busy_ns, &io_busy_ns);
                 scope.spawn(move || {
                     for job in rx.iter() {
-                        let (idx, key, put_result) = match job {
+                        let (idx, key, put_outcome) = match job {
                             IoJob::PutGet {
                                 idx,
                                 key,
                                 wire,
-                                raw_bytes,
                                 compressed,
-                            } => {
-                                let t = Instant::now();
-                                let put = put_with_retry(
-                                    self.store.as_ref(),
-                                    self.config.max_retries,
-                                    &key,
-                                    wire,
-                                );
-                                io_busy_ns
-                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                                (idx, key, Some((put, raw_bytes, compressed)))
-                            }
-                            IoJob::Get { idx, key } => (idx, key, None),
-                        };
-                        let mut retries = 0u32;
-                        let mut compressed = false;
-                        if let Some((put, _, c)) = &put_result {
-                            compressed = *c;
-                            match put {
-                                Ok(r) => retries += r,
+                            } => match self.put_wire(&key, wire, Some(io_busy_ns)) {
+                                Ok(stats) => (idx, key, Some((stats, compressed))),
                                 Err(e) => {
-                                    *slots[idx].lock() = Some(Err(e.clone()));
+                                    *slots[idx].lock() = Some(Err(e));
                                     continue;
                                 }
-                            }
-                        }
-                        let t = Instant::now();
-                        let fetched =
-                            get_with_retry(self.store.as_ref(), self.config.max_retries, &key);
-                        io_busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        let (wire, get_retries) = match fetched {
-                            Ok(x) => x,
-                            Err(e) => {
-                                *slots[idx].lock() = Some(Err(e));
-                                continue;
-                            }
+                            },
+                            IoJob::Get { idx, key } => (idx, key, None),
                         };
-                        retries += get_retries;
-                        let wire_bytes = wire.len() as u64;
-                        let t = Instant::now();
-                        let payload = if gzlite::is_stream(&wire) {
-                            compressed = true;
-                            gzlite::decompress_stream(&wire)
-                                .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))
-                        } else if wire.len() >= MAGIC.len() && wire[..MAGIC.len()] == MAGIC {
-                            compressed = true;
-                            gzlite::decompress(&wire)
-                                .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))
-                        } else {
-                            Ok(wire)
-                        };
-                        cpu_busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        *slots[idx].lock() = Some(payload.map(|p| {
-                            let report = ItemReport {
-                                key,
-                                raw_bytes: p.len() as u64,
-                                wire_bytes,
-                                compressed,
-                                seconds: 0.0,
-                                retries,
-                            };
-                            (report, p)
-                        }));
+                        let (put_stats, put_compressed) =
+                            put_outcome.unwrap_or((RetryStats::default(), false));
+                        let fetched = self.fetch_with_retry(&key, Some((io_busy_ns, cpu_busy_ns)));
+                        *slots[idx].lock() =
+                            Some(fetched.map(|(payload, wire_bytes, compressed, get_stats)| {
+                                let mut report = ItemReport {
+                                    key,
+                                    raw_bytes: payload.len() as u64,
+                                    wire_bytes,
+                                    compressed: put_compressed || compressed,
+                                    seconds: 0.0,
+                                    retries: 0,
+                                    refetches: 0,
+                                    timeouts: 0,
+                                    backoff_s: 0.0,
+                                };
+                                report.fold_stats(put_stats);
+                                report.fold_stats(get_stats);
+                                (report, payload)
+                            }));
                     }
                 });
             }
@@ -409,14 +562,12 @@ impl TransferManager {
                     }
                     let (idx, key, payload) = queue[q].lock().take().expect("claimed once");
                     let t = Instant::now();
-                    let raw_bytes = payload.len() as u64;
                     let (wire, compressed) = compress_for_wire(config, payload);
                     cpu_busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     let _ = tx.send(IoJob::PutGet {
                         idx,
                         key,
                         wire,
-                        raw_bytes,
                         compressed,
                     });
                 });
@@ -456,14 +607,14 @@ impl TransferManager {
     ) -> Result<Vec<R>, StorageError>
     where
         R: Send,
-        F: Fn(&StoreHandle, &TransferConfig, String, Vec<u8>) -> Result<R, StorageError> + Sync,
+        F: Fn(String, Vec<u8>) -> Result<R, StorageError> + Sync,
     {
         if items.is_empty() {
             return Ok(Vec::new());
         }
         if items.len() == 1 {
             let (key, payload) = items.into_iter().next().expect("one item");
-            return Ok(vec![work(&self.store, &self.config, key, payload)?]);
+            return Ok(vec![work(key, payload)?]);
         }
         let threads = items.len().min(self.config.max_threads.max(1));
         type QueueSlot = parking_lot::Mutex<Option<(usize, String, Vec<u8>)>>;
@@ -485,7 +636,7 @@ impl TransferManager {
                         return;
                     }
                     let (i, key, payload) = queue[idx].lock().take().expect("claimed once");
-                    let result = work(&self.store, &self.config, key, payload);
+                    let result = work(key, payload);
                     slots_mutex.lock()[i] = Some(result);
                 });
             }
@@ -527,42 +678,31 @@ fn compress_for_wire(config: &TransferConfig, payload: Vec<u8>) -> (Vec<u8>, boo
     }
 }
 
-fn put_with_retry(
-    store: &dyn ObjectStore,
-    max_retries: usize,
-    key: &str,
-    data: Vec<u8>,
-) -> Result<u32, StorageError> {
-    let mut retries = 0u32;
-    loop {
-        match store.put(key, data.clone()) {
-            Ok(()) => return Ok(retries),
-            Err(e) if e.is_transient() && (retries as usize) < max_retries => retries += 1,
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-fn get_with_retry(
-    store: &dyn ObjectStore,
-    max_retries: usize,
-    key: &str,
-) -> Result<(Vec<u8>, u32), StorageError> {
-    let mut retries = 0u32;
-    loop {
-        match store.get(key) {
-            Ok(d) => return Ok((d, retries)),
-            Err(e) if e.is_transient() && (retries as usize) < max_retries => retries += 1,
-            Err(e) => return Err(e),
-        }
+/// Transparently decompress wire bytes: multi-frame streams, single
+/// frames (both with internal CRCs), or raw passthrough. Returns the
+/// payload and whether it was compressed on the wire.
+fn decode_wire(key: &str, wire: Vec<u8>) -> Result<(Vec<u8>, bool), StorageError> {
+    if gzlite::is_stream(&wire) {
+        let decoded = gzlite::decompress_stream(&wire)
+            .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))?;
+        Ok((decoded, true))
+    } else if wire.len() >= MAGIC.len() && wire[..MAGIC.len()] == MAGIC {
+        let decoded = gzlite::decompress(&wire)
+            .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))?;
+        Ok((decoded, true))
+    } else {
+        Ok((wire, false))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{ChaosStore, FaultKind, FaultPlan, FaultRule, OpFilter, Trigger};
     use crate::s3::S3Store;
+    use crate::ObjectStore;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn manager(min_compress: usize) -> (TransferManager, S3Store) {
         let store = S3Store::standalone("xfer");
@@ -570,6 +710,22 @@ mod tests {
             Arc::new(store.clone()),
             TransferConfig {
                 min_compression_size: min_compress,
+                retry: RetryPolicy::default().without_backoff(),
+                ..Default::default()
+            },
+        );
+        (tm, store)
+    }
+
+    /// Manager whose store runs a chaos plan; retries don't sleep.
+    fn chaos_manager(min_compress: usize, plan: FaultPlan) -> (TransferManager, S3Store) {
+        let store = S3Store::standalone("xfer");
+        let chaos = ChaosStore::new(Arc::new(store.clone()), plan);
+        let tm = TransferManager::new(
+            Arc::new(chaos),
+            TransferConfig {
+                min_compression_size: min_compress,
+                retry: RetryPolicy::default().without_backoff(),
                 ..Default::default()
             },
         );
@@ -596,6 +752,7 @@ mod tests {
         assert_eq!(payloads[0], ("in/A".to_string(), a));
         assert_eq!(payloads[1], ("in/B".to_string(), b));
         assert_eq!(dreport.items.len(), 2);
+        assert_eq!(dreport.total_refetches(), 0, "clean run never re-fetches");
     }
 
     #[test]
@@ -652,12 +809,182 @@ mod tests {
         let tm = TransferManager::new(
             Arc::new(store.clone()),
             TransferConfig {
-                max_retries: 1,
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    ..RetryPolicy::default()
+                }
+                .without_backoff(),
                 ..Default::default()
             },
         );
         store.service().inject_transient_faults(10);
         assert!(tm.upload(vec![("k".into(), vec![1])]).is_err());
+    }
+
+    #[test]
+    fn backoff_sleeps_between_retries() {
+        let store = S3Store::standalone("xfer");
+        let tm = TransferManager::new(
+            Arc::new(store.clone()),
+            TransferConfig {
+                retry: RetryPolicy {
+                    backoff_base: Duration::from_millis(5),
+                    backoff_cap: Duration::from_millis(20),
+                    ..RetryPolicy::default()
+                },
+                ..Default::default()
+            },
+        );
+        store.service().inject_transient_faults(2);
+        let t = std::time::Instant::now();
+        let report = tm.upload(vec![("k".into(), vec![1, 2, 3])]).unwrap();
+        assert_eq!(report.items[0].retries, 2);
+        assert!(
+            t.elapsed() >= Duration::from_millis(10),
+            "two retries sleep at least 2 x base"
+        );
+        assert!(report.total_backoff_s() >= 0.010);
+    }
+
+    #[test]
+    fn in_flight_corruption_heals_via_refetch() {
+        // The chaos plan flips one bit of the first get's response only;
+        // the integrity check catches it and the re-fetch returns the
+        // intact object.
+        let plan = FaultPlan::new(42).rule(FaultRule::new(
+            OpFilter::Get,
+            Trigger::OpIndex(0),
+            FaultKind::Corrupt,
+        ));
+        let (tm, _) = chaos_manager(usize::MAX, plan);
+        let data: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
+        tm.upload(vec![("k".into(), data.clone())]).unwrap();
+        let (payloads, report) = tm.download(vec!["k".into()]).unwrap();
+        assert_eq!(payloads[0].1, data, "healed payload is bitwise intact");
+        assert_eq!(report.items[0].refetches, 1, "exactly one re-fetch");
+        assert_eq!(report.items[0].retries, 0, "corruption uses its own budget");
+    }
+
+    #[test]
+    fn at_rest_corruption_exhausts_refetch_budget_and_errors() {
+        // Every read of the damaged object disagrees with the ledger;
+        // the bounded re-fetch budget runs dry and surfaces `Corrupted`
+        // instead of silent bad data.
+        let (tm, store) = manager(usize::MAX);
+        let data = vec![7u8; 512];
+        tm.upload(vec![("k".into(), data)]).unwrap();
+        let mut stored = store.get("k").unwrap();
+        stored[100] ^= 0x10;
+        store.put("k", stored).unwrap();
+        let err = tm.download(vec!["k".into()]).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupted(_)), "{err:?}");
+    }
+
+    #[test]
+    fn integrity_check_can_be_disabled() {
+        // With verification off, at-rest damage in a raw (uncompressed)
+        // object is NOT caught — the knob really gates the check.
+        let store = S3Store::standalone("xfer");
+        let tm = TransferManager::new(
+            Arc::new(store.clone()),
+            TransferConfig {
+                min_compression_size: usize::MAX,
+                verify_integrity: false,
+                retry: RetryPolicy::default().without_backoff(),
+                ..Default::default()
+            },
+        );
+        tm.upload(vec![("k".into(), vec![7u8; 64])]).unwrap();
+        let mut stored = store.get("k").unwrap();
+        stored[3] ^= 0x40;
+        store.put("k", stored.clone()).unwrap();
+        let (payloads, _) = tm.download(vec!["k".into()]).unwrap();
+        assert_eq!(payloads[0].1, stored, "damage passes through unchecked");
+    }
+
+    #[test]
+    fn backend_checksum_verifies_objects_staged_elsewhere() {
+        // A second manager (empty ledger) downloads an object staged by
+        // the first: the backend checksum still catches in-flight damage.
+        let store = S3Store::standalone("xfer");
+        let stager = TransferManager::new(
+            Arc::new(store.clone()),
+            TransferConfig {
+                min_compression_size: usize::MAX,
+                ..Default::default()
+            },
+        );
+        stager.upload(vec![("k".into(), vec![9u8; 256])]).unwrap();
+
+        let plan = FaultPlan::new(5).rule(FaultRule::new(
+            OpFilter::Get,
+            Trigger::OpIndex(0),
+            FaultKind::Corrupt,
+        ));
+        let chaos = ChaosStore::new(Arc::new(store.clone()), plan);
+        let reader = TransferManager::new(
+            Arc::new(chaos),
+            TransferConfig {
+                min_compression_size: usize::MAX,
+                retry: RetryPolicy::default().without_backoff(),
+                ..Default::default()
+            },
+        );
+        let (payloads, report) = reader.download(vec!["k".into()]).unwrap();
+        assert_eq!(payloads[0].1, vec![9u8; 256]);
+        assert_eq!(report.total_refetches(), 1, "caught via backend checksum");
+    }
+
+    #[test]
+    fn slow_faults_are_classified_as_timeouts() {
+        let plan = FaultPlan::new(6)
+            .rule(FaultRule::new(
+                OpFilter::Get,
+                Trigger::OpIndex(0),
+                FaultKind::Delay(Duration::from_millis(12)),
+            ))
+            .rule(FaultRule::new(
+                OpFilter::Get,
+                Trigger::OpIndex(0),
+                FaultKind::Transient,
+            ));
+        let store = S3Store::standalone("xfer");
+        let chaos = ChaosStore::new(Arc::new(store.clone()), plan);
+        let tm = TransferManager::new(
+            Arc::new(chaos),
+            TransferConfig {
+                min_compression_size: usize::MAX,
+                retry: RetryPolicy {
+                    op_deadline: Duration::from_millis(4),
+                    ..RetryPolicy::default()
+                }
+                .without_backoff(),
+                ..Default::default()
+            },
+        );
+        tm.upload(vec![("k".into(), vec![1u8; 32])]).unwrap();
+        let (payloads, report) = tm.download(vec!["k".into()]).unwrap();
+        assert_eq!(payloads[0].1, vec![1u8; 32]);
+        assert!(
+            report.items[0].timeouts >= 1,
+            "slow failure counted as timeout: {:?}",
+            report.items[0]
+        );
+        assert_eq!(report.items[0].retries, 1, "timeout was retried");
+    }
+
+    #[test]
+    fn forget_prefix_drops_ledger_entries() {
+        let (tm, _) = manager(usize::MAX);
+        tm.upload(vec![
+            ("job1/a".into(), vec![1u8; 32]),
+            ("job2/b".into(), vec![2u8; 32]),
+        ])
+        .unwrap();
+        assert_eq!(tm.ledger.lock().len(), 2);
+        tm.forget_prefix("job1/");
+        assert_eq!(tm.ledger.lock().len(), 1);
+        assert!(tm.ledger.lock().contains_key("job2/b"));
     }
 
     #[test]
@@ -743,6 +1070,35 @@ mod tests {
             .unwrap();
         assert_eq!(serial, payloads);
         assert!(store.exists("in/v00"));
+    }
+
+    #[test]
+    fn pipelined_path_retries_and_heals_under_chaos() {
+        let plan = FaultPlan::new(77)
+            .rule(FaultRule::new(
+                OpFilter::Any,
+                Trigger::EveryNth(5),
+                FaultKind::Transient,
+            ))
+            .rule(FaultRule::new(
+                OpFilter::Get,
+                Trigger::OpIndex(2),
+                FaultKind::Corrupt,
+            ));
+        let (tm, _) = chaos_manager(64, plan);
+        let items: Vec<(String, Vec<u8>)> = (0..10)
+            .map(|i| {
+                let payload: Vec<u8> = (0..2048u32).map(|j| ((j ^ (i * 37)) % 253) as u8).collect();
+                (format!("in/c{i:02}"), payload)
+            })
+            .collect();
+        let (payloads, report) = tm.upload_fetch_pipelined(items.clone(), vec![], 3).unwrap();
+        for ((key, expected), (got_key, got)) in items.iter().zip(&payloads) {
+            assert_eq!(got_key, key);
+            assert_eq!(got, expected, "bitwise intact under chaos");
+        }
+        assert!(report.total_retries() > 0, "transient faults really fired");
+        assert!(report.total_refetches() > 0, "corruption really fired");
     }
 
     #[test]
