@@ -75,6 +75,7 @@ fn run_mode(label: &str, mode: ScheduleMode, spec_factor: f64, reps: usize) -> M
             mode,
             spec_factor,
             locality_wait: Duration::ZERO,
+            ..JobOptions::default()
         });
         let out = sc
             .parallelize((0..TASKS as i64).collect::<Vec<_>>(), TASKS)

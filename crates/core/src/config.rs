@@ -122,6 +122,26 @@ pub struct CloudConfig {
     /// circuit breaker opens and regions fall back to the host); 0
     /// disables the breaker.
     pub breaker_threshold: u64,
+    /// Tile-granular checkpoint/resume: journal per-tile completion to
+    /// the object store and commit region outputs through a two-phase
+    /// staging protocol, so an interrupted offload replays only the
+    /// unfinished tiles.
+    pub checkpoint: bool,
+    /// In-region resume attempts after an infrastructure failure before
+    /// the offload gives up and the breaker escalates to host fallback.
+    pub checkpoint_max_resumes: usize,
+    /// Executor failure score that trips quarantine (task failure = 1,
+    /// heartbeat miss = 0.5, integrity re-fetch = 0.25); 0 disables
+    /// quarantine.
+    pub quarantine_threshold: f64,
+    /// How long a tripped executor stays blacklisted.
+    pub quarantine_penalty_ms: u64,
+    /// Half-life of the failure score decay between incidents.
+    pub quarantine_decay_ms: u64,
+    /// Heartbeat window: an executor holding running tasks that has not
+    /// stamped progress within this window is scored a miss; 0 disables
+    /// heartbeat monitoring.
+    pub quarantine_heartbeat_ms: u64,
 }
 
 impl Default for CloudConfig {
@@ -159,6 +179,12 @@ impl Default for CloudConfig {
             transfer_deadline_ms: 0,
             verify_integrity: true,
             breaker_threshold: 3,
+            checkpoint: false,
+            checkpoint_max_resumes: 2,
+            quarantine_threshold: 3.0,
+            quarantine_penalty_ms: 2000,
+            quarantine_decay_ms: 5000,
+            quarantine_heartbeat_ms: 0,
         }
     }
 }
@@ -323,6 +349,42 @@ impl CloudConfig {
         {
             cfg.breaker_threshold = t;
         }
+        if let Some(c) = ini
+            .get_bool("resilience", "checkpoint")
+            .map_err(bad_config)?
+        {
+            cfg.checkpoint = c;
+        }
+        if let Some(r) = ini
+            .get_parsed::<usize>("resilience", "checkpoint-max-resumes")
+            .map_err(bad_config)?
+        {
+            cfg.checkpoint_max_resumes = r;
+        }
+        if let Some(t) = ini
+            .get_parsed::<f64>("resilience", "quarantine-threshold")
+            .map_err(bad_config)?
+        {
+            cfg.quarantine_threshold = t;
+        }
+        if let Some(p) = ini
+            .get_parsed::<u64>("resilience", "quarantine-penalty-ms")
+            .map_err(bad_config)?
+        {
+            cfg.quarantine_penalty_ms = p;
+        }
+        if let Some(d) = ini
+            .get_parsed::<u64>("resilience", "quarantine-decay-ms")
+            .map_err(bad_config)?
+        {
+            cfg.quarantine_decay_ms = d;
+        }
+        if let Some(h) = ini
+            .get_parsed::<u64>("resilience", "quarantine-heartbeat-ms")
+            .map_err(bad_config)?
+        {
+            cfg.quarantine_heartbeat_ms = h;
+        }
         cfg.validate()?;
         Ok(cfg)
     }
@@ -369,7 +431,30 @@ impl CloudConfig {
                 self.backoff_cap_ms, self.backoff_base_ms
             )));
         }
+        if !(self.quarantine_threshold.is_finite() && self.quarantine_threshold >= 0.0) {
+            return Err(bad_config(format!(
+                "quarantine-threshold = {} must be 0 (off) or a positive finite score",
+                self.quarantine_threshold
+            )));
+        }
+        if self.quarantine_threshold > 0.0 && self.quarantine_penalty_ms == 0 {
+            return Err(bad_config(
+                "quarantine-penalty-ms must be positive when quarantine is enabled",
+            ));
+        }
         Ok(())
+    }
+
+    /// The executor quarantine policy these knobs describe.
+    pub fn quarantine_config(&self) -> sparkle::QuarantineConfig {
+        if self.quarantine_threshold <= 0.0 {
+            return sparkle::QuarantineConfig::disabled();
+        }
+        sparkle::QuarantineConfig {
+            threshold: self.quarantine_threshold,
+            penalty: std::time::Duration::from_millis(self.quarantine_penalty_ms),
+            decay: std::time::Duration::from_millis(self.quarantine_decay_ms),
+        }
     }
 
     /// The retry policy these knobs describe.
@@ -551,6 +636,42 @@ instance-type = c3.8xlarge
         // Cap below base is a configuration error.
         assert!(CloudConfig::from_str(
             "[resilience]\nbackoff-base-ms = 100\nbackoff-cap-ms = 10\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_quarantine_knobs_parse_and_default_sane() {
+        let cfg = CloudConfig::default();
+        assert!(!cfg.checkpoint, "checkpoint is opt-in");
+        assert_eq!(cfg.checkpoint_max_resumes, 2);
+        assert!((cfg.quarantine_threshold - 3.0).abs() < 1e-12);
+        assert_eq!(cfg.quarantine_penalty_ms, 2000);
+        assert_eq!(cfg.quarantine_decay_ms, 5000);
+        assert_eq!(cfg.quarantine_heartbeat_ms, 0, "heartbeats are opt-in");
+        assert!(cfg.quarantine_config().enabled());
+
+        let cfg = CloudConfig::from_str(
+            "[resilience]\ncheckpoint = yes\ncheckpoint-max-resumes = 4\n\
+             quarantine-threshold = 1.5\nquarantine-penalty-ms = 500\n\
+             quarantine-decay-ms = 800\nquarantine-heartbeat-ms = 250\n",
+        )
+        .unwrap();
+        assert!(cfg.checkpoint);
+        assert_eq!(cfg.checkpoint_max_resumes, 4);
+        let q = cfg.quarantine_config();
+        assert!((q.threshold - 1.5).abs() < 1e-12);
+        assert_eq!(q.penalty, std::time::Duration::from_millis(500));
+        assert_eq!(q.decay, std::time::Duration::from_millis(800));
+        assert_eq!(cfg.quarantine_heartbeat_ms, 250);
+
+        // Threshold 0 switches the policy off entirely.
+        let cfg = CloudConfig::from_str("[resilience]\nquarantine-threshold = 0\n").unwrap();
+        assert!(!cfg.quarantine_config().enabled());
+
+        assert!(CloudConfig::from_str("[resilience]\nquarantine-threshold = -1\n").is_err());
+        assert!(CloudConfig::from_str(
+            "[resilience]\nquarantine-threshold = 2\nquarantine-penalty-ms = 0\n"
         )
         .is_err());
     }

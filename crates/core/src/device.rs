@@ -23,12 +23,13 @@
 use crate::breaker::CircuitBreaker;
 use crate::cache::{CacheDecision, Fingerprint, ResidencyMap, UploadCache};
 use crate::config::CloudConfig;
-use crate::offload::run_spark_job;
+use crate::offload::{run_spark_job, JobOutcome};
+use crate::recovery::RegionRecovery;
 use crate::report::{OffloadReport, ResilienceSummary};
 use crate::scope::Residency;
 use cloud_storage::{
-    AzureBlobStore, HdfsStore, S3Store, StorageUri, StoreHandle, TransferConfig, TransferManager,
-    TransferReport,
+    AzureBlobStore, HdfsStore, RegionFingerprint, RegionJournal, S3Store, StorageUri, StoreHandle,
+    TransferConfig, TransferManager, TransferReport,
 };
 use cloudsim::Fleet;
 use omp_model::{
@@ -236,6 +237,13 @@ impl Device for CloudDevice {
         !self.config.simulate_unreachable && !self.breaker.is_open()
     }
 
+    fn degraded(&self) -> bool {
+        // Unavailable *because of us*: the breaker opened after
+        // consecutive failed offloads. Lets the registry record
+        // `BreakerOpen` instead of a generic `Unavailable` fallback.
+        self.breaker.is_open()
+    }
+
     fn supports(&self, construct: Construct) -> bool {
         // §III-D: no shared-memory synchronization on a distributed
         // map-reduce substrate.
@@ -311,6 +319,21 @@ impl CloudDevice {
         }
 
         let sc = self.context();
+
+        // Region start, checkpoint mode: garbage-collect staged `_tmp/`
+        // outputs of regions that crashed between staging and manifest
+        // publish. Safe here — this run has staged nothing yet, and a
+        // region with a manifest is committed and skipped.
+        let base_prefix = self.config.storage.key_prefix().to_string();
+        if self.config.checkpoint {
+            let orphans = self.transfer.collect_orphans(&base_prefix);
+            if orphans > 0 {
+                resilience.orphans_collected = orphans as u32;
+                profile.note(format!(
+                    "checkpoint: collected {orphans} orphaned staging objects of uncommitted regions"
+                ));
+            }
+        }
 
         // Step 2: ship inputs to cloud storage (one thread per buffer,
         // compression above the configured threshold). With data caching
@@ -417,64 +440,106 @@ impl CloudDevice {
         }
         profile.overhead_s += t_driver.elapsed().as_secs_f64();
 
-        // Steps 4–6: tile, distribute, map, reconstruct. With streaming
-        // collect, part of the driver-side merge ran concurrently with the
-        // map phase; `l.overlap_s` reports how much.
-        let outcome = run_spark_job(&sc, &self.config, region, cluster_env, &self.tile_residency)?;
-        for l in &outcome.loops {
-            profile.tasks += l.tiles as u64;
-            profile.compute_s += l.compute_s;
-            profile.overhead_s += l.overhead_s;
-            profile.overlap_s += l.overlap_s;
-        }
-
-        // Steps 7+8: the driver writes the outputs to cloud storage and
-        // the host reads them back. On the pipelined path the two fuse:
-        // each output is downloaded the moment its put lands, so the
-        // host-side read-back overlaps the tail of the store writes.
-        let mut out_items = Vec::new();
-        for m in region.output_maps() {
-            let buf = outcome.env.get_erased(&m.name)?;
-            profile.bytes_from_device += buf.byte_len() as u64;
-            out_items.push((format!("{prefix}/out/{}", m.name), buf.to_bytes()));
-        }
-        let (store_write, download, out_payloads) = if self.config.pipelined_transfers {
-            let (payloads, out) = self
-                .transfer
-                .upload_fetch_pipelined(out_items, Vec::new(), self.config.io_threads)
-                .map_err(infra)?;
-            resilience.transient_retries += out.total_retries();
-            resilience.corruption_refetches += out.total_refetches();
-            resilience.timeouts += out.total_timeouts();
-            resilience.backoff_seconds += out.total_backoff_s();
-            profile.host_comm_s += out.wall_seconds;
-            profile.overlap_s += out.overlap_seconds();
-            profile.compress_busy_s += out.cpu_path_seconds();
-            profile.store_busy_s += out.io_path_seconds();
-            let report = TransferReport {
-                items: out.items,
-                wall_seconds: out.wall_seconds,
-            };
-            (report.clone(), report, payloads)
-        } else {
-            let t_store = Instant::now();
-            let store_write = self.transfer.upload(out_items).map_err(infra)?;
-            profile.overhead_s += t_store.elapsed().as_secs_f64();
-            let t_download = Instant::now();
-            let out_keys: Vec<String> = region
-                .output_maps()
-                .map(|m| format!("{prefix}/out/{}", m.name))
-                .collect();
-            let (payloads, download) = self.transfer.download(out_keys).map_err(infra)?;
-            for r in [&store_write, &download] {
-                resilience.transient_retries += r.total_retries();
-                resilience.corruption_refetches += r.total_refetches();
-                resilience.timeouts += r.total_timeouts();
-                resilience.backoff_seconds += r.total_backoff_s();
+        // Checkpoint mode: derive the region's deterministic identity —
+        // name, tile plan, and the staged inputs' wire crc32s from the
+        // integrity ledger — and open its write-ahead journal. A second
+        // run over the same inputs lands on the same journal and resumes
+        // whatever the first one finished.
+        let recovery = if self.config.checkpoint {
+            let slots = self.config.total_slots();
+            let mut fp = RegionFingerprint::new(&region.name);
+            for l in &region.loops {
+                fp.add_loop(
+                    l.trip_count,
+                    crate::tiling::tile_ranges(l.trip_count, slots).len(),
+                );
             }
-            profile.host_comm_s += t_download.elapsed().as_secs_f64();
-            (store_write, download, payloads)
+            for (name, key) in &staged_keys {
+                fp.add_input(name, self.transfer.ledger_crc(key).unwrap_or(0));
+            }
+            let journal = RegionJournal::open(StoreHandle::clone(&self.store), &base_prefix, &fp);
+            let commit_root = if base_prefix.is_empty() {
+                format!("region-{}", fp.hex())
+            } else {
+                format!("{base_prefix}/region-{}", fp.hex())
+            };
+            Some((RegionRecovery::new(journal), commit_root))
+        } else {
+            None
         };
+
+        // Steps 4–8 under the resume budget: tile/distribute/map/
+        // reconstruct, stage the outputs, commit, read them back. An
+        // infrastructure failure inside this window retries the whole
+        // block — the journal turns the retry into a replay of only the
+        // unfinished tiles. Application errors propagate immediately.
+        let jobs_before = sc.job_metrics().len();
+        let max_resumes = if self.config.checkpoint {
+            self.config.checkpoint_max_resumes
+        } else {
+            0
+        };
+        let mut resumes = 0usize;
+        let (outcome, store_write, download, out_payloads) = loop {
+            let attempt = self.run_and_commit(
+                &sc,
+                region,
+                cluster_env.clone(),
+                &prefix,
+                recovery.as_ref(),
+                &mut profile,
+                &mut resilience,
+            );
+            match attempt {
+                Ok(done) => break done,
+                Err(ExecFailure::Infra(e)) if resumes < max_resumes => {
+                    resumes += 1;
+                    resilience.resume_attempts += 1;
+                    if self.config.verbose {
+                        eprintln!(
+                            "[ompcloud] {}: offload interrupted ({e}); resume attempt \
+                             {resumes}/{max_resumes} from the region journal",
+                            self.name
+                        );
+                    }
+                }
+                Err(ExecFailure::Infra(e)) => {
+                    if let Some((rec, _)) = &recovery {
+                        rec.finish();
+                        // The journal stays: a later run resumes from it.
+                        return Err(ExecFailure::Infra(OmpError::Plugin {
+                            device: "cloud".into(),
+                            detail: format!(
+                                "{} after {resumes} resume attempts: {e}",
+                                omp_model::RESUME_EXHAUSTED
+                            ),
+                        }));
+                    }
+                    return Err(ExecFailure::Infra(e));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        for l in &outcome.loops {
+            resilience.tiles_resumed += l.tiles_resumed as u32;
+            resilience.tiles_replayed += l.tiles_replayed as u32;
+        }
+        for m in &sc.job_metrics()[jobs_before..] {
+            resilience.quarantine_trips += m.quarantine_trips as u32;
+            resilience.heartbeat_misses += m.heartbeat_misses as u32;
+        }
+        if resilience.tiles_resumed > 0 {
+            profile.note(format!(
+                "checkpoint resume: {} tiles restored from the region journal, {} replayed",
+                resilience.tiles_resumed, resilience.tiles_replayed
+            ));
+        }
+        if resilience.quarantine_trips > 0 {
+            profile.note(format!(
+                "quarantine: {} executor trips, {} heartbeat misses",
+                resilience.quarantine_trips, resilience.heartbeat_misses
+            ));
+        }
         for (m, (_, bytes)) in region.output_maps().zip(out_payloads) {
             let tag = env.get_erased(&m.name)?.tag();
             env.write_back(&m.name, ErasedVec::from_bytes(tag, &bytes))?;
@@ -505,6 +570,17 @@ impl CloudDevice {
             }
             self.transfer.forget_prefix(&prefix);
         }
+        // Checkpoint hygiene: the results are home, so the journal's
+        // markers and the committed region objects (staged outputs plus
+        // manifest) are garbage regardless of data caching.
+        if let Some((rec, root)) = &recovery {
+            rec.finish();
+            rec.clear();
+            for key in self.store.list(root) {
+                let _ = self.store.delete(&key);
+            }
+            self.transfer.forget_prefix(root);
+        }
 
         if resilience.total_events() > 0 {
             profile.note(format!(
@@ -533,6 +609,125 @@ impl CloudDevice {
             resilience,
         });
         Ok(profile)
+    }
+
+    /// One attempt at workflow steps 4–8: run the Spark job (replaying
+    /// only tiles the journal doesn't already hold), stage the outputs,
+    /// commit, and read them back. In checkpoint mode outputs go to the
+    /// region's `_tmp/` staging keys and a single manifest put is the
+    /// atomic commit point; otherwise they go straight to their final
+    /// per-job keys, exactly as before.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn run_and_commit(
+        &self,
+        sc: &SparkContext,
+        region: &TargetRegion,
+        cluster_env: DataEnv,
+        prefix: &str,
+        recovery: Option<&(RegionRecovery, String)>,
+        profile: &mut ExecProfile,
+        resilience: &mut ResilienceSummary,
+    ) -> Result<
+        (
+            JobOutcome,
+            TransferReport,
+            TransferReport,
+            Vec<(String, Vec<u8>)>,
+        ),
+        ExecFailure,
+    > {
+        // Steps 4–6: tile, distribute, map, reconstruct. With streaming
+        // collect, part of the driver-side merge ran concurrently with
+        // the map phase; `l.overlap_s` reports how much.
+        let rec = recovery.map(|(r, _)| r);
+        let outcome = run_spark_job(
+            sc,
+            &self.config,
+            region,
+            cluster_env,
+            &self.tile_residency,
+            rec,
+        )?;
+        for l in &outcome.loops {
+            profile.tasks += l.tiles as u64;
+            profile.compute_s += l.compute_s;
+            profile.overhead_s += l.overhead_s;
+            profile.overlap_s += l.overlap_s;
+        }
+
+        // Steps 7+8: the driver writes the outputs to cloud storage and
+        // the host reads them back. On the pipelined path the two fuse:
+        // each output is downloaded the moment its put lands, so the
+        // host-side read-back overlaps the tail of the store writes.
+        let key_for = |name: &str| match recovery {
+            Some((_, root)) => TransferManager::staged_key(root, &format!("out/{name}")),
+            None => format!("{prefix}/out/{name}"),
+        };
+        let mut out_bytes = 0u64;
+        let mut out_items = Vec::new();
+        for m in region.output_maps() {
+            let buf = outcome.env.get_erased(&m.name)?;
+            out_bytes += buf.byte_len() as u64;
+            out_items.push((key_for(&m.name), buf.to_bytes()));
+        }
+        // Assigned, not accumulated: a resumed attempt stages the same
+        // outputs again and must not double-count them.
+        profile.bytes_from_device = out_bytes;
+        let (store_write, download, out_payloads) = if self.config.pipelined_transfers {
+            let (payloads, out) = self
+                .transfer
+                .upload_fetch_pipelined(out_items, Vec::new(), self.config.io_threads)
+                .map_err(infra)?;
+            resilience.transient_retries += out.total_retries();
+            resilience.corruption_refetches += out.total_refetches();
+            resilience.timeouts += out.total_timeouts();
+            resilience.backoff_seconds += out.total_backoff_s();
+            profile.host_comm_s += out.wall_seconds;
+            profile.overlap_s += out.overlap_seconds();
+            profile.compress_busy_s += out.cpu_path_seconds();
+            profile.store_busy_s += out.io_path_seconds();
+            let report = TransferReport {
+                items: out.items,
+                wall_seconds: out.wall_seconds,
+            };
+            (report.clone(), report, payloads)
+        } else {
+            let t_store = Instant::now();
+            let store_write = self.transfer.upload(out_items).map_err(infra)?;
+            profile.overhead_s += t_store.elapsed().as_secs_f64();
+            let t_download = Instant::now();
+            let out_keys: Vec<String> = region.output_maps().map(|m| key_for(&m.name)).collect();
+            let (payloads, download) = self.transfer.download(out_keys).map_err(infra)?;
+            for r in [&store_write, &download] {
+                resilience.transient_retries += r.total_retries();
+                resilience.corruption_refetches += r.total_refetches();
+                resilience.timeouts += r.total_timeouts();
+                resilience.backoff_seconds += r.total_backoff_s();
+            }
+            profile.host_comm_s += t_download.elapsed().as_secs_f64();
+            (store_write, download, payloads)
+        };
+
+        // Phase two of the commit: every staged put has landed, so one
+        // manifest put atomically flips the region to committed. A crash
+        // anywhere before this line leaves only `_tmp/` orphans for the
+        // next region start to collect.
+        if let Some((rec, root)) = recovery {
+            // Flush the journal first: every queued marker lands (or
+            // fails) strictly before the manifest put, so a fault
+            // schedule indexed on journal writes can never race past
+            // the commit point.
+            rec.finish();
+            let names: Vec<String> = region
+                .output_maps()
+                .map(|m| format!("out/{}", m.name))
+                .collect();
+            self.transfer
+                .publish_manifest(root, &names)
+                .map_err(infra)?;
+            resilience.commits_published += 1;
+        }
+        Ok((outcome, store_write, download, out_payloads))
     }
 }
 

@@ -38,6 +38,7 @@ pub mod device;
 pub mod ini;
 pub mod offload;
 pub mod plan;
+pub mod recovery;
 pub mod report;
 pub mod runtime;
 pub mod scope;
@@ -49,6 +50,7 @@ pub use config::{CloudConfig, Provider};
 pub use device::CloudDevice;
 pub use offload::LoopStats;
 pub use plan::{derive_plan, measure_ratio, PlanRatios};
+pub use recovery::RegionRecovery;
 pub use report::{OffloadReport, ResilienceSummary};
 pub use runtime::CloudRuntime;
 pub use scope::{ScopeStats, TargetDataScope};

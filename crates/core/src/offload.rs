@@ -41,6 +41,10 @@ use std::time::{Duration, Instant};
 /// private output buffers it will fill.
 #[derive(Clone)]
 struct TileDesc {
+    /// Global tile index within the loop (stable across resume: a
+    /// partial run dispatches a subset of tiles, so the RDD partition
+    /// index no longer identifies the tile).
+    tile_id: usize,
     iter_start: usize,
     iter_end: usize,
     /// `(var, base element, block)` for every partitioned input. The
@@ -53,6 +57,7 @@ struct TileDesc {
 /// One element of `RDD_OUT`: the tile's private output buffers (Eq. 7).
 #[derive(Clone)]
 struct TileOut {
+    tile_id: usize,
     parts: Vec<OutPart>,
 }
 
@@ -76,6 +81,11 @@ pub struct LoopStats {
     /// Portion of `merge_s` that ran concurrently with still-executing
     /// map tasks (zero on the barrier collect path).
     pub overlap_s: f64,
+    /// Tiles restored from the region journal instead of re-executed.
+    pub tiles_resumed: usize,
+    /// Tiles this run executed while resuming an interrupted region
+    /// (0 when the journal was empty — a fresh run).
+    pub tiles_replayed: usize,
 }
 
 /// Result of running all loops of a region on the cluster.
@@ -96,6 +106,7 @@ pub fn run_spark_job(
     region: &TargetRegion,
     mut cluster_env: DataEnv,
     residency: &Mutex<ResidencyMap>,
+    recovery: Option<&crate::recovery::RegionRecovery>,
 ) -> Result<JobOutcome, OmpError> {
     let mut loops = Vec::with_capacity(region.loops.len());
     for (loop_idx, loop_) in region.loops.iter().enumerate() {
@@ -107,6 +118,7 @@ pub fn run_spark_job(
             loop_idx,
             &mut cluster_env,
             residency,
+            recovery,
         )?;
         loops.push(stats);
     }
@@ -116,6 +128,7 @@ pub fn run_spark_job(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     sc: &SparkContext,
     config: &CloudConfig,
@@ -124,6 +137,7 @@ fn run_loop(
     loop_idx: usize,
     cluster_env: &mut DataEnv,
     residency: &Mutex<ResidencyMap>,
+    recovery: Option<&crate::recovery::RegionRecovery>,
 ) -> Result<LoopStats, OmpError> {
     let t0 = Instant::now();
     let slots = config.total_slots();
@@ -177,6 +191,7 @@ fn run_loop(
                     }
                     let outputs = chunk_outputs(region, loop_, env, iters.clone())?.into_parts();
                     Ok(TileDesc {
+                        tile_id: t,
                         iter_start: iters.start,
                         iter_end: iters.end,
                         inputs,
@@ -197,15 +212,39 @@ fn run_loop(
     }
     let scatter_bytes = scatter_bytes.into_inner();
 
+    // Checkpoint/resume: tiles an interrupted earlier run already
+    // completed are restored from the region journal and absorbed below
+    // instead of re-executed; only the remainder is dispatched. An
+    // out-of-range tile id means the journal belongs to a different
+    // tiling (it shouldn't — the fingerprint covers the tile plan) and
+    // is ignored.
+    let mut restored: Vec<(usize, Vec<OutPart>)> = recovery
+        .map(|r| r.restored_tiles(loop_idx))
+        .unwrap_or_default();
+    restored.retain(|(t, _)| *t < descs.len());
+    let restored_ids: HashSet<usize> = restored.iter().map(|(t, _)| *t).collect();
+    let total_tiles = descs.len();
+    let pending: Vec<TileDesc> = descs
+        .into_iter()
+        .filter(|d| !restored_ids.contains(&d.tile_id))
+        .collect();
+    let tiles_resumed = total_tiles - pending.len();
+    let tiles_replayed = if tiles_resumed > 0 { pending.len() } else { 0 };
+
     if config.verbose {
         eprintln!(
-            "[ompcloud] {}: loop {loop_idx}: {} iterations tiled to {} tasks on {} slots ({} B scattered, {} B broadcast)",
+            "[ompcloud] {}: loop {loop_idx}: {} iterations tiled to {} tasks on {} slots ({} B scattered, {} B broadcast{})",
             region.name,
             loop_.trip_count,
-            descs.len(),
+            total_tiles,
             slots,
             scatter_bytes,
-            bcast_bytes
+            bcast_bytes,
+            if tiles_resumed > 0 {
+                format!(", {tiles_resumed} tiles resumed from journal")
+            } else {
+                String::new()
+            }
         );
     }
 
@@ -217,6 +256,8 @@ fn run_loop(
         mode: config.schedule,
         spec_factor: config.spec_factor,
         locality_wait: Duration::from_millis(config.locality_wait_ms),
+        quarantine: config.quarantine_config(),
+        heartbeat_miss: Duration::from_millis(config.quarantine_heartbeat_ms),
     };
     if loop_.schedule != omp_parfor::Schedule::default() {
         options.mode = loop_.schedule.into();
@@ -232,7 +273,7 @@ fn run_loop(
         .iter()
         .map(|(name, _, buf)| (name.clone(), Fingerprint::of(&buf.to_bytes())))
         .collect();
-    let tile_hulls: Vec<Vec<(String, usize, usize)>> = descs
+    let tile_hulls: Vec<Vec<(String, usize, usize)>> = pending
         .iter()
         .map(|d| {
             d.inputs
@@ -271,9 +312,10 @@ fn run_loop(
 
     // The map transformation (Eqs. 4–7): worker-side JNI shim.
     let body = Arc::clone(&loop_.body);
-    let ntiles = descs.len().max(1);
-    let rdd = sc.parallelize(descs, ntiles);
+    let ntiles = pending.len().max(1);
+    let rdd = sc.parallelize(pending, ntiles);
     let mapped = rdd.map(move |tile: TileDesc| {
+        let tile_id = tile.tile_id;
         let mut ins = Inputs::new();
         for (name, base, block) in tile.inputs {
             ins.add_slice(name, base, block);
@@ -291,6 +333,7 @@ fn run_loop(
             body(i, &ins, &mut outs);
         }
         TileOut {
+            tile_id,
             parts: outs.into_parts(),
         }
     });
@@ -305,8 +348,12 @@ fn run_loop(
     // tile touches is skipped by `absorb` and left unwritten by the
     // reduce alike, so pre-computing the set is equivalent to the old
     // post-collect filter — and it lets the merge start streaming.
+    // When resuming, restored tiles exist only on the driver — they can't
+    // contribute to an executor-side reduce — so the whole loop merges
+    // driver-side. Fresh runs keep the configured behavior.
+    let use_dist_reduce = config.distributed_reduce && tiles_resumed == 0;
     let mut dist_reduce_vars: HashSet<String> = HashSet::new();
-    if config.distributed_reduce {
+    if use_dist_reduce {
         for m in region.output_maps() {
             if merge_policy(loop_, &m.name) != MergePolicy::Indexed {
                 dist_reduce_vars.insert(m.name.clone());
@@ -322,11 +369,21 @@ fn run_loop(
     let mut collect_bytes = 0u64;
     let mut merge_s = 0.0f64;
     let mut last_absorb_s = 0.0f64;
+    // Restored tiles are absorbed first (absorption order is irrelevant:
+    // indexed writes are disjoint, reductions commute). They were never
+    // collected from the cluster this run, so they don't count toward
+    // `collect_bytes`.
+    for (_tile, parts) in &restored {
+        acc.absorb(parts.clone());
+    }
     if config.streaming_collect {
         out_rdd
             .for_each_partition(|_p, tile_outs: &[TileOut]| {
                 let ta = Instant::now();
                 for tile_out in tile_outs {
+                    if let Some(rec) = recovery {
+                        rec.record_tile(loop_idx, tile_out.tile_id, &tile_out.parts);
+                    }
                     collect_bytes += tile_out
                         .parts
                         .iter()
@@ -348,6 +405,9 @@ fn run_loop(
         let collected = out_rdd.collect().map_err(spark_err)?;
         let ta = Instant::now();
         for tile_out in collected {
+            if let Some(rec) = recovery {
+                rec.record_tile(loop_idx, tile_out.tile_id, &tile_out.parts);
+            }
             collect_bytes += tile_out
                 .parts
                 .iter()
@@ -382,7 +442,7 @@ fn run_loop(
 
     // Distributed `REDUCE(RDD_OUT, l, op)` on the executors, exactly
     // Eq. 8 — reuses the cached map results filled in by the collect.
-    if config.distributed_reduce {
+    if use_dist_reduce {
         for m in region.output_maps() {
             if !dist_reduce_vars.contains(&m.name) {
                 continue;
@@ -444,6 +504,8 @@ fn run_loop(
         overhead_s: (wall - compute_s).max(0.0),
         merge_s,
         overlap_s,
+        tiles_resumed,
+        tiles_replayed,
     })
 }
 

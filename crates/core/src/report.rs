@@ -21,12 +21,33 @@ pub struct ResilienceSummary {
     pub breaker_consecutive_failures: u64,
     /// Whether the device's circuit breaker is open (degraded).
     pub breaker_tripped: bool,
+    /// Tiles restored from the region journal instead of re-executed.
+    pub tiles_resumed: u32,
+    /// Tiles executed by a run that found a non-empty journal (the
+    /// replayed remainder of an interrupted region; 0 on fresh runs).
+    pub tiles_replayed: u32,
+    /// In-region resume attempts after infrastructure failures.
+    pub resume_attempts: u32,
+    /// Output manifests published (one per committed region).
+    pub commits_published: u32,
+    /// Orphaned `_tmp/` staging objects garbage-collected at region
+    /// start (leftovers of crashed, never-committed runs).
+    pub orphans_collected: u32,
+    /// Executors the scheduler quarantined during the offload.
+    pub quarantine_trips: u32,
+    /// Heartbeat windows executors missed while holding running tasks.
+    pub heartbeat_misses: u32,
 }
 
 impl ResilienceSummary {
     /// Total fault-handling events (retries + re-fetches + timeouts).
     pub fn total_events(&self) -> u32 {
         self.transient_retries + self.corruption_refetches + self.timeouts
+    }
+
+    /// Whether checkpoint/resume machinery did anything observable.
+    pub fn recovered(&self) -> bool {
+        self.tiles_resumed > 0 || self.resume_attempts > 0 || self.orphans_collected > 0
     }
 }
 
@@ -103,6 +124,20 @@ impl std::fmt::Display for OffloadReport {
                 } else {
                     ""
                 }
+            )?;
+        }
+        if self.resilience.recovered() || self.resilience.quarantine_trips > 0 {
+            write!(
+                f,
+                "\n  recovery: {} tiles resumed, {} replayed, {} resume attempts, \
+                 {} commits, {} orphans collected, {} quarantine trips, {} heartbeat misses",
+                self.resilience.tiles_resumed,
+                self.resilience.tiles_replayed,
+                self.resilience.resume_attempts,
+                self.resilience.commits_published,
+                self.resilience.orphans_collected,
+                self.resilience.quarantine_trips,
+                self.resilience.heartbeat_misses,
             )?;
         }
         if let Some(cost) = &self.cost {

@@ -190,6 +190,7 @@ impl CloudDevice {
             region,
             resident,
             self.tile_residency(),
+            None,
         ) {
             Ok(o) => o,
             Err(e) => {

@@ -10,7 +10,7 @@
 use crate::clause::Construct;
 use crate::env::DataEnv;
 use crate::error::OmpError;
-use crate::profile::ExecProfile;
+use crate::profile::{ExecProfile, FallbackReason};
 use crate::region::TargetRegion;
 use std::sync::Arc;
 
@@ -67,6 +67,15 @@ pub trait Device: Send + Sync {
     /// checks configuration/connection state.
     fn is_available(&self) -> bool {
         true
+    }
+
+    /// Is the device up but *degraded* — e.g. its circuit breaker open
+    /// after consecutive failed offloads? The registry uses this to
+    /// record *why* a fallback happened: an unavailable-and-degraded
+    /// device fell back because the breaker is open, not because the
+    /// endpoint vanished.
+    fn degraded(&self) -> bool {
+        false
     }
 
     /// Can this device execute regions using `construct`?
@@ -194,10 +203,18 @@ impl DeviceRegistry {
                 Err(OmpError::DeviceUnavailable { reason, .. })
                     if device.kind() != DeviceKind::Host =>
                 {
+                    // Distinguish "checkpoint resume was tried and its
+                    // budget ran out" from an ordinary mid-flight abort.
+                    let kind = if reason.contains(crate::profile::RESUME_EXHAUSTED) {
+                        FallbackReason::ResumeExhausted
+                    } else {
+                        FallbackReason::MidFlight
+                    };
                     return self.host_fallback(
                         region,
                         env,
                         device.as_ref(),
+                        kind,
                         &format!("failed mid-flight ({reason})"),
                     );
                 }
@@ -205,16 +222,28 @@ impl DeviceRegistry {
             }
         }
         // Dynamic fallback: run locally when the cloud cannot be reached.
-        self.host_fallback(region, env, device.as_ref(), "unavailable")
+        // A device that is unreachable *because its own breaker opened*
+        // records the breaker, not a vanished endpoint.
+        let (kind, why) = if device.degraded() {
+            (
+                FallbackReason::BreakerOpen,
+                "unavailable (circuit breaker open)",
+            )
+        } else {
+            (FallbackReason::Unavailable, "unavailable")
+        };
+        self.host_fallback(region, env, device.as_ref(), kind, why)
     }
 
     /// Re-execute `region` on the host after `device` could not run it,
-    /// recording the event in the returned profile.
+    /// recording the event — and its classified reason — in the returned
+    /// profile.
     fn host_fallback(
         &self,
         region: &TargetRegion,
         env: &mut DataEnv,
         device: &dyn Device,
+        kind: FallbackReason,
         why: &str,
     ) -> Result<ExecProfile, OmpError> {
         let host = self
@@ -227,6 +256,7 @@ impl DeviceRegistry {
             })?;
         let mut profile = host.execute(region, env)?;
         profile.fallback_from = Some(device.name().to_string());
+        profile.fallback_reason = Some(kind);
         profile.note(format!(
             "device '{}' {why}; computation performed locally on '{}'",
             device.name(),
@@ -247,10 +277,12 @@ mod tests {
         name: String,
         kind: DeviceKind,
         available: bool,
+        degraded: bool,
         supports_barrier: bool,
-        /// When set, `execute` fails with `DeviceUnavailable` — models a
-        /// device that accepts the region but degrades mid-flight.
-        fail_midflight: bool,
+        /// When set, `execute` fails with `DeviceUnavailable` carrying
+        /// this reason — models a device that accepts the region but
+        /// degrades mid-flight.
+        fail_midflight: Option<String>,
         executions: Mutex<usize>,
     }
 
@@ -264,6 +296,9 @@ mod tests {
         fn is_available(&self) -> bool {
             self.available
         }
+        fn degraded(&self) -> bool {
+            self.degraded
+        }
         fn supports(&self, c: Construct) -> bool {
             c != Construct::Barrier || self.supports_barrier
         }
@@ -273,10 +308,10 @@ mod tests {
             _env: &mut DataEnv,
         ) -> Result<ExecProfile, OmpError> {
             *self.executions.lock() += 1;
-            if self.fail_midflight {
+            if let Some(reason) = &self.fail_midflight {
                 return Err(OmpError::DeviceUnavailable {
                     device: self.name.clone(),
-                    reason: "storage endpoint lost".into(),
+                    reason: reason.clone(),
                 });
             }
             Ok(ExecProfile::new(self.name.clone()))
@@ -288,8 +323,9 @@ mod tests {
             name: name.into(),
             kind,
             available,
+            degraded: false,
             supports_barrier: kind == DeviceKind::Host,
-            fail_midflight: false,
+            fail_midflight: None,
             executions: Mutex::new(0),
         })
     }
@@ -299,8 +335,9 @@ mod tests {
             name: name.into(),
             kind,
             available: true,
+            degraded: false,
             supports_barrier: kind == DeviceKind::Host,
-            fail_midflight: true,
+            fail_midflight: Some("storage endpoint lost".into()),
             executions: Mutex::new(0),
         })
     }
@@ -374,6 +411,61 @@ mod tests {
         assert_eq!(*cloud.executions.lock(), 0);
         assert_eq!(*host.executions.lock(), 1);
         assert!(p.notes.iter().any(|n| n.contains("performed locally")));
+        assert_eq!(p.fallback_reason, Some(FallbackReason::Unavailable));
+    }
+
+    #[test]
+    fn degraded_device_fallback_is_classified_as_breaker_open() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        r.register(Arc::new(FakeDevice {
+            name: "cloud-0".into(),
+            kind: DeviceKind::Cloud,
+            available: false,
+            degraded: true,
+            supports_barrier: false,
+            fail_midflight: None,
+            executions: Mutex::new(0),
+        }) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        let p = r
+            .offload(
+                &trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)),
+                &mut env,
+            )
+            .unwrap();
+        assert_eq!(p.fallback_from.as_deref(), Some("cloud-0"));
+        assert_eq!(p.fallback_reason, Some(FallbackReason::BreakerOpen));
+        assert!(p.notes.iter().any(|n| n.contains("circuit breaker open")));
+    }
+
+    #[test]
+    fn exhausted_resume_budget_is_classified_distinctly() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        r.register(Arc::new(FakeDevice {
+            name: "cloud-0".into(),
+            kind: DeviceKind::Cloud,
+            available: true,
+            degraded: false,
+            supports_barrier: false,
+            fail_midflight: Some(format!(
+                "{} after 2 attempts (data unavailable)",
+                crate::profile::RESUME_EXHAUSTED
+            )),
+            executions: Mutex::new(0),
+        }) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        let p = r
+            .offload(
+                &trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)),
+                &mut env,
+            )
+            .unwrap();
+        assert_eq!(p.fallback_reason, Some(FallbackReason::ResumeExhausted));
+        assert!(p.notes.iter().any(|n| n.contains("failed mid-flight")));
     }
 
     #[test]
@@ -394,6 +486,7 @@ mod tests {
         assert_eq!(*cloud.executions.lock(), 1, "the cloud was attempted");
         assert_eq!(*host.executions.lock(), 1, "the host recovered it");
         assert_eq!(p.fallback_from.as_deref(), Some("cloud-0"));
+        assert_eq!(p.fallback_reason, Some(FallbackReason::MidFlight));
         assert!(p
             .notes
             .iter()

@@ -80,7 +80,7 @@ pub use error::OmpError;
 pub use host::HostDevice;
 pub use partition::{LinearExpr, PartitionSpec};
 pub use pod::{Pod, TypeTag};
-pub use profile::ExecProfile;
+pub use profile::{ExecProfile, FallbackReason, RESUME_EXHAUSTED};
 pub use region::{LoopBody, ParallelLoop, TargetRegion, TargetRegionBuilder};
 pub use view::{Inputs, Outputs, VarView, VarViewMut};
 

@@ -10,6 +10,40 @@
 //! off uniformly whether the numbers come from real threads or the
 //! discrete-event model.
 
+/// Marker a device plug-in embeds in a `DeviceUnavailable` reason when a
+/// checkpointed region consumed its whole in-region resume budget. The
+/// registry keys [`FallbackReason::ResumeExhausted`] off this substring,
+/// so the fallback record distinguishes "recovery was tried and lost"
+/// from an ordinary mid-flight abort.
+pub const RESUME_EXHAUSTED: &str = "resume budget exhausted";
+
+/// Why a region could not complete on the device it was dispatched to
+/// and was re-executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The device reported itself unreachable before execution started.
+    Unavailable,
+    /// The device was up but degraded: its circuit breaker is open after
+    /// consecutive failed offloads.
+    BreakerOpen,
+    /// The device started the region but aborted mid-flight.
+    MidFlight,
+    /// The device resumed the region from its checkpoint journal as many
+    /// times as the resume budget allowed and still could not finish.
+    ResumeExhausted,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FallbackReason::Unavailable => "unavailable",
+            FallbackReason::BreakerOpen => "breaker open",
+            FallbackReason::MidFlight => "failed mid-flight",
+            FallbackReason::ResumeExhausted => "resume exhausted",
+        })
+    }
+}
+
 /// Timing/traffic breakdown of one offloaded target region.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecProfile {
@@ -48,6 +82,8 @@ pub struct ExecProfile {
     /// Device this region was originally dispatched to, when it could
     /// not complete there and the runtime fell back to another device.
     pub fallback_from: Option<String>,
+    /// Why the fallback happened — set alongside `fallback_from`.
+    pub fallback_reason: Option<FallbackReason>,
 }
 
 impl ExecProfile {

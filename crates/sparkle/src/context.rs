@@ -218,6 +218,14 @@ impl SparkContext {
         self.inner.dispatcher.inject_failures(n);
     }
 
+    /// Charge executor `idx` a light quarantine penalty for serving data
+    /// that failed an integrity check downstream (the transfer layer had
+    /// to re-fetch). Weighted well below a task failure: one bad read is
+    /// noise, a pattern of them is a flapping node.
+    pub fn record_executor_refetch(&self, idx: usize) {
+        self.inner.dispatcher.record_integrity_refetch(idx);
+    }
+
     /// Metrics of every job run so far, oldest first.
     pub fn job_metrics(&self) -> Vec<JobMetrics> {
         self.inner.metrics.lock().clone()
@@ -330,6 +338,8 @@ impl SparkContext {
         let mut spec_launched = vec![false; partitions];
         let mut completed_seconds: Vec<f64> = Vec::with_capacity(partitions);
         let mut metrics = JobMetrics::from_tasks(job, 0.0, Vec::with_capacity(partitions));
+        let trips_before = dispatcher.total_quarantine_trips();
+        let misses_before = dispatcher.total_heartbeat_misses();
 
         let results = self.inner.results.lock();
         while done < partitions {
@@ -340,6 +350,7 @@ impl SparkContext {
                     if dispatcher.job_stalled(job) {
                         return Err(SparkError::NoExecutors);
                     }
+                    self.check_heartbeats(options);
                     self.maybe_speculate(
                         job,
                         options,
@@ -400,6 +411,7 @@ impl SparkContext {
                 }
                 Err(err) => {
                     metrics.failed_attempts += 1;
+                    dispatcher.record_task_failure(executor);
                     if slots[task].is_some() {
                         continue; // a newer attempt already succeeded
                     }
@@ -424,7 +436,27 @@ impl SparkContext {
         drop(results);
 
         metrics.task_attempts = attempts_used;
+        metrics.quarantine_trips = dispatcher.total_quarantine_trips() - trips_before;
+        metrics.heartbeat_misses = dispatcher.total_heartbeat_misses() - misses_before;
         Ok(Driven { slots, metrics })
+    }
+
+    /// Score executors whose slot threads have not stamped a heartbeat
+    /// within the configured window while they still hold running tasks.
+    /// A wedged task (native hang, stuck I/O) keeps `running > 0` without
+    /// any slot progressing, which is exactly the signature a heartbeat
+    /// catches that task-failure scoring cannot.
+    fn check_heartbeats(&self, options: &JobOptions) {
+        let window = options.heartbeat_miss;
+        if window == Duration::ZERO {
+            return;
+        }
+        for id in 0..self.inner.conf.executors {
+            let shared = self.inner.dispatcher.executor(id);
+            if shared.is_alive() && shared.running() > 0 && shared.beat_age() > window {
+                self.inner.dispatcher.record_heartbeat_miss(id, window);
+            }
+        }
     }
 
     /// Launch duplicates for running tasks slower than `spec_factor ×`

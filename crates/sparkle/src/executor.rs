@@ -36,6 +36,9 @@ pub enum ExecutorStatus {
     Alive,
     /// Killed; stops claiming until revived.
     Dead,
+    /// Alive but blacklisted by the quarantine policy: it stops
+    /// claiming for the penalty window while peers rescue its queue.
+    Quarantined,
 }
 
 pub(crate) struct Executor {
@@ -81,10 +84,12 @@ impl Executor {
 
     /// Current status.
     pub fn status(&self) -> ExecutorStatus {
-        if self.shared.is_alive() {
-            ExecutorStatus::Alive
-        } else {
+        if !self.shared.is_alive() {
             ExecutorStatus::Dead
+        } else if self.dispatcher.is_quarantined(self.id) {
+            ExecutorStatus::Quarantined
+        } else {
+            ExecutorStatus::Alive
         }
     }
 
@@ -123,10 +128,12 @@ fn slot_loop(
     results: &Sender<TaskResult>,
 ) {
     loop {
+        shared.heartbeat();
         let unit = match dispatcher.claim(id) {
             Claimed::Run(unit) => unit,
             Claimed::Shutdown => return,
         };
+        shared.heartbeat();
         let TaskUnit {
             job,
             task,

@@ -45,7 +45,7 @@ pub use context::{SparkConf, SparkContext};
 pub use executor::ExecutorStatus;
 pub use metrics::{JobMetrics, TaskMetric};
 pub use rdd::Rdd;
-pub use scheduler::{JobOptions, ScheduleMode};
+pub use scheduler::{JobOptions, QuarantineConfig, ScheduleMode};
 
 use std::fmt;
 

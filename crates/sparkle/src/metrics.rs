@@ -59,6 +59,10 @@ pub struct JobMetrics {
     /// Task attempts that failed (retried originals and lost
     /// speculative duplicates alike).
     pub failed_attempts: usize,
+    /// Executors blacklisted by the quarantine policy during this job.
+    pub quarantine_trips: usize,
+    /// Heartbeat windows an executor missed while holding running tasks.
+    pub heartbeat_misses: usize,
 }
 
 impl JobMetrics {
@@ -73,6 +77,8 @@ impl JobMetrics {
             spec_wins: 0,
             spec_losses: 0,
             failed_attempts: 0,
+            quarantine_trips: 0,
+            heartbeat_misses: 0,
         }
     }
 
@@ -185,6 +191,7 @@ mod tests {
             (m.steals, m.spec_launched, m.spec_wins, m.spec_losses),
             (0, 0, 0, 0)
         );
+        assert_eq!((m.quarantine_trips, m.heartbeat_misses), (0, 0));
     }
 
     #[test]

@@ -95,6 +95,48 @@ impl From<omp_parfor::Schedule> for ScheduleMode {
     }
 }
 
+/// Executor-quarantine policy: a decaying per-executor failure score
+/// that, past a threshold, blacklists the executor for a penalty
+/// window. A flapping machine (task failures, heartbeat misses,
+/// integrity re-fetches) stops receiving work — its queued tiles are
+/// rescued by healthy peers — instead of burning the job's retry
+/// budget, and re-admits itself automatically when the window expires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineConfig {
+    /// Score at which an executor is quarantined. `0.0` disables
+    /// quarantine entirely. A plain task failure scores 1.0, a
+    /// heartbeat miss 0.5, an integrity re-fetch 0.25.
+    pub threshold: f64,
+    /// How long a tripped executor is blacklisted.
+    pub penalty: Duration,
+    /// Half-life of the failure score: after `decay` with no new
+    /// failures, half the score is forgiven — isolated blips never
+    /// accumulate into a trip.
+    pub decay: Duration,
+}
+
+impl QuarantineConfig {
+    /// Quarantine disabled (threshold 0).
+    pub fn disabled() -> QuarantineConfig {
+        QuarantineConfig {
+            threshold: 0.0,
+            penalty: Duration::ZERO,
+            decay: Duration::ZERO,
+        }
+    }
+
+    /// Whether the policy can trip at all.
+    pub fn enabled(&self) -> bool {
+        self.threshold > 0.0
+    }
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> QuarantineConfig {
+        QuarantineConfig::disabled()
+    }
+}
+
 /// Per-job scheduling options, set on the context before an action runs.
 #[derive(Debug, Clone)]
 pub struct JobOptions {
@@ -106,6 +148,11 @@ pub struct JobOptions {
     pub spec_factor: f64,
     /// How long a locality-hinted task is protected from thieves.
     pub locality_wait: Duration,
+    /// Executor blacklisting policy (disabled by default).
+    pub quarantine: QuarantineConfig,
+    /// A running executor that hasn't heartbeat for this long is scored
+    /// as a miss. `ZERO` disables heartbeat monitoring.
+    pub heartbeat_miss: Duration,
 }
 
 impl Default for JobOptions {
@@ -114,6 +161,8 @@ impl Default for JobOptions {
             mode: ScheduleMode::Stealing,
             spec_factor: 0.0,
             locality_wait: Duration::ZERO,
+            quarantine: QuarantineConfig::disabled(),
+            heartbeat_miss: Duration::ZERO,
         }
     }
 }
@@ -128,6 +177,10 @@ pub(crate) struct ExecutorShared {
     running: AtomicUsize,
     /// f64 bits; 1.0 = nominal speed, 8.0 = 8× slower (straggler).
     slow_bits: AtomicU64,
+    /// Heartbeat clock: slot threads stamp `epoch.elapsed()` here as
+    /// they claim and finish work; the driver reads the age.
+    epoch: Instant,
+    beat_nanos: AtomicU64,
 }
 
 impl ExecutorShared {
@@ -136,7 +189,21 @@ impl ExecutorShared {
             alive: AtomicBool::new(true),
             running: AtomicUsize::new(0),
             slow_bits: AtomicU64::new(1.0f64.to_bits()),
+            epoch: Instant::now(),
+            beat_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Stamp "this executor's threads are making progress".
+    pub fn heartbeat(&self) {
+        self.beat_nanos
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Release);
+    }
+
+    /// Time since the last heartbeat.
+    pub fn beat_age(&self) -> Duration {
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        Duration::from_nanos(now.saturating_sub(self.beat_nanos.load(Ordering::Acquire)))
     }
 
     pub fn is_alive(&self) -> bool {
@@ -227,6 +294,40 @@ struct DispatchState {
     shutdown: bool,
 }
 
+/// Per-executor quarantine health, behind one mutex (touched on
+/// failures and claim checks only — both rare next to task bodies).
+struct ExecHealth {
+    /// Decaying failure score.
+    score: f64,
+    /// When the score was last updated (decay reference point).
+    scored_at: Instant,
+    /// Blacklisted until this instant, when tripped.
+    until: Option<Instant>,
+    /// Last heartbeat miss recorded, to debounce the driver's tick.
+    last_miss: Option<Instant>,
+}
+
+impl ExecHealth {
+    fn new() -> ExecHealth {
+        ExecHealth {
+            score: 0.0,
+            scored_at: Instant::now(),
+            until: None,
+            last_miss: None,
+        }
+    }
+
+    /// Exponential forgiveness: halve the score every `half_life`.
+    fn decay(&mut self, now: Instant, half_life: Duration) {
+        if half_life.is_zero() {
+            return;
+        }
+        let dt = now.duration_since(self.scored_at).as_secs_f64();
+        self.score *= 0.5f64.powf(dt / half_life.as_secs_f64());
+        self.scored_at = now;
+    }
+}
+
 /// The shared scheduler: the driver seeds jobs, executor slot threads
 /// claim work. One mutex + condvar — queues are short (one entry per
 /// partition), so contention is negligible next to task bodies.
@@ -235,6 +336,10 @@ pub(crate) struct Dispatcher {
     work_cv: Condvar,
     execs: Vec<Arc<ExecutorShared>>,
     injected_failures: AtomicUsize,
+    quarantine_cfg: Mutex<QuarantineConfig>,
+    health: Vec<Mutex<ExecHealth>>,
+    quarantine_trips: AtomicUsize,
+    heartbeat_misses: AtomicUsize,
 }
 
 /// Driver-facing description of a job to seed.
@@ -249,6 +354,9 @@ pub(crate) struct JobSpec {
 
 impl Dispatcher {
     pub fn new(execs: Vec<Arc<ExecutorShared>>) -> Dispatcher {
+        let health = (0..execs.len())
+            .map(|_| Mutex::new(ExecHealth::new()))
+            .collect();
         Dispatcher {
             state: Mutex::new(DispatchState {
                 active: None,
@@ -257,6 +365,10 @@ impl Dispatcher {
             work_cv: Condvar::new(),
             execs,
             injected_failures: AtomicUsize::new(0),
+            quarantine_cfg: Mutex::new(QuarantineConfig::disabled()),
+            health,
+            quarantine_trips: AtomicUsize::new(0),
+            heartbeat_misses: AtomicUsize::new(0),
         }
     }
 
@@ -270,14 +382,126 @@ impl Dispatcher {
             .collect()
     }
 
+    /// Alive executors outside quarantine — the preferred dispatch pool.
+    fn healthy_executors(&self) -> Vec<usize> {
+        (0..self.execs.len())
+            .filter(|&e| self.execs[e].is_alive() && !self.is_quarantined(e))
+            .collect()
+    }
+
+    /// The pool tasks are seeded to / retried on: healthy executors,
+    /// falling back to merely-alive ones when every survivor is
+    /// quarantined (a fully-blacklisted cluster still makes progress —
+    /// quarantine sheds load, it must never wedge a job).
+    fn dispatch_pool(&self) -> Vec<usize> {
+        let healthy = self.healthy_executors();
+        if healthy.is_empty() {
+            self.alive_executors()
+        } else {
+            healthy
+        }
+    }
+
+    /// Install the quarantine policy for subsequent scoring.
+    pub fn set_quarantine_config(&self, cfg: QuarantineConfig) {
+        *self.quarantine_cfg.lock() = cfg;
+    }
+
+    /// Is `exec` currently blacklisted? Expired windows clear lazily.
+    pub fn is_quarantined(&self, exec: usize) -> bool {
+        let mut health = self.health[exec].lock();
+        match health.until {
+            Some(until) if Instant::now() < until => true,
+            Some(_) => {
+                health.until = None;
+                health.last_miss = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Score a failed task attempt against `exec` (weight 1.0).
+    pub fn record_task_failure(&self, exec: usize) {
+        self.record_failure_weight(exec, 1.0);
+    }
+
+    /// Score a missed heartbeat against `exec` (weight 0.5), debounced
+    /// to once per `window` so the driver tick doesn't multiply one
+    /// stall into many misses.
+    pub fn record_heartbeat_miss(&self, exec: usize, window: Duration) -> bool {
+        {
+            let mut health = self.health[exec].lock();
+            let now = Instant::now();
+            if health
+                .last_miss
+                .is_some_and(|at| now.duration_since(at) < window)
+            {
+                return false;
+            }
+            health.last_miss = Some(now);
+        }
+        self.heartbeat_misses.fetch_add(1, Ordering::Relaxed);
+        self.record_failure_weight(exec, 0.5);
+        true
+    }
+
+    /// Score an integrity re-fetch attributed to `exec` (weight 0.25):
+    /// a machine that keeps shipping corrupt bytes is flapping even
+    /// when its tasks nominally succeed.
+    pub fn record_integrity_refetch(&self, exec: usize) {
+        self.record_failure_weight(exec, 0.25);
+    }
+
+    fn record_failure_weight(&self, exec: usize, weight: f64) {
+        let cfg = *self.quarantine_cfg.lock();
+        if !cfg.enabled() || exec >= self.health.len() {
+            return;
+        }
+        let tripped = {
+            let mut health = self.health[exec].lock();
+            let now = Instant::now();
+            health.decay(now, cfg.decay);
+            health.score += weight;
+            // The epsilon absorbs the sliver of decay between
+            // back-to-back failures, so "N failures at threshold N"
+            // always trips; it is far below the 0.25 weight quantum.
+            if health.until.is_none() && health.score >= cfg.threshold - 1e-3 {
+                health.until = Some(now + cfg.penalty);
+                health.score = 0.0; // a trip clears the slate
+                true
+            } else {
+                false
+            }
+        };
+        if tripped {
+            self.quarantine_trips.fetch_add(1, Ordering::Relaxed);
+            // Healthy peers should immediately rescue the queue.
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Total quarantine trips since the dispatcher was created.
+    pub fn total_quarantine_trips(&self) -> usize {
+        self.quarantine_trips.load(Ordering::Relaxed)
+    }
+
+    /// Total heartbeat misses recorded since creation.
+    pub fn total_heartbeat_misses(&self) -> usize {
+        self.heartbeat_misses.load(Ordering::Relaxed)
+    }
+
     /// Arm the next `n` claims to fail (deterministic retry tests).
     pub fn inject_failures(&self, n: usize) {
         self.injected_failures.store(n, Ordering::SeqCst);
     }
 
     /// Seed the queues for a job. Fails fast when no executor is alive.
+    /// Quarantined executors are skipped for seeding (unless every
+    /// survivor is quarantined).
     pub fn submit_job(&self, spec: JobSpec) -> Result<(), crate::SparkError> {
-        let alive = self.alive_executors();
+        self.set_quarantine_config(spec.options.quarantine);
+        let alive = self.dispatch_pool();
         if alive.is_empty() {
             return Err(crate::SparkError::NoExecutors);
         }
@@ -306,7 +530,7 @@ impl Dispatcher {
                 .get(task)
                 .copied()
                 .flatten()
-                .filter(|&e| e < self.execs.len() && self.execs[e].is_alive());
+                .filter(|&e| e < self.execs.len() && alive.contains(&e));
             let entry = QueueEntry {
                 task,
                 attempt: 0,
@@ -354,10 +578,10 @@ impl Dispatcher {
         };
         match active.mode {
             ScheduleMode::Static => {
-                // Prefer an alive executor not already running this task.
+                // Prefer a healthy executor not already running this task.
                 let busy = active.running_on[task].clone();
                 let target = self
-                    .alive_executors()
+                    .dispatch_pool()
                     .into_iter()
                     .filter(|e| !speculative || !busy.contains(e))
                     .min_by_key(|&e| active.queued_for(e) + self.execs[e].running());
@@ -367,7 +591,7 @@ impl Dispatcher {
                     // never be scanned in static mode, so park it on the
                     // least-loaded alive queue anyway.
                     None => {
-                        if let Some(e) = self.alive_executors().first().copied() {
+                        if let Some(e) = self.dispatch_pool().first().copied() {
                             active.local[e].push_back(entry);
                         }
                     }
@@ -476,14 +700,17 @@ impl Dispatcher {
     /// Block until there is work for executor `exec` (or shutdown).
     /// Claim order: own local queue → central queue (dynamic/stealing) →
     /// steal from the most-loaded peer (stealing) → rescue entries
-    /// seeded on dead executors (every mode).
+    /// seeded on dead or quarantined executors (every mode). A
+    /// quarantined executor does not claim while any healthy peer
+    /// exists; its queue is rescued like a dead one's.
     pub fn claim(&self, exec: usize) -> Claimed {
         let mut state = self.state.lock();
         loop {
             if state.shutdown {
                 return Claimed::Shutdown;
             }
-            if self.execs[exec].is_alive() {
+            let benched = self.is_quarantined(exec) && !self.healthy_executors().is_empty();
+            if self.execs[exec].is_alive() && !benched {
                 if let Some(unit) = self.try_claim_locked(&mut state, exec) {
                     return Claimed::Run(unit);
                 }
@@ -524,9 +751,10 @@ impl Dispatcher {
         }
 
         if picked.is_none() {
-            // Rescue work stranded on dead executors — in every mode.
+            // Rescue work stranded on dead or quarantined executors —
+            // in every mode.
             for v in (0..self.execs.len()).filter(|&v| v != exec) {
-                if self.execs[v].is_alive() {
+                if self.execs[v].is_alive() && !self.is_quarantined(v) {
                     continue;
                 }
                 if let Some(e) =
@@ -793,5 +1021,163 @@ mod tests {
         d.executor(0).set_alive(false);
         let err = d.submit_job(spec(6, 1, JobOptions::default()));
         assert!(matches!(err, Err(crate::SparkError::NoExecutors)));
+    }
+
+    fn quarantine_options(threshold: f64) -> JobOptions {
+        JobOptions {
+            quarantine: QuarantineConfig {
+                threshold,
+                penalty: Duration::from_secs(60),
+                decay: Duration::from_secs(60),
+            },
+            ..JobOptions::default()
+        }
+    }
+
+    #[test]
+    fn failure_score_trips_quarantine_at_threshold() {
+        let d = dispatcher(2);
+        d.set_quarantine_config(quarantine_options(2.0).quarantine);
+        d.record_task_failure(0);
+        assert!(!d.is_quarantined(0), "one failure is below threshold");
+        d.record_task_failure(0);
+        assert!(d.is_quarantined(0), "second failure trips");
+        assert!(!d.is_quarantined(1));
+        assert_eq!(d.total_quarantine_trips(), 1);
+        assert_eq!(d.healthy_executors(), vec![1]);
+    }
+
+    #[test]
+    fn score_decays_between_failures() {
+        let d = dispatcher(1);
+        d.set_quarantine_config(QuarantineConfig {
+            threshold: 2.0,
+            penalty: Duration::from_secs(60),
+            decay: Duration::from_millis(5), // aggressive half-life
+        });
+        d.record_task_failure(0);
+        std::thread::sleep(Duration::from_millis(40)); // score ≈ 1/256
+        d.record_task_failure(0);
+        assert!(
+            !d.is_quarantined(0),
+            "forgiven blips must not accumulate into a trip"
+        );
+    }
+
+    #[test]
+    fn quarantine_expires_after_the_penalty_window() {
+        let d = dispatcher(2);
+        d.set_quarantine_config(QuarantineConfig {
+            threshold: 1.0,
+            penalty: Duration::from_millis(20),
+            decay: Duration::from_secs(60),
+        });
+        d.record_task_failure(1);
+        assert!(d.is_quarantined(1));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!d.is_quarantined(1), "penalty window decayed");
+        assert_eq!(d.healthy_executors(), vec![0, 1]);
+    }
+
+    #[test]
+    fn seeding_avoids_a_quarantined_executor_and_drops_its_hints() {
+        let d = dispatcher(2);
+        let options = JobOptions {
+            mode: ScheduleMode::Static,
+            ..quarantine_options(1.0)
+        };
+        // Trip executor 0 *before* the job: seeding must avoid it.
+        d.set_quarantine_config(options.quarantine);
+        d.record_task_failure(0);
+        assert!(d.is_quarantined(0));
+        d.submit_job(spec(7, 4, options)).unwrap();
+        assert_eq!(d.queued_on(0), 0, "no seeds on the benched executor");
+        assert_eq!(d.queued_on(1), 4);
+        d.clear_job(7);
+        let mut s = spec(8, 1, quarantine_options(1.0));
+        s.locality = vec![Some(0)];
+        d.submit_job(s).unwrap();
+        assert_eq!(
+            d.queued_on(0),
+            0,
+            "hint on a quarantined executor is dropped"
+        );
+        d.clear_job(8);
+    }
+
+    #[test]
+    fn mid_job_quarantine_strands_no_work() {
+        // Tasks seeded onto an executor that trips *during* the job are
+        // rescued by healthy peers, exactly like a dead executor's.
+        let d = dispatcher(2);
+        let options = JobOptions {
+            mode: ScheduleMode::Static,
+            ..quarantine_options(1.0)
+        };
+        d.submit_job(spec(10, 4, options)).unwrap();
+        assert_eq!(d.queued_on(0), 2);
+        d.record_task_failure(0);
+        assert!(d.is_quarantined(0));
+        for _ in 0..4 {
+            let Claimed::Run(unit) = d.claim(1) else {
+                panic!("expected work")
+            };
+            d.finished(1);
+            d.attempt_settled(10, unit.task, 1);
+            d.mark_completed(10, unit.task);
+        }
+        assert_eq!(d.queued_on(0), 0, "benched executor's queue rescued");
+        d.clear_job(10);
+    }
+
+    #[test]
+    fn all_quarantined_cluster_still_dispatches() {
+        let d = dispatcher(2);
+        let options = quarantine_options(1.0);
+        d.set_quarantine_config(options.quarantine);
+        d.record_task_failure(0);
+        d.record_task_failure(1);
+        assert!(d.healthy_executors().is_empty());
+        // Seeding falls back to the alive pool: the job must not wedge.
+        d.submit_job(spec(9, 2, options)).unwrap();
+        assert_eq!(d.queued_on(0) + d.queued_on(1), 2);
+        let Claimed::Run(unit) = d.claim(0) else {
+            panic!("a fully-quarantined cluster must still hand out work")
+        };
+        d.finished(0);
+        d.attempt_settled(9, unit.task, 0);
+        d.clear_job(9);
+    }
+
+    #[test]
+    fn heartbeat_misses_are_debounced_and_scored() {
+        let d = dispatcher(1);
+        d.set_quarantine_config(QuarantineConfig {
+            threshold: 1.0,
+            penalty: Duration::from_secs(60),
+            decay: Duration::from_secs(60),
+        });
+        let window = Duration::from_secs(5);
+        assert!(d.record_heartbeat_miss(0, window));
+        assert!(
+            !d.record_heartbeat_miss(0, window),
+            "same stall, same window: one miss"
+        );
+        assert_eq!(d.total_heartbeat_misses(), 1);
+        assert!(!d.is_quarantined(0), "0.5 < threshold 1.0");
+        d.record_integrity_refetch(0);
+        d.record_integrity_refetch(0);
+        assert!(d.is_quarantined(0), "0.5 + 2 × 0.25 reaches 1.0");
+    }
+
+    #[test]
+    fn executor_heartbeat_clock_ages() {
+        let e = ExecutorShared::new();
+        e.heartbeat();
+        assert!(e.beat_age() < Duration::from_millis(100));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(e.beat_age() >= Duration::from_millis(20));
+        e.heartbeat();
+        assert!(e.beat_age() < Duration::from_millis(20));
     }
 }

@@ -14,7 +14,7 @@ fn options(mode: ScheduleMode, spec_factor: f64) -> JobOptions {
     JobOptions {
         mode,
         spec_factor,
-        locality_wait: Duration::ZERO,
+        ..JobOptions::default()
     }
 }
 
@@ -154,8 +154,8 @@ fn locality_hints_pin_tasks_inside_the_wait_window() {
     let sc = cluster(2);
     sc.set_job_options(JobOptions {
         mode: ScheduleMode::Stealing,
-        spec_factor: 0.0,
         locality_wait: Duration::from_millis(500),
+        ..JobOptions::default()
     });
     sc.set_next_job_locality(vec![Some(1); 8]);
     let out = sc
@@ -192,8 +192,8 @@ fn expired_locality_wait_releases_hinted_tasks_to_thieves() {
     let sc = cluster(2);
     sc.set_job_options(JobOptions {
         mode: ScheduleMode::Stealing,
-        spec_factor: 0.0,
         locality_wait: Duration::from_millis(5),
+        ..JobOptions::default()
     });
     // Pin everything to the slow executor with a tiny wait: after it
     // expires, the idle peer must take over most of the work.

@@ -15,7 +15,7 @@
 use crate::{ObjectStore, StorageError, StoreHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// What a firing rule does to the operation.
@@ -32,6 +32,23 @@ pub enum FaultKind {
     /// Sleep this long, then let the op proceed (latency spike). Delays
     /// compose with a later error rule firing on the same op.
     Delay(Duration),
+    /// The store dies: the firing op fails with
+    /// [`StorageError::Unavailable`] and a latch flips so *every*
+    /// subsequent op fails too (lists go empty, `exists` false) until
+    /// [`ChaosStore::revive`]. Scoped to a manifest or journal key via
+    /// [`FaultRule::on_keys`], this is the classic
+    /// kill-between-put-and-manifest crash that a two-phase commit must
+    /// survive.
+    Kill,
+}
+
+/// The operation class being evaluated against a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosOp {
+    Put,
+    Get,
+    Delete,
+    List,
 }
 
 /// Which operations a rule can match.
@@ -41,16 +58,27 @@ pub enum OpFilter {
     Put,
     /// Reads only.
     Get,
-    /// Both.
+    /// Deletions only (storage hygiene, orphan GC).
+    Delete,
+    /// Listings only; the rule's key pattern matches the *prefix*. An
+    /// error kind makes the listing come back empty — an unreachable
+    /// index, not a thrown error, because [`ObjectStore::list`] is
+    /// infallible by contract.
+    List,
+    /// The data path: puts and gets. Deliberately excludes
+    /// delete/list so seeded schedules written before those ops were
+    /// injectable keep their op-index arithmetic.
     Any,
 }
 
 impl OpFilter {
-    fn matches(self, is_put: bool) -> bool {
+    fn matches(self, op: ChaosOp) -> bool {
         match self {
-            OpFilter::Put => is_put,
-            OpFilter::Get => !is_put,
-            OpFilter::Any => true,
+            OpFilter::Put => op == ChaosOp::Put,
+            OpFilter::Get => op == ChaosOp::Get,
+            OpFilter::Delete => op == ChaosOp::Delete,
+            OpFilter::List => op == ChaosOp::List,
+            OpFilter::Any => matches!(op, ChaosOp::Put | ChaosOp::Get),
         }
     }
 }
@@ -145,12 +173,15 @@ pub struct ChaosStats {
     pub corruptions: u64,
     /// Latency spikes inserted.
     pub delays: u64,
+    /// Kill rules that fired (the latch events, not the ops refused
+    /// afterwards — those count as `unavailable`).
+    pub kills: u64,
 }
 
 impl ChaosStats {
     /// Total faults of every kind.
     pub fn total(&self) -> u64 {
-        self.transient + self.unavailable + self.corruptions + self.delays
+        self.transient + self.unavailable + self.corruptions + self.delays + self.kills
     }
 }
 
@@ -167,18 +198,22 @@ struct Verdict {
     corrupt_salt: Option<u64>,
 }
 
-/// [`ObjectStore`] decorator executing a [`FaultPlan`]. Metadata ops
-/// (`exists`/`list`/`size`/`delete`/`checksum`) pass through untouched —
-/// faults target the data path, like the failures they model.
+/// [`ObjectStore`] decorator executing a [`FaultPlan`]. Puts, gets,
+/// deletes and listings are injectable (via the matching [`OpFilter`]);
+/// `exists`/`size`/`checksum` pass through untouched unless the store
+/// has been [killed](FaultKind::Kill), after which every op reports the
+/// endpoint gone.
 pub struct ChaosStore {
     inner: StoreHandle,
     seed: u64,
     rules: Vec<RuleState>,
     rng: parking_lot::Mutex<StdRng>,
+    killed: AtomicBool,
     transient: AtomicU64,
     unavailable: AtomicU64,
     corruptions: AtomicU64,
     delays: AtomicU64,
+    kills: AtomicU64,
 }
 
 impl ChaosStore {
@@ -196,10 +231,12 @@ impl ChaosStore {
                     matched: AtomicU64::new(0),
                 })
                 .collect(),
+            killed: AtomicBool::new(false),
             transient: AtomicU64::new(0),
             unavailable: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             delays: AtomicU64::new(0),
+            kills: AtomicU64::new(0),
         }
     }
 
@@ -210,18 +247,39 @@ impl ChaosStore {
             unavailable: self.unavailable.load(Ordering::Relaxed),
             corruptions: self.corruptions.load(Ordering::Relaxed),
             delays: self.delays.load(Ordering::Relaxed),
+            kills: self.kills.load(Ordering::Relaxed),
         }
+    }
+
+    /// True once a [`FaultKind::Kill`] rule has fired.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
+    }
+
+    /// Clear the kill latch: the endpoint comes back (its contents are
+    /// whatever landed before the crash — nothing is rolled back).
+    pub fn revive(&self) {
+        self.killed.store(false, Ordering::Relaxed);
     }
 
     /// Evaluate the plan for one op: sleep firing delays immediately,
     /// return the error/corruption decision for the caller to apply.
-    fn evaluate(&self, is_put: bool, key: &str) -> Verdict {
+    fn evaluate(&self, op: ChaosOp, key: &str) -> Verdict {
+        if self.killed.load(Ordering::Relaxed) {
+            self.unavailable.fetch_add(1, Ordering::Relaxed);
+            return Verdict {
+                error: Some(StorageError::Unavailable(format!(
+                    "chaos: store killed; op on {key} refused"
+                ))),
+                corrupt_salt: None,
+            };
+        }
         let mut verdict = Verdict {
             error: None,
             corrupt_salt: None,
         };
         for state in &self.rules {
-            if !state.rule.op.matches(is_put) {
+            if !state.rule.op.matches(op) {
                 continue;
             }
             if let Some(pat) = &state.rule.key_contains {
@@ -260,6 +318,16 @@ impl ChaosStore {
                 FaultKind::Corrupt if verdict.corrupt_salt.is_none() => {
                     verdict.corrupt_salt = Some(idx);
                 }
+                FaultKind::Kill => {
+                    self.kills.fetch_add(1, Ordering::Relaxed);
+                    self.killed.store(true, Ordering::Relaxed);
+                    verdict.error = Some(StorageError::Unavailable(format!(
+                        "chaos: store killed on {key}"
+                    )));
+                    // A dead store answers nothing else; later rules moot.
+                    verdict.corrupt_salt = None;
+                    break;
+                }
                 _ => {}
             }
         }
@@ -286,7 +354,7 @@ impl ChaosStore {
 
 impl ObjectStore for ChaosStore {
     fn put(&self, key: &str, mut data: Vec<u8>) -> Result<(), StorageError> {
-        let verdict = self.evaluate(true, key);
+        let verdict = self.evaluate(ChaosOp::Put, key);
         if let Some(e) = verdict.error {
             return Err(e);
         }
@@ -298,7 +366,7 @@ impl ObjectStore for ChaosStore {
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>, StorageError> {
-        let verdict = self.evaluate(false, key);
+        let verdict = self.evaluate(ChaosOp::Get, key);
         if let Some(e) = verdict.error {
             return Err(e);
         }
@@ -312,22 +380,38 @@ impl ObjectStore for ChaosStore {
     }
 
     fn delete(&self, key: &str) -> Result<(), StorageError> {
+        let verdict = self.evaluate(ChaosOp::Delete, key);
+        if let Some(e) = verdict.error {
+            return Err(e);
+        }
         self.inner.delete(key)
     }
 
     fn exists(&self, key: &str) -> bool {
-        self.inner.exists(key)
+        !self.is_killed() && self.inner.exists(key)
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
+        // `list` is infallible by contract, so an error verdict models
+        // an unreachable index: the listing comes back empty.
+        let verdict = self.evaluate(ChaosOp::List, prefix);
+        if verdict.error.is_some() {
+            return Vec::new();
+        }
         self.inner.list(prefix)
     }
 
     fn size(&self, key: &str) -> Option<u64> {
+        if self.is_killed() {
+            return None;
+        }
         self.inner.size(key)
     }
 
     fn checksum(&self, key: &str) -> Option<u32> {
+        if self.is_killed() {
+            return None;
+        }
         self.inner.checksum(key)
     }
 
@@ -467,6 +551,92 @@ mod tests {
         assert_eq!(run(11), run(11), "same seed, same schedule");
         let hits = run(11);
         assert!((20..=100).contains(&hits), "~30% of 200, got {hits}");
+    }
+
+    #[test]
+    fn delete_and_list_ops_are_injectable() {
+        let (store, _) = chaos(
+            FaultPlan::new(21)
+                .rule(FaultRule::new(
+                    OpFilter::Delete,
+                    Trigger::OpIndex(0),
+                    FaultKind::Transient,
+                ))
+                .rule(
+                    FaultRule::new(OpFilter::List, Trigger::Always, FaultKind::Unavailable)
+                        .on_keys("out/"),
+                ),
+        );
+        store.put("out/x", vec![1]).unwrap();
+        store.put("in/y", vec![2]).unwrap();
+        let e = store.delete("out/x").unwrap_err();
+        assert!(e.is_transient());
+        store.delete("out/x").unwrap(); // delete #1: clean
+        assert!(
+            store.list("out/").is_empty(),
+            "faulted listing reads as empty"
+        );
+        assert_eq!(
+            store.list(""),
+            vec!["in/y".to_string()],
+            "other prefixes ok"
+        );
+        assert_eq!(store.stats().transient, 1);
+        assert_eq!(store.stats().unavailable, 1);
+    }
+
+    #[test]
+    fn any_filter_still_means_the_data_path_only() {
+        // Op-index schedules written before delete/list became
+        // injectable must keep their arithmetic: `Any` ignores both.
+        let (store, _) = chaos(FaultPlan::new(22).rule(FaultRule::new(
+            OpFilter::Any,
+            Trigger::OpIndex(1),
+            FaultKind::Transient,
+        )));
+        store.put("a", vec![1]).unwrap(); // data op #0
+        store.delete("nope").unwrap(); // not counted
+        assert_eq!(store.list(""), vec!["a".to_string()]); // not counted
+        assert!(store.get("a").is_err(), "data op #1 faults");
+    }
+
+    #[test]
+    fn kill_latches_the_whole_endpoint() {
+        let (store, inner) = chaos(FaultPlan::new(23).rule(
+            FaultRule::new(OpFilter::Put, Trigger::OpIndex(2), FaultKind::Kill).on_keys("t/"),
+        ));
+        store.put("t/0", vec![0]).unwrap();
+        store.put("t/1", vec![1]).unwrap();
+        let e = store.put("t/2", vec![2]).unwrap_err();
+        assert!(matches!(e, StorageError::Unavailable(_)));
+        assert!(store.is_killed());
+        // Everything after the crash fails, not just the matching keys.
+        assert!(store.get("t/0").is_err());
+        assert!(store.delete("t/0").is_err());
+        assert!(store.list("t/").is_empty());
+        assert!(!store.exists("t/0"));
+        assert_eq!(store.size("t/0"), None);
+        assert_eq!(store.stats().kills, 1);
+        // The objects that landed before the crash survive it.
+        assert_eq!(inner.get("t/0").unwrap(), vec![0]);
+        store.revive();
+        assert_eq!(store.get("t/0").unwrap(), vec![0]);
+        assert_eq!(store.list("t/").len(), 2);
+    }
+
+    #[test]
+    fn kill_between_put_and_manifest_scopes_to_the_commit_key() {
+        // The two-phase-commit crash: staged tiles land, the store dies
+        // on the manifest publish, the region is never committed.
+        let (store, inner) = chaos(FaultPlan::new(24).rule(
+            FaultRule::new(OpFilter::Put, Trigger::Always, FaultKind::Kill).on_keys("manifest"),
+        ));
+        store.put("r/_tmp/out/a", vec![1]).unwrap();
+        store.put("r/_tmp/out/b", vec![2]).unwrap();
+        assert!(store.put("r/manifest", vec![3]).is_err());
+        assert!(store.is_killed());
+        assert!(!inner.exists("r/manifest"), "commit never became visible");
+        assert_eq!(inner.list("r/_tmp/").len(), 2, "orphans left for GC");
     }
 
     #[test]

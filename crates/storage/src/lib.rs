@@ -26,6 +26,7 @@
 mod azure;
 mod chaos;
 mod hdfs;
+mod journal;
 mod latency;
 mod retry;
 mod s3;
@@ -35,11 +36,13 @@ mod uri;
 pub use azure::{AccessLevel, AzureAccount, AzureBlobStore};
 pub use chaos::{ChaosStats, ChaosStore, FaultKind, FaultPlan, FaultRule, OpFilter, Trigger};
 pub use hdfs::{HdfsStore, DEFAULT_BLOCK_SIZE};
+pub use journal::{RegionFingerprint, RegionJournal};
 pub use latency::LatencyStore;
 pub use retry::{RetryPolicy, RetrySession, RetryStats};
 pub use s3::{MultipartUpload, S3Service, S3Store};
 pub use transfer::{
-    ItemReport, PipelineReport, PipelineResult, TransferConfig, TransferManager, TransferReport,
+    CommitManifest, ItemReport, ManifestEntry, PipelineReport, PipelineResult, TransferConfig,
+    TransferManager, TransferReport,
 };
 pub use uri::StorageUri;
 

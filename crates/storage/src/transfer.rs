@@ -231,6 +231,66 @@ pub type DownloadResult = (Vec<(String, Vec<u8>)>, TransferReport);
 /// order) plus the pipeline report.
 pub type PipelineResult = (Vec<(String, Vec<u8>)>, PipelineReport);
 
+/// One committed output in a [`CommitManifest`]: logical name, the
+/// staged `_tmp/` key holding the bytes, and the wire crc32 recorded at
+/// upload (0 when integrity verification was off).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Logical output name (e.g. `out/y`).
+    pub name: String,
+    /// Staged object key the bytes live under.
+    pub key: String,
+    /// crc32 of the staged wire bytes.
+    pub wire_crc: u32,
+}
+
+/// The commit record of a two-phase output publish. Outputs are staged
+/// under `<region>/_tmp/` while the region runs; putting this manifest
+/// at `<region>/manifest` is the single atomic step that flips the
+/// region to committed. A crash before the manifest leaves only `_tmp/`
+/// orphans (collected by [`TransferManager::collect_orphans`]); a crash
+/// after it leaves a fully readable region — there is no in-between.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitManifest {
+    /// Committed outputs, in publish order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl CommitManifest {
+    /// Serialize as `name\tkey\tcrc` lines.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{}\t{}\t{:08x}\n", e.name, e.key, e.wire_crc));
+        }
+        out.into_bytes()
+    }
+
+    fn from_bytes(key: &str, bytes: &[u8]) -> Result<CommitManifest, StorageError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| StorageError::Corrupted(format!("{key}: manifest is not utf-8")))?;
+        let mut entries = Vec::new();
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            let mut fields = line.split('\t');
+            let (Some(name), Some(obj), Some(crc)) = (fields.next(), fields.next(), fields.next())
+            else {
+                return Err(StorageError::Corrupted(format!(
+                    "{key}: malformed manifest line: {line}"
+                )));
+            };
+            let wire_crc = u32::from_str_radix(crc, 16).map_err(|_| {
+                StorageError::Corrupted(format!("{key}: bad crc in manifest line: {line}"))
+            })?;
+            entries.push(ManifestEntry {
+                name: name.to_string(),
+                key: obj.to_string(),
+                wire_crc,
+            });
+        }
+        Ok(CommitManifest { entries })
+    }
+}
+
 /// Moves batches of named buffers between host memory and a cloud store.
 pub struct TransferManager {
     store: StoreHandle,
@@ -260,6 +320,92 @@ impl TransferManager {
     /// bound across offloads.
     pub fn forget_prefix(&self, prefix: &str) {
         self.ledger.lock().retain(|k, _| !k.starts_with(prefix));
+    }
+
+    /// The wire crc32 this manager recorded when it uploaded `key`, if
+    /// any. Region fingerprints are built from these — the "input
+    /// crc32s from the integrity ledger" of the recovery design.
+    pub fn ledger_crc(&self, key: &str) -> Option<u32> {
+        self.ledger.lock().get(key).copied()
+    }
+
+    /// The staged key output `name` uploads to before `region` commits.
+    pub fn staged_key(region: &str, name: &str) -> String {
+        format!("{region}/_tmp/{name}")
+    }
+
+    /// The key whose existence marks `region` as committed.
+    pub fn manifest_key(region: &str) -> String {
+        format!("{region}/manifest")
+    }
+
+    /// Phase two of the output commit: publish the manifest naming every
+    /// staged output of `region`. Call only after all staged puts have
+    /// landed; this single put is the atomic commit point.
+    pub fn publish_manifest(
+        &self,
+        region: &str,
+        names: &[String],
+    ) -> Result<CommitManifest, StorageError> {
+        let manifest = CommitManifest {
+            entries: names
+                .iter()
+                .map(|name| {
+                    let key = Self::staged_key(region, name);
+                    let wire_crc = self.ledger_crc(&key).unwrap_or(0);
+                    ManifestEntry {
+                        name: name.clone(),
+                        key,
+                        wire_crc,
+                    }
+                })
+                .collect(),
+        };
+        self.put_wire(&Self::manifest_key(region), manifest.to_bytes(), None)?;
+        Ok(manifest)
+    }
+
+    /// Whether `region` has a committed (manifest-published) output set.
+    pub fn is_committed(&self, region: &str) -> bool {
+        self.store.exists(&Self::manifest_key(region))
+    }
+
+    /// Fetch and parse `region`'s commit manifest.
+    pub fn read_manifest(&self, region: &str) -> Result<CommitManifest, StorageError> {
+        let key = Self::manifest_key(region);
+        let (bytes, _, _, _) = self.fetch_with_retry(&key, None)?;
+        CommitManifest::from_bytes(&key, &bytes)
+    }
+
+    /// Garbage-collect staged outputs of crashed regions: every
+    /// `…/_tmp/…` object under `prefix` whose region has no manifest is
+    /// deleted. Returns the number of orphans removed. Best effort — a
+    /// failed delete is skipped, and the caller must not run this
+    /// concurrently with a region that is still staging (a mid-upload
+    /// region is indistinguishable from a crashed one).
+    pub fn collect_orphans(&self, prefix: &str) -> usize {
+        let mut by_region: HashMap<String, Vec<String>> = HashMap::new();
+        for key in self.store.list(prefix) {
+            if let Some(pos) = key.find("/_tmp/") {
+                by_region
+                    .entry(key[..pos].to_string())
+                    .or_default()
+                    .push(key);
+            }
+        }
+        let mut removed = 0;
+        for (region, keys) in by_region {
+            if self.is_committed(&region) {
+                continue;
+            }
+            for key in keys {
+                if self.store.delete(&key).is_ok() {
+                    self.ledger.lock().remove(&key);
+                    removed += 1;
+                }
+            }
+        }
+        removed
     }
 
     /// Put `wire` under `key` with retries; records the wire crc32 in
@@ -1185,5 +1331,86 @@ mod tests {
             rs.ratio(),
             rd.ratio()
         );
+    }
+
+    #[test]
+    fn two_phase_commit_roundtrip() {
+        let (tm, store) = manager(64);
+        let names = vec!["out/y".to_string(), "out/z".to_string()];
+        tm.upload(vec![
+            (TransferManager::staged_key("job-0", "out/y"), vec![1; 32]),
+            (TransferManager::staged_key("job-0", "out/z"), vec![2; 32]),
+        ])
+        .unwrap();
+        assert!(!tm.is_committed("job-0"), "staged but not yet committed");
+
+        let manifest = tm.publish_manifest("job-0", &names).unwrap();
+        assert!(tm.is_committed("job-0"));
+        assert_eq!(manifest.entries.len(), 2);
+        assert_eq!(manifest.entries[0].name, "out/y");
+        assert_eq!(manifest.entries[0].key, "job-0/_tmp/out/y");
+        assert_eq!(
+            manifest.entries[0].wire_crc,
+            tm.ledger_crc("job-0/_tmp/out/y").unwrap()
+        );
+        assert_eq!(tm.read_manifest("job-0").unwrap(), manifest);
+
+        // Committed regions are never garbage-collected.
+        assert_eq!(tm.collect_orphans(""), 0);
+        assert_eq!(store.list("job-0/_tmp/").len(), 2);
+    }
+
+    #[test]
+    fn orphaned_staging_is_collected_only_without_a_manifest() {
+        let (tm, store) = manager(64);
+        // A crashed region: two staged tiles, no manifest.
+        tm.upload(vec![
+            (TransferManager::staged_key("job-1", "out/a"), vec![3; 16]),
+            (TransferManager::staged_key("job-1", "out/b"), vec![4; 16]),
+        ])
+        .unwrap();
+        // A committed region next to it.
+        tm.upload(vec![(
+            TransferManager::staged_key("job-2", "out/a"),
+            vec![5; 16],
+        )])
+        .unwrap();
+        tm.publish_manifest("job-2", &["out/a".to_string()])
+            .unwrap();
+
+        assert_eq!(tm.collect_orphans(""), 2);
+        assert!(store.list("job-1/_tmp/").is_empty(), "orphans removed");
+        assert_eq!(store.list("job-2/_tmp/").len(), 1, "committed data kept");
+        assert_eq!(
+            tm.ledger_crc("job-1/_tmp/out/a"),
+            None,
+            "ledger entries go with the orphans"
+        );
+    }
+
+    #[test]
+    fn kill_between_staging_and_manifest_never_commits() {
+        // The crash the protocol exists for: every staged put lands,
+        // the store dies on the manifest publish. The region must read
+        // as uncommitted, and the next start must sweep the leftovers.
+        let plan = FaultPlan::new(31).rule(
+            FaultRule::new(OpFilter::Put, Trigger::Always, FaultKind::Kill).on_keys("/manifest"),
+        );
+        let (tm, store) = chaos_manager(64, plan);
+        tm.upload(vec![(
+            TransferManager::staged_key("job-3", "out/y"),
+            vec![9; 64],
+        )])
+        .unwrap();
+        assert!(tm
+            .publish_manifest("job-3", &["out/y".to_string()])
+            .is_err());
+        assert!(!store.exists("job-3/manifest"), "commit never visible");
+        assert_eq!(store.list("job-3/_tmp/").len(), 1, "torn staging left");
+
+        // Next region start, store back up: GC sweeps the orphan.
+        let tm2 = TransferManager::new(Arc::new(store.clone()), TransferConfig::default());
+        assert_eq!(tm2.collect_orphans(""), 1);
+        assert!(store.list("job-3/").is_empty());
     }
 }
