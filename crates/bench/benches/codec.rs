@@ -1,22 +1,8 @@
 //! Criterion micro-benchmarks of the gzlite codec — the compression
 //! stage of the paper's host-target transfers (§III-A).
 
+use conformance::rng::sparse_f32_bytes as f32_bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::{Rng, SeedableRng};
-
-fn f32_bytes(len: usize, density: f64, seed: u64) -> Vec<u8> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..len / 4)
-        .flat_map(|_| {
-            let v: f32 = if rng.gen_bool(density) {
-                rng.gen_range(0.0..1.0)
-            } else {
-                0.0
-            };
-            v.to_le_bytes()
-        })
-        .collect()
-}
 
 fn bench_compress(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec/compress");

@@ -2,24 +2,14 @@
 //! one-thread-per-buffer upload path with threshold compression.
 
 use cloud_storage::{S3Store, TransferConfig, TransferManager};
+use conformance::rng::sparse_f32_bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn buffers(count: usize, each: usize, density: f64) -> Vec<(String, Vec<u8>)> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     (0..count)
         .map(|i| {
-            let data: Vec<u8> = (0..each / 4)
-                .flat_map(|_| {
-                    let v: f32 = if rng.gen_bool(density) {
-                        rng.gen_range(0.0..1.0)
-                    } else {
-                        0.0
-                    };
-                    v.to_le_bytes()
-                })
-                .collect();
+            let data = sparse_f32_bytes(each, density, 11 + i as u64);
             (format!("buf/{i}"), data)
         })
         .collect()

@@ -1,0 +1,210 @@
+//! The differential runner: execute one [`CaseSpec`] on both legs and
+//! collect everything the oracle needs.
+//!
+//! The cloud leg builds a fresh local-sim `S3Store` (optionally wrapped
+//! in a [`LatencyStore`] and a [`ChaosStore`]) and drives the region
+//! through `CloudRuntime`; the host leg re-builds the *same* region and
+//! data and runs them on the sequential host device. Mapped-from
+//! variables must come back bitwise identical — the generator only
+//! draws programs whose results are order-independent (disjoint indexed
+//! writes, bitwise-OR merges, and exact-lattice reductions), so any
+//! byte of divergence is a real merge/transfer/scheduling bug, not
+//! floating-point noise. Kernel cases are additionally diffed against
+//! the handwritten sequential references with a small tolerance.
+
+use crate::gen::{CaseKind, CaseSpec};
+use crate::oracle;
+use cloud_storage::{ChaosStats, ChaosStore, LatencyStore, ObjectStore, S3Store, StoreHandle};
+use omp_model::{DeviceRegistry, DeviceSelector, ExecProfile};
+use ompcloud::{CloudDevice, CloudRuntime, OffloadReport};
+use ompcloud_kernels as kernels;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tolerance for the kernel-vs-sequential-reference comparison. The
+/// strict check is cloud-vs-host bitwise equality; this one only guards
+/// against both legs agreeing on a *wrong* answer.
+const HOST_ORACLE_TOL: f32 = 1e-1;
+
+/// Did the case pass?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every check held.
+    Pass,
+    /// At least one check failed (see [`CaseOutcome::failures`]).
+    Fail,
+}
+
+/// Everything one case execution produced.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// The case that ran.
+    pub spec: CaseSpec,
+    /// Human-readable descriptions of every failed check (empty = pass).
+    pub failures: Vec<String>,
+    /// The cloud leg fell back to the host mid-flight.
+    pub fell_back: bool,
+    /// The chaos store's kill latch was tripped.
+    pub killed: bool,
+    /// Faults the chaos store actually injected, when chaos was on.
+    pub chaos: Option<ChaosStats>,
+}
+
+impl CaseOutcome {
+    /// Overall verdict.
+    pub fn verdict(&self) -> Verdict {
+        if self.failures.is_empty() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+}
+
+/// Execute `spec` on both legs and run every oracle over the results.
+pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
+    let mut failures = Vec::new();
+
+    // --- Cloud leg -------------------------------------------------
+    let base = Arc::new(S3Store::standalone("conformance"));
+    let mut handle: StoreHandle = base.clone();
+    if spec.latency_us > 0 {
+        handle = Arc::new(LatencyStore::new(
+            handle,
+            Duration::from_micros(spec.latency_us),
+        ));
+    }
+    let chaos_store = spec.fault_plan().map(|plan| {
+        let cs = Arc::new(ChaosStore::new(handle.clone(), plan));
+        handle = cs.clone();
+        cs
+    });
+
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(spec.config(), handle));
+    let cloud_region = spec.build_region(CloudRuntime::cloud_selector());
+    let mut cloud_env = spec.build_env();
+    let cloud_profile: Option<ExecProfile> = match catch_unwind(AssertUnwindSafe(|| {
+        runtime.offload(&cloud_region, &mut cloud_env)
+    })) {
+        Ok(Ok(profile)) => Some(profile),
+        Ok(Err(e)) => {
+            failures.push(format!("cloud leg failed outright: {e}"));
+            None
+        }
+        Err(_) => {
+            failures.push("cloud leg panicked".to_string());
+            None
+        }
+    };
+    let fell_back = cloud_profile
+        .as_ref()
+        .is_some_and(|p| p.fallback_from.is_some());
+    let report: Option<OffloadReport> = runtime.cloud().last_report();
+    let jobs = runtime.cloud().job_metrics();
+    runtime.shutdown();
+
+    let killed = chaos_store.as_ref().is_some_and(|cs| cs.is_killed());
+    let chaos_stats = chaos_store.as_ref().map(|cs| cs.stats());
+    // Revive a killed store so the leftover listing below sees reality.
+    if let Some(cs) = &chaos_store {
+        cs.revive();
+    }
+    let leftovers: Vec<String> = base
+        .list("")
+        .into_iter()
+        .filter(|k| k.contains("/_tmp/") || k.contains("journal/"))
+        .collect();
+
+    // --- Host leg --------------------------------------------------
+    let host_registry = DeviceRegistry::with_host_only();
+    let host_region = spec.build_region(DeviceSelector::Default);
+    let mut host_env = spec.build_env();
+    if let Err(e) = host_registry.offload(&host_region, &mut host_env) {
+        failures.push(format!("host leg failed: {e}"));
+    }
+
+    // --- Differential check ----------------------------------------
+    if cloud_profile.is_some() {
+        for name in spec.output_names() {
+            match (cloud_env.get_erased(&name), host_env.get_erased(&name)) {
+                (Ok(c), Ok(h)) => {
+                    if c.to_bytes() != h.to_bytes() {
+                        failures.push(format!(
+                            "output '{name}' diverged between cloud and host legs"
+                        ));
+                    }
+                }
+                _ => failures.push(format!("output '{name}' missing from an execution leg")),
+            }
+        }
+    }
+
+    // --- Sequential-reference oracle (kernel cases) -----------------
+    if let CaseKind::Kernel { id, .. } = &spec.kind {
+        let mut oracle_env = spec.build_env();
+        kernels::run_host(*id, spec.n, &mut oracle_env);
+        for name in spec.output_names() {
+            match (host_env.get::<f32>(&name), oracle_env.get::<f32>(&name)) {
+                (Ok(h), Ok(o)) => {
+                    let diff = kernels::max_abs_diff(h, o);
+                    if diff > HOST_ORACLE_TOL {
+                        failures.push(format!(
+                            "kernel {} output '{name}' off the sequential reference by {diff}",
+                            id.name()
+                        ));
+                    }
+                }
+                // Non-f32 outputs (collinear's u32 count) must be exact.
+                _ => {
+                    let h = host_env.get_erased(&name).map(|v| v.to_bytes());
+                    let o = oracle_env.get_erased(&name).map(|v| v.to_bytes());
+                    if h.ok() != o.ok() {
+                        failures.push(format!(
+                            "kernel {} output '{name}' differs from the sequential reference",
+                            id.name()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Invariant oracles ------------------------------------------
+    failures.extend(oracle::check(&oracle::OracleInput {
+        spec,
+        profile: cloud_profile.as_ref(),
+        report: report.as_ref(),
+        jobs: &jobs,
+        fell_back,
+        killed,
+        chaos: chaos_stats,
+        leftovers: &leftovers,
+    }));
+
+    CaseOutcome {
+        spec: spec.clone(),
+        failures,
+        fell_back,
+        killed,
+        chaos: chaos_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::CaseSpec;
+
+    #[test]
+    fn a_trivial_clean_case_passes() {
+        // Find an early chaos-free synthetic case and run it end to end.
+        let spec = (0..64)
+            .map(|c| CaseSpec::generate(1, c))
+            .find(|s| s.chaos.is_none() && s.latency_us == 0)
+            .expect("a clean case in 64 draws");
+        let out = run_case(&spec);
+        assert_eq!(out.verdict(), Verdict::Pass, "failures: {:?}", out.failures);
+        assert!(!out.fell_back);
+    }
+}

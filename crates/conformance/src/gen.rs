@@ -1,0 +1,756 @@
+//! `RegionGen`: deterministic generation of random target regions and
+//! device configurations from a `(seed, case)` pair.
+//!
+//! Every case is a pure function of its seed — no clocks, no global
+//! state — so `CONFORMANCE_SEED=<s> CONFORMANCE_CASE=<n>` replays the exact region,
+//! data, tile plan, schedule, and fault plan that failed. The sampled
+//! space covers the axes the paper's semantic-transparency claim ranges
+//! over: kernel vs. synthetic bodies, `map(to/from/tofrom)` clauses,
+//! user partition specs vs. unpartitioned bitwise-OR merge, reduction
+//! operators, tile plans (workers x vCPUs x task.cpus), all schedule
+//! modes with and without speculation, pipelined vs. barrier transfers,
+//! checkpoint/resume budgets, and seeded storage fault plans.
+//!
+//! Reductions deserve one note: the cloud's streaming collect absorbs
+//! partial results in *arrival* order, so bitwise host equivalence for
+//! `Sum`/`Prod` is only guaranteed when the arithmetic is exact. The
+//! generator therefore feeds reduction cases lattice-valued data
+//! (multiples of 0.25 with bounded magnitude; see [`crate::rng`]) —
+//! exactness makes any absorb order produce identical bits.
+
+use crate::rng::SplitMix64;
+use cloud_storage::{FaultKind, FaultPlan, FaultRule, OpFilter, Trigger};
+use omp_model::{DataEnv, DeviceSelector, PartitionSpec, RedOp, TargetRegion};
+use omp_parfor::Schedule;
+use ompcloud::CloudConfig;
+use ompcloud_kernels::{self as kernels, BenchId, DataKind, ALL};
+use sparkle::ScheduleMode;
+use std::time::Duration;
+
+/// What the generated region computes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CaseKind {
+    /// A Polybench/collinearity kernel from `crates/kernels`.
+    Kernel {
+        /// Which benchmark.
+        id: BenchId,
+        /// Dense or sparse input data.
+        data: DataKind,
+    },
+    /// A synthetic region with randomized clauses.
+    Synthetic(SyntheticSpec),
+}
+
+/// Output/merge shape of a synthetic region's first loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OutFlavor {
+    /// `f32` output partitioned with `PartitionSpec::rows(rows)` —
+    /// indexed merge of disjoint hulls.
+    Indexed {
+        /// Rows per partition block.
+        rows: usize,
+    },
+    /// Unpartitioned `u32` output — merged by bitwise OR over
+    /// zero-identity copies.
+    BitOr,
+    /// Scalar `f32` reduction variable with the given operator.
+    Reduce(RedOp),
+    /// Scalar `u32` `reduction(|:)` variable.
+    ReduceBits,
+    /// A partitioned `f32` output *and* a `Sum` reduction in one loop.
+    Mixed {
+        /// Rows per partition block of the indexed output.
+        rows: usize,
+    },
+}
+
+/// A synthetic region: `inputs` mapped-to vectors feeding one or two
+/// parallel loops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticSpec {
+    /// Number of `map(to:)` input vectors `x0..x{inputs-1}`.
+    pub inputs: usize,
+    /// Output/merge shape of the first loop.
+    pub flavor: OutFlavor,
+    /// Trip count of an optional second loop writing `z`; 0 for none.
+    pub second_n: usize,
+    /// Optional OpenMP `schedule(...)` clause on the first loop.
+    pub loop_schedule: Option<LoopSched>,
+}
+
+/// Loop-level schedule clause (overrides the cluster-scope mode).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoopSched {
+    /// `schedule(dynamic, chunk)`.
+    Dynamic(usize),
+    /// `schedule(guided, min_chunk)`.
+    Guided(usize),
+}
+
+/// Seeded storage fault plan attached to a case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosSpec {
+    /// Which fault pattern to inject.
+    pub flavor: ChaosFlavor,
+    /// Extra latency injected on every 2nd op, in microseconds (0 = none).
+    pub delay_us: u64,
+    /// Seed of the `FaultPlan` (feeds probabilistic triggers).
+    pub seed: u64,
+}
+
+/// The fault patterns the generator draws from. Each flavor keeps one
+/// *error* mechanism active so the oracle can state exact conservation
+/// laws about the resilience counters it should produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChaosFlavor {
+    /// Transient put failures on data keys, every `every`-th matching op.
+    /// Scoped so a failed op's retry (the next matching index) always
+    /// succeeds: retries == injected faults.
+    Transient {
+        /// `Trigger::EveryNth` period (>= 3).
+        every: u64,
+    },
+    /// In-flight corruption of every `every`-th get of a staged input —
+    /// healed by integrity re-fetch.
+    CorruptGet {
+        /// `Trigger::EveryNth` period (>= 3).
+        every: u64,
+    },
+    /// Latching endpoint death after `after_puts` matching puts. If it
+    /// fires mid-region the device must fall back to the host with
+    /// intact outputs.
+    Kill {
+        /// `Trigger::OpIndex` threshold.
+        after_puts: u64,
+    },
+    /// The first `first_n` staging puts fail (endpoint brownout), forcing
+    /// an in-run checkpoint resume that restores every journaled tile.
+    Brownout {
+        /// `Trigger::FirstN` count.
+        first_n: u64,
+    },
+    /// Only the delay rule — pure timing jitter, no errors.
+    DelayOnly,
+}
+
+/// One fully-specified conformance case: everything needed to build the
+/// region + data twice (cloud and host) and the device configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseSpec {
+    /// Harness seed this case was derived from.
+    pub seed: u64,
+    /// Case index under that seed.
+    pub case: u64,
+    /// Region shape.
+    pub kind: CaseKind,
+    /// Problem size (matrix dimension for kernels, trip count for
+    /// synthetic regions).
+    pub n: usize,
+    /// Seed of the input data streams.
+    pub data_seed: u64,
+    /// Cluster tile plan: workers.
+    pub workers: usize,
+    /// Cluster tile plan: vCPUs per worker.
+    pub vcpus: usize,
+    /// Cluster tile plan: cpus per task.
+    pub task_cpus: usize,
+    /// Cluster-scope schedule mode.
+    pub mode: ScheduleMode,
+    /// Speculation trigger factor (0 = off).
+    pub spec_factor: f64,
+    /// Pipelined transfers on/off.
+    pub pipelined: bool,
+    /// Streaming collect on/off.
+    pub streaming: bool,
+    /// Distributed reduce on/off.
+    pub distributed_reduce: bool,
+    /// Compression threshold in bytes.
+    pub min_compression_size: usize,
+    /// I/O pool width for the pipelined path.
+    pub io_threads: usize,
+    /// Checkpoint/journal mode on/off.
+    pub checkpoint: bool,
+    /// In-run resume budget (checkpoint mode only).
+    pub resume_budget: usize,
+    /// Per-op storage latency in microseconds (0 = no latency wrapper).
+    pub latency_us: u64,
+    /// Optional seeded fault plan.
+    pub chaos: Option<ChaosSpec>,
+}
+
+const KERNEL_SIZES: &[usize] = &[4, 6, 8, 12, 16];
+const IO_THREADS: &[usize] = &[4, 8, 16, 32];
+const COMPRESSION_THRESHOLDS: &[usize] = &[64, 1024, 1 << 30];
+const ROWS_CHOICES: &[usize] = &[1, 2, 3, 5, 8];
+
+impl CaseSpec {
+    /// Derive case `case` of `seed`. Pure: same inputs, same spec.
+    pub fn generate(seed: u64, case: u64) -> CaseSpec {
+        let mut rng = SplitMix64::derive(seed, case);
+        let data_seed = rng.next_u64();
+
+        let workers = rng.gen_usize(1, 5);
+        let vcpus = rng.gen_usize(1, 5);
+        let task_cpus = rng.gen_usize(1, vcpus + 1);
+
+        let (mode, spec_factor) = match rng.gen_usize(0, 4) {
+            0 => (ScheduleMode::Static, 0.0),
+            1 => (ScheduleMode::Dynamic, 0.0),
+            2 => (ScheduleMode::Stealing, 0.0),
+            _ => (
+                ScheduleMode::Stealing,
+                1.5 + 0.5 * rng.gen_usize(0, 2) as f64,
+            ),
+        };
+
+        let pipelined = rng.gen_bool(0.75);
+        let streaming = rng.gen_bool(0.5);
+        let distributed_reduce = rng.gen_bool(0.5);
+        let io_threads = IO_THREADS[rng.gen_usize(0, IO_THREADS.len())];
+        let min_compression_size = COMPRESSION_THRESHOLDS[rng.gen_usize(0, 3)];
+        let mut checkpoint = rng.gen_bool(0.3);
+        let mut resume_budget = if checkpoint { rng.gen_usize(0, 3) } else { 0 };
+        let latency_us = if rng.gen_bool(0.2) {
+            rng.gen_range(300, 1500)
+        } else {
+            0
+        };
+
+        let kind = if rng.gen_bool(0.4) {
+            CaseKind::Kernel {
+                id: ALL[rng.gen_usize(0, ALL.len())],
+                data: if rng.gen_bool(0.5) {
+                    DataKind::Dense
+                } else {
+                    DataKind::Sparse
+                },
+            }
+        } else {
+            let flavor = match rng.gen_usize(0, 100) {
+                0..=34 => OutFlavor::Indexed {
+                    rows: ROWS_CHOICES[rng.gen_usize(0, ROWS_CHOICES.len())],
+                },
+                35..=49 => OutFlavor::BitOr,
+                50..=74 => match rng.gen_usize(0, 5) {
+                    0 => OutFlavor::Reduce(RedOp::Sum),
+                    1 => OutFlavor::Reduce(RedOp::Prod),
+                    2 => OutFlavor::Reduce(RedOp::Min),
+                    3 => OutFlavor::Reduce(RedOp::Max),
+                    _ => OutFlavor::ReduceBits,
+                },
+                _ => OutFlavor::Mixed {
+                    rows: ROWS_CHOICES[rng.gen_usize(0, ROWS_CHOICES.len())],
+                },
+            };
+            CaseKind::Synthetic(SyntheticSpec {
+                inputs: rng.gen_usize(1, 13),
+                flavor,
+                second_n: if rng.gen_bool(0.25) {
+                    rng.gen_usize(8, 49)
+                } else {
+                    0
+                },
+                loop_schedule: match rng.gen_usize(0, 8) {
+                    0 => Some(LoopSched::Dynamic(rng.gen_usize(1, 5))),
+                    1 => Some(LoopSched::Guided(rng.gen_usize(1, 4))),
+                    _ => None,
+                },
+            })
+        };
+        let n = match kind {
+            CaseKind::Kernel { .. } => KERNEL_SIZES[rng.gen_usize(0, KERNEL_SIZES.len())],
+            CaseKind::Synthetic(_) => rng.gen_usize(8, 97),
+        };
+
+        let chaos = if rng.gen_bool(0.4) {
+            let flavor = match rng.gen_usize(0, 10) {
+                0..=3 => ChaosFlavor::Transient {
+                    every: rng.gen_range(3, 6),
+                },
+                4..=6 => ChaosFlavor::CorruptGet {
+                    every: rng.gen_range(3, 7),
+                },
+                7 => ChaosFlavor::Kill {
+                    after_puts: rng.gen_range(2, 8),
+                },
+                8 => {
+                    // A brownout only makes sense with a journal to
+                    // resume from and enough budget to outlast it.
+                    // `Unavailable` is not retried at the op level, so in
+                    // the worst case each attempt consumes a single fault:
+                    // the budget must cover one resume per injected fault.
+                    let first_n = rng.gen_range(3, 5);
+                    checkpoint = true;
+                    resume_budget = resume_budget.max(first_n as usize);
+                    ChaosFlavor::Brownout { first_n }
+                }
+                _ => ChaosFlavor::DelayOnly,
+            };
+            let delay_us = if flavor == ChaosFlavor::DelayOnly || rng.gen_bool(0.3) {
+                rng.gen_range(50, 400)
+            } else {
+                0
+            };
+            Some(ChaosSpec {
+                flavor,
+                delay_us,
+                seed: rng.next_u64(),
+            })
+        } else {
+            None
+        };
+
+        CaseSpec {
+            seed,
+            case,
+            kind,
+            n,
+            data_seed,
+            workers,
+            vcpus,
+            task_cpus,
+            mode,
+            spec_factor,
+            pipelined,
+            streaming,
+            distributed_reduce,
+            min_compression_size,
+            io_threads,
+            checkpoint,
+            resume_budget,
+            latency_us,
+            chaos,
+        }
+    }
+
+    /// The cloud device configuration for this case.
+    pub fn config(&self) -> CloudConfig {
+        let mut c = CloudConfig {
+            workers: self.workers,
+            vcpus_per_worker: self.vcpus,
+            task_cpus: self.task_cpus,
+            schedule: self.mode,
+            spec_factor: self.spec_factor,
+            pipelined_transfers: self.pipelined,
+            streaming_collect: self.streaming,
+            distributed_reduce: self.distributed_reduce,
+            min_compression_size: self.min_compression_size,
+            io_threads: self.io_threads,
+            checkpoint: self.checkpoint,
+            checkpoint_max_resumes: self.resume_budget,
+            locality_wait_ms: 0,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            breaker_threshold: 8,
+            ..CloudConfig::default()
+        };
+        match self.chaos.as_ref().map(|ch| ch.flavor) {
+            Some(ChaosFlavor::Transient { .. }) => c.max_retries = 4,
+            Some(ChaosFlavor::CorruptGet { .. }) => c.max_refetches = 4,
+            Some(ChaosFlavor::Kill { .. }) => c.max_retries = 1,
+            Some(ChaosFlavor::Brownout { .. }) => {
+                c.max_retries = 1;
+                c.breaker_threshold = 16;
+            }
+            _ => {}
+        }
+        c
+    }
+
+    /// The seeded fault plan for this case, if any. Scoping rules keep
+    /// the oracle's conservation laws exact: error rules match only data
+    /// keys (`/in/`, `/out/`) or journal/staging keys, never both, and
+    /// `EveryNth` periods >= 3 guarantee a failed op's immediate retry
+    /// lands on a non-firing index.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        let ch = self.chaos.as_ref()?;
+        let mut plan = FaultPlan::new(ch.seed);
+        match ch.flavor {
+            ChaosFlavor::Transient { every } => {
+                plan = plan
+                    .rule(
+                        FaultRule::new(
+                            OpFilter::Put,
+                            Trigger::EveryNth(every),
+                            FaultKind::Transient,
+                        )
+                        .on_keys("/in/"),
+                    )
+                    .rule(
+                        FaultRule::new(
+                            OpFilter::Put,
+                            Trigger::EveryNth(every),
+                            FaultKind::Transient,
+                        )
+                        .on_keys("/out/"),
+                    );
+            }
+            ChaosFlavor::CorruptGet { every } => {
+                plan = plan.rule(
+                    FaultRule::new(OpFilter::Get, Trigger::EveryNth(every), FaultKind::Corrupt)
+                        .on_keys("/in/"),
+                );
+            }
+            ChaosFlavor::Kill { after_puts } => {
+                let keys = if self.checkpoint { "journal/" } else { "/in/" };
+                plan = plan.rule(
+                    FaultRule::new(OpFilter::Put, Trigger::OpIndex(after_puts), FaultKind::Kill)
+                        .on_keys(keys),
+                );
+            }
+            ChaosFlavor::Brownout { first_n } => {
+                plan = plan.rule(
+                    FaultRule::new(
+                        OpFilter::Put,
+                        Trigger::FirstN(first_n),
+                        FaultKind::Unavailable,
+                    )
+                    .on_keys("_tmp/"),
+                );
+            }
+            ChaosFlavor::DelayOnly => {}
+        }
+        if ch.delay_us > 0 {
+            plan = plan.rule(FaultRule::new(
+                OpFilter::Any,
+                Trigger::EveryNth(2),
+                FaultKind::Delay(Duration::from_micros(ch.delay_us)),
+            ));
+        }
+        Some(plan)
+    }
+
+    /// Build the target region for `device`. Called once per execution
+    /// leg with different device selectors; everything else is identical.
+    pub fn build_region(&self, device: DeviceSelector) -> TargetRegion {
+        match &self.kind {
+            CaseKind::Kernel { id, data } => {
+                kernels::build(*id, self.n, *data, self.data_seed, device).region
+            }
+            CaseKind::Synthetic(s) => self.synthetic_region(s, device),
+        }
+    }
+
+    /// Build the input environment. Identical for both legs.
+    pub fn build_env(&self) -> DataEnv {
+        match &self.kind {
+            CaseKind::Kernel { id, data } => {
+                kernels::build(*id, self.n, *data, self.data_seed, DeviceSelector::Default).env
+            }
+            CaseKind::Synthetic(s) => self.synthetic_env(s),
+        }
+    }
+
+    /// Names of the mapped-from variables whose final bytes the
+    /// differential check compares.
+    pub fn output_names(&self) -> Vec<String> {
+        match &self.kind {
+            CaseKind::Kernel { id, .. } => {
+                kernels::build(*id, self.n, DataKind::Dense, 0, DeviceSelector::Default)
+                    .outputs
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            }
+            CaseKind::Synthetic(s) => {
+                let mut names = Vec::new();
+                match s.flavor {
+                    OutFlavor::Indexed { .. } | OutFlavor::BitOr => names.push("y".to_string()),
+                    OutFlavor::Reduce(_) | OutFlavor::ReduceBits => names.push("s".to_string()),
+                    OutFlavor::Mixed { .. } => {
+                        names.push("y".to_string());
+                        names.push("s".to_string());
+                    }
+                }
+                if s.second_n > 0 {
+                    names.push("z".to_string());
+                }
+                names
+            }
+        }
+    }
+
+    fn synthetic_region(&self, s: &SyntheticSpec, device: DeviceSelector) -> TargetRegion {
+        let n = self.n;
+        let k = s.inputs;
+        let names: Vec<String> = (0..k).map(|i| format!("x{i}")).collect();
+        let mut b =
+            TargetRegion::builder(format!("conf-{}-{}", self.seed, self.case)).device(device);
+        for name in &names {
+            b = b.map_to(name.clone());
+        }
+        match s.flavor {
+            OutFlavor::Indexed { .. } | OutFlavor::BitOr => b = b.map_from("y"),
+            OutFlavor::Reduce(_) | OutFlavor::ReduceBits => b = b.map_tofrom("s"),
+            OutFlavor::Mixed { .. } => b = b.map_from("y").map_tofrom("s"),
+        }
+        if s.second_n > 0 {
+            b = b.map_from("z");
+        }
+        let flavor = s.flavor;
+        let loop_schedule = s.loop_schedule;
+        let body_names = names.clone();
+        let mut b = b.parallel_for(n, move |mut l| {
+            l = match loop_schedule {
+                Some(LoopSched::Dynamic(chunk)) => l.schedule(Schedule::Dynamic { chunk }),
+                Some(LoopSched::Guided(min_chunk)) => l.schedule(Schedule::Guided { min_chunk }),
+                None => l,
+            };
+            match flavor {
+                OutFlavor::Indexed { rows } => {
+                    let names = body_names.clone();
+                    l.partition("y", PartitionSpec::rows(rows))
+                        .body(move |i, ins, outs| {
+                            let mut acc = 0.0f32;
+                            for (j, name) in names.iter().enumerate() {
+                                acc += ins.view::<f32>(name)[i] * (j + 1) as f32;
+                            }
+                            let mut y = outs.view_mut::<f32>("y");
+                            for k in 0..rows {
+                                y[i * rows + k] = acc + k as f32 * 0.5;
+                            }
+                        })
+                }
+                OutFlavor::BitOr => {
+                    let names = body_names.clone();
+                    l.body(move |i, ins, outs| {
+                        let mut acc = 0x9E37_79B9u32 ^ i as u32;
+                        for name in &names {
+                            acc = acc.rotate_left(5) ^ ins.view::<f32>(name)[i].to_bits();
+                        }
+                        outs.view_mut::<u32>("y")[i] = acc;
+                    })
+                }
+                OutFlavor::Reduce(op) => {
+                    let names = body_names.clone();
+                    l.reduction("s", op).body(move |i, ins, outs| {
+                        let mut s = outs.view_mut::<f32>("s");
+                        match op {
+                            RedOp::Sum => {
+                                let mut acc = 0.0f32;
+                                for name in &names {
+                                    acc += ins.view::<f32>(name)[i];
+                                }
+                                s[0] += acc;
+                            }
+                            RedOp::Prod => {
+                                let x = ins.view::<f32>(&names[0])[i];
+                                s[0] *= if x < 0.0 { -1.0 } else { 1.0 };
+                            }
+                            RedOp::Min => {
+                                let x = ins.view::<f32>(&names[0])[i];
+                                s[0] = s[0].min(x);
+                            }
+                            RedOp::Max => {
+                                let x = ins.view::<f32>(&names[0])[i];
+                                s[0] = s[0].max(x);
+                            }
+                            RedOp::BitOr => unreachable!("f32 reductions never use BitOr"),
+                        }
+                    })
+                }
+                OutFlavor::ReduceBits => {
+                    let names = body_names.clone();
+                    l.reduction("s", RedOp::BitOr).body(move |i, ins, outs| {
+                        let x = ins.view::<f32>(&names[0])[i];
+                        outs.view_mut::<u32>("s")[0] |= x.to_bits().rotate_left(i as u32 % 7);
+                    })
+                }
+                OutFlavor::Mixed { rows } => {
+                    let names = body_names.clone();
+                    l.partition("y", PartitionSpec::rows(rows))
+                        .reduction("s", RedOp::Sum)
+                        .body(move |i, ins, outs| {
+                            let mut acc = 0.0f32;
+                            for (j, name) in names.iter().enumerate() {
+                                acc += ins.view::<f32>(name)[i] * (j + 1) as f32;
+                            }
+                            {
+                                let mut y = outs.view_mut::<f32>("y");
+                                for k in 0..rows {
+                                    y[i * rows + k] = acc + k as f32 * 0.5;
+                                }
+                            }
+                            let x0 = ins.view::<f32>(&names[0])[i];
+                            outs.view_mut::<f32>("s")[0] += x0;
+                        })
+                }
+            }
+        });
+        if s.second_n > 0 {
+            let x0 = names[0].clone();
+            b = b.parallel_for(s.second_n, move |l| {
+                let x0 = x0.clone();
+                l.partition("z", PartitionSpec::rows(2))
+                    .body(move |i, ins, outs| {
+                        let x = ins.view::<f32>(&x0);
+                        let v = x[i % x.len()] * 2.0 + i as f32;
+                        let mut z = outs.view_mut::<f32>("z");
+                        z[2 * i] = v;
+                        z[2 * i + 1] = v + 1.0;
+                    })
+            });
+        }
+        b.build().expect("generated region must validate")
+    }
+
+    fn synthetic_env(&self, s: &SyntheticSpec) -> DataEnv {
+        let n = self.n;
+        // Reductions over f32 need exact (lattice) data for order
+        // independence; everything else takes arbitrary uniform floats.
+        let lattice = matches!(s.flavor, OutFlavor::Reduce(_) | OutFlavor::Mixed { .. });
+        let mut env = DataEnv::new();
+        for i in 0..s.inputs {
+            let mut r = SplitMix64::derive(self.data_seed, i as u64);
+            let v: Vec<f32> = (0..n)
+                .map(|_| {
+                    if lattice {
+                        r.lattice_f32()
+                    } else {
+                        r.next_f32()
+                    }
+                })
+                .collect();
+            env.insert(format!("x{i}"), v);
+        }
+        match s.flavor {
+            // Partitioned outputs: iteration `i` owns rows
+            // `[i*rows, (i+1)*rows)`, so the buffer is `n * rows` long.
+            OutFlavor::Indexed { rows } | OutFlavor::Mixed { rows } => {
+                env.insert("y", vec![0.0f32; n * rows]);
+            }
+            OutFlavor::BitOr => env.insert("y", vec![0u32; n]),
+            _ => {}
+        }
+        match s.flavor {
+            OutFlavor::Reduce(op) => {
+                let init = match op {
+                    RedOp::Sum => 1.5f32,
+                    RedOp::Prod => 1.0,
+                    RedOp::Min => 4.0,
+                    RedOp::Max => -4.0,
+                    RedOp::BitOr => 0.0,
+                };
+                env.insert("s", vec![init]);
+            }
+            OutFlavor::ReduceBits => env.insert("s", vec![0u32]),
+            OutFlavor::Mixed { .. } => env.insert("s", vec![1.5f32]),
+            _ => {}
+        }
+        if s.second_n > 0 {
+            env.insert("z", vec![0.0f32; 2 * s.second_n]);
+        }
+        env
+    }
+
+    /// Stable label of the schedule axis, for coverage accounting.
+    pub fn schedule_label(&self) -> &'static str {
+        match (self.mode, self.spec_factor > 0.0) {
+            (ScheduleMode::Static, _) => "static",
+            (ScheduleMode::Dynamic, _) => "dynamic",
+            (ScheduleMode::Stealing, false) => "stealing",
+            (ScheduleMode::Stealing, true) => "stealing+spec",
+        }
+    }
+
+    /// One-line deterministic description (safe to diff across runs).
+    pub fn summary(&self) -> String {
+        let kind = match &self.kind {
+            CaseKind::Kernel { id, data } => format!("kernel:{}/{}", id.name(), data.label()),
+            CaseKind::Synthetic(s) => format!(
+                "synthetic:{:?}x{}{}",
+                s.flavor,
+                s.inputs,
+                if s.second_n > 0 { "+loop2" } else { "" }
+            ),
+        };
+        let chaos = match &self.chaos {
+            None => "chaos:off".to_string(),
+            Some(c) => format!("chaos:{:?}", c.flavor),
+        };
+        format!(
+            "case {}: {kind} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}",
+            self.case,
+            self.n,
+            self.workers,
+            self.vcpus,
+            self.task_cpus,
+            self.schedule_label(),
+            self.pipelined,
+            self.streaming,
+            self.distributed_reduce,
+            self.checkpoint,
+            self.resume_budget,
+            self.latency_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for case in 0..64 {
+            assert_eq!(CaseSpec::generate(7, case), CaseSpec::generate(7, case));
+        }
+        assert_ne!(CaseSpec::generate(7, 0), CaseSpec::generate(8, 0));
+    }
+
+    #[test]
+    fn two_hundred_cases_cover_every_axis() {
+        let specs: Vec<CaseSpec> = (0..200).map(|c| CaseSpec::generate(7, c)).collect();
+        for label in ["static", "dynamic", "stealing", "stealing+spec"] {
+            assert!(
+                specs.iter().any(|s| s.schedule_label() == label),
+                "schedule mode {label} never generated"
+            );
+        }
+        assert!(specs.iter().any(|s| s.chaos.is_some()));
+        assert!(specs.iter().any(|s| s.chaos.is_none()));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.kind, CaseKind::Kernel { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.kind, CaseKind::Synthetic(_))));
+        assert!(specs.iter().any(|s| s.checkpoint));
+        assert!(specs.iter().any(|s| s.latency_us > 0));
+    }
+
+    #[test]
+    fn regions_build_for_both_legs() {
+        for case in 0..40 {
+            let spec = CaseSpec::generate(11, case);
+            let cloud = spec.build_region(DeviceSelector::Default);
+            let host = spec.build_region(DeviceSelector::Default);
+            assert_eq!(cloud.loops.len(), host.loops.len());
+            let env = spec.build_env();
+            for name in spec.output_names() {
+                assert!(
+                    env.get_erased(&name).is_ok(),
+                    "output {name} missing from env"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brownout_cases_force_checkpoint_and_budget() {
+        for case in 0..2000 {
+            let spec = CaseSpec::generate(3, case);
+            if let Some(ChaosSpec {
+                flavor: ChaosFlavor::Brownout { .. },
+                ..
+            }) = spec.chaos
+            {
+                assert!(spec.checkpoint);
+                assert!(spec.resume_budget >= 2);
+                assert_eq!(spec.config().max_retries, 1);
+                return;
+            }
+        }
+        panic!("no brownout case in 2000 draws");
+    }
+}

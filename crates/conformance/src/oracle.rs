@@ -1,0 +1,328 @@
+//! Invariant oracles over `OffloadReport` / `JobMetrics`: conservation
+//! laws that must hold for *every* case regardless of timing, data, or
+//! schedule. Each law is stated over counters, never wall-clock ratios,
+//! so the oracle is as deterministic as the generator.
+//!
+//! The laws, roughly grouped:
+//!
+//! * **Fallback discipline** — the cloud leg only falls back to the
+//!   host when faults were injected, and a tripped kill latch always
+//!   ends in a fallback.
+//! * **Tile accounting** — every loop plans `tile_ranges(trip, slots)`
+//!   tiles; a resumed run restores + replays exactly that many; the
+//!   profile's task counter matches on fresh runs.
+//! * **Overlap bounds** — pipelined overlap is time *saved*, so it can
+//!   never exceed the total wall time nor the busy time that was
+//!   available to overlap. (This is the oracle that catches the
+//!   un-normalized busy-sum regression.)
+//! * **Fault bookkeeping** — with chaos off every resilience counter is
+//!   zero; each chaos flavor is scoped so the counter it drives equals
+//!   the faults the store actually injected.
+//! * **Hygiene** — a committed region leaves no `_tmp/` staging or
+//!   journal objects behind.
+//! * **Scheduler sanity** — speculation races balance, executor ids
+//!   stay inside the configured cluster, utilization is a fraction.
+
+use crate::gen::{CaseSpec, ChaosFlavor};
+use cloud_storage::ChaosStats;
+use omp_model::ExecProfile;
+use ompcloud::tiling::tile_ranges;
+use ompcloud::OffloadReport;
+use sparkle::JobMetrics;
+
+/// Slack for comparing sums of f64 timing counters.
+const EPS: f64 = 1e-9;
+
+/// Everything the oracle looks at for one case.
+pub struct OracleInput<'a> {
+    /// The case that ran.
+    pub spec: &'a CaseSpec,
+    /// Profile the cloud leg returned (`None` if it errored/panicked).
+    pub profile: Option<&'a ExecProfile>,
+    /// The cloud device's report (`None` when the offload never
+    /// completed on the cloud).
+    pub report: Option<&'a OffloadReport>,
+    /// Spark job metrics of the cloud leg, in submission order.
+    pub jobs: &'a [JobMetrics],
+    /// The registry fell back to the host mid-flight.
+    pub fell_back: bool,
+    /// The chaos store's kill latch tripped.
+    pub killed: bool,
+    /// Faults actually injected, when chaos was on.
+    pub chaos: Option<ChaosStats>,
+    /// Staging/journal keys still in the base store after the run.
+    pub leftovers: &'a [String],
+}
+
+/// Run every invariant; returns one message per violated law.
+pub fn check(input: &OracleInput<'_>) -> Vec<String> {
+    let mut f = Vec::new();
+    let spec = input.spec;
+
+    if input.killed && !input.fell_back {
+        f.push("kill latch tripped but the offload did not fall back to the host".into());
+    }
+    if input.fell_back && spec.chaos.is_none() {
+        f.push("fell back to the host with no faults injected".into());
+    }
+    if matches!(
+        spec.chaos.as_ref().map(|c| c.flavor),
+        Some(ChaosFlavor::Brownout { .. })
+    ) && input.fell_back
+    {
+        f.push("brownout within the resume budget must finish on the cloud, not fall back".into());
+    }
+
+    let Some(profile) = input.profile else {
+        return f; // the exec layer already recorded the hard failure
+    };
+    if input.fell_back {
+        // Host execution produced the outputs; the cloud-side report is
+        // stale or absent, so no cloud accounting to audit.
+        return f;
+    }
+
+    let Some(report) = input.report else {
+        f.push("cloud leg completed but the device published no report".into());
+        return f;
+    };
+    let res = &report.resilience;
+
+    // --- Tile accounting -------------------------------------------
+    let region = spec.build_region(omp_model::DeviceSelector::Default);
+    let slots = spec.config().total_slots();
+    let planned: Vec<usize> = region
+        .loops
+        .iter()
+        .map(|l| tile_ranges(l.trip_count, slots).len())
+        .collect();
+    if report.loops.len() != region.loops.len() {
+        f.push(format!(
+            "report covers {} loops, region has {}",
+            report.loops.len(),
+            region.loops.len()
+        ));
+    }
+    for (i, (l, &want)) in report.loops.iter().zip(&planned).enumerate() {
+        if l.tiles != want {
+            f.push(format!(
+                "loop {i}: {} tiles ran, tile plan says {want}",
+                l.tiles
+            ));
+        }
+        if l.tiles_resumed > 0 && l.tiles_resumed + l.tiles_replayed != l.tiles {
+            f.push(format!(
+                "loop {i}: resumed {} + replayed {} != {} planned tiles",
+                l.tiles_resumed, l.tiles_replayed, l.tiles
+            ));
+        }
+        if l.overlap_s > l.merge_s + EPS {
+            f.push(format!(
+                "loop {i}: overlapped merge time {:.6}s exceeds total merge time {:.6}s",
+                l.overlap_s, l.merge_s
+            ));
+        }
+    }
+    let total_tiles: usize = planned.iter().sum();
+    if res.resume_attempts == 0 && report.profile.tasks != total_tiles as u64 {
+        f.push(format!(
+            "profile counted {} tasks, tile plan says {total_tiles}",
+            report.profile.tasks
+        ));
+    }
+
+    // --- Overlap bounds --------------------------------------------
+    // Overlap is wall time *saved* by running stages concurrently: it
+    // can never exceed the elapsed time itself, nor the (normalized)
+    // busy time that existed to overlap with.
+    let p = &report.profile;
+    if p.overlap_s > p.total_s() + EPS {
+        f.push(format!(
+            "overlap {:.6}s exceeds total offload time {:.6}s",
+            p.overlap_s,
+            p.total_s()
+        ));
+    }
+    // The busy-time and per-loop bounds compare against the last
+    // attempt's loop stats, so they only apply to fresh (unresumed) runs
+    // where the profile accumulators cover exactly one attempt.
+    if res.resume_attempts == 0 {
+        let loop_merge: f64 = report.loops.iter().map(|l| l.merge_s).sum();
+        let overlappable = p.compress_busy_s + p.store_busy_s + loop_merge;
+        if p.overlap_s > overlappable + EPS {
+            f.push(format!(
+                "overlap {:.6}s exceeds overlappable busy time {:.6}s",
+                p.overlap_s, overlappable
+            ));
+        }
+        let merge_overlap: f64 = report.loops.iter().map(|l| l.overlap_s).sum();
+        if !spec.pipelined && p.overlap_s > merge_overlap + EPS {
+            f.push(format!(
+                "serial transfers but transfer overlap {:.6}s was reported",
+                p.overlap_s
+            ));
+        }
+    }
+
+    // --- Fault bookkeeping -----------------------------------------
+    match spec.chaos.as_ref().map(|c| c.flavor) {
+        None | Some(ChaosFlavor::DelayOnly) => {
+            if res.transient_retries != 0 || res.corruption_refetches != 0 || res.timeouts != 0 {
+                f.push(format!(
+                    "no error faults injected but resilience counted {} retries / {} refetches / {} timeouts",
+                    res.transient_retries, res.corruption_refetches, res.timeouts
+                ));
+            }
+            if res.resume_attempts != 0 {
+                f.push(format!(
+                    "no faults injected but {} resume attempts recorded",
+                    res.resume_attempts
+                ));
+            }
+        }
+        Some(ChaosFlavor::Transient { .. }) => {
+            let injected = input.chaos.map(|s| s.transient).unwrap_or(0);
+            if u64::from(res.transient_retries) != injected {
+                f.push(format!(
+                    "{} transient faults injected but {} retries recorded",
+                    injected, res.transient_retries
+                ));
+            }
+            if res.corruption_refetches != 0 {
+                f.push("transient-only plan but corruption re-fetches recorded".into());
+            }
+        }
+        Some(ChaosFlavor::CorruptGet { .. }) => {
+            let injected = input.chaos.map(|s| s.corruptions).unwrap_or(0);
+            if u64::from(res.corruption_refetches) != injected {
+                f.push(format!(
+                    "{} corruptions injected but {} re-fetches recorded",
+                    injected, res.corruption_refetches
+                ));
+            }
+            if res.transient_retries != 0 {
+                f.push("corrupt-get-only plan but transient retries recorded".into());
+            }
+        }
+        Some(ChaosFlavor::Brownout { .. }) => {
+            let injected = input.chaos.map(|s| s.unavailable).unwrap_or(0);
+            if injected > 0 && res.resume_attempts == 0 {
+                f.push(format!(
+                    "{injected} brownout faults injected but no resume attempt recorded"
+                ));
+            }
+        }
+        Some(ChaosFlavor::Kill { .. }) => {
+            // Reached only when the kill never fired (too few matching
+            // puts) — then the run must look clean.
+            if input.killed {
+                f.push("kill latch tripped yet the cloud leg claims success".into());
+            }
+        }
+    }
+    if res.tiles_resumed > 0 && res.resume_attempts == 0 {
+        // Every case starts from an empty store, so journaled tiles can
+        // only be restored by an in-run resume attempt.
+        f.push(format!(
+            "{} tiles restored without any resume attempt",
+            res.tiles_resumed
+        ));
+    }
+
+    // --- Commit discipline -----------------------------------------
+    let want_commits = u32::from(spec.checkpoint);
+    if res.resume_attempts == 0 && res.commits_published != want_commits {
+        f.push(format!(
+            "{} manifests published, checkpoint={} expects {want_commits}",
+            res.commits_published, spec.checkpoint
+        ));
+    }
+    if res.commits_published < want_commits {
+        f.push("checkpointed region finished without publishing a manifest".into());
+    }
+
+    // --- Hygiene ----------------------------------------------------
+    if !input.leftovers.is_empty() {
+        f.push(format!(
+            "committed region left {} staging/journal objects behind: {:?}",
+            input.leftovers.len(),
+            &input.leftovers[..input.leftovers.len().min(4)]
+        ));
+    }
+
+    // --- Scheduler sanity ------------------------------------------
+    if res.resume_attempts == 0 && input.jobs.len() < region.loops.len() {
+        f.push(format!(
+            "{} spark jobs ran for {} parallel loops",
+            input.jobs.len(),
+            region.loops.len()
+        ));
+    }
+    for m in input.jobs {
+        if !m.speculation_balanced() {
+            f.push(format!(
+                "job {}: {} speculative launches but {} wins + {} losses",
+                m.job_id, m.spec_launched, m.spec_wins, m.spec_losses
+            ));
+        }
+        if let Some(max) = m.max_executor_id() {
+            if max >= spec.workers {
+                f.push(format!(
+                    "job {}: executor id {max} outside the {}-worker cluster",
+                    m.job_id, spec.workers
+                ));
+            }
+        }
+        let util = m.utilization(spec.workers * spec.vcpus);
+        if !(0.0..=1.0).contains(&util) {
+            f.push(format!(
+                "job {}: utilization {util} outside [0, 1]",
+                m.job_id
+            ));
+        }
+        if spec.spec_factor == 0.0 && m.spec_launched > 0 {
+            f.push(format!(
+                "job {}: speculation disabled but {} duplicates launched",
+                m.job_id, m.spec_launched
+            ));
+        }
+    }
+
+    // Suppress an unused warning path: profile and report.profile are
+    // the same execution; sanity-check they agree on the device.
+    if profile.device != p.device {
+        f.push(format!(
+            "returned profile ran on '{}' but the report says '{}'",
+            profile.device, p.device
+        ));
+    }
+
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::exec::run_case;
+    use crate::gen::CaseSpec;
+
+    /// The oracle passes real clean executions (smoke over a few cases).
+    #[test]
+    fn clean_cases_satisfy_every_law() {
+        let mut ran = 0;
+        for c in 0..24 {
+            let spec = CaseSpec::generate(5, c);
+            if spec.chaos.is_some() || spec.latency_us > 0 {
+                continue;
+            }
+            let out = run_case(&spec);
+            assert!(
+                out.failures.is_empty(),
+                "case {c} ({}): {:?}",
+                spec.summary(),
+                out.failures
+            );
+            ran += 1;
+        }
+        assert!(ran > 0, "no clean case among the first 24");
+    }
+}

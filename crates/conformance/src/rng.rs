@@ -1,0 +1,186 @@
+//! Shared splitmix64 PRNG — the single seeded randomness source for the
+//! conformance fuzzer and for every test or bench in the workspace that
+//! needs reproducible pseudo-random payloads.
+//!
+//! Differential testing lives and dies on replayability, so the
+//! generator is in-tree (no registry dependency), produces a fixed word
+//! sequence for a given seed on every platform, and exposes only the
+//! small derivation surface the harness needs. The constants are the
+//! standard splitmix64 finalizer (Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA'14).
+
+/// One splitmix64 output step applied to `z` as a pure mixing function.
+/// Useful to derive independent streams from `(seed, index)` pairs.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic 64-bit PRNG with splittable sub-streams.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded directly with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// A generator for sub-stream `stream` of `seed`: different streams
+    /// of the same seed are decorrelated, and the same `(seed, stream)`
+    /// pair always produces the same sequence.
+    pub fn derive(seed: u64, stream: u64) -> SplitMix64 {
+        SplitMix64 {
+            state: mix(seed) ^ mix(stream ^ 0xA5A5_A5A5_5A5A_5A5A),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit word (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Panics when the range is empty.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range [{lo}, {hi})");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range(lo as u64, hi as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// A multiple of 0.25 in `[-4, 4)`. Sums and products of a few
+    /// thousand such values are exact in `f32`, so reductions over them
+    /// are bitwise order-independent — the property the differential
+    /// harness needs to compare a streaming cloud merge against a
+    /// chunked host merge.
+    pub fn lattice_f32(&mut self) -> f32 {
+        self.gen_range(0, 32) as f32 * 0.25 - 4.0
+    }
+}
+
+/// `len` bytes of little-endian `f32` words where each word is nonzero
+/// with probability `density` — the standard codec/transfer payload
+/// shape (sparse data compresses, dense data does not).
+pub fn sparse_f32_bytes(len: usize, density: f64, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::derive(seed, 0xF32);
+    (0..len / 4)
+        .flat_map(|_| {
+            let v: f32 = if rng.gen_bool(density) {
+                rng.next_f32()
+            } else {
+                0.0
+            };
+            v.to_le_bytes()
+        })
+        .collect()
+}
+
+/// `len` bytes of incompressible pseudo-random data.
+pub fn bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::derive(seed, 0xB17E5);
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        out.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// `count` lattice-valued `f32`s (see [`SplitMix64::lattice_f32`]).
+pub fn lattice_f32s(count: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SplitMix64::derive(seed, 0x1A77);
+    (0..count).map(|_| rng.lattice_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut r = SplitMix64::new(seed);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut a = SplitMix64::derive(7, 0);
+        let mut b = SplitMix64::derive(7, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_and_probabilities_are_in_bounds() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(5, 9);
+            assert!((5..9).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let l = r.lattice_f32();
+            assert!((-4.0..4.0).contains(&l));
+            assert_eq!(l % 0.25, 0.0, "lattice value {l} is not a 0.25 multiple");
+        }
+    }
+
+    #[test]
+    fn payload_helpers_are_deterministic_and_sized() {
+        assert_eq!(
+            sparse_f32_bytes(1024, 0.05, 9),
+            sparse_f32_bytes(1024, 0.05, 9)
+        );
+        assert_eq!(sparse_f32_bytes(1024, 0.05, 9).len(), 1024);
+        assert_ne!(
+            sparse_f32_bytes(1024, 0.05, 9),
+            sparse_f32_bytes(1024, 0.05, 10)
+        );
+        assert_eq!(bytes(777, 1).len(), 777);
+        assert_eq!(bytes(777, 1), bytes(777, 1));
+        assert_eq!(lattice_f32s(64, 2), lattice_f32s(64, 2));
+    }
+
+    #[test]
+    fn sparse_payloads_are_mostly_zero() {
+        let data = sparse_f32_bytes(1 << 16, 0.05, 4);
+        let zeros = data
+            .chunks_exact(4)
+            .filter(|w| w.iter().all(|&b| b == 0))
+            .count();
+        assert!(zeros > (1 << 14) / 4 * 3, "only {zeros} zero words");
+    }
+}

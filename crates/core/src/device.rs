@@ -161,6 +161,19 @@ impl CloudDevice {
         self.tile_residency.lock().clear();
     }
 
+    /// Scheduler metrics of every Spark job this device has run, oldest
+    /// first. Empty before the first offload (the cluster connection is
+    /// lazy). The conformance oracle checks its conservation laws —
+    /// speculation accounting, executor bounds, dispatched-task counts —
+    /// against these.
+    pub fn job_metrics(&self) -> Vec<sparkle::JobMetrics> {
+        self.sc
+            .lock()
+            .as_ref()
+            .map(|sc| sc.job_metrics())
+            .unwrap_or_default()
+    }
+
     /// Crate-internal accessors for the target-data scope machinery.
     pub(crate) fn residency(&self) -> &Mutex<Residency> {
         &self.residency

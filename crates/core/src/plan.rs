@@ -203,9 +203,7 @@ mod tests {
     #[test]
     fn measured_ratios_match_calibration_direction() {
         // Dense random f32s compress worse than 5%-sparse ones.
-        let dense: Vec<u8> = (0..1u32 << 16)
-            .flat_map(|i| ((i.wrapping_mul(0x9E3779B9)) as f32 / u32::MAX as f32).to_le_bytes())
-            .collect();
+        let dense = conformance::rng::sparse_f32_bytes(1 << 18, 1.0, 7);
         let mut sparse = vec![0u8; dense.len()];
         for i in (0..sparse.len()).step_by(80) {
             sparse[i..i + 4].copy_from_slice(&1.25f32.to_le_bytes());

@@ -142,6 +142,59 @@ pub fn build_all(n: usize, kind: DataKind, seed: u64, device: DeviceSelector) ->
         .collect()
 }
 
+/// Run the handwritten sequential reference of `id` at size `n`
+/// directly against `env`'s buffers — the uniform host-oracle entry
+/// point the conformance harness diffs device executions against. Reads
+/// the same variables [`build`] installs and updates the benchmark's
+/// `OUTPUTS` in place; intermediate buffers (`mean`, `tmp`, ...) are
+/// left untouched.
+pub fn run_host(id: BenchId, n: usize, env: &mut DataEnv) {
+    let take = |env: &DataEnv, name: &str| -> Vec<f32> {
+        env.get::<f32>(name)
+            .unwrap_or_else(|_| panic!("{} input {name} missing", id.name()))
+            .to_vec()
+    };
+    match id {
+        BenchId::Syrk => {
+            let a = take(env, "A");
+            syrk::sequential(n, &a, env.get_mut::<f32>("C").unwrap());
+        }
+        BenchId::Syr2k => {
+            let (a, b) = (take(env, "A"), take(env, "B"));
+            syr2k::sequential(n, &a, &b, env.get_mut::<f32>("C").unwrap());
+        }
+        BenchId::Covar => {
+            let data = take(env, "data");
+            covar::sequential(n, 2 * n, &data, env.get_mut::<f32>("cov").unwrap());
+        }
+        BenchId::Gemm => {
+            let (a, b) = (take(env, "A"), take(env, "B"));
+            gemm::sequential(n, &a, &b, env.get_mut::<f32>("C").unwrap());
+        }
+        BenchId::TwoMm => {
+            let (a, b, c) = (take(env, "A"), take(env, "B"), take(env, "Cm"));
+            two_mm::sequential(n, &a, &b, &c, env.get_mut::<f32>("D").unwrap());
+        }
+        BenchId::ThreeMm => {
+            let (a, b, c, d) = (
+                take(env, "A"),
+                take(env, "B"),
+                take(env, "Cm"),
+                take(env, "Dm"),
+            );
+            three_mm::sequential(n, &a, &b, &c, &d, env.get_mut::<f32>("G").unwrap());
+        }
+        BenchId::MatMul => {
+            let (a, b) = (take(env, "A"), take(env, "B"));
+            matmul::sequential(n, &a, &b, env.get_mut::<f32>("C").unwrap());
+        }
+        BenchId::Collinear => {
+            let p = take(env, "points");
+            collinear::sequential(n, &p, env.get_mut::<u32>("count").unwrap());
+        }
+    }
+}
+
 /// Total flops of one benchmark at size `n` (COVAR uses `m = 2n`).
 pub fn flops(id: BenchId, n: usize) -> f64 {
     match id {

@@ -26,6 +26,6 @@ pub mod syrk;
 pub mod three_mm;
 pub mod two_mm;
 
-pub use case::{build, build_all, flops, BenchCase, BenchId, ALL};
+pub use case::{build, build_all, flops, run_host, BenchCase, BenchId, ALL};
 pub use data::{assert_close, matrix, max_abs_diff, points, DataKind, SPARSE_DENSITY};
 pub use extended::{build_extra, ExtraBench, EXTRA};

@@ -142,6 +142,25 @@ impl JobMetrics {
             (self.total_task_seconds() / capacity).min(1.0)
         }
     }
+
+    /// Conservation law of speculative execution: every launched
+    /// duplicate either wins its race or loses it — nothing dangles.
+    pub fn speculation_balanced(&self) -> bool {
+        self.spec_wins + self.spec_losses == self.spec_launched
+    }
+
+    /// Attempts whose work was thrown away: speculative losers plus
+    /// failed attempts. Together with the winning attempt per task this
+    /// accounts for every attempt the scheduler launched.
+    pub fn discarded_attempts(&self) -> usize {
+        self.spec_losses + self.failed_attempts
+    }
+
+    /// Highest executor id that ran a winning attempt, if any task ran.
+    /// The oracle bounds this by the configured worker count.
+    pub fn max_executor_id(&self) -> Option<usize> {
+        self.tasks.iter().map(|t| t.executor).max()
+    }
 }
 
 #[cfg(test)]

@@ -1320,9 +1320,7 @@ mod tests {
             }
             v
         };
-        let dense: Vec<u8> = (0..65_536u32)
-            .map(|i| (i.wrapping_mul(0x9E3779B9) >> 13) as u8)
-            .collect();
+        let dense = conformance::rng::bytes(65_536, 11);
         let rs = tm.upload(vec![("s".into(), sparse)]).unwrap();
         let rd = tm.upload(vec![("d".into(), dense)]).unwrap();
         assert!(

@@ -15,6 +15,7 @@
 
 pub use cloud_storage;
 pub use cloudsim;
+pub use conformance;
 pub use gzlite;
 pub use omp_model;
 pub use omp_parfor;

@@ -1,0 +1,207 @@
+//! Corruption hardening of the checkpoint/resume codec path.
+//!
+//! The region journal and the `OutPart` payload codec both promise the
+//! same degraded behaviour for damaged bytes: a marker that cannot be
+//! read, crc-checked, or structurally decoded is treated exactly like a
+//! missing marker — the tile re-executes, nothing panics, and the
+//! committed outputs stay bitwise identical to a clean run. These tests
+//! interrupt a checkpointed region with a seeded kill, vandalise the
+//! surviving markers in a specific way, and assert the resume run
+//! degrades by exactly one tile.
+
+use ompcloud_suite::cloud_storage::{
+    ChaosStore, FaultKind, FaultPlan, FaultRule, ObjectStore, OpFilter, S3Store, Trigger,
+};
+use ompcloud_suite::kernels::{self, BenchId, DataKind};
+use ompcloud_suite::ompcloud::CloudDevice;
+use ompcloud_suite::prelude::*;
+use std::sync::Arc;
+
+const KILL_AFTER_MARKERS: u64 = 3;
+
+fn checkpoint_config() -> CloudConfig {
+    CloudConfig {
+        workers: 4,
+        vcpus_per_worker: 4,
+        task_cpus: 2, // 8 slots -> 8 tiles for a trip count of 16
+        max_retries: 1,
+        backoff_base_ms: 0,
+        breaker_threshold: 5,
+        checkpoint: true,
+        checkpoint_max_resumes: 0,
+        ..CloudConfig::default()
+    }
+}
+
+fn offload_gemm(runtime: &CloudRuntime) -> (ExecProfile, Vec<f32>) {
+    let mut case = kernels::build(
+        BenchId::Gemm,
+        16,
+        DataKind::Dense,
+        3,
+        CloudRuntime::cloud_selector(),
+    );
+    let profile = runtime.offload(&case.region, &mut case.env).unwrap();
+    (profile, case.env.get::<f32>("C").unwrap().to_vec())
+}
+
+/// Reference outputs and tile count from a clean checkpointed run.
+fn reference() -> (Vec<f32>, u64) {
+    let store: Arc<S3Store> = Arc::new(S3Store::standalone("journal-ref"));
+    let runtime =
+        CloudRuntime::with_device(CloudDevice::with_store(checkpoint_config(), store as _));
+    let (profile, expected) = offload_gemm(&runtime);
+    assert!(profile.fallback_from.is_none(), "{:?}", profile.notes);
+    let n_tiles = runtime
+        .cloud()
+        .last_report()
+        .unwrap()
+        .loops
+        .iter()
+        .map(|l| l.tiles)
+        .sum::<usize>() as u64;
+    runtime.shutdown();
+    (expected, n_tiles)
+}
+
+/// Interrupt the region with a seeded kill after exactly
+/// `KILL_AFTER_MARKERS` journal marker puts, leaving that many markers
+/// (and no commit) on the returned store.
+fn interrupted_store(bucket: &str) -> Arc<S3Store> {
+    let base: Arc<S3Store> = Arc::new(S3Store::standalone(bucket));
+    let plan = FaultPlan::new(42).rule(
+        FaultRule::new(
+            OpFilter::Put,
+            Trigger::OpIndex(KILL_AFTER_MARKERS),
+            FaultKind::Kill,
+        )
+        .on_keys("journal/"),
+    );
+    let chaos = Arc::new(ChaosStore::new(Arc::clone(&base) as _, plan));
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(checkpoint_config(), chaos));
+    let (profile, _) = offload_gemm(&runtime);
+    assert!(profile.fallback_from.is_some(), "{:?}", profile.notes);
+    runtime.shutdown();
+    let markers = marker_keys(&base);
+    assert_eq!(markers.len() as u64, KILL_AFTER_MARKERS);
+    base
+}
+
+fn marker_keys(store: &S3Store) -> Vec<String> {
+    let mut keys: Vec<String> = store
+        .list("jobs/journal/")
+        .into_iter()
+        .filter(|k| k.contains("/tile-"))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Resume over `store` and assert the run degrades by exactly one tile:
+/// one damaged marker is ignored, its tile re-executes, and the outputs
+/// still match the clean reference bitwise.
+fn assert_one_tile_degraded(store: Arc<S3Store>, expected: &[f32], n_tiles: u64) {
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(
+        checkpoint_config(),
+        Arc::clone(&store) as _,
+    ));
+    let (profile, results) = offload_gemm(&runtime);
+    assert!(
+        profile.fallback_from.is_none(),
+        "resume must stay on the cloud: {:?}",
+        profile.notes
+    );
+    assert_eq!(results, expected, "outputs must survive marker damage");
+    let report = runtime.cloud().last_report().unwrap();
+    assert_eq!(
+        report.resilience.tiles_resumed as u64,
+        KILL_AFTER_MARKERS - 1,
+        "the damaged marker must not be resumed from"
+    );
+    assert_eq!(
+        report.resilience.tiles_replayed as u64,
+        n_tiles - (KILL_AFTER_MARKERS - 1),
+        "the damaged marker's tile re-executes"
+    );
+    assert_eq!(report.resilience.commits_published, 1);
+    runtime.shutdown();
+    let leftovers: Vec<String> = store
+        .list("")
+        .into_iter()
+        .filter(|k| k.contains("/_tmp/") || k.contains("journal/"))
+        .collect();
+    assert!(leftovers.is_empty(), "leftovers: {leftovers:?}");
+}
+
+#[test]
+fn truncated_marker_is_skipped_and_its_tile_replays() {
+    let (expected, n_tiles) = reference();
+    let store = interrupted_store("journal-truncated");
+    // Tear the marker below even the 4-byte crc header.
+    let key = marker_keys(&store).remove(0);
+    let frame = store.get(&key).unwrap();
+    store
+        .put(&key, frame[..2.min(frame.len())].to_vec())
+        .unwrap();
+    assert_one_tile_degraded(store, &expected, n_tiles);
+}
+
+#[test]
+fn bit_flipped_marker_fails_its_crc_and_replays() {
+    let (expected, n_tiles) = reference();
+    let store = interrupted_store("journal-bitflip");
+    // Flip one payload bit; the frame crc32 must catch it on read.
+    let key = marker_keys(&store).remove(0);
+    let mut frame = store.get(&key).unwrap();
+    assert!(frame.len() > 8, "marker carries a real payload");
+    let at = frame.len() - 3;
+    frame[at] ^= 0x40;
+    store.put(&key, frame).unwrap();
+    assert_one_tile_degraded(store, &expected, n_tiles);
+}
+
+#[test]
+fn garbage_payload_with_a_valid_crc_decodes_to_none_and_replays() {
+    let (expected, n_tiles) = reference();
+    let store = interrupted_store("journal-garbage");
+    // A frame whose crc is *correct* but whose payload is not a valid
+    // OutPart encoding: the journal accepts it, the codec must reject
+    // it, and the tile must re-execute rather than panic or absorb junk.
+    let key = marker_keys(&store).remove(0);
+    let payload = vec![0xFFu8; 64];
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&ompcloud_suite::gzlite::crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    store.put(&key, frame).unwrap();
+    assert_one_tile_degraded(store, &expected, n_tiles);
+}
+
+#[test]
+fn manifest_without_staged_keys_never_panics_or_blocks_offload() {
+    let (expected, _) = reference();
+    // A committed-looking region with no staged objects behind it, plus
+    // a manifest that is not even valid UTF-8. Orphan collection and the
+    // next offload must shrug both off.
+    let store: Arc<S3Store> = Arc::new(S3Store::standalone("manifest-ghost"));
+    store.put("jobs/region-ghost/manifest", Vec::new()).unwrap();
+    store
+        .put("jobs/region-junk/manifest", vec![0xFF, 0xFE, 0x00, 0x9E])
+        .unwrap();
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(
+        checkpoint_config(),
+        Arc::clone(&store) as _,
+    ));
+    let (profile, results) = offload_gemm(&runtime);
+    assert!(profile.fallback_from.is_none(), "{:?}", profile.notes);
+    assert_eq!(results, expected);
+    let report = runtime.cloud().last_report().unwrap();
+    assert_eq!(
+        report.resilience.orphans_collected, 0,
+        "manifests with no staged keys are not orphans"
+    );
+    assert!(
+        store.exists("jobs/region-ghost/manifest") && store.exists("jobs/region-junk/manifest"),
+        "planted manifests are left alone"
+    );
+    runtime.shutdown();
+}
