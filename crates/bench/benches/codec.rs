@@ -1,8 +1,66 @@
 //! Criterion micro-benchmarks of the gzlite codec — the compression
 //! stage of the paper's host-target transfers (§III-A).
+//!
+//! Beyond the original sparse/dense f32 pair, the matrix groups sweep
+//! 4 KiB / 256 KiB / 4 MiB payloads across three entropy classes
+//! (zeros, text-like, random) for crc32 (reference vs slice-by-16) and
+//! the wire encode/decode paths, all with `Throughput::Bytes` so
+//! criterion reports MB/s directly. The machine-checkable before/after
+//! ledger (`BENCH_codec.json`) comes from the `codec_speed` bin; these
+//! benches are for profiling individual cells.
 
 use conformance::rng::sparse_f32_bytes as f32_bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SIZES: [(usize, &str); 3] = [(4 << 10, "4KiB"), (256 << 10, "256KiB"), (4 << 20, "4MiB")];
+
+/// The three entropy classes of the wire-path matrix.
+fn payload(kind: &str, n: usize) -> Vec<u8> {
+    match kind {
+        "zeros" => vec![0u8; n],
+        "text" => {
+            let mut out = Vec::with_capacity(n + 64);
+            let mut i = 0usize;
+            while out.len() < n {
+                out.extend_from_slice(
+                    format!(
+                        "ts={:010} level=info worker={:03} msg=tile committed\n",
+                        i * 37,
+                        i % 96
+                    )
+                    .as_bytes(),
+                );
+                i += 1;
+            }
+            out.truncate(n);
+            out
+        }
+        "random" => {
+            let mut x = 0x2545F4914F6CDD1Du64;
+            (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (x >> 33) as u8
+                })
+                .collect()
+        }
+        other => unreachable!("unknown payload kind {other}"),
+    }
+}
+
+fn wire_policy() -> gzlite::WirePolicy {
+    gzlite::WirePolicy {
+        min_compression_size: 1,
+        stream_threshold: 256 << 10,
+        stream_chunk: 256 << 10,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+    }
+}
 
 fn bench_compress(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec/compress");
@@ -32,15 +90,85 @@ fn bench_decompress(c: &mut Criterion) {
 }
 
 fn bench_crc32(c: &mut Criterion) {
-    let data = f32_bytes(1 << 20, 1.0, 3);
     let mut group = c.benchmark_group("codec/crc32");
     group.sample_size(20);
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("1MiB", |b| {
-        b.iter(|| gzlite::crc32(std::hint::black_box(&data)))
-    });
+    for kind in ["zeros", "text", "random"] {
+        for (size, size_label) in SIZES {
+            let data = payload(kind, size);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new("reference", format!("{kind}/{size_label}")),
+                &data,
+                |b, data| b.iter(|| gzlite::crc32_reference(std::hint::black_box(data))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("slice16", format!("{kind}/{size_label}")),
+                &data,
+                |b, data| b.iter(|| gzlite::crc32(std::hint::black_box(data))),
+            );
+        }
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress, bench_crc32);
+fn bench_wire_encode(c: &mut Criterion) {
+    let policy = wire_policy();
+    let mut group = c.benchmark_group("codec/wire_encode");
+    group.sample_size(20);
+    for kind in ["zeros", "text", "random"] {
+        for (size, size_label) in SIZES {
+            let data = payload(kind, size);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new("reference", format!("{kind}/{size_label}")),
+                &data,
+                |b, data| b.iter(|| gzlite::compress_reference(std::hint::black_box(data))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("wire", format!("{kind}/{size_label}")),
+                &data,
+                |b, data| b.iter(|| gzlite::encode_wire(std::hint::black_box(data), &policy)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_wire_decode(c: &mut Criterion) {
+    let policy = wire_policy();
+    let mut group = c.benchmark_group("codec/wire_decode");
+    group.sample_size(20);
+    for kind in ["zeros", "text"] {
+        for (size, size_label) in SIZES {
+            let data = payload(kind, size);
+            let Some(wire) = gzlite::encode_wire(&data, &policy) else {
+                continue; // incompressible cells ship raw; nothing to decode
+            };
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{kind}/{size_label}")),
+                &wire,
+                |b, wire| {
+                    b.iter(|| {
+                        if gzlite::is_stream(wire) {
+                            gzlite::decompress_stream_parallel(wire, policy.threads).unwrap()
+                        } else {
+                            gzlite::decompress(wire).unwrap()
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_crc32,
+    bench_wire_encode,
+    bench_wire_decode
+);
 criterion_main!(benches);

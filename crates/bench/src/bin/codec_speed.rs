@@ -1,0 +1,261 @@
+//! Wire-path codec throughput: the raw-speed before/after ledger.
+//!
+//! Measures the two hot primitives of the host-target transfer stage
+//! across a payload matrix (4 KiB / 256 KiB / 4 MiB × zeros / text-like
+//! / random):
+//!
+//! * **crc32** — bytewise reference (the pre-optimization ledger hash)
+//!   vs the slice-by-16 implementation every frame now uses;
+//! * **encode** — the full old wire path ([`gzlite::compress_reference`]:
+//!   trial-encode probe, sequential frame, bytewise frame CRC, bytewise
+//!   integrity-ledger CRC over the wire bytes) vs the new one
+//!   ([`gzlite::encode_wire`]: statistical probe, chunked parallel
+//!   stream, slice-by-16 CRCs end to end).
+//!
+//! Writes `BENCH_codec.json` with per-cell MB/s, the byte-weighted
+//! aggregate, and the geometric-mean per-cell speedup. `--check` exits
+//! non-zero unless both geometric-mean speedups clear 2× — the
+//! machine-checkable acceptance gate. `--smoke` shrinks dwell times for
+//! CI.
+//!
+//! Usage: `cargo run --release -p ompcloud-bench --bin codec_speed
+//!         [-- --smoke] [-- --check] [-- --json PATH]`
+
+use gzlite::WirePolicy;
+use jsonlite::{Json, ToJson};
+use std::time::Instant;
+
+/// Acceptance gate: aggregate after/before throughput must clear this.
+const MIN_SPEEDUP: f64 = 2.0;
+
+const SIZES: [(usize, &str); 3] = [(4 << 10, "4KiB"), (256 << 10, "256KiB"), (4 << 20, "4MiB")];
+
+fn payload(kind: &str, n: usize) -> Vec<u8> {
+    match kind {
+        "zeros" => vec![0u8; n],
+        "text" => {
+            // Log-like lines: repetitive structure with drifting fields,
+            // the shape LZ77 was built for.
+            let mut out = Vec::with_capacity(n + 64);
+            let mut i = 0usize;
+            while out.len() < n {
+                out.extend_from_slice(
+                    format!(
+                        "ts={:010} level=info worker={:03} msg=tile committed\n",
+                        i * 37,
+                        i % 96
+                    )
+                    .as_bytes(),
+                );
+                i += 1;
+            }
+            out.truncate(n);
+            out
+        }
+        "random" => {
+            // LCG noise: incompressible, exercises the Store bail-out.
+            let mut x = 0x2545F4914F6CDD1Du64;
+            (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (x >> 33) as u8
+                })
+                .collect()
+        }
+        other => unreachable!("unknown payload kind {other}"),
+    }
+}
+
+/// Run `f` repeatedly until it has consumed `dwell_ms` of wall time,
+/// returning throughput in MB/s over `bytes` per call.
+fn measure<F: FnMut()>(bytes: usize, dwell_ms: u64, mut f: F) -> f64 {
+    // Warm-up call (table init, allocator warm-up).
+    f();
+    let t0 = Instant::now();
+    let mut calls = 0u64;
+    while t0.elapsed().as_millis() < dwell_ms as u128 || calls < 3 {
+        f();
+        calls += 1;
+    }
+    (bytes as f64 * calls as f64) / t0.elapsed().as_secs_f64() / 1e6
+}
+
+struct Cell {
+    payload: &'static str,
+    size_label: &'static str,
+    size: usize,
+    crc_before: f64,
+    crc_after: f64,
+    enc_before: f64,
+    enc_after: f64,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("payload", self.payload.to_json()),
+            ("size", self.size_label.to_json()),
+            ("bytes", (self.size as u64).to_json()),
+            ("crc32_before_mb_s", self.crc_before.to_json()),
+            ("crc32_after_mb_s", self.crc_after.to_json()),
+            ("encode_before_mb_s", self.enc_before.to_json()),
+            ("encode_after_mb_s", self.enc_after.to_json()),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_codec.json".to_string());
+
+    let dwell_ms: u64 = if smoke { 15 } else { 150 };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    // The new wire path exactly as TransferManager drives it: cheap
+    // probe, chunked parallel frames above the stream threshold.
+    let policy = WirePolicy {
+        min_compression_size: 1,
+        stream_threshold: 256 << 10,
+        stream_chunk: 256 << 10,
+        threads,
+    };
+
+    println!(
+        "codec throughput, {} dwell {dwell_ms}ms/cell, {threads} codec threads\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:<8} {:>7} | {:>12} {:>12} {:>6} | {:>12} {:>12} {:>6}",
+        "payload", "size", "crc-ref MB/s", "crc MB/s", "x", "enc-old MB/s", "enc MB/s", "x"
+    );
+
+    let mut cells = Vec::new();
+    for kind in ["zeros", "text", "random"] {
+        for (size, size_label) in SIZES {
+            let data = payload(kind, size);
+            let crc_before = measure(size, dwell_ms, || {
+                std::hint::black_box(gzlite::crc32_reference(std::hint::black_box(&data)));
+            });
+            let crc_after = measure(size, dwell_ms, || {
+                std::hint::black_box(gzlite::crc32(std::hint::black_box(&data)));
+            });
+            // Old path: trial probe + sequential frame + bytewise frame
+            // CRC, then the bytewise integrity-ledger CRC of the wire
+            // bytes (what TransferManager recorded per put, pre-PR).
+            let enc_before = measure(size, dwell_ms, || {
+                let wire = gzlite::compress_reference(std::hint::black_box(&data));
+                std::hint::black_box(gzlite::crc32_reference(&wire));
+            });
+            // New path: encode_wire (cheap probe, chunked streams) plus
+            // the slice-by-16 ledger CRC; a Raw plan ships the staging
+            // buffer itself, so only the ledger CRC is paid.
+            let enc_after = measure(size, dwell_ms, || {
+                match gzlite::encode_wire(std::hint::black_box(&data), &policy) {
+                    Some(wire) => std::hint::black_box(gzlite::crc32(&wire)),
+                    None => std::hint::black_box(gzlite::crc32(&data)),
+                };
+            });
+            println!(
+                "{:<8} {:>7} | {:>12.0} {:>12.0} {:>5.1}x | {:>12.0} {:>12.0} {:>5.1}x",
+                kind,
+                size_label,
+                crc_before,
+                crc_after,
+                crc_after / crc_before,
+                enc_before,
+                enc_after,
+                enc_after / enc_before
+            );
+            cells.push(Cell {
+                payload: kind,
+                size_label,
+                size,
+                crc_before,
+                crc_after,
+                enc_before,
+                enc_after,
+            });
+        }
+    }
+
+    // Byte-weighted aggregate: total bytes over total time, so the big
+    // payloads dominate like they do on the wire.
+    let agg = |f: fn(&Cell) -> f64| {
+        let bytes: f64 = cells.iter().map(|c| c.size as f64).sum();
+        let secs: f64 = cells.iter().map(|c| c.size as f64 / (f(c) * 1e6)).sum();
+        bytes / secs / 1e6
+    };
+    // Geometric mean of per-cell speedups: the standard scalar summary
+    // of a speedup matrix, and the gated metric — every entropy class
+    // and size counts equally.
+    let geomean = |f: fn(&Cell) -> f64| {
+        (cells.iter().map(|c| f(c).ln()).sum::<f64>() / cells.len() as f64).exp()
+    };
+    let crc_before = agg(|c| c.crc_before);
+    let crc_after = agg(|c| c.crc_after);
+    let enc_before = agg(|c| c.enc_before);
+    let enc_after = agg(|c| c.enc_after);
+    let crc_speedup = geomean(|c| c.crc_after / c.crc_before);
+    let enc_speedup = geomean(|c| c.enc_after / c.enc_before);
+    let crc_pass = crc_speedup >= MIN_SPEEDUP;
+    let enc_pass = enc_speedup >= MIN_SPEEDUP;
+
+    println!(
+        "\naggregate MB/s: crc32 {crc_before:.0} -> {crc_after:.0} ({:.1}x), \
+         encode {enc_before:.0} -> {enc_after:.0} ({:.1}x)",
+        crc_after / crc_before,
+        enc_after / enc_before
+    );
+    println!("geomean speedup: crc32 {crc_speedup:.1}x, encode {enc_speedup:.1}x");
+
+    let doc = Json::obj([
+        ("benchmark", "codec_speed".to_json()),
+        ("mode", if smoke { "smoke" } else { "full" }.to_json()),
+        ("codec_threads", (threads as u64).to_json()),
+        (
+            "crc32",
+            Json::obj([
+                ("before_mb_s", crc_before.to_json()),
+                ("after_mb_s", crc_after.to_json()),
+                ("speedup_geomean", crc_speedup.to_json()),
+            ]),
+        ),
+        (
+            "encode",
+            Json::obj([
+                ("before_mb_s", enc_before.to_json()),
+                ("after_mb_s", enc_after.to_json()),
+                ("speedup_geomean", enc_speedup.to_json()),
+            ]),
+        ),
+        (
+            "gate",
+            Json::obj([
+                ("min_speedup", MIN_SPEEDUP.to_json()),
+                ("crc32_pass", crc_pass.to_json()),
+                ("encode_pass", enc_pass.to_json()),
+            ]),
+        ),
+        ("cells", Json::arr(cells.iter().map(ToJson::to_json))),
+    ]);
+    std::fs::write(&json_path, jsonlite::to_string_pretty(&doc)).expect("write json");
+    println!("wrote {json_path}");
+
+    if check && !(crc_pass && enc_pass) {
+        eprintln!(
+            "FAIL: speedup gate ({MIN_SPEEDUP}x) not met — crc32 {crc_speedup:.2}x, \
+             encode {enc_speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+}

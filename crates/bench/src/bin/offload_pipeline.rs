@@ -21,7 +21,7 @@ use std::time::Duration;
 const N_BUFS: usize = 48;
 const N: usize = 256;
 const LATENCY_MS: u64 = 20;
-const REPS: usize = 3;
+const REPS: usize = 9;
 
 struct ModeResult {
     mode: String,

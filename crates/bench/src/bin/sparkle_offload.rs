@@ -1,0 +1,122 @@
+//! `sparkle-offload` — operator entrypoint for the offload runtime's
+//! self-tuning.
+//!
+//! ```text
+//! sparkle-offload autotune [--config ompcloud.ini] [--out PROFILE.ini]
+//!                          [--elems N] [--latency-us U] [--smoke]
+//! ```
+//!
+//! `autotune` sweeps the candidate knob grid from the `[autotune]`
+//! config section (tile size × io threads × compression threshold) over
+//! a representative saxpy-shaped offload against a latency-injected
+//! in-memory store, bitwise-verifies every sweep point against the host
+//! device, and persists the fastest *verified* operating point as an
+//! INI profile. A config with `[autotune] enabled = true` picks the
+//! profile up automatically on the next run.
+
+use std::time::Duration;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("sparkle-offload: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("autotune") => autotune(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "usage: sparkle-offload autotune [--config ompcloud.ini] [--out PROFILE.ini]\n\
+                 \x20                               [--elems N] [--latency-us U] [--smoke]"
+            );
+            if args.is_empty() {
+                std::process::exit(2);
+            }
+        }
+        Some(other) => fail(format!("unknown subcommand '{other}' (try --help)")),
+    }
+}
+
+fn autotune(args: &[String]) {
+    let opt = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+        })
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let mut cfg = match opt("--config") {
+        Some(path) => match ompcloud::CloudConfig::from_file(std::path::Path::new(&path)) {
+            Ok(c) => c,
+            Err(e) => fail(e),
+        },
+        None => ompcloud::CloudConfig::default(),
+    };
+    if smoke {
+        // CI-sized sweep: a 2x2x1 grid is enough to exercise the
+        // calibrate -> verify -> persist path in seconds.
+        cfg.autotune.tile_sizes = vec![0, 4096];
+        cfg.autotune.io_threads = vec![1, 4];
+        cfg.autotune.thresholds = vec![1024];
+    }
+    let elems: usize = opt("--elems")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(format!("bad --elems '{v}'")))
+        })
+        .unwrap_or(if smoke { 16 << 10 } else { 1 << 20 });
+    let latency_us: u64 = opt("--latency-us")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(format!("bad --latency-us '{v}'")))
+        })
+        .unwrap_or(if smoke { 50 } else { 500 });
+    let out = opt("--out").unwrap_or_else(|| cfg.autotune.profile.clone());
+
+    let points = cfg.autotune.tile_sizes.len()
+        * cfg.autotune.io_threads.len()
+        * cfg.autotune.thresholds.len();
+    eprintln!(
+        "sweeping {points} operating points over a {elems}-element sample \
+         offload ({latency_us}us store latency)"
+    );
+
+    let report = match ompcloud::calibrate(&cfg, elems, Duration::from_micros(latency_us)) {
+        Ok(r) => r,
+        Err(e) => fail(e),
+    };
+
+    println!(
+        "{:>9} {:>10} {:>10} | {:>9} {:>9} {:>8}",
+        "tile", "io-threads", "threshold", "wall s", "MB/s", "verified"
+    );
+    for t in &report.trials {
+        println!(
+            "{:>9} {:>10} {:>10} | {:>9.3} {:>9.1} {:>8}",
+            if t.tile_size == 0 {
+                "auto".to_string()
+            } else {
+                t.tile_size.to_string()
+            },
+            t.io_threads,
+            t.min_compression_size,
+            t.wall_s,
+            t.mb_s,
+            if t.verified { "yes" } else { "NO" }
+        );
+    }
+    let p = &report.profile;
+    println!(
+        "\nwinner: tile-size={} io-threads={} min-compression-size={} ({:.1} MB/s)",
+        p.tile_size, p.io_threads, p.min_compression_size, p.throughput_mb_s
+    );
+
+    if let Err(e) = p.save(std::path::Path::new(&out)) {
+        fail(e);
+    }
+    println!("profile saved to {out}");
+    println!("enable with: [autotune] enabled = true, profile = {out}");
+}

@@ -90,4 +90,53 @@ proptest! {
         let stream = gzlite::compress_stream(&data, chunk);
         prop_assert_eq!(gzlite::decompress_stream(&stream).unwrap(), data);
     }
+
+    /// Slice-by-16 crc32 equals the bytewise reference on random lengths
+    /// and alignments, including every 0..=15 tail after the 16-byte loop.
+    #[test]
+    fn crc32_sliced_equals_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        offset in 0usize..16,
+    ) {
+        let s = &data[offset.min(data.len())..];
+        prop_assert_eq!(gzlite::crc32(s), gzlite::crc32_reference(s));
+        // Also pin the tail lengths explicitly: every remainder 0..=15.
+        for tail in 0..16usize.min(s.len()) {
+            let t = &s[..s.len() - tail];
+            prop_assert_eq!(gzlite::crc32(t), gzlite::crc32_reference(t));
+        }
+    }
+
+    /// Parallel chunked encoding is byte-identical to sequential encoding,
+    /// and parallel decode reads sequential streams (and vice versa).
+    #[test]
+    fn parallel_stream_matches_sequential(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        chunk in 1usize..2048,
+        threads in 1usize..9,
+    ) {
+        let sequential = gzlite::compress_stream(&data, chunk);
+        let parallel = gzlite::compress_stream_parallel(&data, chunk, threads);
+        prop_assert_eq!(&parallel, &sequential);
+        prop_assert_eq!(gzlite::decompress_stream_parallel(&sequential, threads).unwrap(), data.clone());
+        prop_assert_eq!(gzlite::decompress_stream(&parallel).unwrap(), data);
+    }
+
+    /// Interop with legacy single-chunk frames in both directions: a
+    /// single GZL1 frame is not a stream (old wire payloads decode on the
+    /// old path), and a chunked stream never masquerades as a frame.
+    #[test]
+    fn chunked_and_legacy_frames_interoperate(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        // Legacy frame still decodes, and is not mistaken for a stream.
+        let legacy = compress_auto(&data);
+        prop_assert!(!gzlite::is_stream(&legacy));
+        prop_assert_eq!(decompress(&legacy).unwrap(), data.clone());
+        // New chunked stream decodes via the stream path only.
+        let chunked = gzlite::compress_stream_parallel(&data, 512, 4);
+        prop_assert!(gzlite::is_stream(&chunked));
+        prop_assert!(decompress(&chunked).is_err(), "stream is not a bare frame");
+        prop_assert_eq!(gzlite::decompress_stream(&chunked).unwrap(), data);
+    }
 }

@@ -64,7 +64,20 @@ impl CaseOutcome {
 
 /// Execute `spec` on both legs and run every oracle over the results.
 pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
+    run_case_tuned(spec, None)
+}
+
+/// [`run_case`] with an autotuned wire-path profile applied on top of
+/// the generated cloud configuration (the `--autotune` CLI path). The
+/// tuned knobs — tile size, io threads, compression threshold — change
+/// performance parameters only, so every oracle and the bitwise
+/// host-vs-cloud check must still hold.
+pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -> CaseOutcome {
     let mut failures = Vec::new();
+    let mut config = spec.config();
+    if let Some(profile) = tuned {
+        profile.apply(&mut config);
+    }
 
     // --- Cloud leg -------------------------------------------------
     let base = Arc::new(S3Store::standalone("conformance"));
@@ -81,7 +94,7 @@ pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
         cs
     });
 
-    let runtime = CloudRuntime::with_device(CloudDevice::with_store(spec.config(), handle));
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(config.clone(), handle));
     let cloud_region = spec.build_region(CloudRuntime::cloud_selector());
     let mut cloud_env = spec.build_env();
     let cloud_profile: Option<ExecProfile> = match catch_unwind(AssertUnwindSafe(|| {
@@ -173,6 +186,7 @@ pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
     // --- Invariant oracles ------------------------------------------
     failures.extend(oracle::check(&oracle::OracleInput {
         spec,
+        config: &config,
         profile: cloud_profile.as_ref(),
         report: report.as_ref(),
         jobs: &jobs,

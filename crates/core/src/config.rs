@@ -84,6 +84,12 @@ pub struct CloudConfig {
     pub pipelined_transfers: bool,
     /// Store-I/O worker threads of the pipelined transfer engine.
     pub io_threads: usize,
+    /// Iterations per tile; 0 = auto (Algorithm 1's even split across
+    /// the cluster's task slots). The autotuner sweeps this.
+    pub tile_size: usize,
+    /// `[autotune]` section: bench-driven calibration of the wire-path
+    /// knobs (tile size, io threads, compression threshold).
+    pub autotune: crate::autotune::AutotuneConfig,
     /// Map-phase dispatch policy: `static` pre-assigns partitions
     /// round-robin (the paper's behavior), `dynamic` is a central
     /// pull-based queue (OpenMP `schedule(dynamic)` at cluster scope),
@@ -167,6 +173,8 @@ impl Default for CloudConfig {
             streaming_collect: true,
             pipelined_transfers: true,
             io_threads: 8,
+            tile_size: 0,
+            autotune: crate::autotune::AutotuneConfig::default(),
             schedule: sparkle::ScheduleMode::Stealing,
             spec_factor: 1.5,
             locality_wait_ms: 0,
@@ -276,6 +284,27 @@ impl CloudConfig {
             .map_err(bad_config)?
         {
             cfg.io_threads = t;
+        }
+        if let Some(t) = ini
+            .get_parsed::<usize>("offload", "tile-size")
+            .map_err(bad_config)?
+        {
+            cfg.tile_size = t;
+        }
+        if let Some(e) = ini.get_bool("autotune", "enabled").map_err(bad_config)? {
+            cfg.autotune.enabled = e;
+        }
+        if let Some(p) = ini.get("autotune", "profile") {
+            cfg.autotune.profile = p.to_string();
+        }
+        if let Some(l) = ini.get("autotune", "tile-sizes") {
+            cfg.autotune.tile_sizes = parse_list(l).map_err(bad_config)?;
+        }
+        if let Some(l) = ini.get("autotune", "io-threads") {
+            cfg.autotune.io_threads = parse_list(l).map_err(bad_config)?;
+        }
+        if let Some(l) = ini.get("autotune", "compression-thresholds") {
+            cfg.autotune.thresholds = parse_list(l).map_err(bad_config)?;
         }
         if let Some(s) = ini
             .get_parsed::<sparkle::ScheduleMode>("offload", "schedule")
@@ -389,11 +418,33 @@ impl CloudConfig {
         Ok(cfg)
     }
 
-    /// Read and parse a configuration file.
+    /// Read and parse a configuration file. When `[autotune] enabled`
+    /// is set and the persisted profile exists, its tuned knobs are
+    /// applied on top of the file's explicit settings.
     pub fn from_file(path: &std::path::Path) -> Result<CloudConfig, OmpError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| bad_config(format!("cannot read {}: {e}", path.display())))?;
-        Self::from_str(&text)
+        let mut cfg = Self::from_str(&text)?;
+        cfg.apply_autotune_profile()?;
+        Ok(cfg)
+    }
+
+    /// Apply the persisted autotune profile when `[autotune] enabled` is
+    /// on and the profile file exists. Returns whether a profile was
+    /// applied; a missing file is not an error (run
+    /// `sparkle-offload autotune` to create one).
+    pub fn apply_autotune_profile(&mut self) -> Result<bool, OmpError> {
+        if !self.autotune.enabled {
+            return Ok(false);
+        }
+        let path = std::path::Path::new(&self.autotune.profile);
+        if !path.exists() {
+            return Ok(false);
+        }
+        let profile = crate::autotune::TunedProfile::load(path)?;
+        profile.apply(self);
+        self.validate()?;
+        Ok(true)
     }
 
     /// Sanity checks on the numeric fields.
@@ -418,6 +469,11 @@ impl CloudConfig {
         }
         if self.io_threads == 0 {
             return Err(bad_config("io-threads must be at least 1"));
+        }
+        if self.autotune.io_threads.contains(&0) {
+            return Err(bad_config(
+                "autotune io-threads candidates must be at least 1",
+            ));
         }
         if self.spec_factor != 0.0 && !(self.spec_factor >= 1.0 && self.spec_factor.is_finite()) {
             return Err(bad_config(format!(
@@ -486,6 +542,22 @@ fn bad_config(detail: impl Into<String>) -> OmpError {
         device: "cloud".into(),
         detail: detail.into(),
     }
+}
+
+/// Parse a comma-separated list of non-negative integers ("0, 4096, 16k"
+/// style suffixes are not supported — plain numbers only).
+fn parse_list(text: &str) -> Result<Vec<usize>, String> {
+    let vals: Result<Vec<usize>, _> = text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad number '{s}'")))
+        .collect();
+    let vals = vals?;
+    if vals.is_empty() {
+        return Err(format!("empty list '{text}'"));
+    }
+    Ok(vals)
 }
 
 #[cfg(test)]
@@ -674,6 +746,30 @@ instance-type = c3.8xlarge
             "[resilience]\nquarantine-threshold = 2\nquarantine-penalty-ms = 0\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn tile_size_and_autotune_section_parse() {
+        let cfg = CloudConfig::default();
+        assert_eq!(cfg.tile_size, 0, "auto tiling by default");
+        assert!(!cfg.autotune.enabled, "autotune is opt-in");
+
+        let cfg = CloudConfig::from_str(
+            "[offload]\ntile-size = 4096\n\n[autotune]\nenabled = yes\n\
+             profile = /tmp/profile.ini\ntile-sizes = 0, 1024,4096\nio-threads = 1,2\n\
+             compression-thresholds = 256,65536\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.tile_size, 4096);
+        assert!(cfg.autotune.enabled);
+        assert_eq!(cfg.autotune.profile, "/tmp/profile.ini");
+        assert_eq!(cfg.autotune.tile_sizes, vec![0, 1024, 4096]);
+        assert_eq!(cfg.autotune.io_threads, vec![1, 2]);
+        assert_eq!(cfg.autotune.thresholds, vec![256, 65536]);
+
+        assert!(CloudConfig::from_str("[autotune]\ntile-sizes = nope\n").is_err());
+        assert!(CloudConfig::from_str("[autotune]\ntile-sizes = ,\n").is_err());
+        assert!(CloudConfig::from_str("[autotune]\nio-threads = 0,2\n").is_err());
     }
 
     #[test]

@@ -77,6 +77,7 @@ impl CloudDevice {
                 min_compression_size: config.min_compression_size,
                 retry: config.retry_policy(),
                 verify_integrity: config.verify_integrity,
+                codec_threads: config.io_threads,
                 ..TransferConfig::default()
             },
         );
@@ -360,7 +361,10 @@ impl CloudDevice {
             for m in region.input_maps() {
                 let buf = env.get_erased(&m.name)?;
                 profile.bytes_to_device += buf.byte_len() as u64;
-                let bytes = buf.to_bytes();
+                // Serialize into a pooled staging buffer: the allocation
+                // is recycled across tiles once the wire form is sealed.
+                let mut bytes = self.transfer.pool().get(buf.byte_len());
+                buf.write_bytes_into(&mut bytes);
                 let fresh_key = format!("{prefix}/in/{}", m.name);
                 if self.config.data_caching {
                     let fp = Fingerprint::of(&bytes);
@@ -433,7 +437,7 @@ impl CloudDevice {
         // and cache hits last, so look payloads up by key rather than
         // relying on arrival order.
         let t_driver = Instant::now();
-        let mut by_key: HashMap<String, Vec<u8>> = fetched.into_iter().collect();
+        let mut by_key: HashMap<String, cloud_storage::PoolBuf> = fetched.into_iter().collect();
         let mut cluster_env = DataEnv::new();
         for (name, key) in &staged_keys {
             let tag = env.get_erased(name)?.tag();
@@ -464,7 +468,7 @@ impl CloudDevice {
             for l in &region.loops {
                 fp.add_loop(
                     l.trip_count,
-                    crate::tiling::tile_ranges(l.trip_count, slots).len(),
+                    crate::tiling::tile_plan(l.trip_count, slots, self.config.tile_size).len(),
                 );
             }
             for (name, key) in &staged_keys {
@@ -645,7 +649,7 @@ impl CloudDevice {
             JobOutcome,
             TransferReport,
             TransferReport,
-            Vec<(String, Vec<u8>)>,
+            Vec<(String, cloud_storage::PoolBuf)>,
         ),
         ExecFailure,
     > {
@@ -681,7 +685,9 @@ impl CloudDevice {
         for m in region.output_maps() {
             let buf = outcome.env.get_erased(&m.name)?;
             out_bytes += buf.byte_len() as u64;
-            out_items.push((key_for(&m.name), buf.to_bytes()));
+            let mut staging = self.transfer.pool().get(buf.byte_len());
+            buf.write_bytes_into(&mut staging);
+            out_items.push((key_for(&m.name), staging));
         }
         // Assigned, not accumulated: a resumed attempt stages the same
         // outputs again and must not double-count them.

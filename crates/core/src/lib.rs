@@ -31,6 +31,7 @@
 //! blocks to the workers that use them; everything else is broadcast via
 //! the BitTorrent-style protocol accounted in `sparkle`.
 
+pub mod autotune;
 pub mod breaker;
 pub mod cache;
 pub mod config;
@@ -44,6 +45,7 @@ pub mod runtime;
 pub mod scope;
 pub mod tiling;
 
+pub use autotune::{calibrate, AutotuneConfig, CalibrationReport, TunedProfile};
 pub use breaker::CircuitBreaker;
 pub use cache::{CacheDecision, Fingerprint, UploadCache};
 pub use config::{CloudConfig, Provider};

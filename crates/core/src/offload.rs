@@ -141,7 +141,7 @@ fn run_loop(
 ) -> Result<LoopStats, OmpError> {
     let t0 = Instant::now();
     let slots = config.total_slots();
-    let tiles = tiling::tile_ranges(loop_.trip_count, slots);
+    let tiles = tiling::tile_plan(loop_.trip_count, slots, config.tile_size);
 
     // Split the inputs: partitioned variables travel inside RDD elements,
     // the rest is broadcast whole (Eq. 2 / Listing 2 semantics). Each

@@ -6,7 +6,7 @@
 //! over the supported [`Pod`] element types with tag-dispatched bulk
 //! operations (serialize, merge, reduce).
 
-use crate::pod::{from_le_bytes, to_le_bytes, Pod, TypeTag};
+use crate::pod::{extend_le_bytes, from_le_bytes, to_le_bytes, Pod, TypeTag};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -234,6 +234,19 @@ impl ErasedVec {
         dispatch!(self, v => to_le_bytes(&v[range]))
     }
 
+    /// Append the whole buffer's wire form to `out` — the allocation-free
+    /// path used when serializing into a pooled staging buffer.
+    pub fn write_bytes_into(&self, out: &mut Vec<u8>) {
+        dispatch!(self, v => extend_le_bytes(v, out))
+    }
+
+    /// Append an element range's wire form to `out`.
+    ///
+    /// Panics if the range is out of bounds (caller validates partitions).
+    pub fn write_range_bytes_into(&self, range: Range<usize>, out: &mut Vec<u8>) {
+        dispatch!(self, v => extend_le_bytes(&v[range], out))
+    }
+
     /// Deserialize a wire buffer of the given element type.
     pub fn from_bytes(tag: TypeTag, bytes: &[u8]) -> ErasedVec {
         match tag {
@@ -361,6 +374,13 @@ impl ErasedSlice {
         self.buf.range_to_bytes(self.range.clone())
     }
 
+    /// Append the viewed range's wire form to `out` — lets tile encoding
+    /// serialize straight into a pooled staging buffer without an
+    /// intermediate allocation.
+    pub fn write_bytes_into(&self, out: &mut Vec<u8>) {
+        self.buf.write_range_bytes_into(self.range.clone(), out)
+    }
+
     /// Materialize the viewed range as an owned buffer.
     pub fn to_owned_vec(&self) -> ErasedVec {
         self.buf.slice_copy(self.range.clone())
@@ -385,6 +405,20 @@ mod tests {
         let bytes = e.to_bytes();
         assert_eq!(bytes.len(), 24);
         assert_eq!(ErasedVec::from_bytes(TypeTag::I64, &bytes), e);
+    }
+
+    #[test]
+    fn write_bytes_into_matches_to_bytes() {
+        let e = ErasedVec::from_vec((0..10u32).collect::<Vec<_>>());
+        let mut out = vec![0xAA; 3]; // pre-existing bytes must survive
+        e.write_bytes_into(&mut out);
+        assert_eq!(out[..3], [0xAA; 3]);
+        assert_eq!(&out[3..], e.to_bytes().as_slice());
+
+        let slice = ErasedSlice::new(Arc::new(e), 2..7);
+        let mut out2 = Vec::new();
+        slice.write_bytes_into(&mut out2);
+        assert_eq!(out2, slice.to_bytes());
     }
 
     #[test]

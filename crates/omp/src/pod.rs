@@ -103,12 +103,22 @@ impl_pod! {
 
 /// Serialize a slice to its little-endian wire form.
 pub fn to_le_bytes<T: Pod>(data: &[T]) -> Vec<u8> {
+    let mut out = Vec::new();
+    extend_le_bytes(data, &mut out);
+    out
+}
+
+/// Append a slice's little-endian wire form to an existing buffer —
+/// the allocation-free variant [`to_le_bytes`] is built on, used by the
+/// transfer layer to serialize tiles directly into pooled staging
+/// buffers.
+pub fn extend_le_bytes<T: Pod>(data: &[T], out: &mut Vec<u8>) {
     let sz = T::TAG.elem_size();
-    let mut out = vec![0u8; data.len() * sz];
-    for (v, chunk) in data.iter().zip(out.chunks_exact_mut(sz)) {
+    let start = out.len();
+    out.resize(start + data.len() * sz, 0);
+    for (v, chunk) in data.iter().zip(out[start..].chunks_exact_mut(sz)) {
         v.write_le(chunk);
     }
-    out
 }
 
 /// Deserialize a little-endian wire buffer back into typed elements.

@@ -28,6 +28,7 @@ mod chaos;
 mod hdfs;
 mod journal;
 mod latency;
+mod pool;
 mod retry;
 mod s3;
 mod transfer;
@@ -38,6 +39,7 @@ pub use chaos::{ChaosStats, ChaosStore, FaultKind, FaultPlan, FaultRule, OpFilte
 pub use hdfs::{HdfsStore, DEFAULT_BLOCK_SIZE};
 pub use journal::{RegionFingerprint, RegionJournal};
 pub use latency::LatencyStore;
+pub use pool::{BytePool, PoolBuf, PoolStats};
 pub use retry::{RetryPolicy, RetrySession, RetryStats};
 pub use s3::{MultipartUpload, S3Service, S3Store};
 pub use transfer::{

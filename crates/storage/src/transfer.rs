@@ -19,11 +19,13 @@
 //! surfaces as retryable [`StorageError::Corrupted`], never as silent
 //! bad data.
 
+use crate::pool::{BytePool, PoolBuf};
 use crate::retry::{RetryPolicy, RetryStats};
 use crate::{StorageError, StoreHandle};
 use gzlite::MAGIC;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Tuning knobs of the transfer engine.
@@ -33,10 +35,14 @@ pub struct TransferConfig {
     /// disables compression.
     pub min_compression_size: usize,
     /// Buffers at least this large are compressed as chunked multi-frame
-    /// streams (bounded working set, multipart-upload friendly).
+    /// streams (bounded working set, multipart-upload friendly, and the
+    /// unit of intra-buffer compression parallelism).
     pub stream_threshold: usize,
     /// Chunk size for streamed compression.
     pub stream_chunk: usize,
+    /// Worker threads fanned over the chunks of a single streamed buffer
+    /// (compress and decompress). 0 or 1 = sequential.
+    pub codec_threads: usize,
     /// Retry/backoff/deadline policy applied to every store operation.
     pub retry: RetryPolicy,
     /// Verify the crc32 of the wire bytes on every download against the
@@ -53,11 +59,25 @@ impl Default for TransferConfig {
             // The reference OmpCloud uses a ~1 KiB floor: tiny buffers are
             // cheaper to send raw than to compress.
             min_compression_size: 1024,
-            stream_threshold: 16 * 1024 * 1024,
-            stream_chunk: gzlite::DEFAULT_CHUNK,
+            stream_threshold: 1024 * 1024,
+            stream_chunk: 256 * 1024,
+            codec_threads: 4,
             retry: RetryPolicy::default(),
             verify_integrity: true,
             max_threads: 16,
+        }
+    }
+}
+
+impl TransferConfig {
+    /// The wire-encoding policy this config hands the codec — the single
+    /// decision point for raw/compress/stream (see [`gzlite::plan_wire`]).
+    pub fn wire_policy(&self) -> gzlite::WirePolicy {
+        gzlite::WirePolicy {
+            min_compression_size: self.min_compression_size,
+            stream_threshold: self.stream_threshold,
+            stream_chunk: self.stream_chunk,
+            threads: self.codec_threads.max(1),
         }
     }
 }
@@ -224,12 +244,14 @@ impl PipelineReport {
     }
 }
 
-/// Payloads (in request order) plus the batch report.
-pub type DownloadResult = (Vec<(String, Vec<u8>)>, TransferReport);
+/// Payloads (in request order) plus the batch report. Payloads are
+/// pool-backed: dropping one checks its allocation into the manager's
+/// [`BytePool`] for reuse as encode staging.
+pub type DownloadResult = (Vec<(String, PoolBuf)>, TransferReport);
 
 /// Payloads (put items first, then fetch-only items, each in request
 /// order) plus the pipeline report.
-pub type PipelineResult = (Vec<(String, Vec<u8>)>, PipelineReport);
+pub type PipelineResult = (Vec<(String, PoolBuf)>, PipelineReport);
 
 /// One committed output in a [`CommitManifest`]: logical name, the
 /// staged `_tmp/` key holding the bytes, and the wire crc32 recorded at
@@ -298,6 +320,9 @@ pub struct TransferManager {
     /// crc32 of the wire bytes of every object this manager uploaded —
     /// the reference downloads are verified against.
     ledger: parking_lot::Mutex<HashMap<String, u32>>,
+    /// Staging-buffer pool shared with callers: encode staging checks
+    /// out, decoded download payloads check back in on drop.
+    pool: Arc<BytePool>,
 }
 
 impl TransferManager {
@@ -307,12 +332,20 @@ impl TransferManager {
             store,
             config,
             ledger: parking_lot::Mutex::new(HashMap::new()),
+            pool: BytePool::new(),
         }
     }
 
     /// The store this manager writes to.
     pub fn store(&self) -> &StoreHandle {
         &self.store
+    }
+
+    /// The staging-buffer pool. Callers serialize tiles into buffers
+    /// checked out of this pool and hand them to [`upload`](Self::upload)
+    /// — the allocation cycles back after the put instead of being freed.
+    pub fn pool(&self) -> &Arc<BytePool> {
+        &self.pool
     }
 
     /// Drop integrity-ledger entries under `prefix` — call when the
@@ -511,13 +544,21 @@ impl TransferManager {
                 }
             }
         }
-        let (payload, compressed) = decode_wire(key, wire)?;
+        let (payload, compressed) = decode_wire(key, wire, self.config.codec_threads)?;
         Ok((payload, wire_bytes, compressed))
     }
 
     /// Upload a batch of `(key, payload)` buffers, one worker thread per
     /// buffer (capped at `max_threads`). Blocks until every buffer landed.
-    pub fn upload(&self, items: Vec<(String, Vec<u8>)>) -> Result<TransferReport, StorageError> {
+    ///
+    /// Payloads may be plain `Vec<u8>`s or [`PoolBuf`]s checked out of
+    /// [`pool`](Self::pool); pooled staging buffers cycle back to the
+    /// pool as soon as their wire form is sealed.
+    pub fn upload<B: Into<PoolBuf>>(
+        &self,
+        items: Vec<(String, B)>,
+    ) -> Result<TransferReport, StorageError> {
+        let items: Vec<(String, PoolBuf)> = items.into_iter().map(|(k, b)| (k, b.into())).collect();
         let t0 = Instant::now();
         let results = self.run_parallel(items, |key, payload| {
             let t = Instant::now();
@@ -550,7 +591,7 @@ impl TransferManager {
     pub fn download(&self, keys: Vec<String>) -> Result<DownloadResult, StorageError> {
         let t0 = Instant::now();
         let results = self.run_parallel(
-            keys.into_iter().map(|k| (k, Vec::new())).collect(),
+            keys.into_iter().map(|k| (k, PoolBuf::default())).collect(),
             |key, _| {
                 let t = Instant::now();
                 let (payload, wire_bytes, compressed, stats) = self.fetch_with_retry(&key, None)?;
@@ -566,7 +607,7 @@ impl TransferManager {
                     backoff_s: 0.0,
                 };
                 report.fold_stats(stats);
-                Ok((report, payload))
+                Ok((report, self.pool.adopt(payload)))
             },
         )?;
         let mut items = Vec::with_capacity(results.len());
@@ -596,14 +637,16 @@ impl TransferManager {
     /// skip straight to the get. Returns `(key, payload)` pairs —
     /// `put_items` first in request order, then `fetch_only` in request
     /// order — plus per-stage busy-time accounting.
-    pub fn upload_fetch_pipelined(
+    pub fn upload_fetch_pipelined<B: Into<PoolBuf>>(
         &self,
-        put_items: Vec<(String, Vec<u8>)>,
+        put_items: Vec<(String, B)>,
         fetch_only: Vec<String>,
         io_threads: usize,
     ) -> Result<PipelineResult, StorageError> {
         use std::sync::atomic::AtomicUsize;
 
+        let put_items: Vec<(String, PoolBuf)> =
+            put_items.into_iter().map(|(k, b)| (k, b.into())).collect();
         let t0 = Instant::now();
         let total = put_items.len() + fetch_only.len();
         if total == 0 {
@@ -622,7 +665,7 @@ impl TransferManager {
             Get { idx: usize, key: String },
         }
 
-        type Slot = parking_lot::Mutex<Option<Result<(ItemReport, Vec<u8>), StorageError>>>;
+        type Slot = parking_lot::Mutex<Option<Result<(ItemReport, PoolBuf), StorageError>>>;
         let slots: Vec<Slot> = (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
         let cpu_busy_ns = AtomicU64::new(0);
         let io_busy_ns = AtomicU64::new(0);
@@ -630,7 +673,7 @@ impl TransferManager {
         let cpu_threads = put_items.len().clamp(1, self.config.max_threads.max(1));
         let io_threads = io_threads.max(1).min(total);
 
-        type QueueSlot = parking_lot::Mutex<Option<(usize, String, Vec<u8>)>>;
+        type QueueSlot = parking_lot::Mutex<Option<(usize, String, PoolBuf)>>;
         let queue: Vec<QueueSlot> = put_items
             .into_iter()
             .enumerate()
@@ -669,6 +712,7 @@ impl TransferManager {
                         let fetched = self.fetch_with_retry(&key, Some((io_busy_ns, cpu_busy_ns)));
                         *slots[idx].lock() =
                             Some(fetched.map(|(payload, wire_bytes, compressed, get_stats)| {
+                                let payload = self.pool.adopt(payload);
                                 let mut report = ItemReport {
                                     key,
                                     raw_bytes: payload.len() as u64,
@@ -748,12 +792,12 @@ impl TransferManager {
     /// in the results.
     fn run_parallel<R, F>(
         &self,
-        items: Vec<(String, Vec<u8>)>,
+        items: Vec<(String, PoolBuf)>,
         work: F,
     ) -> Result<Vec<R>, StorageError>
     where
         R: Send,
-        F: Fn(String, Vec<u8>) -> Result<R, StorageError> + Sync,
+        F: Fn(String, PoolBuf) -> Result<R, StorageError> + Sync,
     {
         if items.is_empty() {
             return Ok(Vec::new());
@@ -763,7 +807,7 @@ impl TransferManager {
             return Ok(vec![work(key, payload)?]);
         }
         let threads = items.len().min(self.config.max_threads.max(1));
-        type QueueSlot = parking_lot::Mutex<Option<(usize, String, Vec<u8>)>>;
+        type QueueSlot = parking_lot::Mutex<Option<(usize, String, PoolBuf)>>;
         let queue: Vec<QueueSlot> = items
             .into_iter()
             .enumerate()
@@ -795,41 +839,29 @@ impl TransferManager {
     }
 }
 
-/// Apply the engine's compression policy to one payload: chunked
-/// multi-frame streams above `stream_threshold`, single frames above
-/// `min_compression_size`, raw otherwise — and raw whenever compression
-/// fails to shrink. Returns the wire bytes and whether they are compressed.
-fn compress_for_wire(config: &TransferConfig, payload: Vec<u8>) -> (Vec<u8>, bool) {
-    if payload.len() >= config.stream_threshold
-        && config.stream_threshold >= config.min_compression_size
-    {
-        // Large buffer: chunked multi-frame stream.
-        let stream = gzlite::compress_stream(&payload, config.stream_chunk);
-        if stream.len() < payload.len() {
-            (stream, true)
-        } else {
-            (payload, false)
-        }
-    } else if payload.len() >= config.min_compression_size {
-        // compress_auto falls back to store-mode framing when data is
-        // incompressible; count it as "compressed" only when it shrank.
-        let frame = gzlite::compress_auto(&payload);
-        if frame.len() < payload.len() {
-            (frame, true)
-        } else {
-            (payload, false)
-        }
-    } else {
-        (payload, false)
+/// Encode one payload for the wire. The raw/compress/stream decision is
+/// delegated entirely to the codec's [`gzlite::plan_wire`] probe — the
+/// transfer layer no longer second-guesses it with its own size gate, so
+/// there is exactly one decision point. Returns the wire bytes and
+/// whether they are compressed; a pooled staging buffer cycles back to
+/// its pool when the wire form replaced it.
+fn compress_for_wire(config: &TransferConfig, payload: PoolBuf) -> (Vec<u8>, bool) {
+    match gzlite::encode_wire(&payload, &config.wire_policy()) {
+        // `payload` drops here: the staging allocation checks back into
+        // the pool while the sealed wire bytes travel on.
+        Some(wire) => (wire, true),
+        // Raw path: the store retains the vector itself.
+        None => (payload.detach(), false),
     }
 }
 
-/// Transparently decompress wire bytes: multi-frame streams, single
-/// frames (both with internal CRCs), or raw passthrough. Returns the
-/// payload and whether it was compressed on the wire.
-fn decode_wire(key: &str, wire: Vec<u8>) -> Result<(Vec<u8>, bool), StorageError> {
+/// Transparently decompress wire bytes: multi-frame streams (chunk
+/// decode fanned over `threads` workers), single frames (both with
+/// internal CRCs), or raw passthrough. Returns the payload and whether
+/// it was compressed on the wire.
+fn decode_wire(key: &str, wire: Vec<u8>, threads: usize) -> Result<(Vec<u8>, bool), StorageError> {
     if gzlite::is_stream(&wire) {
-        let decoded = gzlite::decompress_stream(&wire)
+        let decoded = gzlite::decompress_stream_parallel(&wire, threads.max(1))
             .map_err(|e| StorageError::Corrupted(format!("{key}: {e}")))?;
         Ok((decoded, true))
     } else if wire.len() >= MAGIC.len() && wire[..MAGIC.len()] == MAGIC {
@@ -895,8 +927,10 @@ mod tests {
         );
 
         let (payloads, dreport) = tm.download(vec!["in/A".into(), "in/B".into()]).unwrap();
-        assert_eq!(payloads[0], ("in/A".to_string(), a));
-        assert_eq!(payloads[1], ("in/B".to_string(), b));
+        assert_eq!(payloads[0].0, "in/A");
+        assert_eq!(payloads[0].1, a);
+        assert_eq!(payloads[1].0, "in/B");
+        assert_eq!(payloads[1].1, b);
         assert_eq!(dreport.items.len(), 2);
         assert_eq!(dreport.total_refetches(), 0, "clean run never re-fetches");
     }
@@ -1155,7 +1189,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let (tm, _) = manager(64);
-        let report = tm.upload(vec![]).unwrap();
+        let report = tm.upload(Vec::<(String, Vec<u8>)>::new()).unwrap();
         assert!(report.items.is_empty());
         assert_eq!(report.ratio(), 1.0);
     }
@@ -1262,8 +1296,10 @@ mod tests {
             )
             .unwrap();
         // Put items first, then fetch-only, each in request order.
-        assert_eq!(payloads[0], ("new/y".to_string(), fresh));
-        assert_eq!(payloads[1], ("cached/x".to_string(), staged));
+        assert_eq!(payloads[0].0, "new/y");
+        assert_eq!(payloads[0].1, fresh);
+        assert_eq!(payloads[1].0, "cached/x");
+        assert_eq!(payloads[1].1, staged);
         assert!(
             report.items[1].compressed,
             "staged object decompressed on fetch"
@@ -1295,7 +1331,9 @@ mod tests {
     #[test]
     fn pipelined_empty_batch_is_a_noop() {
         let (tm, _) = manager(64);
-        let (payloads, report) = tm.upload_fetch_pipelined(vec![], vec![], 4).unwrap();
+        let (payloads, report) = tm
+            .upload_fetch_pipelined(Vec::<(String, Vec<u8>)>::new(), vec![], 4)
+            .unwrap();
         assert!(payloads.is_empty());
         assert!(report.items.is_empty());
         assert_eq!(report.overlap_seconds(), 0.0);
@@ -1329,6 +1367,52 @@ mod tests {
             rs.ratio(),
             rd.ratio()
         );
+    }
+
+    #[test]
+    fn pooled_staging_roundtrip_is_bitwise_clean() {
+        let (tm, _) = manager(64);
+        // Pollute the pool with junk from a "previous tile".
+        for _ in 0..4 {
+            let mut junk = tm.pool().get(8192);
+            junk.extend_from_slice(&[0xEE; 8192]);
+        }
+        // Encode a real tile into a pooled staging buffer and roundtrip.
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 7) as u8).collect();
+        let mut staged = tm.pool().get(data.len());
+        staged.extend_from_slice(&data);
+        tm.upload(vec![("tile".to_string(), staged)]).unwrap();
+        let (payloads, _) = tm.download(vec!["tile".into()]).unwrap();
+        assert_eq!(
+            payloads[0].1, data,
+            "no stale pool bytes leaked into the put"
+        );
+    }
+
+    #[test]
+    fn staging_buffers_cycle_through_the_pool() {
+        let (tm, _) = manager(64);
+        {
+            let mut staged = tm.pool().get(16 * 1024);
+            staged.extend_from_slice(&vec![0u8; 16 * 1024]); // compresses
+            tm.upload(vec![("a".to_string(), staged)]).unwrap();
+        }
+        // Compressed path: the staging allocation checked back in after
+        // the wire form replaced it.
+        assert!(tm.pool().stats().returns >= 1, "{:?}", tm.pool().stats());
+        let before = tm.pool().stats();
+        let staged = tm.pool().get(16 * 1024);
+        assert!(staged.is_empty());
+        assert_eq!(
+            tm.pool().stats().hits,
+            before.hits + 1,
+            "next tile reuses the allocation"
+        );
+        // Download payloads check in when the caller drops them.
+        let (payloads, _) = tm.download(vec!["a".into()]).unwrap();
+        let before = tm.pool().stats();
+        drop(payloads);
+        assert!(tm.pool().stats().returns > before.returns);
     }
 
     #[test]

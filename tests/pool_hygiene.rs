@@ -1,0 +1,174 @@
+//! Buffer-pool hygiene: recycled staging buffers must never leak bytes
+//! between offloads.
+//!
+//! The transfer layer stages every upload in a size-classed [`BytePool`]
+//! buffer and recycles decode buffers back into the next encode, so the
+//! classic failure mode is a stale tail (or stale prefix) from a larger
+//! earlier tenant surviving into a later upload. The probe here is
+//! differential: run a region on a *fresh* device and snapshot every
+//! committed object, then run the same region on a device whose pool was
+//! first polluted by a bigger, chaos-hammered workload — every object
+//! the second run commits must be byte-for-byte identical to the fresh
+//! run's.
+
+use ompcloud_suite::cloud_storage::{
+    ChaosStore, FaultKind, FaultPlan, FaultRule, ObjectStore, OpFilter, S3Store, Trigger,
+};
+use ompcloud_suite::kernels::{self, BenchId, DataKind};
+use ompcloud_suite::ompcloud::CloudDevice;
+use ompcloud_suite::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config() -> CloudConfig {
+    CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        // Compress aggressively so encode staging, not just raw puts,
+        // flows through the pool.
+        min_compression_size: 64,
+        // Keep committed objects around after the run so the snapshot
+        // below can diff the actual uploaded bytes.
+        data_caching: true,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 4,
+        ..CloudConfig::default()
+    }
+}
+
+/// Transient faults + corrupted downloads + latency jitter: retries and
+/// re-fetches churn pool buffers far harder than a clean run would.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rule(FaultRule::new(
+            OpFilter::Any,
+            Trigger::EveryNth(5),
+            FaultKind::Transient,
+        ))
+        .rule(FaultRule::new(
+            OpFilter::Get,
+            Trigger::EveryNth(4),
+            FaultKind::Corrupt,
+        ))
+        .rule(FaultRule::new(
+            OpFilter::Any,
+            Trigger::EveryNth(3),
+            FaultKind::Delay(Duration::from_micros(200)),
+        ))
+}
+
+/// Run the probe kernel on `runtime` and return its outputs.
+fn run_probe(runtime: &CloudRuntime) -> Vec<f32> {
+    let mut case = kernels::build(
+        BenchId::MatMul,
+        12,
+        DataKind::Sparse,
+        9,
+        CloudRuntime::cloud_selector(),
+    );
+    runtime.offload(&case.region, &mut case.env).unwrap();
+    case.env.get::<f32>("C").unwrap().to_vec()
+}
+
+/// Snapshot a store's objects grouped by job: job index -> (key suffix
+/// inside the job prefix -> wire bytes). Job indices count up across a
+/// device's lifetime, so the polluted leg's probe jobs land on higher
+/// indices than the clean leg's — the suffix maps are what must match.
+fn snapshot(store: &S3Store) -> BTreeMap<u64, BTreeMap<String, Vec<u8>>> {
+    let mut jobs: BTreeMap<u64, BTreeMap<String, Vec<u8>>> = BTreeMap::new();
+    for key in store.list("jobs/job-") {
+        let rest = &key["jobs/job-".len()..];
+        let (idx, suffix) = rest.split_once('/').expect("job-scoped key");
+        let idx: u64 = idx.parse().expect("numeric job index");
+        let bytes = store.get(&key).unwrap();
+        jobs.entry(idx)
+            .or_default()
+            .insert(suffix.to_string(), bytes);
+    }
+    jobs
+}
+
+#[test]
+fn polluted_pool_commits_bitwise_identical_uploads() {
+    // Reference leg: the probe kernel on a pristine device and store.
+    let clean_store = Arc::new(S3Store::standalone("hygiene-clean"));
+    let clean = CloudRuntime::with_device(CloudDevice::with_store(config(), clean_store.clone()));
+    let clean_out = run_probe(&clean);
+    clean.shutdown();
+    let clean_objects = snapshot(&clean_store);
+    assert!(
+        !clean_objects.is_empty(),
+        "reference run committed no objects; the probe checks nothing"
+    );
+
+    // Polluted leg: same device first digests a larger, chaos-hammered
+    // workload (bigger buffers of different data cycle through every
+    // pool class), then runs the probe kernel — twice, so the second
+    // pass also reuses buffers the first pass just returned.
+    let dirty_store = Arc::new(S3Store::standalone("hygiene-dirty"));
+    let chaos = Arc::new(ChaosStore::new(dirty_store.clone(), chaos_plan(1234)));
+    let dirty = CloudRuntime::with_device(CloudDevice::with_store(config(), chaos.clone()));
+    let mut big = kernels::build(
+        BenchId::Gemm,
+        48,
+        DataKind::Dense,
+        3,
+        CloudRuntime::cloud_selector(),
+    );
+    dirty.offload(&big.region, &mut big.env).unwrap();
+    let first = run_probe(&dirty);
+    let second = run_probe(&dirty);
+    dirty.shutdown();
+    assert!(
+        chaos.stats().total() > 0,
+        "no faults fired; the pool was never churned by retries"
+    );
+
+    assert_eq!(first, clean_out, "polluted-pool outputs diverged");
+    assert_eq!(second, first, "second polluted-pool run diverged");
+
+    // The load-bearing check. The probe ran twice on the polluted
+    // device, so its jobs occupy the two highest index blocks: run 1
+    // staged inputs and outputs (every object must match the clean run
+    // byte for byte), run 2 hit the input cache and committed outputs
+    // only (everything it *did* commit must still match).
+    let dirty_objects = snapshot(&dirty_store);
+    let clean_jobs: Vec<_> = clean_objects.values().collect();
+    let dirty_jobs: Vec<_> = dirty_objects.values().collect();
+    let per_run = clean_jobs.len();
+    assert!(
+        dirty_jobs.len() >= 2 * per_run,
+        "polluted store holds fewer jobs than the two probe runs"
+    );
+    let run1 = &dirty_jobs[dirty_jobs.len() - 2 * per_run..dirty_jobs.len() - per_run];
+    let run2 = &dirty_jobs[dirty_jobs.len() - per_run..];
+    for (job, (clean_job, dirty_job)) in clean_jobs.iter().zip(run1).enumerate() {
+        for (suffix, bytes) in clean_job.iter() {
+            match dirty_job.get(suffix) {
+                Some(got) => assert_eq!(
+                    got, bytes,
+                    "run-1 probe job {job} object '{suffix}' differs between clean and \
+                     polluted-pool runs"
+                ),
+                None => panic!("run-1 probe job {job} object '{suffix}' missing after pollution"),
+            }
+        }
+    }
+    for (job, (clean_job, dirty_job)) in clean_jobs.iter().zip(run2).enumerate() {
+        assert!(
+            !dirty_job.is_empty(),
+            "run-2 probe job {job} committed nothing"
+        );
+        for (suffix, got) in dirty_job.iter() {
+            let bytes = clean_job
+                .get(suffix)
+                .unwrap_or_else(|| panic!("run-2 probe job {job} committed unexpected '{suffix}'"));
+            assert_eq!(
+                got, bytes,
+                "run-2 probe job {job} object '{suffix}' differs from the clean run"
+            );
+        }
+    }
+}
