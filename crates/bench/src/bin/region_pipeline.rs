@@ -1,0 +1,290 @@
+//! Measures what inter-region dataflow buys: a K-stage chain of
+//! dependent target regions (`depend(inout: y)` + `nowait`) whose
+//! intermediate buffers stay resident in the object store, versus the
+//! same chain offloaded eagerly where every stage pays a full host
+//! round-trip.
+//!
+//! Three configurations over the same iterative region on a latency
+//! store:
+//!
+//! * `single`  — one stage, eagerly offloaded: the per-region transfer
+//!   baseline (one upload + one download of `y`).
+//! * `eager`   — the K-stage chain with dataflow disabled: every stage
+//!   re-uploads its input and downloads its output (K× the baseline).
+//! * `chained` — the K-stage chain under `depend`/`nowait`: stage k's
+//!   input is served from stage k-1's cloud-resident output, so the
+//!   whole pipeline pays ~1 upload + ~1 download.
+//!
+//! The wire gate is machine-checked here *and* from the emitted JSON in
+//! CI: the chained pipeline must move < 1.5× the bytes of a single
+//! region's up+down, and all three configurations must produce bitwise
+//! identical outputs to the sequential host chain.
+//!
+//! Usage: `cargo run --release -p ompcloud-bench --bin region_pipeline
+//!         [-- --json PATH]` (default PATH: BENCH_dataflow.json)
+
+use cloud_storage::{LatencyStore, S3Store, StoreHandle};
+use jsonlite::{Json, ToJson};
+use omp_model::prelude::*;
+use ompcloud::{CloudConfig, CloudDevice, CloudRuntime};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 64 * 1024;
+const K: usize = 4;
+const LATENCY_MS: u64 = 2;
+const REPS: usize = 7;
+/// The machine-checked wire gate: chained bytes vs one region's bytes.
+const GATE_RATIO: f64 = 1.5;
+
+struct ModeResult {
+    mode: String,
+    median_s: f64,
+    mean_s: f64,
+    bytes_up: u64,
+    bytes_down: u64,
+    resident_hits: u64,
+    elided_downloads: u64,
+}
+
+impl ToJson for ModeResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", self.mode.to_json()),
+            ("median_s", self.median_s.to_json()),
+            ("mean_s", self.mean_s.to_json()),
+            ("bytes_up", self.bytes_up.to_json()),
+            ("bytes_down", self.bytes_down.to_json()),
+            ("resident_hits", self.resident_hits.to_json()),
+            ("elided_downloads", self.elided_downloads.to_json()),
+        ])
+    }
+}
+
+/// One pipeline stage: an elementwise rewrite of `y` with a stage-
+/// dependent constant, exact in f32 so the host chain is bitwise
+/// comparable.
+fn stage(idx: usize, device: DeviceSelector, deferred: bool) -> TargetRegion {
+    let mut b = TargetRegion::builder(format!("pipeline-stage-{idx}"))
+        .device(device)
+        .map_tofrom("y");
+    if deferred {
+        b = b.depend_inout("y").nowait();
+    }
+    b.parallel_for(N, move |l| {
+        l.partition("y", PartitionSpec::rows(1))
+            .body(move |i, ins, outs| {
+                let y = ins.view::<f32>("y");
+                outs.view_mut::<f32>("y")[i] = y[i] * 0.5 + idx as f32;
+            })
+    })
+    .build()
+    .expect("valid stage")
+}
+
+fn env() -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert("y", (0..N).map(|i| (i % 251) as f32).collect::<Vec<_>>());
+    e
+}
+
+fn config(dataflow: bool) -> CloudConfig {
+    CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        min_compression_size: usize::MAX, // raw wire: bytes == payload
+        dataflow,
+        ..CloudConfig::default()
+    }
+}
+
+fn store() -> StoreHandle {
+    Arc::new(LatencyStore::new(
+        Arc::new(S3Store::standalone("bench")),
+        Duration::from_millis(LATENCY_MS),
+    ))
+}
+
+fn summarize(
+    mode: &str,
+    mut times: Vec<f64>,
+    bytes_up: u64,
+    bytes_down: u64,
+    hits: u64,
+    elided: u64,
+) -> ModeResult {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ModeResult {
+        mode: mode.into(),
+        median_s: times[times.len() / 2],
+        mean_s: times.iter().sum::<f64>() / times.len() as f64,
+        bytes_up,
+        bytes_down,
+        resident_hits: hits,
+        elided_downloads: elided,
+    }
+}
+
+/// Eager offloads (`stages` regions back to back), dataflow optionally
+/// disabled — each region pays its own transfers.
+fn run_eager(mode: &str, stages: usize, expected: &[f32]) -> ModeResult {
+    let mut times = Vec::with_capacity(REPS);
+    let (mut up, mut down) = (0u64, 0u64);
+    for rep in 0..REPS + 1 {
+        let rt = CloudRuntime::with_device(CloudDevice::with_store(config(false), store()));
+        let mut e = env();
+        let t0 = Instant::now();
+        let mut profiles = Vec::with_capacity(stages);
+        for k in 0..stages {
+            let p = rt
+                .offload(&stage(k, CloudRuntime::cloud_selector(), false), &mut e)
+                .expect("offload");
+            profiles.push(p);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        if stages == K {
+            assert_eq!(e.get::<f32>("y").unwrap(), expected, "{mode} diverged");
+        }
+        if rep > 0 {
+            times.push(elapsed);
+        } else {
+            // Transfer byte counters are deterministic; read them once.
+            for p in &profiles {
+                up += p.bytes_to_device;
+                down += p.bytes_from_device;
+            }
+        }
+        rt.shutdown();
+    }
+    summarize(mode, times, up, down, 0, 0)
+}
+
+/// The deferred chain: queue all K stages, drain with one taskwait.
+fn run_chained(expected: &[f32]) -> ModeResult {
+    let mut times = Vec::with_capacity(REPS);
+    let (mut up, mut down, mut hits, mut elided) = (0u64, 0u64, 0u64, 0u64);
+    for rep in 0..REPS + 1 {
+        let rt = CloudRuntime::with_device(CloudDevice::with_store(config(true), store()));
+        let mut e = env();
+        let t0 = Instant::now();
+        for k in 0..K {
+            rt.offload_nowait(stage(k, CloudRuntime::cloud_selector(), true));
+        }
+        let dag = rt.taskwait(&mut e).expect("taskwait");
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(e.get::<f32>("y").unwrap(), expected, "chained diverged");
+        assert!(
+            dag.profiles.iter().all(|p| p.fallback_from.is_none()),
+            "chain fell back on a clean store"
+        );
+        if rep > 0 {
+            times.push(elapsed);
+        } else {
+            for p in &dag.profiles {
+                up += p.bytes_to_device;
+                down += p.bytes_from_device;
+            }
+            down += dag.drain.wire_bytes;
+            for m in rt.cloud().job_metrics() {
+                hits += m.resident_hits as u64;
+                elided += m.elided_downloads as u64;
+            }
+        }
+        rt.shutdown();
+    }
+    summarize("chained", times, up, down, hits, elided)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_dataflow.json".to_string());
+
+    println!(
+        "Inter-region dataflow — {K}-stage chain over {N}×f32, {LATENCY_MS}ms/op \
+         injected latency, {REPS} timed runs per mode\n"
+    );
+
+    // Bitwise reference: the same chain on the sequential host device.
+    let mut reference = env();
+    let host = DeviceRegistry::with_host_only();
+    for k in 0..K {
+        host.offload(&stage(k, DeviceSelector::Default, false), &mut reference)
+            .expect("host reference");
+    }
+    let expected = reference.get::<f32>("y").unwrap().to_vec();
+
+    let single = run_eager("single", 1, &expected);
+    let eager = run_eager("eager", K, &expected);
+    let chained = run_chained(&expected);
+
+    let payload = (N * std::mem::size_of::<f32>()) as u64;
+    let single_wire = single.bytes_up + single.bytes_down;
+    let chained_wire = chained.bytes_up + chained.bytes_down;
+    let wire_ratio = chained_wire as f64 / single_wire as f64;
+    let speedup = eager.median_s / chained.median_s;
+
+    for r in [&single, &eager, &chained] {
+        println!(
+            "{:>7}: median {:6.3}s  mean {:6.3}s  up {:>9} B  down {:>9} B  \
+             ({} resident hits, {} elided downloads)",
+            r.mode,
+            r.median_s,
+            r.mean_s,
+            r.bytes_up,
+            r.bytes_down,
+            r.resident_hits,
+            r.elided_downloads
+        );
+    }
+    println!("\nchained wire vs single region (up+down): {wire_ratio:.3}x (gate < {GATE_RATIO}x)");
+    println!("chained vs eager wall time (median): {speedup:.2}x faster");
+
+    // --- Machine-checked gates --------------------------------------
+    assert_eq!(
+        single_wire,
+        2 * payload,
+        "single region must move exactly y twice"
+    );
+    assert_eq!(
+        eager.bytes_up + eager.bytes_down,
+        2 * payload * K as u64,
+        "eager chain must pay every round-trip"
+    );
+    assert!(
+        wire_ratio < GATE_RATIO,
+        "chained {K}-stage pipeline moved {chained_wire} B, \
+         gate is {GATE_RATIO}x a single region's {single_wire} B"
+    );
+    assert_eq!(
+        chained.elided_downloads,
+        (K - 1) as u64,
+        "every intermediate hand-off must elide its download"
+    );
+    assert!(
+        chained.resident_hits >= (K - 1) as u64,
+        "every consumer stage must hit its producer's resident output"
+    );
+
+    let doc = Json::obj([
+        ("benchmark", "region_pipeline".to_json()),
+        ("n", (N as u64).to_json()),
+        ("stages", (K as u64).to_json()),
+        ("latency_ms", LATENCY_MS.to_json()),
+        ("repetitions", (REPS as u64).to_json()),
+        ("payload_bytes", payload.to_json()),
+        ("single", single.to_json()),
+        ("eager", eager.to_json()),
+        ("chained", chained.to_json()),
+        ("wire_ratio", wire_ratio.to_json()),
+        ("wire_gate", GATE_RATIO.to_json()),
+        ("gate_passed", (wire_ratio < GATE_RATIO).to_json()),
+        ("chained_vs_eager_speedup", speedup.to_json()),
+    ]);
+    std::fs::write(&json_path, jsonlite::to_string_pretty(&doc)).expect("write json");
+    println!("wrote {json_path}");
+}

@@ -152,8 +152,9 @@ pub fn main() -> i32 {
     let mut ran = 0u64;
     let mut budget_hit = false;
     // Coverage tallies, from the generated specs only (deterministic).
-    let (mut by_sched, mut chaos_on, mut kernels, mut ckpt) = (
+    let (mut by_sched, mut chaos_on, mut kernels, mut ckpt, mut chained) = (
         std::collections::BTreeMap::<&str, u64>::new(),
+        0u64,
         0u64,
         0u64,
         0u64,
@@ -181,6 +182,7 @@ pub fn main() -> i32 {
         chaos_on += u64::from(spec.chaos.is_some());
         kernels += u64::from(matches!(spec.kind, CaseKind::Kernel { .. }));
         ckpt += u64::from(spec.checkpoint);
+        chained += u64::from(spec.chain > 1);
         if args.verbose {
             println!("{}", spec.summary());
         }
@@ -200,14 +202,15 @@ pub fn main() -> i32 {
         .map(|(label, count)| format!("{label}={count}"))
         .collect();
     println!(
-        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={}",
+        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={} chained={}",
         args.seed,
         ran,
         failures.len(),
         sched.join(" "),
         chaos_on,
         kernels,
-        ckpt
+        ckpt,
+        chained
     );
 
     if !failures.is_empty() {

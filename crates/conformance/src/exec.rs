@@ -15,7 +15,7 @@
 use crate::gen::{CaseKind, CaseSpec};
 use crate::oracle;
 use cloud_storage::{ChaosStats, ChaosStore, LatencyStore, ObjectStore, S3Store, StoreHandle};
-use omp_model::{DeviceRegistry, DeviceSelector, ExecProfile};
+use omp_model::{DagReport, DeviceRegistry, DeviceSelector, ExecProfile};
 use ompcloud::{CloudDevice, CloudRuntime, OffloadReport};
 use ompcloud_kernels as kernels;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -95,24 +95,56 @@ pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -
     });
 
     let runtime = CloudRuntime::with_device(CloudDevice::with_store(config.clone(), handle));
-    let cloud_region = spec.build_region(CloudRuntime::cloud_selector());
     let mut cloud_env = spec.build_env();
-    let cloud_profile: Option<ExecProfile> = match catch_unwind(AssertUnwindSafe(|| {
-        runtime.offload(&cloud_region, &mut cloud_env)
-    })) {
-        Ok(Ok(profile)) => Some(profile),
-        Ok(Err(e)) => {
-            failures.push(format!("cloud leg failed outright: {e}"));
-            None
+    let mut dag_report: Option<DagReport> = None;
+    let cloud_profile: Option<ExecProfile> = if spec.chain > 1 {
+        // Chained leg: queue the whole depend/nowait DAG, then drain it
+        // with one taskwait. The oracle audits the DagReport.
+        let regions = spec.build_chain_regions(CloudRuntime::cloud_selector(), true);
+        match catch_unwind(AssertUnwindSafe(|| {
+            for r in regions {
+                runtime.offload_nowait(r);
+            }
+            runtime.taskwait(&mut cloud_env)
+        })) {
+            Ok(Ok(dag)) => {
+                let last = dag.profiles.last().cloned();
+                dag_report = Some(dag);
+                last
+            }
+            Ok(Err(e)) => {
+                failures.push(format!("cloud leg failed outright: {e}"));
+                None
+            }
+            Err(_) => {
+                failures.push("cloud leg panicked".to_string());
+                None
+            }
         }
-        Err(_) => {
-            failures.push("cloud leg panicked".to_string());
-            None
+    } else {
+        let cloud_region = spec.build_region(CloudRuntime::cloud_selector());
+        match catch_unwind(AssertUnwindSafe(|| {
+            runtime.offload(&cloud_region, &mut cloud_env)
+        })) {
+            Ok(Ok(profile)) => Some(profile),
+            Ok(Err(e)) => {
+                failures.push(format!("cloud leg failed outright: {e}"));
+                None
+            }
+            Err(_) => {
+                failures.push("cloud leg panicked".to_string());
+                None
+            }
         }
     };
-    let fell_back = cloud_profile
+    let fell_back = dag_report
         .as_ref()
-        .is_some_and(|p| p.fallback_from.is_some());
+        .map(|d| d.profiles.iter().any(|p| p.fallback_from.is_some()))
+        .unwrap_or_else(|| {
+            cloud_profile
+                .as_ref()
+                .is_some_and(|p| p.fallback_from.is_some())
+        });
     let report: Option<OffloadReport> = runtime.cloud().last_report();
     let jobs = runtime.cloud().job_metrics();
     runtime.shutdown();
@@ -126,15 +158,17 @@ pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -
     let leftovers: Vec<String> = base
         .list("")
         .into_iter()
-        .filter(|k| k.contains("/_tmp/") || k.contains("journal/"))
+        .filter(|k| k.contains("/_tmp/") || k.contains("journal/") || k.contains("/dataflow/"))
         .collect();
 
     // --- Host leg --------------------------------------------------
     let host_registry = DeviceRegistry::with_host_only();
-    let host_region = spec.build_region(DeviceSelector::Default);
     let mut host_env = spec.build_env();
-    if let Err(e) = host_registry.offload(&host_region, &mut host_env) {
-        failures.push(format!("host leg failed: {e}"));
+    for host_region in spec.build_chain_regions(DeviceSelector::Default, false) {
+        if let Err(e) = host_registry.offload(&host_region, &mut host_env) {
+            failures.push(format!("host leg failed: {e}"));
+            break;
+        }
     }
 
     // --- Differential check ----------------------------------------
@@ -190,6 +224,7 @@ pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -
         profile: cloud_profile.as_ref(),
         report: report.as_ref(),
         jobs: &jobs,
+        dag: dag_report.as_ref(),
         fell_back,
         killed,
         chaos: chaos_stats,
@@ -220,5 +255,31 @@ mod tests {
         let out = run_case(&spec);
         assert_eq!(out.verdict(), Verdict::Pass, "failures: {:?}", out.failures);
         assert!(!out.fell_back);
+    }
+
+    /// A clean chained case passes every law — in particular the
+    /// residency byte-conservation and counter laws, and the bitwise
+    /// host-vs-cloud equality across resident-key reuse.
+    #[test]
+    fn a_clean_chained_case_elides_every_hand_off() {
+        let spec = (0..400)
+            .map(|c| CaseSpec::generate(3, c))
+            .find(|s| s.chain > 1 && s.chaos.is_none() && s.latency_us == 0)
+            .expect("a clean chained case in 400 draws");
+        let out = run_case(&spec);
+        assert_eq!(out.verdict(), Verdict::Pass, "failures: {:?}", out.failures);
+        assert!(!out.fell_back);
+    }
+
+    /// Chained cases stay bitwise-correct under injected faults too —
+    /// residency must never trade correctness for elision.
+    #[test]
+    fn a_chaotic_chained_case_still_matches_the_host() {
+        let spec = (0..400)
+            .map(|c| CaseSpec::generate(4, c))
+            .find(|s| s.chain > 1 && s.chaos.is_some())
+            .expect("a chaotic chained case in 400 draws");
+        let out = run_case(&spec);
+        assert_eq!(out.verdict(), Verdict::Pass, "failures: {:?}", out.failures);
     }
 }

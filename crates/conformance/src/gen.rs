@@ -176,6 +176,11 @@ pub struct CaseSpec {
     pub latency_us: u64,
     /// Optional seeded fault plan.
     pub chaos: Option<ChaosSpec>,
+    /// Number of dependent target regions (1 = a single region, no
+    /// DAG). When > 1, the case runs as a `depend`/`nowait` chain: the
+    /// base region produces `y`, and each extra stage rewrites `y`
+    /// elementwise, so intermediate versions stay cloud-resident.
+    pub chain: usize,
 }
 
 const KERNEL_SIZES: &[usize] = &[4, 6, 8, 12, 16];
@@ -300,6 +305,18 @@ impl CaseSpec {
             None
         };
 
+        // Chained-region cases: only for synthetic indexed-merge shapes,
+        // whose `y` output is a plain f32 vector every follow-up stage
+        // can rewrite elementwise with exact arithmetic.
+        let chain = match &kind {
+            CaseKind::Synthetic(s)
+                if matches!(s.flavor, OutFlavor::Indexed { .. }) && rng.gen_bool(0.35) =>
+            {
+                rng.gen_usize(2, 4)
+            }
+            _ => 1,
+        };
+
         CaseSpec {
             seed,
             case,
@@ -320,6 +337,7 @@ impl CaseSpec {
             resume_budget,
             latency_us,
             chaos,
+            chain,
         }
     }
 
@@ -429,6 +447,51 @@ impl CaseSpec {
             }
             CaseKind::Synthetic(s) => self.synthetic_region(s, device),
         }
+    }
+
+    /// Build the full region chain for `device`. Index 0 is the base
+    /// region; later stages rewrite `y` elementwise. With `deferred`
+    /// the regions carry `depend`/`nowait` clauses for the registry's
+    /// DAG path (cloud leg); without, they are plain eager regions run
+    /// one `offload` at a time (host leg). Single-region cases return
+    /// exactly `[build_region(device)]`.
+    pub fn build_chain_regions(&self, device: DeviceSelector, deferred: bool) -> Vec<TargetRegion> {
+        let mut regions = Vec::with_capacity(self.chain);
+        let mut base = self.build_region(device);
+        if self.chain > 1 && deferred {
+            base.depends
+                .push(omp_model::DependClause::new("y", omp_model::DependDir::Out));
+            base.nowait = true;
+        }
+        regions.push(base);
+        let y_len = match &self.kind {
+            CaseKind::Synthetic(s) => match s.flavor {
+                OutFlavor::Indexed { rows } => self.n * rows,
+                _ => 0,
+            },
+            CaseKind::Kernel { .. } => 0,
+        };
+        for stage in 1..self.chain {
+            let mut b =
+                TargetRegion::builder(format!("conf-{}-{}-stage{stage}", self.seed, self.case))
+                    .device(device)
+                    .map_tofrom("y");
+            if deferred {
+                b = b.depend_inout("y").nowait();
+            }
+            let region = b
+                .parallel_for(y_len, move |l| {
+                    l.partition("y", PartitionSpec::rows(1))
+                        .body(move |i, ins, outs| {
+                            let y = ins.view::<f32>("y");
+                            outs.view_mut::<f32>("y")[i] = y[i] * 0.5 + stage as f32;
+                        })
+                })
+                .build()
+                .expect("chain stage must validate");
+            regions.push(region);
+        }
+        regions
     }
 
     /// Build the input environment. Identical for both legs.
@@ -669,8 +732,9 @@ impl CaseSpec {
             Some(c) => format!("chaos:{:?}", c.flavor),
         };
         format!(
-            "case {}: {kind} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}",
+            "case {}: {kind} chain={} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}",
             self.case,
+            self.chain,
             self.n,
             self.workers,
             self.vcpus,
@@ -717,6 +781,39 @@ mod tests {
             .any(|s| matches!(s.kind, CaseKind::Synthetic(_))));
         assert!(specs.iter().any(|s| s.checkpoint));
         assert!(specs.iter().any(|s| s.latency_us > 0));
+        assert!(
+            specs.iter().any(|s| s.chain > 1),
+            "no chained-region case generated"
+        );
+        assert!(specs.iter().any(|s| s.chain > 1 && s.chaos.is_some()));
+    }
+
+    #[test]
+    fn chained_cases_build_consistent_legs() {
+        let mut found = 0;
+        for case in 0..400 {
+            let spec = CaseSpec::generate(9, case);
+            if spec.chain < 2 {
+                continue;
+            }
+            found += 1;
+            let deferred = spec.build_chain_regions(DeviceSelector::Default, true);
+            let eager = spec.build_chain_regions(DeviceSelector::Default, false);
+            assert_eq!(deferred.len(), spec.chain);
+            assert_eq!(eager.len(), spec.chain);
+            assert!(deferred.iter().all(|r| r.nowait));
+            assert!(deferred.iter().all(|r| !r.depends.is_empty()));
+            assert!(eager.iter().all(|r| !r.nowait && r.depends.is_empty()));
+            // Every stage past the base rewrites y over its full length.
+            let y_len = spec.build_env().get::<f32>("y").unwrap().len();
+            for r in &deferred[1..] {
+                assert_eq!(r.loops[0].trip_count, y_len);
+            }
+            if found >= 5 {
+                return;
+            }
+        }
+        panic!("too few chained cases in 400 draws");
     }
 
     #[test]

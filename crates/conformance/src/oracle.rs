@@ -23,9 +23,9 @@
 //! * **Scheduler sanity** — speculation races balance, executor ids
 //!   stay inside the configured cluster, utilization is a fraction.
 
-use crate::gen::{CaseSpec, ChaosFlavor};
+use crate::gen::{CaseKind, CaseSpec, ChaosFlavor, OutFlavor};
 use cloud_storage::ChaosStats;
-use omp_model::ExecProfile;
+use omp_model::{DagReport, ExecProfile};
 use ompcloud::tiling::tile_plan;
 use ompcloud::OffloadReport;
 use sparkle::JobMetrics;
@@ -48,6 +48,9 @@ pub struct OracleInput<'a> {
     pub report: Option<&'a OffloadReport>,
     /// Spark job metrics of the cloud leg, in submission order.
     pub jobs: &'a [JobMetrics],
+    /// The DAG report, when the case chained dependent regions
+    /// (`spec.chain > 1`) and the taskwait completed.
+    pub dag: Option<&'a DagReport>,
     /// The registry fell back to the host mid-flight.
     pub fell_back: bool,
     /// The chaos store's kill latch tripped.
@@ -75,6 +78,11 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
     ) && input.fell_back
     {
         f.push("brownout within the resume budget must finish on the cloud, not fall back".into());
+    }
+
+    if spec.chain > 1 {
+        check_chained(input, &mut f);
+        return f;
     }
 
     let Some(profile) = input.profile else {
@@ -262,7 +270,25 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
             region.loops.len()
         ));
     }
-    for m in input.jobs {
+    per_job_sanity(spec, input.jobs, &mut f);
+
+    // Suppress an unused warning path: profile and report.profile are
+    // the same execution; sanity-check they agree on the device.
+    if profile.device != p.device {
+        f.push(format!(
+            "returned profile ran on '{}' but the report says '{}'",
+            profile.device, p.device
+        ));
+    }
+
+    f
+}
+
+/// Per-job scheduler invariants shared by the single-region and chained
+/// paths: speculation balance, executor bounds, utilization, and the
+/// spec-off-no-duplicates law.
+fn per_job_sanity(spec: &CaseSpec, jobs: &[JobMetrics], f: &mut Vec<String>) {
+    for m in jobs {
         if !m.speculation_balanced() {
             f.push(format!(
                 "job {}: {} speculative launches but {} wins + {} losses",
@@ -291,17 +317,114 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
             ));
         }
     }
+}
 
-    // Suppress an unused warning path: profile and report.profile are
-    // the same execution; sanity-check they agree on the device.
-    if profile.device != p.device {
+/// Laws for chained (`depend`/`nowait`) cases. The per-loop tile and
+/// fault accounting of the single-region path reads the *last* region's
+/// report, which no longer covers the whole execution; instead the DAG
+/// path audits residency: byte conservation across stages and the
+/// dataflow counters the runtime published per job.
+fn check_chained(input: &OracleInput<'_>, f: &mut Vec<String>) {
+    let spec = input.spec;
+    let Some(dag) = input.dag else {
+        if input.profile.is_some() {
+            f.push("chained case completed but produced no DagReport".into());
+        }
+        return; // hard failure already recorded by the exec layer
+    };
+    if dag.profiles.len() != spec.chain {
         f.push(format!(
-            "returned profile ran on '{}' but the report says '{}'",
-            profile.device, p.device
+            "DAG ran {} regions, the case chains {}",
+            dag.profiles.len(),
+            spec.chain
+        ));
+    }
+    if input.fell_back {
+        // Host execution finished (part of) the chain; residency
+        // accounting does not apply. Fallback discipline already ran.
+        return;
+    }
+
+    // --- Hygiene (includes resident dataflow keys) ------------------
+    if !input.leftovers.is_empty() {
+        f.push(format!(
+            "committed chain left {} staging/journal/resident objects behind: {:?}",
+            input.leftovers.len(),
+            &input.leftovers[..input.leftovers.len().min(4)]
         ));
     }
 
-    f
+    per_job_sanity(spec, input.jobs, f);
+
+    // The stage regions rewrite exactly the indexed "y" buffer.
+    let y_len = match &spec.kind {
+        CaseKind::Synthetic(s) => match s.flavor {
+            OutFlavor::Indexed { rows } => spec.n * rows,
+            _ => 0,
+        },
+        CaseKind::Kernel { .. } => 0,
+    };
+
+    // The residency laws below are exact only on undisturbed runs:
+    // chaos-driven retries/resumes may legitimately re-upload resident
+    // copies or re-run a consumer.
+    if spec.chaos.is_some() {
+        return;
+    }
+
+    // --- Residency byte conservation -------------------------------
+    // Every intermediate hand-off stays in the store: consumers upload
+    // nothing (their only input is the producer's resident output) and
+    // interior producers download nothing (their only output is kept
+    // resident). Only the final stage pays the download for `y`.
+    for (i, p) in dag.profiles.iter().enumerate() {
+        if i > 0 && p.bytes_to_device != 0 {
+            f.push(format!(
+                "chain stage {i}: re-uploaded {} bytes for a cloud-resident input",
+                p.bytes_to_device
+            ));
+        }
+        if i > 0 && i + 1 < dag.profiles.len() && p.bytes_from_device != 0 {
+            f.push(format!(
+                "chain stage {i}: downloaded {} bytes for an output consumed on-device",
+                p.bytes_from_device
+            ));
+        }
+    }
+    if let Some(last) = dag.profiles.last() {
+        let want = (y_len * std::mem::size_of::<f32>()) as u64;
+        if last.bytes_from_device != want {
+            f.push(format!(
+                "final chain stage downloaded {} bytes, the escaping 'y' holds {want}",
+                last.bytes_from_device
+            ));
+        }
+    }
+    // Every mapped-from buffer escapes through its owning region (the
+    // intermediates are superseded in place), so the drain is empty.
+    if !dag.drain.vars.is_empty() {
+        f.push(format!(
+            "clean chain drained {:?} at taskwait; every sink should flush through its region",
+            dag.drain.vars
+        ));
+    }
+
+    // --- Dataflow counters -----------------------------------------
+    // Each of the `chain - 1` hand-offs is one elided download on the
+    // producer side and one resident-input hit on the consumer side.
+    let elided: usize = input.jobs.iter().map(|m| m.elided_downloads).sum();
+    let hits: usize = input.jobs.iter().map(|m| m.resident_hits).sum();
+    let handoffs = spec.chain - 1;
+    if elided != handoffs {
+        f.push(format!(
+            "{handoffs}-hand-off chain elided {elided} downloads, expected {handoffs}"
+        ));
+    }
+    if hits < handoffs {
+        f.push(format!(
+            "{handoffs}-hand-off chain counted only {hits} resident hits"
+        ));
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,11 @@ pub struct CloudConfig {
     pub pipelined_transfers: bool,
     /// Store-I/O worker threads of the pipelined transfer engine.
     pub io_threads: usize,
+    /// Inter-region dataflow: when a `depend`/`nowait` DAG is drained,
+    /// keep intermediate buffers resident in the object store (and in a
+    /// driver-side copy) across dependent regions instead of
+    /// round-tripping every output through the host.
+    pub dataflow: bool,
     /// Iterations per tile; 0 = auto (Algorithm 1's even split across
     /// the cluster's task slots). The autotuner sweeps this.
     pub tile_size: usize,
@@ -173,6 +178,7 @@ impl Default for CloudConfig {
             streaming_collect: true,
             pipelined_transfers: true,
             io_threads: 8,
+            dataflow: true,
             tile_size: 0,
             autotune: crate::autotune::AutotuneConfig::default(),
             schedule: sparkle::ScheduleMode::Stealing,
@@ -284,6 +290,9 @@ impl CloudConfig {
             .map_err(bad_config)?
         {
             cfg.io_threads = t;
+        }
+        if let Some(d) = ini.get_bool("offload", "dataflow").map_err(bad_config)? {
+            cfg.dataflow = d;
         }
         if let Some(t) = ini
             .get_parsed::<usize>("offload", "tile-size")

@@ -25,7 +25,7 @@ use crate::cache::{CacheDecision, Fingerprint, ResidencyMap, UploadCache};
 use crate::config::CloudConfig;
 use crate::offload::{run_spark_job, JobOutcome};
 use crate::recovery::RegionRecovery;
-use crate::report::{OffloadReport, ResilienceSummary};
+use crate::report::{DataflowSummary, OffloadReport, ResilienceSummary};
 use crate::scope::Residency;
 use cloud_storage::{
     AzureBlobStore, HdfsStore, RegionFingerprint, RegionJournal, S3Store, StorageUri, StoreHandle,
@@ -33,7 +33,8 @@ use cloud_storage::{
 };
 use cloudsim::Fleet;
 use omp_model::{
-    Construct, DataEnv, Device, DeviceKind, ErasedVec, ExecProfile, OmpError, TargetRegion,
+    Construct, DataEnv, DataflowHints, Device, DeviceKind, ErasedVec, ExecProfile,
+    MaterializeReport, OmpError, TargetRegion, TypeTag,
 };
 use parking_lot::Mutex;
 use sparkle::{SparkConf, SparkContext};
@@ -55,6 +56,27 @@ pub struct CloudDevice {
     residency: Mutex<Residency>,
     tile_residency: Mutex<ResidencyMap>,
     breaker: CircuitBreaker,
+    /// Device-resident intermediate buffers of the active dataflow DAG,
+    /// keyed by variable name: the producer's committed output key in
+    /// the object store plus a driver-side decoded copy (so consumers
+    /// and host escapes stay serviceable even when the store is down).
+    resident: Mutex<HashMap<String, ResidentBuf>>,
+}
+
+/// One device-resident producer output.
+struct ResidentBuf {
+    /// Object-store key the producer committed the buffer under.
+    key: String,
+    /// Element type of the buffer.
+    tag: TypeTag,
+    /// Fingerprint of the decoded bytes, checked on every read of the
+    /// driver-side copy.
+    fp: Fingerprint,
+    /// Bytes on the wire when the producer staged the key (reported by
+    /// [`MaterializeReport::wire_bytes`] when the buffer escapes).
+    wire_len: u64,
+    /// Driver-side decoded copy.
+    bytes: Vec<u8>,
 }
 
 /// How one offload attempt failed: infrastructure failures (storage,
@@ -95,6 +117,7 @@ impl CloudDevice {
             residency: Mutex::new(Residency::default()),
             tile_residency: Mutex::new(ResidencyMap::new()),
             breaker,
+            resident: Mutex::new(HashMap::new()),
         }
     }
 
@@ -265,7 +288,93 @@ impl Device for CloudDevice {
     }
 
     fn execute(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError> {
-        match self.try_execute(region, env) {
+        self.execute_with_hints(region, env, &DataflowHints::default())
+    }
+
+    fn supports_dataflow(&self) -> bool {
+        self.config.dataflow
+    }
+
+    fn execute_dataflow(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+        hints: &DataflowHints,
+    ) -> Result<ExecProfile, OmpError> {
+        self.execute_with_hints(region, env, hints)
+    }
+
+    fn materialize_resident(
+        &self,
+        vars: &[String],
+        env: &mut DataEnv,
+    ) -> Result<MaterializeReport, OmpError> {
+        let t = Instant::now();
+        let mut report = MaterializeReport::default();
+        let resident = self.resident.lock();
+        for var in vars {
+            let rb = resident.get(var).ok_or_else(|| OmpError::Plugin {
+                device: "cloud".into(),
+                detail: format!("variable '{var}' is not device-resident"),
+            })?;
+            // The driver-side copy serves the escape even when the store
+            // is unreachable; its fingerprint guards against corruption.
+            if Fingerprint::of(&rb.bytes) != rb.fp {
+                return Err(OmpError::Plugin {
+                    device: "cloud".into(),
+                    detail: format!("resident copy of '{var}' failed its integrity check"),
+                });
+            }
+            env.write_back(var, ErasedVec::from_bytes(rb.tag, &rb.bytes))?;
+            report.vars.push(var.clone());
+            report.wire_bytes += rb.wire_len;
+        }
+        report.seconds = t.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    fn invalidate_resident(&self, vars: &[String]) {
+        let mut resident = self.resident.lock();
+        for var in vars {
+            if let Some(rb) = resident.remove(var) {
+                let _ = self.store.delete(&rb.key);
+                self.transfer.forget_prefix(&rb.key);
+            }
+        }
+    }
+
+    fn end_dataflow(&self, dag: &str) {
+        let root = self.dataflow_root(dag);
+        self.transfer.release(&root);
+        for key in self.store.list(&root) {
+            let _ = self.store.delete(&key);
+        }
+        self.transfer.forget_prefix(&root);
+        self.resident.lock().clear();
+    }
+}
+
+impl CloudDevice {
+    /// Root of the resident keys of one dataflow DAG — the unit the
+    /// [`TransferManager`] lease protects from orphan collection.
+    fn dataflow_root(&self, dag: &str) -> String {
+        let p = self.config.storage.key_prefix();
+        if p.is_empty() {
+            format!("dataflow/{dag}")
+        } else {
+            format!("{p}/dataflow/{dag}")
+        }
+    }
+
+    /// Breaker-wrapped offload shared by [`Device::execute`] (no hints)
+    /// and [`Device::execute_dataflow`].
+    fn execute_with_hints(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+        hints: &DataflowHints,
+    ) -> Result<ExecProfile, OmpError> {
+        match self.try_execute(region, env, hints) {
             Ok(profile) => Ok(profile),
             Err(ExecFailure::App(e)) => Err(e),
             Err(ExecFailure::Infra(e)) => {
@@ -299,13 +408,18 @@ impl Device for CloudDevice {
 impl CloudDevice {
     /// The eight-step offload workflow. Infrastructure errors come back
     /// as [`ExecFailure::Infra`] so the caller can feed the breaker.
+    /// Inside a dataflow DAG, `hints` names the inputs already resident
+    /// from a producer region (upload elided) and the outputs a later
+    /// consumer will read in place (download elided).
     fn try_execute(
         &self,
         region: &TargetRegion,
         env: &mut DataEnv,
+        hints: &DataflowHints,
     ) -> Result<ExecProfile, ExecFailure> {
         let mut profile = ExecProfile::new(self.name.clone());
         let mut resilience = ResilienceSummary::default();
+        let mut dataflow = DataflowSummary::default();
         let job_id = self.job_counter.fetch_add(1, Ordering::SeqCst);
         let prefix = {
             let p = self.config.storage.key_prefix();
@@ -349,6 +463,24 @@ impl CloudDevice {
             }
         }
 
+        // Dataflow session begin (first hinted region of a DAG): lease
+        // the DAG's resident-key root so orphan collection cannot sweep
+        // a live chain, then sweep the unleased leftovers of crashed
+        // chains before producing new resident keys.
+        if let Some(dag) = hints.dag.as_deref() {
+            let root = self.dataflow_root(dag);
+            if !self.transfer.is_leased(&root) {
+                self.transfer.lease(&root);
+                let orphans = self.transfer.collect_orphans(&base_prefix);
+                if orphans > 0 {
+                    resilience.orphans_collected += orphans as u32;
+                    profile.note(format!(
+                        "dataflow: collected {orphans} resident keys leaked by crashed chains"
+                    ));
+                }
+            }
+        }
+
         // Step 2: ship inputs to cloud storage (one thread per buffer,
         // compression above the configured threshold). With data caching
         // enabled (§VI extension), unchanged variables are skipped and
@@ -356,9 +488,46 @@ impl CloudDevice {
         let mut upload_items = Vec::new();
         let mut staged_keys: Vec<(String, String)> = Vec::new(); // (var, key)
         let mut cached_keys: Vec<String> = Vec::new();
+        // (var, tag, bytes, key) of inputs served device-resident: the
+        // host upload is elided entirely — the cluster environment is
+        // built from the producer's driver-side copy, and the region
+        // fingerprint from the producer's committed key.
+        let mut resident_payloads: Vec<(String, TypeTag, Vec<u8>, String)> = Vec::new();
         {
             let mut cache = self.upload_cache.lock();
+            let resident = self.resident.lock();
             for m in region.input_maps() {
+                if hints.resident_inputs.iter().any(|v| v == &m.name) {
+                    match resident.get(&m.name) {
+                        Some(rb) if Fingerprint::of(&rb.bytes) == rb.fp => {
+                            resident_payloads.push((
+                                m.name.clone(),
+                                rb.tag,
+                                rb.bytes.clone(),
+                                rb.key.clone(),
+                            ));
+                            dataflow.resident_hits += 1;
+                            continue;
+                        }
+                        // A damaged copy must not fall through — the host
+                        // environment is stale for a variable whose
+                        // producer succeeded on the device.
+                        Some(_) => {
+                            return Err(ExecFailure::Infra(OmpError::Plugin {
+                                device: "cloud".into(),
+                                detail: format!(
+                                    "resident copy of '{}' failed its integrity check",
+                                    m.name
+                                ),
+                            }))
+                        }
+                        // Missing: the registry's contract is that a
+                        // resident-miss input is fresh in the host
+                        // environment (a failed producer re-ran there),
+                        // so fall through to the normal upload path.
+                        None => dataflow.resident_misses += 1,
+                    }
+                }
                 let buf = env.get_erased(&m.name)?;
                 profile.bytes_to_device += buf.byte_len() as u64;
                 // Serialize into a pooled staging buffer: the allocation
@@ -444,6 +613,18 @@ impl CloudDevice {
             let bytes = by_key.remove(key).expect("every staged input was fetched");
             cluster_env.insert_erased(name, ErasedVec::from_bytes(tag, &bytes));
         }
+        // Resident inputs never crossed the host link: the cluster reads
+        // the producer's output in place (here: the driver-side copy of
+        // the committed key).
+        for (name, tag, bytes, _) in &resident_payloads {
+            cluster_env.insert_erased(name, ErasedVec::from_bytes(*tag, bytes));
+        }
+        if dataflow.resident_hits > 0 {
+            profile.note(format!(
+                "dataflow: {} input(s) consumed device-resident, upload elided",
+                dataflow.resident_hits
+            ));
+        }
         // Output-only variables: the driver allocates them full-size
         // (paper Fig. 3 step 7); sizes come with the job submission.
         for m in region.output_maps() {
@@ -463,15 +644,17 @@ impl CloudDevice {
         // run over the same inputs lands on the same journal and resumes
         // whatever the first one finished.
         let recovery = if self.config.checkpoint {
-            let slots = self.config.total_slots();
             let mut fp = RegionFingerprint::new(&region.name);
             for l in &region.loops {
-                fp.add_loop(
-                    l.trip_count,
-                    crate::tiling::tile_plan(l.trip_count, slots, self.config.tile_size).len(),
-                );
+                fp.add_loop(l.trip_count);
             }
             for (name, key) in &staged_keys {
+                fp.add_input(name, self.transfer.ledger_crc(key).unwrap_or(0));
+            }
+            // Cloud-sourced inputs: the fingerprint is tied to the
+            // producer's committed key, so a resumed run only lands on
+            // this journal if it consumes the same resident bytes.
+            for (name, _, _, key) in &resident_payloads {
                 fp.add_input(name, self.transfer.ledger_crc(key).unwrap_or(0));
             }
             let journal = RegionJournal::open(StoreHandle::clone(&self.store), &base_prefix, &fp);
@@ -504,6 +687,7 @@ impl CloudDevice {
                 cluster_env.clone(),
                 &prefix,
                 recovery.as_ref(),
+                hints,
                 &mut profile,
                 &mut resilience,
             );
@@ -557,9 +741,31 @@ impl CloudDevice {
                 resilience.quarantine_trips, resilience.heartbeat_misses
             ));
         }
-        for (m, (_, bytes)) in region.output_maps().zip(out_payloads) {
+        // Only escaping outputs come home; resident ones stay on the
+        // device for their consumer (the DAG drain materializes whatever
+        // survives).
+        let kept = |name: &str| hints.keep_resident.iter().any(|v| v == name);
+        for (m, (_, bytes)) in region
+            .output_maps()
+            .filter(|m| !kept(&m.name))
+            .zip(out_payloads)
+        {
             let tag = env.get_erased(&m.name)?.tag();
             env.write_back(&m.name, ErasedVec::from_bytes(tag, &bytes))?;
+        }
+        dataflow.elided_downloads = region.output_maps().filter(|m| kept(&m.name)).count() as u32;
+        if dataflow.elided_downloads > 0 {
+            profile.note(format!(
+                "dataflow: {} output(s) kept device-resident, download elided",
+                dataflow.elided_downloads
+            ));
+        }
+        if dataflow.any() {
+            sc.annotate_dataflow(
+                dataflow.resident_hits as u64,
+                dataflow.resident_misses as u64,
+                dataflow.elided_downloads as u64,
+            );
         }
         profile.wire_bytes_from = store_write.wire_bytes();
         if self.config.pipelined_transfers && profile.overlap_s > 0.0 {
@@ -624,6 +830,7 @@ impl CloudDevice {
             download,
             cost,
             resilience,
+            dataflow,
         });
         Ok(profile)
     }
@@ -642,6 +849,7 @@ impl CloudDevice {
         cluster_env: DataEnv,
         prefix: &str,
         recovery: Option<&(RegionRecovery, String)>,
+        hints: &DataflowHints,
         profile: &mut ExecProfile,
         resilience: &mut ResilienceSummary,
     ) -> Result<
@@ -672,17 +880,61 @@ impl CloudDevice {
             profile.overlap_s += l.overlap_s;
         }
 
-        // Steps 7+8: the driver writes the outputs to cloud storage and
-        // the host reads them back. On the pipelined path the two fuse:
-        // each output is downloaded the moment its put lands, so the
-        // host-side read-back overlaps the tail of the store writes.
+        // Outputs a later DAG member consumes stay device-resident: the
+        // driver commits them under the DAG's leased dataflow root (a
+        // cloud-internal write — no host-side transfer) and keeps a
+        // decoded copy for host escapes. The host download is elided.
+        let kept = |name: &str| hints.keep_resident.iter().any(|v| v == name);
+        if let Some(dag) = hints.dag.as_deref() {
+            let root = self.dataflow_root(dag);
+            let mut resident_new: Vec<(String, ResidentBuf)> = Vec::new();
+            let mut resident_items: Vec<(String, Vec<u8>)> = Vec::new();
+            for m in region.output_maps().filter(|m| kept(&m.name)) {
+                let buf = outcome.env.get_erased(&m.name)?;
+                let mut bytes = Vec::with_capacity(buf.byte_len());
+                buf.write_bytes_into(&mut bytes);
+                let key = format!("{root}/{}", m.name);
+                resident_new.push((
+                    m.name.clone(),
+                    ResidentBuf {
+                        key: key.clone(),
+                        tag: buf.tag(),
+                        fp: Fingerprint::of(&bytes),
+                        wire_len: 0,
+                        bytes: bytes.clone(),
+                    },
+                ));
+                resident_items.push((key, bytes));
+            }
+            if !resident_items.is_empty() {
+                let t = Instant::now();
+                let put = self.transfer.upload(resident_items).map_err(infra)?;
+                profile.overhead_s += t.elapsed().as_secs_f64();
+                resilience.transient_retries += put.total_retries();
+                resilience.timeouts += put.total_timeouts();
+                resilience.backoff_seconds += put.total_backoff_s();
+                for ((_, rb), item) in resident_new.iter_mut().zip(&put.items) {
+                    rb.wire_len = item.wire_bytes;
+                }
+                let mut resident = self.resident.lock();
+                for (name, rb) in resident_new {
+                    resident.insert(name, rb);
+                }
+            }
+        }
+
+        // Steps 7+8: the driver writes the (escaping) outputs to cloud
+        // storage and the host reads them back. On the pipelined path
+        // the two fuse: each output is downloaded the moment its put
+        // lands, so the host-side read-back overlaps the tail of the
+        // store writes.
         let key_for = |name: &str| match recovery {
             Some((_, root)) => TransferManager::staged_key(root, &format!("out/{name}")),
             None => format!("{prefix}/out/{name}"),
         };
         let mut out_bytes = 0u64;
         let mut out_items = Vec::new();
-        for m in region.output_maps() {
+        for m in region.output_maps().filter(|m| !kept(&m.name)) {
             let buf = outcome.env.get_erased(&m.name)?;
             out_bytes += buf.byte_len() as u64;
             let mut staging = self.transfer.pool().get(buf.byte_len());
@@ -715,7 +967,11 @@ impl CloudDevice {
             let store_write = self.transfer.upload(out_items).map_err(infra)?;
             profile.overhead_s += t_store.elapsed().as_secs_f64();
             let t_download = Instant::now();
-            let out_keys: Vec<String> = region.output_maps().map(|m| key_for(&m.name)).collect();
+            let out_keys: Vec<String> = region
+                .output_maps()
+                .filter(|m| !kept(&m.name))
+                .map(|m| key_for(&m.name))
+                .collect();
             let (payloads, download) = self.transfer.download(out_keys).map_err(infra)?;
             for r in [&store_write, &download] {
                 resilience.transient_retries += r.total_retries();
@@ -739,6 +995,7 @@ impl CloudDevice {
             rec.finish();
             let names: Vec<String> = region
                 .output_maps()
+                .filter(|m| !kept(&m.name))
                 .map(|m| format!("out/{}", m.name))
                 .collect();
             self.transfer

@@ -53,6 +53,6 @@ pub use device::CloudDevice;
 pub use offload::LoopStats;
 pub use plan::{derive_plan, measure_ratio, PlanRatios};
 pub use recovery::RegionRecovery;
-pub use report::{OffloadReport, ResilienceSummary};
+pub use report::{DataflowSummary, OffloadReport, ResilienceSummary};
 pub use runtime::CloudRuntime;
 pub use scope::{ScopeStats, TargetDataScope};

@@ -214,15 +214,20 @@ fn run_loop(
 
     // Checkpoint/resume: tiles an interrupted earlier run already
     // completed are restored from the region journal and absorbed below
-    // instead of re-executed; only the remainder is dispatched. An
-    // out-of-range tile id means the journal belongs to a different
-    // tiling (it shouldn't — the fingerprint covers the tile plan) and
-    // is ignored.
-    let mut restored: Vec<(usize, Vec<OutPart>)> = recovery
+    // instead of re-executed; only the remainder is dispatched. The
+    // fingerprint no longer pins the tile plan, so each marker's
+    // recorded iteration hull is checked against what the current plan
+    // cuts for that tile id — a marker from a differently-tiled run is
+    // simply ignored and its iterations re-execute.
+    let mut restored: Vec<(usize, (usize, usize), Vec<OutPart>)> = recovery
         .map(|r| r.restored_tiles(loop_idx))
         .unwrap_or_default();
-    restored.retain(|(t, _)| *t < descs.len());
-    let restored_ids: HashSet<usize> = restored.iter().map(|(t, _)| *t).collect();
+    restored.retain(|(t, hull, _)| {
+        tiles
+            .get(*t)
+            .is_some_and(|iters| (iters.start, iters.end) == *hull)
+    });
+    let restored_ids: HashSet<usize> = restored.iter().map(|(t, _, _)| *t).collect();
     let total_tiles = descs.len();
     let pending: Vec<TileDesc> = descs
         .into_iter()
@@ -373,7 +378,7 @@ fn run_loop(
     // indexed writes are disjoint, reductions commute). They were never
     // collected from the cluster this run, so they don't count toward
     // `collect_bytes`.
-    for (_tile, parts) in &restored {
+    for (_tile, _hull, parts) in &restored {
         acc.absorb(parts.clone());
     }
     if config.streaming_collect {
@@ -382,7 +387,13 @@ fn run_loop(
                 let ta = Instant::now();
                 for tile_out in tile_outs {
                     if let Some(rec) = recovery {
-                        rec.record_tile(loop_idx, tile_out.tile_id, &tile_out.parts);
+                        let iters = &tiles[tile_out.tile_id];
+                        rec.record_tile(
+                            loop_idx,
+                            tile_out.tile_id,
+                            (iters.start, iters.end),
+                            &tile_out.parts,
+                        );
                     }
                     collect_bytes += tile_out
                         .parts
@@ -406,7 +417,13 @@ fn run_loop(
         let ta = Instant::now();
         for tile_out in collected {
             if let Some(rec) = recovery {
-                rec.record_tile(loop_idx, tile_out.tile_id, &tile_out.parts);
+                let iters = &tiles[tile_out.tile_id];
+                rec.record_tile(
+                    loop_idx,
+                    tile_out.tile_id,
+                    (iters.start, iters.end),
+                    &tile_out.parts,
+                );
             }
             collect_bytes += tile_out
                 .parts

@@ -36,21 +36,34 @@ impl RegionRecovery {
     }
 
     /// Tiles of `loop_idx` already completed by an earlier (interrupted)
-    /// run, decoded and sorted by tile id. Corrupt or undecodable
-    /// payloads are dropped — those tiles simply re-execute.
-    pub fn restored_tiles(&self, loop_idx: usize) -> Vec<(usize, Vec<OutPart>)> {
+    /// run, decoded and sorted by tile id, each with the iteration hull
+    /// `[start, end)` it covered. Corrupt or undecodable payloads are
+    /// dropped — those tiles simply re-execute. Callers must replay a
+    /// tile only where the current plan cuts the same hull (the
+    /// fingerprint no longer pins the tile plan).
+    pub fn restored_tiles(&self, loop_idx: usize) -> Vec<(usize, (usize, usize), Vec<OutPart>)> {
         self.journal
             .completed(loop_idx)
             .into_iter()
-            .filter_map(|(tile, payload)| Some((tile, decode_parts(&payload)?)))
+            .filter_map(|(tile, payload)| {
+                let (hull, parts) = decode_tile(&payload)?;
+                Some((tile, hull, parts))
+            })
             .collect()
     }
 
     /// Journal tile `tile_id` of `loop_idx` as completed with its output
-    /// parts. Asynchronous and advisory: errors surface only as the
-    /// journal's error counter.
-    pub fn record_tile(&self, loop_idx: usize, tile_id: usize, parts: &[OutPart]) {
-        self.journal.record(loop_idx, tile_id, encode_parts(parts));
+    /// parts and the iteration hull it covered. Asynchronous and
+    /// advisory: errors surface only as the journal's error counter.
+    pub fn record_tile(
+        &self,
+        loop_idx: usize,
+        tile_id: usize,
+        hull: (usize, usize),
+        parts: &[OutPart],
+    ) {
+        self.journal
+            .record(loop_idx, tile_id, encode_tile(hull, parts));
     }
 
     /// Flush outstanding journal writes; returns the number that failed.
@@ -89,6 +102,32 @@ fn code_tag(code: u8) -> Option<TypeTag> {
         7 => TypeTag::U64,
         _ => return None,
     })
+}
+
+/// Serialize a full tile marker: the iteration hull the tile covered,
+/// then its output parts. The hull is what makes a marker safe to
+/// replay across tile-plan changes — it is matched against the current
+/// plan on restore.
+pub fn encode_tile(hull: (usize, usize), parts: &[OutPart]) -> Vec<u8> {
+    let body = encode_parts(parts);
+    let mut out = Vec::with_capacity(16 + body.len());
+    out.extend_from_slice(&(hull.0 as u64).to_le_bytes());
+    out.extend_from_slice(&(hull.1 as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a full tile marker; `None` on any structural mismatch.
+pub fn decode_tile(payload: &[u8]) -> Option<((usize, usize), Vec<OutPart>)> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let start = u64::from_le_bytes(payload[..8].try_into().ok()?) as usize;
+    let end = u64::from_le_bytes(payload[8..16].try_into().ok()?) as usize;
+    if start > end {
+        return None;
+    }
+    Some(((start, end), decode_parts(&payload[16..])?))
 }
 
 /// Serialize a tile's output parts into a journal payload.
@@ -229,23 +268,40 @@ mod tests {
     }
 
     #[test]
+    fn tile_markers_roundtrip_their_hull() {
+        let parts = sample_parts();
+        let ((s, e), decoded) = decode_tile(&encode_tile((250, 500), &parts)).expect("decodes");
+        assert_eq!((s, e), (250, 500));
+        assert_eq!(decoded.len(), parts.len());
+        // A marker shorter than its hull header is rejected.
+        assert!(decode_tile(&[0u8; 15]).is_none());
+        // An inverted hull is structural corruption, not a plan.
+        let mut inverted = (10u64).to_le_bytes().to_vec();
+        inverted.extend_from_slice(&(5u64).to_le_bytes());
+        inverted.extend_from_slice(&encode_parts(&parts));
+        assert!(decode_tile(&inverted).is_none());
+    }
+
+    #[test]
     fn recovery_records_and_restores_through_the_journal() {
         let store: Arc<dyn ObjectStore> = Arc::new(S3Store::standalone("ckpt"));
         let mut fp = RegionFingerprint::new("axpy");
-        fp.add_loop(1000, 4);
+        fp.add_loop(1000);
         let rec = RegionRecovery::new(RegionJournal::open(Arc::clone(&store), "jobs", &fp));
-        rec.record_tile(0, 2, &sample_parts());
-        rec.record_tile(0, 0, &sample_parts());
+        rec.record_tile(0, 2, (500, 750), &sample_parts());
+        rec.record_tile(0, 0, (0, 250), &sample_parts());
         assert_eq!(rec.finish(), 0, "no write errors");
 
         let rec2 = RegionRecovery::new(RegionJournal::open(Arc::clone(&store), "jobs", &fp));
         let restored = rec2.restored_tiles(0);
         assert_eq!(
-            restored.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            restored.iter().map(|(t, _, _)| *t).collect::<Vec<_>>(),
             vec![0, 2]
         );
+        assert_eq!(restored[0].1, (0, 250), "hull travels with the marker");
+        assert_eq!(restored[1].1, (500, 750));
         assert_eq!(
-            restored[0].1[0].data.to_bytes(),
+            restored[0].2[0].data.to_bytes(),
             sample_parts()[0].data.to_bytes()
         );
         assert!(rec2.restored_tiles(1).is_empty(), "other loops untouched");

@@ -51,6 +51,29 @@ impl ResilienceSummary {
     }
 }
 
+/// What the inter-region dataflow runtime did during one offload of a
+/// `depend`/`nowait` DAG member.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataflowSummary {
+    /// Inputs served from a device-resident producer output instead of
+    /// being uploaded from the host (each hit elides one upload).
+    pub resident_hits: u32,
+    /// Inputs the scheduler hinted as resident that had no live entry —
+    /// the producer fell back to the host, so the input was re-sourced
+    /// from the (fresh) host environment.
+    pub resident_misses: u32,
+    /// Outputs kept device-resident for a later consumer instead of
+    /// being downloaded to the host.
+    pub elided_downloads: u32,
+}
+
+impl DataflowSummary {
+    /// Whether the dataflow runtime did anything observable.
+    pub fn any(&self) -> bool {
+        self.resident_hits > 0 || self.resident_misses > 0 || self.elided_downloads > 0
+    }
+}
+
 /// Full record of one offloaded target region.
 #[derive(Debug, Clone)]
 pub struct OffloadReport {
@@ -66,6 +89,8 @@ pub struct OffloadReport {
     pub cost: Option<CostReport>,
     /// Fault-handling counters accumulated across the offload.
     pub resilience: ResilienceSummary,
+    /// Inter-region dataflow counters (all zero outside a DAG).
+    pub dataflow: DataflowSummary,
 }
 
 impl OffloadReport {
@@ -138,6 +163,15 @@ impl std::fmt::Display for OffloadReport {
                 self.resilience.orphans_collected,
                 self.resilience.quarantine_trips,
                 self.resilience.heartbeat_misses,
+            )?;
+        }
+        if self.dataflow.any() {
+            write!(
+                f,
+                "\n  dataflow: {} resident hits, {} misses, {} downloads elided",
+                self.dataflow.resident_hits,
+                self.dataflow.resident_misses,
+                self.dataflow.elided_downloads,
             )?;
         }
         if let Some(cost) = &self.cost {

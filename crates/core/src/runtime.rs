@@ -96,6 +96,25 @@ impl CloudRuntime {
         self.registry.offload(region, env)
     }
 
+    /// Queue a `nowait` region without executing it. Dependent regions
+    /// accumulate into a DAG that [`CloudRuntime::taskwait`] drains in
+    /// submission order, keeping intermediate buffers cloud-resident
+    /// across the chain.
+    pub fn offload_nowait(&self, region: TargetRegion) {
+        self.registry.offload_nowait(region);
+    }
+
+    /// Drain every queued `nowait` region: execute the DAG, materialize
+    /// escaping outputs into `env`, release device-resident buffers.
+    pub fn taskwait(&self, env: &mut DataEnv) -> Result<omp_model::DagReport, OmpError> {
+        self.registry.taskwait(env)
+    }
+
+    /// Number of queued `nowait` regions awaiting a taskwait.
+    pub fn pending_regions(&self) -> usize {
+        self.registry.pending_regions()
+    }
+
     /// Convenience selector for the cloud.
     pub fn cloud_selector() -> DeviceSelector {
         DeviceSelector::Kind(DeviceKind::Cloud)

@@ -56,6 +56,64 @@ impl MapClause {
     }
 }
 
+/// Direction of a `depend` clause on a deferred (`nowait`) target
+/// region — the dataflow vocabulary of the OpenMP Cluster model, where
+/// `depend(in:/out:)` edges between regions let intermediate buffers
+/// stay device-resident instead of round-tripping through the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependDir {
+    /// `depend(in: var)` — the region consumes the latest version.
+    In,
+    /// `depend(out: var)` — the region produces a new version.
+    Out,
+    /// `depend(inout: var)` — reads the latest version, writes the next
+    /// (the shape of an iterative chain over one buffer).
+    InOut,
+}
+
+impl DependDir {
+    /// The region reads the variable's latest version.
+    pub fn is_read(self) -> bool {
+        matches!(self, DependDir::In | DependDir::InOut)
+    }
+
+    /// The region writes a new version of the variable.
+    pub fn is_write(self) -> bool {
+        matches!(self, DependDir::Out | DependDir::InOut)
+    }
+}
+
+impl std::fmt::Display for DependDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DependDir::In => "in",
+            DependDir::Out => "out",
+            DependDir::InOut => "inout",
+        })
+    }
+}
+
+/// One `depend(dir: var)` clause of a target region. Dependences are
+/// named after mapped variables (the runtime has no addresses), so a
+/// depend list item must also appear in a map clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependClause {
+    /// Mapped variable the dependence is expressed on.
+    pub var: String,
+    /// Dependence direction.
+    pub dir: DependDir,
+}
+
+impl DependClause {
+    /// Construct a depend clause for `var`.
+    pub fn new(var: impl Into<String>, dir: DependDir) -> Self {
+        DependClause {
+            var: var.into(),
+            dir,
+        }
+    }
+}
+
 /// An OpenMP `reduction(op: var)` clause attached to a parallel loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReductionClause {
@@ -164,6 +222,14 @@ mod tests {
         assert_eq!(pm.len(), 2);
         assert_eq!(pm.get("A"), Some(&PartitionSpec::rows(16)));
         assert_eq!(pm.get("B"), None);
+    }
+
+    #[test]
+    fn depend_dir_rw_classification() {
+        assert!(DependDir::In.is_read() && !DependDir::In.is_write());
+        assert!(!DependDir::Out.is_read() && DependDir::Out.is_write());
+        assert!(DependDir::InOut.is_read() && DependDir::InOut.is_write());
+        assert_eq!(DependDir::InOut.to_string(), "inout");
     }
 
     #[test]

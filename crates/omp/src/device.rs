@@ -12,6 +12,8 @@ use crate::env::DataEnv;
 use crate::error::OmpError;
 use crate::profile::{ExecProfile, FallbackReason};
 use crate::region::TargetRegion;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Broad class of a device (what `device(CLOUD)` selects on).
@@ -54,6 +56,65 @@ impl std::fmt::Display for DeviceSelector {
     }
 }
 
+/// Dataflow directives the registry's region-DAG scheduler hands a
+/// device along with a deferred region. Devices that keep buffers
+/// resident (object-store keys, device memory) use these to skip host
+/// round-trips; the default [`Device`] implementations ignore them.
+#[derive(Debug, Clone, Default)]
+pub struct DataflowHints {
+    /// Input variables an earlier DAG region left resident on this
+    /// device — source them from the resident copy instead of
+    /// uploading from the host environment (which may be stale for
+    /// exactly these variables).
+    pub resident_inputs: Vec<String>,
+    /// Output variables a later DAG region will consume — keep them
+    /// resident and skip the host download; the registry materializes
+    /// whatever still matters when the DAG drains.
+    pub keep_resident: Vec<String>,
+    /// Identity of the DAG window (e.g. `dag-3`), used as the lease
+    /// root for resident keys. `None` outside a DAG.
+    pub dag: Option<String>,
+}
+
+/// What a [`Device::materialize_resident`] call actually moved back to
+/// the host.
+#[derive(Debug, Clone, Default)]
+pub struct MaterializeReport {
+    /// Variables written back to the host environment.
+    pub vars: Vec<String>,
+    /// Wire bytes downloaded to produce them.
+    pub wire_bytes: u64,
+    /// Wall seconds the downloads took.
+    pub seconds: f64,
+}
+
+impl MaterializeReport {
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: MaterializeReport) {
+        self.vars.extend(other.vars);
+        self.wire_bytes += other.wire_bytes;
+        self.seconds += other.seconds;
+    }
+}
+
+/// Result of draining the registry's region DAG at a `taskwait`.
+#[derive(Debug, Default)]
+pub struct DagReport {
+    /// Execution profiles of the deferred regions, in schedule order.
+    pub profiles: Vec<ExecProfile>,
+    /// Buffers that escaped the DAG — materialized to the host at the
+    /// drain (final sinks) or mid-DAG (host fallback, cross-device
+    /// reads) — with the bytes/seconds those downloads cost.
+    pub drain: MaterializeReport,
+}
+
+impl DagReport {
+    /// Did any deferred region fall back to the host?
+    pub fn any_fallback(&self) -> bool {
+        self.profiles.iter().any(|p| p.fallback_from.is_some())
+    }
+}
+
 /// A target-specific offloading plug-in.
 pub trait Device: Send + Sync {
     /// Unique human-readable name.
@@ -84,6 +145,59 @@ pub trait Device: Send + Sync {
     /// Execute the region against the environment, returning the timing
     /// profile. Called by the wrapper after capability checks pass.
     fn execute(&self, region: &TargetRegion, env: &mut DataEnv) -> Result<ExecProfile, OmpError>;
+
+    /// Can this device keep buffers resident across DAG regions? When
+    /// false the registry never passes dataflow hints and never tracks
+    /// residency for it.
+    fn supports_dataflow(&self) -> bool {
+        false
+    }
+
+    /// Execute a deferred region with dataflow hints. The default
+    /// ignores the hints — correct for devices without residency.
+    fn execute_dataflow(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+        hints: &DataflowHints,
+    ) -> Result<ExecProfile, OmpError> {
+        let _ = hints;
+        self.execute(region, env)
+    }
+
+    /// Download the named resident variables into the host environment
+    /// (a buffer escaping the DAG: final sink, host read, or a consumer
+    /// about to run on the host). Unknown names are skipped.
+    fn materialize_resident(
+        &self,
+        vars: &[String],
+        env: &mut DataEnv,
+    ) -> Result<MaterializeReport, OmpError> {
+        let _ = (vars, env);
+        Ok(MaterializeReport::default())
+    }
+
+    /// Drop resident entries for the named variables — a host-side
+    /// write superseded them, so consumers must re-source from the host.
+    fn invalidate_resident(&self, vars: &[String]) {
+        let _ = vars;
+    }
+
+    /// A DAG window closed: release the lease on its resident keys and
+    /// delete them. Called by the registry after every `taskwait`,
+    /// success or failure.
+    fn end_dataflow(&self, dag: &str) {
+        let _ = dag;
+    }
+}
+
+/// Deferred `nowait` regions accumulated between `taskwait`s. Shared
+/// across registry clones: the DAG belongs to the program, not to one
+/// handle.
+#[derive(Default)]
+struct DagState {
+    pending: Vec<TargetRegion>,
+    next_id: u64,
 }
 
 /// The target-agnostic offloading wrapper: device table + dispatch.
@@ -91,6 +205,7 @@ pub trait Device: Send + Sync {
 pub struct DeviceRegistry {
     devices: Vec<Arc<dyn Device>>,
     default_device: usize,
+    dag: Arc<Mutex<DagState>>,
 }
 
 impl DeviceRegistry {
@@ -171,6 +286,22 @@ impl DeviceRegistry {
         region: &TargetRegion,
         env: &mut DataEnv,
     ) -> Result<ExecProfile, OmpError> {
+        // `nowait` defers the region into the DAG; its real profile
+        // arrives with the `taskwait` report.
+        if region.nowait {
+            self.offload_nowait(region.clone());
+            let mut profile = ExecProfile::new("deferred");
+            profile.note(format!(
+                "nowait: region '{}' deferred into the region DAG; results land at taskwait",
+                region.name
+            ));
+            return Ok(profile);
+        }
+        // An eager region is an implicit barrier on the pending DAG —
+        // its buffers may alias pending writes, so drain first.
+        if !self.dag.lock().pending.is_empty() {
+            self.taskwait(env)?;
+        }
         // `if(false)` regions run on the host, per the OpenMP standard.
         if !region.offload_if {
             let host = self
@@ -233,6 +364,265 @@ impl DeviceRegistry {
             (FallbackReason::Unavailable, "unavailable")
         };
         self.host_fallback(region, env, device.as_ref(), kind, why)
+    }
+
+    /// Defer a region into the registry's region DAG. It executes at
+    /// the next [`DeviceRegistry::taskwait`], in dependency order, with
+    /// `depend(in:/out:)` edges deciding which buffers stay
+    /// device-resident between regions.
+    pub fn offload_nowait(&self, region: TargetRegion) {
+        self.dag.lock().pending.push(region);
+    }
+
+    /// Deferred regions waiting for the next `taskwait`.
+    pub fn pending_regions(&self) -> usize {
+        self.dag.lock().pending.len()
+    }
+
+    /// The `#pragma omp taskwait` of the region DAG: execute every
+    /// deferred region in dependency order, let dependent regions
+    /// consume each other's outputs device-resident, and materialize
+    /// whatever escapes the DAG back into `env`. Resident keys are
+    /// released on every exit path.
+    pub fn taskwait(&self, env: &mut DataEnv) -> Result<DagReport, OmpError> {
+        let (regions, dag_tag) = {
+            let mut dag = self.dag.lock();
+            if dag.pending.is_empty() {
+                return Ok(DagReport::default());
+            }
+            let id = dag.next_id;
+            dag.next_id += 1;
+            (std::mem::take(&mut dag.pending), format!("dag-{id}"))
+        };
+        let mut participants: Vec<usize> = Vec::new();
+        let result = self.run_dag(&regions, &dag_tag, env, &mut participants);
+        // Success or failure, the DAG window is over: every
+        // participating device releases its lease and deletes its
+        // resident keys, so a failed chain leaks nothing.
+        for &d in &participants {
+            if let Some(dev) = self.devices.get(d) {
+                dev.end_dataflow(&dag_tag);
+            }
+        }
+        result
+    }
+
+    /// Walk the deferred regions. Submission order is already a
+    /// topological order of the version DAG — a version's writer always
+    /// precedes its readers — so the scheduler executes in that order;
+    /// the depend edges decide *residency*, not reordering.
+    fn run_dag(
+        &self,
+        regions: &[TargetRegion],
+        dag_tag: &str,
+        env: &mut DataEnv,
+        participants: &mut Vec<usize>,
+    ) -> Result<DagReport, OmpError> {
+        // Read/write sets per region (validation guarantees depend vars
+        // carry compatible map clauses, so these are subsets of the
+        // regions' input/output map sets).
+        let reads: Vec<Vec<String>> = regions
+            .iter()
+            .map(|r| r.depend_reads().map(str::to_string).collect())
+            .collect();
+        let writes: Vec<Vec<String>> = regions
+            .iter()
+            .map(|r| r.depend_writes().map(str::to_string).collect())
+            .collect();
+        // Which device currently holds each variable's latest version.
+        let mut resident_on: HashMap<String, usize> = HashMap::new();
+        let mut report = DagReport::default();
+        for (i, region) in regions.iter().enumerate() {
+            let (dev_idx, device) = self.resolve(region.device)?;
+            for &c in &region.constructs {
+                if !device.supports(c) {
+                    return Err(OmpError::UnsupportedConstruct {
+                        device: device.name().to_string(),
+                        construct: c,
+                    });
+                }
+            }
+            let dataflow = device.supports_dataflow();
+            // Inputs resident on a *different* device escape here: bring
+            // them home before this region reads them. The holder keeps
+            // its copy — same-device consumers may still hit it.
+            let foreign: Vec<String> = reads[i]
+                .iter()
+                .filter(|v| resident_on.get(*v).is_some_and(|&d| d != dev_idx))
+                .cloned()
+                .collect();
+            if !foreign.is_empty() {
+                self.materialize_from(&foreign, &resident_on, env, &mut report.drain)?;
+            }
+
+            // Host paths (if-clause, unavailable device) read the host
+            // environment, which is stale for resident variables.
+            let run_on_host = !region.offload_if || !device.is_available();
+            if run_on_host {
+                let local: Vec<String> = reads[i]
+                    .iter()
+                    .filter(|v| resident_on.contains_key(*v))
+                    .cloned()
+                    .collect();
+                self.materialize_from(&local, &resident_on, env, &mut report.drain)?;
+                let profile = if !region.offload_if {
+                    let host = self.host_device()?;
+                    let mut p = host.execute(region, env)?;
+                    p.note("if(...) clause evaluated false; executed on the host");
+                    p
+                } else {
+                    let (kind, why) = if device.degraded() {
+                        (
+                            FallbackReason::BreakerOpen,
+                            "unavailable (circuit breaker open)",
+                        )
+                    } else {
+                        (FallbackReason::Unavailable, "unavailable")
+                    };
+                    self.host_fallback(region, env, device.as_ref(), kind, why)?
+                };
+                self.supersede(&writes[i], &mut resident_on);
+                report.profiles.push(profile);
+                continue;
+            }
+
+            let hints = if dataflow {
+                if !participants.contains(&dev_idx) {
+                    participants.push(dev_idx);
+                }
+                DataflowHints {
+                    resident_inputs: reads[i]
+                        .iter()
+                        .filter(|v| resident_on.get(*v) == Some(&dev_idx))
+                        .cloned()
+                        .collect(),
+                    // Keep a produced version resident when any later
+                    // region touches the variable again: a reader
+                    // consumes it in place; the next writer makes this
+                    // version dead (nobody ever downloads it).
+                    keep_resident: writes[i]
+                        .iter()
+                        .filter(|v| {
+                            regions[i + 1..].iter().any(|r| {
+                                r.depend_reads().chain(r.depend_writes()).any(|d| d == **v)
+                            })
+                        })
+                        .cloned()
+                        .collect(),
+                    dag: Some(dag_tag.to_string()),
+                }
+            } else {
+                DataflowHints::default()
+            };
+            match device.execute_dataflow(region, env, &hints) {
+                Ok(profile) => {
+                    if dataflow {
+                        for v in &hints.keep_resident {
+                            resident_on.insert(v.clone(), dev_idx);
+                        }
+                        // Versions downloaded eagerly (no later consumer)
+                        // are home: any stale residency is superseded.
+                        for v in writes[i]
+                            .iter()
+                            .filter(|v| !hints.keep_resident.contains(v))
+                        {
+                            if let Some(d) = resident_on.remove(v) {
+                                if d != dev_idx {
+                                    if let Some(dev) = self.devices.get(d) {
+                                        dev.invalidate_resident(std::slice::from_ref(v));
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        self.supersede(&writes[i], &mut resident_on);
+                    }
+                    report.profiles.push(profile);
+                }
+                Err(OmpError::DeviceUnavailable { reason, .. })
+                    if device.kind() != DeviceKind::Host =>
+                {
+                    // A failed producer's resident entries (if it made
+                    // any) die with it; the device invalidates its own.
+                    // The host re-run needs fresh inputs for anything
+                    // still resident from *earlier* regions.
+                    let local: Vec<String> = reads[i]
+                        .iter()
+                        .filter(|v| resident_on.contains_key(*v))
+                        .cloned()
+                        .collect();
+                    self.materialize_from(&local, &resident_on, env, &mut report.drain)?;
+                    let kind = if reason.contains(crate::profile::RESUME_EXHAUSTED) {
+                        FallbackReason::ResumeExhausted
+                    } else {
+                        FallbackReason::MidFlight
+                    };
+                    let profile = self.host_fallback(
+                        region,
+                        env,
+                        device.as_ref(),
+                        kind,
+                        &format!("failed mid-flight ({reason})"),
+                    )?;
+                    self.supersede(&writes[i], &mut resident_on);
+                    report.profiles.push(profile);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // DAG drain: anything still resident is owed to the host — its
+        // map(from:) contract — as exactly one download of the final
+        // version per variable.
+        let mut leftover: Vec<String> = resident_on.keys().cloned().collect();
+        leftover.sort();
+        self.materialize_from(&leftover, &resident_on, env, &mut report.drain)?;
+        report.drain.vars.sort();
+        Ok(report)
+    }
+
+    /// A host write superseded these variables: drop and invalidate any
+    /// resident copies so consumers re-source from the host.
+    fn supersede(&self, vars: &[String], resident_on: &mut HashMap<String, usize>) {
+        for v in vars {
+            if let Some(d) = resident_on.remove(v) {
+                if let Some(dev) = self.devices.get(d) {
+                    dev.invalidate_resident(std::slice::from_ref(v));
+                }
+            }
+        }
+    }
+
+    /// Materialize `vars` into `env` from whichever devices hold them,
+    /// folding the download cost into `drain`.
+    fn materialize_from(
+        &self,
+        vars: &[String],
+        resident_on: &HashMap<String, usize>,
+        env: &mut DataEnv,
+        drain: &mut MaterializeReport,
+    ) -> Result<(), OmpError> {
+        let mut by_dev: HashMap<usize, Vec<String>> = HashMap::new();
+        for v in vars {
+            if let Some(&d) = resident_on.get(v) {
+                by_dev.entry(d).or_default().push(v.clone());
+            }
+        }
+        for (d, mut names) in by_dev {
+            names.sort();
+            if let Some(dev) = self.devices.get(d) {
+                drain.merge(dev.materialize_resident(&names, env)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// The first available host device.
+    fn host_device(&self) -> Result<&Arc<dyn Device>, OmpError> {
+        self.devices
+            .iter()
+            .find(|d| d.kind() == DeviceKind::Host && d.is_available())
+            .ok_or_else(|| OmpError::NoDevice("host".into()))
     }
 
     /// Re-execute `region` on the host after `device` could not run it,
@@ -547,5 +937,244 @@ mod tests {
         let mut r = DeviceRegistry::with_host_only();
         assert!(r.set_default(0).is_ok());
         assert!(r.set_default(5).is_err());
+    }
+
+    /// Records every dataflow interaction so the tests can assert the
+    /// registry's DAG bookkeeping without a real resident store.
+    #[derive(Default)]
+    struct DataflowLog {
+        hints: Vec<DataflowHints>,
+        materialized: Vec<Vec<String>>,
+        invalidated: Vec<String>,
+        ended: Vec<String>,
+    }
+
+    struct DataflowFake {
+        name: String,
+        log: Mutex<DataflowLog>,
+        fail_on_call: Option<usize>,
+        calls: Mutex<usize>,
+    }
+
+    impl DataflowFake {
+        fn new(name: &str) -> Arc<DataflowFake> {
+            Arc::new(DataflowFake {
+                name: name.into(),
+                log: Mutex::new(DataflowLog::default()),
+                fail_on_call: None,
+                calls: Mutex::new(0),
+            })
+        }
+    }
+
+    impl Device for DataflowFake {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn kind(&self) -> DeviceKind {
+            DeviceKind::Cloud
+        }
+        fn supports(&self, c: Construct) -> bool {
+            c == Construct::ParallelFor
+        }
+        fn execute(
+            &self,
+            _region: &TargetRegion,
+            _env: &mut DataEnv,
+        ) -> Result<ExecProfile, OmpError> {
+            Ok(ExecProfile::new(self.name.clone()))
+        }
+        fn supports_dataflow(&self) -> bool {
+            true
+        }
+        fn execute_dataflow(
+            &self,
+            region: &TargetRegion,
+            env: &mut DataEnv,
+            hints: &DataflowHints,
+        ) -> Result<ExecProfile, OmpError> {
+            self.log.lock().hints.push(hints.clone());
+            let call = {
+                let mut c = self.calls.lock();
+                *c += 1;
+                *c - 1
+            };
+            if self.fail_on_call == Some(call) {
+                return Err(OmpError::DeviceUnavailable {
+                    device: self.name.clone(),
+                    reason: "storage endpoint lost".into(),
+                });
+            }
+            self.execute(region, env)
+        }
+        fn materialize_resident(
+            &self,
+            vars: &[String],
+            _env: &mut DataEnv,
+        ) -> Result<MaterializeReport, OmpError> {
+            self.log.lock().materialized.push(vars.to_vec());
+            Ok(MaterializeReport {
+                vars: vars.to_vec(),
+                wire_bytes: vars.len() as u64,
+                seconds: 0.0,
+            })
+        }
+        fn invalidate_resident(&self, vars: &[String]) {
+            self.log.lock().invalidated.extend(vars.iter().cloned());
+        }
+        fn end_dataflow(&self, dag: &str) {
+            self.log.lock().ended.push(dag.to_string());
+        }
+    }
+
+    fn chain_region(name: &str, var: &str) -> TargetRegion {
+        TargetRegion::builder(name)
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .map_tofrom(var)
+            .depend_inout(var)
+            .nowait()
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nowait_regions_defer_until_taskwait() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = fake("cloud-0", DeviceKind::Cloud, true);
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        let p = r.offload(&chain_region("s1", "y"), &mut env).unwrap();
+        assert_eq!(p.device, "deferred");
+        assert_eq!(*cloud.executions.lock(), 0, "not executed yet");
+        assert_eq!(r.pending_regions(), 1);
+        let report = r.taskwait(&mut env).unwrap();
+        assert_eq!(report.profiles.len(), 1);
+        assert_eq!(*cloud.executions.lock(), 1);
+        assert_eq!(r.pending_regions(), 0);
+        // An empty taskwait is a no-op.
+        assert!(r.taskwait(&mut env).unwrap().profiles.is_empty());
+    }
+
+    #[test]
+    fn iterative_chain_hints_keep_intermediates_resident() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = DataflowFake::new("cloud-0");
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        for i in 0..3 {
+            r.offload_nowait(chain_region(&format!("it{i}"), "y"));
+        }
+        let mut env = DataEnv::new();
+        let report = r.taskwait(&mut env).unwrap();
+        assert_eq!(report.profiles.len(), 3);
+        let log = cloud.log.lock();
+        assert_eq!(log.hints.len(), 3);
+        assert!(
+            log.hints[0].resident_inputs.is_empty(),
+            "first has no producer"
+        );
+        assert_eq!(log.hints[0].keep_resident, vec!["y"]);
+        assert_eq!(log.hints[1].resident_inputs, vec!["y"]);
+        assert_eq!(log.hints[1].keep_resident, vec!["y"]);
+        assert_eq!(log.hints[2].resident_inputs, vec!["y"]);
+        assert!(
+            log.hints[2].keep_resident.is_empty(),
+            "the last version escapes: the device downloads it eagerly"
+        );
+        assert!(log.materialized.is_empty(), "nothing left to drain");
+        assert_eq!(log.ended, vec!["dag-0"], "lease released exactly once");
+        assert!(log.hints.iter().all(|h| h.dag.as_deref() == Some("dag-0")));
+    }
+
+    #[test]
+    fn two_stage_pipeline_materializes_intermediate_at_drain() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = DataflowFake::new("cloud-0");
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        let stage1 = TargetRegion::builder("stage1")
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .map_to("x")
+            .map_from("t")
+            .depend_out("t")
+            .nowait()
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        let stage2 = TargetRegion::builder("stage2")
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .map_to("t")
+            .map_from("y")
+            .depend_in("t")
+            .depend_out("y")
+            .nowait()
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        r.offload_nowait(stage1);
+        r.offload_nowait(stage2);
+        let mut env = DataEnv::new();
+        let report = r.taskwait(&mut env).unwrap();
+        let log = cloud.log.lock();
+        assert_eq!(log.hints[0].keep_resident, vec!["t"]);
+        assert_eq!(log.hints[1].resident_inputs, vec!["t"]);
+        assert!(log.hints[1].keep_resident.is_empty());
+        // `t` was never superseded, so its final (only) version comes
+        // home once, at the drain.
+        assert_eq!(log.materialized, vec![vec!["t".to_string()]]);
+        assert_eq!(report.drain.vars, vec!["t"]);
+        assert_eq!(report.drain.wire_bytes, 1);
+    }
+
+    #[test]
+    fn consumer_fallback_materializes_inputs_and_supersedes_writes() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        let cloud = Arc::new(DataflowFake {
+            name: "cloud-0".into(),
+            log: Mutex::new(DataflowLog::default()),
+            fail_on_call: Some(1), // the consumer dies mid-flight
+            calls: Mutex::new(0),
+        });
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        r.offload_nowait(chain_region("producer", "y"));
+        r.offload_nowait(chain_region("consumer", "y"));
+        let mut env = DataEnv::new();
+        let report = r.taskwait(&mut env).unwrap();
+        assert_eq!(report.profiles.len(), 2);
+        assert!(report.profiles[1].fallback_from.is_some());
+        let log = cloud.log.lock();
+        // The host re-run read `y` from the resident copy first…
+        assert_eq!(log.materialized, vec![vec!["y".to_string()]]);
+        // …and its write superseded the resident version.
+        assert_eq!(log.invalidated, vec!["y"]);
+        assert_eq!(log.ended, vec!["dag-0"]);
+        assert_eq!(report.drain.vars, vec!["y"], "mid-DAG escape is reported");
+    }
+
+    #[test]
+    fn failed_producer_leaves_consumer_sourcing_from_host() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        let cloud = Arc::new(DataflowFake {
+            name: "cloud-0".into(),
+            log: Mutex::new(DataflowLog::default()),
+            fail_on_call: Some(0), // the producer dies mid-flight
+            calls: Mutex::new(0),
+        });
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        r.offload_nowait(chain_region("producer", "y"));
+        r.offload_nowait(chain_region("consumer", "y"));
+        let mut env = DataEnv::new();
+        let report = r.taskwait(&mut env).unwrap();
+        assert!(report.profiles[0].fallback_from.is_some());
+        assert!(report.profiles[1].fallback_from.is_none());
+        let log = cloud.log.lock();
+        assert!(
+            log.hints[1].resident_inputs.is_empty(),
+            "nothing is resident after the producer fell back — the consumer uploads from the host"
+        );
+        assert!(log.materialized.is_empty());
     }
 }

@@ -72,8 +72,12 @@ pub mod profile;
 pub mod region;
 pub mod view;
 
-pub use clause::{Construct, MapClause, MapDir, PartitionMap, ReductionClause};
-pub use device::{Device, DeviceKind, DeviceRegistry, DeviceSelector};
+pub use clause::{
+    Construct, DependClause, DependDir, MapClause, MapDir, PartitionMap, ReductionClause,
+};
+pub use device::{
+    DagReport, DataflowHints, Device, DeviceKind, DeviceRegistry, DeviceSelector, MaterializeReport,
+};
 pub use env::DataEnv;
 pub use erased::{ErasedSlice, ErasedVec, RedOp};
 pub use error::OmpError;
@@ -86,8 +90,8 @@ pub use view::{Inputs, Outputs, VarView, VarViewMut};
 
 /// Everything a kernel author needs in scope.
 pub mod prelude {
-    pub use crate::clause::{Construct, MapDir};
-    pub use crate::device::{Device, DeviceKind, DeviceRegistry, DeviceSelector};
+    pub use crate::clause::{Construct, DependDir, MapDir};
+    pub use crate::device::{DagReport, Device, DeviceKind, DeviceRegistry, DeviceSelector};
     pub use crate::env::DataEnv;
     pub use crate::erased::{ErasedVec, RedOp};
     pub use crate::error::OmpError;

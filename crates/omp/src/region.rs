@@ -9,7 +9,9 @@
 //! the set of synchronization constructs the region uses — which the
 //! device plug-in checks against its capabilities.
 
-use crate::clause::{Construct, MapClause, MapDir, PartitionMap, ReductionClause};
+use crate::clause::{
+    Construct, DependClause, DependDir, MapClause, MapDir, PartitionMap, ReductionClause,
+};
 use crate::device::DeviceSelector;
 use crate::erased::RedOp;
 use crate::error::OmpError;
@@ -79,6 +81,13 @@ pub struct TargetRegion {
     /// conditional-offload semantics; useful when the problem is too
     /// small to amortize the transfer).
     pub offload_if: bool,
+    /// `depend(in:/out:/inout:)` clauses — inter-region dataflow edges
+    /// over mapped variables. Only meaningful on deferred (`nowait`)
+    /// regions scheduled through the registry's region DAG.
+    pub depends: Vec<DependClause>,
+    /// `nowait`: defer execution into the registry's region DAG; the
+    /// region runs (in dependency order) at the next `taskwait`.
+    pub nowait: bool,
 }
 
 impl TargetRegion {
@@ -91,6 +100,8 @@ impl TargetRegion {
             loops: Vec::new(),
             constructs: HashSet::from([Construct::ParallelFor]),
             offload_if: true,
+            depends: Vec::new(),
+            nowait: false,
         }
     }
 
@@ -108,6 +119,24 @@ impl TargetRegion {
     pub fn map_for(&self, var: &str) -> Option<&MapClause> {
         self.maps.iter().find(|m| m.name == var)
     }
+
+    /// Variables this region declares a read dependence on
+    /// (`depend(in:)` / `depend(inout:)`).
+    pub fn depend_reads(&self) -> impl Iterator<Item = &str> {
+        self.depends
+            .iter()
+            .filter(|d| d.dir.is_read())
+            .map(|d| d.var.as_str())
+    }
+
+    /// Variables this region declares a write dependence on
+    /// (`depend(out:)` / `depend(inout:)`).
+    pub fn depend_writes(&self) -> impl Iterator<Item = &str> {
+        self.depends
+            .iter()
+            .filter(|d| d.dir.is_write())
+            .map(|d| d.var.as_str())
+    }
 }
 
 /// Builder for [`TargetRegion`] — the programmatic equivalent of writing
@@ -119,6 +148,8 @@ pub struct TargetRegionBuilder {
     loops: Vec<ParallelLoop>,
     constructs: HashSet<Construct>,
     offload_if: bool,
+    depends: Vec<DependClause>,
+    nowait: bool,
 }
 
 impl TargetRegionBuilder {
@@ -156,6 +187,33 @@ impl TargetRegionBuilder {
     /// region executes on the host.
     pub fn offload_if(mut self, condition: bool) -> Self {
         self.offload_if = condition;
+        self
+    }
+
+    /// `depend(in: var)` — consume the latest version of `var` produced
+    /// by an earlier region in the same DAG window.
+    pub fn depend_in(mut self, var: impl Into<String>) -> Self {
+        self.depends.push(DependClause::new(var, DependDir::In));
+        self
+    }
+
+    /// `depend(out: var)` — produce a new version of `var` for later
+    /// regions to consume.
+    pub fn depend_out(mut self, var: impl Into<String>) -> Self {
+        self.depends.push(DependClause::new(var, DependDir::Out));
+        self
+    }
+
+    /// `depend(inout: var)` — read the latest version, write the next.
+    pub fn depend_inout(mut self, var: impl Into<String>) -> Self {
+        self.depends.push(DependClause::new(var, DependDir::InOut));
+        self
+    }
+
+    /// `nowait`: defer the region into the registry's region DAG; it
+    /// executes at the next `taskwait`, in dependency order.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
         self
     }
 
@@ -240,6 +298,37 @@ impl TargetRegionBuilder {
                 }
             }
         }
+        let mut dep_seen = HashSet::new();
+        for d in &self.depends {
+            if !dep_seen.insert((d.var.clone(), d.dir)) {
+                return Err(OmpError::InvalidRegion(format!(
+                    "variable '{}' appears twice in depend({}: ...) clauses",
+                    d.var, d.dir
+                )));
+            }
+            let clause = self.maps.iter().find(|m| m.name == d.var);
+            match clause {
+                None => {
+                    return Err(OmpError::InvalidRegion(format!(
+                        "depend({}: {}) names a variable with no map clause",
+                        d.dir, d.var
+                    )))
+                }
+                Some(m) if d.dir.is_read() && !m.dir.is_input() => {
+                    return Err(OmpError::InvalidRegion(format!(
+                        "depend({}: {}) reads a variable mapped '{}' (must be to/tofrom)",
+                        d.dir, d.var, m.dir
+                    )))
+                }
+                Some(m) if d.dir.is_write() && !m.dir.is_output() => {
+                    return Err(OmpError::InvalidRegion(format!(
+                        "depend({}: {}) writes a variable mapped '{}' (must be from/tofrom)",
+                        d.dir, d.var, m.dir
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
         Ok(TargetRegion {
             name: self.name,
             device: self.device,
@@ -247,6 +336,8 @@ impl TargetRegionBuilder {
             loops: self.loops,
             constructs: self.constructs,
             offload_if: self.offload_if,
+            depends: self.depends,
+            nowait: self.nowait,
         })
     }
 }
@@ -387,6 +478,79 @@ mod tests {
                     .reduction("S", RedOp::Sum)
                     .body(|_, _, _| {})
             })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, OmpError::InvalidRegion(_)));
+    }
+
+    #[test]
+    fn depend_nowait_round_trips_through_builder() {
+        let r = TargetRegion::builder("stage2")
+            .map_to("t")
+            .map_from("y")
+            .depend_in("t")
+            .depend_out("y")
+            .nowait()
+            .parallel_for(4, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        assert!(r.nowait);
+        assert_eq!(r.depend_reads().collect::<Vec<_>>(), vec!["t"]);
+        assert_eq!(r.depend_writes().collect::<Vec<_>>(), vec!["y"]);
+    }
+
+    #[test]
+    fn depend_inout_is_both_read_and_write() {
+        let r = TargetRegion::builder("iter")
+            .map_tofrom("y")
+            .depend_inout("y")
+            .parallel_for(4, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        assert_eq!(r.depend_reads().collect::<Vec<_>>(), vec!["y"]);
+        assert_eq!(r.depend_writes().collect::<Vec<_>>(), vec!["y"]);
+    }
+
+    #[test]
+    fn rejects_depend_on_unmapped_var() {
+        let err = TargetRegion::builder("d")
+            .map_to("A")
+            .depend_in("X")
+            .parallel_for(4, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, OmpError::InvalidRegion(_)));
+    }
+
+    #[test]
+    fn rejects_depend_direction_map_mismatch() {
+        // depend(out:) on an input-only map: the region cannot produce
+        // a version of a variable it never writes back.
+        let err = TargetRegion::builder("d")
+            .map_to("A")
+            .map_from("B")
+            .depend_out("A")
+            .parallel_for(4, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, OmpError::InvalidRegion(_)));
+        let err = TargetRegion::builder("d")
+            .map_to("A")
+            .map_from("B")
+            .depend_in("B")
+            .parallel_for(4, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, OmpError::InvalidRegion(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_depend_clause() {
+        let err = TargetRegion::builder("d")
+            .map_tofrom("y")
+            .depend_in("y")
+            .depend_in("y")
+            .parallel_for(4, |l| l.body(|_, _, _| {}))
             .build()
             .unwrap_err();
         assert!(matches!(err, OmpError::InvalidRegion(_)));

@@ -226,6 +226,22 @@ impl SparkContext {
         self.inner.dispatcher.record_integrity_refetch(idx);
     }
 
+    /// Fold the offloading device's inter-region dataflow counters into
+    /// the most recent job's metrics (the job that ran the region the
+    /// counters describe). No-op if no job has run yet.
+    pub fn annotate_dataflow(
+        &self,
+        resident_hits: u64,
+        resident_misses: u64,
+        elided_downloads: u64,
+    ) {
+        if let Some(m) = self.inner.metrics.lock().last_mut() {
+            m.resident_hits += resident_hits as usize;
+            m.resident_misses += resident_misses as usize;
+            m.elided_downloads += elided_downloads as usize;
+        }
+    }
+
     /// Metrics of every job run so far, oldest first.
     pub fn job_metrics(&self) -> Vec<JobMetrics> {
         self.inner.metrics.lock().clone()
@@ -291,6 +307,7 @@ impl SparkContext {
         } else {
             Vec::new()
         };
+        let hints = locality.clone();
         let runner: Runner = {
             let lineage = Arc::clone(&lineage);
             Arc::new(move |task| Box::new(lineage(task)) as Box<dyn Any + Send>)
@@ -310,6 +327,15 @@ impl SparkContext {
         driven.metrics.steals = steals;
         driven.metrics.wall_seconds = t0.elapsed().as_secs_f64();
         driven.metrics.job_id = job;
+        for t in &driven.metrics.tasks {
+            if let Some(Some(want)) = hints.get(t.task) {
+                if t.executor == *want {
+                    driven.metrics.resident_hits += 1;
+                } else {
+                    driven.metrics.resident_misses += 1;
+                }
+            }
+        }
         self.inner.metrics.lock().push(driven.metrics);
 
         Ok(driven

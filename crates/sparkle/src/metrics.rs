@@ -63,6 +63,14 @@ pub struct JobMetrics {
     pub quarantine_trips: usize,
     /// Heartbeat windows an executor missed while holding running tasks.
     pub heartbeat_misses: usize,
+    /// Tasks whose winning attempt ran on the executor their locality
+    /// hint named (inter-region/residency locality paid off).
+    pub resident_hits: usize,
+    /// Tasks that carried a locality hint but ran elsewhere.
+    pub resident_misses: usize,
+    /// Host downloads the dataflow runtime elided for this job's region
+    /// (annotated by the offloading device after the job completes).
+    pub elided_downloads: usize,
 }
 
 impl JobMetrics {
@@ -79,6 +87,9 @@ impl JobMetrics {
             failed_attempts: 0,
             quarantine_trips: 0,
             heartbeat_misses: 0,
+            resident_hits: 0,
+            resident_misses: 0,
+            elided_downloads: 0,
         }
     }
 

@@ -12,11 +12,14 @@
 //! tiles.
 //!
 //! "Same region" is decided by a [`RegionFingerprint`] — a
-//! deterministic hash of the region name, every loop's bounds and tile
-//! plan, and the crc32 of every input buffer (from the transfer
-//! integrity ledger). Any drift in code shape or input data changes the
-//! fingerprint, so a journal can never resurrect stale results into a
-//! different computation.
+//! deterministic hash of the region name, every loop's bounds, and the
+//! crc32 of every input buffer (from the transfer integrity ledger).
+//! Any drift in code shape or input data changes the fingerprint, so a
+//! journal can never resurrect stale results into a different
+//! computation. The tile *plan* is not part of the identity: markers
+//! carry their tile's iteration hull, and the restore path replays a
+//! marker only where the current plan cuts the same hull, so journals
+//! survive a `tile-size` re-tune between runs.
 //!
 //! Marker writes are advisory, not transactional: they ride a single
 //! background writer thread (off the region's critical path, and — one
@@ -36,8 +39,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Deterministic identity of one offloaded region execution: FNV-1a 64
-/// over the region name, loop bounds + tile plan, and input crc32s.
-/// Equal fingerprints ⇒ the journal's tile markers are replayable.
+/// over the region name, loop bounds, and input crc32s. Equal
+/// fingerprints ⇒ the journal's tile markers are replayable (subject to
+/// the per-marker hull check against the current tile plan).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionFingerprint {
     hash: u64,
@@ -55,11 +59,15 @@ impl RegionFingerprint {
         fp
     }
 
-    /// Fold one loop's shape in: trip count and tile count.
-    pub fn add_loop(&mut self, trip_count: usize, tiles: usize) {
+    /// Fold one loop's shape in: the trip count. The *tile plan* is
+    /// deliberately excluded — re-tiling the same loop (a different
+    /// `tile-size` knob, a resized cluster) must land on the same
+    /// journal so completed work survives the re-plan. Plan safety is
+    /// the markers' job: each one carries its tile's iteration hull and
+    /// is only replayed where the current plan cuts the same hull.
+    pub fn add_loop(&mut self, trip_count: usize) {
         self.feed(b"loop");
         self.feed(&(trip_count as u64).to_le_bytes());
-        self.feed(&(tiles as u64).to_le_bytes());
     }
 
     /// Fold one input buffer in: name plus content crc32 (from the
@@ -268,7 +276,7 @@ mod tests {
 
     fn fp() -> RegionFingerprint {
         let mut fp = RegionFingerprint::new("axpy");
-        fp.add_loop(1024, 8);
+        fp.add_loop(1024);
         fp.add_input("x", 0xDEAD_BEEF);
         fp
     }
@@ -278,13 +286,13 @@ mod tests {
         assert_eq!(fp().hex(), fp().hex());
         assert_eq!(fp().hex().len(), 16);
         let mut other = RegionFingerprint::new("axpy");
-        other.add_loop(1024, 8);
+        other.add_loop(1024);
         other.add_input("x", 0xDEAD_BEEE); // one input bit of crc differs
         assert_ne!(fp().hex(), other.hex());
-        let mut reshaped = RegionFingerprint::new("axpy");
-        reshaped.add_loop(1024, 16); // same trip count, different tiling
-        reshaped.add_input("x", 0xDEAD_BEEF);
-        assert_ne!(fp().hex(), reshaped.hex());
+        let mut longer = RegionFingerprint::new("axpy");
+        longer.add_loop(1025); // different trip count
+        longer.add_input("x", 0xDEAD_BEEF);
+        assert_ne!(fp().hex(), longer.hex());
     }
 
     #[test]

@@ -80,7 +80,13 @@ impl BytePool {
     pub fn get(self: &Arc<Self>, capacity: usize) -> PoolBuf {
         match Self::class_up(capacity) {
             Some(class) => {
-                let reused = self.shelves[class].lock().pop();
+                // Serve from the exact shelf, or the next one up — a
+                // buffer at most 2× the request is better reused than
+                // left idle while we malloc a fresh one.
+                let reused = self.shelves[class]
+                    .lock()
+                    .pop()
+                    .or_else(|| self.shelves.get(class + 1).and_then(|s| s.lock().pop()));
                 let vec = match reused {
                     Some(mut v) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);

@@ -323,6 +323,10 @@ pub struct TransferManager {
     /// Staging-buffer pool shared with callers: encode staging checks
     /// out, decoded download payloads check back in on drop.
     pool: Arc<BytePool>,
+    /// Key prefixes currently protected from orphan collection — the
+    /// live dataflow sessions whose resident intermediates have no
+    /// commit manifest by design.
+    leases: parking_lot::Mutex<std::collections::HashSet<String>>,
 }
 
 impl TransferManager {
@@ -333,6 +337,7 @@ impl TransferManager {
             config,
             ledger: parking_lot::Mutex::new(HashMap::new()),
             pool: BytePool::new(),
+            leases: parking_lot::Mutex::new(std::collections::HashSet::new()),
         }
     }
 
@@ -410,20 +415,62 @@ impl TransferManager {
         CommitManifest::from_bytes(&key, &bytes)
     }
 
+    /// Take a lease on `root`: every key under it is protected from
+    /// [`collect_orphans`](Self::collect_orphans) until
+    /// [`release`](Self::release). A dataflow session leases its
+    /// `…/dataflow/dag-N` root while regions produce and consume
+    /// resident intermediates there — those keys have no commit
+    /// manifest by design, and the lease is what distinguishes a live
+    /// chain from a crashed one.
+    pub fn lease(&self, root: &str) {
+        self.leases.lock().insert(root.to_string());
+    }
+
+    /// Release the lease on `root`. The holder deletes its own keys on
+    /// a clean shutdown; after a crash (process gone, lease gone with
+    /// it — leases are in-memory by construction) the next
+    /// [`collect_orphans`](Self::collect_orphans) sweeps them.
+    pub fn release(&self, root: &str) {
+        self.leases.lock().remove(root);
+    }
+
+    /// Whether `key` sits under an active lease. Matches whole path
+    /// segments — a lease on `…/dag-1` does not shadow `…/dag-10`.
+    pub fn is_leased(&self, key: &str) -> bool {
+        self.leases.lock().iter().any(|root| {
+            key.strip_prefix(root.as_str())
+                .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+        })
+    }
+
     /// Garbage-collect staged outputs of crashed regions: every
     /// `…/_tmp/…` object under `prefix` whose region has no manifest is
-    /// deleted. Returns the number of orphans removed. Best effort — a
-    /// failed delete is skipped, and the caller must not run this
-    /// concurrently with a region that is still staging (a mid-upload
-    /// region is indistinguishable from a crashed one).
+    /// deleted, and every `…/dataflow/dag-N/…` resident intermediate
+    /// whose dataflow root is not actively [leased](Self::lease) is
+    /// swept with it (a crashed DAG run must leak no resident keys).
+    /// Returns the number of orphans removed. Best effort — a failed
+    /// delete is skipped, and the caller must not run this concurrently
+    /// with a region that is still staging (a mid-upload region is
+    /// indistinguishable from a crashed one).
     pub fn collect_orphans(&self, prefix: &str) -> usize {
         let mut by_region: HashMap<String, Vec<String>> = HashMap::new();
+        let mut dataflow_orphans: Vec<String> = Vec::new();
         for key in self.store.list(prefix) {
             if let Some(pos) = key.find("/_tmp/") {
                 by_region
                     .entry(key[..pos].to_string())
                     .or_default()
                     .push(key);
+            } else if let Some(pos) = key.find("/dataflow/") {
+                // Root = `…/dataflow/dag-N` — the lease unit.
+                let seg_start = pos + "/dataflow/".len();
+                let root_end = key[seg_start..]
+                    .find('/')
+                    .map(|p| seg_start + p)
+                    .unwrap_or(key.len());
+                if !self.is_leased(&key[..root_end]) {
+                    dataflow_orphans.push(key);
+                }
             }
         }
         let mut removed = 0;
@@ -436,6 +483,12 @@ impl TransferManager {
                     self.ledger.lock().remove(&key);
                     removed += 1;
                 }
+            }
+        }
+        for key in dataflow_orphans {
+            if self.store.delete(&key).is_ok() {
+                self.ledger.lock().remove(&key);
+                removed += 1;
             }
         }
         removed
@@ -1468,6 +1521,50 @@ mod tests {
             None,
             "ledger entries go with the orphans"
         );
+    }
+
+    #[test]
+    fn leased_dataflow_keys_survive_orphan_collection() {
+        let (tm, store) = manager(64);
+        let root = "omp/dataflow/dag-0";
+        tm.lease(root);
+        tm.upload(vec![
+            (format!("{root}/y"), vec![1u8; 64]),
+            (format!("{root}/t"), vec![2u8; 64]),
+        ])
+        .unwrap();
+        assert!(tm.is_leased(&format!("{root}/y")));
+        assert_eq!(tm.collect_orphans(""), 0, "live chain is protected");
+        assert_eq!(store.list(root).len(), 2);
+
+        // Clean shutdown path: the holder releases after deleting its
+        // own keys; leftovers from a *crashed* chain (lease gone) are
+        // swept by the next region start.
+        tm.release(root);
+        assert!(!tm.is_leased(&format!("{root}/y")));
+        assert_eq!(tm.collect_orphans(""), 2, "crashed chain leaks nothing");
+        assert!(store.list(root).is_empty());
+        assert_eq!(tm.ledger_crc(&format!("{root}/y")), None);
+    }
+
+    #[test]
+    fn orphan_collection_scopes_dataflow_leases_per_dag() {
+        let (tm, store) = manager(64);
+        tm.lease("omp/dataflow/dag-1");
+        tm.upload(vec![
+            ("omp/dataflow/dag-0/y".to_string(), vec![1u8; 32]), // crashed
+            ("omp/dataflow/dag-1/y".to_string(), vec![2u8; 32]), // live
+        ])
+        .unwrap();
+        assert_eq!(tm.collect_orphans(""), 1, "only the unleased dag is swept");
+        assert!(!store.exists("omp/dataflow/dag-0/y"));
+        assert!(store.exists("omp/dataflow/dag-1/y"));
+        // `dag-1` must not shadow `dag-10`: the lease unit is the full
+        // path segment, not a string prefix of it.
+        tm.upload(vec![("omp/dataflow/dag-10/y".to_string(), vec![3u8; 32])])
+            .unwrap();
+        assert_eq!(tm.collect_orphans(""), 1);
+        assert!(!store.exists("omp/dataflow/dag-10/y"));
     }
 
     #[test]

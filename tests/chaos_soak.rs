@@ -73,6 +73,10 @@ fn soak_config() -> CloudConfig {
         min_compression_size: 64,
         backoff_base_ms: 1,
         backoff_cap_ms: 4,
+        // Speculation triggers on wall-clock medians, so under machine
+        // load it launches duplicate tasks whose extra store ops shift
+        // the EveryNth fault schedule between otherwise identical runs.
+        spec_factor: 0.0,
         ..CloudConfig::default()
     }
 }
