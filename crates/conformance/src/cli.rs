@@ -16,7 +16,7 @@
 //! so CI can upload them as an artifact.
 
 use crate::exec::run_case_tuned;
-use crate::gen::{CaseKind, CaseSpec};
+use crate::gen::{CaseKind, CaseSpec, ResidentFaultFlavor};
 use crate::shrink::{apply_named, shrink_with};
 use std::io::Write as _;
 use std::time::Instant;
@@ -159,6 +159,7 @@ pub fn main() -> i32 {
         0u64,
         0u64,
     );
+    let (mut rot, mut expire) = (0u64, 0u64);
 
     for &case in &case_range {
         if let Some(budget) = args.budget_secs {
@@ -183,6 +184,11 @@ pub fn main() -> i32 {
         kernels += u64::from(matches!(spec.kind, CaseKind::Kernel { .. }));
         ckpt += u64::from(spec.checkpoint);
         chained += u64::from(spec.chain > 1);
+        match spec.resident_fault.as_ref().map(|r| r.flavor) {
+            Some(ResidentFaultFlavor::Rot) => rot += 1,
+            Some(ResidentFaultFlavor::Expire) => expire += 1,
+            None => {}
+        }
         if args.verbose {
             println!("{}", spec.summary());
         }
@@ -202,7 +208,7 @@ pub fn main() -> i32 {
         .map(|(label, count)| format!("{label}={count}"))
         .collect();
     println!(
-        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={} chained={}",
+        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={} chained={} resident-rot={} resident-expire={}",
         args.seed,
         ran,
         failures.len(),
@@ -210,7 +216,9 @@ pub fn main() -> i32 {
         chaos_on,
         kernels,
         ckpt,
-        chained
+        chained,
+        rot,
+        expire
     );
 
     if !failures.is_empty() {

@@ -12,11 +12,11 @@
 //! floating-point noise. Kernel cases are additionally diffed against
 //! the handwritten sequential references with a small tolerance.
 
-use crate::gen::{CaseKind, CaseSpec};
+use crate::gen::{CaseKind, CaseSpec, ResidentFaultFlavor};
 use crate::oracle;
 use cloud_storage::{ChaosStats, ChaosStore, LatencyStore, ObjectStore, S3Store, StoreHandle};
 use omp_model::{DagReport, DeviceRegistry, DeviceSelector, ExecProfile};
-use ompcloud::{CloudDevice, CloudRuntime, OffloadReport};
+use ompcloud::{CloudDevice, CloudRuntime, OffloadReport, ResidentFault, ResidentFaultKind};
 use ompcloud_kernels as kernels;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -95,6 +95,20 @@ pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -
     });
 
     let runtime = CloudRuntime::with_device(CloudDevice::with_store(config.clone(), handle));
+    if let Some(rf) = &spec.resident_fault {
+        // Arm the device-side half of the fault: Rot damages the driver
+        // copy in place (the durable key repairs it); Expire drops the
+        // driver entry and lets the store plan above delete the durable
+        // key under the reinstating fetch.
+        runtime.cloud().inject_resident_fault(ResidentFault {
+            var: "y".into(),
+            after_epoch: rf.stage,
+            kind: match rf.flavor {
+                ResidentFaultFlavor::Rot => ResidentFaultKind::CorruptDriver,
+                ResidentFaultFlavor::Expire => ResidentFaultKind::DropDriver,
+            },
+        });
+    }
     let mut cloud_env = spec.build_env();
     let mut dag_report: Option<DagReport> = None;
     let cloud_profile: Option<ExecProfile> = if spec.chain > 1 {
@@ -269,6 +283,31 @@ mod tests {
         let out = run_case(&spec);
         assert_eq!(out.verdict(), Verdict::Pass, "failures: {:?}", out.failures);
         assert!(!out.fell_back);
+    }
+
+    /// Resident-fault cases recover in place: bitwise-correct outputs,
+    /// no fallback, and the recovery laws of the oracle all hold.
+    #[test]
+    fn resident_fault_cases_recover_without_falling_back() {
+        for flavor in [ResidentFaultFlavor::Rot, ResidentFaultFlavor::Expire] {
+            let spec = (0..2000)
+                .map(|c| CaseSpec::generate(7, c))
+                .find(|s| {
+                    s.resident_fault
+                        .as_ref()
+                        .is_some_and(|r| r.flavor == flavor)
+                })
+                .unwrap_or_else(|| panic!("no {flavor:?} case in 2000 draws"));
+            let out = run_case(&spec);
+            assert_eq!(
+                out.verdict(),
+                Verdict::Pass,
+                "{flavor:?} ({}): {:?}",
+                spec.summary(),
+                out.failures
+            );
+            assert!(!out.fell_back, "{flavor:?} case fell back to the host");
+        }
     }
 
     /// Chained cases stay bitwise-correct under injected faults too —

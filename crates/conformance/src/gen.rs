@@ -133,6 +133,33 @@ pub enum ChaosFlavor {
     DelayOnly,
 }
 
+/// Deterministic resident-buffer damage armed on the cloud device for
+/// chained cases. Drawn only when `chain > 1` and storage chaos is off,
+/// so the lineage-recovery laws in the oracle stay exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ResidentFaultFlavor {
+    /// The driver-side copy rots in place after the stage commits; the
+    /// durable store copy stays good, so the next read repairs it
+    /// (`resident_repairs`, no recompute, no fallback).
+    Rot,
+    /// The driver-side entry is dropped AND the first durable
+    /// `/dataflow/` fetch expires the key under the reader: only a
+    /// lineage recompute of the producer can regenerate the buffer.
+    Expire,
+}
+
+/// Where and how a chained case's resident buffer is damaged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResidentFaultSpec {
+    /// What breaks.
+    pub flavor: ResidentFaultFlavor,
+    /// DAG epoch after whose commit the fault fires. Always < chain - 1,
+    /// so a downstream consumer exists to trip over the damage.
+    pub stage: usize,
+    /// Seed of the expiry fault plan (Expire flavor only).
+    pub seed: u64,
+}
+
 /// One fully-specified conformance case: everything needed to build the
 /// region + data twice (cloud and host) and the device configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -181,6 +208,9 @@ pub struct CaseSpec {
     /// base region produces `y`, and each extra stage rewrites `y`
     /// elementwise, so intermediate versions stay cloud-resident.
     pub chain: usize,
+    /// Optional resident-buffer damage armed on the device (chained,
+    /// chaos-free cases only).
+    pub resident_fault: Option<ResidentFaultSpec>,
 }
 
 const KERNEL_SIZES: &[usize] = &[4, 6, 8, 12, 16];
@@ -317,6 +347,24 @@ impl CaseSpec {
             _ => 1,
         };
 
+        // Resident-fault axis, drawn strictly after every existing axis
+        // so earlier seeds keep generating byte-identical cases. Only
+        // chaos-free chains get one: layering storage chaos on top would
+        // blur the exact recovery laws the oracle states.
+        let resident_fault = if chain > 1 && chaos.is_none() && rng.gen_bool(0.5) {
+            Some(ResidentFaultSpec {
+                flavor: if rng.gen_bool(0.5) {
+                    ResidentFaultFlavor::Rot
+                } else {
+                    ResidentFaultFlavor::Expire
+                },
+                stage: rng.gen_usize(0, chain - 1),
+                seed: rng.next_u64(),
+            })
+        } else {
+            None
+        };
+
         CaseSpec {
             seed,
             case,
@@ -338,6 +386,7 @@ impl CaseSpec {
             latency_us,
             chaos,
             chain,
+            resident_fault,
         }
     }
 
@@ -381,6 +430,20 @@ impl CaseSpec {
     /// `EveryNth` periods >= 3 guarantee a failed op's immediate retry
     /// lands on a non-firing index.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
+        // A resident Expire fault is store-level too: the first durable
+        // `/dataflow/` fetch deletes the key under the reader. It is
+        // only drawn on chaos-free cases, so the plan carries exactly
+        // one error mechanism either way.
+        if let Some(rf) = &self.resident_fault {
+            if rf.flavor == ResidentFaultFlavor::Expire {
+                return Some(
+                    FaultPlan::new(rf.seed).rule(
+                        FaultRule::new(OpFilter::Get, Trigger::FirstN(1), FaultKind::Expire)
+                            .on_keys("/dataflow/"),
+                    ),
+                );
+            }
+        }
         let ch = self.chaos.as_ref()?;
         let mut plan = FaultPlan::new(ch.seed);
         match ch.flavor {
@@ -731,8 +794,12 @@ impl CaseSpec {
             None => "chaos:off".to_string(),
             Some(c) => format!("chaos:{:?}", c.flavor),
         };
+        let resident = match &self.resident_fault {
+            None => String::new(),
+            Some(r) => format!(" resident:{:?}@{}", r.flavor, r.stage),
+        };
         format!(
-            "case {}: {kind} chain={} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}",
+            "case {}: {kind} chain={} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}{resident}",
             self.case,
             self.chain,
             self.n,
@@ -786,6 +853,41 @@ mod tests {
             "no chained-region case generated"
         );
         assert!(specs.iter().any(|s| s.chain > 1 && s.chaos.is_some()));
+        // Resident faults sit behind three coin flips (chained, chaos-
+        // free, armed), so the flavor sweep needs a wider window.
+        let wide: Vec<CaseSpec> = (0..1000).map(|c| CaseSpec::generate(7, c)).collect();
+        for flavor in [ResidentFaultFlavor::Rot, ResidentFaultFlavor::Expire] {
+            assert!(
+                wide.iter().any(|s| s
+                    .resident_fault
+                    .as_ref()
+                    .is_some_and(|r| r.flavor == flavor)),
+                "resident fault flavor {flavor:?} never generated"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_faults_only_strike_chained_chaos_free_cases() {
+        for case in 0..2000 {
+            let spec = CaseSpec::generate(7, case);
+            let Some(rf) = &spec.resident_fault else {
+                continue;
+            };
+            assert!(spec.chain > 1, "resident fault on a single-region case");
+            assert!(spec.chaos.is_none(), "resident fault layered on chaos");
+            assert!(
+                rf.stage < spec.chain - 1,
+                "resident fault at stage {} of a {}-chain has no consumer",
+                rf.stage,
+                spec.chain
+            );
+            if rf.flavor == ResidentFaultFlavor::Expire {
+                assert!(spec.fault_plan().is_some(), "Expire needs a store plan");
+            } else {
+                assert!(spec.fault_plan().is_none());
+            }
+        }
     }
 
     #[test]

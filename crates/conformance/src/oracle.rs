@@ -23,7 +23,7 @@
 //! * **Scheduler sanity** — speculation races balance, executor ids
 //!   stay inside the configured cluster, utilization is a fraction.
 
-use crate::gen::{CaseKind, CaseSpec, ChaosFlavor, OutFlavor};
+use crate::gen::{CaseKind, CaseSpec, ChaosFlavor, OutFlavor, ResidentFaultFlavor};
 use cloud_storage::ChaosStats;
 use omp_model::{DagReport, ExecProfile};
 use ompcloud::tiling::tile_plan;
@@ -356,6 +356,47 @@ fn check_chained(input: &OracleInput<'_>, f: &mut Vec<String>) {
 
     per_job_sanity(spec, input.jobs, f);
 
+    // --- Lineage recovery laws --------------------------------------
+    // A resident fault must be absorbed by the recovery layer, never by
+    // a fallback: Rot is repaired from the durable copy (no recompute),
+    // Expire forces exactly one producer replay.
+    if let Some(rf) = &spec.resident_fault {
+        match rf.flavor {
+            ResidentFaultFlavor::Rot => {
+                if dag.resident_repairs < 1 {
+                    f.push("resident rot fired but no durable repair was counted".into());
+                }
+                if dag.lineage_recomputes != 0 {
+                    f.push(format!(
+                        "resident rot triggered {} recomputes; the durable copy repairs it",
+                        dag.lineage_recomputes
+                    ));
+                }
+            }
+            ResidentFaultFlavor::Expire => {
+                if dag.lineage_recomputes != 1 {
+                    f.push(format!(
+                        "expired resident buffer replayed {} producers, expected exactly 1",
+                        dag.lineage_recomputes
+                    ));
+                }
+            }
+        }
+        if dag.stage_fallbacks != 0 {
+            f.push(format!(
+                "resident fault pushed {} stages to the host; recovery must keep the chain cloud-side",
+                dag.stage_fallbacks
+            ));
+        }
+    } else if spec.chaos.is_none()
+        && (dag.lineage_recomputes != 0 || dag.stage_fallbacks != 0 || dag.resident_repairs != 0)
+    {
+        f.push(format!(
+            "undisturbed chain counted recovery work: {} recomputes, {} stage fallbacks, {} repairs",
+            dag.lineage_recomputes, dag.stage_fallbacks, dag.resident_repairs
+        ));
+    }
+
     // The stage regions rewrite exactly the indexed "y" buffer.
     let y_len = match &spec.kind {
         CaseKind::Synthetic(s) => match s.flavor {
@@ -411,13 +452,20 @@ fn check_chained(input: &OracleInput<'_>, f: &mut Vec<String>) {
 
     // --- Dataflow counters -----------------------------------------
     // Each of the `chain - 1` hand-offs is one elided download on the
-    // producer side and one resident-input hit on the consumer side.
+    // producer side and one resident-input hit on the consumer side. An
+    // Expire recovery replays one producer as an extra job whose kept
+    // output is likewise elided.
     let elided: usize = input.jobs.iter().map(|m| m.elided_downloads).sum();
     let hits: usize = input.jobs.iter().map(|m| m.resident_hits).sum();
     let handoffs = spec.chain - 1;
-    if elided != handoffs {
+    let recovery_jobs = usize::from(matches!(
+        spec.resident_fault.as_ref().map(|r| r.flavor),
+        Some(ResidentFaultFlavor::Expire)
+    ));
+    if elided != handoffs + recovery_jobs {
         f.push(format!(
-            "{handoffs}-hand-off chain elided {elided} downloads, expected {handoffs}"
+            "{handoffs}-hand-off chain elided {elided} downloads, expected {}",
+            handoffs + recovery_jobs
         ));
     }
     if hits < handoffs {

@@ -141,6 +141,11 @@ pub struct CloudConfig {
     /// In-region resume attempts after an infrastructure failure before
     /// the offload gives up and the breaker escalates to host fallback.
     pub checkpoint_max_resumes: usize,
+    /// Lineage recovery budget: how many producer regions deep the DAG
+    /// scheduler may re-execute to regenerate a lost resident buffer
+    /// before containing the loss with a host replay; 0 disables
+    /// lineage recovery.
+    pub recovery_depth: usize,
     /// Executor failure score that trips quarantine (task failure = 1,
     /// heartbeat miss = 0.5, integrity re-fetch = 0.25); 0 disables
     /// quarantine.
@@ -195,6 +200,7 @@ impl Default for CloudConfig {
             breaker_threshold: 3,
             checkpoint: false,
             checkpoint_max_resumes: 2,
+            recovery_depth: 2,
             quarantine_threshold: 3.0,
             quarantine_penalty_ms: 2000,
             quarantine_decay_ms: 5000,
@@ -398,6 +404,12 @@ impl CloudConfig {
             .map_err(bad_config)?
         {
             cfg.checkpoint_max_resumes = r;
+        }
+        if let Some(d) = ini
+            .get_parsed::<usize>("resilience", "recovery-depth")
+            .map_err(bad_config)?
+        {
+            cfg.recovery_depth = d;
         }
         if let Some(t) = ini
             .get_parsed::<f64>("resilience", "quarantine-threshold")
@@ -749,6 +761,16 @@ instance-type = c3.8xlarge
         // Threshold 0 switches the policy off entirely.
         let cfg = CloudConfig::from_str("[resilience]\nquarantine-threshold = 0\n").unwrap();
         assert!(!cfg.quarantine_config().enabled());
+
+        assert_eq!(
+            CloudConfig::default().recovery_depth,
+            2,
+            "lineage recovery is on by default, bounded to two producers"
+        );
+        let cfg = CloudConfig::from_str("[resilience]\nrecovery-depth = 0\n").unwrap();
+        assert_eq!(cfg.recovery_depth, 0, "0 disables lineage recovery");
+        let cfg = CloudConfig::from_str("[resilience]\nrecovery-depth = 5\n").unwrap();
+        assert_eq!(cfg.recovery_depth, 5);
 
         assert!(CloudConfig::from_str("[resilience]\nquarantine-threshold = -1\n").is_err());
         assert!(CloudConfig::from_str(

@@ -34,12 +34,12 @@ use cloud_storage::{
 use cloudsim::Fleet;
 use omp_model::{
     Construct, DataEnv, DataflowHints, Device, DeviceKind, ErasedVec, ExecProfile,
-    MaterializeReport, OmpError, TargetRegion, TypeTag,
+    MaterializeReport, OmpError, ResidentLossReason, TargetRegion, TypeTag,
 };
 use parking_lot::Mutex;
 use sparkle::{SparkConf, SparkContext};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The Spark-cluster offloading device.
@@ -61,6 +61,17 @@ pub struct CloudDevice {
     /// the object store plus a driver-side decoded copy (so consumers
     /// and host escapes stay serviceable even when the store is down).
     resident: Mutex<HashMap<String, ResidentBuf>>,
+    /// Lineage ledger of the active DAG: every version (variable, epoch)
+    /// ever committed resident, with enough metadata to re-fetch and
+    /// verify its durable store copy. Versioned keys are retained until
+    /// `end_dataflow`, so recovery replays can pin ancestor versions.
+    lineage: Mutex<HashMap<(String, usize), LineageMeta>>,
+    /// Stage fallbacks contained via [`Device::adopt_resident`] since the
+    /// last published report; folded into the next offload's
+    /// [`DataflowSummary`] (adoption happens between offloads).
+    pending_stage_fallbacks: AtomicU32,
+    /// Armed one-shot resident fault (deterministic recovery tests).
+    armed_fault: Mutex<Option<ResidentFault>>,
 }
 
 /// One device-resident producer output.
@@ -77,6 +88,46 @@ struct ResidentBuf {
     wire_len: u64,
     /// Driver-side decoded copy.
     bytes: Vec<u8>,
+    /// DAG epoch (region index) that produced this version.
+    epoch: usize,
+}
+
+/// Durable metadata of one committed resident version, kept in the
+/// lineage ledger so lost driver-side copies can be repaired and
+/// recovery replays can pin the exact versions a region consumed.
+#[derive(Clone)]
+struct LineageMeta {
+    key: String,
+    tag: TypeTag,
+    fp: Fingerprint,
+    wire_len: u64,
+}
+
+/// A one-shot resident-buffer fault to arm via
+/// [`CloudDevice::inject_resident_fault`]: after the region with DAG
+/// epoch `after_epoch` commits its kept outputs, `var`'s resident state
+/// is damaged once. Drives deterministic recovery tests without relying
+/// on store-level chaos timing.
+pub struct ResidentFault {
+    /// Variable whose resident copy is damaged.
+    pub var: String,
+    /// Fires after the region with this DAG epoch commits.
+    pub after_epoch: usize,
+    /// What breaks.
+    pub kind: ResidentFaultKind,
+}
+
+/// What [`ResidentFault`] breaks.
+pub enum ResidentFaultKind {
+    /// Flip bits in the driver-side copy; the durable store copy stays
+    /// good, so the next read repairs it (exercises `resident_repairs`).
+    CorruptDriver,
+    /// Drop the driver-side entry; the durable copy stays good, so the
+    /// next read reinstates it from the lineage ledger.
+    DropDriver,
+    /// Drop the driver-side entry AND delete the version's store key —
+    /// only a lineage recompute of the producer can regenerate it.
+    DropAll,
 }
 
 /// How one offload attempt failed: infrastructure failures (storage,
@@ -118,6 +169,9 @@ impl CloudDevice {
             tile_residency: Mutex::new(ResidencyMap::new()),
             breaker,
             resident: Mutex::new(HashMap::new()),
+            lineage: Mutex::new(HashMap::new()),
+            pending_stage_fallbacks: AtomicU32::new(0),
+            armed_fault: Mutex::new(None),
         }
     }
 
@@ -251,6 +305,85 @@ impl CloudDevice {
         self.started_at.elapsed().as_secs_f64()
     }
 
+    /// Arm a one-shot resident-buffer fault: after the dataflow region
+    /// with `fault.after_epoch` commits its kept outputs, the fault
+    /// fires once. Deterministic companion to store-level chaos rules
+    /// for the recovery tests.
+    pub fn inject_resident_fault(&self, fault: ResidentFault) {
+        *self.armed_fault.lock() = Some(fault);
+    }
+
+    /// Fire the armed fault if it targets this epoch.
+    fn apply_armed_fault(&self, epoch: usize) {
+        let fault = {
+            let mut g = self.armed_fault.lock();
+            match &*g {
+                Some(f) if f.after_epoch == epoch => g.take(),
+                _ => None,
+            }
+        };
+        let Some(f) = fault else { return };
+        let mut resident = self.resident.lock();
+        match f.kind {
+            ResidentFaultKind::CorruptDriver => {
+                if let Some(rb) = resident.get_mut(&f.var) {
+                    if let Some(b) = rb.bytes.first_mut() {
+                        *b ^= 0xff;
+                    }
+                }
+            }
+            ResidentFaultKind::DropDriver => {
+                resident.remove(&f.var);
+            }
+            ResidentFaultKind::DropAll => {
+                if let Some(rb) = resident.remove(&f.var) {
+                    let _ = self.store.delete(&rb.key);
+                    self.transfer.forget_prefix(&rb.key);
+                }
+            }
+        }
+    }
+
+    /// Fetch a resident version's durable store copy and verify it
+    /// against the recorded fingerprint. `None` when the key is gone or
+    /// every copy fails verification — the caller escalates to lineage
+    /// recovery rather than feeding the breaker.
+    fn fetch_durable(&self, key: &str, fp: Fingerprint) -> Option<(Vec<u8>, u64)> {
+        let (payloads, report) = self.transfer.download(vec![key.to_string()]).ok()?;
+        let (_, buf) = payloads.into_iter().next()?;
+        if Fingerprint::of(&buf) != fp {
+            return None;
+        }
+        Some((buf.to_vec(), report.wire_bytes()))
+    }
+
+    /// Reinstate a variable whose driver-side entry vanished from its
+    /// newest durable lineage version. Returns the served payload.
+    fn reinstate_from_lineage(&self, var: &str) -> Option<(TypeTag, Vec<u8>, String, u64)> {
+        let newest = {
+            let lineage = self.lineage.lock();
+            lineage
+                .iter()
+                .filter(|((v, _), _)| v == var)
+                .max_by_key(|((_, e), _)| *e)
+                .map(|((_, e), m)| (*e, m.clone()))
+        };
+        let (epoch, meta) = newest?;
+        let (bytes, _) = self.fetch_durable(&meta.key, meta.fp)?;
+        self.resident.lock().insert(
+            var.to_string(),
+            ResidentBuf {
+                key: meta.key.clone(),
+                tag: meta.tag,
+                fp: meta.fp,
+                wire_len: meta.wire_len,
+                bytes: bytes.clone(),
+                epoch,
+            },
+        );
+        Some((meta.tag, bytes, meta.key, meta.wire_len))
+    }
+
     /// Shut the in-process cluster down (tests/examples hygiene).
     pub fn shutdown(&self) {
         if let Some(sc) = self.sc.lock().take() {
@@ -311,35 +444,188 @@ impl Device for CloudDevice {
     ) -> Result<MaterializeReport, OmpError> {
         let t = Instant::now();
         let mut report = MaterializeReport::default();
-        let resident = self.resident.lock();
         for var in vars {
-            let rb = resident.get(var).ok_or_else(|| OmpError::Plugin {
-                device: "cloud".into(),
-                detail: format!("variable '{var}' is not device-resident"),
-            })?;
             // The driver-side copy serves the escape even when the store
             // is unreachable; its fingerprint guards against corruption.
-            if Fingerprint::of(&rb.bytes) != rb.fp {
-                return Err(OmpError::Plugin {
-                    device: "cloud".into(),
-                    detail: format!("resident copy of '{var}' failed its integrity check"),
-                });
+            let state = {
+                let resident = self.resident.lock();
+                resident.get(var).map(|rb| {
+                    let intact = Fingerprint::of(&rb.bytes) == rb.fp;
+                    (
+                        rb.key.clone(),
+                        rb.tag,
+                        rb.fp,
+                        rb.wire_len,
+                        rb.bytes.clone(),
+                        intact,
+                    )
+                })
+            };
+            match state {
+                Some((_, tag, _, wire_len, bytes, true)) => {
+                    env.write_back(var, ErasedVec::from_bytes(tag, &bytes))?;
+                    report.vars.push(var.clone());
+                    report.wire_bytes += wire_len;
+                }
+                // Damaged driver copy: repair it from the durable store
+                // copy before serving — never silently fall back to a
+                // stale host value.
+                Some((key, tag, fp, wire_len, _, false)) => match self.fetch_durable(&key, fp) {
+                    Some((bytes, _)) => {
+                        env.write_back(var, ErasedVec::from_bytes(tag, &bytes))?;
+                        if let Some(rb) = self.resident.lock().get_mut(var) {
+                            rb.bytes = bytes;
+                        }
+                        report.vars.push(var.clone());
+                        report.wire_bytes += wire_len;
+                        report.repairs += 1;
+                    }
+                    None => {
+                        return Err(OmpError::ResidentLoss {
+                            var: var.clone(),
+                            reason: ResidentLossReason::Integrity,
+                        })
+                    }
+                },
+                // Missing entry (deleted, GC'd, crashed): reinstate from
+                // the newest durable lineage version, or report a typed
+                // loss so the DAG scheduler can recompute the producer.
+                None => match self.reinstate_from_lineage(var) {
+                    Some((tag, bytes, _, wire_len)) => {
+                        env.write_back(var, ErasedVec::from_bytes(tag, &bytes))?;
+                        report.vars.push(var.clone());
+                        report.wire_bytes += wire_len;
+                        report.repairs += 1;
+                    }
+                    None => {
+                        return Err(OmpError::ResidentLoss {
+                            var: var.clone(),
+                            reason: ResidentLossReason::Miss,
+                        })
+                    }
+                },
             }
-            env.write_back(var, ErasedVec::from_bytes(rb.tag, &rb.bytes))?;
-            report.vars.push(var.clone());
-            report.wire_bytes += rb.wire_len;
         }
         report.seconds = t.elapsed().as_secs_f64();
         Ok(report)
     }
 
+    fn materialize_pinned(
+        &self,
+        pins: &[(String, usize)],
+        env: &mut DataEnv,
+    ) -> Result<MaterializeReport, OmpError> {
+        let t = Instant::now();
+        let mut report = MaterializeReport::default();
+        for (var, epoch) in pins {
+            let meta = self.lineage.lock().get(&(var.clone(), *epoch)).cloned();
+            let served =
+                meta.and_then(|m| self.fetch_durable(&m.key, m.fp).map(|(b, w)| (m.tag, b, w)));
+            match served {
+                Some((tag, bytes, wire)) => {
+                    env.write_back(var, ErasedVec::from_bytes(tag, &bytes))?;
+                    report.vars.push(var.clone());
+                    report.wire_bytes += wire;
+                }
+                None => {
+                    return Err(OmpError::ResidentLoss {
+                        var: var.clone(),
+                        reason: ResidentLossReason::Miss,
+                    })
+                }
+            }
+        }
+        report.seconds = t.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    fn adopt_resident(
+        &self,
+        vars: &[String],
+        env: &DataEnv,
+        dag: &str,
+        epoch: usize,
+    ) -> Result<(), OmpError> {
+        let root = self.dataflow_root(dag);
+        // The fallen stage may have died before its first offload leased
+        // the DAG root; adopted keys need the same orphan-GC protection.
+        if !self.transfer.is_leased(&root) {
+            self.transfer.lease(&root);
+        }
+        let mut resident_new: Vec<(String, ResidentBuf)> = Vec::new();
+        let mut items: Vec<(String, Vec<u8>)> = Vec::new();
+        for name in vars {
+            let buf = env.get_erased(name)?;
+            let mut bytes = Vec::with_capacity(buf.byte_len());
+            buf.write_bytes_into(&mut bytes);
+            let key = format!("{root}/v{epoch}/{name}");
+            resident_new.push((
+                name.clone(),
+                ResidentBuf {
+                    key: key.clone(),
+                    tag: buf.tag(),
+                    fp: Fingerprint::of(&bytes),
+                    wire_len: 0,
+                    bytes: bytes.clone(),
+                    epoch,
+                },
+            ));
+            items.push((key, bytes));
+        }
+        let put = self.transfer.upload(items).map_err(|e| OmpError::Plugin {
+            device: self.name.clone(),
+            detail: format!("resident adoption failed: {e}"),
+        })?;
+        for ((_, rb), item) in resident_new.iter_mut().zip(&put.items) {
+            rb.wire_len = item.wire_bytes;
+        }
+        let mut resident = self.resident.lock();
+        let mut lineage = self.lineage.lock();
+        for (name, rb) in resident_new {
+            lineage.insert(
+                (name.clone(), epoch),
+                LineageMeta {
+                    key: rb.key.clone(),
+                    tag: rb.tag,
+                    fp: rb.fp,
+                    wire_len: rb.wire_len,
+                },
+            );
+            match resident.get(&name) {
+                // A newer version stays authoritative over a replayed one.
+                Some(cur) if cur.epoch > rb.epoch => {}
+                _ => {
+                    resident.insert(name, rb);
+                }
+            }
+        }
+        self.pending_stage_fallbacks.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn recovery_depth(&self) -> usize {
+        self.config.recovery_depth
+    }
+
     fn invalidate_resident(&self, vars: &[String]) {
         let mut resident = self.resident.lock();
+        let mut lineage = self.lineage.lock();
         for var in vars {
             if let Some(rb) = resident.remove(var) {
                 let _ = self.store.delete(&rb.key);
                 self.transfer.forget_prefix(&rb.key);
             }
+            // Every durable version goes with it: a superseded variable
+            // must never be reinstated from a stale lineage copy.
+            lineage.retain(|(v, _), meta| {
+                if v == var {
+                    let _ = self.store.delete(&meta.key);
+                    self.transfer.forget_prefix(&meta.key);
+                    false
+                } else {
+                    true
+                }
+            });
         }
     }
 
@@ -351,6 +637,8 @@ impl Device for CloudDevice {
         }
         self.transfer.forget_prefix(&root);
         self.resident.lock().clear();
+        self.lineage.lock().clear();
+        self.pending_stage_fallbacks.store(0, Ordering::SeqCst);
     }
 }
 
@@ -495,37 +783,108 @@ impl CloudDevice {
         let mut resident_payloads: Vec<(String, TypeTag, Vec<u8>, String)> = Vec::new();
         {
             let mut cache = self.upload_cache.lock();
-            let resident = self.resident.lock();
             for m in region.input_maps() {
-                if hints.resident_inputs.iter().any(|v| v == &m.name) {
-                    match resident.get(&m.name) {
-                        Some(rb) if Fingerprint::of(&rb.bytes) == rb.fp => {
-                            resident_payloads.push((
-                                m.name.clone(),
-                                rb.tag,
-                                rb.bytes.clone(),
-                                rb.key.clone(),
-                            ));
+                // Recovery replays pin inputs to the exact versions the
+                // region originally consumed; they come straight from
+                // the durable lineage copies, never the host environment
+                // (which has moved past them).
+                let pinned = hints
+                    .pinned_inputs
+                    .iter()
+                    .find(|(v, _)| v == &m.name)
+                    .map(|(_, e)| *e);
+                if let Some(e) = pinned {
+                    let meta = self.lineage.lock().get(&(m.name.clone(), e)).cloned();
+                    let served = meta.and_then(|meta| {
+                        self.fetch_durable(&meta.key, meta.fp)
+                            .map(|(b, _)| (meta.tag, b, meta.key))
+                    });
+                    match served {
+                        Some((tag, bytes, key)) => {
+                            resident_payloads.push((m.name.clone(), tag, bytes, key));
                             dataflow.resident_hits += 1;
                             continue;
                         }
-                        // A damaged copy must not fall through — the host
-                        // environment is stale for a variable whose
-                        // producer succeeded on the device.
-                        Some(_) => {
-                            return Err(ExecFailure::Infra(OmpError::Plugin {
-                                device: "cloud".into(),
-                                detail: format!(
-                                    "resident copy of '{}' failed its integrity check",
-                                    m.name
-                                ),
+                        // The pinned ancestor version is gone too: a
+                        // typed loss lets the scheduler recurse one
+                        // producer deeper.
+                        None => {
+                            return Err(ExecFailure::App(OmpError::ResidentLoss {
+                                var: m.name.clone(),
+                                reason: ResidentLossReason::Miss,
                             }))
                         }
-                        // Missing: the registry's contract is that a
-                        // resident-miss input is fresh in the host
-                        // environment (a failed producer re-ran there),
-                        // so fall through to the normal upload path.
-                        None => dataflow.resident_misses += 1,
+                    }
+                }
+                if hints.resident_inputs.iter().any(|v| v == &m.name) {
+                    enum ResidentState {
+                        Hit(TypeTag, Vec<u8>, String),
+                        Damaged(String, Fingerprint),
+                        Missing,
+                    }
+                    let state = {
+                        let resident = self.resident.lock();
+                        match resident.get(&m.name) {
+                            Some(rb) if Fingerprint::of(&rb.bytes) == rb.fp => {
+                                ResidentState::Hit(rb.tag, rb.bytes.clone(), rb.key.clone())
+                            }
+                            Some(rb) => ResidentState::Damaged(rb.key.clone(), rb.fp),
+                            None => ResidentState::Missing,
+                        }
+                    };
+                    match state {
+                        ResidentState::Hit(tag, bytes, key) => {
+                            resident_payloads.push((m.name.clone(), tag, bytes, key));
+                            dataflow.resident_hits += 1;
+                            continue;
+                        }
+                        // A damaged driver copy must not fall through —
+                        // the host environment is stale for a variable
+                        // whose producer succeeded on the device. Repair
+                        // it from the durable store copy.
+                        ResidentState::Damaged(key, fp) => match self.fetch_durable(&key, fp) {
+                            Some((bytes, _)) => {
+                                let mut resident = self.resident.lock();
+                                if let Some(rb) = resident.get_mut(&m.name) {
+                                    rb.bytes = bytes.clone();
+                                    resident_payloads.push((m.name.clone(), rb.tag, bytes, key));
+                                    dataflow.resident_hits += 1;
+                                    dataflow.resident_repairs += 1;
+                                    continue;
+                                }
+                                return Err(ExecFailure::App(OmpError::ResidentLoss {
+                                    var: m.name.clone(),
+                                    reason: ResidentLossReason::Integrity,
+                                }));
+                            }
+                            None => {
+                                return Err(ExecFailure::App(OmpError::ResidentLoss {
+                                    var: m.name.clone(),
+                                    reason: ResidentLossReason::Integrity,
+                                }))
+                            }
+                        },
+                        // Missing entry: the scheduler hinted this input
+                        // resident, so it was lost (chaos, racing GC).
+                        // Try the durable lineage copy; failing that,
+                        // report a typed loss for lineage recovery.
+                        ResidentState::Missing => {
+                            dataflow.resident_misses += 1;
+                            match self.reinstate_from_lineage(&m.name) {
+                                Some((tag, bytes, key, _)) => {
+                                    resident_payloads.push((m.name.clone(), tag, bytes, key));
+                                    dataflow.resident_hits += 1;
+                                    dataflow.resident_repairs += 1;
+                                    continue;
+                                }
+                                None => {
+                                    return Err(ExecFailure::App(OmpError::ResidentLoss {
+                                        var: m.name.clone(),
+                                        reason: ResidentLossReason::Miss,
+                                    }))
+                                }
+                            }
+                        }
                     }
                 }
                 let buf = env.get_erased(&m.name)?;
@@ -760,11 +1119,30 @@ impl CloudDevice {
                 dataflow.elided_downloads
             ));
         }
+        if hints.recovery {
+            dataflow.lineage_recomputes = 1;
+            profile.note(
+                "lineage recovery: producing region re-executed to regenerate a lost \
+                 resident buffer"
+                    .to_string(),
+            );
+        }
+        dataflow.stage_fallbacks = self.pending_stage_fallbacks.swap(0, Ordering::SeqCst);
+        if dataflow.resident_repairs > 0 {
+            profile.note(format!(
+                "dataflow: {} resident input(s) repaired from the durable store copy",
+                dataflow.resident_repairs
+            ));
+        }
+        profile.resident_repairs = dataflow.resident_repairs as u64;
         if dataflow.any() {
             sc.annotate_dataflow(
                 dataflow.resident_hits as u64,
                 dataflow.resident_misses as u64,
                 dataflow.elided_downloads as u64,
+                dataflow.lineage_recomputes as u64,
+                dataflow.stage_fallbacks as u64,
+                dataflow.resident_repairs as u64,
             );
         }
         profile.wire_bytes_from = store_write.wire_bytes();
@@ -893,7 +1271,9 @@ impl CloudDevice {
                 let buf = outcome.env.get_erased(&m.name)?;
                 let mut bytes = Vec::with_capacity(buf.byte_len());
                 buf.write_bytes_into(&mut bytes);
-                let key = format!("{root}/{}", m.name);
+                // Versioned by DAG epoch: ancestor versions survive until
+                // `end_dataflow`, so lineage recovery can pin them.
+                let key = format!("{root}/v{}/{}", hints.epoch, m.name);
                 resident_new.push((
                     m.name.clone(),
                     ResidentBuf {
@@ -902,6 +1282,7 @@ impl CloudDevice {
                         fp: Fingerprint::of(&bytes),
                         wire_len: 0,
                         bytes: bytes.clone(),
+                        epoch: hints.epoch,
                     },
                 ));
                 resident_items.push((key, bytes));
@@ -917,9 +1298,29 @@ impl CloudDevice {
                     rb.wire_len = item.wire_bytes;
                 }
                 let mut resident = self.resident.lock();
+                let mut lineage = self.lineage.lock();
                 for (name, rb) in resident_new {
-                    resident.insert(name, rb);
+                    lineage.insert(
+                        (name.clone(), rb.epoch),
+                        LineageMeta {
+                            key: rb.key.clone(),
+                            tag: rb.tag,
+                            fp: rb.fp,
+                            wire_len: rb.wire_len,
+                        },
+                    );
+                    match resident.get(&name) {
+                        // A recovery replay regenerates an old version;
+                        // a newer committed one stays authoritative.
+                        Some(cur) if cur.epoch > rb.epoch => {}
+                        _ => {
+                            resident.insert(name, rb);
+                        }
+                    }
                 }
+            }
+            if !hints.recovery {
+                self.apply_armed_fault(hints.epoch);
             }
         }
 

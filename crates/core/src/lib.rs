@@ -49,7 +49,7 @@ pub use autotune::{calibrate, AutotuneConfig, CalibrationReport, TunedProfile};
 pub use breaker::CircuitBreaker;
 pub use cache::{CacheDecision, Fingerprint, UploadCache};
 pub use config::{CloudConfig, Provider};
-pub use device::CloudDevice;
+pub use device::{CloudDevice, ResidentFault, ResidentFaultKind};
 pub use offload::LoopStats;
 pub use plan::{derive_plan, measure_ratio, PlanRatios};
 pub use recovery::RegionRecovery;

@@ -65,12 +65,26 @@ pub struct DataflowSummary {
     /// Outputs kept device-resident for a later consumer instead of
     /// being downloaded to the host.
     pub elided_downloads: u32,
+    /// Producing regions re-executed to regenerate a lost resident
+    /// buffer (lineage recovery): 1 when this offload IS such a replay.
+    pub lineage_recomputes: u32,
+    /// Stages that failed individually and were contained (host re-run
+    /// with outputs re-adopted resident) instead of collapsing the DAG.
+    pub stage_fallbacks: u32,
+    /// Resident inputs whose driver-side copy was damaged and repaired
+    /// from the durable store copy.
+    pub resident_repairs: u32,
 }
 
 impl DataflowSummary {
     /// Whether the dataflow runtime did anything observable.
     pub fn any(&self) -> bool {
-        self.resident_hits > 0 || self.resident_misses > 0 || self.elided_downloads > 0
+        self.resident_hits > 0
+            || self.resident_misses > 0
+            || self.elided_downloads > 0
+            || self.lineage_recomputes > 0
+            || self.stage_fallbacks > 0
+            || self.resident_repairs > 0
     }
 }
 
@@ -173,6 +187,18 @@ impl std::fmt::Display for OffloadReport {
                 self.dataflow.resident_misses,
                 self.dataflow.elided_downloads,
             )?;
+            if self.dataflow.lineage_recomputes > 0
+                || self.dataflow.stage_fallbacks > 0
+                || self.dataflow.resident_repairs > 0
+            {
+                write!(
+                    f,
+                    ", {} lineage recomputes, {} stage fallbacks, {} repairs",
+                    self.dataflow.lineage_recomputes,
+                    self.dataflow.stage_fallbacks,
+                    self.dataflow.resident_repairs,
+                )?;
+            }
         }
         if let Some(cost) = &self.cost {
             write!(f, "\n  cost: {cost}")?;

@@ -74,6 +74,18 @@ pub struct DataflowHints {
     /// Identity of the DAG window (e.g. `dag-3`), used as the lease
     /// root for resident keys. `None` outside a DAG.
     pub dag: Option<String>,
+    /// Position of this region in the DAG (its *epoch*). Devices stage
+    /// kept outputs under version-scoped keys (`v{epoch}/{var}`) so
+    /// earlier versions survive for lineage recovery.
+    pub epoch: usize,
+    /// Inputs that must be sourced from an exact earlier version
+    /// (`(var, producing epoch)`) rather than the latest resident entry
+    /// or the host environment — set on lineage-recovery replays.
+    pub pinned_inputs: Vec<(String, usize)>,
+    /// This execution is a lineage-recovery replay of an already-run
+    /// region: regenerate the kept outputs, but never clobber resident
+    /// entries of *newer* epochs.
+    pub recovery: bool,
 }
 
 /// What a [`Device::materialize_resident`] call actually moved back to
@@ -86,6 +98,9 @@ pub struct MaterializeReport {
     pub wire_bytes: u64,
     /// Wall seconds the downloads took.
     pub seconds: f64,
+    /// Driver-side resident copies that were damaged and repaired from
+    /// the durable store copy while serving this materialization.
+    pub repairs: u64,
 }
 
 impl MaterializeReport {
@@ -94,6 +109,7 @@ impl MaterializeReport {
         self.vars.extend(other.vars);
         self.wire_bytes += other.wire_bytes;
         self.seconds += other.seconds;
+        self.repairs += other.repairs;
     }
 }
 
@@ -106,6 +122,16 @@ pub struct DagReport {
     /// drain (final sinks) or mid-DAG (host fallback, cross-device
     /// reads) — with the bytes/seconds those downloads cost.
     pub drain: MaterializeReport,
+    /// Producing regions re-executed to regenerate a lost resident
+    /// buffer (lineage recovery).
+    pub lineage_recomputes: u32,
+    /// Stages re-executed on the host individually — a mid-flight
+    /// device failure or an unrecoverable resident loss contained to
+    /// one stage while downstream stages stayed cloud-side.
+    pub stage_fallbacks: u32,
+    /// Damaged driver-side resident copies repaired from their durable
+    /// store copy instead of recomputed.
+    pub resident_repairs: u64,
 }
 
 impl DagReport {
@@ -181,6 +207,49 @@ pub trait Device: Send + Sync {
     /// write superseded them, so consumers must re-source from the host.
     fn invalidate_resident(&self, vars: &[String]) {
         let _ = vars;
+    }
+
+    /// How many transitive producer re-executions the DAG scheduler may
+    /// spend regenerating one lost resident buffer before containing
+    /// the loss with a host regeneration instead (the `recovery-depth`
+    /// knob of cloud devices).
+    fn recovery_depth(&self) -> usize {
+        2
+    }
+
+    /// Adopt host-environment copies of `vars` as this device's
+    /// resident versions for DAG `dag` at `epoch`. Called after a stage
+    /// fell back to the host, so downstream consumers can stay on the
+    /// device instead of re-uploading. Devices without durable
+    /// residency refuse; the registry then supersedes the variables.
+    fn adopt_resident(
+        &self,
+        vars: &[String],
+        env: &DataEnv,
+        dag: &str,
+        epoch: usize,
+    ) -> Result<(), OmpError> {
+        let _ = (vars, env, dag, epoch);
+        Err(OmpError::Plugin {
+            device: self.name().to_string(),
+            detail: "resident adoption not supported".into(),
+        })
+    }
+
+    /// Download exact resident *versions* (`(var, producing epoch)`)
+    /// into the host environment — used when replaying a region on the
+    /// host against the inputs it originally consumed. Devices without
+    /// versioned residency refuse.
+    fn materialize_pinned(
+        &self,
+        pins: &[(String, usize)],
+        env: &mut DataEnv,
+    ) -> Result<MaterializeReport, OmpError> {
+        let _ = (pins, env);
+        Err(OmpError::Plugin {
+            device: self.name().to_string(),
+            detail: "versioned residency not supported".into(),
+        })
     }
 
     /// A DAG window closed: release the lease on its resident keys and
@@ -410,7 +479,10 @@ impl DeviceRegistry {
     /// Walk the deferred regions. Submission order is already a
     /// topological order of the version DAG — a version's writer always
     /// precedes its readers — so the scheduler executes in that order;
-    /// the depend edges decide *residency*, not reordering.
+    /// the depend edges decide *residency*, not reordering. Lineage
+    /// (which region produced which version, against which pinned
+    /// inputs) is recorded as the walk proceeds, so a lost resident
+    /// buffer can be regenerated by re-executing only its producer.
     fn run_dag(
         &self,
         regions: &[TargetRegion],
@@ -429,192 +501,39 @@ impl DeviceRegistry {
             .iter()
             .map(|r| r.depend_writes().map(str::to_string).collect())
             .collect();
-        // Which device currently holds each variable's latest version.
-        let mut resident_on: HashMap<String, usize> = HashMap::new();
-        let mut report = DagReport::default();
-        for (i, region) in regions.iter().enumerate() {
-            let (dev_idx, device) = self.resolve(region.device)?;
-            for &c in &region.constructs {
-                if !device.supports(c) {
-                    return Err(OmpError::UnsupportedConstruct {
-                        device: device.name().to_string(),
-                        construct: c,
-                    });
-                }
-            }
-            let dataflow = device.supports_dataflow();
-            // Inputs resident on a *different* device escape here: bring
-            // them home before this region reads them. The holder keeps
-            // its copy — same-device consumers may still hit it.
-            let foreign: Vec<String> = reads[i]
-                .iter()
-                .filter(|v| resident_on.get(*v).is_some_and(|&d| d != dev_idx))
-                .cloned()
-                .collect();
-            if !foreign.is_empty() {
-                self.materialize_from(&foreign, &resident_on, env, &mut report.drain)?;
-            }
-
-            // Host paths (if-clause, unavailable device) read the host
-            // environment, which is stale for resident variables.
-            let run_on_host = !region.offload_if || !device.is_available();
-            if run_on_host {
-                let local: Vec<String> = reads[i]
-                    .iter()
-                    .filter(|v| resident_on.contains_key(*v))
-                    .cloned()
-                    .collect();
-                self.materialize_from(&local, &resident_on, env, &mut report.drain)?;
-                let profile = if !region.offload_if {
-                    let host = self.host_device()?;
-                    let mut p = host.execute(region, env)?;
-                    p.note("if(...) clause evaluated false; executed on the host");
-                    p
-                } else {
-                    let (kind, why) = if device.degraded() {
-                        (
-                            FallbackReason::BreakerOpen,
-                            "unavailable (circuit breaker open)",
-                        )
-                    } else {
-                        (FallbackReason::Unavailable, "unavailable")
-                    };
-                    self.host_fallback(region, env, device.as_ref(), kind, why)?
-                };
-                self.supersede(&writes[i], &mut resident_on);
-                report.profiles.push(profile);
-                continue;
-            }
-
-            let hints = if dataflow {
-                if !participants.contains(&dev_idx) {
-                    participants.push(dev_idx);
-                }
-                DataflowHints {
-                    resident_inputs: reads[i]
-                        .iter()
-                        .filter(|v| resident_on.get(*v) == Some(&dev_idx))
-                        .cloned()
-                        .collect(),
-                    // Keep a produced version resident when any later
-                    // region touches the variable again: a reader
-                    // consumes it in place; the next writer makes this
-                    // version dead (nobody ever downloads it).
-                    keep_resident: writes[i]
-                        .iter()
-                        .filter(|v| {
-                            regions[i + 1..].iter().any(|r| {
-                                r.depend_reads().chain(r.depend_writes()).any(|d| d == **v)
-                            })
-                        })
-                        .cloned()
-                        .collect(),
-                    dag: Some(dag_tag.to_string()),
-                }
-            } else {
-                DataflowHints::default()
-            };
-            match device.execute_dataflow(region, env, &hints) {
-                Ok(profile) => {
-                    if dataflow {
-                        for v in &hints.keep_resident {
-                            resident_on.insert(v.clone(), dev_idx);
-                        }
-                        // Versions downloaded eagerly (no later consumer)
-                        // are home: any stale residency is superseded.
-                        for v in writes[i]
+        // Keep a produced version resident when any later region
+        // touches the variable again: a reader consumes it in place;
+        // the next writer makes this version dead (nobody ever
+        // downloads it).
+        let keeps: Vec<Vec<String>> = writes
+            .iter()
+            .enumerate()
+            .map(|(i, ws)| {
+                ws.iter()
+                    .filter(|v| {
+                        regions[i + 1..]
                             .iter()
-                            .filter(|v| !hints.keep_resident.contains(v))
-                        {
-                            if let Some(d) = resident_on.remove(v) {
-                                if d != dev_idx {
-                                    if let Some(dev) = self.devices.get(d) {
-                                        dev.invalidate_resident(std::slice::from_ref(v));
-                                    }
-                                }
-                            }
-                        }
-                    } else {
-                        self.supersede(&writes[i], &mut resident_on);
-                    }
-                    report.profiles.push(profile);
-                }
-                Err(OmpError::DeviceUnavailable { reason, .. })
-                    if device.kind() != DeviceKind::Host =>
-                {
-                    // A failed producer's resident entries (if it made
-                    // any) die with it; the device invalidates its own.
-                    // The host re-run needs fresh inputs for anything
-                    // still resident from *earlier* regions.
-                    let local: Vec<String> = reads[i]
-                        .iter()
-                        .filter(|v| resident_on.contains_key(*v))
-                        .cloned()
-                        .collect();
-                    self.materialize_from(&local, &resident_on, env, &mut report.drain)?;
-                    let kind = if reason.contains(crate::profile::RESUME_EXHAUSTED) {
-                        FallbackReason::ResumeExhausted
-                    } else {
-                        FallbackReason::MidFlight
-                    };
-                    let profile = self.host_fallback(
-                        region,
-                        env,
-                        device.as_ref(),
-                        kind,
-                        &format!("failed mid-flight ({reason})"),
-                    )?;
-                    self.supersede(&writes[i], &mut resident_on);
-                    report.profiles.push(profile);
-                }
-                Err(e) => return Err(e),
-            }
-        }
-
-        // DAG drain: anything still resident is owed to the host — its
-        // map(from:) contract — as exactly one download of the final
-        // version per variable.
-        let mut leftover: Vec<String> = resident_on.keys().cloned().collect();
-        leftover.sort();
-        self.materialize_from(&leftover, &resident_on, env, &mut report.drain)?;
-        report.drain.vars.sort();
-        Ok(report)
-    }
-
-    /// A host write superseded these variables: drop and invalidate any
-    /// resident copies so consumers re-source from the host.
-    fn supersede(&self, vars: &[String], resident_on: &mut HashMap<String, usize>) {
-        for v in vars {
-            if let Some(d) = resident_on.remove(v) {
-                if let Some(dev) = self.devices.get(d) {
-                    dev.invalidate_resident(std::slice::from_ref(v));
-                }
-            }
-        }
-    }
-
-    /// Materialize `vars` into `env` from whichever devices hold them,
-    /// folding the download cost into `drain`.
-    fn materialize_from(
-        &self,
-        vars: &[String],
-        resident_on: &HashMap<String, usize>,
-        env: &mut DataEnv,
-        drain: &mut MaterializeReport,
-    ) -> Result<(), OmpError> {
-        let mut by_dev: HashMap<usize, Vec<String>> = HashMap::new();
-        for v in vars {
-            if let Some(&d) = resident_on.get(v) {
-                by_dev.entry(d).or_default().push(v.clone());
-            }
-        }
-        for (d, mut names) in by_dev {
-            names.sort();
-            if let Some(dev) = self.devices.get(d) {
-                drain.merge(dev.materialize_resident(&names, env)?);
-            }
-        }
-        Ok(())
+                            .any(|r| r.depend_reads().chain(r.depend_writes()).any(|d| d == **v))
+                    })
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        let pins = vec![Vec::new(); regions.len()];
+        let run = DagRun {
+            registry: self,
+            regions,
+            dag_tag,
+            reads,
+            writes,
+            keeps,
+            resident_on: HashMap::new(),
+            producer: HashMap::new(),
+            pins,
+            report: DagReport::default(),
+            participants,
+        };
+        run.run(env)
     }
 
     /// The first available host device.
@@ -653,6 +572,432 @@ impl DeviceRegistry {
             host.name()
         ));
         Ok(profile)
+    }
+}
+
+/// One `taskwait`'s DAG walk: residency + lineage bookkeeping plus the
+/// recovery machinery that survives resident-buffer loss (re-execute
+/// only the producer) and per-stage device failures (contain the
+/// fallback to one stage, re-adopt its outputs resident).
+struct DagRun<'a> {
+    registry: &'a DeviceRegistry,
+    regions: &'a [TargetRegion],
+    dag_tag: &'a str,
+    /// depend-read set per region.
+    reads: Vec<Vec<String>>,
+    /// depend-write set per region.
+    writes: Vec<Vec<String>>,
+    /// Outputs each region keeps resident (touched by a later region).
+    keeps: Vec<Vec<String>>,
+    /// Which device currently holds each variable's latest version.
+    resident_on: HashMap<String, usize>,
+    /// Lineage: the epoch (region index) that produced each variable's
+    /// current resident version.
+    producer: HashMap<String, usize>,
+    /// Lineage: the version-pinned resident inputs each region consumed
+    /// when it ran, recorded for recovery replays.
+    pins: Vec<Vec<(String, usize)>>,
+    report: DagReport,
+    participants: &'a mut Vec<usize>,
+}
+
+impl DagRun<'_> {
+    fn run(mut self, env: &mut DataEnv) -> Result<DagReport, OmpError> {
+        for i in 0..self.regions.len() {
+            self.exec_region(i, env)?;
+        }
+        // DAG drain: anything still resident is owed to the host — its
+        // map(from:) contract — as exactly one download of the final
+        // version per variable.
+        let mut leftover: Vec<String> = self.resident_on.keys().cloned().collect();
+        leftover.sort();
+        self.materialize_vars(&leftover, env)?;
+        self.report.drain.vars.sort();
+        Ok(self.report)
+    }
+
+    fn exec_region(&mut self, i: usize, env: &mut DataEnv) -> Result<(), OmpError> {
+        let region = &self.regions[i];
+        let (dev_idx, device) = self.registry.resolve(region.device)?;
+        let device = Arc::clone(device);
+        for &c in &region.constructs {
+            if !device.supports(c) {
+                return Err(OmpError::UnsupportedConstruct {
+                    device: device.name().to_string(),
+                    construct: c,
+                });
+            }
+        }
+        let dataflow = device.supports_dataflow();
+        // Inputs resident on a *different* device escape here: bring
+        // them home before this region reads them. The holder keeps
+        // its copy — same-device consumers may still hit it.
+        let foreign: Vec<String> = self.reads[i]
+            .iter()
+            .filter(|v| self.resident_on.get(*v).is_some_and(|&d| d != dev_idx))
+            .cloned()
+            .collect();
+        if !foreign.is_empty() {
+            self.materialize_vars(&foreign, env)?;
+        }
+
+        // Host paths (if-clause, unavailable device) read the host
+        // environment, which is stale for resident variables.
+        let run_on_host = !region.offload_if || !device.is_available();
+        if run_on_host {
+            let local: Vec<String> = self.reads[i]
+                .iter()
+                .filter(|v| self.resident_on.contains_key(*v))
+                .cloned()
+                .collect();
+            self.materialize_vars(&local, env)?;
+            let profile = if !region.offload_if {
+                let host = self.registry.host_device()?;
+                let mut p = host.execute(region, env)?;
+                p.note("if(...) clause evaluated false; executed on the host");
+                p
+            } else {
+                let (kind, why) = if device.degraded() {
+                    (
+                        FallbackReason::BreakerOpen,
+                        "unavailable (circuit breaker open)",
+                    )
+                } else {
+                    (FallbackReason::Unavailable, "unavailable")
+                };
+                self.report.stage_fallbacks += 1;
+                self.registry
+                    .host_fallback(region, env, device.as_ref(), kind, why)?
+            };
+            self.supersede_writes(i);
+            self.report.profiles.push(profile);
+            return Ok(());
+        }
+
+        let mut hints = if dataflow {
+            if !self.participants.contains(&dev_idx) {
+                self.participants.push(dev_idx);
+            }
+            DataflowHints {
+                resident_inputs: self.reads[i]
+                    .iter()
+                    .filter(|v| self.resident_on.get(*v) == Some(&dev_idx))
+                    .cloned()
+                    .collect(),
+                keep_resident: self.keeps[i].clone(),
+                dag: Some(self.dag_tag.to_string()),
+                epoch: i,
+                pinned_inputs: Vec::new(),
+                recovery: false,
+            }
+        } else {
+            DataflowHints::default()
+        };
+        // Lineage: record the exact versions this region consumes, so a
+        // recovery replay can pin them.
+        self.pins[i] = hints
+            .resident_inputs
+            .iter()
+            .filter_map(|v| self.producer.get(v).map(|&e| (v.clone(), e)))
+            .collect();
+
+        let mut loss_rounds = 0usize;
+        loop {
+            match device.execute_dataflow(region, env, &hints) {
+                Ok(profile) => {
+                    if dataflow {
+                        for v in &hints.keep_resident {
+                            self.resident_on.insert(v.clone(), dev_idx);
+                            self.producer.insert(v.clone(), i);
+                        }
+                        // Versions downloaded eagerly (no later consumer)
+                        // are home: any stale residency is superseded.
+                        for v in self.writes[i]
+                            .iter()
+                            .filter(|v| !hints.keep_resident.contains(v))
+                        {
+                            self.producer.remove(v);
+                            if let Some(d) = self.resident_on.remove(v) {
+                                if d != dev_idx {
+                                    if let Some(dev) = self.registry.devices.get(d) {
+                                        dev.invalidate_resident(std::slice::from_ref(v));
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        self.supersede_writes(i);
+                    }
+                    self.report.resident_repairs += profile.resident_repairs;
+                    self.report.profiles.push(profile);
+                    return Ok(());
+                }
+                Err(OmpError::ResidentLoss { var, .. }) if dataflow => {
+                    // Lineage recovery: re-execute only the producing
+                    // region(s) to regenerate the lost version, then
+                    // retry this stage against the repaired residency.
+                    loss_rounds += 1;
+                    if loss_rounds <= self.reads[i].len().max(1)
+                        && self.recover_var(&var, env, device.recovery_depth())
+                    {
+                        continue;
+                    }
+                    // Recovery refused or budget exhausted: contain the
+                    // loss by regenerating the variable on the host and
+                    // retrying with it host-sourced — the stage itself
+                    // stays on the device.
+                    if let Some(&j) = self.producer.get(&var) {
+                        self.host_replay(j, env)?;
+                    } else {
+                        self.resident_on.remove(&var);
+                    }
+                    hints.resident_inputs.retain(|v| v != &var);
+                    self.pins[i].retain(|(v, _)| v != &var);
+                    continue;
+                }
+                Err(OmpError::DeviceUnavailable { reason, .. })
+                    if device.kind() != DeviceKind::Host =>
+                {
+                    // Per-stage containment: this stage falls back to
+                    // the host individually. The host re-run needs fresh
+                    // inputs for anything still resident from earlier
+                    // regions; afterwards its kept outputs are adopted
+                    // back as resident keys so downstream stages stay
+                    // cloud-side.
+                    let local: Vec<String> = self.reads[i]
+                        .iter()
+                        .filter(|v| self.resident_on.contains_key(*v))
+                        .cloned()
+                        .collect();
+                    self.materialize_vars(&local, env)?;
+                    let kind = if reason.contains(crate::profile::RESUME_EXHAUSTED) {
+                        FallbackReason::ResumeExhausted
+                    } else {
+                        FallbackReason::MidFlight
+                    };
+                    let profile = self.registry.host_fallback(
+                        region,
+                        env,
+                        device.as_ref(),
+                        kind,
+                        &format!("failed mid-flight ({reason})"),
+                    )?;
+                    self.report.stage_fallbacks += 1;
+                    let adopted = dataflow
+                        && !hints.keep_resident.is_empty()
+                        && device.is_available()
+                        && device
+                            .adopt_resident(&hints.keep_resident, env, self.dag_tag, i)
+                            .is_ok();
+                    if adopted {
+                        for v in &hints.keep_resident {
+                            self.resident_on.insert(v.clone(), dev_idx);
+                            self.producer.insert(v.clone(), i);
+                        }
+                        // Outputs with no later consumer are home; any
+                        // stale residency — including this device's own
+                        // pre-failure copy — is superseded.
+                        for v in self.writes[i]
+                            .iter()
+                            .filter(|v| !hints.keep_resident.contains(v))
+                            .cloned()
+                            .collect::<Vec<_>>()
+                        {
+                            self.producer.remove(&v);
+                            if let Some(d) = self.resident_on.remove(&v) {
+                                if let Some(dev) = self.registry.devices.get(d) {
+                                    dev.invalidate_resident(std::slice::from_ref(&v));
+                                }
+                            }
+                        }
+                    } else {
+                        self.supersede_writes(i);
+                    }
+                    self.report.profiles.push(profile);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Regenerate `var`'s resident version by re-executing its
+    /// producing region (transitively, within `depth`). Returns whether
+    /// the version is resident again.
+    fn recover_var(&mut self, var: &str, env: &mut DataEnv, depth: usize) -> bool {
+        match self.producer.get(var).copied() {
+            Some(j) => self.recover_region(j, env, depth),
+            None => false,
+        }
+    }
+
+    /// Re-execute region `j` on its device as a recovery replay: inputs
+    /// pinned to the versions it originally consumed, kept outputs
+    /// re-staged under their original epoch. Recurses (within `depth`)
+    /// when a pinned ancestor version is itself lost.
+    fn recover_region(&mut self, j: usize, env: &mut DataEnv, depth: usize) -> bool {
+        if depth == 0 {
+            return false;
+        }
+        let Ok((_, device)) = self.registry.resolve(self.regions[j].device) else {
+            return false;
+        };
+        let device = Arc::clone(device);
+        if !device.supports_dataflow() || !device.is_available() {
+            return false;
+        }
+        let hints = DataflowHints {
+            resident_inputs: Vec::new(),
+            keep_resident: self.keeps[j].clone(),
+            dag: Some(self.dag_tag.to_string()),
+            epoch: j,
+            pinned_inputs: self.pins[j].clone(),
+            recovery: true,
+        };
+        let mut rounds = 0usize;
+        loop {
+            match device.execute_dataflow(&self.regions[j], env, &hints) {
+                Ok(profile) => {
+                    self.report.lineage_recomputes += 1;
+                    self.report.resident_repairs += profile.resident_repairs;
+                    return true;
+                }
+                Err(OmpError::ResidentLoss { var, .. }) => {
+                    // A pinned ancestor version is gone too: regenerate
+                    // it one level deeper, then retry this replay.
+                    rounds += 1;
+                    let pinned_epoch = hints
+                        .pinned_inputs
+                        .iter()
+                        .find(|(v, _)| v == &var)
+                        .map(|&(_, e)| e);
+                    if rounds <= hints.pinned_inputs.len().max(1)
+                        && pinned_epoch.is_some_and(|e| self.recover_region(e, env, depth - 1))
+                    {
+                        continue;
+                    }
+                    return false;
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Regenerate region `j`'s outputs on the host: version-pinned
+    /// inputs come from the device's durable copies (recursing up the
+    /// lineage when a pin is gone), everything else from the host
+    /// environment. The host result supersedes any resident copy of the
+    /// region's still-current writes — stale device versions are never
+    /// served again.
+    fn host_replay(&mut self, j: usize, env: &mut DataEnv) -> Result<(), OmpError> {
+        let device = self
+            .registry
+            .resolve(self.regions[j].device)
+            .ok()
+            .map(|(_, d)| Arc::clone(d));
+        for (var, e) in self.pins[j].clone() {
+            let served = device.as_ref().is_some_and(|d| {
+                match d.materialize_pinned(std::slice::from_ref(&(var.clone(), e)), env) {
+                    Ok(rep) => {
+                        self.report.resident_repairs += rep.repairs;
+                        self.report.drain.wire_bytes += rep.wire_bytes;
+                        self.report.drain.seconds += rep.seconds;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            });
+            if !served {
+                // The pinned version is unrecoverable: regenerate it on
+                // the host too. Epochs strictly decrease, so this
+                // terminates at a region with no pinned inputs.
+                self.host_replay(e, env)?;
+            }
+        }
+        let host = self.registry.host_device()?;
+        host.execute(&self.regions[j], env)?;
+        self.report.stage_fallbacks += 1;
+        for v in self.writes[j].clone() {
+            // Only supersede versions this region still owns — a later
+            // writer's newer resident version stays authoritative.
+            if self.producer.get(&v).copied() == Some(j) {
+                self.producer.remove(&v);
+                if let Some(d) = self.resident_on.remove(&v) {
+                    if let Some(dev) = self.registry.devices.get(d) {
+                        dev.invalidate_resident(std::slice::from_ref(&v));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A host write superseded region `i`'s outputs: drop and
+    /// invalidate any resident copies so consumers re-source from the
+    /// host.
+    fn supersede_writes(&mut self, i: usize) {
+        for v in self.writes[i].clone() {
+            self.producer.remove(&v);
+            if let Some(d) = self.resident_on.remove(&v) {
+                if let Some(dev) = self.registry.devices.get(d) {
+                    dev.invalidate_resident(std::slice::from_ref(&v));
+                }
+            }
+        }
+    }
+
+    /// Materialize `vars` into `env` from whichever devices hold them,
+    /// folding the download cost into the drain report. A resident loss
+    /// triggers lineage recovery and a retry; an unrecoverable loss is
+    /// contained by regenerating the variable on the host.
+    fn materialize_vars(&mut self, vars: &[String], env: &mut DataEnv) -> Result<(), OmpError> {
+        let mut by_dev: HashMap<usize, Vec<String>> = HashMap::new();
+        for v in vars {
+            if let Some(&d) = self.resident_on.get(v) {
+                by_dev.entry(d).or_default().push(v.clone());
+            }
+        }
+        let mut dev_ids: Vec<usize> = by_dev.keys().copied().collect();
+        dev_ids.sort_unstable();
+        for d in dev_ids {
+            let mut names = by_dev.remove(&d).expect("key listed above");
+            names.sort();
+            let Some(device) = self.registry.devices.get(d).map(Arc::clone) else {
+                continue;
+            };
+            let mut loss_rounds = 0usize;
+            while !names.is_empty() {
+                match device.materialize_resident(&names, env) {
+                    Ok(rep) => {
+                        self.report.resident_repairs += rep.repairs;
+                        self.report.drain.merge(rep);
+                        break;
+                    }
+                    Err(OmpError::ResidentLoss { var, .. }) => {
+                        loss_rounds += 1;
+                        if loss_rounds <= names.len()
+                            && self.recover_var(&var, env, device.recovery_depth())
+                        {
+                            // Retry the whole group — re-materializing
+                            // an already-served name is idempotent.
+                            continue;
+                        }
+                        // Terminal: regenerate on the host instead; the
+                        // host copy is authoritative, so the name no
+                        // longer needs materializing.
+                        if let Some(&j) = self.producer.get(&var) {
+                            self.host_replay(j, env)?;
+                        } else {
+                            self.resident_on.remove(&var);
+                        }
+                        names.retain(|v| v != &var);
+                        self.report.drain.vars.push(var);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -945,6 +1290,8 @@ mod tests {
     struct DataflowLog {
         hints: Vec<DataflowHints>,
         materialized: Vec<Vec<String>>,
+        pinned: Vec<Vec<(String, usize)>>,
+        adopted: Vec<(Vec<String>, usize)>,
         invalidated: Vec<String>,
         ended: Vec<String>,
     }
@@ -954,16 +1301,29 @@ mod tests {
         log: Mutex<DataflowLog>,
         fail_on_call: Option<usize>,
         calls: Mutex<usize>,
+        /// One-shot fault: the Nth `execute_dataflow` call fails with
+        /// `ResidentLoss` for this variable, then the fault clears —
+        /// models a resident key lost between two stages.
+        lose_resident_on_call: Mutex<Option<(usize, String)>>,
+        depth: usize,
+        adopt_ok: bool,
     }
 
     impl DataflowFake {
-        fn new(name: &str) -> Arc<DataflowFake> {
-            Arc::new(DataflowFake {
+        fn bare(name: &str) -> DataflowFake {
+            DataflowFake {
                 name: name.into(),
                 log: Mutex::new(DataflowLog::default()),
                 fail_on_call: None,
                 calls: Mutex::new(0),
-            })
+                lose_resident_on_call: Mutex::new(None),
+                depth: 2,
+                adopt_ok: true,
+            }
+        }
+
+        fn new(name: &str) -> Arc<DataflowFake> {
+            Arc::new(DataflowFake::bare(name))
         }
     }
 
@@ -1005,6 +1365,19 @@ mod tests {
                     reason: "storage endpoint lost".into(),
                 });
             }
+            let lost = {
+                let mut slot = self.lose_resident_on_call.lock();
+                match &*slot {
+                    Some((c, _)) if *c == call => slot.take().map(|(_, v)| v),
+                    _ => None,
+                }
+            };
+            if let Some(var) = lost {
+                return Err(OmpError::ResidentLoss {
+                    var,
+                    reason: crate::error::ResidentLossReason::Miss,
+                });
+            }
             self.execute(region, env)
         }
         fn materialize_resident(
@@ -1017,7 +1390,40 @@ mod tests {
                 vars: vars.to_vec(),
                 wire_bytes: vars.len() as u64,
                 seconds: 0.0,
+                repairs: 0,
             })
+        }
+        fn materialize_pinned(
+            &self,
+            pins: &[(String, usize)],
+            _env: &mut DataEnv,
+        ) -> Result<MaterializeReport, OmpError> {
+            self.log.lock().pinned.push(pins.to_vec());
+            Ok(MaterializeReport {
+                vars: pins.iter().map(|(v, _)| v.clone()).collect(),
+                wire_bytes: pins.len() as u64,
+                seconds: 0.0,
+                repairs: 0,
+            })
+        }
+        fn adopt_resident(
+            &self,
+            vars: &[String],
+            _env: &DataEnv,
+            _dag: &str,
+            epoch: usize,
+        ) -> Result<(), OmpError> {
+            if !self.adopt_ok {
+                return Err(OmpError::Plugin {
+                    device: self.name.clone(),
+                    detail: "adoption refused".into(),
+                });
+            }
+            self.log.lock().adopted.push((vars.to_vec(), epoch));
+            Ok(())
+        }
+        fn recovery_depth(&self) -> usize {
+            self.depth
         }
         fn invalidate_resident(&self, vars: &[String]) {
             self.log.lock().invalidated.extend(vars.iter().cloned());
@@ -1131,10 +1537,8 @@ mod tests {
         let host = fake("host", DeviceKind::Host, true);
         r.register(Arc::clone(&host) as Arc<dyn Device>);
         let cloud = Arc::new(DataflowFake {
-            name: "cloud-0".into(),
-            log: Mutex::new(DataflowLog::default()),
             fail_on_call: Some(1), // the consumer dies mid-flight
-            calls: Mutex::new(0),
+            ..DataflowFake::bare("cloud-0")
         });
         r.register(Arc::clone(&cloud) as Arc<dyn Device>);
         r.offload_nowait(chain_region("producer", "y"));
@@ -1143,25 +1547,26 @@ mod tests {
         let report = r.taskwait(&mut env).unwrap();
         assert_eq!(report.profiles.len(), 2);
         assert!(report.profiles[1].fallback_from.is_some());
+        assert_eq!(report.stage_fallbacks, 1);
         let log = cloud.log.lock();
         // The host re-run read `y` from the resident copy first…
         assert_eq!(log.materialized, vec![vec!["y".to_string()]]);
-        // …and its write superseded the resident version.
+        // …and its write superseded the resident version. The consumer
+        // is the chain's last stage, so there is nothing to adopt back.
         assert_eq!(log.invalidated, vec!["y"]);
+        assert!(log.adopted.is_empty());
         assert_eq!(log.ended, vec!["dag-0"]);
         assert_eq!(report.drain.vars, vec!["y"], "mid-DAG escape is reported");
     }
 
     #[test]
-    fn failed_producer_leaves_consumer_sourcing_from_host() {
+    fn failed_producer_adopts_host_outputs_and_keeps_consumer_cloud_side() {
         let mut r = DeviceRegistry::new();
         let host = fake("host", DeviceKind::Host, true);
         r.register(Arc::clone(&host) as Arc<dyn Device>);
         let cloud = Arc::new(DataflowFake {
-            name: "cloud-0".into(),
-            log: Mutex::new(DataflowLog::default()),
             fail_on_call: Some(0), // the producer dies mid-flight
-            calls: Mutex::new(0),
+            ..DataflowFake::bare("cloud-0")
         });
         r.register(Arc::clone(&cloud) as Arc<dyn Device>);
         r.offload_nowait(chain_region("producer", "y"));
@@ -1170,11 +1575,118 @@ mod tests {
         let report = r.taskwait(&mut env).unwrap();
         assert!(report.profiles[0].fallback_from.is_some());
         assert!(report.profiles[1].fallback_from.is_none());
+        assert_eq!(report.stage_fallbacks, 1, "the failure stayed contained");
         let log = cloud.log.lock();
+        // Per-stage containment: the host-recomputed output was adopted
+        // back as a resident key, so the consumer still sources it from
+        // the device instead of re-uploading from the host.
+        assert_eq!(log.adopted, vec![(vec!["y".to_string()], 0)]);
+        assert_eq!(
+            log.hints[1].resident_inputs,
+            vec!["y"],
+            "the consumer stays cloud-side against the adopted copy"
+        );
+        assert!(log.materialized.is_empty());
+    }
+
+    #[test]
+    fn failed_producer_without_adoption_leaves_consumer_sourcing_from_host() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        let cloud = Arc::new(DataflowFake {
+            fail_on_call: Some(0), // the producer dies mid-flight
+            adopt_ok: false,       // …and the device refuses re-uploads
+            ..DataflowFake::bare("cloud-0")
+        });
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        r.offload_nowait(chain_region("producer", "y"));
+        r.offload_nowait(chain_region("consumer", "y"));
+        let mut env = DataEnv::new();
+        let report = r.taskwait(&mut env).unwrap();
+        assert!(report.profiles[0].fallback_from.is_some());
+        assert!(report.profiles[1].fallback_from.is_none());
+        assert_eq!(report.stage_fallbacks, 1);
+        let log = cloud.log.lock();
+        assert!(log.adopted.is_empty());
         assert!(
             log.hints[1].resident_inputs.is_empty(),
             "nothing is resident after the producer fell back — the consumer uploads from the host"
         );
         assert!(log.materialized.is_empty());
+    }
+
+    #[test]
+    fn resident_loss_triggers_lineage_recompute() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = Arc::new(DataflowFake {
+            // Stage 1's first attempt finds `y`'s resident copy gone.
+            lose_resident_on_call: Mutex::new(Some((1, "y".to_string()))),
+            ..DataflowFake::bare("cloud-0")
+        });
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        for i in 0..3 {
+            r.offload_nowait(chain_region(&format!("it{i}"), "y"));
+        }
+        let mut env = DataEnv::new();
+        let report = r.taskwait(&mut env).unwrap();
+        assert_eq!(report.profiles.len(), 3, "recovery replays add no profiles");
+        assert_eq!(report.lineage_recomputes, 1, "only the producer re-ran");
+        assert_eq!(report.stage_fallbacks, 0, "no stage left the device");
+        assert!(report.profiles.iter().all(|p| p.fallback_from.is_none()));
+        let log = cloud.log.lock();
+        // stage0, stage1 (loss), recovery of stage0, stage1 retry, stage2.
+        assert_eq!(log.hints.len(), 5);
+        assert!(log.hints[2].recovery, "third call is the lineage replay");
+        assert_eq!(log.hints[2].epoch, 0, "…of the producing region");
+        assert!(!log.hints[3].recovery);
+        assert_eq!(
+            log.hints[3].resident_inputs,
+            vec!["y"],
+            "the retried stage sources the regenerated resident copy"
+        );
+        assert_eq!(
+            log.hints[4].resident_inputs,
+            vec!["y"],
+            "downstream stages stay cloud-side"
+        );
+        assert!(log.materialized.is_empty(), "no mid-DAG host escape");
+    }
+
+    #[test]
+    fn recovery_budget_exhausted_contains_loss_with_host_replay() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        let cloud = Arc::new(DataflowFake {
+            lose_resident_on_call: Mutex::new(Some((1, "y".to_string()))),
+            depth: 0, // recovery-depth budget disallows any replay
+            ..DataflowFake::bare("cloud-0")
+        });
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        r.offload_nowait(chain_region("producer", "y"));
+        r.offload_nowait(chain_region("consumer", "y"));
+        let mut env = DataEnv::new();
+        let report = r.taskwait(&mut env).unwrap();
+        assert_eq!(report.lineage_recomputes, 0, "budget forbade the replay");
+        assert_eq!(
+            report.stage_fallbacks, 1,
+            "the producer was replayed on the host instead"
+        );
+        assert!(
+            report.profiles.iter().all(|p| p.fallback_from.is_none()),
+            "host replays do not surface as whole-stage fallbacks"
+        );
+        let log = cloud.log.lock();
+        // The host-regenerated version superseded the stale resident copy…
+        assert_eq!(log.invalidated, vec!["y"]);
+        // …and the consumer retried with `y` host-sourced.
+        let last = log.hints.last().unwrap();
+        assert!(!last.recovery);
+        assert!(last.resident_inputs.is_empty());
+        assert!(
+            log.hints.iter().all(|h| !h.recovery),
+            "no device-side replay was attempted"
+        );
     }
 }

@@ -49,6 +49,36 @@ pub enum OmpError {
         /// Backend-specific description.
         detail: String,
     },
+    /// A device-resident dataflow buffer could not be served: the entry
+    /// is gone or failed its integrity check and no durable copy could
+    /// repair it. The DAG scheduler reacts by re-executing the producing
+    /// region (lineage recovery) instead of failing the chain.
+    ResidentLoss {
+        /// Variable whose resident copy was lost.
+        var: String,
+        /// How the copy was lost.
+        reason: ResidentLossReason,
+    },
+}
+
+/// Why a device-resident buffer could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidentLossReason {
+    /// No resident entry exists for the variable (deleted, GC'd, or
+    /// never committed).
+    Miss,
+    /// An entry exists but every copy (driver-side and durable) failed
+    /// its integrity check.
+    Integrity,
+}
+
+impl fmt::Display for ResidentLossReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResidentLossReason::Miss => "missing",
+            ResidentLossReason::Integrity => "integrity check failed",
+        })
+    }
 }
 
 impl fmt::Display for OmpError {
@@ -85,6 +115,9 @@ impl fmt::Display for OmpError {
             }
             OmpError::InvalidRegion(detail) => write!(f, "invalid target region: {detail}"),
             OmpError::Plugin { device, detail } => write!(f, "device '{device}' failed: {detail}"),
+            OmpError::ResidentLoss { var, reason } => {
+                write!(f, "device-resident copy of '{var}' lost ({reason})")
+            }
         }
     }
 }

@@ -80,7 +80,7 @@ pub use device::{
 };
 pub use env::DataEnv;
 pub use erased::{ErasedSlice, ErasedVec, RedOp};
-pub use error::OmpError;
+pub use error::{OmpError, ResidentLossReason};
 pub use host::HostDevice;
 pub use partition::{LinearExpr, PartitionSpec};
 pub use pod::{Pod, TypeTag};
@@ -94,7 +94,7 @@ pub mod prelude {
     pub use crate::device::{DagReport, Device, DeviceKind, DeviceRegistry, DeviceSelector};
     pub use crate::env::DataEnv;
     pub use crate::erased::{ErasedVec, RedOp};
-    pub use crate::error::OmpError;
+    pub use crate::error::{OmpError, ResidentLossReason};
     pub use crate::host::HostDevice;
     pub use crate::partition::{LinearExpr, PartitionSpec};
     pub use crate::profile::ExecProfile;

@@ -77,6 +77,9 @@ pub struct ExecProfile {
     /// Critical-path store seconds of the transfer pipelines (puts +
     /// gets), normalized like `compress_busy_s`.
     pub store_busy_s: f64,
+    /// Resident dataflow inputs whose driver-side copy was damaged and
+    /// repaired from the durable store copy during this offload.
+    pub resident_repairs: u64,
     /// Free-form annotations ("fallback to host", codec choices, ...).
     pub notes: Vec<String>,
     /// Device this region was originally dispatched to, when it could

@@ -234,11 +234,17 @@ impl SparkContext {
         resident_hits: u64,
         resident_misses: u64,
         elided_downloads: u64,
+        lineage_recomputes: u64,
+        stage_fallbacks: u64,
+        resident_repairs: u64,
     ) {
         if let Some(m) = self.inner.metrics.lock().last_mut() {
             m.resident_hits += resident_hits as usize;
             m.resident_misses += resident_misses as usize;
             m.elided_downloads += elided_downloads as usize;
+            m.lineage_recomputes += lineage_recomputes as usize;
+            m.stage_fallbacks += stage_fallbacks as usize;
+            m.resident_repairs += resident_repairs as usize;
         }
     }
 

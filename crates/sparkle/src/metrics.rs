@@ -71,6 +71,15 @@ pub struct JobMetrics {
     /// Host downloads the dataflow runtime elided for this job's region
     /// (annotated by the offloading device after the job completes).
     pub elided_downloads: usize,
+    /// Producer regions re-executed to regenerate a lost resident buffer
+    /// (annotated by the offloading device, like `elided_downloads`).
+    pub lineage_recomputes: usize,
+    /// DAG stages contained to an individual host fallback instead of
+    /// collapsing the whole chain.
+    pub stage_fallbacks: usize,
+    /// Resident inputs repaired from their durable store copy after the
+    /// driver-side copy was damaged.
+    pub resident_repairs: usize,
 }
 
 impl JobMetrics {
@@ -90,6 +99,9 @@ impl JobMetrics {
             resident_hits: 0,
             resident_misses: 0,
             elided_downloads: 0,
+            lineage_recomputes: 0,
+            stage_fallbacks: 0,
+            resident_repairs: 0,
         }
     }
 

@@ -40,6 +40,14 @@ pub enum FaultKind {
     /// kill-between-put-and-manifest crash that a two-phase commit must
     /// survive.
     Kill,
+    /// The object vanishes under the reader: a firing *get* deletes the
+    /// stored object first, then proceeds — so the op (and every retry)
+    /// fails with the store's natural not-found error, exactly like a
+    /// lifecycle rule or racing cleaner expiring the key. Scoped to
+    /// `/dataflow/` keys via [`FaultRule::on_keys`], this models a
+    /// resident buffer lost mid-chain. Only get-matching rules expire;
+    /// the kind is ignored on other ops.
+    Expire,
 }
 
 /// The operation class being evaluated against a rule.
@@ -200,12 +208,19 @@ pub struct ChaosStats {
     /// Kill rules that fired (the latch events, not the ops refused
     /// afterwards — those count as `unavailable`).
     pub kills: u64,
+    /// Objects deleted under their reader by [`FaultKind::Expire`].
+    pub expirations: u64,
 }
 
 impl ChaosStats {
     /// Total faults of every kind.
     pub fn total(&self) -> u64 {
-        self.transient + self.unavailable + self.corruptions + self.delays + self.kills
+        self.transient
+            + self.unavailable
+            + self.corruptions
+            + self.delays
+            + self.kills
+            + self.expirations
     }
 }
 
@@ -220,6 +235,8 @@ struct Verdict {
     error: Option<StorageError>,
     /// Salt for the deterministic bit flip, when a corruption rule fired.
     corrupt_salt: Option<u64>,
+    /// Delete the object before serving the get (expiry fired).
+    expire: bool,
 }
 
 /// [`ObjectStore`] decorator executing a [`FaultPlan`]. Puts, gets,
@@ -238,6 +255,7 @@ pub struct ChaosStore {
     corruptions: AtomicU64,
     delays: AtomicU64,
     kills: AtomicU64,
+    expirations: AtomicU64,
 }
 
 impl ChaosStore {
@@ -261,6 +279,7 @@ impl ChaosStore {
             corruptions: AtomicU64::new(0),
             delays: AtomicU64::new(0),
             kills: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
         }
     }
 
@@ -272,6 +291,7 @@ impl ChaosStore {
             corruptions: self.corruptions.load(Ordering::Relaxed),
             delays: self.delays.load(Ordering::Relaxed),
             kills: self.kills.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
         }
     }
 
@@ -296,11 +316,13 @@ impl ChaosStore {
                     "chaos: store killed; op on {key} refused"
                 ))),
                 corrupt_salt: None,
+                expire: false,
             };
         }
         let mut verdict = Verdict {
             error: None,
             corrupt_salt: None,
+            expire: false,
         };
         for state in &self.rules {
             if !state.rule.op.matches(op) {
@@ -342,6 +364,10 @@ impl ChaosStore {
                 FaultKind::Corrupt if verdict.corrupt_salt.is_none() => {
                     verdict.corrupt_salt = Some(idx);
                 }
+                FaultKind::Expire if op == ChaosOp::Get && !verdict.expire => {
+                    self.expirations.fetch_add(1, Ordering::Relaxed);
+                    verdict.expire = true;
+                }
                 FaultKind::Kill => {
                     self.kills.fetch_add(1, Ordering::Relaxed);
                     self.killed.store(true, Ordering::Relaxed);
@@ -350,6 +376,7 @@ impl ChaosStore {
                     )));
                     // A dead store answers nothing else; later rules moot.
                     verdict.corrupt_salt = None;
+                    verdict.expire = false;
                     break;
                 }
                 _ => {}
@@ -393,6 +420,12 @@ impl ObjectStore for ChaosStore {
         let verdict = self.evaluate(ChaosOp::Get, key);
         if let Some(e) = verdict.error {
             return Err(e);
+        }
+        if verdict.expire {
+            // Lifecycle expiry: the object vanishes under the reader, so
+            // this get — and every retry after it — fails with the
+            // store's own not-found error.
+            let _ = self.inner.delete(key);
         }
         let mut data = self.inner.get(key)?;
         if let Some(salt) = verdict.corrupt_salt {
@@ -679,5 +712,40 @@ mod tests {
         // what the integrity layer detects.
         let fetched = store.get("k").unwrap();
         assert_ne!(gzlite::crc32(&fetched), expected);
+    }
+
+    #[test]
+    fn expire_deletes_the_object_and_every_retry_fails_naturally() {
+        let (store, inner) = chaos(FaultPlan::new(9).rule(FaultRule::new(
+            OpFilter::Get,
+            Trigger::OpIndex(1),
+            FaultKind::Expire,
+        )));
+        store.put("k", vec![5; 16]).unwrap();
+        assert_eq!(store.get("k").unwrap(), vec![5; 16]); // get #0: clean
+        let e = store.get("k").unwrap_err(); // get #1: expired under us
+        assert!(matches!(e, StorageError::NotFound(_)), "got {e:?}");
+        assert!(
+            !inner.exists("k"),
+            "object gone at rest, not just in-flight"
+        );
+        // Retries keep failing naturally — no chaos needed anymore.
+        assert!(store.get("k").is_err());
+        assert_eq!(store.stats().expirations, 1);
+        assert_eq!(store.stats().total(), 1);
+    }
+
+    #[test]
+    fn expire_is_scoped_by_key_pattern_and_ignored_off_the_get_path() {
+        let (store, inner) = chaos(FaultPlan::new(10).rule(
+            FaultRule::new(OpFilter::Any, Trigger::Always, FaultKind::Expire).on_keys("/dataflow/"),
+        ));
+        store.put("omp/dataflow/d/v0/y", vec![1; 8]).unwrap();
+        store.put("omp/in/x", vec![2; 8]).unwrap();
+        // Puts match `Any` but Expire only acts on gets.
+        assert!(inner.exists("omp/dataflow/d/v0/y"));
+        assert!(store.get("omp/dataflow/d/v0/y").is_err());
+        assert_eq!(store.get("omp/in/x").unwrap(), vec![2; 8]);
+        assert_eq!(store.stats().expirations, 1);
     }
 }

@@ -486,6 +486,13 @@ impl TransferManager {
             }
         }
         for key in dataflow_orphans {
+            // Re-check the lease at delete time: a chain may have leased
+            // this root between the listing above and now, and sweeping
+            // a live DAG's resident keys would fail its consumers. The
+            // listing-time check is only a pre-filter.
+            if self.is_leased(&key) {
+                continue;
+            }
             if self.store.delete(&key).is_ok() {
                 self.ledger.lock().remove(&key);
                 removed += 1;
@@ -1545,6 +1552,48 @@ mod tests {
         assert_eq!(tm.collect_orphans(""), 2, "crashed chain leaks nothing");
         assert!(store.list(root).is_empty());
         assert_eq!(tm.ledger_crc(&format!("{root}/y")), None);
+    }
+
+    /// Regression for the orphan-GC TOCTOU: the collector lists a
+    /// root's keys while it is unleased (a crashed chain's leftovers),
+    /// but a new chain may re-lease that root and overwrite the keys
+    /// before the collector gets to its deletes. The delete-time lease
+    /// re-check must protect the live chain — under the old listing-time
+    /// check alone, this test's downloads fail intermittently.
+    #[test]
+    fn orphan_gc_never_sweeps_a_released_chain() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (tm, _store) = manager(16);
+        let root = "omp/dataflow/dag-0";
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let tm_ref = &tm;
+            let done_ref = &done;
+            let gc = s.spawn(move || {
+                while !done_ref.load(Ordering::Relaxed) {
+                    tm_ref.collect_orphans("");
+                    std::thread::yield_now();
+                }
+            });
+            for round in 0..200u8 {
+                // The previous round's "crash" left this root's keys as
+                // genuine orphans — the collector may hold them in a
+                // sweep list right now. Leasing must protect the fresh
+                // upload that lands under the same keys.
+                tm.lease(root);
+                let key = format!("{root}/v0/y");
+                tm.upload(vec![(key.clone(), vec![round; 64])]).unwrap();
+                let (payloads, _) = tm.download(vec![key.clone()]).unwrap_or_else(|e| {
+                    panic!("round {round}: leased resident key swept by concurrent GC: {e}")
+                });
+                assert_eq!(&payloads[0].1[..], &[round; 64][..]);
+                // Simulate a crash: release without cleanup, leaving the
+                // key for the collector.
+                tm.release(root);
+            }
+            done.store(true, Ordering::Relaxed);
+            gc.join().unwrap();
+        });
     }
 
     #[test]
