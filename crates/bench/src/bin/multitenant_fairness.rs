@@ -1,0 +1,305 @@
+//! Measures what weighted fair queuing buys a multi-tenant offload
+//! service: eight tenants submit open-loop bursty-Poisson traffic
+//! against one serial dispatch slot, with one tenant ("hog") bursting
+//! to many times the service capacity mid-run. The same deterministic
+//! arrival schedule is replayed through three disciplines:
+//!
+//! * `baseline` — FIFO with the hog's traffic removed: the hog-free
+//!   p99 sojourn of a victim tenant, which defines the SLO
+//!   (`2x` that p99).
+//! * `fifo`     — FIFO with the hog bursting: every victim waits
+//!   behind the hog's backlog.
+//! * `wfq`      — the service's weighted fair queue
+//!   ([`sparkle::WfqQueue`]): the hog's backlog delays only the hog.
+//!
+//! The simulation is purely virtual-time (cloudsim's [`TrafficModel`]
+//! for arrivals, a fixed per-job service time), so medians and tails
+//! are bit-reproducible — no wall clock, no machine noise.
+//!
+//! Machine-checked gates (here *and* from the emitted JSON in CI):
+//! under the burst, WFQ must hold the worst victim p99 within the SLO
+//! (`p99_ratio <= 2.0` vs the hog-free baseline) and keep Jain's
+//! fairness index over per-tenant within-SLO goodput at `>= 0.8`.
+//! FIFO's numbers are emitted alongside to show what the gate buys.
+//!
+//! Usage: `cargo run --release -p ompcloud-bench --bin multitenant_fairness
+//!         [-- --json PATH]` (default PATH: BENCH_multitenant.json)
+
+use cloudsim::{TenantLoad, TrafficModel};
+use jsonlite::{Json, ToJson};
+use sparkle::WfqQueue;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Light tenants next to the hog (8 tenants total).
+const VICTIMS: usize = 7;
+/// Base Poisson rate of every tenant, submissions per second.
+const BASE_RATE: f64 = 2.0;
+/// Hog burst window and multiplier: 2/s x 15 = 30/s for 15 s.
+const BURST_START_S: f64 = 10.0;
+const BURST_END_S: f64 = 25.0;
+const BURST_X: f64 = 15.0;
+/// Arrival horizon; the server drains whatever is still queued after.
+const HORIZON_S: f64 = 60.0;
+/// Parallel dispatch slots (the elastic dispatcher's workers x vcpus).
+const SLOTS: usize = 10;
+/// Fixed service time per submission (10 slots x 1/0.32s = 31.25
+/// jobs/s of capacity: the steady 16/s fits, the burst's 44/s
+/// overloads).
+const SERVICE_S: f64 = 0.32;
+const SEED: u64 = 42;
+/// Gates: victim tail within 2x the hog-free baseline, Jain >= 0.8.
+const P99_GATE: f64 = 2.0;
+const JAIN_GATE: f64 = 0.8;
+
+/// Sojourn times (completion - arrival) grouped per tenant.
+type Sojourns = BTreeMap<String, Vec<f64>>;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replay `schedule` through `SLOTS` non-preemptive dispatch slots,
+/// popping in the order the discipline dictates whenever a slot frees.
+/// Both disciplines share this loop; only the queue differs.
+fn simulate(schedule: &[(f64, String)], wfq: bool) -> Sojourns {
+    enum Q {
+        Fifo(VecDeque<(String, f64)>),
+        Wfq(WfqQueue<f64>),
+    }
+    impl Q {
+        fn push(&mut self, tenant: &str, at: f64) {
+            match self {
+                Q::Fifo(q) => q.push_back((tenant.to_string(), at)),
+                Q::Wfq(q) => q.push(tenant, 1.0, at),
+            }
+        }
+        fn pop(&mut self) -> Option<(String, f64)> {
+            match self {
+                Q::Fifo(q) => q.pop_front(),
+                Q::Wfq(q) => q.pop(),
+            }
+        }
+        fn is_empty(&self) -> bool {
+            match self {
+                Q::Fifo(q) => q.is_empty(),
+                Q::Wfq(q) => q.is_empty(),
+            }
+        }
+    }
+    let mut queue = if wfq {
+        Q::Wfq(WfqQueue::new())
+    } else {
+        Q::Fifo(VecDeque::new())
+    };
+    let mut out: Sojourns = BTreeMap::new();
+    let mut slots = [0.0f64; SLOTS]; // per-slot free time
+    let mut now = 0.0f64;
+    let mut next = 0usize;
+    let total = schedule.len();
+    let mut done = 0usize;
+    while done < total {
+        if queue.is_empty() {
+            // Idle until the next arrival.
+            now = now.max(schedule[next].0);
+            while next < total && schedule[next].0 <= now {
+                let (at, tenant) = &schedule[next];
+                queue.push(tenant, *at);
+                next += 1;
+            }
+            continue;
+        }
+        // The next dispatch happens when the earliest slot frees (or
+        // right now, if one is already idle). Everything arriving up to
+        // that instant competes for it.
+        let (slot, free_at) = slots
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &t)| (i, t))
+            .unwrap();
+        now = now.max(free_at);
+        while next < total && schedule[next].0 <= now {
+            let (at, tenant) = &schedule[next];
+            queue.push(tenant, *at);
+            next += 1;
+        }
+        let (tenant, arrived) = queue.pop().unwrap();
+        slots[slot] = now + SERVICE_S;
+        out.entry(tenant)
+            .or_default()
+            .push(now + SERVICE_S - arrived);
+        done += 1;
+    }
+    for v in out.values_mut() {
+        v.sort_by(|a, b| a.total_cmp(b));
+    }
+    out
+}
+
+/// Jain's fairness index over per-tenant within-SLO goodput ratios:
+/// `(sum x)^2 / (n * sum x^2)`. 1.0 = perfectly even service; the index
+/// collapses toward `1/n` as one tenant monopolizes it.
+fn jain(sojourns: &Sojourns, slo_s: f64) -> f64 {
+    let xs: Vec<f64> = sojourns
+        .values()
+        .map(|v| v.iter().filter(|&&s| s <= slo_s).count() as f64 / v.len().max(1) as f64)
+        .collect();
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+struct Discipline {
+    name: String,
+    victim_p50_s: f64,
+    victim_p99_s: f64,
+    hog_p99_s: f64,
+    jain: f64,
+}
+
+impl Discipline {
+    /// Victim stats = the worst (highest-p99) light tenant, so the gate
+    /// bounds every victim, not an average.
+    fn from(name: &str, sojourns: &Sojourns, slo_s: f64) -> Discipline {
+        let (p50, p99) = sojourns
+            .iter()
+            .filter(|(t, _)| t.as_str() != "hog")
+            .map(|(_, v)| (percentile(v, 0.5), percentile(v, 0.99)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((0.0, 0.0));
+        Discipline {
+            name: name.into(),
+            victim_p50_s: p50,
+            victim_p99_s: p99,
+            hog_p99_s: sojourns
+                .get("hog")
+                .map(|v| percentile(v, 0.99))
+                .unwrap_or(0.0),
+            jain: jain(sojourns, slo_s),
+        }
+    }
+}
+
+impl ToJson for Discipline {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("discipline", self.name.to_json()),
+            ("victim_p50_s", self.victim_p50_s.to_json()),
+            ("victim_p99_s", self.victim_p99_s.to_json()),
+            ("hog_p99_s", self.hog_p99_s.to_json()),
+            ("jain", self.jain.to_json()),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_multitenant.json".to_string());
+
+    let mut tenants: Vec<TenantLoad> = (0..VICTIMS)
+        .map(|i| TenantLoad::steady(&format!("t{i}"), BASE_RATE))
+        .collect();
+    tenants.push(TenantLoad::steady("hog", BASE_RATE).with_burst(
+        BURST_START_S,
+        BURST_END_S,
+        BURST_X,
+    ));
+    let model = TrafficModel::new(tenants, SEED);
+    let schedule: Vec<(f64, String)> = model
+        .schedule(HORIZON_S)
+        .into_iter()
+        .map(|a| (a.at_s, a.tenant))
+        .collect();
+    let hog_free: Vec<(f64, String)> = schedule
+        .iter()
+        .filter(|(_, t)| t != "hog")
+        .cloned()
+        .collect();
+    let hog_jobs = schedule.len() - hog_free.len();
+
+    println!(
+        "Multi-tenant fairness — {} tenants + 1 hog, {:.0}s horizon, \
+         {:.0}ms/job service, hog burst x{BURST_X} in [{BURST_START_S}, {BURST_END_S})s \
+         ({} jobs, {hog_jobs} from the hog)\n",
+        VICTIMS,
+        HORIZON_S,
+        SERVICE_S * 1e3,
+        schedule.len(),
+    );
+
+    // Hog-free FIFO run: what a victim's tail looks like with no
+    // overload — the SLO's basis.
+    let baseline_runs = simulate(&hog_free, false);
+    let baseline_p99 = baseline_runs
+        .values()
+        .map(|v| percentile(v, 0.99))
+        .fold(0.0f64, f64::max);
+    let slo_s = P99_GATE * baseline_p99;
+    let baseline = Discipline::from("baseline", &baseline_runs, slo_s);
+
+    let fifo = Discipline::from("fifo", &simulate(&schedule, false), slo_s);
+    let wfq = Discipline::from("wfq", &simulate(&schedule, true), slo_s);
+
+    for d in [&baseline, &fifo, &wfq] {
+        println!(
+            "{:>9}: victim p50 {:7.3}s  p99 {:7.3}s  hog p99 {:7.3}s  jain {:.3}",
+            d.name, d.victim_p50_s, d.victim_p99_s, d.hog_p99_s, d.jain
+        );
+    }
+    let p99_ratio = wfq.victim_p99_s / baseline_p99.max(f64::MIN_POSITIVE);
+    println!(
+        "\nwfq victim p99 = {p99_ratio:.3}x the hog-free baseline \
+         (gate <= {P99_GATE}x; fifo pays {:.3}x), jain {:.3} (gate >= {JAIN_GATE})",
+        fifo.victim_p99_s / baseline_p99.max(f64::MIN_POSITIVE),
+        wfq.jain
+    );
+
+    // --- Machine-checked gates --------------------------------------
+    assert!(
+        p99_ratio <= P99_GATE,
+        "wfq let the worst victim's p99 reach {p99_ratio:.3}x the hog-free \
+         baseline, gate is {P99_GATE}x"
+    );
+    assert!(
+        wfq.jain >= JAIN_GATE,
+        "wfq's within-SLO goodput Jain index fell to {:.3}, gate is {JAIN_GATE}",
+        wfq.jain
+    );
+
+    let doc = Json::obj([
+        ("benchmark", "multitenant_fairness".to_json()),
+        ("tenants", ((VICTIMS + 1) as u64).to_json()),
+        ("horizon_s", HORIZON_S.to_json()),
+        ("service_s", SERVICE_S.to_json()),
+        ("burst_multiplier", BURST_X.to_json()),
+        ("seed", SEED.to_json()),
+        ("jobs", (schedule.len() as u64).to_json()),
+        ("hog_jobs", (hog_jobs as u64).to_json()),
+        ("baseline_p99_s", baseline_p99.to_json()),
+        ("slo_s", slo_s.to_json()),
+        ("baseline", baseline.to_json()),
+        ("fifo", fifo.to_json()),
+        ("wfq", wfq.to_json()),
+        ("p99_ratio", p99_ratio.to_json()),
+        ("p99_gate", P99_GATE.to_json()),
+        ("jain", wfq.jain.to_json()),
+        ("jain_gate", JAIN_GATE.to_json()),
+        (
+            "gate_passed",
+            (p99_ratio <= P99_GATE && wfq.jain >= JAIN_GATE).to_json(),
+        ),
+    ]);
+    std::fs::write(&json_path, jsonlite::to_string_pretty(&doc)).expect("write json");
+    println!("wrote {json_path}");
+}

@@ -47,6 +47,7 @@ pub mod ec2;
 pub mod model;
 pub mod net;
 pub mod timeline;
+pub mod traffic;
 
 pub use advisor::{recommend, ClusterChoice, Recommendation};
 pub use des::{Resource, Sim, SimTime};
@@ -57,3 +58,4 @@ pub use model::{
 };
 pub use net::{Link, SharedLink};
 pub use timeline::{simulate_job, PhaseKind, Span, Timeline};
+pub use traffic::{Arrival, Burst, SplitMix64, TenantLoad, TrafficModel};

@@ -159,7 +159,7 @@ pub fn main() -> i32 {
         0u64,
         0u64,
     );
-    let (mut rot, mut expire) = (0u64, 0u64);
+    let (mut rot, mut expire, mut tenants) = (0u64, 0u64, 0u64);
 
     for &case in &case_range {
         if let Some(budget) = args.budget_secs {
@@ -189,6 +189,7 @@ pub fn main() -> i32 {
             Some(ResidentFaultFlavor::Expire) => expire += 1,
             None => {}
         }
+        tenants += u64::from(spec.tenancy.is_some());
         if args.verbose {
             println!("{}", spec.summary());
         }
@@ -208,7 +209,7 @@ pub fn main() -> i32 {
         .map(|(label, count)| format!("{label}={count}"))
         .collect();
     println!(
-        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={} chained={} resident-rot={} resident-expire={}",
+        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={} chained={} resident-rot={} resident-expire={} tenants={}",
         args.seed,
         ran,
         failures.len(),
@@ -218,7 +219,8 @@ pub fn main() -> i32 {
         ckpt,
         chained,
         rot,
-        expire
+        expire,
+        tenants
     );
 
     if !failures.is_empty() {

@@ -15,7 +15,9 @@
 use crate::gen::{CaseKind, CaseSpec, ResidentFaultFlavor};
 use crate::oracle;
 use cloud_storage::{ChaosStats, ChaosStore, LatencyStore, ObjectStore, S3Store, StoreHandle};
-use omp_model::{DagReport, DeviceRegistry, DeviceSelector, ExecProfile};
+use omp_model::{
+    DagReport, DataEnv, DeviceRegistry, DeviceSelector, ExecProfile, PartitionSpec, TargetRegion,
+};
 use ompcloud::{CloudDevice, CloudRuntime, OffloadReport, ResidentFault, ResidentFaultKind};
 use ompcloud_kernels as kernels;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -231,6 +233,11 @@ pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -
         }
     }
 
+    // --- Tenancy leg ------------------------------------------------
+    if spec.tenancy.is_some() {
+        failures.extend(run_tenancy_leg(spec, &host_env));
+    }
+
     // --- Invariant oracles ------------------------------------------
     failures.extend(oracle::check(&oracle::OracleInput {
         spec,
@@ -252,6 +259,114 @@ pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -
         killed,
         chaos: chaos_stats,
     }
+}
+
+/// The hog's throwaway region: distinct variable names (`hogx`/`hogy`)
+/// keep the scoped fault plan off the bystander's staged objects.
+fn hog_region(round: usize) -> TargetRegion {
+    TargetRegion::builder(format!("hog-{round}"))
+        .device(CloudRuntime::cloud_selector())
+        .tenant("hog")
+        .map_to("hogx")
+        .map_from("hogy")
+        .parallel_for(8, |l| {
+            l.partition("hogy", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let x = ins.view::<f32>("hogx");
+                    outs.view_mut::<f32>("hogy")[i] = 2.0 * x[i];
+                })
+        })
+        .build()
+        .expect("hog region must validate")
+}
+
+/// The tenancy leg: hammer a "hog" tenant with a scoped fault plan on a
+/// fresh device, then run the case's own region as tenant "bob" on the
+/// same device. The hog's streak must stay the hog's problem — see
+/// [`oracle::check_tenancy`] for the breaker laws; the bitwise check
+/// against the host leg happens here.
+fn run_tenancy_leg(spec: &CaseSpec, host_env: &DataEnv) -> Vec<String> {
+    let tn = spec.tenancy.expect("caller checked");
+    let mut failures = Vec::new();
+
+    // The generated config, hardened for the leg: a hair-trigger
+    // breaker (two strikes), no retry ladder, no checkpoint resumes —
+    // every hog round is exactly one deterministic breaker strike.
+    let mut config = spec.config();
+    config.breaker_threshold = 2;
+    config.max_retries = 0;
+    config.backoff_base_ms = 0;
+    config.backoff_cap_ms = 0;
+    config.checkpoint = false;
+    config.checkpoint_max_resumes = 0;
+
+    let plan = spec.hog_fault_plan().expect("tenancy cases carry a plan");
+    let chaos = Arc::new(ChaosStore::new(
+        Arc::new(S3Store::standalone("conformance-tenant")),
+        plan,
+    ));
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(config, chaos.clone() as _));
+
+    let mut hog_env = DataEnv::new();
+    hog_env.insert("hogx", (0..8).map(|i| i as f32).collect::<Vec<f32>>());
+    hog_env.insert("hogy", vec![0.0f32; 8]);
+    let mut hog_fallbacks = 0usize;
+    for round in 0..tn.hog_rounds {
+        match runtime.offload(&hog_region(round), &mut hog_env) {
+            Ok(p) if p.fallback_from.is_some() => hog_fallbacks += 1,
+            Ok(_) => {}
+            Err(e) => failures.push(format!("tenancy leg: hog round {round} errored: {e}")),
+        }
+    }
+
+    let mut bob_region = spec.build_region(CloudRuntime::cloud_selector());
+    bob_region.tenant = "bob".into();
+    let mut bob_env = spec.build_env();
+    let bob_profile = match catch_unwind(AssertUnwindSafe(|| {
+        runtime.offload(&bob_region, &mut bob_env)
+    })) {
+        Ok(Ok(profile)) => profile,
+        Ok(Err(e)) => {
+            failures.push(format!("tenancy leg: bystander failed outright: {e}"));
+            runtime.shutdown();
+            return failures;
+        }
+        Err(_) => {
+            failures.push("tenancy leg: bystander panicked".to_string());
+            runtime.shutdown();
+            return failures;
+        }
+    };
+
+    let bob_report = runtime.cloud().last_report();
+    failures.extend(oracle::check_tenancy(&oracle::TenancyObservation {
+        hog_rounds: tn.hog_rounds,
+        hog_fallbacks,
+        injected: chaos.stats().unavailable,
+        hog_breaker_open: runtime.cloud().breaker_open_for("hog"),
+        bob_breaker_open: runtime.cloud().breaker_open_for("bob"),
+        bob_profile: &bob_profile,
+        bob_report: bob_report.as_ref(),
+    }));
+    runtime.shutdown();
+
+    // The bystander's outputs must match the host leg bit for bit —
+    // co-tenant chaos is invisible to bob's data, not just his timing.
+    for name in spec.output_names() {
+        match (bob_env.get_erased(&name), host_env.get_erased(&name)) {
+            (Ok(b), Ok(h)) => {
+                if b.to_bytes() != h.to_bytes() {
+                    failures.push(format!(
+                        "tenancy leg: bystander output '{name}' diverged from the host leg"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "tenancy leg: output '{name}' missing from an execution leg"
+            )),
+        }
+    }
+    failures
 }
 
 #[cfg(test)]
@@ -308,6 +423,24 @@ mod tests {
             );
             assert!(!out.fell_back, "{flavor:?} case fell back to the host");
         }
+    }
+
+    /// Co-tenant cases pass: the hog's hammering opens only the hog's
+    /// breaker and the bystander re-run stays bitwise-identical.
+    #[test]
+    fn a_tenancy_case_isolates_the_bystander() {
+        let spec = (0..200)
+            .map(|c| CaseSpec::generate(2, c))
+            .find(|s| s.tenancy.is_some() && s.chaos.is_none() && s.latency_us == 0)
+            .expect("a clean tenancy case in 200 draws");
+        let out = run_case(&spec);
+        assert_eq!(
+            out.verdict(),
+            Verdict::Pass,
+            "{}: {:?}",
+            spec.summary(),
+            out.failures
+        );
     }
 
     /// Chained cases stay bitwise-correct under injected faults too —

@@ -160,6 +160,22 @@ pub struct ResidentFaultSpec {
     pub seed: u64,
 }
 
+/// Co-tenant pressure armed on a case: the region re-runs as tenant
+/// "bob" on a device shared with a "hog" tenant whose staged inputs are
+/// hammered by a scoped fault plan. The hog's streak must open *its*
+/// breaker and fall back to the host every round, while bob stays
+/// cloud-side with a closed breaker and outputs bitwise identical to
+/// the host leg. Drawn only for single-region cases so the bystander
+/// run stays one `offload` call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenancySpec {
+    /// Hog offloads submitted before the bystander runs (>= 2, the
+    /// tenancy leg's breaker threshold, so the breaker always opens).
+    pub hog_rounds: usize,
+    /// Seed of the hog-scoped fault plan.
+    pub seed: u64,
+}
+
 /// One fully-specified conformance case: everything needed to build the
 /// region + data twice (cloud and host) and the device configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -211,6 +227,8 @@ pub struct CaseSpec {
     /// Optional resident-buffer damage armed on the device (chained,
     /// chaos-free cases only).
     pub resident_fault: Option<ResidentFaultSpec>,
+    /// Optional co-tenant pressure (single-region cases only).
+    pub tenancy: Option<TenancySpec>,
 }
 
 const KERNEL_SIZES: &[usize] = &[4, 6, 8, 12, 16];
@@ -365,6 +383,19 @@ impl CaseSpec {
             None
         };
 
+        // Tenancy axis, drawn strictly after every existing axis so
+        // earlier seeds keep generating byte-identical cases. Single-
+        // region cases only: the bystander leg re-runs the region with
+        // one `offload` call next to a hammered co-tenant.
+        let tenancy = if chain == 1 && rng.gen_bool(0.25) {
+            Some(TenancySpec {
+                hog_rounds: rng.gen_usize(2, 5),
+                seed: rng.next_u64(),
+            })
+        } else {
+            None
+        };
+
         CaseSpec {
             seed,
             case,
@@ -387,6 +418,7 @@ impl CaseSpec {
             chaos,
             chain,
             resident_fault,
+            tenancy,
         }
     }
 
@@ -499,6 +531,20 @@ impl CaseSpec {
             ));
         }
         Some(plan)
+    }
+
+    /// The hog-scoped fault plan of the tenancy leg: every store op
+    /// touching the hog's staged input (`/in/hogx`) fails as
+    /// `Unavailable`. No generated case variable is named `hogx`, so
+    /// the bystander's keys are never matched.
+    pub fn hog_fault_plan(&self) -> Option<FaultPlan> {
+        let tn = self.tenancy.as_ref()?;
+        Some(
+            FaultPlan::new(tn.seed).rule(
+                FaultRule::new(OpFilter::Any, Trigger::Always, FaultKind::Unavailable)
+                    .on_keys("/in/hogx"),
+            ),
+        )
     }
 
     /// Build the target region for `device`. Called once per execution
@@ -798,8 +844,12 @@ impl CaseSpec {
             None => String::new(),
             Some(r) => format!(" resident:{:?}@{}", r.flavor, r.stage),
         };
+        let tenancy = match &self.tenancy {
+            None => String::new(),
+            Some(t) => format!(" tenancy:hog*{}", t.hog_rounds),
+        };
         format!(
-            "case {}: {kind} chain={} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}{resident}",
+            "case {}: {kind} chain={} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}{resident}{tenancy}",
             self.case,
             self.chain,
             self.n,
@@ -853,6 +903,10 @@ mod tests {
             "no chained-region case generated"
         );
         assert!(specs.iter().any(|s| s.chain > 1 && s.chaos.is_some()));
+        assert!(
+            specs.iter().any(|s| s.tenancy.is_some()),
+            "no co-tenant case generated"
+        );
         // Resident faults sit behind three coin flips (chained, chaos-
         // free, armed), so the flavor sweep needs a wider window.
         let wide: Vec<CaseSpec> = (0..1000).map(|c| CaseSpec::generate(7, c)).collect();
@@ -888,6 +942,25 @@ mod tests {
                 assert!(spec.fault_plan().is_none());
             }
         }
+    }
+
+    #[test]
+    fn tenancy_only_strikes_single_region_cases() {
+        let mut found = 0;
+        for case in 0..2000 {
+            let spec = CaseSpec::generate(7, case);
+            let Some(tn) = &spec.tenancy else { continue };
+            found += 1;
+            assert_eq!(spec.chain, 1, "co-tenant pressure on a chained case");
+            assert!(
+                (2..5).contains(&tn.hog_rounds),
+                "hog_rounds {} outside [2, 5)",
+                tn.hog_rounds
+            );
+            let plan = spec.hog_fault_plan().expect("tenancy cases carry a plan");
+            drop(plan);
+        }
+        assert!(found > 0, "no tenancy case in 2000 draws");
     }
 
     #[test]

@@ -319,6 +319,77 @@ fn per_job_sanity(spec: &CaseSpec, jobs: &[JobMetrics], f: &mut Vec<String>) {
     }
 }
 
+/// Everything the tenancy leg observed: a "hog" tenant hammered by a
+/// scoped fault plan sharing a device with the bystander "bob", who ran
+/// the case's own region.
+pub struct TenancyObservation<'a> {
+    /// Hog offloads submitted (>= 2, the leg's breaker threshold).
+    pub hog_rounds: usize,
+    /// How many of them fell back to the host.
+    pub hog_fallbacks: usize,
+    /// Faults the chaos store actually injected (all hog-scoped).
+    pub injected: u64,
+    /// Hog's breaker state after the leg.
+    pub hog_breaker_open: bool,
+    /// Bob's breaker state after the leg.
+    pub bob_breaker_open: bool,
+    /// Bob's returned profile.
+    pub bob_profile: &'a ExecProfile,
+    /// The device report published for bob's offload.
+    pub bob_report: Option<&'a OffloadReport>,
+}
+
+/// Breaker-isolation laws of the tenancy leg. The bitwise bystander
+/// check lives in the exec layer (it needs the raw buffers); these laws
+/// cover the fault-state bookkeeping.
+pub fn check_tenancy(obs: &TenancyObservation<'_>) -> Vec<String> {
+    let mut f = Vec::new();
+    if obs.injected == 0 {
+        f.push("tenancy leg injected no faults on the hog".into());
+    }
+    if obs.hog_fallbacks != obs.hog_rounds {
+        f.push(format!(
+            "hammered hog fell back {} of {} rounds; every round must shed to the host",
+            obs.hog_fallbacks, obs.hog_rounds
+        ));
+    }
+    if !obs.hog_breaker_open {
+        f.push(format!(
+            "{} hog failures against threshold 2 left the hog breaker closed",
+            obs.hog_rounds
+        ));
+    }
+    if obs.bob_breaker_open {
+        f.push("the hog's streak opened the bystander's breaker".into());
+    }
+    if let Some(from) = &obs.bob_profile.fallback_from {
+        f.push(format!(
+            "bystander was dragged off the cloud (fell back from '{from}')"
+        ));
+    }
+    match obs.bob_report {
+        None => f.push("bystander completed but the device published no report".into()),
+        Some(report) => {
+            if report.tenant != "bob" {
+                f.push(format!(
+                    "bystander's report is tagged for tenant '{}'",
+                    report.tenant
+                ));
+            }
+            if report.dataflow.stage_fallbacks != 0 {
+                f.push(format!(
+                    "bystander's report counts {} stage fallbacks from the hog's faults",
+                    report.dataflow.stage_fallbacks
+                ));
+            }
+            if report.resilience.breaker_tripped {
+                f.push("bystander's report claims its breaker tripped".into());
+            }
+        }
+    }
+    f
+}
+
 /// Laws for chained (`depend`/`nowait`) cases. The per-loop tile and
 /// fault accounting of the single-region path reads the *last* region's
 /// report, which no longer covers the whole execution; instead the DAG

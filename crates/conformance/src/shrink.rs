@@ -95,6 +95,15 @@ pub const TRANSFORMS: &[Transform] = &[
         },
     },
     Transform {
+        name: "drop_tenancy",
+        apply: |s| {
+            s.tenancy.as_ref()?;
+            let mut t = s.clone();
+            t.tenancy = None;
+            Some(t)
+        },
+    },
+    Transform {
         name: "drop_latency",
         apply: |s| {
             if s.latency_us == 0 {

@@ -9,7 +9,10 @@
 //! runs subsequent regions on the host immediately. Any successful
 //! offload closes it again.
 
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Consecutive-failure circuit breaker. Threshold 0 disables it — the
 /// breaker then never opens, matching a `breaker-threshold = 0` config.
@@ -82,6 +85,79 @@ impl CircuitBreaker {
     }
 }
 
+/// Per-tenant circuit breakers sharing one threshold. The default
+/// tenant's breaker is pre-built (single-tenant programs pay one map
+/// lookup, nothing else); every other tenant gets its own breaker on
+/// first touch. Fault isolation is the point: one tenant's failure
+/// streak opens *its* breaker and nobody else's.
+#[derive(Debug)]
+pub struct BreakerBank {
+    threshold: u64,
+    default: Arc<CircuitBreaker>,
+    others: Mutex<HashMap<String, Arc<CircuitBreaker>>>,
+}
+
+/// The tenant name whose breaker [`BreakerBank::default_breaker`]
+/// returns — what every region carries unless told otherwise.
+pub const DEFAULT_TENANT: &str = "default";
+
+impl BreakerBank {
+    /// Bank whose breakers open after `threshold` consecutive failures.
+    pub fn new(threshold: u64) -> BreakerBank {
+        BreakerBank {
+            threshold,
+            default: Arc::new(CircuitBreaker::new(threshold)),
+            others: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The breaker scoped to `tenant`, created on first touch.
+    pub fn breaker_for(&self, tenant: &str) -> Arc<CircuitBreaker> {
+        if tenant == DEFAULT_TENANT {
+            return Arc::clone(&self.default);
+        }
+        let mut others = self.others.lock();
+        Arc::clone(
+            others
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(self.threshold))),
+        )
+    }
+
+    /// The default tenant's breaker — the single-tenant view.
+    pub fn default_breaker(&self) -> &CircuitBreaker {
+        &self.default
+    }
+
+    /// Is `tenant`'s breaker open? Tenants never seen have closed
+    /// breakers by construction.
+    pub fn is_open_for(&self, tenant: &str) -> bool {
+        if tenant == DEFAULT_TENANT {
+            return self.default.is_open();
+        }
+        self.others.lock().get(tenant).is_some_and(|b| b.is_open())
+    }
+
+    /// Is *any* tenant's breaker open? (Coarse health signal for
+    /// reports and operators; dispatch decisions stay per-tenant.)
+    pub fn any_open(&self) -> bool {
+        self.default.is_open() || self.others.lock().values().any(|b| b.is_open())
+    }
+
+    /// Lifetime trips summed across every tenant's breaker.
+    pub fn total_trips(&self) -> u64 {
+        self.default.trips() + self.others.lock().values().map(|b| b.trips()).sum::<u64>()
+    }
+
+    /// Force every breaker closed (operator reset).
+    pub fn reset_all(&self) {
+        self.default.reset();
+        for b in self.others.lock().values() {
+            b.reset();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +205,29 @@ mod tests {
         b.reset();
         assert!(b.record_failure(), "re-trips after reset");
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn bank_isolates_tenants() {
+        let bank = BreakerBank::new(2);
+        let a = bank.breaker_for("a");
+        a.record_failure();
+        a.record_failure();
+        assert!(bank.is_open_for("a"));
+        assert!(!bank.is_open_for("b"), "b's breaker never saw a failure");
+        assert!(!bank.is_open_for(DEFAULT_TENANT));
+        assert!(bank.any_open());
+        assert_eq!(bank.total_trips(), 1);
+        bank.reset_all();
+        assert!(!bank.any_open());
+    }
+
+    #[test]
+    fn bank_default_tenant_is_the_default_breaker() {
+        let bank = BreakerBank::new(1);
+        bank.breaker_for(DEFAULT_TENANT).record_failure();
+        assert!(bank.default_breaker().is_open());
+        assert!(bank.is_open_for(DEFAULT_TENANT));
+        assert!(!bank.is_open_for("other"));
     }
 }

@@ -158,6 +158,22 @@ pub struct CloudConfig {
     /// stamped progress within this window is scored a miss; 0 disables
     /// heartbeat monitoring.
     pub quarantine_heartbeat_ms: u64,
+    /// `[tenancy] enabled`: gate submissions through the multi-tenant
+    /// admission controller (per-tenant windows, global cap, watermark
+    /// shedding). Off by default — single-tenant programs see no
+    /// admission layer at all.
+    pub tenancy_enabled: bool,
+    /// Regions one tenant may have pending or in flight at once;
+    /// 0 = unlimited.
+    pub tenancy_admission_window: usize,
+    /// Regions pending or in flight across every tenant; 0 = unlimited.
+    pub tenancy_max_pending: usize,
+    /// Fraction of the global cap above which load shedding starts
+    /// (lowest-weight tenants are refused first).
+    pub tenancy_shed_watermark: f64,
+    /// Per-tenant scheduling weights, `name:weight` pairs; unlisted
+    /// tenants weigh 1.0.
+    pub tenancy_weights: Vec<(String, f64)>,
 }
 
 impl Default for CloudConfig {
@@ -205,6 +221,11 @@ impl Default for CloudConfig {
             quarantine_penalty_ms: 2000,
             quarantine_decay_ms: 5000,
             quarantine_heartbeat_ms: 0,
+            tenancy_enabled: false,
+            tenancy_admission_window: 64,
+            tenancy_max_pending: 256,
+            tenancy_shed_watermark: 0.75,
+            tenancy_weights: Vec::new(),
         }
     }
 }
@@ -435,6 +456,30 @@ impl CloudConfig {
         {
             cfg.quarantine_heartbeat_ms = h;
         }
+        if let Some(e) = ini.get_bool("tenancy", "enabled").map_err(bad_config)? {
+            cfg.tenancy_enabled = e;
+        }
+        if let Some(w) = ini
+            .get_parsed::<usize>("tenancy", "admission-window")
+            .map_err(bad_config)?
+        {
+            cfg.tenancy_admission_window = w;
+        }
+        if let Some(p) = ini
+            .get_parsed::<usize>("tenancy", "max-pending")
+            .map_err(bad_config)?
+        {
+            cfg.tenancy_max_pending = p;
+        }
+        if let Some(s) = ini
+            .get_parsed::<f64>("tenancy", "shed-watermark")
+            .map_err(bad_config)?
+        {
+            cfg.tenancy_shed_watermark = s;
+        }
+        if let Some(w) = ini.get("tenancy", "weights") {
+            cfg.tenancy_weights = parse_weights(w).map_err(bad_config)?;
+        }
         cfg.validate()?;
         Ok(cfg)
     }
@@ -519,7 +564,36 @@ impl CloudConfig {
                 "quarantine-penalty-ms must be positive when quarantine is enabled",
             ));
         }
+        if !(self.tenancy_shed_watermark.is_finite()
+            && (0.0..=1.0).contains(&self.tenancy_shed_watermark))
+        {
+            return Err(bad_config(format!(
+                "shed-watermark = {} must be in 0..=1",
+                self.tenancy_shed_watermark
+            )));
+        }
+        for (name, w) in &self.tenancy_weights {
+            if !(w.is_finite() && *w > 0.0) {
+                return Err(bad_config(format!(
+                    "tenant weight '{name}:{w}' must be a positive finite number"
+                )));
+            }
+        }
         Ok(())
+    }
+
+    /// The admission policy `[tenancy]` describes, or `None` when
+    /// tenancy is disabled (submissions bypass admission entirely).
+    pub fn tenancy_policy(&self) -> Option<omp_model::TenancyPolicy> {
+        if !self.tenancy_enabled {
+            return None;
+        }
+        Some(omp_model::TenancyPolicy {
+            admission_window: self.tenancy_admission_window,
+            max_pending: self.tenancy_max_pending,
+            shed_watermark: self.tenancy_shed_watermark,
+            weights: self.tenancy_weights.clone(),
+        })
     }
 
     /// The executor quarantine policy these knobs describe.
@@ -563,6 +637,24 @@ fn bad_config(detail: impl Into<String>) -> OmpError {
         device: "cloud".into(),
         detail: detail.into(),
     }
+}
+
+/// Parse a comma-separated `name:weight` list ("acme:4, batch:0.5").
+fn parse_weights(text: &str) -> Result<Vec<(String, f64)>, String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (name, w) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad weight '{pair}' (expected name:weight)"))?;
+            let weight = w
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad weight '{pair}' (expected name:weight)"))?;
+            Ok((name.trim().to_string(), weight))
+        })
+        .collect()
 }
 
 /// Parse a comma-separated list of non-negative integers ("0, 4096, 16k"
@@ -801,6 +893,33 @@ instance-type = c3.8xlarge
         assert!(CloudConfig::from_str("[autotune]\ntile-sizes = nope\n").is_err());
         assert!(CloudConfig::from_str("[autotune]\ntile-sizes = ,\n").is_err());
         assert!(CloudConfig::from_str("[autotune]\nio-threads = 0,2\n").is_err());
+    }
+
+    #[test]
+    fn tenancy_section_parses_and_defaults_off() {
+        let cfg = CloudConfig::default();
+        assert!(!cfg.tenancy_enabled, "tenancy is opt-in");
+        assert!(cfg.tenancy_policy().is_none(), "disabled → no admission");
+        assert_eq!(cfg.tenancy_admission_window, 64);
+        assert_eq!(cfg.tenancy_max_pending, 256);
+        assert!((cfg.tenancy_shed_watermark - 0.75).abs() < 1e-12);
+
+        let cfg = CloudConfig::from_str(
+            "[tenancy]\nenabled = yes\nadmission-window = 8\nmax-pending = 32\n\
+             shed-watermark = 0.5\nweights = acme:4, batch:0.5\n",
+        )
+        .unwrap();
+        let policy = cfg.tenancy_policy().expect("enabled → policy");
+        assert_eq!(policy.admission_window, 8);
+        assert_eq!(policy.max_pending, 32);
+        assert!((policy.shed_watermark - 0.5).abs() < 1e-12);
+        assert!((policy.weight_of("acme") - 4.0).abs() < 1e-12);
+        assert!((policy.weight_of("batch") - 0.5).abs() < 1e-12);
+        assert!((policy.weight_of("unlisted") - 1.0).abs() < 1e-12);
+
+        assert!(CloudConfig::from_str("[tenancy]\nshed-watermark = 1.5\n").is_err());
+        assert!(CloudConfig::from_str("[tenancy]\nweights = acme\n").is_err());
+        assert!(CloudConfig::from_str("[tenancy]\nweights = acme:-1\n").is_err());
     }
 
     #[test]

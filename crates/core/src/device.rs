@@ -20,7 +20,7 @@
 //! synchronization — and when the cluster is unreachable the wrapper
 //! falls back to host execution automatically.
 
-use crate::breaker::CircuitBreaker;
+use crate::breaker::{BreakerBank, CircuitBreaker};
 use crate::cache::{CacheDecision, Fingerprint, ResidencyMap, UploadCache};
 use crate::config::CloudConfig;
 use crate::offload::{run_spark_job, JobOutcome};
@@ -33,7 +33,7 @@ use cloud_storage::{
 };
 use cloudsim::Fleet;
 use omp_model::{
-    Construct, DataEnv, DataflowHints, Device, DeviceKind, ErasedVec, ExecProfile,
+    Construct, DagReport, DataEnv, DataflowHints, Device, DeviceKind, ErasedVec, ExecProfile,
     MaterializeReport, OmpError, ResidentLossReason, TargetRegion, TypeTag,
 };
 use parking_lot::Mutex;
@@ -55,7 +55,9 @@ pub struct CloudDevice {
     upload_cache: Mutex<UploadCache>,
     residency: Mutex<Residency>,
     tile_residency: Mutex<ResidencyMap>,
-    breaker: CircuitBreaker,
+    /// Per-tenant circuit breakers: one tenant's failure streak opens
+    /// its own breaker, never another tenant's.
+    breakers: BreakerBank,
     /// Device-resident intermediate buffers of the active dataflow DAG,
     /// keyed by variable name: the producer's committed output key in
     /// the object store plus a driver-side decoded copy (so consumers
@@ -70,6 +72,12 @@ pub struct CloudDevice {
     /// last published report; folded into the next offload's
     /// [`DataflowSummary`] (adoption happens between offloads).
     pending_stage_fallbacks: AtomicU32,
+    /// Lineage recomputes handed over by an implicit-barrier
+    /// [`Device::absorb_dag_report`]; folded into the next report.
+    pending_lineage_recomputes: AtomicU32,
+    /// Resident repairs handed over by an implicit-barrier
+    /// [`Device::absorb_dag_report`]; folded into the next report.
+    pending_resident_repairs: AtomicU64,
     /// Armed one-shot resident fault (deterministic recovery tests).
     armed_fault: Mutex<Option<ResidentFault>>,
 }
@@ -154,7 +162,7 @@ impl CloudDevice {
                 ..TransferConfig::default()
             },
         );
-        let breaker = CircuitBreaker::new(config.breaker_threshold);
+        let breakers = BreakerBank::new(config.breaker_threshold);
         CloudDevice {
             name: format!("cloud-{:?}", config.provider).to_ascii_lowercase(),
             config,
@@ -167,10 +175,12 @@ impl CloudDevice {
             upload_cache: Mutex::new(UploadCache::new()),
             residency: Mutex::new(Residency::default()),
             tile_residency: Mutex::new(ResidencyMap::new()),
-            breaker,
+            breakers,
             resident: Mutex::new(HashMap::new()),
             lineage: Mutex::new(HashMap::new()),
             pending_stage_fallbacks: AtomicU32::new(0),
+            pending_lineage_recomputes: AtomicU32::new(0),
+            pending_resident_repairs: AtomicU64::new(0),
             armed_fault: Mutex::new(None),
         }
     }
@@ -209,16 +219,29 @@ impl CloudDevice {
         self.upload_cache.lock().stats()
     }
 
-    /// The circuit breaker guarding this device.
+    /// The default tenant's circuit breaker — the single-tenant view of
+    /// the device's fault state.
     pub fn breaker(&self) -> &CircuitBreaker {
-        &self.breaker
+        self.breakers.default_breaker()
     }
 
-    /// Has the breaker tripped (too many consecutive failed offloads)?
-    /// A degraded device reports itself unavailable, so regions fall
-    /// back to the host until an operator [`CircuitBreaker::reset`].
+    /// The per-tenant breaker bank guarding this device.
+    pub fn breakers(&self) -> &BreakerBank {
+        &self.breakers
+    }
+
+    /// Is `tenant`'s breaker open? Other tenants' fault streaks never
+    /// show up here.
+    pub fn breaker_open_for(&self, tenant: &str) -> bool {
+        self.breakers.is_open_for(tenant)
+    }
+
+    /// Has the default tenant's breaker tripped (too many consecutive
+    /// failed offloads)? A degraded device reports itself unavailable,
+    /// so regions fall back to the host until an operator
+    /// [`CircuitBreaker::reset`].
     pub fn is_degraded(&self) -> bool {
-        self.breaker.is_open()
+        self.breakers.default_breaker().is_open()
     }
 
     /// Drop every cached upload fingerprint (e.g. after clearing the
@@ -404,14 +427,42 @@ impl Device for CloudDevice {
     }
 
     fn is_available(&self) -> bool {
-        !self.config.simulate_unreachable && !self.breaker.is_open()
+        !self.config.simulate_unreachable && !self.breakers.default_breaker().is_open()
     }
 
     fn degraded(&self) -> bool {
         // Unavailable *because of us*: the breaker opened after
         // consecutive failed offloads. Lets the registry record
         // `BreakerOpen` instead of a generic `Unavailable` fallback.
-        self.breaker.is_open()
+        self.breakers.default_breaker().is_open()
+    }
+
+    fn available_for(&self, tenant: &str) -> bool {
+        // Tenant-scoped availability: only *this* tenant's failure
+        // streak can close the device to it.
+        !self.config.simulate_unreachable && !self.breakers.is_open_for(tenant)
+    }
+
+    fn degraded_for(&self, tenant: &str) -> bool {
+        self.breakers.is_open_for(tenant)
+    }
+
+    fn absorb_dag_report(&self, report: &DagReport) {
+        // An implicit barrier drained deferred regions; their recovery
+        // counters would otherwise vanish with the discarded DagReport.
+        // Park them until the next published OffloadReport.
+        if report.stage_fallbacks > 0 {
+            self.pending_stage_fallbacks
+                .fetch_add(report.stage_fallbacks, Ordering::SeqCst);
+        }
+        if report.lineage_recomputes > 0 {
+            self.pending_lineage_recomputes
+                .fetch_add(report.lineage_recomputes, Ordering::SeqCst);
+        }
+        if report.resident_repairs > 0 {
+            self.pending_resident_repairs
+                .fetch_add(report.resident_repairs, Ordering::SeqCst);
+        }
     }
 
     fn supports(&self, construct: Construct) -> bool {
@@ -639,6 +690,8 @@ impl Device for CloudDevice {
         self.resident.lock().clear();
         self.lineage.lock().clear();
         self.pending_stage_fallbacks.store(0, Ordering::SeqCst);
+        self.pending_lineage_recomputes.store(0, Ordering::SeqCst);
+        self.pending_resident_repairs.store(0, Ordering::SeqCst);
     }
 }
 
@@ -667,16 +720,20 @@ impl CloudDevice {
             Err(ExecFailure::App(e)) => Err(e),
             Err(ExecFailure::Infra(e)) => {
                 // A mid-flight infrastructure failure: count it against
-                // the breaker and surface `DeviceUnavailable`, so the
-                // registry re-runs the region on the host. The data
-                // environment is untouched — outputs are only written
-                // back after the whole offload succeeded.
-                let tripped = self.breaker.record_failure();
+                // the *owning tenant's* breaker and surface
+                // `DeviceUnavailable`, so the registry re-runs the
+                // region on the host. The data environment is untouched
+                // — outputs are only written back after the whole
+                // offload succeeded.
+                let breaker = self.breakers.breaker_for(region.tenant.as_str());
+                let tripped = breaker.record_failure();
                 let reason = if tripped {
                     format!(
-                        "offload aborted ({e}); breaker OPEN after {} consecutive failures — \
-                         device degraded until an offload succeeds or the breaker is reset",
-                        self.breaker.consecutive_failures()
+                        "offload aborted ({e}); breaker OPEN for tenant '{}' after {} \
+                         consecutive failures — degraded for that tenant until one of its \
+                         offloads succeeds or the breaker is reset",
+                        region.tenant,
+                        breaker.consecutive_failures()
                     )
                 } else {
                     format!("offload aborted ({e})")
@@ -1128,6 +1185,11 @@ impl CloudDevice {
             );
         }
         dataflow.stage_fallbacks = self.pending_stage_fallbacks.swap(0, Ordering::SeqCst);
+        // Counters absorbed from an implicit-barrier DagReport: the
+        // drained regions' recoveries surface in this report instead of
+        // vanishing with the discarded barrier result.
+        dataflow.lineage_recomputes += self.pending_lineage_recomputes.swap(0, Ordering::SeqCst);
+        dataflow.resident_repairs += self.pending_resident_repairs.swap(0, Ordering::SeqCst) as u32;
         if dataflow.resident_repairs > 0 {
             profile.note(format!(
                 "dataflow: {} resident input(s) repaired from the durable store copy",
@@ -1193,15 +1255,19 @@ impl CloudDevice {
                 resilience.backoff_seconds
             ));
         }
-        // Snapshot the streak this success ends, then close the breaker.
-        resilience.breaker_consecutive_failures = self.breaker.consecutive_failures();
-        resilience.breaker_tripped = self.breaker.is_open();
-        self.breaker.record_success();
+        // Snapshot the streak this success ends, then close the owning
+        // tenant's breaker — a success for tenant A says nothing about
+        // tenant B's outages.
+        let breaker = self.breakers.breaker_for(region.tenant.as_str());
+        resilience.breaker_consecutive_failures = breaker.consecutive_failures();
+        resilience.breaker_tripped = breaker.is_open();
+        breaker.record_success();
 
         if self.config.verbose {
             eprintln!("[ompcloud] {}: {profile}", region.name);
         }
         *self.last_report.lock() = Some(OffloadReport {
+            tenant: region.tenant.to_string(),
             profile: profile.clone(),
             loops: outcome.loops,
             upload,

@@ -43,10 +43,11 @@ pub mod recovery;
 pub mod report;
 pub mod runtime;
 pub mod scope;
+pub mod service;
 pub mod tiling;
 
 pub use autotune::{calibrate, AutotuneConfig, CalibrationReport, TunedProfile};
-pub use breaker::CircuitBreaker;
+pub use breaker::{BreakerBank, CircuitBreaker, DEFAULT_TENANT};
 pub use cache::{CacheDecision, Fingerprint, UploadCache};
 pub use config::{CloudConfig, Provider};
 pub use device::{CloudDevice, ResidentFault, ResidentFaultKind};
@@ -56,3 +57,4 @@ pub use recovery::RegionRecovery;
 pub use report::{DataflowSummary, OffloadReport, ResilienceSummary};
 pub use runtime::CloudRuntime;
 pub use scope::{ScopeStats, TargetDataScope};
+pub use service::{OffloadService, ServiceOutcome, ServiceTenantStats};

@@ -263,6 +263,7 @@ fn run_loop(
         locality_wait: Duration::from_millis(config.locality_wait_ms),
         quarantine: config.quarantine_config(),
         heartbeat_miss: Duration::from_millis(config.quarantine_heartbeat_ms),
+        tenant: region.tenant.to_string(),
     };
     if loop_.schedule != omp_parfor::Schedule::default() {
         options.mode = loop_.schedule.into();

@@ -91,6 +91,10 @@ impl DataflowSummary {
 /// Full record of one offloaded target region.
 #[derive(Debug, Clone)]
 pub struct OffloadReport {
+    /// The tenant that submitted the region (`"default"` outside
+    /// multi-tenant programs). Breaker state and recovery counters in
+    /// this report are scoped to this tenant.
+    pub tenant: String,
     /// The three-way timing decomposition plus byte/task counts.
     pub profile: ExecProfile,
     /// Per-loop (per map-reduce stage) statistics.
@@ -199,6 +203,9 @@ impl std::fmt::Display for OffloadReport {
                     self.dataflow.resident_repairs,
                 )?;
             }
+        }
+        if self.tenant != "default" {
+            write!(f, "\n  tenant: {}", self.tenant)?;
         }
         if let Some(cost) = &self.cost {
             write!(f, "\n  cost: {cost}")?;

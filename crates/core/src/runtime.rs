@@ -63,6 +63,9 @@ impl CloudRuntime {
         registry.register(Arc::new(HostDevice::threaded(threads)));
         let cloud = Arc::new(cloud);
         let cloud_id = registry.register(Arc::clone(&cloud) as Arc<dyn omp_model::Device>);
+        if let Some(policy) = cloud.config().tenancy_policy() {
+            registry.set_tenancy(policy);
+        }
         CloudRuntime {
             registry,
             cloud,

@@ -12,6 +12,7 @@ use crate::env::DataEnv;
 use crate::error::OmpError;
 use crate::profile::{ExecProfile, FallbackReason};
 use crate::region::TargetRegion;
+use crate::tenant::{AdmissionController, TenancyPolicy};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -165,6 +166,33 @@ pub trait Device: Send + Sync {
         false
     }
 
+    /// Is the device reachable for `tenant`'s submissions? Multi-tenant
+    /// devices keep fault state (circuit breakers) per tenant, so one
+    /// tenant's open breaker must not make the device look down for
+    /// everyone else. The default collapses to the shared
+    /// [`Device::is_available`].
+    fn available_for(&self, tenant: &str) -> bool {
+        let _ = tenant;
+        self.is_available()
+    }
+
+    /// Tenant-scoped [`Device::degraded`]: is the device degraded for
+    /// *this tenant* (its breaker open), regardless of other tenants'
+    /// fault state?
+    fn degraded_for(&self, tenant: &str) -> bool {
+        let _ = tenant;
+        self.degraded()
+    }
+
+    /// An implicit barrier (an eager region draining the pending DAG)
+    /// produced `report` on this device's behalf. Devices that build
+    /// offload reports fold the drain/recovery counters into their own
+    /// accounting so the next report reflects them instead of dropping
+    /// them on the floor. Default: ignore.
+    fn absorb_dag_report(&self, report: &DagReport) {
+        let _ = report;
+    }
+
     /// Can this device execute regions using `construct`?
     fn supports(&self, construct: Construct) -> bool;
 
@@ -262,10 +290,12 @@ pub trait Device: Send + Sync {
 
 /// Deferred `nowait` regions accumulated between `taskwait`s. Shared
 /// across registry clones: the DAG belongs to the program, not to one
-/// handle.
+/// handle. `admitted` is kept parallel to `pending`: whether each
+/// region holds an admission slot that `taskwait` must return.
 #[derive(Default)]
 struct DagState {
     pending: Vec<TargetRegion>,
+    admitted: Vec<bool>,
     next_id: u64,
 }
 
@@ -275,6 +305,7 @@ pub struct DeviceRegistry {
     devices: Vec<Arc<dyn Device>>,
     default_device: usize,
     dag: Arc<Mutex<DagState>>,
+    tenancy: Option<Arc<AdmissionController>>,
 }
 
 impl DeviceRegistry {
@@ -321,6 +352,20 @@ impl DeviceRegistry {
         self.default_device
     }
 
+    /// Turn on multi-tenant admission control: every
+    /// [`DeviceRegistry::offload`] passes the admission gate before any
+    /// work is queued or dispatched, answering with typed
+    /// [`OmpError::Rejected`] backpressure instead of queueing without
+    /// bound.
+    pub fn set_tenancy(&mut self, policy: TenancyPolicy) {
+        self.tenancy = Some(Arc::new(AdmissionController::new(policy)));
+    }
+
+    /// The admission gate, when tenancy is enabled.
+    pub fn tenancy(&self) -> Option<&Arc<AdmissionController>> {
+        self.tenancy.as_ref()
+    }
+
     /// Resolve a selector to a concrete device.
     pub fn resolve(&self, selector: DeviceSelector) -> Result<(usize, &Arc<dyn Device>), OmpError> {
         match selector {
@@ -355,10 +400,26 @@ impl DeviceRegistry {
         region: &TargetRegion,
         env: &mut DataEnv,
     ) -> Result<ExecProfile, OmpError> {
+        // The admission gate comes first: a refused submission queues
+        // nothing and runs nothing — the caller gets typed backpressure
+        // instead of unbounded queueing.
+        if let Some(gate) = &self.tenancy {
+            if let Err(reason) = gate.admit(&region.tenant) {
+                return Err(OmpError::Rejected {
+                    tenant: region.tenant.to_string(),
+                    reason,
+                });
+            }
+        }
         // `nowait` defers the region into the DAG; its real profile
-        // arrives with the `taskwait` report.
+        // arrives with the `taskwait` report. The admission slot stays
+        // held until that drain returns it.
         if region.nowait {
-            self.offload_nowait(region.clone());
+            {
+                let mut dag = self.dag.lock();
+                dag.pending.push(region.clone());
+                dag.admitted.push(self.tenancy.is_some());
+            }
             let mut profile = ExecProfile::new("deferred");
             profile.note(format!(
                 "nowait: region '{}' deferred into the region DAG; results land at taskwait",
@@ -366,11 +427,59 @@ impl DeviceRegistry {
             ));
             return Ok(profile);
         }
+        let result = self.offload_eager(region, env);
+        if let Some(gate) = &self.tenancy {
+            gate.complete(&region.tenant);
+        }
+        result
+    }
+
+    /// Run an eager (non-`nowait`) region: drain the pending DAG (the
+    /// implicit barrier), dispatch, and merge the barrier's drain and
+    /// recovery counters into the returned profile — the barrier ran on
+    /// this submission's behalf, so its work must not vanish with the
+    /// local `DagReport`.
+    fn offload_eager(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+    ) -> Result<ExecProfile, OmpError> {
         // An eager region is an implicit barrier on the pending DAG —
         // its buffers may alias pending writes, so drain first.
-        if !self.dag.lock().pending.is_empty() {
-            self.taskwait(env)?;
+        let barrier = if !self.dag.lock().pending.is_empty() {
+            Some(self.taskwait(env)?)
+        } else {
+            None
+        };
+        let mut profile = self.dispatch_eager(region, env)?;
+        if let Some(report) = barrier {
+            if let Ok((_, device)) = self.resolve(region.device) {
+                device.absorb_dag_report(&report);
+            }
+            profile.wire_bytes_from += report.drain.wire_bytes;
+            profile.host_comm_s += report.drain.seconds;
+            profile.resident_repairs += report.resident_repairs;
+            profile.note(format!(
+                "implicit barrier drained {} deferred region(s): \
+                 {} variable(s) materialized, {} lineage recompute(s), {} stage fallback(s)",
+                report.profiles.len(),
+                report.drain.vars.len(),
+                report.lineage_recomputes,
+                report.stage_fallbacks
+            ));
         }
+        Ok(profile)
+    }
+
+    /// Capability-check and dispatch an eager region to its device,
+    /// falling back to the host when the device cannot take it. Fault
+    /// state is tenant-scoped: the submission is judged against *its*
+    /// tenant's breaker, not anyone else's.
+    fn dispatch_eager(
+        &self,
+        region: &TargetRegion,
+        env: &mut DataEnv,
+    ) -> Result<ExecProfile, OmpError> {
         // `if(false)` regions run on the host, per the OpenMP standard.
         if !region.offload_if {
             let host = self
@@ -391,7 +500,8 @@ impl DeviceRegistry {
                 });
             }
         }
-        if device.is_available() {
+        let tenant = region.tenant.as_str();
+        if device.available_for(tenant) {
             // Mid-flight degradation: a device that starts the region but
             // cannot finish it (storage outage, breaker tripping open)
             // reports `DeviceUnavailable`. The abort is clean — target
@@ -424,7 +534,7 @@ impl DeviceRegistry {
         // Dynamic fallback: run locally when the cloud cannot be reached.
         // A device that is unreachable *because its own breaker opened*
         // records the breaker, not a vanished endpoint.
-        let (kind, why) = if device.degraded() {
+        let (kind, why) = if device.degraded_for(tenant) {
             (
                 FallbackReason::BreakerOpen,
                 "unavailable (circuit breaker open)",
@@ -440,7 +550,11 @@ impl DeviceRegistry {
     /// `depend(in:/out:)` edges deciding which buffers stay
     /// device-resident between regions.
     pub fn offload_nowait(&self, region: TargetRegion) {
-        self.dag.lock().pending.push(region);
+        let mut dag = self.dag.lock();
+        dag.pending.push(region);
+        // Direct pushes bypass the admission gate (they carry no typed
+        // rejection channel), so they hold no slot to return.
+        dag.admitted.push(false);
     }
 
     /// Deferred regions waiting for the next `taskwait`.
@@ -454,14 +568,18 @@ impl DeviceRegistry {
     /// whatever escapes the DAG back into `env`. Resident keys are
     /// released on every exit path.
     pub fn taskwait(&self, env: &mut DataEnv) -> Result<DagReport, OmpError> {
-        let (regions, dag_tag) = {
+        let (regions, admitted, dag_tag) = {
             let mut dag = self.dag.lock();
             if dag.pending.is_empty() {
                 return Ok(DagReport::default());
             }
             let id = dag.next_id;
             dag.next_id += 1;
-            (std::mem::take(&mut dag.pending), format!("dag-{id}"))
+            (
+                std::mem::take(&mut dag.pending),
+                std::mem::take(&mut dag.admitted),
+                format!("dag-{id}"),
+            )
         };
         let mut participants: Vec<usize> = Vec::new();
         let result = self.run_dag(&regions, &dag_tag, env, &mut participants);
@@ -471,6 +589,15 @@ impl DeviceRegistry {
         for &d in &participants {
             if let Some(dev) = self.devices.get(d) {
                 dev.end_dataflow(&dag_tag);
+            }
+        }
+        // …and every admitted region returns its admission slot, so a
+        // failed chain cannot wedge its tenant's window either.
+        if let Some(gate) = &self.tenancy {
+            for (region, held) in regions.iter().zip(&admitted) {
+                if *held {
+                    gate.complete(&region.tenant);
+                }
             }
         }
         result
@@ -642,8 +769,10 @@ impl DagRun<'_> {
         }
 
         // Host paths (if-clause, unavailable device) read the host
-        // environment, which is stale for resident variables.
-        let run_on_host = !region.offload_if || !device.is_available();
+        // environment, which is stale for resident variables. The
+        // availability check is tenant-scoped: only *this* tenant's
+        // breaker can push its stages off the device.
+        let run_on_host = !region.offload_if || !device.available_for(region.tenant.as_str());
         if run_on_host {
             let local: Vec<String> = self.reads[i]
                 .iter()
@@ -657,7 +786,7 @@ impl DagRun<'_> {
                 p.note("if(...) clause evaluated false; executed on the host");
                 p
             } else {
-                let (kind, why) = if device.degraded() {
+                let (kind, why) = if device.degraded_for(region.tenant.as_str()) {
                     (
                         FallbackReason::BreakerOpen,
                         "unavailable (circuit breaker open)",
@@ -785,7 +914,7 @@ impl DagRun<'_> {
                     self.report.stage_fallbacks += 1;
                     let adopted = dataflow
                         && !hints.keep_resident.is_empty()
-                        && device.is_available()
+                        && device.available_for(region.tenant.as_str())
                         && device
                             .adopt_resident(&hints.keep_resident, env, self.dag_tag, i)
                             .is_ok();
@@ -843,7 +972,7 @@ impl DagRun<'_> {
             return false;
         };
         let device = Arc::clone(device);
-        if !device.supports_dataflow() || !device.is_available() {
+        if !device.supports_dataflow() || !device.available_for(self.regions[j].tenant.as_str()) {
             return false;
         }
         let hints = DataflowHints {
@@ -1018,6 +1147,9 @@ mod tests {
         /// this reason — models a device that accepts the region but
         /// degrades mid-flight.
         fail_midflight: Option<String>,
+        /// Tenant whose (per-tenant) breaker is open: the device refuses
+        /// that tenant's submissions while serving everyone else.
+        tripped_for: Option<String>,
         executions: Mutex<usize>,
     }
 
@@ -1036,6 +1168,12 @@ mod tests {
         }
         fn supports(&self, c: Construct) -> bool {
             c != Construct::Barrier || self.supports_barrier
+        }
+        fn available_for(&self, tenant: &str) -> bool {
+            self.available && self.tripped_for.as_deref() != Some(tenant)
+        }
+        fn degraded_for(&self, tenant: &str) -> bool {
+            self.degraded || self.tripped_for.as_deref() == Some(tenant)
         }
         fn execute(
             &self,
@@ -1061,6 +1199,7 @@ mod tests {
             degraded: false,
             supports_barrier: kind == DeviceKind::Host,
             fail_midflight: None,
+            tripped_for: None,
             executions: Mutex::new(0),
         })
     }
@@ -1073,6 +1212,7 @@ mod tests {
             degraded: false,
             supports_barrier: kind == DeviceKind::Host,
             fail_midflight: Some("storage endpoint lost".into()),
+            tripped_for: None,
             executions: Mutex::new(0),
         })
     }
@@ -1161,6 +1301,7 @@ mod tests {
             degraded: true,
             supports_barrier: false,
             fail_midflight: None,
+            tripped_for: None,
             executions: Mutex::new(0),
         }) as Arc<dyn Device>);
         let mut env = DataEnv::new();
@@ -1190,6 +1331,7 @@ mod tests {
                 "{} after 2 attempts (data unavailable)",
                 crate::profile::RESUME_EXHAUSTED
             )),
+            tripped_for: None,
             executions: Mutex::new(0),
         }) as Arc<dyn Device>);
         let mut env = DataEnv::new();
@@ -1294,6 +1436,9 @@ mod tests {
         adopted: Vec<(Vec<String>, usize)>,
         invalidated: Vec<String>,
         ended: Vec<String>,
+        /// (profiles, drained wire bytes, stage fallbacks) of every
+        /// barrier report handed to `absorb_dag_report`.
+        absorbed: Vec<(usize, u64, u32)>,
     }
 
     struct DataflowFake {
@@ -1430,6 +1575,13 @@ mod tests {
         }
         fn end_dataflow(&self, dag: &str) {
             self.log.lock().ended.push(dag.to_string());
+        }
+        fn absorb_dag_report(&self, report: &DagReport) {
+            self.log.lock().absorbed.push((
+                report.profiles.len(),
+                report.drain.wire_bytes,
+                report.stage_fallbacks,
+            ));
         }
     }
 
@@ -1688,5 +1840,158 @@ mod tests {
             log.hints.iter().all(|h| !h.recovery),
             "no device-side replay was attempted"
         );
+    }
+
+    #[test]
+    fn admission_gate_rejects_and_releases() {
+        let mut r = DeviceRegistry::with_host_only();
+        r.set_tenancy(TenancyPolicy {
+            admission_window: 1,
+            max_pending: 0,
+            shed_watermark: 1.0,
+            weights: Vec::new(),
+        });
+        let mut env = DataEnv::new();
+        // Eager regions return their slot on every exit path, so a
+        // window of one never blocks sequential submission.
+        r.offload(&trivial_region(DeviceSelector::Default), &mut env)
+            .unwrap();
+        r.offload(&trivial_region(DeviceSelector::Default), &mut env)
+            .unwrap();
+        // A deferred region holds its slot until the taskwait drains it.
+        let nw = TargetRegion::builder("nw")
+            .nowait()
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        r.offload(&nw, &mut env).unwrap();
+        let err = r.offload(&nw, &mut env).unwrap_err();
+        assert_eq!(
+            err,
+            OmpError::Rejected {
+                tenant: "default".into(),
+                reason: crate::tenant::RejectReason::QuotaExceeded,
+            }
+        );
+        r.taskwait(&mut env).unwrap();
+        r.offload(&nw, &mut env).unwrap();
+        r.taskwait(&mut env).unwrap();
+        let gate = r.tenancy().unwrap();
+        assert_eq!(gate.total_inflight(), 0);
+        let stats = gate.stats();
+        let s = &stats.iter().find(|(n, _)| n == "default").unwrap().1;
+        assert_eq!(s.admitted, 4);
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.rejected_quota, 1);
+    }
+
+    #[test]
+    fn tenant_scoped_breaker_isolates_tenants() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        r.register(Arc::new(FakeDevice {
+            name: "cloud-0".into(),
+            kind: DeviceKind::Cloud,
+            available: true,
+            degraded: false,
+            supports_barrier: false,
+            fail_midflight: None,
+            tripped_for: Some("hog".into()),
+            executions: Mutex::new(0),
+        }) as Arc<dyn Device>);
+        let mut env = DataEnv::new();
+        let mk = |tenant: &str| {
+            TargetRegion::builder("t")
+                .device(DeviceSelector::Kind(DeviceKind::Cloud))
+                .tenant(tenant)
+                .parallel_for(1, |l| l.body(|_, _, _| {}))
+                .build()
+                .unwrap()
+        };
+        // The hog's breaker is open: its submissions fall back, and the
+        // fallback is classified as breaker-caused.
+        let p = r.offload(&mk("hog"), &mut env).unwrap();
+        assert_eq!(p.fallback_reason, Some(FallbackReason::BreakerOpen));
+        // Another tenant's view of the same device is untouched.
+        let p = r.offload(&mk("bob"), &mut env).unwrap();
+        assert_eq!(p.device, "cloud-0");
+        assert!(p.fallback_from.is_none());
+    }
+
+    #[test]
+    fn implicit_barrier_merges_drain_into_eager_profile() {
+        let mut r = DeviceRegistry::with_host_only();
+        let cloud = DataflowFake::new("cloud-0");
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        let stage1 = TargetRegion::builder("stage1")
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .map_to("x")
+            .map_from("t")
+            .depend_out("t")
+            .nowait()
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        let stage2 = TargetRegion::builder("stage2")
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .map_to("t")
+            .map_from("y")
+            .depend_in("t")
+            .depend_out("y")
+            .nowait()
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        r.offload_nowait(stage1);
+        r.offload_nowait(stage2);
+        let mut env = DataEnv::new();
+        let p = r
+            .offload(
+                &trivial_region(DeviceSelector::Kind(DeviceKind::Cloud)),
+                &mut env,
+            )
+            .unwrap();
+        assert_eq!(p.device, "cloud-0");
+        assert_eq!(
+            p.wire_bytes_from, 1,
+            "the drained intermediate's download is accounted to the eager region"
+        );
+        assert!(p.notes.iter().any(|n| n.contains("implicit barrier")));
+        let log = cloud.log.lock();
+        assert_eq!(
+            log.absorbed,
+            vec![(2, 1, 0)],
+            "the device absorbed the barrier report"
+        );
+    }
+
+    #[test]
+    fn breaker_opening_mid_taskwait_keeps_drain_counters_on_host_fallback() {
+        let mut r = DeviceRegistry::new();
+        let host = fake("host", DeviceKind::Host, true);
+        r.register(Arc::clone(&host) as Arc<dyn Device>);
+        let cloud = Arc::new(DataflowFake {
+            fail_on_call: Some(1), // the consumer dies mid-taskwait
+            ..DataflowFake::bare("cloud-0")
+        });
+        r.register(Arc::clone(&cloud) as Arc<dyn Device>);
+        r.offload_nowait(chain_region("producer", "y"));
+        r.offload_nowait(chain_region("consumer", "y"));
+        let mut env = DataEnv::new();
+        // The eager region itself runs on the host — the shape that used
+        // to drop the barrier's DagReport (and its drain counters) on
+        // the floor.
+        let eager = TargetRegion::builder("eager")
+            .device(DeviceSelector::Kind(DeviceKind::Cloud))
+            .offload_if(false)
+            .parallel_for(1, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        let p = r.offload(&eager, &mut env).unwrap();
+        assert!(p.device.starts_with("host"));
+        assert_eq!(p.wire_bytes_from, 1, "the mid-DAG escape's bytes survive");
+        assert!(p.notes.iter().any(|n| n.contains("1 stage fallback(s)")));
+        assert_eq!(cloud.log.lock().absorbed, vec![(2, 1, 1)]);
     }
 }

@@ -2,6 +2,7 @@
 //! plug-ins.
 
 use crate::clause::Construct;
+use crate::tenant::RejectReason;
 use std::fmt;
 
 /// Errors surfaced by the offloading runtime.
@@ -48,6 +49,16 @@ pub enum OmpError {
         device: String,
         /// Backend-specific description.
         detail: String,
+    },
+    /// The admission gate refused the submission: the tenant's window
+    /// (or the whole service) is full, or the tenant was shed under
+    /// overload. Typed backpressure — the caller should back off or
+    /// route elsewhere instead of queueing without bound.
+    Rejected {
+        /// Tenant whose submission was refused.
+        tenant: String,
+        /// Why the gate said no.
+        reason: RejectReason,
     },
     /// A device-resident dataflow buffer could not be served: the entry
     /// is gone or failed its integrity check and no durable copy could
@@ -115,6 +126,9 @@ impl fmt::Display for OmpError {
             }
             OmpError::InvalidRegion(detail) => write!(f, "invalid target region: {detail}"),
             OmpError::Plugin { device, detail } => write!(f, "device '{device}' failed: {detail}"),
+            OmpError::Rejected { tenant, reason } => {
+                write!(f, "submission rejected for tenant '{tenant}': {reason}")
+            }
             OmpError::ResidentLoss { var, reason } => {
                 write!(f, "device-resident copy of '{var}' lost ({reason})")
             }

@@ -70,6 +70,7 @@ pub mod partition;
 pub mod pod;
 pub mod profile;
 pub mod region;
+pub mod tenant;
 pub mod view;
 
 pub use clause::{
@@ -86,6 +87,7 @@ pub use partition::{LinearExpr, PartitionSpec};
 pub use pod::{Pod, TypeTag};
 pub use profile::{ExecProfile, FallbackReason, RESUME_EXHAUSTED};
 pub use region::{LoopBody, ParallelLoop, TargetRegion, TargetRegionBuilder};
+pub use tenant::{AdmissionController, RejectReason, TenancyPolicy, TenantId, TenantStats};
 pub use view::{Inputs, Outputs, VarView, VarViewMut};
 
 /// Everything a kernel author needs in scope.
@@ -99,5 +101,6 @@ pub mod prelude {
     pub use crate::partition::{LinearExpr, PartitionSpec};
     pub use crate::profile::ExecProfile;
     pub use crate::region::TargetRegion;
+    pub use crate::tenant::{RejectReason, TenancyPolicy, TenantId};
     pub use crate::view::{Inputs, Outputs};
 }

@@ -16,6 +16,7 @@ use crate::device::DeviceSelector;
 use crate::erased::RedOp;
 use crate::error::OmpError;
 use crate::partition::PartitionSpec;
+use crate::tenant::TenantId;
 use crate::view::{Inputs, Outputs};
 use omp_parfor::Schedule;
 use std::collections::HashSet;
@@ -88,6 +89,11 @@ pub struct TargetRegion {
     /// `nowait`: defer execution into the registry's region DAG; the
     /// region runs (in dependency order) at the next `taskwait`.
     pub nowait: bool,
+    /// Tenant submitting this region. Admission control, circuit
+    /// breakers, and quarantine scores are scoped to this identity so
+    /// one client's faults never bleed into another's. Defaults to the
+    /// shared `"default"` tenant for single-program use.
+    pub tenant: TenantId,
 }
 
 impl TargetRegion {
@@ -102,6 +108,7 @@ impl TargetRegion {
             offload_if: true,
             depends: Vec::new(),
             nowait: false,
+            tenant: TenantId::default(),
         }
     }
 
@@ -150,6 +157,7 @@ pub struct TargetRegionBuilder {
     offload_if: bool,
     depends: Vec<DependClause>,
     nowait: bool,
+    tenant: TenantId,
 }
 
 impl TargetRegionBuilder {
@@ -214,6 +222,13 @@ impl TargetRegionBuilder {
     /// executes at the next `taskwait`, in dependency order.
     pub fn nowait(mut self) -> Self {
         self.nowait = true;
+        self
+    }
+
+    /// Submit on behalf of `tenant` — scopes admission, breaker, and
+    /// quarantine state to that identity.
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = tenant.into();
         self
     }
 
@@ -338,6 +353,7 @@ impl TargetRegionBuilder {
             offload_if: self.offload_if,
             depends: self.depends,
             nowait: self.nowait,
+            tenant: self.tenant,
         })
     }
 }
@@ -554,6 +570,19 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, OmpError::InvalidRegion(_)));
+    }
+
+    #[test]
+    fn tenant_round_trips_through_builder() {
+        let r = matmul_region(4).unwrap();
+        assert!(r.tenant.is_default());
+        let r = TargetRegion::builder("t")
+            .map_to("A")
+            .tenant("acme")
+            .parallel_for(2, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        assert_eq!(r.tenant.as_str(), "acme");
     }
 
     #[test]

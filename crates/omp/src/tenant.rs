@@ -1,0 +1,398 @@
+//! Multi-tenant submission: tenant identity, admission control, and
+//! typed rejection.
+//!
+//! The runtime's original shape was one program driving one device.
+//! A shared cluster serving many clients needs three things this module
+//! provides:
+//!
+//! * [`TenantId`] — a lightweight identity threaded through
+//!   [`TargetRegion`](crate::TargetRegion) submission, so every queue,
+//!   breaker, quarantine score, and report can be scoped to its owner;
+//! * [`RejectReason`] — the typed backpressure vocabulary
+//!   (`QueueFull` / `QuotaExceeded` / `Degraded`) the registry answers
+//!   with instead of queueing without bound;
+//! * [`AdmissionController`] — a bounded admission window per tenant
+//!   plus a global pending cap with watermark-triggered load shedding
+//!   that sheds the lowest-weight tenants first and never wedges: the
+//!   highest-weight active tenant is always admitted while capacity
+//!   remains, and every rejection is immediate, so progress (and slot
+//!   turnover) continues under any load.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Identity of the client a region is submitted on behalf of. Cheap to
+/// clone, hashable, and totally ordered so per-tenant tables have a
+/// deterministic iteration order. The default tenant (`"default"`) is
+/// what every region carries unless the builder says otherwise —
+/// single-tenant programs never notice the machinery exists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// Tenant with the given name; empty names collapse to the default
+    /// tenant.
+    pub fn new(name: impl Into<String>) -> TenantId {
+        let name = name.into();
+        if name.is_empty() {
+            TenantId::default()
+        } else {
+            TenantId(name)
+        }
+    }
+
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether this is the implicit single-tenant identity.
+    pub fn is_default(&self) -> bool {
+        self.0 == "default"
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId("default".into())
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(s: &str) -> Self {
+        TenantId::new(s)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(s: String) -> Self {
+        TenantId::new(s)
+    }
+}
+
+/// Why a submission was refused at the admission gate. Typed so callers
+/// can react per cause: retry later (`QueueFull`), slow down
+/// (`QuotaExceeded`), or route elsewhere (`Degraded`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The global pending window is exhausted; every tenant is refused
+    /// until completions free slots.
+    QueueFull,
+    /// This tenant's own admission window is full — its submission rate
+    /// outran its quota, independent of other tenants.
+    QuotaExceeded,
+    /// The service is above its shedding watermark and this tenant's
+    /// weight puts it in the shed tier (lowest-weight tenants shed
+    /// first).
+    Degraded,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RejectReason::QueueFull => "queue full",
+            RejectReason::QuotaExceeded => "per-tenant quota exceeded",
+            RejectReason::Degraded => "shed under overload",
+        })
+    }
+}
+
+/// Admission policy of a multi-tenant registry: window sizes, the
+/// shedding watermark, and per-tenant scheduling weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancyPolicy {
+    /// Regions one tenant may have pending or in flight at once;
+    /// 0 = unlimited.
+    pub admission_window: usize,
+    /// Regions pending or in flight across every tenant; 0 = unlimited.
+    pub max_pending: usize,
+    /// Fraction of `max_pending` above which load shedding starts:
+    /// tenants whose weight is below the heaviest active tenant's are
+    /// refused with [`RejectReason::Degraded`].
+    pub shed_watermark: f64,
+    /// Per-tenant scheduling weights (unlisted tenants weigh 1.0).
+    /// Higher weight = larger fair share and later shedding.
+    pub weights: Vec<(String, f64)>,
+}
+
+impl Default for TenancyPolicy {
+    fn default() -> Self {
+        TenancyPolicy {
+            admission_window: 64,
+            max_pending: 256,
+            shed_watermark: 0.75,
+            weights: Vec::new(),
+        }
+    }
+}
+
+impl TenancyPolicy {
+    /// The scheduling weight of `tenant` (1.0 unless listed).
+    pub fn weight_of(&self, tenant: &str) -> f64 {
+        self.weights
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, w)| *w)
+            .unwrap_or(1.0)
+    }
+
+    /// Pending total at which shedding starts; `None` when `max_pending`
+    /// is unlimited (no shedding without a cap to protect).
+    fn shed_threshold(&self) -> Option<usize> {
+        if self.max_pending == 0 {
+            return None;
+        }
+        let t = (self.max_pending as f64 * self.shed_watermark).ceil() as usize;
+        Some(t.clamp(1, self.max_pending))
+    }
+}
+
+/// Per-tenant admission ledger: how the gate treated a tenant's
+/// submissions so far.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Admitted submissions completed (slot returned).
+    pub completed: u64,
+    /// Refusals because the global window was exhausted.
+    pub rejected_queue_full: u64,
+    /// Refusals because the tenant's own window was exhausted.
+    pub rejected_quota: u64,
+    /// Refusals because the tenant was shed under overload.
+    pub rejected_degraded: u64,
+}
+
+impl TenantStats {
+    /// Every refusal, regardless of cause.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_quota + self.rejected_degraded
+    }
+}
+
+/// The admission gate: bounded windows, typed refusals, weighted load
+/// shedding. One instance guards one device registry (or offload
+/// service); all methods are thread-safe.
+#[derive(Debug)]
+pub struct AdmissionController {
+    policy: TenancyPolicy,
+    inflight: Mutex<HashMap<String, usize>>,
+    stats: Mutex<BTreeMap<String, TenantStats>>,
+}
+
+impl AdmissionController {
+    /// Controller enforcing `policy`.
+    pub fn new(policy: TenancyPolicy) -> AdmissionController {
+        AdmissionController {
+            policy,
+            inflight: Mutex::new(HashMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The policy being enforced.
+    pub fn policy(&self) -> &TenancyPolicy {
+        &self.policy
+    }
+
+    /// Ask to admit one submission for `tenant`. On success the tenant
+    /// holds one slot until [`AdmissionController::complete`] returns
+    /// it; on refusal nothing is held and the caller gets the typed
+    /// cause. Shedding order: above the watermark, any tenant weighing
+    /// less than the heaviest currently-active tenant is refused, so
+    /// the lowest-weight tenants lose admission first and the heaviest
+    /// is never wedged out by lighter traffic.
+    pub fn admit(&self, tenant: &TenantId) -> Result<(), RejectReason> {
+        let mut inflight = self.inflight.lock().unwrap();
+        let mine = inflight.get(tenant.as_str()).copied().unwrap_or(0);
+        let total: usize = inflight.values().sum();
+
+        // While shedding (pending total at or above the watermark), the
+        // heaviest tenant with traffic in flight sets the bar; anything
+        // lighter is refused. A newcomer at or above that weight is
+        // still admitted — the heaviest traffic is never wedged out.
+        let shedding_bar = match self.policy.shed_threshold() {
+            Some(threshold) if total >= threshold => inflight
+                .iter()
+                .filter(|(_, &n)| n > 0)
+                .map(|(name, _)| self.policy.weight_of(name))
+                .fold(None, |acc: Option<f64>, w| {
+                    Some(acc.map_or(w, |a| a.max(w)))
+                }),
+            _ => None,
+        };
+
+        let verdict = if self.policy.admission_window > 0 && mine >= self.policy.admission_window {
+            Err(RejectReason::QuotaExceeded)
+        } else if self.policy.max_pending > 0 && total >= self.policy.max_pending {
+            Err(RejectReason::QueueFull)
+        } else if shedding_bar
+            .is_some_and(|heaviest| self.policy.weight_of(tenant.as_str()) + 1e-12 < heaviest)
+        {
+            Err(RejectReason::Degraded)
+        } else {
+            Ok(())
+        };
+
+        match verdict {
+            Ok(()) => {
+                *inflight.entry(tenant.as_str().to_string()).or_insert(0) += 1;
+            }
+            Err(_) => drop(inflight),
+        }
+        let mut stats = self.stats.lock().unwrap();
+        let entry = stats.entry(tenant.as_str().to_string()).or_default();
+        match verdict {
+            Ok(()) => entry.admitted += 1,
+            Err(RejectReason::QueueFull) => entry.rejected_queue_full += 1,
+            Err(RejectReason::QuotaExceeded) => entry.rejected_quota += 1,
+            Err(RejectReason::Degraded) => entry.rejected_degraded += 1,
+        }
+        verdict
+    }
+
+    /// Return `tenant`'s slot after its submission finished (successfully
+    /// or not). Unmatched completes are ignored.
+    pub fn complete(&self, tenant: &TenantId) {
+        let mut inflight = self.inflight.lock().unwrap();
+        if let Some(n) = inflight.get_mut(tenant.as_str()) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                inflight.remove(tenant.as_str());
+            }
+            let mut stats = self.stats.lock().unwrap();
+            stats
+                .entry(tenant.as_str().to_string())
+                .or_default()
+                .completed += 1;
+        }
+    }
+
+    /// Slots `tenant` currently holds.
+    pub fn inflight(&self, tenant: &TenantId) -> usize {
+        self.inflight
+            .lock()
+            .unwrap()
+            .get(tenant.as_str())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Slots held across every tenant.
+    pub fn total_inflight(&self) -> usize {
+        self.inflight.lock().unwrap().values().sum()
+    }
+
+    /// Per-tenant ledger snapshot, sorted by tenant name.
+    pub fn stats(&self) -> Vec<(String, TenantStats)> {
+        self.stats
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(window: usize, max_pending: usize) -> TenancyPolicy {
+        TenancyPolicy {
+            admission_window: window,
+            max_pending,
+            ..TenancyPolicy::default()
+        }
+    }
+
+    #[test]
+    fn default_tenant_is_default() {
+        assert!(TenantId::default().is_default());
+        assert_eq!(TenantId::new("").as_str(), "default");
+        assert!(!TenantId::new("alice").is_default());
+        assert_eq!(TenantId::from("bob").to_string(), "bob");
+    }
+
+    #[test]
+    fn per_tenant_window_rejects_with_quota() {
+        let ctl = AdmissionController::new(policy(2, 0));
+        let a = TenantId::new("a");
+        ctl.admit(&a).unwrap();
+        ctl.admit(&a).unwrap();
+        assert_eq!(ctl.admit(&a), Err(RejectReason::QuotaExceeded));
+        // Another tenant's window is untouched.
+        assert_eq!(ctl.admit(&TenantId::new("b")), Ok(()));
+        // Completion frees the slot.
+        ctl.complete(&a);
+        assert_eq!(ctl.admit(&a), Ok(()));
+        let stats = ctl.stats();
+        let a_stats = &stats.iter().find(|(n, _)| n == "a").unwrap().1;
+        assert_eq!(a_stats.admitted, 3);
+        assert_eq!(a_stats.rejected_quota, 1);
+        assert_eq!(a_stats.completed, 1);
+    }
+
+    #[test]
+    fn global_cap_rejects_with_queue_full() {
+        let mut p = policy(0, 3);
+        p.shed_watermark = 1.0; // exercise the hard cap, not shedding
+        let ctl = AdmissionController::new(p);
+        for name in ["a", "b", "c"] {
+            ctl.admit(&TenantId::new(name)).unwrap();
+        }
+        assert_eq!(ctl.admit(&TenantId::new("d")), Err(RejectReason::QueueFull));
+        assert_eq!(ctl.total_inflight(), 3);
+    }
+
+    #[test]
+    fn shedding_drops_lowest_weight_tenants_first() {
+        let mut p = policy(0, 8);
+        p.shed_watermark = 0.5; // shed at 4 pending
+        p.weights = vec![("heavy".into(), 4.0), ("light".into(), 0.5)];
+        let ctl = AdmissionController::new(p);
+        let heavy = TenantId::new("heavy");
+        let light = TenantId::new("light");
+        let plain = TenantId::new("plain");
+        for _ in 0..2 {
+            ctl.admit(&heavy).unwrap();
+            ctl.admit(&plain).unwrap();
+        }
+        // 4 pending: above the watermark. The heaviest active tenant
+        // (weight 4) sets the bar; lighter traffic is shed, heavy and
+        // equal-weight traffic keeps flowing.
+        assert_eq!(ctl.admit(&light), Err(RejectReason::Degraded));
+        assert_eq!(ctl.admit(&plain), Err(RejectReason::Degraded));
+        assert_eq!(
+            ctl.admit(&heavy),
+            Ok(()),
+            "the heaviest tenant never wedges"
+        );
+        // Slots drain, the shed clears.
+        for _ in 0..3 {
+            ctl.complete(&heavy);
+        }
+        ctl.complete(&plain);
+        assert_eq!(ctl.admit(&light), Ok(()));
+        let stats = ctl.stats();
+        let light_stats = &stats.iter().find(|(n, _)| n == "light").unwrap().1;
+        assert_eq!(light_stats.rejected_degraded, 1);
+        assert_eq!(light_stats.rejected(), 1);
+    }
+
+    #[test]
+    fn zero_windows_mean_unlimited() {
+        let ctl = AdmissionController::new(policy(0, 0));
+        let t = TenantId::default();
+        for _ in 0..1000 {
+            ctl.admit(&t).unwrap();
+        }
+        assert_eq!(ctl.inflight(&t), 1000);
+    }
+}

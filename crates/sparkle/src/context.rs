@@ -370,6 +370,7 @@ impl SparkContext {
         let mut spec_launched = vec![false; partitions];
         let mut completed_seconds: Vec<f64> = Vec::with_capacity(partitions);
         let mut metrics = JobMetrics::from_tasks(job, 0.0, Vec::with_capacity(partitions));
+        options.tenant.clone_into(&mut metrics.tenant);
         let trips_before = dispatcher.total_quarantine_trips();
         let misses_before = dispatcher.total_heartbeat_misses();
 

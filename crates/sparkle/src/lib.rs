@@ -39,6 +39,7 @@ mod metrics;
 mod pair;
 mod rdd;
 mod scheduler;
+pub mod wfq;
 
 pub use broadcast::{Broadcast, BroadcastStats};
 pub use context::{SparkConf, SparkContext};
@@ -46,6 +47,7 @@ pub use executor::ExecutorStatus;
 pub use metrics::{JobMetrics, TaskMetric};
 pub use rdd::Rdd;
 pub use scheduler::{JobOptions, QuarantineConfig, ScheduleMode};
+pub use wfq::WfqQueue;
 
 use std::fmt;
 

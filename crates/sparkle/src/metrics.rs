@@ -40,6 +40,8 @@ impl TaskMetric {
 pub struct JobMetrics {
     /// Job id (monotone per context).
     pub job_id: u64,
+    /// Tenant the job ran for (`"default"` outside multi-tenant use).
+    pub tenant: String,
     /// Wall time from submission to last result.
     pub wall_seconds: f64,
     /// Successful task attempts, in completion order.
@@ -86,6 +88,7 @@ impl JobMetrics {
     pub(crate) fn from_tasks(job_id: u64, wall_seconds: f64, tasks: Vec<TaskMetric>) -> JobMetrics {
         JobMetrics {
             job_id,
+            tenant: "default".to_string(),
             wall_seconds,
             tasks,
             task_attempts: Vec::new(),

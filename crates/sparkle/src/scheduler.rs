@@ -27,7 +27,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -153,6 +153,10 @@ pub struct JobOptions {
     /// A running executor that hasn't heartbeat for this long is scored
     /// as a miss. `ZERO` disables heartbeat monitoring.
     pub heartbeat_miss: Duration,
+    /// The tenant this job runs for. Quarantine scores are kept per
+    /// (tenant, executor): one tenant's failures never bench an
+    /// executor for another tenant.
+    pub tenant: String,
 }
 
 impl Default for JobOptions {
@@ -163,6 +167,7 @@ impl Default for JobOptions {
             locality_wait: Duration::ZERO,
             quarantine: QuarantineConfig::disabled(),
             heartbeat_miss: Duration::ZERO,
+            tenant: "default".to_string(),
         }
     }
 }
@@ -294,8 +299,8 @@ struct DispatchState {
     shutdown: bool,
 }
 
-/// Per-executor quarantine health, behind one mutex (touched on
-/// failures and claim checks only — both rare next to task bodies).
+/// Per-(tenant, executor) quarantine health (touched on failures and
+/// claim checks only — both rare next to task bodies).
 struct ExecHealth {
     /// Decaying failure score.
     score: f64,
@@ -337,7 +342,13 @@ pub(crate) struct Dispatcher {
     execs: Vec<Arc<ExecutorShared>>,
     injected_failures: AtomicUsize,
     quarantine_cfg: Mutex<QuarantineConfig>,
-    health: Vec<Mutex<ExecHealth>>,
+    /// Quarantine health keyed by (tenant, executor index): one
+    /// tenant's failure streak never raises another tenant's penalty
+    /// on the same machine.
+    health: Mutex<HashMap<String, Vec<ExecHealth>>>,
+    /// Tenant of the active job — the scope failures and quarantine
+    /// checks are scored against (the job lock serialises jobs).
+    tenant: Mutex<String>,
     quarantine_trips: AtomicUsize,
     heartbeat_misses: AtomicUsize,
 }
@@ -354,9 +365,6 @@ pub(crate) struct JobSpec {
 
 impl Dispatcher {
     pub fn new(execs: Vec<Arc<ExecutorShared>>) -> Dispatcher {
-        let health = (0..execs.len())
-            .map(|_| Mutex::new(ExecHealth::new()))
-            .collect();
         Dispatcher {
             state: Mutex::new(DispatchState {
                 active: None,
@@ -366,7 +374,8 @@ impl Dispatcher {
             execs,
             injected_failures: AtomicUsize::new(0),
             quarantine_cfg: Mutex::new(QuarantineConfig::disabled()),
-            health,
+            health: Mutex::new(HashMap::new()),
+            tenant: Mutex::new("default".to_string()),
             quarantine_trips: AtomicUsize::new(0),
             heartbeat_misses: AtomicUsize::new(0),
         }
@@ -407,9 +416,21 @@ impl Dispatcher {
         *self.quarantine_cfg.lock() = cfg;
     }
 
-    /// Is `exec` currently blacklisted? Expired windows clear lazily.
+    /// Is `exec` blacklisted for the active job's tenant? Expired
+    /// windows clear lazily.
     pub fn is_quarantined(&self, exec: usize) -> bool {
-        let mut health = self.health[exec].lock();
+        let tenant = self.tenant.lock().clone();
+        self.is_quarantined_for(&tenant, exec)
+    }
+
+    /// Is `exec` blacklisted for `tenant` specifically? A tenant that
+    /// has recorded no failures sees every executor as healthy,
+    /// whatever its neighbours did to the same machine.
+    pub fn is_quarantined_for(&self, tenant: &str, exec: usize) -> bool {
+        let mut map = self.health.lock();
+        let Some(health) = map.get_mut(tenant).and_then(|v| v.get_mut(exec)) else {
+            return false;
+        };
         match health.until {
             Some(until) if Instant::now() < until => true,
             Some(_) => {
@@ -430,8 +451,10 @@ impl Dispatcher {
     /// to once per `window` so the driver tick doesn't multiply one
     /// stall into many misses.
     pub fn record_heartbeat_miss(&self, exec: usize, window: Duration) -> bool {
+        let tenant = self.tenant.lock().clone();
         {
-            let mut health = self.health[exec].lock();
+            let mut map = self.health.lock();
+            let health = &mut Self::tenant_health(&mut map, &tenant, self.execs.len())[exec];
             let now = Instant::now();
             if health
                 .last_miss
@@ -453,13 +476,30 @@ impl Dispatcher {
         self.record_failure_weight(exec, 0.25);
     }
 
+    /// The current tenant's health row, created on first touch.
+    fn tenant_health<'a>(
+        map: &'a mut HashMap<String, Vec<ExecHealth>>,
+        tenant: &str,
+        execs: usize,
+    ) -> &'a mut Vec<ExecHealth> {
+        if !map.contains_key(tenant) {
+            map.insert(
+                tenant.to_string(),
+                (0..execs).map(|_| ExecHealth::new()).collect(),
+            );
+        }
+        map.get_mut(tenant).expect("just inserted")
+    }
+
     fn record_failure_weight(&self, exec: usize, weight: f64) {
         let cfg = *self.quarantine_cfg.lock();
-        if !cfg.enabled() || exec >= self.health.len() {
+        if !cfg.enabled() || exec >= self.execs.len() {
             return;
         }
+        let tenant = self.tenant.lock().clone();
         let tripped = {
-            let mut health = self.health[exec].lock();
+            let mut map = self.health.lock();
+            let health = &mut Self::tenant_health(&mut map, &tenant, self.execs.len())[exec];
             let now = Instant::now();
             health.decay(now, cfg.decay);
             health.score += weight;
@@ -501,6 +541,8 @@ impl Dispatcher {
     /// survivor is quarantined).
     pub fn submit_job(&self, spec: JobSpec) -> Result<(), crate::SparkError> {
         self.set_quarantine_config(spec.options.quarantine);
+        // Scope quarantine scoring (and checks) to this job's tenant.
+        spec.options.tenant.clone_into(&mut self.tenant.lock());
         let alive = self.dispatch_pool();
         if alive.is_empty() {
             return Err(crate::SparkError::NoExecutors);
@@ -1045,6 +1087,44 @@ mod tests {
         assert!(!d.is_quarantined(1));
         assert_eq!(d.total_quarantine_trips(), 1);
         assert_eq!(d.healthy_executors(), vec![1]);
+    }
+
+    #[test]
+    fn quarantine_scores_are_tenant_scoped() {
+        // Tenant A hammering executor 0 must not raise tenant B's
+        // penalty on the same machine.
+        let d = dispatcher(2);
+        let mut options = quarantine_options(2.0);
+        options.tenant = "alice".to_string();
+        d.submit_job(spec(20, 1, options)).unwrap();
+        d.record_task_failure(0);
+        d.record_task_failure(0);
+        assert!(d.is_quarantined(0), "alice tripped executor 0");
+        assert!(d.is_quarantined_for("alice", 0));
+        assert!(
+            !d.is_quarantined_for("bob", 0),
+            "bob never saw a failure on executor 0"
+        );
+        d.clear_job(20);
+
+        // A job for bob sees a fully healthy cluster.
+        let mut options = quarantine_options(2.0);
+        options.tenant = "bob".to_string();
+        d.submit_job(spec(21, 2, options)).unwrap();
+        assert!(!d.is_quarantined(0), "bob's view of executor 0 is clean");
+        assert_eq!(d.healthy_executors(), vec![0, 1]);
+        // One failure for bob stays below *bob's* threshold even though
+        // alice already burned her budget on the same executor.
+        d.record_task_failure(0);
+        assert!(!d.is_quarantined(0));
+        d.clear_job(21);
+
+        // Back under alice, the trip is still in force.
+        let mut options = quarantine_options(2.0);
+        options.tenant = "alice".to_string();
+        d.submit_job(spec(22, 1, options)).unwrap();
+        assert!(d.is_quarantined(0), "alice's penalty window survives");
+        d.clear_job(22);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Weighted fair queueing across tenants.
+//!
+//! A single FIFO submission queue lets one bursty tenant camp on the
+//! dispatcher: everyone behind the burst waits out the whole backlog.
+//! [`WfqQueue`] orders work by *virtual finish time* instead — each
+//! item's start is the later of the queue's virtual clock and its
+//! tenant's last finish, plus `cost / weight`. A tenant that keeps the
+//! queue full advances its own finish times far ahead, so a light
+//! tenant's occasional item slots in near the virtual *now* and pops
+//! ahead of the hog's backlog, in proportion to the weights.
+//!
+//! With a single tenant the ordering degenerates to exact FIFO (finish
+//! times are monotone in arrival order), so single-tenant programs pay
+//! nothing for the fairness layer.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One queued unit of work, ordered by virtual finish time (min first;
+/// submission sequence breaks ties, preserving FIFO within a tenant).
+struct Entry<T> {
+    vft: f64,
+    seq: u64,
+    tenant: String,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.vft == other.vft && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest
+        // finish time on top. vft is finite by construction (weights
+        // are clamped positive), so partial_cmp never fails.
+        other
+            .vft
+            .partial_cmp(&self.vft)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A weighted-fair submission queue: tenants share dispatch capacity in
+/// proportion to their weights, and no tenant's backlog can starve a
+/// lighter peer.
+pub struct WfqQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    /// Per-tenant scheduling weight (unlisted tenants weigh 1.0).
+    weights: HashMap<String, f64>,
+    /// Virtual finish time of the last item popped — the queue's clock.
+    virtual_time: f64,
+    /// Last assigned finish time per tenant (keeps a tenant's items in
+    /// FIFO order among themselves).
+    last_finish: HashMap<String, f64>,
+    /// Items queued per tenant.
+    queued: HashMap<String, usize>,
+    seq: u64,
+}
+
+impl<T> Default for WfqQueue<T> {
+    fn default() -> Self {
+        WfqQueue::new()
+    }
+}
+
+impl<T> WfqQueue<T> {
+    /// An empty queue where every tenant weighs 1.0.
+    pub fn new() -> WfqQueue<T> {
+        WfqQueue {
+            heap: BinaryHeap::new(),
+            weights: HashMap::new(),
+            virtual_time: 0.0,
+            last_finish: HashMap::new(),
+            queued: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Give `tenant` scheduling weight `weight` (larger = bigger share).
+    /// Non-finite or non-positive weights are clamped to 1.0.
+    pub fn set_weight(&mut self, tenant: &str, weight: f64) {
+        let w = if weight.is_finite() && weight > 0.0 {
+            weight
+        } else {
+            1.0
+        };
+        self.weights.insert(tenant.to_string(), w);
+    }
+
+    /// The scheduling weight of `tenant` (1.0 unless set).
+    pub fn weight_of(&self, tenant: &str) -> f64 {
+        self.weights.get(tenant).copied().unwrap_or(1.0)
+    }
+
+    /// Queue `item` for `tenant` with relative size `cost` (1.0 for
+    /// uniform work; non-finite or non-positive costs are clamped).
+    pub fn push(&mut self, tenant: &str, cost: f64, item: T) {
+        let cost = if cost.is_finite() && cost > 0.0 {
+            cost
+        } else {
+            1.0
+        };
+        let start = self
+            .last_finish
+            .get(tenant)
+            .copied()
+            .unwrap_or(0.0)
+            .max(self.virtual_time);
+        let vft = start + cost / self.weight_of(tenant);
+        self.last_finish.insert(tenant.to_string(), vft);
+        *self.queued.entry(tenant.to_string()).or_insert(0) += 1;
+        self.seq += 1;
+        self.heap.push(Entry {
+            vft,
+            seq: self.seq,
+            tenant: tenant.to_string(),
+            item,
+        });
+    }
+
+    /// Pop the item with the smallest virtual finish time, advancing
+    /// the queue's virtual clock to it.
+    pub fn pop(&mut self) -> Option<(String, T)> {
+        let entry = self.heap.pop()?;
+        self.virtual_time = self.virtual_time.max(entry.vft);
+        if let Some(n) = self.queued.get_mut(&entry.tenant) {
+            *n = n.saturating_sub(1);
+        }
+        Some((entry.tenant, entry.item))
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Items currently queued for `tenant`.
+    pub fn queued_for(&self, tenant: &str) -> usize {
+        self.queued.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let mut q = WfqQueue::new();
+        for i in 0..10 {
+            q.push("solo", 1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backlogged_hog_does_not_starve_a_light_tenant() {
+        let mut q = WfqQueue::new();
+        // The hog dumps a 50-item burst first …
+        for i in 0..50 {
+            q.push("hog", 1.0, ("hog", i));
+        }
+        // … then a light tenant submits one item.
+        q.push("light", 1.0, ("light", 0));
+        // The light item's finish time is near the virtual now, so it
+        // pops after at most one hog item, not after the whole burst.
+        let position = std::iter::from_fn(|| q.pop())
+            .position(|(t, _)| t == "light")
+            .unwrap();
+        assert!(
+            position <= 1,
+            "light tenant waited behind {position} hog items"
+        );
+    }
+
+    #[test]
+    fn equal_weights_interleave_equal_backlogs() {
+        let mut q = WfqQueue::new();
+        for i in 0..4 {
+            q.push("a", 1.0, i);
+        }
+        for i in 0..4 {
+            q.push("b", 1.0, i);
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        // After the first pop the two backlogs alternate strictly.
+        let a_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| *t == "a")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(a_positions, vec![0, 2, 4, 6], "a and b alternate");
+    }
+
+    #[test]
+    fn weights_skew_the_share() {
+        let mut q = WfqQueue::new();
+        q.set_weight("heavy", 3.0);
+        for i in 0..12 {
+            q.push("heavy", 1.0, i);
+            q.push("light", 1.0, i);
+        }
+        // In the first 8 pops the 3:1 weight ratio should show: heavy
+        // gets ~3 slots for every light one.
+        let first: Vec<String> = (0..8).filter_map(|_| q.pop().map(|(t, _)| t)).collect();
+        let heavy = first.iter().filter(|t| *t == "heavy").count();
+        assert!(
+            heavy >= 5,
+            "heavy tenant got {heavy}/8 early slots, expected a ~3x share"
+        );
+        assert!(first.contains(&"light".to_string()), "light never starved");
+    }
+
+    #[test]
+    fn queued_for_tracks_per_tenant_depth() {
+        let mut q = WfqQueue::new();
+        q.push("a", 1.0, 1);
+        q.push("a", 1.0, 2);
+        q.push("b", 1.0, 3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.queued_for("a"), 2);
+        assert_eq!(q.queued_for("b"), 1);
+        assert_eq!(q.queued_for("nobody"), 0);
+        q.pop();
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -736,6 +736,63 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_scoped_plans_keep_independent_stats() {
+        // Two scoped FaultPlans share one backing store, as two tenants'
+        // chaos harnesses would. Each wrapper must count exactly the
+        // faults its own plan injected — concurrency must neither leak
+        // counts across wrappers nor lose any (conservation).
+        let inner = S3Store::standalone("chaos-shared");
+        let plan_a = FaultPlan::new(11).rule(
+            FaultRule::new(OpFilter::Get, Trigger::Always, FaultKind::Transient)
+                .on_keys("/tenant-a/"),
+        );
+        let plan_b = FaultPlan::new(12).rule(
+            FaultRule::new(OpFilter::Get, Trigger::EveryNth(2), FaultKind::Transient)
+                .on_keys("/tenant-b/"),
+        );
+        let store_a = Arc::new(ChaosStore::new(Arc::new(inner.clone()), plan_a));
+        let store_b = Arc::new(ChaosStore::new(Arc::new(inner.clone()), plan_b));
+        store_a.put("jobs/tenant-a/x", vec![1; 8]).unwrap();
+        store_b.put("jobs/tenant-b/x", vec![2; 8]).unwrap();
+
+        const GETS: u64 = 40;
+        let ta = {
+            let store = Arc::clone(&store_a);
+            std::thread::spawn(move || {
+                (0..GETS)
+                    .filter(|_| store.get("jobs/tenant-a/x").is_err())
+                    .count() as u64
+            })
+        };
+        let tb = {
+            let store = Arc::clone(&store_b);
+            std::thread::spawn(move || {
+                (0..GETS)
+                    .filter(|_| store.get("jobs/tenant-b/x").is_err())
+                    .count() as u64
+            })
+        };
+        let errs_a = ta.join().unwrap();
+        let errs_b = tb.join().unwrap();
+
+        // Every observed error is counted by its own wrapper, and only
+        // there: A's Always rule fails all 40, B's EveryNth(2) half.
+        assert_eq!(errs_a, GETS);
+        assert_eq!(errs_b, GETS / 2);
+        assert_eq!(store_a.stats().transient, GETS);
+        assert_eq!(store_b.stats().transient, GETS / 2);
+        assert_eq!(
+            store_a.stats().total() + store_b.stats().total(),
+            errs_a + errs_b,
+            "stats conserved across concurrent scoped plans"
+        );
+        // The shared inner store never saw a fault — the data at rest
+        // is intact for both tenants.
+        assert_eq!(inner.get("jobs/tenant-a/x").unwrap(), vec![1; 8]);
+        assert_eq!(inner.get("jobs/tenant-b/x").unwrap(), vec![2; 8]);
+    }
+
+    #[test]
     fn expire_is_scoped_by_key_pattern_and_ignored_off_the_get_path() {
         let (store, inner) = chaos(FaultPlan::new(10).rule(
             FaultRule::new(OpFilter::Any, Trigger::Always, FaultKind::Expire).on_keys("/dataflow/"),
