@@ -1,0 +1,205 @@
+//! Measures what the map-transfer optimizer buys on an iterative
+//! sparse-update workload: the same region re-executed for several
+//! rounds, with ~10% of the input's tiles mutated between rounds.
+//!
+//! Two configurations over identical data and schedules:
+//!
+//! * `full`      — `map-optimize = no`: every round re-uploads every
+//!   input in full (the send-everything baseline).
+//! * `optimized` — `map-optimize = yes` + `delta-transfers = yes`: the
+//!   first round ships the inputs once (deduping the byte-identical
+//!   weight twin), later rounds ship only the dirty tiles' patch, and
+//!   the alloc scratch never moves at all.
+//!
+//! The byte gate is machine-checked here *and* from the emitted JSON in
+//! CI: the optimized rounds must move ≤ 0.6× the bytes of the
+//! send-everything path, with every round's outputs bitwise identical.
+//!
+//! Usage: `cargo run --release -p ompcloud-bench --bin map_optimizer
+//!         [-- --json PATH]` (default PATH: BENCH_mapopt.json)
+
+use jsonlite::{Json, ToJson};
+use omp_model::prelude::*;
+use ompcloud::{CloudConfig, CloudRuntime, UploadAction};
+
+const X_LEN: usize = 64 * 1024; // 256 KiB of f32
+const W_LEN: usize = 4 * 1024; // 16 KiB of f32, twice (a and b)
+const TILE_BYTES: usize = 4 * 1024; // 64 tiles over x
+const TILES: usize = X_LEN * 4 / TILE_BYTES;
+const DIRTY_PER_ROUND: usize = 6; // ~9% of the tiles
+const ITERS: usize = 256;
+const SPAN: usize = X_LEN / ITERS;
+const ROUNDS: usize = 5;
+/// The machine-checked byte gate: optimized bytes vs send-everything.
+const GATE_RATIO: f64 = 0.6;
+
+fn config(optimize: bool) -> CloudConfig {
+    CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        map_optimize: optimize,
+        delta_transfers: optimize,
+        delta_tile_bytes: TILE_BYTES,
+        ..CloudConfig::default()
+    }
+}
+
+/// `y[i] = a[i%W] + b[i%W] + sum(x[i*SPAN .. (i+1)*SPAN])`, staged
+/// through an alloc-only scratch buffer.
+fn region() -> TargetRegion {
+    TargetRegion::builder("mapopt-iter")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_to("a")
+        .map_to("b")
+        .map_from("y")
+        .map_alloc("tmp")
+        .parallel_for(ITERS, |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let x = ins.view::<f32>("x");
+                    let a = ins.view::<f32>("a");
+                    let b = ins.view::<f32>("b");
+                    {
+                        let mut tmp = outs.view_mut::<f32>("tmp");
+                        tmp[i] = (0..SPAN).map(|j| x[i * SPAN + j]).sum();
+                    }
+                    let staged = outs.view_mut::<f32>("tmp")[i];
+                    outs.view_mut::<f32>("y")[i] = staged + a[i % W_LEN] + b[i % W_LEN];
+                })
+        })
+        .build()
+        .expect("valid region")
+}
+
+fn env() -> DataEnv {
+    let mut e = DataEnv::new();
+    e.insert(
+        "x",
+        (0..X_LEN)
+            .map(|i| (i % 97) as f32 * 0.5)
+            .collect::<Vec<f32>>(),
+    );
+    // Byte-identical weight twins: the optimizer ships exactly one.
+    e.insert("a", vec![0.25f32; W_LEN]);
+    e.insert("b", vec![0.25f32; W_LEN]);
+    e.insert("y", vec![0.0f32; ITERS]);
+    e.insert("tmp", vec![f32::NAN; ITERS]);
+    e
+}
+
+/// Dirty `DIRTY_PER_ROUND` tiles of `x` before round `r` (> 0).
+fn mutate_for_round(e: &mut DataEnv, r: usize) {
+    if r == 0 {
+        return;
+    }
+    let mut x = e.get::<f32>("x").unwrap().to_vec();
+    for t in 0..DIRTY_PER_ROUND {
+        let tile = (r * 5 + t * 11) % TILES;
+        let elem = tile * (TILE_BYTES / 4) + r;
+        x[elem] += 1.0 + r as f32;
+    }
+    e.insert("x", x);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_mapopt.json".to_string());
+
+    println!(
+        "Map-transfer optimizer — {ROUNDS} rounds over {X_LEN}×f32 \
+         ({DIRTY_PER_ROUND}/{TILES} tiles dirtied per round), \
+         {TILE_BYTES} B delta tiles\n"
+    );
+
+    let reg = region();
+    let opt_rt = CloudRuntime::new(config(true));
+    let full_rt = CloudRuntime::new(config(false));
+    let mut opt_env = env();
+    let mut full_env = env();
+
+    let mut bytes_opt = 0u64;
+    let mut bytes_full = 0u64;
+    let mut bitwise_ok = true;
+    let mut per_round = Vec::with_capacity(ROUNDS);
+    for r in 0..ROUNDS {
+        mutate_for_round(&mut opt_env, r);
+        mutate_for_round(&mut full_env, r);
+        let po = opt_rt.offload(&reg, &mut opt_env).expect("optimized round");
+        let pf = full_rt.offload(&reg, &mut full_env).expect("full round");
+        bytes_opt += po.bytes_to_device;
+        bytes_full += pf.bytes_to_device;
+        bitwise_ok &= opt_env.get::<f32>("y").unwrap() == full_env.get::<f32>("y").unwrap();
+
+        let plan = opt_rt.cloud().last_report().expect("report").map_plan;
+        let x_dec = match &plan.decision_for("x").expect("x mapped").upload {
+            UploadAction::Full { .. } => "full",
+            UploadAction::Delta { .. } => "delta",
+            UploadAction::DeltaClean { .. } => "clean",
+            other => panic!("unexpected upload decision for x: {other:?}"),
+        };
+        println!(
+            "round {r}: optimized {:>8} B ({x_dec}, {} elided, {} dirty tiles)  \
+             full {:>8} B",
+            po.bytes_to_device,
+            plan.uploads_elided(),
+            plan.delta_dirty_tiles(),
+            pf.bytes_to_device,
+        );
+        per_round.push(Json::obj([
+            ("round", (r as u64).to_json()),
+            ("bytes_optimized", po.bytes_to_device.to_json()),
+            ("bytes_full", pf.bytes_to_device.to_json()),
+            ("x_upload", x_dec.to_json()),
+            ("uploads_elided", u64::from(plan.uploads_elided()).to_json()),
+            ("dirty_tiles", u64::from(plan.delta_dirty_tiles()).to_json()),
+        ]));
+    }
+    opt_rt.shutdown();
+    full_rt.shutdown();
+
+    let ratio = bytes_opt as f64 / bytes_full as f64;
+    let reduction = 1.0 - ratio;
+    println!(
+        "\ntotal host→cloud: optimized {bytes_opt} B vs send-everything {bytes_full} B \
+         = {ratio:.3}x ({:.1}% reduction; gate ≤ {GATE_RATIO}x)",
+        reduction * 100.0
+    );
+    println!("bitwise identical outputs: {bitwise_ok}");
+
+    // --- Machine-checked gates --------------------------------------
+    assert!(bitwise_ok, "optimized rounds diverged from send-everything");
+    assert!(
+        ratio <= GATE_RATIO,
+        "optimizer moved {bytes_opt} B, gate is {GATE_RATIO}x of {bytes_full} B"
+    );
+    let expected_full = (ROUNDS * (X_LEN + 2 * W_LEN) * 4) as u64;
+    assert_eq!(
+        bytes_full, expected_full,
+        "send-everything path must pay every input every round"
+    );
+
+    let doc = Json::obj([
+        ("benchmark", "map_optimizer".to_json()),
+        ("n", (X_LEN as u64).to_json()),
+        ("rounds", (ROUNDS as u64).to_json()),
+        ("tile_bytes", (TILE_BYTES as u64).to_json()),
+        ("dirty_tiles_per_round", (DIRTY_PER_ROUND as u64).to_json()),
+        ("total_tiles", (TILES as u64).to_json()),
+        ("bytes_full", bytes_full.to_json()),
+        ("bytes_optimized", bytes_opt.to_json()),
+        ("byte_ratio", ratio.to_json()),
+        ("byte_reduction", reduction.to_json()),
+        ("byte_gate", GATE_RATIO.to_json()),
+        ("gate_passed", (ratio <= GATE_RATIO).to_json()),
+        ("bitwise_ok", bitwise_ok.to_json()),
+        ("rounds_detail", Json::arr(per_round)),
+    ]);
+    std::fs::write(&json_path, jsonlite::to_string_pretty(&doc)).expect("write json");
+    println!("wrote {json_path}");
+}

@@ -445,18 +445,29 @@ pub enum WirePlan {
 }
 
 /// Decide how `payload` should travel on the wire under `policy`.
+///
+/// Per-buffer adaptive: every payload above the size floor gets its own
+/// entropy probe, and a buffer that probes incompressible ships raw even
+/// when it is large enough for the chunked stream path — chunking an
+/// incompressible buffer pays frame overhead and thread fan-out for
+/// nothing. The old behavior (one global threshold deciding raw vs
+/// stream by size alone) over-compressed high-entropy buffers and
+/// under-compressed small structured ones.
 pub fn plan_wire(payload: &[u8], policy: &WirePolicy) -> WirePlan {
     if payload.len() < policy.min_compression_size {
         return WirePlan::Raw;
     }
-    if payload.len() >= policy.stream_threshold {
-        return WirePlan::Chunked {
-            chunk_size: policy.stream_chunk.max(1),
-        };
-    }
     match probe(payload) {
         Codec::Store => WirePlan::Raw,
-        codec => WirePlan::Single(codec),
+        codec => {
+            if payload.len() >= policy.stream_threshold {
+                WirePlan::Chunked {
+                    chunk_size: policy.stream_chunk.max(1),
+                }
+            } else {
+                WirePlan::Single(codec)
+            }
+        }
     }
 }
 
@@ -620,6 +631,39 @@ mod tests {
             bytes[i..i + 4].copy_from_slice(&1.5f32.to_le_bytes());
         }
         assert_eq!(probe(&bytes), Codec::ZeroRle);
+    }
+
+    #[test]
+    fn plan_wire_is_per_buffer_adaptive() {
+        let policy = WirePolicy {
+            min_compression_size: 1024,
+            stream_threshold: 16 * 1024,
+            stream_chunk: 4 * 1024,
+            threads: 1,
+        };
+        // Below the floor: always raw, no probe.
+        assert_eq!(plan_wire(&[0u8; 512], &policy), WirePlan::Raw);
+        // Large but incompressible: the probe overrides the stream path.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let noise: Vec<u8> = (0..32 * 1024)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        assert_eq!(plan_wire(&noise, &policy), WirePlan::Raw);
+        // Large and compressible: chunked stream.
+        assert_eq!(
+            plan_wire(&vec![0u8; 32 * 1024], &policy),
+            WirePlan::Chunked { chunk_size: 4096 }
+        );
+        // Mid-sized and compressible: one sealed frame.
+        assert!(matches!(
+            plan_wire(&vec![0u8; 8 * 1024], &policy),
+            WirePlan::Single(_)
+        ));
     }
 
     #[test]

@@ -160,6 +160,7 @@ pub fn main() -> i32 {
         0u64,
     );
     let (mut rot, mut expire, mut tenants) = (0u64, 0u64, 0u64);
+    let (mut map_elide, mut delta) = (0u64, 0u64);
 
     for &case in &case_range {
         if let Some(budget) = args.budget_secs {
@@ -190,6 +191,8 @@ pub fn main() -> i32 {
             None => {}
         }
         tenants += u64::from(spec.tenancy.is_some());
+        map_elide += u64::from(spec.map_elide.is_some());
+        delta += u64::from(spec.map_elide.is_some_and(|m| m.rounds > 0));
         if args.verbose {
             println!("{}", spec.summary());
         }
@@ -209,7 +212,7 @@ pub fn main() -> i32 {
         .map(|(label, count)| format!("{label}={count}"))
         .collect();
     println!(
-        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={} chained={} resident-rot={} resident-expire={} tenants={}",
+        "conformance seed={} cases={} failures={} | sched {} | chaos={} kernel={} checkpoint={} chained={} resident-rot={} resident-expire={} tenants={} map-elide={} delta={}",
         args.seed,
         ran,
         failures.len(),
@@ -220,7 +223,9 @@ pub fn main() -> i32 {
         chained,
         rot,
         expire,
-        tenants
+        tenants,
+        map_elide,
+        delta
     );
 
     if !failures.is_empty() {

@@ -238,6 +238,11 @@ pub fn run_case_tuned(spec: &CaseSpec, tuned: Option<&ompcloud::TunedProfile>) -
         failures.extend(run_tenancy_leg(spec, &host_env));
     }
 
+    // --- Map-elision / delta leg ------------------------------------
+    if spec.map_elide.is_some() {
+        failures.extend(run_map_elide_leg(spec));
+    }
+
     // --- Invariant oracles ------------------------------------------
     failures.extend(oracle::check(&oracle::OracleInput {
         spec,
@@ -369,6 +374,94 @@ fn run_tenancy_leg(spec: &CaseSpec, host_env: &DataEnv) -> Vec<String> {
     failures
 }
 
+/// The map-elision leg: re-run the case's region on a fresh device with
+/// the transfer optimizer armed (and, for delta cases, dirty-tile
+/// transfers with the spec's tile size), bit-flipping one element of
+/// `x0` between rounds identically on both legs. Every round must stay
+/// bitwise identical to the host, and the published [`MapPlan`]s must
+/// satisfy the exact byte-conservation laws of
+/// [`oracle::check_map_elision`].
+///
+/// [`MapPlan`]: ompcloud::MapPlan
+fn run_map_elide_leg(spec: &CaseSpec) -> Vec<String> {
+    let me = spec.map_elide.expect("caller checked");
+    let mut failures = Vec::new();
+
+    // The generated config with every knob that could blur the byte
+    // laws pinned off: no upload cache (a cache hit would mask a delta
+    // round), no checkpoint resumes.
+    let mut config = spec.config();
+    config.map_optimize = true;
+    config.data_caching = false;
+    config.checkpoint = false;
+    config.checkpoint_max_resumes = 0;
+    if me.rounds > 0 {
+        config.delta_transfers = true;
+        config.delta_tile_bytes = me.tile_bytes;
+    }
+
+    let runtime = CloudRuntime::with_device(CloudDevice::with_store(
+        config,
+        Arc::new(S3Store::standalone("conformance-mapopt")),
+    ));
+    let host = DeviceRegistry::with_host_only();
+    let region = spec.build_region(CloudRuntime::cloud_selector());
+    let host_region = spec.build_region(DeviceSelector::Default);
+    let mut cloud_env = spec.build_env();
+    let mut host_env = spec.build_env();
+
+    let mut rounds = Vec::new();
+    for r in 0..me.rounds.max(1) {
+        let dirty_elem = (r > 0).then(|| r * 11 % spec.n);
+        if let Some(elem) = dirty_elem {
+            // Flip one mantissa bit of x0[elem] on both legs: the byte
+            // pattern is guaranteed to change, the value stays finite.
+            for env in [&mut cloud_env, &mut host_env] {
+                let mut v = env.get::<f32>("x0").expect("x0 exists").to_vec();
+                v[elem] = f32::from_bits(v[elem].to_bits() ^ 1);
+                env.insert("x0", v);
+            }
+        }
+        let profile = match runtime.offload(&region, &mut cloud_env) {
+            Ok(p) => p,
+            Err(e) => {
+                failures.push(format!("map-elide leg: cloud round {r} errored: {e}"));
+                break;
+            }
+        };
+        if let Err(e) = host.offload(&host_region, &mut host_env) {
+            failures.push(format!("map-elide leg: host round {r} errored: {e}"));
+            break;
+        }
+        for name in spec.output_names() {
+            match (cloud_env.get_erased(&name), host_env.get_erased(&name)) {
+                (Ok(c), Ok(h)) => {
+                    if c.to_bytes() != h.to_bytes() {
+                        failures.push(format!(
+                            "map-elide leg: output '{name}' diverged from the host on round {r}"
+                        ));
+                    }
+                }
+                _ => failures.push(format!(
+                    "map-elide leg: output '{name}' missing from a leg on round {r}"
+                )),
+            }
+        }
+        match runtime.cloud().last_report() {
+            Some(report) => rounds.push(oracle::MapElideRound {
+                plan: report.map_plan,
+                bytes_to_device: profile.bytes_to_device,
+                bytes_from_device: profile.bytes_from_device,
+                dirty_elem,
+            }),
+            None => failures.push(format!("map-elide leg: round {r} published no report")),
+        }
+    }
+    runtime.shutdown();
+    failures.extend(oracle::check_map_elision(spec, &rounds));
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +534,35 @@ mod tests {
             spec.summary(),
             out.failures
         );
+    }
+
+    /// Map-elide cases pass: delta rounds and elisions conserve bytes
+    /// exactly and every round stays bitwise identical to the host.
+    #[test]
+    fn map_elide_cases_conserve_bytes_exactly() {
+        // One delta case (iterative rounds) and one elision-only case
+        // with the alloc scratch, so both sub-shapes execute.
+        let delta = (0..2000)
+            .map(|c| CaseSpec::generate(6, c))
+            .find(|s| s.map_elide.is_some_and(|m| m.rounds > 0))
+            .expect("a delta map-elide case in 2000 draws");
+        let alloc = (0..2000)
+            .map(|c| CaseSpec::generate(6, c))
+            .find(|s| {
+                s.map_elide
+                    .is_some_and(|m| m.rounds == 0 && m.alloc_scratch)
+            })
+            .expect("an alloc-scratch map-elide case in 2000 draws");
+        for spec in [delta, alloc] {
+            let out = run_case(&spec);
+            assert_eq!(
+                out.verdict(),
+                Verdict::Pass,
+                "{}: {:?}",
+                spec.summary(),
+                out.failures
+            );
+        }
     }
 
     /// Chained cases stay bitwise-correct under injected faults too —

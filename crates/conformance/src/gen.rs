@@ -176,6 +176,27 @@ pub struct TenancySpec {
     pub seed: u64,
 }
 
+/// Map-elision / delta-transfer pressure armed on a case: the region
+/// gains a poisoned `map(alloc)` scratch buffer the body stages
+/// through, and/or re-executes for several rounds with dirty-tile
+/// delta transfers armed, bit-flipping one element of `x0` between
+/// rounds. The oracle states exact byte-conservation laws over the
+/// resulting [`ompcloud::MapPlan`]s: elided buffers move zero bytes,
+/// a delta round moves exactly the dirty tiles' patch. Drawn only for
+/// chaos-free, tenant-free, single-region synthetic indexed cases so
+/// those laws stay exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MapElideSpec {
+    /// Add a `map(alloc)` scratch buffer `tmp` (NaN-poisoned host-side:
+    /// its bytes must never cross the link in either direction).
+    pub alloc_scratch: bool,
+    /// Delta re-execution rounds (0 = a single elision-only run).
+    pub rounds: usize,
+    /// Delta ledger tile size in bytes (only meaningful when
+    /// `rounds > 0`).
+    pub tile_bytes: usize,
+}
+
 /// One fully-specified conformance case: everything needed to build the
 /// region + data twice (cloud and host) and the device configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -229,6 +250,9 @@ pub struct CaseSpec {
     pub resident_fault: Option<ResidentFaultSpec>,
     /// Optional co-tenant pressure (single-region cases only).
     pub tenancy: Option<TenancySpec>,
+    /// Optional map-elision / delta-transfer pressure (clean synthetic
+    /// indexed single-region cases only).
+    pub map_elide: Option<MapElideSpec>,
 }
 
 const KERNEL_SIZES: &[usize] = &[4, 6, 8, 12, 16];
@@ -396,6 +420,32 @@ impl CaseSpec {
             None
         };
 
+        // Map-elision axis, drawn strictly after every existing axis so
+        // earlier seeds keep generating byte-identical cases. Restricted
+        // to clean (no chaos, no co-tenant), single-region synthetic
+        // indexed shapes: those re-execute deterministically round over
+        // round, so the oracle's byte-conservation laws stay exact.
+        let map_elide = match &kind {
+            CaseKind::Synthetic(s)
+                if matches!(s.flavor, OutFlavor::Indexed { .. })
+                    && chain == 1
+                    && chaos.is_none()
+                    && tenancy.is_none()
+                    && rng.gen_bool(0.5) =>
+            {
+                Some(MapElideSpec {
+                    alloc_scratch: rng.gen_bool(0.5),
+                    rounds: if rng.gen_bool(0.6) {
+                        rng.gen_usize(2, 5)
+                    } else {
+                        0
+                    },
+                    tile_bytes: [64, 128, 256][rng.gen_usize(0, 3)],
+                })
+            }
+            _ => None,
+        };
+
         CaseSpec {
             seed,
             case,
@@ -419,6 +469,7 @@ impl CaseSpec {
             chain,
             resident_fault,
             tenancy,
+            map_elide,
         }
     }
 
@@ -659,6 +710,13 @@ impl CaseSpec {
         if s.second_n > 0 {
             b = b.map_from("z");
         }
+        // Map-elide cases stage `acc` through an alloc-only scratch
+        // buffer: zero bytes may cross the link for it, and its
+        // NaN-poisoned host contents must never reach the kernel.
+        let scratch = self.map_elide.is_some_and(|m| m.alloc_scratch);
+        if scratch {
+            b = b.map_alloc("tmp");
+        }
         let flavor = s.flavor;
         let loop_schedule = s.loop_schedule;
         let body_names = names.clone();
@@ -676,6 +734,10 @@ impl CaseSpec {
                             let mut acc = 0.0f32;
                             for (j, name) in names.iter().enumerate() {
                                 acc += ins.view::<f32>(name)[i] * (j + 1) as f32;
+                            }
+                            if scratch {
+                                outs.view_mut::<f32>("tmp")[i] = acc;
+                                acc = outs.view_mut::<f32>("tmp")[i];
                             }
                             let mut y = outs.view_mut::<f32>("y");
                             for k in 0..rows {
@@ -812,6 +874,11 @@ impl CaseSpec {
         if s.second_n > 0 {
             env.insert("z", vec![0.0f32; 2 * s.second_n]);
         }
+        if self.map_elide.is_some_and(|m| m.alloc_scratch) {
+            // Poisoned on purpose: alloc scratch never crosses the link,
+            // so these bytes must be invisible to both legs.
+            env.insert("tmp", vec![f32::NAN; n]);
+        }
         env
     }
 
@@ -848,8 +915,17 @@ impl CaseSpec {
             None => String::new(),
             Some(t) => format!(" tenancy:hog*{}", t.hog_rounds),
         };
+        let map_elide = match &self.map_elide {
+            None => String::new(),
+            Some(m) => format!(
+                " mapopt:rounds={}/t{}{}",
+                m.rounds,
+                m.tile_bytes,
+                if m.alloc_scratch { "+alloc" } else { "" }
+            ),
+        };
         format!(
-            "case {}: {kind} chain={} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}{resident}{tenancy}",
+            "case {}: {kind} chain={} n={} plan={}x{}x{} sched={} pipe={} stream={} dred={} ckpt={}/{} lat={}us {chaos}{resident}{tenancy}{map_elide}",
             self.case,
             self.chain,
             self.n,
@@ -919,6 +995,54 @@ mod tests {
                 "resident fault flavor {flavor:?} never generated"
             );
         }
+        // Map-elide variants likewise sit behind several gates.
+        assert!(
+            wide.iter()
+                .any(|s| s.map_elide.is_some_and(|m| m.rounds > 0)),
+            "no delta-round map-elide case generated"
+        );
+        assert!(
+            wide.iter()
+                .any(|s| s.map_elide.is_some_and(|m| m.rounds == 0)),
+            "no elision-only map-elide case generated"
+        );
+        assert!(
+            wide.iter()
+                .any(|s| s.map_elide.is_some_and(|m| m.alloc_scratch)),
+            "no alloc-scratch map-elide case generated"
+        );
+    }
+
+    #[test]
+    fn map_elide_only_strikes_clean_single_region_indexed_cases() {
+        let mut found = 0;
+        for case in 0..2000 {
+            let spec = CaseSpec::generate(7, case);
+            let Some(me) = spec.map_elide else { continue };
+            found += 1;
+            assert_eq!(spec.chain, 1, "map-elide on a chained case");
+            assert!(spec.chaos.is_none(), "map-elide layered on chaos");
+            assert!(spec.tenancy.is_none(), "map-elide layered on tenancy");
+            assert!(
+                matches!(
+                    &spec.kind,
+                    CaseKind::Synthetic(s) if matches!(s.flavor, OutFlavor::Indexed { .. })
+                ),
+                "map-elide on a non-indexed case"
+            );
+            assert!(me.rounds == 0 || (2..5).contains(&me.rounds));
+            assert!([64, 128, 256].contains(&me.tile_bytes));
+            // The alloc scratch must be reflected in the built region
+            // and environment so both legs execute the same program.
+            let region = spec.build_region(DeviceSelector::Default);
+            let env = spec.build_env();
+            assert_eq!(
+                region.maps.iter().any(|m| m.name == "tmp"),
+                me.alloc_scratch
+            );
+            assert_eq!(env.get_erased("tmp").is_ok(), me.alloc_scratch);
+        }
+        assert!(found > 0, "no map-elide case in 2000 draws");
     }
 
     #[test]

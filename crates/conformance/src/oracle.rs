@@ -27,7 +27,7 @@ use crate::gen::{CaseKind, CaseSpec, ChaosFlavor, OutFlavor, ResidentFaultFlavor
 use cloud_storage::ChaosStats;
 use omp_model::{DagReport, ExecProfile};
 use ompcloud::tiling::tile_plan;
-use ompcloud::OffloadReport;
+use ompcloud::{DownloadAction, ElideReason, MapPlan, OffloadReport, UploadAction};
 use sparkle::JobMetrics;
 
 /// Slack for comparing sums of f64 timing counters.
@@ -544,6 +544,222 @@ fn check_chained(input: &OracleInput<'_>, f: &mut Vec<String>) {
             "{handoffs}-hand-off chain counted only {hits} resident hits"
         ));
     }
+}
+
+/// One round of a map-elide case's delta leg: the device's per-variable
+/// transfer decisions plus the profile's raw byte counters.
+pub struct MapElideRound {
+    /// The [`MapPlan`] the device published for the round.
+    pub plan: MapPlan,
+    /// `bytes_to_device` the round's profile counted.
+    pub bytes_to_device: u64,
+    /// `bytes_from_device` the round's profile counted.
+    pub bytes_from_device: u64,
+    /// Element of `x0` bit-flipped before the round (`None` on the
+    /// first round — and only then).
+    pub dirty_elem: Option<usize>,
+}
+
+/// Exact byte-conservation laws of the map-transfer optimizer, checked
+/// per re-execution round of the map-elide leg:
+///
+/// * the profile's raw byte counters equal the plan's own sums — every
+///   decision accounted, none double-counted;
+/// * `map(from)`-only outputs never upload (dead `to`), `map(alloc)`
+///   scratch moves zero bytes in either direction;
+/// * the first round has no committed base, so every input travels in
+///   full (or dedupes against a byte-identical sibling);
+/// * a later round moves exactly the mutated tile's patch bytes for
+///   `x0` — `28 B header + 4 B index + tile` — and zero bytes for every
+///   untouched input (a clean delta round), falling back to the full
+///   buffer only when the patch would not be smaller.
+pub fn check_map_elision(spec: &CaseSpec, rounds: &[MapElideRound]) -> Vec<String> {
+    let mut f = Vec::new();
+    let Some(me) = spec.map_elide else {
+        return f;
+    };
+    let CaseKind::Synthetic(syn) = &spec.kind else {
+        f.push("map-elide case is not synthetic".into());
+        return f;
+    };
+    let OutFlavor::Indexed { rows } = syn.flavor else {
+        f.push("map-elide case is not indexed".into());
+        return f;
+    };
+    let x_bytes = (spec.n * 4) as u64;
+    let y_bytes = (spec.n * rows * 4) as u64;
+
+    for (r, round) in rounds.iter().enumerate() {
+        let plan = &round.plan;
+        if !plan.enabled {
+            f.push(format!(
+                "map-elide round {r}: plan says the optimizer was off"
+            ));
+        }
+        if round.bytes_to_device != plan.upload_bytes() {
+            f.push(format!(
+                "map-elide round {r}: profile uploaded {} bytes, the plan accounts for {}",
+                round.bytes_to_device,
+                plan.upload_bytes()
+            ));
+        }
+        if round.bytes_from_device != plan.download_bytes() {
+            f.push(format!(
+                "map-elide round {r}: profile downloaded {} bytes, the plan accounts for {}",
+                round.bytes_from_device,
+                plan.download_bytes()
+            ));
+        }
+
+        // `from`-only outputs: dead upload, full download.
+        let mut outputs = vec![("y", y_bytes)];
+        if syn.second_n > 0 {
+            outputs.push(("z", (2 * syn.second_n * 4) as u64));
+        }
+        for (name, bytes) in outputs {
+            let Some(d) = plan.decision_for(name) else {
+                f.push(format!(
+                    "map-elide round {r}: no decision for output '{name}'"
+                ));
+                continue;
+            };
+            if !matches!(
+                &d.upload,
+                UploadAction::Elided {
+                    reason: ElideReason::DeadTo,
+                    ..
+                }
+            ) {
+                f.push(format!(
+                    "map-elide round {r}: '{name}' is from-only but its upload was {:?}",
+                    d.upload
+                ));
+            }
+            if !matches!(&d.download, DownloadAction::Full { bytes: b } if *b == bytes) {
+                f.push(format!(
+                    "map-elide round {r}: '{name}' must download {bytes} bytes, got {:?}",
+                    d.download
+                ));
+            }
+        }
+        if me.alloc_scratch {
+            match plan.decision_for("tmp") {
+                None => f.push(format!("map-elide round {r}: no decision for alloc 'tmp'")),
+                Some(d) => {
+                    let up_ok = matches!(
+                        &d.upload,
+                        UploadAction::Elided {
+                            reason: ElideReason::AllocOnly,
+                            ..
+                        }
+                    );
+                    let down_ok = matches!(
+                        &d.download,
+                        DownloadAction::Elided {
+                            reason: ElideReason::AllocOnly,
+                            ..
+                        }
+                    );
+                    if !up_ok || !down_ok {
+                        f.push(format!(
+                            "map-elide round {r}: alloc 'tmp' moved bytes: {:?} / {:?}",
+                            d.upload, d.download
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Inputs: dead download always; uploads follow the round.
+        for i in 0..syn.inputs {
+            let name = format!("x{i}");
+            let Some(d) = plan.decision_for(&name) else {
+                f.push(format!(
+                    "map-elide round {r}: no decision for input '{name}'"
+                ));
+                continue;
+            };
+            if !matches!(
+                &d.download,
+                DownloadAction::Elided {
+                    reason: ElideReason::DeadFrom,
+                    ..
+                }
+            ) {
+                f.push(format!(
+                    "map-elide round {r}: '{name}' is never read back but its download was {:?}",
+                    d.download
+                ));
+            }
+            match (round.dirty_elem, i) {
+                // First round: no base to diff against.
+                (None, _) => {
+                    let full =
+                        matches!(&d.upload, UploadAction::Full { bytes } if *bytes == x_bytes);
+                    let dedup = matches!(
+                        &d.upload,
+                        UploadAction::Elided {
+                            reason: ElideReason::Dedup { .. },
+                            ..
+                        }
+                    );
+                    if !full && !dedup {
+                        f.push(format!(
+                            "map-elide round {r}: '{name}' has no committed base yet \
+                             but shipped {:?} instead of the full {x_bytes} bytes",
+                            d.upload
+                        ));
+                    }
+                }
+                // x0 was bit-flipped at one element: exactly one tile is
+                // dirty, and the patch is header + index + that tile —
+                // unless the patch would not be smaller than the buffer,
+                // in which case the device ships it whole.
+                (Some(elem), 0) => {
+                    let tile = elem * 4 / me.tile_bytes;
+                    let tile_len = me.tile_bytes.min(spec.n * 4 - tile * me.tile_bytes) as u64;
+                    let want = 28 + 4 + tile_len;
+                    let total = (spec.n * 4).div_ceil(me.tile_bytes) as u32;
+                    if want < x_bytes {
+                        let ok = matches!(
+                            &d.upload,
+                            UploadAction::Delta {
+                                dirty_tiles: 1,
+                                total_tiles,
+                                bytes,
+                                ..
+                            } if *total_tiles == total && *bytes == want
+                        );
+                        if !ok {
+                            f.push(format!(
+                                "map-elide round {r}: one dirty tile of 'x0' must ship a \
+                                 {want}-byte patch ({total} tiles), got {:?}",
+                                d.upload
+                            ));
+                        }
+                    } else if !matches!(&d.upload, UploadAction::Full { bytes } if *bytes == x_bytes)
+                    {
+                        f.push(format!(
+                            "map-elide round {r}: 'x0' patch ({want} B) is no smaller than \
+                             the buffer ({x_bytes} B), expected a full upload, got {:?}",
+                            d.upload
+                        ));
+                    }
+                }
+                // Untouched inputs: a clean delta round, zero bytes.
+                (Some(_), _) => {
+                    if !matches!(&d.upload, UploadAction::DeltaClean { .. }) {
+                        f.push(format!(
+                            "map-elide round {r}: untouched '{name}' must ship nothing \
+                             (clean delta), got {:?}",
+                            d.upload
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    f
 }
 
 #[cfg(test)]

@@ -104,6 +104,15 @@ pub const TRANSFORMS: &[Transform] = &[
         },
     },
     Transform {
+        name: "drop_map_elide",
+        apply: |s| {
+            s.map_elide?;
+            let mut t = s.clone();
+            t.map_elide = None;
+            Some(t)
+        },
+    },
+    Transform {
         name: "drop_latency",
         apply: |s| {
             if s.latency_us == 0 {

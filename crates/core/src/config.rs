@@ -92,6 +92,19 @@ pub struct CloudConfig {
     /// Iterations per tile; 0 = auto (Algorithm 1's even split across
     /// the cluster's task slots). The autotuner sweeps this.
     pub tile_size: usize,
+    /// Map-transfer optimizer: analyze the region's map set and tile
+    /// plan before execution to elide dead transfers (`from`-only
+    /// uploads, `alloc` scratch), narrow over-approximated bounds to
+    /// the iteration hull actually touched, and dedupe byte-identical
+    /// buffers within one upload set.
+    pub map_optimize: bool,
+    /// Dirty-tile delta transfers for iterative regions: re-upload only
+    /// the tiles of an input buffer whose crc32 changed since the last
+    /// committed offload, riding the wire-crc ledger. Off by default —
+    /// it keeps a driver-side copy of each delta-tracked input.
+    pub delta_transfers: bool,
+    /// Tile granularity of the delta ledger, in bytes.
+    pub delta_tile_bytes: usize,
     /// `[autotune]` section: bench-driven calibration of the wire-path
     /// knobs (tile size, io threads, compression threshold).
     pub autotune: crate::autotune::AutotuneConfig,
@@ -201,6 +214,9 @@ impl Default for CloudConfig {
             io_threads: 8,
             dataflow: true,
             tile_size: 0,
+            map_optimize: true,
+            delta_transfers: false,
+            delta_tile_bytes: 64 * 1024,
             autotune: crate::autotune::AutotuneConfig::default(),
             schedule: sparkle::ScheduleMode::Stealing,
             spec_factor: 1.5,
@@ -326,6 +342,24 @@ impl CloudConfig {
             .map_err(bad_config)?
         {
             cfg.tile_size = t;
+        }
+        if let Some(m) = ini
+            .get_bool("offload", "map-optimize")
+            .map_err(bad_config)?
+        {
+            cfg.map_optimize = m;
+        }
+        if let Some(d) = ini
+            .get_bool("offload", "delta-transfers")
+            .map_err(bad_config)?
+        {
+            cfg.delta_transfers = d;
+        }
+        if let Some(b) = ini
+            .get_parsed::<usize>("offload", "delta-tile-bytes")
+            .map_err(bad_config)?
+        {
+            cfg.delta_tile_bytes = b;
         }
         if let Some(e) = ini.get_bool("autotune", "enabled").map_err(bad_config)? {
             cfg.autotune.enabled = e;
@@ -535,6 +569,9 @@ impl CloudConfig {
         }
         if self.io_threads == 0 {
             return Err(bad_config("io-threads must be at least 1"));
+        }
+        if self.delta_tile_bytes == 0 {
+            return Err(bad_config("delta-tile-bytes must be at least 1"));
         }
         if self.autotune.io_threads.contains(&0) {
             return Err(bad_config(
@@ -893,6 +930,24 @@ instance-type = c3.8xlarge
         assert!(CloudConfig::from_str("[autotune]\ntile-sizes = nope\n").is_err());
         assert!(CloudConfig::from_str("[autotune]\ntile-sizes = ,\n").is_err());
         assert!(CloudConfig::from_str("[autotune]\nio-threads = 0,2\n").is_err());
+    }
+
+    #[test]
+    fn map_optimizer_knobs_parse_and_default_sane() {
+        let cfg = CloudConfig::default();
+        assert!(cfg.map_optimize, "map optimizer is on by default");
+        assert!(!cfg.delta_transfers, "delta transfers are opt-in");
+        assert_eq!(cfg.delta_tile_bytes, 64 * 1024);
+
+        let cfg = CloudConfig::from_str(
+            "[offload]\nmap-optimize = no\ndelta-transfers = yes\ndelta-tile-bytes = 4096\n",
+        )
+        .unwrap();
+        assert!(!cfg.map_optimize);
+        assert!(cfg.delta_transfers);
+        assert_eq!(cfg.delta_tile_bytes, 4096);
+
+        assert!(CloudConfig::from_str("[offload]\ndelta-tile-bytes = 0\n").is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::breaker::{BreakerBank, CircuitBreaker};
 use crate::cache::{CacheDecision, Fingerprint, ResidencyMap, UploadCache};
 use crate::config::CloudConfig;
+use crate::mapopt::{DeltaDiff, DownloadAction, ElideReason, MapDecision, MapPlan, UploadAction};
 use crate::offload::{run_spark_job, JobOutcome};
 use crate::recovery::RegionRecovery;
 use crate::report::{DataflowSummary, OffloadReport, ResilienceSummary};
@@ -34,7 +35,7 @@ use cloud_storage::{
 use cloudsim::Fleet;
 use omp_model::{
     Construct, DagReport, DataEnv, DataflowHints, Device, DeviceKind, ErasedVec, ExecProfile,
-    MaterializeReport, OmpError, ResidentLossReason, TargetRegion, TypeTag,
+    MapDir, MaterializeReport, OmpError, ResidentLossReason, TargetRegion, TypeTag,
 };
 use parking_lot::Mutex;
 use sparkle::{SparkConf, SparkContext};
@@ -80,6 +81,12 @@ pub struct CloudDevice {
     pending_resident_repairs: AtomicU64,
     /// Armed one-shot resident fault (deterministic recovery tests).
     armed_fault: Mutex<Option<ResidentFault>>,
+    /// Dirty-tile delta ledger for iterative regions: the last payload
+    /// committed cloud-side per variable, at `delta-tile-bytes`
+    /// granularity. Commits happen only after cluster materialization,
+    /// so transient faults can never corrupt the base (see
+    /// [`crate::mapopt::DeltaLedger`]).
+    delta: Mutex<crate::mapopt::DeltaLedger>,
 }
 
 /// One device-resident producer output.
@@ -163,6 +170,7 @@ impl CloudDevice {
             },
         );
         let breakers = BreakerBank::new(config.breaker_threshold);
+        let delta_tile = config.delta_tile_bytes;
         CloudDevice {
             name: format!("cloud-{:?}", config.provider).to_ascii_lowercase(),
             config,
@@ -182,6 +190,7 @@ impl CloudDevice {
             pending_lineage_recomputes: AtomicU32::new(0),
             pending_resident_repairs: AtomicU64::new(0),
             armed_fault: Mutex::new(None),
+            delta: Mutex::new(crate::mapopt::DeltaLedger::new(delta_tile)),
         }
     }
 
@@ -830,7 +839,7 @@ impl CloudDevice {
         // compression above the configured threshold). With data caching
         // enabled (§VI extension), unchanged variables are skipped and
         // the job reuses their previously staged objects.
-        let mut upload_items = Vec::new();
+        let mut upload_items: Vec<(String, cloud_storage::PoolBuf)> = Vec::new();
         let mut staged_keys: Vec<(String, String)> = Vec::new(); // (var, key)
         let mut cached_keys: Vec<String> = Vec::new();
         // (var, tag, bytes, key) of inputs served device-resident: the
@@ -838,6 +847,41 @@ impl CloudDevice {
         // built from the producer's driver-side copy, and the region
         // fingerprint from the producer's committed key.
         let mut resident_payloads: Vec<(String, TypeTag, Vec<u8>, String)> = Vec::new();
+        // Map-transfer optimizer state. `staged_kind` marks staged
+        // objects the materialization step must special-case (narrowed
+        // prefixes, delta patches); absent means a plain full payload.
+        enum StagedKind {
+            Narrowed,
+            Patch,
+        }
+        let mut plan = MapPlan {
+            enabled: self.config.map_optimize,
+            decisions: Vec::new(),
+        };
+        let mut staged_kind: HashMap<String, StagedKind> = HashMap::new();
+        // (var, tag, crc32 of full payload) of inputs whose delta diff
+        // came back clean: zero bytes travel, the cluster copy comes
+        // from the ledger.
+        let mut delta_clean: Vec<(String, TypeTag, u32)> = Vec::new();
+        // (alias var, source var, source key) of deduped uploads: the
+        // alias shares the source's staged object.
+        let mut alias_pairs: Vec<(String, String, String)> = Vec::new();
+        // (var, key, tag, index into upload_items) of fresh full-payload
+        // uploads — the dedupe candidates.
+        let mut fresh_uploads: Vec<(String, String, TypeTag, usize)> = Vec::new();
+        let keep = |name: &str| hints.keep_resident.iter().any(|v| v == name);
+        let download_for = |dir: MapDir, name: &str, full_bytes: u64| -> DownloadAction {
+            if !dir.is_output() {
+                DownloadAction::Elided {
+                    reason: ElideReason::DeadFrom,
+                    full_bytes,
+                }
+            } else if keep(name) {
+                DownloadAction::Resident { full_bytes }
+            } else {
+                DownloadAction::Full { bytes: full_bytes }
+            }
+        };
         {
             let mut cache = self.upload_cache.lock();
             for m in region.input_maps() {
@@ -945,28 +989,192 @@ impl CloudDevice {
                     }
                 }
                 let buf = env.get_erased(&m.name)?;
-                profile.bytes_to_device += buf.byte_len() as u64;
+                let full_bytes = buf.byte_len() as u64;
+                let full_elems = buf.len();
+                let tag = buf.tag();
                 // Serialize into a pooled staging buffer: the allocation
                 // is recycled across tiles once the wire form is sealed.
                 let mut bytes = self.transfer.pool().get(buf.byte_len());
                 buf.write_bytes_into(&mut bytes);
                 let fresh_key = format!("{prefix}/in/{}", m.name);
-                if self.config.data_caching {
-                    let fp = Fingerprint::of(&bytes);
-                    match cache.check(&m.name, fp) {
-                        CacheDecision::Hit { storage_key } => {
-                            staged_keys.push((m.name.clone(), storage_key.clone()));
-                            cached_keys.push(storage_key);
+                let download = download_for(m.dir, &m.name, full_bytes);
+                let cache_fp = self.config.data_caching.then(|| Fingerprint::of(&bytes));
+                if let Some(fp) = cache_fp {
+                    if let CacheDecision::Hit { storage_key } = cache.check(&m.name, fp) {
+                        // Unchanged since the last offload: the staged
+                        // object is reused wholesale. Raw-byte accounting
+                        // keeps counting the full payload (the device
+                        // still consumes it); only the wire is spared.
+                        profile.bytes_to_device += full_bytes;
+                        staged_keys.push((m.name.clone(), storage_key.clone()));
+                        cached_keys.push(storage_key);
+                        plan.decisions.push(MapDecision {
+                            var: m.name.clone(),
+                            dir: m.dir,
+                            upload: UploadAction::Cached { full_bytes },
+                            download,
+                        });
+                        continue;
+                    }
+                }
+                if self.config.map_optimize {
+                    // Dedupe: a byte-identical same-typed buffer already
+                    // in this job's upload set is shared, not re-shipped.
+                    let dup = fresh_uploads
+                        .iter()
+                        .find(|(_, _, t, idx)| *t == tag && upload_items[*idx].1[..] == bytes[..]);
+                    if let Some((src_var, src_key, _, _)) = dup {
+                        let (src_var, src_key) = (src_var.clone(), src_key.clone());
+                        if let Some(fp) = cache_fp {
+                            // The alias rides the source's staged object.
+                            cache.record(&m.name, fp, src_key.clone());
+                        }
+                        alias_pairs.push((m.name.clone(), src_var.clone(), src_key));
+                        plan.decisions.push(MapDecision {
+                            var: m.name.clone(),
+                            dir: m.dir,
+                            upload: UploadAction::Elided {
+                                reason: ElideReason::Dedup { of: src_var },
+                                full_bytes,
+                            },
+                            download,
+                        });
+                        continue;
+                    }
+                    // Narrowing: a `map(to)` input partitioned in every
+                    // loop travels only up to its iteration hull; the
+                    // cluster copy is padded back to full length.
+                    // `tofrom` buffers are exempt (their untouched tail
+                    // must round-trip bit-exactly through the merge), and
+                    // so are delta rounds (the ledger models full
+                    // payloads).
+                    if m.dir == MapDir::To && !self.config.delta_transfers {
+                        if let Some(n) = crate::mapopt::narrow_len(region, &m.name, full_elems) {
+                            let nbytes = n * (buf.byte_len() / full_elems);
+                            let mut nb = self.transfer.pool().get(nbytes);
+                            buf.write_range_bytes_into(0..n, &mut nb);
+                            profile.bytes_to_device += nbytes as u64;
+                            staged_kind.insert(m.name.clone(), StagedKind::Narrowed);
+                            staged_keys.push((m.name.clone(), fresh_key.clone()));
+                            upload_items.push((fresh_key, nb));
+                            plan.decisions.push(MapDecision {
+                                var: m.name.clone(),
+                                dir: m.dir,
+                                upload: UploadAction::Narrowed {
+                                    bytes: nbytes as u64,
+                                    full_bytes,
+                                },
+                                download,
+                            });
                             continue;
                         }
-                        CacheDecision::Miss => {
-                            cache.record(&m.name, fp, fresh_key.clone());
+                    }
+                    // Delta: diff against the last committed payload and
+                    // ship only the dirty tiles.
+                    if self.config.delta_transfers {
+                        let ledger = self.delta.lock();
+                        match ledger.diff(&m.name, &bytes) {
+                            DeltaDiff::Clean => {
+                                drop(ledger);
+                                delta_clean.push((m.name.clone(), tag, gzlite::crc32(&bytes)));
+                                plan.decisions.push(MapDecision {
+                                    var: m.name.clone(),
+                                    dir: m.dir,
+                                    upload: UploadAction::DeltaClean { full_bytes },
+                                    download,
+                                });
+                                continue;
+                            }
+                            DeltaDiff::Dirty(dirty) => {
+                                let total_tiles = ledger.tile_count(bytes.len()) as u32;
+                                let patch = ledger.encode_patch(&bytes, &dirty);
+                                drop(ledger);
+                                if patch.len() < bytes.len() {
+                                    let patch_bytes = patch.len() as u64;
+                                    profile.bytes_to_device += patch_bytes;
+                                    staged_kind.insert(m.name.clone(), StagedKind::Patch);
+                                    staged_keys.push((m.name.clone(), fresh_key.clone()));
+                                    plan.decisions.push(MapDecision {
+                                        var: m.name.clone(),
+                                        dir: m.dir,
+                                        upload: UploadAction::Delta {
+                                            dirty_tiles: dirty.len() as u32,
+                                            total_tiles,
+                                            bytes: patch_bytes,
+                                            full_bytes,
+                                        },
+                                        download,
+                                    });
+                                    upload_items.push((fresh_key, patch.into()));
+                                    continue;
+                                }
+                                // A patch this large loses to a plain
+                                // upload: fall through.
+                            }
+                            DeltaDiff::NoBase => {}
                         }
                     }
                 }
+                if let Some(fp) = cache_fp {
+                    cache.record(&m.name, fp, fresh_key.clone());
+                }
+                profile.bytes_to_device += full_bytes;
+                plan.decisions.push(MapDecision {
+                    var: m.name.clone(),
+                    dir: m.dir,
+                    upload: UploadAction::Full { bytes: full_bytes },
+                    download,
+                });
+                fresh_uploads.push((m.name.clone(), fresh_key.clone(), tag, upload_items.len()));
                 staged_keys.push((m.name.clone(), fresh_key.clone()));
                 upload_items.push((fresh_key, bytes));
             }
+        }
+        // Decision records for inputs served resident and for the map
+        // kinds that never upload: `from`-only (the classic dead `to`
+        // transfer) and `alloc` scratch.
+        for (name, _, bytes, _) in &resident_payloads {
+            let m = region
+                .maps
+                .iter()
+                .find(|m| m.name == *name)
+                .expect("resident inputs are mapped");
+            let full_bytes = bytes.len() as u64;
+            plan.decisions.push(MapDecision {
+                var: name.clone(),
+                dir: m.dir,
+                upload: UploadAction::Resident { full_bytes },
+                download: download_for(m.dir, name, full_bytes),
+            });
+        }
+        for m in region.maps.iter().filter(|m| !m.dir.is_input()) {
+            let full_bytes = env.get_erased(&m.name)?.byte_len() as u64;
+            let (upload, download) = if m.dir.is_alloc() {
+                (
+                    UploadAction::Elided {
+                        reason: ElideReason::AllocOnly,
+                        full_bytes,
+                    },
+                    DownloadAction::Elided {
+                        reason: ElideReason::AllocOnly,
+                        full_bytes,
+                    },
+                )
+            } else {
+                (
+                    UploadAction::Elided {
+                        reason: ElideReason::DeadTo,
+                        full_bytes,
+                    },
+                    download_for(m.dir, &m.name, full_bytes),
+                )
+            };
+            plan.decisions.push(MapDecision {
+                var: m.name.clone(),
+                dir: m.dir,
+                upload,
+                download,
+            });
         }
         let cache_hits = cached_keys.len();
 
@@ -1024,10 +1232,67 @@ impl CloudDevice {
         let t_driver = Instant::now();
         let mut by_key: HashMap<String, cloud_storage::PoolBuf> = fetched.into_iter().collect();
         let mut cluster_env = DataEnv::new();
+        let delta_on = self.config.map_optimize && self.config.delta_transfers;
         for (name, key) in &staged_keys {
-            let tag = env.get_erased(name)?.tag();
+            let host = env.get_erased(name)?;
+            let tag = host.tag();
             let bytes = by_key.remove(key).expect("every staged input was fetched");
-            cluster_env.insert_erased(name, ErasedVec::from_bytes(tag, &bytes));
+            match staged_kind.get(name.as_str()) {
+                // Narrowed prefix: pad back to full length. The tail is
+                // never read by the region (that is what made the
+                // narrowing legal), so identity values are fine.
+                Some(StagedKind::Narrowed) => {
+                    let mut v = ErasedVec::identity(tag, host.len(), omp_model::RedOp::BitOr);
+                    v.write_at(0, &ErasedVec::from_bytes(tag, &bytes));
+                    cluster_env.insert_erased(name, v);
+                }
+                // Delta patch: reconstruct the full payload against the
+                // committed base, then — and only then — commit the new
+                // payload as the next round's base.
+                Some(StagedKind::Patch) => {
+                    let full = self.delta.lock().apply_patch(name, &bytes).map_err(|e| {
+                        ExecFailure::Infra(OmpError::Plugin {
+                            device: "cloud".into(),
+                            detail: format!("delta patch for '{name}' failed to apply: {e}"),
+                        })
+                    })?;
+                    self.delta.lock().commit(name, &full);
+                    cluster_env.insert_erased(name, ErasedVec::from_bytes(tag, &full));
+                }
+                // Plain full payload. With delta transfers on, the
+                // fetched (hence verified) payload becomes the base the
+                // next round diffs against — committing here, after
+                // materialization, is what keeps transient upload faults
+                // from ever corrupting the ledger.
+                None => {
+                    if delta_on {
+                        self.delta.lock().commit(name, &bytes);
+                    }
+                    cluster_env.insert_erased(name, ErasedVec::from_bytes(tag, &bytes));
+                }
+            }
+        }
+        // Delta-clean inputs never left the host: the cluster copy is
+        // the ledger's committed payload (byte-identical by definition).
+        for (name, tag, _) in &delta_clean {
+            let payload = self
+                .delta
+                .lock()
+                .payload(name)
+                .expect("a clean diff implies a committed base")
+                .to_vec();
+            cluster_env.insert_erased(name, ErasedVec::from_bytes(*tag, &payload));
+        }
+        // Dedupe aliases share the source's materialized buffer — and
+        // seed the delta ledger with it, so a later delta round diffs
+        // the alias against this committed payload instead of paying a
+        // fresh full upload.
+        for (alias, src, _) in &alias_pairs {
+            let v = ErasedVec::clone(cluster_env.get_erased(src)?);
+            if delta_on {
+                self.delta.lock().commit(alias, &v.to_bytes());
+            }
+            cluster_env.insert_erased(alias, v);
         }
         // Resident inputs never crossed the host link: the cluster reads
         // the producer's output in place (here: the driver-side copy of
@@ -1041,9 +1306,14 @@ impl CloudDevice {
                 dataflow.resident_hits
             ));
         }
-        // Output-only variables: the driver allocates them full-size
-        // (paper Fig. 3 step 7); sizes come with the job submission.
-        for m in region.output_maps() {
+        // Output-only and alloc variables: the driver allocates them
+        // full-size (paper Fig. 3 step 7); sizes come with the job
+        // submission. Neither kind's host contents ever cross the wire.
+        for m in region
+            .maps
+            .iter()
+            .filter(|m| m.dir.is_output() || m.dir.is_alloc())
+        {
             if !cluster_env.contains(&m.name) {
                 let host = env.get_erased(&m.name)?;
                 cluster_env.insert_erased(
@@ -1053,6 +1323,9 @@ impl CloudDevice {
             }
         }
         profile.overhead_s += t_driver.elapsed().as_secs_f64();
+        if plan.enabled && plan.any() {
+            profile.note(format!("map optimizer: {plan}"));
+        }
 
         // Checkpoint mode: derive the region's deterministic identity —
         // name, tile plan, and the staged inputs' wire crc32s from the
@@ -1072,6 +1345,15 @@ impl CloudDevice {
             // this journal if it consumes the same resident bytes.
             for (name, _, _, key) in &resident_payloads {
                 fp.add_input(name, self.transfer.ledger_crc(key).unwrap_or(0));
+            }
+            // Delta-clean inputs have no staged key this round; their
+            // identity is the committed payload's own crc32.
+            for (name, _, crc) in &delta_clean {
+                fp.add_input(name, *crc);
+            }
+            // Dedupe aliases ride their source's staged object.
+            for (alias, _, src_key) in &alias_pairs {
+                fp.add_input(alias, self.transfer.ledger_crc(src_key).unwrap_or(0));
             }
             let journal = RegionJournal::open(StoreHandle::clone(&self.store), &base_prefix, &fp);
             let commit_root = if base_prefix.is_empty() {
@@ -1207,6 +1489,16 @@ impl CloudDevice {
                 dataflow.resident_repairs as u64,
             );
         }
+        if plan.any() {
+            sc.annotate_map_plan(
+                plan.uploads_elided() as u64,
+                plan.downloads_elided() as u64,
+                plan.narrowed() as u64,
+                plan.delta_rounds() as u64,
+                plan.delta_dirty_tiles() as u64,
+                plan.upload_bytes_saved(),
+            );
+        }
         profile.wire_bytes_from = store_write.wire_bytes();
         if self.config.pipelined_transfers && profile.overlap_s > 0.0 {
             profile.note(format!(
@@ -1275,6 +1567,7 @@ impl CloudDevice {
             cost,
             resilience,
             dataflow,
+            map_plan: plan,
         });
         Ok(profile)
     }

@@ -37,6 +37,7 @@ pub mod cache;
 pub mod config;
 pub mod device;
 pub mod ini;
+pub mod mapopt;
 pub mod offload;
 pub mod plan;
 pub mod recovery;
@@ -51,6 +52,10 @@ pub use breaker::{BreakerBank, CircuitBreaker, DEFAULT_TENANT};
 pub use cache::{CacheDecision, Fingerprint, UploadCache};
 pub use config::{CloudConfig, Provider};
 pub use device::{CloudDevice, ResidentFault, ResidentFaultKind};
+pub use mapopt::{
+    narrow_len, DeltaDiff, DeltaLedger, DownloadAction, ElideReason, MapDecision, MapPlan,
+    UploadAction,
+};
 pub use offload::LoopStats;
 pub use plan::{derive_plan, measure_ratio, PlanRatios};
 pub use recovery::RegionRecovery;

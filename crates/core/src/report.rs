@@ -1,5 +1,6 @@
 //! Offload reports: everything observable about one cloud offload.
 
+use crate::mapopt::MapPlan;
 use crate::offload::LoopStats;
 use cloud_storage::TransferReport;
 use cloudsim::CostReport;
@@ -109,6 +110,9 @@ pub struct OffloadReport {
     pub resilience: ResilienceSummary,
     /// Inter-region dataflow counters (all zero outside a DAG).
     pub dataflow: DataflowSummary,
+    /// The map-transfer optimizer's per-variable decision record: what
+    /// was shipped, narrowed, delta-patched, deduped, or elided.
+    pub map_plan: MapPlan,
 }
 
 impl OffloadReport {
@@ -203,6 +207,9 @@ impl std::fmt::Display for OffloadReport {
                     self.dataflow.resident_repairs,
                 )?;
             }
+        }
+        if self.map_plan.any() {
+            write!(f, "\n  map plan: {}", self.map_plan)?;
         }
         if self.tenant != "default" {
             write!(f, "\n  tenant: {}", self.tenant)?;

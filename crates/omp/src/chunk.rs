@@ -8,6 +8,7 @@
 //! back — by indexed writes for partitioned outputs, by bitwise-OR for
 //! unpartitioned ones, or with the user's reduction operator (Eqs. 8–10).
 
+use crate::clause::MapDir;
 use crate::env::DataEnv;
 use crate::erased::{ErasedSlice, ErasedVec, RedOp};
 use crate::error::OmpError;
@@ -71,11 +72,16 @@ pub fn chunk_inputs(
 
 /// Allocate the private output buffers for one chunk.
 ///
-/// * `Indexed` outputs cover only the chunk hull and are pre-filled with
-///   the original values so `tofrom` variables that are partially written
-///   keep untouched elements.
+/// * `Indexed` `tofrom` outputs cover only the chunk hull and are
+///   pre-filled with the original values so partially-written variables
+///   keep untouched elements. `Indexed` `from`-only outputs get a
+///   zero-bit hull instead: the region never reads their initial
+///   contents, so shipping them to the worker would be a dead `to`
+///   transfer.
 /// * `BitOr` outputs cover the whole variable, zero-bit initialized.
 /// * `Reduce` outputs cover the whole variable, identity initialized.
+/// * `alloc` scratch covers the whole variable, zero-bit initialized,
+///   private to the chunk and never merged back.
 pub fn chunk_outputs(
     region: &TargetRegion,
     loop_: &ParallelLoop,
@@ -83,13 +89,34 @@ pub fn chunk_outputs(
     iters: Range<usize>,
 ) -> Result<Outputs, OmpError> {
     let mut outputs = Outputs::new();
-    for m in region.output_maps() {
+    for m in region
+        .maps
+        .iter()
+        .filter(|m| m.dir.is_output() || m.dir.is_alloc())
+    {
         let buf = env.get_erased(&m.name)?;
+        if m.dir.is_alloc() {
+            outputs.add(
+                &m.name,
+                0,
+                ErasedVec::identity(buf.tag(), buf.len(), RedOp::BitOr),
+            );
+            continue;
+        }
         match merge_policy(loop_, &m.name) {
             MergePolicy::Indexed => {
                 let spec = loop_.partitions.get(&m.name).expect("indexed implies spec");
                 let hull = spec.range_for_tile(iters.clone(), buf.len())?;
-                outputs.add(&m.name, hull.start, buf.slice_copy(hull));
+                if m.dir == MapDir::ToFrom {
+                    outputs.add(&m.name, hull.start, buf.slice_copy(hull));
+                } else {
+                    let len = hull.end - hull.start;
+                    outputs.add(
+                        &m.name,
+                        hull.start,
+                        ErasedVec::identity(buf.tag(), len, RedOp::BitOr),
+                    );
+                }
             }
             MergePolicy::BitOr => {
                 outputs.add(
@@ -126,6 +153,9 @@ pub fn run_chunk(
 /// value instead of being overwritten with merge identities.
 pub struct MergeAcc {
     accs: Vec<AccSlot>,
+    /// `map(alloc:)` scratch names: chunk parts for these are dropped on
+    /// absorb instead of merged — scratch never flows back to the host.
+    alloc: Vec<String>,
 }
 
 struct AccSlot {
@@ -147,9 +177,12 @@ impl MergeAcc {
             let buf = env.get_erased(&m.name)?;
             let policy = merge_policy(loop_, &m.name);
             let acc = match policy {
-                // Start from the original so partially-covered tofrom
-                // variables keep their untouched elements.
-                MergePolicy::Indexed => (**buf).clone(),
+                // Start tofrom accumulators from the original so
+                // partially-covered variables keep their untouched
+                // elements; from-only initial contents are dead (never
+                // read by the region) and start zero-bit instead.
+                MergePolicy::Indexed if m.dir == MapDir::ToFrom => (**buf).clone(),
+                MergePolicy::Indexed => ErasedVec::identity(buf.tag(), buf.len(), RedOp::BitOr),
                 MergePolicy::BitOr => ErasedVec::identity(buf.tag(), buf.len(), RedOp::BitOr),
                 MergePolicy::Reduce(op) => ErasedVec::identity(buf.tag(), buf.len(), op),
             };
@@ -160,13 +193,19 @@ impl MergeAcc {
                 touched: false,
             });
         }
-        Ok(MergeAcc { accs })
+        Ok(MergeAcc {
+            accs,
+            alloc: region.alloc_maps().map(|m| m.name.clone()).collect(),
+        })
     }
 
     /// Absorb the private outputs of one finished chunk
     /// ([`Outputs::into_parts`]).
     pub fn absorb(&mut self, parts: Vec<crate::view::OutPart>) {
         for part in parts {
+            if self.alloc.contains(&part.name) {
+                continue;
+            }
             let slot = self
                 .accs
                 .iter_mut()
@@ -341,6 +380,55 @@ mod tests {
             env.get::<f32>("y").unwrap(),
             &[1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0]
         );
+    }
+
+    #[test]
+    fn partitioned_from_only_output_does_not_ship_initial_contents() {
+        // y is map(from): its host-side initial contents are dead. The
+        // chunk hull must start zero-bit, not carry a copy of them.
+        let region = scale_region(4, true);
+        let mut env = DataEnv::new();
+        env.insert("x", vec![0.0f32; 4]);
+        env.insert("y", vec![7.0f32; 4]);
+        let outs = chunk_outputs(&region, &region.loops[0], &env, 1..3).unwrap();
+        let parts = outs.into_parts();
+        let y = parts.iter().find(|p| p.name == "y").unwrap();
+        assert_eq!(y.base, 1);
+        assert_eq!(y.data.as_slice::<f32>().unwrap(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn alloc_scratch_is_private_and_never_merged() {
+        // tmp is map(alloc): each chunk sees fresh zeroed scratch, uses
+        // it as an intermediate, and the host copy stays untouched.
+        let region = TargetRegion::builder("scratch")
+            .map_to("x")
+            .map_alloc("tmp")
+            .map_from("y")
+            .parallel_for(8, |l| {
+                l.partition("y", PartitionSpec::rows(1))
+                    .body(|i, ins, outs| {
+                        let x = ins.view::<f32>("x");
+                        {
+                            let mut tmp = outs.view_mut::<f32>("tmp");
+                            tmp[i] = x[i] + 1.0;
+                        }
+                        let staged = outs.view_mut::<f32>("tmp")[i];
+                        outs.view_mut::<f32>("y")[i] = 2.0 * staged;
+                    })
+            })
+            .build()
+            .unwrap();
+        let mut env = DataEnv::new();
+        env.insert("x", (0..8).map(|i| i as f32).collect::<Vec<_>>());
+        env.insert("tmp", vec![55.0f32; 8]);
+        env.insert("y", vec![0.0f32; 8]);
+        execute_loop_chunked(&region, &region.loops[0], &mut env, 3).unwrap();
+        for (i, &v) in env.get::<f32>("y").unwrap().iter().enumerate() {
+            assert_eq!(v, 2.0 * (i as f32 + 1.0));
+        }
+        // The alloc var's host copy is exactly what it was.
+        assert_eq!(env.get::<f32>("tmp").unwrap(), &[55.0f32; 8]);
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub enum MapDir {
     From,
     /// `map(tofrom: ...)` — both (e.g. `C` in `C = alpha*A*B + beta*C`).
     ToFrom,
+    /// `map(alloc: ...)` — device-side scratch: allocated on the device
+    /// for the region's lifetime, never transferred in either direction.
+    Alloc,
 }
 
 impl MapDir {
@@ -25,6 +28,11 @@ impl MapDir {
     pub fn is_output(self) -> bool {
         matches!(self, MapDir::From | MapDir::ToFrom)
     }
+
+    /// Variable is device-side scratch (never crosses the wire).
+    pub fn is_alloc(self) -> bool {
+        matches!(self, MapDir::Alloc)
+    }
 }
 
 impl std::fmt::Display for MapDir {
@@ -33,6 +41,7 @@ impl std::fmt::Display for MapDir {
             MapDir::To => "to",
             MapDir::From => "from",
             MapDir::ToFrom => "tofrom",
+            MapDir::Alloc => "alloc",
         })
     }
 }
@@ -210,6 +219,9 @@ mod tests {
         assert!(MapDir::To.is_input() && !MapDir::To.is_output());
         assert!(!MapDir::From.is_input() && MapDir::From.is_output());
         assert!(MapDir::ToFrom.is_input() && MapDir::ToFrom.is_output());
+        assert!(!MapDir::Alloc.is_input() && !MapDir::Alloc.is_output());
+        assert!(MapDir::Alloc.is_alloc() && !MapDir::To.is_alloc());
+        assert_eq!(MapDir::Alloc.to_string(), "alloc");
     }
 
     #[test]

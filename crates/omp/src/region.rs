@@ -122,6 +122,13 @@ impl TargetRegion {
         self.maps.iter().filter(|m| m.dir.is_output())
     }
 
+    /// Map clauses for device-side scratch (`map(alloc: ...)`): the
+    /// variable exists on the device for the region's lifetime but never
+    /// crosses the wire in either direction.
+    pub fn alloc_maps(&self) -> impl Iterator<Item = &MapClause> {
+        self.maps.iter().filter(|m| m.dir.is_alloc())
+    }
+
     /// Look up the map clause for `var`.
     pub fn map_for(&self, var: &str) -> Option<&MapClause> {
         self.maps.iter().find(|m| m.name == var)
@@ -182,6 +189,12 @@ impl TargetRegionBuilder {
     /// `map(tofrom: name)`.
     pub fn map_tofrom(mut self, name: impl Into<String>) -> Self {
         self.maps.push(MapClause::new(name, MapDir::ToFrom));
+        self
+    }
+
+    /// `map(alloc: name)` — device-side scratch, zero bytes moved.
+    pub fn map_alloc(mut self, name: impl Into<String>) -> Self {
+        self.maps.push(MapClause::new(name, MapDir::Alloc));
         self
     }
 
@@ -285,6 +298,12 @@ impl TargetRegionBuilder {
                 if !seen.contains(var) {
                     return Err(OmpError::InvalidRegion(format!(
                         "loop {li} partitions '{var}' which is not mapped"
+                    )));
+                }
+                if self.maps.iter().any(|m| m.name == var && m.dir.is_alloc()) {
+                    return Err(OmpError::InvalidRegion(format!(
+                        "loop {li} partitions '{var}' which is mapped 'alloc' \
+                         (scratch is private per tile, not scattered)"
                     )));
                 }
             }
@@ -480,6 +499,46 @@ mod tests {
         let err = TargetRegion::builder("r")
             .map_to("A")
             .parallel_for(4, |l| l.reduction("A", RedOp::Sum).body(|_, _, _| {}))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, OmpError::InvalidRegion(_)));
+    }
+
+    #[test]
+    fn alloc_maps_are_neither_inputs_nor_outputs() {
+        let r = TargetRegion::builder("scratch")
+            .map_to("x")
+            .map_alloc("tmp")
+            .map_from("y")
+            .parallel_for(4, |l| l.body(|_, _, _| {}))
+            .build()
+            .unwrap();
+        assert_eq!(r.input_maps().count(), 1);
+        assert_eq!(r.output_maps().count(), 1);
+        assert_eq!(
+            r.alloc_maps().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            vec!["tmp"]
+        );
+    }
+
+    #[test]
+    fn rejects_partitioned_alloc_var() {
+        let err = TargetRegion::builder("scratch")
+            .map_alloc("tmp")
+            .parallel_for(4, |l| {
+                l.partition("tmp", PartitionSpec::rows(1))
+                    .body(|_, _, _| {})
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, OmpError::InvalidRegion(_)));
+    }
+
+    #[test]
+    fn rejects_reduction_on_alloc_var() {
+        let err = TargetRegion::builder("scratch")
+            .map_alloc("tmp")
+            .parallel_for(4, |l| l.reduction("tmp", RedOp::Sum).body(|_, _, _| {}))
             .build()
             .unwrap_err();
         assert!(matches!(err, OmpError::InvalidRegion(_)));

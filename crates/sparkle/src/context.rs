@@ -248,6 +248,28 @@ impl SparkContext {
         }
     }
 
+    /// Fold the offloading device's map-transfer optimizer counters into
+    /// the most recent job's metrics (the job that ran the region the
+    /// decisions describe). No-op if no job has run yet.
+    pub fn annotate_map_plan(
+        &self,
+        uploads_elided: u64,
+        downloads_elided: u64,
+        narrowed: u64,
+        delta_rounds: u64,
+        delta_dirty_tiles: u64,
+        bytes_saved: u64,
+    ) {
+        if let Some(m) = self.inner.metrics.lock().last_mut() {
+            m.map_uploads_elided += uploads_elided as usize;
+            m.map_downloads_elided += downloads_elided as usize;
+            m.map_narrowed += narrowed as usize;
+            m.delta_rounds += delta_rounds as usize;
+            m.delta_dirty_tiles += delta_dirty_tiles as usize;
+            m.map_bytes_saved += bytes_saved;
+        }
+    }
+
     /// Metrics of every job run so far, oldest first.
     pub fn job_metrics(&self) -> Vec<JobMetrics> {
         self.inner.metrics.lock().clone()

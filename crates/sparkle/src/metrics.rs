@@ -82,6 +82,21 @@ pub struct JobMetrics {
     /// Resident inputs repaired from their durable store copy after the
     /// driver-side copy was damaged.
     pub resident_repairs: usize,
+    /// Uploads the map-transfer optimizer elided for this job's region
+    /// (dead `to` transfers, alloc scratch, deduped buffers; annotated
+    /// by the offloading device like `elided_downloads`).
+    pub map_uploads_elided: usize,
+    /// Downloads the optimizer classified dead (never-written buffers,
+    /// alloc scratch).
+    pub map_downloads_elided: usize,
+    /// Inputs narrowed to their iteration hull before upload.
+    pub map_narrowed: usize,
+    /// Inputs served as dirty-tile delta rounds (patched or clean).
+    pub delta_rounds: usize,
+    /// Dirty tiles re-uploaded across this job's delta rounds.
+    pub delta_dirty_tiles: usize,
+    /// Raw upload bytes the optimizer kept off the wire.
+    pub map_bytes_saved: u64,
 }
 
 impl JobMetrics {
@@ -105,6 +120,12 @@ impl JobMetrics {
             lineage_recomputes: 0,
             stage_fallbacks: 0,
             resident_repairs: 0,
+            map_uploads_elided: 0,
+            map_downloads_elided: 0,
+            map_narrowed: 0,
+            delta_rounds: 0,
+            delta_dirty_tiles: 0,
+            map_bytes_saved: 0,
         }
     }
 

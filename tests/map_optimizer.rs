@@ -1,0 +1,338 @@
+//! The map-transfer optimizer end to end: iterative dirty-tile delta
+//! rounds must stay bitwise identical to the send-everything path (also
+//! under storage chaos, which must never corrupt the delta ledger), dead
+//! and alloc maps must move zero bytes, and the `map-optimize` knob off
+//! must restore the unoptimized transfer schedule.
+
+use ompcloud_suite::cloud_storage::{
+    ChaosStore, FaultKind, FaultPlan, FaultRule, OpFilter, S3Store, Trigger,
+};
+use ompcloud_suite::ompcloud::{DownloadAction, UploadAction};
+use ompcloud_suite::prelude::*;
+
+const X_LEN: usize = 10_240; // 40 KiB of f32
+const TILE_BYTES: usize = 1_024; // 40 tiles
+const TILES: usize = X_LEN * 4 / TILE_BYTES;
+const ITERS: usize = 64;
+const SPAN: usize = X_LEN / ITERS;
+const ROUNDS: usize = 5;
+
+fn config(map_optimize: bool, delta_transfers: bool) -> CloudConfig {
+    CloudConfig {
+        workers: 2,
+        vcpus_per_worker: 4,
+        task_cpus: 2,
+        min_compression_size: 64,
+        map_optimize,
+        delta_transfers,
+        delta_tile_bytes: TILE_BYTES,
+        ..CloudConfig::default()
+    }
+}
+
+/// `y[i] = sum(x[i*SPAN .. (i+1)*SPAN])`, the iterative consumer.
+fn region() -> TargetRegion {
+    TargetRegion::builder("delta-iter")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_from("y")
+        .parallel_for(ITERS, |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let x = ins.view::<f32>("x");
+                    let mut y = outs.view_mut::<f32>("y");
+                    y[i] = (0..SPAN).map(|j| x[i * SPAN + j]).sum();
+                })
+        })
+        .build()
+        .unwrap()
+}
+
+fn fresh_env() -> DataEnv {
+    let mut env = DataEnv::new();
+    env.insert(
+        "x",
+        (0..X_LEN)
+            .map(|i| (i % 97) as f32 * 0.5)
+            .collect::<Vec<f32>>(),
+    );
+    env.insert("y", vec![0.0f32; ITERS]);
+    env
+}
+
+/// Dirty ~10% of the tiles (4 of 40) before round `r`; round 3 leaves
+/// the buffer untouched so a clean delta round occurs mid-sequence.
+fn mutate_for_round(env: &mut DataEnv, r: usize) {
+    if r == 0 || r == 3 {
+        return;
+    }
+    let mut x = env.get::<f32>("x").unwrap().to_vec();
+    for t in 0..4 {
+        let tile = (r + t * 10) % TILES;
+        let elem = tile * (TILE_BYTES / 4) + r;
+        x[elem] += 1.0 + r as f32;
+    }
+    env.insert("x", x);
+}
+
+#[test]
+fn iterative_delta_rounds_are_bitwise_identical_to_send_everything() {
+    let reg = region();
+    let delta_rt = CloudRuntime::new(config(true, true));
+    let full_rt = CloudRuntime::new(config(false, false));
+    let mut delta_env = fresh_env();
+    let mut full_env = fresh_env();
+
+    for r in 0..ROUNDS {
+        mutate_for_round(&mut delta_env, r);
+        mutate_for_round(&mut full_env, r);
+        let dp = delta_rt.offload(&reg, &mut delta_env).unwrap();
+        full_rt.offload(&reg, &mut full_env).unwrap();
+        assert_eq!(
+            delta_env.get::<f32>("y").unwrap(),
+            full_env.get::<f32>("y").unwrap(),
+            "round {r}: delta and send-everything outputs diverged"
+        );
+
+        let plan = delta_rt.cloud().last_report().unwrap().map_plan;
+        let x_dec = plan.decision_for("x").expect("x is mapped").upload.clone();
+        let full_bytes = (X_LEN * 4) as u64;
+        match r {
+            0 => {
+                assert!(
+                    matches!(x_dec, UploadAction::Full { bytes } if bytes == full_bytes),
+                    "round 0 has no base to diff against, got {x_dec:?}"
+                );
+                assert_eq!(dp.bytes_to_device, full_bytes);
+            }
+            3 => {
+                assert!(
+                    matches!(x_dec, UploadAction::DeltaClean { .. }),
+                    "untouched round must ship nothing, got {x_dec:?}"
+                );
+                assert_eq!(dp.bytes_to_device, 0, "clean round moved bytes");
+            }
+            _ => {
+                let UploadAction::Delta {
+                    dirty_tiles,
+                    total_tiles,
+                    bytes,
+                    ..
+                } = x_dec
+                else {
+                    panic!("round {r}: expected a dirty-tile delta, got {x_dec:?}");
+                };
+                assert_eq!(dirty_tiles, 4, "round {r} dirtied exactly 4 tiles");
+                assert_eq!(total_tiles as usize, TILES);
+                // Patch = 28 B header + 4 x (4 B index + tile payload).
+                let want = 28 + 4 * (4 + TILE_BYTES as u64);
+                assert_eq!(bytes, want, "round {r} patch size");
+                assert_eq!(dp.bytes_to_device, want);
+            }
+        }
+    }
+    delta_rt.shutdown();
+    full_rt.shutdown();
+}
+
+#[test]
+fn chaos_faults_never_corrupt_the_delta_ledger() {
+    let reg = region();
+    // Reference: clean delta runtime over the same schedule.
+    let clean_rt = CloudRuntime::new(config(true, true));
+    let mut clean_env = fresh_env();
+    let mut reference = Vec::new();
+    for r in 0..ROUNDS {
+        mutate_for_round(&mut clean_env, r);
+        clean_rt.offload(&reg, &mut clean_env).unwrap();
+        reference.push(clean_env.get::<f32>("y").unwrap().to_vec());
+    }
+    clean_rt.shutdown();
+
+    // Same schedule with transient faults on every 4th store op: retries
+    // happen *before* ledger commit, so every delta base stays exact.
+    let plan = FaultPlan::new(7).rule(FaultRule::new(
+        OpFilter::Any,
+        Trigger::EveryNth(4),
+        FaultKind::Transient,
+    ));
+    let chaos = std::sync::Arc::new(ChaosStore::new(
+        std::sync::Arc::new(S3Store::standalone("mapopt-chaos")),
+        plan,
+    ));
+    let chaos_rt = CloudRuntime::with_device(CloudDevice::with_store(
+        CloudConfig {
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            ..config(true, true)
+        },
+        chaos.clone(),
+    ));
+    let mut chaos_env = fresh_env();
+    let mut retries = 0u32;
+    for (r, want) in reference.iter().enumerate() {
+        mutate_for_round(&mut chaos_env, r);
+        chaos_rt.offload(&reg, &mut chaos_env).unwrap();
+        assert_eq!(
+            chaos_env.get::<f32>("y").unwrap().to_vec(),
+            *want,
+            "round {r}: chaos corrupted a delta round"
+        );
+        retries += chaos_rt
+            .cloud()
+            .last_report()
+            .unwrap()
+            .resilience
+            .transient_retries;
+    }
+    assert!(
+        chaos.stats().total() > 0,
+        "no faults fired; nothing was tested"
+    );
+    assert!(retries > 0, "transient faults must surface as retries");
+    chaos_rt.shutdown();
+}
+
+#[test]
+fn optimizer_knob_off_restores_send_everything() {
+    // Two byte-identical zero inputs: with the optimizer on, one upload
+    // is deduped away; with the knob off both travel in full.
+    let reg = TargetRegion::builder("dedupe-pair")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("a")
+        .map_to("b")
+        .map_from("y")
+        .parallel_for(8, |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let a = ins.view::<f32>("a");
+                    let b = ins.view::<f32>("b");
+                    outs.view_mut::<f32>("y")[i] = a[i] + b[i];
+                })
+        })
+        .build()
+        .unwrap();
+    let env = || {
+        let mut e = DataEnv::new();
+        e.insert("a", vec![0.0f32; 256]);
+        e.insert("b", vec![0.0f32; 256]);
+        e.insert("y", vec![0.0f32; 8]);
+        e
+    };
+
+    let on_rt = CloudRuntime::new(config(true, false));
+    let mut on_env = env();
+    let on_profile = on_rt.offload(&reg, &mut on_env).unwrap();
+    let on_plan = on_rt.cloud().last_report().unwrap().map_plan;
+    assert!(on_plan.enabled);
+    let b_on = &on_plan.decision_for("b").unwrap().upload;
+    assert!(
+        matches!(b_on, UploadAction::Elided { .. }),
+        "b dedupes against a, got {b_on:?}"
+    );
+    assert_eq!(on_profile.bytes_to_device, 256 * 4, "only 'a' travels");
+    on_rt.shutdown();
+
+    let off_rt = CloudRuntime::new(config(false, false));
+    let mut off_env = env();
+    let off_profile = off_rt.offload(&reg, &mut off_env).unwrap();
+    let off_plan = off_rt.cloud().last_report().unwrap().map_plan;
+    assert!(!off_plan.enabled);
+    let b_off = &off_plan.decision_for("b").unwrap().upload;
+    assert!(
+        matches!(b_off, UploadAction::Full { .. }),
+        "knob off: no dedupe, got {b_off:?}"
+    );
+    assert_eq!(off_profile.bytes_to_device, 2 * 256 * 4, "both travel");
+    assert_eq!(
+        on_env.get::<f32>("y").unwrap(),
+        off_env.get::<f32>("y").unwrap(),
+        "dedupe must not change results"
+    );
+    off_rt.shutdown();
+}
+
+#[test]
+fn dead_and_alloc_maps_move_zero_bytes() {
+    // x: read input. y: `from`-only — its (unread) initial contents
+    // must NOT be uploaded. tmp: alloc scratch — zero bytes either way.
+    let n = 64usize;
+    let reg = TargetRegion::builder("dead-maps")
+        .device(CloudRuntime::cloud_selector())
+        .map_to("x")
+        .map_from("y")
+        .map_alloc("tmp")
+        .parallel_for(n, |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let x = ins.view::<f32>("x");
+                    {
+                        let mut tmp = outs.view_mut::<f32>("tmp");
+                        tmp[i] = x[i] * 3.0;
+                    }
+                    let staged = outs.view_mut::<f32>("tmp")[i];
+                    outs.view_mut::<f32>("y")[i] = staged + 1.0;
+                })
+        })
+        .build()
+        .unwrap();
+    let build_env = || {
+        let mut e = DataEnv::new();
+        e.insert("x", (0..n).map(|i| i as f32).collect::<Vec<f32>>());
+        // Poisoned initial contents: they must never reach the kernel.
+        e.insert("y", vec![f32::NAN; n]);
+        e.insert("tmp", vec![f32::NAN; n]);
+        e
+    };
+
+    let rt = CloudRuntime::new(config(true, false));
+    let mut env = build_env();
+    let profile = rt.offload(&reg, &mut env).unwrap();
+    assert_eq!(profile.bytes_to_device, (n * 4) as u64, "only x uploads");
+    assert_eq!(
+        profile.bytes_from_device,
+        (n * 4) as u64,
+        "only y downloads"
+    );
+
+    let plan = rt.cloud().last_report().unwrap().map_plan;
+    let y = plan.decision_for("y").unwrap();
+    assert!(
+        matches!(y.upload, UploadAction::Elided { .. }),
+        "dead `to` elided"
+    );
+    assert!(matches!(y.download, DownloadAction::Full { .. }));
+    let tmp = plan.decision_for("tmp").unwrap();
+    assert!(matches!(tmp.upload, UploadAction::Elided { .. }));
+    assert!(matches!(tmp.download, DownloadAction::Elided { .. }));
+    let x = plan.decision_for("x").unwrap();
+    assert!(
+        matches!(x.download, DownloadAction::Elided { .. }),
+        "x never read back"
+    );
+
+    // Cloud result equals the host reference bitwise.
+    let host = DeviceRegistry::with_host_only();
+    let mut href = build_env();
+    let hreg = TargetRegion::builder("dead-maps-host")
+        .map_to("x")
+        .map_from("y")
+        .map_alloc("tmp")
+        .parallel_for(n, |l| {
+            l.partition("y", PartitionSpec::rows(1))
+                .body(|i, ins, outs| {
+                    let x = ins.view::<f32>("x");
+                    {
+                        let mut tmp = outs.view_mut::<f32>("tmp");
+                        tmp[i] = x[i] * 3.0;
+                    }
+                    let staged = outs.view_mut::<f32>("tmp")[i];
+                    outs.view_mut::<f32>("y")[i] = staged + 1.0;
+                })
+        })
+        .build()
+        .unwrap();
+    host.offload(&hreg, &mut href).unwrap();
+    assert_eq!(env.get::<f32>("y").unwrap(), href.get::<f32>("y").unwrap());
+    rt.shutdown();
+}

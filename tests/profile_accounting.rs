@@ -11,6 +11,10 @@ fn runtime() -> CloudRuntime {
         vcpus_per_worker: 4,
         task_cpus: 2,
         min_compression_size: 64,
+        // These tests pin the send-everything byte accounting; the map
+        // optimizer (which elides e.g. byte-identical zero-initialized
+        // intermediates) has its own accounting tests.
+        map_optimize: false,
         ..CloudConfig::default()
     })
 }
